@@ -1,0 +1,46 @@
+//! Criterion benchmark: steady-state throughput of compiled workload
+//! iterations at each escape-analysis level. Wall-clock throughput of the
+//! evaluator correlates with the virtual cycle counts the Table 1 harness
+//! reports (fewer heap operations = less work in either metric).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pea_runtime::Value;
+use pea_vm::{OptLevel, Vm, VmOptions};
+use pea_workloads::{suite_workloads, Suite, Workload};
+
+fn warmed_vm(workload: &Workload, level: OptLevel) -> Vm {
+    let mut vm = Vm::new(workload.program.clone(), VmOptions::with_opt_level(level));
+    for i in 0..120 {
+        vm.call_entry("iterate", &[Value::Int(i)]).expect("warmup");
+    }
+    vm
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    for (suite, name) in [
+        (Suite::ScalaDaCapo, "factorie"),
+        (Suite::DaCapo, "sunflow"),
+        (Suite::DaCapo, "jython"),
+    ] {
+        let workload = suite_workloads(suite)
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("workload");
+        let mut group = c.benchmark_group(format!("evaluator/{name}"));
+        group.sample_size(20);
+        for level in [OptLevel::None, OptLevel::Ees, OptLevel::Pea] {
+            group.bench_function(format!("{level}"), |b| {
+                let mut vm = warmed_vm(&workload, level);
+                let mut i = 1000i64;
+                b.iter(|| {
+                    i += 1;
+                    vm.call_entry("iterate", &[Value::Int(i)]).expect("iterate")
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_steady_state);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark: cost of the Partial Escape Analysis phase itself,
+//! across graph shapes (straight-line scalar replacement, merge-heavy,
+//! loop fixpoint) and against the EES baseline analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pea_core::fixtures::{fig7_loop_graph, key_program, listing5_graph};
+use pea_core::{run_ees, run_pea, PeaOptions};
+use pea_workloads::{suite_workloads, Suite};
+
+fn bench_fixture_graphs(c: &mut Criterion) {
+    let (program, p) = key_program();
+    let mut group = c.benchmark_group("pea_phase/fixtures");
+    group.sample_size(30);
+    group.bench_function("listing5_pea", |b| {
+        b.iter_with_setup(
+            || listing5_graph(&p).0,
+            |mut g| run_pea(&mut g, &program, &PeaOptions::default()),
+        )
+    });
+    group.bench_function("listing5_ees", |b| {
+        b.iter_with_setup(
+            || listing5_graph(&p).0,
+            |mut g| run_ees(&mut g, &program, &PeaOptions::default()),
+        )
+    });
+    group.bench_function("fig7_loop_fixpoint", |b| {
+        b.iter_with_setup(
+            || fig7_loop_graph(&p).0,
+            |mut g| run_pea(&mut g, &program, &PeaOptions::default()),
+        )
+    });
+    group.finish();
+}
+
+fn bench_workload_compilation(c: &mut Criterion) {
+    let workload = suite_workloads(Suite::ScalaDaCapo)
+        .into_iter()
+        .find(|w| w.name == "factorie")
+        .expect("factorie workload");
+    let method = workload
+        .program
+        .static_method_by_name("iterate")
+        .expect("iterate");
+    let mut group = c.benchmark_group("pea_phase/compile_factorie");
+    group.sample_size(20);
+    for level in [
+        pea_compiler::OptLevel::None,
+        pea_compiler::OptLevel::Ees,
+        pea_compiler::OptLevel::Pea,
+    ] {
+        group.bench_function(format!("{level}"), |b| {
+            let options = pea_compiler::CompilerOptions::with_opt_level(level);
+            b.iter(|| {
+                pea_compiler::compile(&workload.program, method, None, &options)
+                    .expect("compiles")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixture_graphs, bench_workload_compilation);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion wrapper over the Table 1 harness: one timed measurement per
+//! suite so `cargo bench` exercises the full table pipeline. The
+//! authoritative table output comes from the `table1` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pea_bench::measure;
+use pea_vm::OptLevel;
+use pea_workloads::{suite_workloads, Suite};
+
+fn bench_suite_measurement(c: &mut Criterion) {
+    let workloads = suite_workloads(Suite::SpecJbb);
+    let w = &workloads[0];
+    let mut group = c.benchmark_group("table1/specjbb_measurement");
+    group.sample_size(10);
+    for level in [OptLevel::None, OptLevel::Pea] {
+        group.bench_function(format!("{level}"), |b| {
+            b.iter(|| measure(w, level, 60, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite_measurement);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates the paper's Table 1 from live measurements: per-benchmark
+//! allocated bytes, allocation counts and iterations/minute, without and
+//! with Partial Escape Analysis, plus the §6.1 monitor-operation notes.
+//!
+//! Usage: `table1 [dacapo|scala|specjbb|all]` (default: all).
+
+use pea_bench::{render_monitor_stats, render_table, suite_rows};
+use pea_vm::OptLevel;
+use pea_workloads::{suite_workloads, Suite};
+
+fn run_suite(title: &str, suite: Suite) {
+    let workloads = suite_workloads(suite);
+    let rows = suite_rows(&workloads, OptLevel::Pea);
+    println!("{}", render_table(title, &rows));
+    let monitors = render_monitor_stats(&rows);
+    if !monitors.is_empty() {
+        println!("Monitor operations (paper §6.1):\n{monitors}");
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    println!(
+        "Table 1 reproduction — without vs. with Partial Escape Analysis\n\
+         (synthetic kernels; compare the *shape* against the paper, not\n\
+         absolute magnitudes — see EXPERIMENTS.md)\n"
+    );
+    match arg.as_str() {
+        "dacapo" => run_suite("DaCapo", Suite::DaCapo),
+        "scala" => run_suite("ScalaDaCapo", Suite::ScalaDaCapo),
+        "specjbb" => run_suite("SPECjbb2005", Suite::SpecJbb),
+        "all" => {
+            run_suite("DaCapo", Suite::DaCapo);
+            run_suite("ScalaDaCapo", Suite::ScalaDaCapo);
+            run_suite("SPECjbb2005", Suite::SpecJbb);
+        }
+        other => {
+            eprintln!("unknown suite `{other}`; use dacapo|scala|specjbb|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The measurement harness regenerating the paper's evaluation artifacts:
+//! Table 1 (allocated bytes, allocation counts and iterations/minute per
+//! benchmark, without vs. with Partial Escape Analysis), the §6.1 monitor
+//! statistics, and the §6.2 comparison against the flow-insensitive
+//! baseline.
+//!
+//! Binaries:
+//!
+//! * `table1 [dacapo|scala|specjbb|all]` — prints the corresponding block
+//!   of Table 1 from live measurements;
+//! * `comparison` — prints the §6.2 suite-average speedups for the EES
+//!   baseline vs. PEA;
+//! * `ablations` — per-feature breakdown (lock elision, field phis, loop
+//!   processing) over the suites.
+
+use pea_runtime::cost::CYCLES_PER_MINUTE;
+use pea_runtime::{Stats, Value};
+use pea_vm::{OptLevel, Vm, VmOptions};
+use pea_workloads::Workload;
+
+/// Steady-state per-iteration measurements of one workload at one
+/// optimization level.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Heap bytes allocated per iteration.
+    pub bytes_per_iter: f64,
+    /// Allocations per iteration (including rematerializations).
+    pub allocs_per_iter: f64,
+    /// Monitor operations (enter + exit) per iteration.
+    pub monitor_ops_per_iter: f64,
+    /// Virtual cycles per iteration.
+    pub cycles_per_iter: f64,
+    /// Deoptimizations observed during measurement.
+    pub deopts: u64,
+    /// Methods compiled by the end of the run.
+    pub compiles: u64,
+}
+
+impl Measurement {
+    /// Simulated iterations per minute under the virtual clock.
+    pub fn iterations_per_minute(&self) -> f64 {
+        CYCLES_PER_MINUTE as f64 / self.cycles_per_iter
+    }
+}
+
+/// Default warmup iterations (enough to cross the compile threshold and
+/// stabilize speculation).
+pub const DEFAULT_WARMUP: u64 = 120;
+
+/// Default measured iterations.
+pub const DEFAULT_ITERS: u64 = 40;
+
+/// Runs `workload` at `level`: warms up, then measures `iters`
+/// iterations.
+///
+/// # Panics
+///
+/// Panics if the workload raises a runtime error (generated kernels never
+/// do; a panic indicates a compiler bug).
+pub fn measure(workload: &Workload, level: OptLevel, warmup: u64, iters: u64) -> Measurement {
+    let mut vm = Vm::new(workload.program.clone(), VmOptions::with_opt_level(level));
+    for i in 0..warmup {
+        vm.call_entry("iterate", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("{} warmup: {e}", workload.name));
+    }
+    let before: Stats = vm.stats();
+    for i in warmup..warmup + iters {
+        vm.call_entry("iterate", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("{} iteration: {e}", workload.name));
+    }
+    let d = vm.stats().delta(&before);
+    Measurement {
+        bytes_per_iter: d.alloc_bytes as f64 / iters as f64,
+        allocs_per_iter: d.alloc_count as f64 / iters as f64,
+        monitor_ops_per_iter: d.monitor_ops() as f64 / iters as f64,
+        cycles_per_iter: d.cycles as f64 / iters as f64,
+        deopts: d.deopts,
+        compiles: vm.stats().compiles,
+    }
+}
+
+/// One Table 1 row: a workload measured without and with an optimization.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Whether the paper lists the row individually.
+    pub significant: bool,
+    /// Baseline (no escape analysis).
+    pub without: Measurement,
+    /// With the optimization under test.
+    pub with: Measurement,
+}
+
+impl Row {
+    /// Relative change in allocated bytes (negative = reduction).
+    pub fn bytes_delta(&self) -> f64 {
+        pct(self.without.bytes_per_iter, self.with.bytes_per_iter)
+    }
+
+    /// Relative change in allocation count.
+    pub fn allocs_delta(&self) -> f64 {
+        pct(self.without.allocs_per_iter, self.with.allocs_per_iter)
+    }
+
+    /// Relative change in monitor operations.
+    pub fn monitors_delta(&self) -> f64 {
+        pct(self.without.monitor_ops_per_iter, self.with.monitor_ops_per_iter)
+    }
+
+    /// Speedup in iterations per minute (positive = faster).
+    pub fn speedup(&self) -> f64 {
+        pct(
+            1.0 / self.without.cycles_per_iter,
+            1.0 / self.with.cycles_per_iter,
+        )
+    }
+}
+
+fn pct(without: f64, with: f64) -> f64 {
+    if without == 0.0 {
+        0.0
+    } else {
+        (with - without) / without * 100.0
+    }
+}
+
+/// Measures every workload of a suite at `level` against the
+/// no-escape-analysis baseline.
+pub fn suite_rows(workloads: &[Workload], level: OptLevel) -> Vec<Row> {
+    workloads
+        .iter()
+        .map(|w| Row {
+            name: w.name.clone(),
+            significant: w.significant,
+            without: measure(w, OptLevel::None, DEFAULT_WARMUP, DEFAULT_ITERS),
+            with: measure(w, level, DEFAULT_WARMUP, DEFAULT_ITERS),
+        })
+        .collect()
+}
+
+/// Renders one suite block in the layout of the paper's Table 1.
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{title:<14} {:>22} {:>24} {:>26}",
+        "KB / Iteration", "Allocs / Iteration", "Iterations / Minute"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>6} {:>9} {:>8} {:>6} {:>10} {:>10} {:>8}",
+        "", "without", "with", "Δ", "without", "with", "Δ", "without", "with", "speedup"
+    );
+    for row in rows.iter().filter(|r| r.significant) {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.1} {:>8.1} {:>+5.1}% {:>9.1} {:>8.1} {:>+5.1}% {:>10.0} {:>10.0} {:>+7.1}%",
+            row.name,
+            row.without.bytes_per_iter / 1024.0,
+            row.with.bytes_per_iter / 1024.0,
+            row.bytes_delta(),
+            row.without.allocs_per_iter,
+            row.with.allocs_per_iter,
+            row.allocs_delta(),
+            row.without.iterations_per_minute(),
+            row.with.iterations_per_minute(),
+            row.speedup(),
+        );
+    }
+    let n = rows.len() as f64;
+    let avg = |f: &dyn Fn(&Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>+5.1}% {:>9} {:>8} {:>+5.1}% {:>10} {:>10} {:>+7.1}%",
+        "average*",
+        "",
+        "",
+        avg(&Row::bytes_delta),
+        "",
+        "",
+        avg(&Row::allocs_delta),
+        "",
+        "",
+        avg(&Row::speedup),
+    );
+    let insignificant: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.significant)
+        .map(|r| r.name.as_str())
+        .collect();
+    if !insignificant.is_empty() {
+        let _ = writeln!(
+            out,
+            "  (*average includes rows without significant change: {})",
+            insignificant.join(", ")
+        );
+    }
+    out
+}
+
+/// Renders the §6.1 monitor-operation observations for the rows where the
+/// paper reports them.
+pub fn render_monitor_stats(rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for row in rows {
+        if row.without.monitor_ops_per_iter > 0.0 {
+            let _ = writeln!(
+                out,
+                "{:<14} monitor ops/iter: {:>8.1} -> {:>8.1} ({:+.1}%)",
+                row.name,
+                row.without.monitor_ops_per_iter,
+                row.with.monitor_ops_per_iter,
+                row.monitors_delta(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_workloads::{suite_workloads, Suite};
+
+    #[test]
+    fn measurement_computes_rates() {
+        let w = &suite_workloads(Suite::ScalaDaCapo)
+            .into_iter()
+            .find(|w| w.name == "factorie")
+            .unwrap();
+        let m = measure(w, OptLevel::Pea, 60, 5);
+        assert!(m.cycles_per_iter > 0.0);
+        assert!(m.iterations_per_minute() > 0.0);
+        assert!(m.compiles >= 1, "workload methods must get compiled");
+    }
+
+    #[test]
+    fn factorie_row_has_expected_shape() {
+        let w = suite_workloads(Suite::ScalaDaCapo)
+            .into_iter()
+            .find(|w| w.name == "factorie")
+            .unwrap();
+        let row = Row {
+            name: w.name.clone(),
+            significant: true,
+            without: measure(&w, OptLevel::None, 60, 10),
+            with: measure(&w, OptLevel::Pea, 60, 10),
+        };
+        assert!(
+            row.allocs_delta() < -40.0,
+            "factorie-like allocation reduction, got {:.1}%",
+            row.allocs_delta()
+        );
+        assert!(
+            row.speedup() > 5.0,
+            "factorie-like speedup, got {:.1}%",
+            row.speedup()
+        );
+    }
+
+    /// The paper's jython row is the one slowdown; our stand-in must
+    /// reproduce the sign (deterministic: the clock is virtual).
+    #[test]
+    fn jython_like_regresses() {
+        let w = suite_workloads(Suite::DaCapo)
+            .into_iter()
+            .find(|w| w.name == "jython")
+            .unwrap();
+        let row = Row {
+            name: w.name.clone(),
+            significant: true,
+            without: measure(&w, OptLevel::None, 80, 10),
+            with: measure(&w, OptLevel::Pea, 80, 10),
+        };
+        assert!(
+            row.speedup() < 0.0,
+            "jython-like must slow down under PEA, got {:+.1}%",
+            row.speedup()
+        );
+    }
+
+    /// §6.1: "the relative decrease in the number of allocations is
+    /// usually higher than the decrease in the number of allocated
+    /// bytes, since the allocations not removed often contain large
+    /// arrays" — checked on the array-heavy tmt stand-in.
+    #[test]
+    fn count_reduction_exceeds_byte_reduction_when_arrays_survive() {
+        let w = suite_workloads(Suite::ScalaDaCapo)
+            .into_iter()
+            .find(|w| w.name == "tmt")
+            .unwrap();
+        let row = Row {
+            name: w.name.clone(),
+            significant: true,
+            without: measure(&w, OptLevel::None, 80, 10),
+            with: measure(&w, OptLevel::Pea, 80, 10),
+        };
+        assert!(
+            row.allocs_delta() < row.bytes_delta(),
+            "allocation-count cut ({:+.1}%) must exceed byte cut ({:+.1}%)",
+            row.allocs_delta(),
+            row.bytes_delta()
+        );
+    }
+
+    #[test]
+    fn table_renders_all_columns() {
+        let rows = vec![Row {
+            name: "demo".into(),
+            significant: true,
+            without: Measurement {
+                bytes_per_iter: 2048.0,
+                allocs_per_iter: 100.0,
+                monitor_ops_per_iter: 10.0,
+                cycles_per_iter: 1000.0,
+                deopts: 0,
+                compiles: 1,
+            },
+            with: Measurement {
+                bytes_per_iter: 1024.0,
+                allocs_per_iter: 50.0,
+                monitor_ops_per_iter: 0.0,
+                cycles_per_iter: 800.0,
+                deopts: 0,
+                compiles: 1,
+            },
+        }];
+        let t = render_table("Demo", &rows);
+        assert!(t.contains("demo"));
+        assert!(t.contains("-50.0%"));
+        let m = render_monitor_stats(&rows);
+        assert!(m.contains("-100.0%"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Disassembler: renders a [`Program`] back into the assembler syntax
+//! accepted by [`crate::asm::parse_program`].
+//!
+//! The output round-trips: parsing the disassembly yields a structurally
+//! identical program (same classes, fields, statics, method signatures
+//! and instruction streams), which the test suite checks property-style.
+
+use crate::{ClassId, Insn, Method, MethodId, Program};
+use std::fmt::Write as _;
+
+/// Renders the whole program.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, class) in program.classes.iter().enumerate() {
+        let id = ClassId::from_index(i);
+        let _ = write!(out, "class {}", class.name);
+        if let Some(sup) = class.superclass {
+            let _ = write!(out, " extends {}", program.class(sup).name);
+        }
+        let _ = writeln!(out, " {{");
+        for &f in &class.declared_fields {
+            let field = program.field(f);
+            let _ = writeln!(out, "    field {} {}", field.name, field.kind);
+        }
+        let _ = writeln!(out, "}}");
+        let _ = id;
+    }
+    for s in &program.statics {
+        let _ = writeln!(out, "static {} {}", s.name, s.kind);
+    }
+    for (i, method) in program.methods.iter().enumerate() {
+        out.push_str(&disassemble_method(program, MethodId::from_index(i), method));
+    }
+    out
+}
+
+fn label_name(bci: u32) -> String {
+    format!("L{bci}")
+}
+
+fn disassemble_method(program: &Program, _id: MethodId, method: &Method) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "method ");
+    match method.class {
+        Some(c) => {
+            let _ = write!(out, "virtual {}.{}", program.class(c).name, method.name);
+        }
+        None => {
+            let _ = write!(out, "{}", method.name);
+        }
+    }
+    let _ = write!(out, " {}", method.param_count);
+    if method.returns_value {
+        let _ = write!(out, " returns");
+    }
+    if method.is_synchronized {
+        let _ = write!(out, " synchronized");
+    }
+    let _ = writeln!(out, " {{");
+
+    // Branch targets need labels.
+    let mut targets: Vec<u32> = method
+        .code
+        .iter()
+        .filter_map(|i| i.branch_target())
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+
+    for (bci, insn) in method.code.iter().enumerate() {
+        if targets.binary_search(&(bci as u32)).is_ok() {
+            let _ = writeln!(out, "{}:", label_name(bci as u32));
+        }
+        let _ = writeln!(out, "    {}", render_insn(program, *insn));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn field_ref(program: &Program, f: crate::FieldId) -> String {
+    let field = program.field(f);
+    format!("{}.{}", program.class(field.class).name, field.name)
+}
+
+fn method_ref(program: &Program, m: MethodId) -> String {
+    let method = program.method(m);
+    match method.class {
+        Some(c) => format!("{}.{}", program.class(c).name, method.name),
+        None => method.name.clone(),
+    }
+}
+
+fn render_insn(program: &Program, insn: Insn) -> String {
+    match insn {
+        Insn::Const(v) => format!("const {v}"),
+        Insn::ConstNull => "cnull".into(),
+        Insn::Load(n) => format!("load {n}"),
+        Insn::Store(n) => format!("store {n}"),
+        Insn::Add => "add".into(),
+        Insn::Sub => "sub".into(),
+        Insn::Mul => "mul".into(),
+        Insn::Div => "div".into(),
+        Insn::Rem => "rem".into(),
+        Insn::Neg => "neg".into(),
+        Insn::And => "and".into(),
+        Insn::Or => "or".into(),
+        Insn::Xor => "xor".into(),
+        Insn::Shl => "shl".into(),
+        Insn::Shr => "shr".into(),
+        Insn::Pop => "pop".into(),
+        Insn::Dup => "dup".into(),
+        Insn::Swap => "swap".into(),
+        Insn::Goto(t) => format!("goto {}", label_name(t)),
+        Insn::IfCmp(op, t) => format!("ifcmp {op} {}", label_name(t)),
+        Insn::IfNull(t) => format!("ifnull {}", label_name(t)),
+        Insn::IfNonNull(t) => format!("ifnonnull {}", label_name(t)),
+        Insn::IfRefEq(t) => format!("ifrefeq {}", label_name(t)),
+        Insn::IfRefNe(t) => format!("ifrefne {}", label_name(t)),
+        Insn::New(c) => format!("new {}", program.class(c).name),
+        Insn::GetField(f) => format!("getfield {}", field_ref(program, f)),
+        Insn::PutField(f) => format!("putfield {}", field_ref(program, f)),
+        Insn::GetStatic(s) => format!("getstatic {}", program.static_decl(s).name),
+        Insn::PutStatic(s) => format!("putstatic {}", program.static_decl(s).name),
+        Insn::NewArray(k) => format!("newarray {k}"),
+        Insn::ArrayLoad => "aload".into(),
+        Insn::ArrayStore => "astore".into(),
+        Insn::ArrayLength => "arraylen".into(),
+        Insn::InstanceOf(c) => format!("instanceof {}", program.class(c).name),
+        Insn::CheckCast(c) => format!("checkcast {}", program.class(c).name),
+        Insn::MonitorEnter => "monitorenter".into(),
+        Insn::MonitorExit => "monitorexit".into(),
+        Insn::InvokeStatic(m) => format!("invokestatic {}", method_ref(program, m)),
+        Insn::InvokeVirtual(m) => format!("invokevirtual {}", method_ref(program, m)),
+        Insn::Return => "ret".into(),
+        Insn::ReturnValue => "retv".into(),
+        Insn::Throw => "throw".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::parse_program;
+
+    const SAMPLE: &str = "
+        class A { field x int }
+        class B extends A { field r ref }
+        static g ref
+        method virtual A.m 2 returns synchronized {
+            load 0 getfield A.x load 1 add retv
+        }
+        method f 1 returns {
+            new B store 1
+            load 1 load 0 putfield A.x
+            load 1 const 5 invokevirtual A.m
+            const 0 ifcmp le Lx
+            load 1 putstatic g
+        Lx:
+            const 3 newarray int arraylen
+            retv
+        }
+    ";
+
+    fn structurally_equal(a: &Program, b: &Program) -> bool {
+        a.classes.len() == b.classes.len()
+            && a.fields.len() == b.fields.len()
+            && a.statics.len() == b.statics.len()
+            && a.methods.len() == b.methods.len()
+            && a.methods
+                .iter()
+                .zip(&b.methods)
+                .all(|(x, y)| x.code == y.code && x.name == y.name
+                    && x.param_count == y.param_count
+                    && x.returns_value == y.returns_value
+                    && x.is_synchronized == y.is_synchronized)
+            && a.classes
+                .iter()
+                .zip(&b.classes)
+                .all(|(x, y)| x.name == y.name && x.superclass == y.superclass)
+    }
+
+    #[test]
+    fn round_trips_sample() {
+        let p1 = parse_program(SAMPLE).unwrap();
+        let text = disassemble(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(structurally_equal(&p1, &p2), "round trip differs:\n{text}");
+        // And again, to be sure the printer is a fixpoint.
+        let text2 = disassemble(&p2);
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn labels_emitted_for_targets() {
+        let p = parse_program("method f 1 returns { load 0 const 0 ifcmp lt Ln const 1 retv Ln: const -1 retv }").unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("L5:"), "{text}");
+        assert!(text.contains("ifcmp lt L5"), "{text}");
+    }
+}

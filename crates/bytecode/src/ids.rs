@@ -1,0 +1,91 @@
+//! Newtype indices naming classes, fields, methods and static variables.
+//!
+//! All metadata lives in flat arenas inside [`crate::Program`]; these ids are
+//! plain `u32` indices wrapped so the type system keeps them apart
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("arena index exceeds u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a [`crate::Class`] within a [`crate::Program`].
+    ClassId,
+    "C"
+);
+define_id!(
+    /// Identifies a [`crate::Field`] within a [`crate::Program`].
+    FieldId,
+    "F"
+);
+define_id!(
+    /// Identifies a [`crate::Method`] within a [`crate::Program`].
+    MethodId,
+    "M"
+);
+define_id!(
+    /// Identifies a [`crate::StaticDecl`] (global variable) within a
+    /// [`crate::Program`].
+    StaticId,
+    "S"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        let id = ClassId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id, ClassId(7));
+    }
+
+    #[test]
+    fn debug_uses_prefix() {
+        assert_eq!(format!("{:?}", MethodId(3)), "M3");
+        assert_eq!(format!("{}", FieldId(1)), "F1");
+        assert_eq!(format!("{}", StaticId(0)), "S0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ClassId(1) < ClassId(2));
+    }
+}

@@ -1,0 +1,359 @@
+//! The instruction set: a stack machine modelled on the subset of JVM
+//! bytecode that matters to escape analysis.
+//!
+//! Branch targets are instruction indices ("bci"s) into the owning method's
+//! code vector. Operand-stack effects are documented per instruction and
+//! checked by [`crate::verify_method`].
+
+use crate::{ClassId, FieldId, MethodId, StaticId, ValueKind};
+use std::fmt;
+
+/// Integer comparison operator used by [`Insn::IfCmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on two integers.
+    #[inline]
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The comparison with operands swapped is equal to the comparison with
+    /// this operator (`a op b == b op.flipped() a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Logical negation: `!(a op b) == a op.negated() b`.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single bytecode instruction.
+///
+/// Stack effects are written `[..., a, b] -> [..., r]` with the top of stack
+/// on the right.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// Push an integer constant. `[] -> [c]`
+    Const(i64),
+    /// Push the null reference. `[] -> [null]`
+    ConstNull,
+    /// Push local variable `n`. `[] -> [v]`
+    Load(u16),
+    /// Pop into local variable `n`. `[v] -> []`
+    Store(u16),
+
+    /// `[a, b] -> [a + b]` (wrapping)
+    Add,
+    /// `[a, b] -> [a - b]` (wrapping)
+    Sub,
+    /// `[a, b] -> [a * b]` (wrapping)
+    Mul,
+    /// `[a, b] -> [a / b]`; division by zero raises a runtime error.
+    Div,
+    /// `[a, b] -> [a % b]`; division by zero raises a runtime error.
+    Rem,
+    /// `[a] -> [-a]` (wrapping)
+    Neg,
+    /// `[a, b] -> [a & b]`
+    And,
+    /// `[a, b] -> [a | b]`
+    Or,
+    /// `[a, b] -> [a ^ b]`
+    Xor,
+    /// `[a, b] -> [a << (b & 63)]`
+    Shl,
+    /// `[a, b] -> [a >> (b & 63)]` (arithmetic)
+    Shr,
+
+    /// `[v] -> []`
+    Pop,
+    /// `[v] -> [v, v]`
+    Dup,
+    /// `[a, b] -> [b, a]`
+    Swap,
+
+    /// Unconditional jump to the target bci. `[] -> []`
+    Goto(u32),
+    /// Pop `b` then `a`; jump if `a op b` holds on integers. `[a, b] -> []`
+    IfCmp(CmpOp, u32),
+    /// Jump if the popped reference is null. `[r] -> []`
+    IfNull(u32),
+    /// Jump if the popped reference is non-null. `[r] -> []`
+    IfNonNull(u32),
+    /// Pop two references; jump if they are the same object (or both null).
+    /// `[a, b] -> []`
+    IfRefEq(u32),
+    /// Pop two references; jump if they are different objects. `[a, b] -> []`
+    IfRefNe(u32),
+
+    /// Allocate a new instance with default-initialized fields.
+    /// `[] -> [ref]`
+    New(ClassId),
+    /// Load an instance field. `[ref] -> [v]`
+    GetField(FieldId),
+    /// Store an instance field. `[ref, v] -> []`
+    PutField(FieldId),
+    /// Load a static (global) variable. `[] -> [v]`
+    GetStatic(StaticId),
+    /// Store a static (global) variable; the canonical escape point.
+    /// `[v] -> []`
+    PutStatic(StaticId),
+
+    /// Allocate an array of the given element kind. `[len] -> [ref]`
+    NewArray(ValueKind),
+    /// Load an array element. `[ref, idx] -> [v]`
+    ArrayLoad,
+    /// Store an array element. `[ref, idx, v] -> []`
+    ArrayStore,
+    /// Array length. `[ref] -> [len]`
+    ArrayLength,
+
+    /// Type test; pushes 1 if the reference is a non-null instance of the
+    /// class (or a subclass), 0 otherwise. `[ref] -> [i]`
+    InstanceOf(ClassId),
+    /// Checked cast; raises a runtime error if the non-null reference is not
+    /// an instance of the class. `[ref] -> [ref]`
+    CheckCast(ClassId),
+
+    /// Acquire the monitor of the popped object. `[ref] -> []`
+    MonitorEnter,
+    /// Release the monitor of the popped object. `[ref] -> []`
+    MonitorExit,
+
+    /// Call a static method; pops the arguments (last argument on top) and
+    /// pushes the return value if the callee returns one.
+    /// `[a0, ..., an] -> [r?]`
+    InvokeStatic(MethodId),
+    /// Call a virtual method; slot 0 of the callee receives the receiver,
+    /// dispatch is on the receiver's dynamic class.
+    /// `[recv, a1, ..., an] -> [r?]`
+    InvokeVirtual(MethodId),
+
+    /// Return from a `void` method. `[] -> !`
+    Return,
+    /// Return the top of stack. `[v] -> !`
+    ReturnValue,
+    /// Throw: aborts execution of the program with a user error carrying the
+    /// popped integer code (no catch handlers are modelled; `Throw` is a
+    /// control sink and an escape point, as in the paper's IR figures).
+    /// `[code] -> !`
+    Throw,
+}
+
+impl Insn {
+    /// Number of values popped from the operand stack.
+    pub fn pops(self) -> usize {
+        match self {
+            Insn::Const(_)
+            | Insn::ConstNull
+            | Insn::Load(_)
+            | Insn::Goto(_)
+            | Insn::New(_)
+            | Insn::GetStatic(_)
+            | Insn::Return => 0,
+            Insn::Store(_)
+            | Insn::Neg
+            | Insn::Pop
+            | Insn::Dup
+            | Insn::IfNull(_)
+            | Insn::IfNonNull(_)
+            | Insn::GetField(_)
+            | Insn::PutStatic(_)
+            | Insn::NewArray(_)
+            | Insn::ArrayLength
+            | Insn::InstanceOf(_)
+            | Insn::CheckCast(_)
+            | Insn::MonitorEnter
+            | Insn::MonitorExit
+            | Insn::ReturnValue
+            | Insn::Throw => 1,
+            Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::Div
+            | Insn::Rem
+            | Insn::And
+            | Insn::Or
+            | Insn::Xor
+            | Insn::Shl
+            | Insn::Shr
+            | Insn::Swap
+            | Insn::IfCmp(..)
+            | Insn::IfRefEq(_)
+            | Insn::IfRefNe(_)
+            | Insn::PutField(_)
+            | Insn::ArrayLoad => 2,
+            Insn::ArrayStore => 3,
+            // Calls are resolved against the program; handled separately by
+            // the verifier.
+            Insn::InvokeStatic(_) | Insn::InvokeVirtual(_) => 0,
+        }
+    }
+
+    /// Number of values pushed onto the operand stack.
+    pub fn pushes(self) -> usize {
+        match self {
+            Insn::Const(_)
+            | Insn::ConstNull
+            | Insn::Load(_)
+            | Insn::New(_)
+            | Insn::GetField(_)
+            | Insn::GetStatic(_)
+            | Insn::NewArray(_)
+            | Insn::ArrayLoad
+            | Insn::ArrayLength
+            | Insn::InstanceOf(_)
+            | Insn::CheckCast(_) => 1,
+            Insn::Dup => 2,
+            Insn::Swap => 2,
+            Insn::Neg => 1,
+            Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::Div
+            | Insn::Rem
+            | Insn::And
+            | Insn::Or
+            | Insn::Xor
+            | Insn::Shl
+            | Insn::Shr => 1,
+            _ => 0,
+        }
+    }
+
+    /// The explicit branch target, if this is a branch instruction.
+    pub fn branch_target(self) -> Option<u32> {
+        match self {
+            Insn::Goto(t)
+            | Insn::IfCmp(_, t)
+            | Insn::IfNull(t)
+            | Insn::IfNonNull(t)
+            | Insn::IfRefEq(t)
+            | Insn::IfRefNe(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether control can fall through to the next instruction.
+    pub fn falls_through(self) -> bool {
+        !matches!(
+            self,
+            Insn::Goto(_) | Insn::Return | Insn::ReturnValue | Insn::Throw
+        )
+    }
+
+    /// Whether this instruction ends the method (a control sink).
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Insn::Return | Insn::ReturnValue | Insn::Throw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_apply_covers_all_ops() {
+        assert!(CmpOp::Eq.apply(1, 1));
+        assert!(CmpOp::Ne.apply(1, 2));
+        assert!(CmpOp::Lt.apply(1, 2));
+        assert!(CmpOp::Le.apply(2, 2));
+        assert!(CmpOp::Gt.apply(3, 2));
+        assert!(CmpOp::Ge.apply(2, 2));
+        assert!(!CmpOp::Lt.apply(2, 2));
+    }
+
+    #[test]
+    fn cmp_negated_is_logical_not() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in [(0, 0), (1, 2), (2, 1)] {
+                assert_eq!(op.apply(a, b), !op.negated().apply(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_flipped_swaps_operands() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in [(0, 0), (1, 2), (2, 1)] {
+                assert_eq!(op.apply(a, b), op.flipped().apply(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_targets_reported() {
+        assert_eq!(Insn::Goto(7).branch_target(), Some(7));
+        assert_eq!(Insn::IfCmp(CmpOp::Lt, 3).branch_target(), Some(3));
+        assert_eq!(Insn::Add.branch_target(), None);
+    }
+
+    #[test]
+    fn terminators_do_not_fall_through() {
+        assert!(!Insn::Return.falls_through());
+        assert!(!Insn::Goto(0).falls_through());
+        assert!(Insn::IfNull(0).falls_through());
+        assert!(Insn::Return.is_terminator());
+        assert!(!Insn::Goto(0).is_terminator());
+    }
+
+    #[test]
+    fn stack_effects_balanced_for_arith() {
+        assert_eq!(Insn::Add.pops(), 2);
+        assert_eq!(Insn::Add.pushes(), 1);
+        assert_eq!(Insn::Dup.pops(), 1);
+        assert_eq!(Insn::Dup.pushes(), 2);
+    }
+}

@@ -1,0 +1,419 @@
+//! Program metadata: classes, fields, methods and statics in flat arenas.
+
+use crate::{ClassId, FieldId, Insn, MethodId, StaticId};
+use std::error::Error;
+use std::fmt;
+
+/// Bytes occupied by every object header (mirrors a 64-bit JVM with
+/// compressed-oops disabled: mark word + class pointer).
+pub const OBJECT_HEADER_BYTES: u64 = 16;
+
+/// Bytes occupied by one field or array-element slot.
+pub const VALUE_SLOT_BYTES: u64 = 8;
+
+/// The two storage kinds the bytecode distinguishes: 64-bit integers and
+/// object references. Booleans are integers `0`/`1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ValueKind {
+    /// 64-bit signed integer.
+    #[default]
+    Int,
+    /// Object (or array) reference; may be null.
+    Ref,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ValueKind::Int => "int",
+            ValueKind::Ref => "ref",
+        })
+    }
+}
+
+/// A class declaration: name, optional superclass, declared fields and
+/// declared methods. Inherited fields/methods are resolved via
+/// [`Program::instance_fields`] and [`Program::resolve_virtual`].
+#[derive(Clone, Debug)]
+pub struct Class {
+    /// Class name, unique within the program.
+    pub name: String,
+    /// Superclass, if any (single inheritance).
+    pub superclass: Option<ClassId>,
+    /// Fields declared by this class itself (not inherited ones).
+    pub declared_fields: Vec<FieldId>,
+    /// Methods declared by this class itself.
+    pub declared_methods: Vec<MethodId>,
+}
+
+/// An instance field declaration.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Field name, unique within its class.
+    pub name: String,
+    /// Storage kind, used for default values and size accounting.
+    pub kind: ValueKind,
+}
+
+/// A static (global) variable declaration.
+#[derive(Clone, Debug)]
+pub struct StaticDecl {
+    /// Name, unique within the program.
+    pub name: String,
+    /// Storage kind.
+    pub kind: ValueKind,
+}
+
+/// A method: code plus calling metadata.
+///
+/// Parameters arrive in locals `0..param_count`; for virtual methods local
+/// `0` is the receiver. There is no separate descriptor language — all
+/// parameters are dynamically typed values.
+#[derive(Clone, Debug)]
+pub struct Method {
+    /// Declaring class for virtual methods, `None` for free static methods.
+    pub class: Option<ClassId>,
+    /// Method name; virtual dispatch matches on this name up the hierarchy.
+    pub name: String,
+    /// Number of parameters, including the receiver for virtual methods.
+    pub param_count: u16,
+    /// Whether the method pushes a return value.
+    pub returns_value: bool,
+    /// `true` for static methods (no receiver, no dynamic dispatch).
+    pub is_static: bool,
+    /// Synchronized methods lock the receiver (or a program-wide token for
+    /// static methods is *not* modelled — only instance methods may be
+    /// synchronized here).
+    pub is_synchronized: bool,
+    /// Number of local-variable slots (≥ `param_count`).
+    pub max_locals: u16,
+    /// The instruction stream; branch targets index into this vector.
+    pub code: Vec<Insn>,
+}
+
+impl Method {
+    /// A stable human-readable name like `Key.equals` or `getValue`.
+    pub fn qualified_name(&self, program: &Program) -> String {
+        match self.class {
+            Some(c) => format!("{}.{}", program.class(c).name, self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Errors raised while assembling or querying a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// A field name was declared twice in one class.
+    DuplicateField(String, String),
+    /// A static name was declared twice.
+    DuplicateStatic(String),
+    /// A method name was declared twice in the same scope.
+    DuplicateMethod(String),
+    /// The class hierarchy contains a cycle.
+    CyclicHierarchy(String),
+    /// Lookup by name failed.
+    NotFound(String),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DuplicateClass(n) => write!(f, "duplicate class `{n}`"),
+            ProgramError::DuplicateField(c, n) => {
+                write!(f, "duplicate field `{n}` in class `{c}`")
+            }
+            ProgramError::DuplicateStatic(n) => write!(f, "duplicate static `{n}`"),
+            ProgramError::DuplicateMethod(n) => write!(f, "duplicate method `{n}`"),
+            ProgramError::CyclicHierarchy(n) => {
+                write!(f, "cyclic class hierarchy involving `{n}`")
+            }
+            ProgramError::NotFound(n) => write!(f, "`{n}` not found"),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// A complete program: all metadata arenas plus method code.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Class arena, indexed by [`ClassId`].
+    pub classes: Vec<Class>,
+    /// Field arena, indexed by [`FieldId`].
+    pub fields: Vec<Field>,
+    /// Method arena, indexed by [`MethodId`].
+    pub methods: Vec<Method>,
+    /// Static-variable arena, indexed by [`StaticId`].
+    pub statics: Vec<StaticDecl>,
+}
+
+impl Program {
+    /// Access a class by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// Access a field by id.
+    #[inline]
+    pub fn field(&self, id: FieldId) -> &Field {
+        &self.fields[id.index()]
+    }
+
+    /// Access a method by id.
+    #[inline]
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.index()]
+    }
+
+    /// Access a static declaration by id.
+    #[inline]
+    pub fn static_decl(&self, id: StaticId) -> &StaticDecl {
+        &self.statics[id.index()]
+    }
+
+    /// Finds a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId::from_index)
+    }
+
+    /// Finds a declared field by `Class.name` pair.
+    pub fn field_by_name(&self, class: ClassId, name: &str) -> Option<FieldId> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            for &fid in &self.class(c).declared_fields {
+                if self.field(fid).name == name {
+                    return Some(fid);
+                }
+            }
+            cur = self.class(c).superclass;
+        }
+        None
+    }
+
+    /// Finds a static variable by name.
+    pub fn static_by_name(&self, name: &str) -> Option<StaticId> {
+        self.statics
+            .iter()
+            .position(|s| s.name == name)
+            .map(StaticId::from_index)
+    }
+
+    /// Finds a free static method by name.
+    pub fn static_method_by_name(&self, name: &str) -> Option<MethodId> {
+        self.methods
+            .iter()
+            .position(|m| m.class.is_none() && m.name == name)
+            .map(MethodId::from_index)
+    }
+
+    /// Finds a method declared in `class` (not inherited) by name.
+    pub fn declared_method_by_name(&self, class: ClassId, name: &str) -> Option<MethodId> {
+        self.class(class)
+            .declared_methods
+            .iter()
+            .copied()
+            .find(|&m| self.method(m).name == name)
+    }
+
+    /// Resolves a virtual call on a receiver of dynamic class
+    /// `receiver_class`: walks the hierarchy from the receiver's class
+    /// upwards and returns the first method whose name matches the
+    /// statically named target.
+    pub fn resolve_virtual(
+        &self,
+        receiver_class: ClassId,
+        target: MethodId,
+    ) -> Result<MethodId, ProgramError> {
+        let name = &self.method(target).name;
+        let mut cur = Some(receiver_class);
+        while let Some(c) = cur {
+            if let Some(m) = self.declared_method_by_name(c, name) {
+                return Ok(m);
+            }
+            cur = self.class(c).superclass;
+        }
+        Err(ProgramError::NotFound(format!(
+            "virtual method `{}` on class `{}`",
+            name,
+            self.class(receiver_class).name
+        )))
+    }
+
+    /// All instance fields of a class in layout order: superclass fields
+    /// first, then declared fields.
+    pub fn instance_fields(&self, class: ClassId) -> Vec<FieldId> {
+        let mut chain = Vec::new();
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            chain.push(c);
+            cur = self.class(c).superclass;
+        }
+        let mut out = Vec::new();
+        for &c in chain.iter().rev() {
+            out.extend_from_slice(&self.class(c).declared_fields);
+        }
+        out
+    }
+
+    /// Heap size in bytes of an instance of `class` (header + one slot per
+    /// field, matching the paper's "MB per iteration" accounting).
+    pub fn object_size(&self, class: ClassId) -> u64 {
+        OBJECT_HEADER_BYTES + VALUE_SLOT_BYTES * self.instance_fields(class).len() as u64
+    }
+
+    /// Heap size in bytes of an array of `len` elements.
+    pub fn array_size(len: u64) -> u64 {
+        OBJECT_HEADER_BYTES + VALUE_SLOT_BYTES * len
+    }
+
+    /// Whether `class` is `ancestor` or one of its subclasses.
+    pub fn is_subclass_of(&self, class: ClassId, ancestor: ClassId) -> bool {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.class(c).superclass;
+        }
+        false
+    }
+
+    /// All classes that are `ancestor` or a subclass of it.
+    pub fn subclasses_of(&self, ancestor: ClassId) -> Vec<ClassId> {
+        (0..self.classes.len())
+            .map(ClassId::from_index)
+            .filter(|&c| self.is_subclass_of(c, ancestor))
+            .collect()
+    }
+
+    /// Checks the class hierarchy for cycles. Returns the offending class.
+    pub fn check_hierarchy(&self) -> Result<(), ProgramError> {
+        for (i, class) in self.classes.iter().enumerate() {
+            let start = ClassId::from_index(i);
+            let mut cur = class.superclass;
+            let mut steps = 0usize;
+            while let Some(c) = cur {
+                if c == start || steps > self.classes.len() {
+                    return Err(ProgramError::CyclicHierarchy(class.name.clone()));
+                }
+                cur = self.class(c).superclass;
+                steps += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MethodBuilder, ProgramBuilder};
+
+    fn diamond_free_program() -> (Program, ClassId, ClassId, FieldId, FieldId) {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.add_class("Base", None);
+        let derived = pb.add_class("Derived", Some(base));
+        let fa = pb.add_field(base, "a", ValueKind::Int);
+        let fb = pb.add_field(derived, "b", ValueKind::Ref);
+        (pb.build().unwrap(), base, derived, fa, fb)
+    }
+
+    #[test]
+    fn instance_fields_are_layout_ordered() {
+        let (p, base, derived, fa, fb) = diamond_free_program();
+        assert_eq!(p.instance_fields(base), vec![fa]);
+        assert_eq!(p.instance_fields(derived), vec![fa, fb]);
+    }
+
+    #[test]
+    fn object_size_counts_header_and_slots() {
+        let (p, base, derived, ..) = diamond_free_program();
+        assert_eq!(p.object_size(base), 16 + 8);
+        assert_eq!(p.object_size(derived), 16 + 16);
+        assert_eq!(Program::array_size(10), 16 + 80);
+    }
+
+    #[test]
+    fn field_lookup_walks_superclasses() {
+        let (p, _, derived, fa, _) = diamond_free_program();
+        assert_eq!(p.field_by_name(derived, "a"), Some(fa));
+        assert_eq!(p.field_by_name(derived, "zzz"), None);
+    }
+
+    #[test]
+    fn subclass_relation() {
+        let (p, base, derived, ..) = diamond_free_program();
+        assert!(p.is_subclass_of(derived, base));
+        assert!(!p.is_subclass_of(base, derived));
+        assert_eq!(p.subclasses_of(base), vec![base, derived]);
+    }
+
+    #[test]
+    fn virtual_resolution_prefers_override() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.add_class("Base", None);
+        let derived = pb.add_class("Derived", Some(base));
+        let mut m = MethodBuilder::new_virtual("size", base, 1, true);
+        m.const_(1);
+        m.return_value();
+        let base_m = pb.add_method(m.build().unwrap());
+        let mut m = MethodBuilder::new_virtual("size", derived, 1, true);
+        m.const_(2);
+        m.return_value();
+        let derived_m = pb.add_method(m.build().unwrap());
+        let p = pb.build().unwrap();
+        assert_eq!(p.resolve_virtual(base, base_m).unwrap(), base_m);
+        assert_eq!(p.resolve_virtual(derived, base_m).unwrap(), derived_m);
+        assert_eq!(p.resolve_virtual(derived, derived_m).unwrap(), derived_m);
+    }
+
+    #[test]
+    fn hierarchy_cycle_detected() {
+        let mut p = Program::default();
+        p.classes.push(Class {
+            name: "A".into(),
+            superclass: Some(ClassId(1)),
+            declared_fields: vec![],
+            declared_methods: vec![],
+        });
+        p.classes.push(Class {
+            name: "B".into(),
+            superclass: Some(ClassId(0)),
+            declared_fields: vec![],
+            declared_methods: vec![],
+        });
+        assert!(matches!(
+            p.check_hierarchy(),
+            Err(ProgramError::CyclicHierarchy(_))
+        ));
+    }
+
+    #[test]
+    fn qualified_names() {
+        let (p, base, ..) = diamond_free_program();
+        let m = Method {
+            class: Some(base),
+            name: "foo".into(),
+            param_count: 1,
+            returns_value: false,
+            is_static: false,
+            is_synchronized: false,
+            max_locals: 1,
+            code: vec![Insn::Return],
+        };
+        assert_eq!(m.qualified_name(&p), "Base.foo");
+    }
+}

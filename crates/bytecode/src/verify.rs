@@ -1,0 +1,380 @@
+//! Structural bytecode verification.
+//!
+//! Checks, per method: branch targets are in range, stack heights are
+//! consistent at every join (a fixed height per bci, like the JVM verifier),
+//! the stack never underflows, locals stay within `max_locals`, referenced
+//! metadata ids exist, and `synchronized` only appears on instance methods.
+
+use crate::{Insn, Method, MethodId, Program};
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure, reported with the offending method and bci.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Index of the offending method.
+    pub method: MethodId,
+    /// Offending bytecode index (method-level errors use 0).
+    pub bci: u32,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "method {} @ bci {}: {}", self.method, self.bci, self.reason)
+    }
+}
+
+impl Error for VerifyError {}
+
+fn err(method: MethodId, bci: usize, reason: impl Into<String>) -> VerifyError {
+    VerifyError {
+        method,
+        bci: bci as u32,
+        reason: reason.into(),
+    }
+}
+
+/// Stack effect of an instruction, resolving call arities against the
+/// program.
+fn stack_effect(program: &Program, insn: Insn) -> (usize, usize) {
+    match insn {
+        Insn::InvokeStatic(m) | Insn::InvokeVirtual(m) => {
+            let callee = program.method(m);
+            (
+                callee.param_count as usize,
+                usize::from(callee.returns_value),
+            )
+        }
+        other => (other.pops(), other.pushes()),
+    }
+}
+
+/// Verifies one method. See the module docs for the property list.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_method(program: &Program, id: MethodId) -> Result<(), VerifyError> {
+    let method: &Method = program.method(id);
+    if method.code.is_empty() {
+        return Err(err(id, 0, "empty method body"));
+    }
+    if method.is_synchronized && method.is_static {
+        return Err(err(id, 0, "static methods may not be synchronized"));
+    }
+    if method.max_locals < method.param_count {
+        return Err(err(id, 0, "max_locals smaller than param_count"));
+    }
+    if let Some(last) = method.code.last() {
+        if last.falls_through() {
+            return Err(err(
+                id,
+                method.code.len() - 1,
+                "control falls off the end of the method",
+            ));
+        }
+    }
+
+    // Metadata validity + branch ranges.
+    for (bci, &insn) in method.code.iter().enumerate() {
+        if let Some(t) = insn.branch_target() {
+            if t as usize >= method.code.len() {
+                return Err(err(id, bci, format!("branch target {t} out of range")));
+            }
+        }
+        match insn {
+            Insn::Load(n) | Insn::Store(n) => {
+                if n >= method.max_locals {
+                    return Err(err(id, bci, format!("local {n} out of range")));
+                }
+            }
+            Insn::New(c) | Insn::InstanceOf(c) | Insn::CheckCast(c) => {
+                if c.index() >= program.classes.len() {
+                    return Err(err(id, bci, format!("unknown class {c}")));
+                }
+            }
+            Insn::GetField(f) | Insn::PutField(f) => {
+                if f.index() >= program.fields.len() {
+                    return Err(err(id, bci, format!("unknown field {f}")));
+                }
+            }
+            Insn::GetStatic(s) | Insn::PutStatic(s) => {
+                if s.index() >= program.statics.len() {
+                    return Err(err(id, bci, format!("unknown static {s}")));
+                }
+            }
+            Insn::InvokeStatic(m) => {
+                if m.index() >= program.methods.len() {
+                    return Err(err(id, bci, format!("unknown method {m}")));
+                }
+                if !program.method(m).is_static {
+                    return Err(err(id, bci, "invokestatic of a virtual method"));
+                }
+            }
+            Insn::InvokeVirtual(m) => {
+                if m.index() >= program.methods.len() {
+                    return Err(err(id, bci, format!("unknown method {m}")));
+                }
+                let callee = program.method(m);
+                if callee.is_static {
+                    return Err(err(id, bci, "invokevirtual of a static method"));
+                }
+                if callee.param_count == 0 {
+                    return Err(err(id, bci, "virtual method without receiver slot"));
+                }
+            }
+            Insn::ReturnValue if !method.returns_value => {
+                return Err(err(id, bci, "value return from void method"));
+            }
+            Insn::Return if method.returns_value => {
+                return Err(err(id, bci, "void return from value-returning method"));
+            }
+            _ => {}
+        }
+    }
+
+    // Stack height dataflow: every reachable bci has a single fixed height.
+    let mut height: Vec<Option<usize>> = vec![None; method.code.len()];
+    let mut worklist = vec![(0usize, 0usize)];
+    while let Some((bci, h)) = worklist.pop() {
+        match height[bci] {
+            Some(existing) => {
+                if existing != h {
+                    return Err(err(
+                        id,
+                        bci,
+                        format!("inconsistent stack height at join: {existing} vs {h}"),
+                    ));
+                }
+                continue;
+            }
+            None => height[bci] = Some(h),
+        }
+        let insn = method.code[bci];
+        let (pops, pushes) = stack_effect(program, insn);
+        if h < pops {
+            return Err(err(id, bci, format!("stack underflow: height {h}, pops {pops}")));
+        }
+        let out = h - pops + pushes;
+        if insn.is_terminator() {
+            continue;
+        }
+        if let Some(t) = insn.branch_target() {
+            worklist.push((t as usize, out));
+        }
+        if insn.falls_through() {
+            worklist.push((bci + 1, out));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies every method of the program, plus the class hierarchy.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
+    program.check_hierarchy().map_err(|e| VerifyError {
+        method: MethodId(0),
+        bci: 0,
+        reason: e.to_string(),
+    })?;
+    for i in 0..program.methods.len() {
+        verify_method(program, MethodId::from_index(i))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, MethodBuilder, ProgramBuilder, ValueKind};
+
+    fn single(method: crate::Method) -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_method(method);
+        (pb.build().unwrap(), id)
+    }
+
+    #[test]
+    fn accepts_simple_method() {
+        let mut mb = MethodBuilder::new_static("f", 2, true);
+        mb.load(0);
+        mb.load(1);
+        mb.add();
+        mb.return_value();
+        let (p, id) = single(mb.build().unwrap());
+        verify_method(&p, id).unwrap();
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let (p, id) = single(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 0,
+            returns_value: false,
+            is_static: true,
+            is_synchronized: false,
+            max_locals: 0,
+            code: vec![Insn::Pop, Insn::Return],
+        });
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("underflow"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_join_heights() {
+        // if-branch pushes an extra value on one path.
+        let (p, id) = single(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 1,
+            returns_value: true,
+            is_static: true,
+            is_synchronized: false,
+            max_locals: 1,
+            code: vec![
+                Insn::Load(0),
+                Insn::Const(0),
+                Insn::IfCmp(CmpOp::Eq, 4),
+                Insn::Const(1), // fallthrough pushes 1 extra
+                Insn::Const(2), // join: height 0 vs 1
+                Insn::ReturnValue,
+            ],
+        });
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("inconsistent"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_branch() {
+        let (p, id) = single(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 0,
+            returns_value: false,
+            is_static: true,
+            is_synchronized: false,
+            max_locals: 0,
+            code: vec![Insn::Goto(99)],
+        });
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_local_out_of_range() {
+        let (p, id) = single(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 0,
+            returns_value: false,
+            is_static: true,
+            is_synchronized: false,
+            max_locals: 1,
+            code: vec![Insn::Load(3), Insn::Pop, Insn::Return],
+        });
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("local"), "{e}");
+    }
+
+    #[test]
+    fn rejects_synchronized_static() {
+        let (p, id) = single(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 0,
+            returns_value: false,
+            is_static: true,
+            is_synchronized: true,
+            max_locals: 0,
+            code: vec![Insn::Return],
+        });
+        assert!(verify_method(&p, id).is_err());
+    }
+
+    #[test]
+    fn rejects_fallthrough_off_end() {
+        let (p, id) = single(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 0,
+            returns_value: false,
+            is_static: true,
+            is_synchronized: false,
+            max_locals: 0,
+            code: vec![Insn::Const(1), Insn::Pop],
+        });
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("falls off"), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_return_kind() {
+        let (p, id) = single(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 0,
+            returns_value: false,
+            is_static: true,
+            is_synchronized: false,
+            max_locals: 0,
+            code: vec![Insn::Const(1), Insn::ReturnValue],
+        });
+        assert!(verify_method(&p, id).is_err());
+    }
+
+    #[test]
+    fn verifies_whole_program_with_calls() {
+        let mut pb = ProgramBuilder::new();
+        let mut callee = MethodBuilder::new_static("g", 2, true);
+        callee.load(0);
+        callee.load(1);
+        callee.add();
+        callee.return_value();
+        let g = pb.add_method(callee.build().unwrap());
+        let mut caller = MethodBuilder::new_static("f", 0, true);
+        caller.const_(1);
+        caller.const_(2);
+        caller.invoke_static(g);
+        caller.return_value();
+        pb.add_method(caller.build().unwrap());
+        let p = pb.build().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_invokestatic_of_virtual() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let mut v = MethodBuilder::new_virtual("m", c, 1, false);
+        v.return_();
+        let vm = pb.add_method(v.build().unwrap());
+        let mut caller = MethodBuilder::new_static("f", 0, false);
+        caller.const_null();
+        caller.invoke_static(vm);
+        caller.return_();
+        let fid = pb.add_method(caller.build().unwrap());
+        let p = pb.build().unwrap();
+        assert!(verify_method(&p, fid).is_err());
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let mut mb = MethodBuilder::new_static("f", 1, true);
+        mb.load(0);
+        mb.get_field(crate::FieldId(9));
+        mb.return_value();
+        let id = pb.add_method(mb.build().unwrap());
+        // one real field so the arena is non-empty but small
+        let c = pb.add_class("C", None);
+        pb.add_field(c, "x", ValueKind::Int);
+        let p = pb.build().unwrap();
+        assert!(verify_method(&p, id).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the bytecode substrate: assembler/disassembler
+//! round-trips and verifier guarantees over randomly built programs.
+
+use pea_bytecode::asm::parse_program;
+use pea_bytecode::disasm::disassemble;
+use pea_bytecode::{CmpOp, MethodBuilder, ProgramBuilder, ValueKind};
+use proptest::prelude::*;
+
+/// A random but always-valid method body: straight-line arithmetic over
+/// two int parameters with optional diamonds and bounded loops, built via
+/// the label-checked `MethodBuilder`.
+#[derive(Clone, Debug)]
+enum Piece {
+    PushConst(i16),
+    PushParam(bool),
+    Arith(u8),
+    Diamond(CmpOp),
+    BoundedLoop(u8),
+}
+
+fn piece() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        any::<i16>().prop_map(Piece::PushConst),
+        any::<bool>().prop_map(Piece::PushParam),
+        (0u8..5).prop_map(Piece::Arith),
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge)
+        ]
+        .prop_map(Piece::Diamond),
+        (1u8..5).prop_map(Piece::BoundedLoop),
+    ]
+}
+
+/// Lowers pieces into a method keeping an accumulator in local 2.
+fn lower(pieces: &[Piece]) -> pea_bytecode::Method {
+    let mut mb = MethodBuilder::new_static("f", 2, true);
+    mb.locals(8);
+    mb.const_(1);
+    mb.store(2); // accumulator
+    let mut next_local = 3u16;
+    for p in pieces {
+        match p {
+            Piece::PushConst(c) => {
+                mb.load(2);
+                mb.const_(i64::from(*c));
+                mb.add();
+                mb.store(2);
+            }
+            Piece::PushParam(which) => {
+                mb.load(2);
+                mb.load(u16::from(*which));
+                mb.add();
+                mb.store(2);
+            }
+            Piece::Arith(op) => {
+                mb.load(2);
+                mb.load(0);
+                match op % 5 {
+                    0 => mb.add(),
+                    1 => mb.sub(),
+                    2 => mb.mul(),
+                    3 => {
+                        // Safe division: acc / (|p0| + 1) via masking.
+                        mb.pop();
+                        mb.load(0);
+                        mb.const_(255);
+                        mb.emit(pea_bytecode::Insn::And);
+                        mb.const_(1);
+                        mb.add();
+                        mb.div()
+                    }
+                    _ => mb.emit(pea_bytecode::Insn::Xor),
+                };
+                mb.store(2);
+            }
+            Piece::Diamond(op) => {
+                let lt = mb.new_label();
+                let lend = mb.new_label();
+                mb.load(0);
+                mb.load(1);
+                mb.if_cmp(*op, lt);
+                mb.load(2);
+                mb.const_(3);
+                mb.mul();
+                mb.store(2);
+                mb.goto(lend);
+                mb.bind(lt);
+                mb.load(2);
+                mb.const_(7);
+                mb.add();
+                mb.store(2);
+                mb.bind(lend);
+            }
+            Piece::BoundedLoop(n) => {
+                let counter = next_local;
+                next_local += 1;
+                mb.locals(counter + 1);
+                mb.const_(0);
+                mb.store(counter);
+                let head = mb.new_label();
+                let done = mb.new_label();
+                mb.bind(head);
+                mb.load(counter);
+                mb.const_(i64::from(*n));
+                mb.if_cmp(CmpOp::Ge, done);
+                mb.load(2);
+                mb.const_(1);
+                mb.add();
+                mb.store(2);
+                mb.load(counter);
+                mb.const_(1);
+                mb.add();
+                mb.store(counter);
+                mb.goto(head);
+                mb.bind(done);
+            }
+        }
+    }
+    mb.load(2);
+    mb.return_value();
+    mb.build().expect("generated method builds")
+}
+
+fn program_of(pieces: &[Piece]) -> pea_bytecode::Program {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("C", None);
+    pb.add_field(c, "x", ValueKind::Int);
+    pb.add_static("s", ValueKind::Int);
+    pb.add_method(lower(pieces));
+    pb.build().expect("program builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_methods_always_verify(pieces in prop::collection::vec(piece(), 0..12)) {
+        let program = program_of(&pieces);
+        pea_bytecode::verify_program(&program)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn disassembly_round_trips(pieces in prop::collection::vec(piece(), 0..12)) {
+        let p1 = program_of(&pieces);
+        let text = disassemble(&p1);
+        let p2 = parse_program(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(p1.methods.len(), p2.methods.len());
+        for (a, b) in p1.methods.iter().zip(&p2.methods) {
+            prop_assert_eq!(&a.code, &b.code, "instruction streams differ\n{}", text);
+        }
+        // Printing again is a fixpoint.
+        prop_assert_eq!(text, disassemble(&p2));
+    }
+
+    #[test]
+    fn verifier_rejects_corrupted_branch_targets(
+        pieces in prop::collection::vec(piece(), 1..8),
+        extra in 1u32..1000,
+    ) {
+        let mut program = program_of(&pieces);
+        // Corrupt the first branch, if any, to point far out of range.
+        let code = &mut program.methods[0].code;
+        let mut corrupted = false;
+        let len = code.len() as u32;
+        for insn in code.iter_mut() {
+            use pea_bytecode::Insn;
+            let bad = len + extra;
+            *insn = match *insn {
+                Insn::Goto(_) => { corrupted = true; Insn::Goto(bad) }
+                Insn::IfCmp(op, _) => { corrupted = true; Insn::IfCmp(op, bad) }
+                other => other,
+            };
+            if corrupted {
+                break;
+            }
+        }
+        if corrupted {
+            prop_assert!(pea_bytecode::verify_program(&program).is_err());
+        }
+    }
+}

@@ -1,0 +1,1359 @@
+//! Bytecode → Graal-IR-style graph construction, with method inlining,
+//! frame-state bookkeeping and profile-guided speculation.
+//!
+//! The builder abstract-interprets the bytecode per basic block, mapping
+//! locals and operand-stack slots to SSA value nodes. Control-flow joins
+//! become `Merge` nodes with phis; loop headers become `LoopBegin` nodes
+//! with eagerly created phis for every slot (redundant ones are cleaned by
+//! canonicalization). Frame states are captured after every side effect
+//! and at every merge, exactly as §2 of the paper describes, and inlined
+//! callees chain their states to the caller's state at the call site.
+
+use pea_bytecode::{CmpOp, Insn, MethodId, Program};
+use pea_ir::{ArithOp, DeoptReason, FrameStateData, Graph, NodeId, NodeKind};
+use pea_runtime::profile::ProfileStore;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Why a method cannot be compiled (the VM falls back to interpretation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bailout {
+    /// The bytecode control flow is irreducible.
+    Irreducible,
+    /// `monitorexit` does not match the innermost tracked lock, or lock
+    /// stacks disagree at a control-flow merge.
+    UnstructuredLocking,
+    /// The graph exceeded the node budget.
+    TooLarge,
+    /// Anything else.
+    Unsupported(String),
+}
+
+impl fmt::Display for Bailout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bailout::Irreducible => f.write_str("irreducible control flow"),
+            Bailout::UnstructuredLocking => f.write_str("unstructured locking"),
+            Bailout::TooLarge => f.write_str("graph too large"),
+            Bailout::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl Error for Bailout {}
+
+/// Graph-construction options.
+#[derive(Clone, Debug)]
+pub struct BuildOptions {
+    /// Replace never-taken branches with deoptimizing guards.
+    pub speculate_branches: bool,
+    /// Minimum branch executions before a zero count is trusted.
+    pub branch_threshold: u64,
+    /// Inline eligible callees during parsing.
+    pub inline: bool,
+    /// Maximum inline nesting depth.
+    pub inline_max_depth: usize,
+    /// Maximum callee bytecode length considered for inlining.
+    pub inline_max_callee_code: usize,
+    /// Minimum observed dispatches before devirtualizing a monomorphic
+    /// virtual call with a type guard.
+    pub devirtualize_threshold: u64,
+    /// Node budget; exceeding it bails out.
+    pub max_graph_nodes: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            speculate_branches: true,
+            branch_threshold: 20,
+            inline: true,
+            inline_max_depth: 4,
+            inline_max_callee_code: 64,
+            devirtualize_threshold: 20,
+            max_graph_nodes: 20_000,
+        }
+    }
+}
+
+/// One tracked monitor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct LockEntry {
+    object: NodeId,
+    from_sync: bool,
+}
+
+/// The abstract frame during parsing.
+#[derive(Clone, Debug)]
+struct FlowState {
+    locals: Vec<NodeId>,
+    stack: Vec<NodeId>,
+    locks: Vec<LockEntry>,
+    /// Frame state guards/deopts refer to (last side effect or merge).
+    deopt_state: NodeId,
+}
+
+/// Bytecode-level basic block.
+#[derive(Clone, Debug)]
+struct BcBlock {
+    start: u32,
+    /// Index of the final instruction (inclusive).
+    last: u32,
+    succs: Vec<u32>,
+}
+
+/// Per-method bytecode CFG.
+struct BcCfg {
+    blocks: BTreeMap<u32, BcBlock>,
+    headers: HashSet<u32>,
+    rpo: Vec<u32>,
+}
+
+/// Checks reducibility: every DFS back edge must target a block that
+/// dominates its source (a natural loop). Irreducible regions (a cycle
+/// entered other than through its header) cannot be expressed with
+/// `LoopBegin`/`LoopEnd` and force an interpreter fallback — the same
+/// policy as structured-IR JITs.
+fn check_reducible(cfg: &BcCfg) -> Result<(), Bailout> {
+    // Iterative dominators over the bytecode CFG (blocks keyed by leader).
+    let rpo = &cfg.rpo;
+    let pos: HashMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut preds: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (&b, block) in &cfg.blocks {
+        for &s in &block.succs {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    let mut idom: HashMap<u32, u32> = HashMap::new();
+    idom.insert(rpo[0], rpo[0]);
+    let intersect = |idom: &HashMap<u32, u32>, mut a: u32, mut b: u32| -> u32 {
+        while a != b {
+            while pos[&a] > pos[&b] {
+                a = idom[&a];
+            }
+            while pos[&b] > pos[&a] {
+                b = idom[&b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new: Option<u32> = None;
+            for &p in preds.get(&b).into_iter().flatten() {
+                if !idom.contains_key(&p) || !pos.contains_key(&p) {
+                    continue;
+                }
+                new = Some(match new {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(n) = new {
+                if idom.get(&b) != Some(&n) {
+                    idom.insert(b, n);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let dominates = |a: u32, mut b: u32| -> bool {
+        loop {
+            if a == b {
+                return true;
+            }
+            match idom.get(&b) {
+                Some(&i) if i != b => b = i,
+                _ => return false,
+            }
+        }
+    };
+    for (&b, block) in &cfg.blocks {
+        if !pos.contains_key(&b) {
+            continue; // unreachable
+        }
+        for &s in &block.succs {
+            if cfg.headers.contains(&s) && pos[&s] <= pos[&b] && !dominates(s, b) {
+                return Err(Bailout::Irreducible);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn analyze_bytecode(code: &[Insn]) -> BcCfg {
+    let mut leaders: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    leaders.insert(0);
+    for (i, insn) in code.iter().enumerate() {
+        if let Some(t) = insn.branch_target() {
+            leaders.insert(t);
+            leaders.insert(i as u32 + 1);
+        }
+        if insn.is_terminator() && i + 1 < code.len() {
+            leaders.insert(i as u32 + 1);
+        }
+    }
+    let leader_list: Vec<u32> = leaders.iter().copied().filter(|&l| (l as usize) < code.len()).collect();
+    let mut blocks = BTreeMap::new();
+    for (k, &start) in leader_list.iter().enumerate() {
+        let next_leader = leader_list.get(k + 1).copied().unwrap_or(code.len() as u32);
+        // The block ends at the first branch/terminator, or just before
+        // the next leader.
+        let mut last = start;
+        for i in start..next_leader {
+            last = i;
+            let insn = code[i as usize];
+            if insn.branch_target().is_some() || insn.is_terminator() {
+                break;
+            }
+        }
+        let insn = code[last as usize];
+        let mut succs = Vec::new();
+        if !insn.is_terminator() {
+            match insn {
+                Insn::Goto(t) => succs.push(t),
+                _ => {
+                    if let Some(t) = insn.branch_target() {
+                        succs.push(t);
+                    }
+                    succs.push(last + 1);
+                }
+            }
+        }
+        blocks.insert(start, BcBlock { start, last, succs });
+    }
+
+    // DFS for RPO and back-edge (loop header) discovery.
+    let mut headers = HashSet::new();
+    let mut color: HashMap<u32, u8> = HashMap::new(); // 1 = on stack, 2 = done
+    let mut rpo_rev = Vec::new();
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    color.insert(0, 1);
+    while let Some((b, child)) = stack.last_mut() {
+        let block = &blocks[b];
+        if *child < block.succs.len() {
+            let s = block.succs[*child];
+            *child += 1;
+            match color.get(&s).copied().unwrap_or(0) {
+                0 => {
+                    color.insert(s, 1);
+                    stack.push((s, 0));
+                }
+                1 => {
+                    headers.insert(s);
+                }
+                _ => {}
+            }
+        } else {
+            color.insert(*b, 2);
+            rpo_rev.push(*b);
+            stack.pop();
+        }
+    }
+    rpo_rev.reverse();
+    BcCfg {
+        blocks,
+        headers,
+        rpo: rpo_rev,
+    }
+}
+
+struct LoopCtx {
+    loop_begin: NodeId,
+    /// One phi per local slot then per stack slot.
+    phis: Vec<NodeId>,
+    template: FlowState,
+}
+
+/// Per-bci live-local sets (backward dataflow: `Load` uses, `Store`
+/// defines). HotSpot's interpreter frames clear dead locals and Graal's
+/// frame states inherit that; we reproduce it so that values (and in
+/// particular allocations) dead across a loop back edge or merge are not
+/// artificially kept alive by frame states.
+fn local_liveness(code: &[Insn], max_locals: u16) -> Vec<Vec<bool>> {
+    let n = code.len();
+    let mut live: Vec<Vec<bool>> = vec![vec![false; max_locals as usize]; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let insn = code[i];
+            let mut out = vec![false; max_locals as usize];
+            if let Some(t) = insn.branch_target() {
+                for (k, &b) in live[t as usize].iter().enumerate() {
+                    out[k] = out[k] || b;
+                }
+            }
+            if insn.falls_through() && i + 1 < n {
+                for (k, &b) in live[i + 1].iter().enumerate() {
+                    out[k] = out[k] || b;
+                }
+            }
+            match insn {
+                Insn::Load(k) => out[k as usize] = true,
+                Insn::Store(k) => out[k as usize] = false,
+                _ => {}
+            }
+            if out != live[i] {
+                live[i] = out;
+                changed = true;
+            }
+        }
+    }
+    live
+}
+
+/// Per-(possibly inlined) method parsing context.
+struct MethodCtx {
+    method: MethodId,
+    depth: usize,
+    cfg: BcCfg,
+    incoming: HashMap<u32, Vec<(NodeId, FlowState)>>,
+    loops: HashMap<u32, LoopCtx>,
+    processed: HashSet<u32>,
+    /// (attach point, return value) per reachable return.
+    exits: Vec<(NodeId, Option<NodeId>)>,
+}
+
+/// The graph builder.
+pub struct GraphBuilder<'a> {
+    program: &'a Program,
+    profiles: Option<&'a ProfileStore>,
+    options: &'a BuildOptions,
+    graph: Graph,
+    inline_stack: Vec<MethodId>,
+    /// Frame state of the innermost enclosing caller while building an
+    /// inlined callee (becomes the `outer` of the callee's frame states).
+    current_outer: Option<NodeId>,
+    /// Per-method local-liveness tables (lazily computed).
+    liveness: HashMap<MethodId, Vec<Vec<bool>>>,
+}
+
+/// Builds the IR graph of `method`, inlining per `options` and speculating
+/// from `profiles`.
+///
+/// # Errors
+///
+/// Returns a [`Bailout`] when the method cannot be represented (the VM
+/// then keeps interpreting it).
+pub fn build_graph(
+    program: &Program,
+    method: MethodId,
+    profiles: Option<&ProfileStore>,
+    options: &BuildOptions,
+) -> Result<Graph, Bailout> {
+    let mut builder = GraphBuilder {
+        program,
+        profiles,
+        options,
+        graph: Graph::new(),
+        inline_stack: vec![method],
+        current_outer: None,
+        liveness: HashMap::new(),
+    };
+    let m = program.method(method);
+    let mut args = Vec::new();
+    for i in 0..m.param_count {
+        args.push(builder.graph.add(NodeKind::Param { index: i }, vec![]));
+    }
+    let start = builder.graph.start;
+    let exits = builder.build_method(method, args, None, 0, start)?;
+    for (attach, value) in exits {
+        let ret = builder.graph.add(
+            NodeKind::Return,
+            match value {
+                Some(v) => vec![v],
+                None => vec![],
+            },
+        );
+        builder.graph.set_next(attach, ret);
+    }
+    builder.demote_empty_loops();
+    Ok(builder.graph)
+}
+
+impl<'a> GraphBuilder<'a> {
+    fn check_budget(&self) -> Result<(), Bailout> {
+        if self.graph.len() > self.options.max_graph_nodes {
+            return Err(Bailout::TooLarge);
+        }
+        Ok(())
+    }
+
+    fn make_state(&mut self, method: MethodId, bci: u32, st: &FlowState) -> NodeId {
+        self.make_state_with(method, bci, &st.locals, &st.stack, &st.locks)
+    }
+
+    fn make_state_with(
+        &mut self,
+        method: MethodId,
+        bci: u32,
+        locals: &[NodeId],
+        stack: &[NodeId],
+        locks: &[LockEntry],
+    ) -> NodeId {
+        let outer = self.current_outer;
+        // Dead locals are cleared (stored as null), as in HotSpot frames:
+        // this keeps dead values — especially allocations — from being
+        // pinned by deoptimization metadata.
+        if !self.liveness.contains_key(&method) {
+            let m = self.program.method(method);
+            let table = local_liveness(&m.code, m.max_locals);
+            self.liveness.insert(method, table);
+        }
+        let live_here = self.liveness[&method].get(bci as usize).cloned();
+        let mut inputs: Vec<NodeId> = locals.to_vec();
+        if let Some(live_here) = live_here {
+            let null = self.graph.const_null();
+            for (slot, v) in inputs.iter_mut().enumerate() {
+                if !live_here.get(slot).copied().unwrap_or(false) {
+                    *v = null;
+                }
+            }
+        }
+        inputs.extend_from_slice(stack);
+        inputs.extend(locks.iter().map(|l| l.object));
+        if let Some(o) = outer {
+            inputs.push(o);
+        }
+        let mut data = FrameStateData::new(
+            method,
+            bci,
+            locals.len() as u32,
+            stack.len() as u32,
+            locks.len() as u32,
+            outer.is_some(),
+        );
+        data.lock_from_sync = locks.iter().map(|l| l.from_sync).collect();
+        self.graph.add_frame_state(data, inputs)
+    }
+
+    /// Parses `method` into the graph starting at `attach`; returns the
+    /// open exit edges (attach point + return value).
+    fn build_method(
+        &mut self,
+        method: MethodId,
+        args: Vec<NodeId>,
+        outer_state: Option<NodeId>,
+        depth: usize,
+        attach: NodeId,
+    ) -> Result<Vec<(NodeId, Option<NodeId>)>, Bailout> {
+        let m = self.program.method(method).clone();
+        let cfg = analyze_bytecode(&m.code);
+        check_reducible(&cfg)?;
+        let mut ctx = MethodCtx {
+            method,
+            depth,
+            cfg,
+            incoming: HashMap::new(),
+            loops: HashMap::new(),
+            processed: HashSet::new(),
+            exits: Vec::new(),
+        };
+
+        // Entry state: parameters in the first locals.
+        let mut locals = args.clone();
+        let null = self.graph.const_null();
+        locals.resize(m.max_locals as usize, null);
+        let saved_outer = self.current_outer;
+        self.current_outer = outer_state;
+        let entry_fs = self.make_state_with(method, 0, &locals, &[], &[]);
+        let mut state = FlowState {
+            locals,
+            stack: Vec::new(),
+            locks: Vec::new(),
+            deopt_state: entry_fs,
+        };
+
+        let mut tail = attach;
+        if m.is_synchronized {
+            let recv = state.locals[0];
+            let me = self.graph.add(NodeKind::MonitorEnter, vec![recv]);
+            self.graph.set_next(tail, me);
+            tail = me;
+            state.locks.push(LockEntry {
+                object: recv,
+                from_sync: true,
+            });
+            let fs = self.make_state(method, 0, &state);
+            self.graph.set_state_after(me, Some(fs));
+            state.deopt_state = fs;
+        }
+        ctx.incoming.entry(0).or_default().push((tail, state));
+
+        let rpo = ctx.cfg.rpo.clone();
+        for leader in rpo {
+            self.check_budget()?;
+            self.process_bc_block(&mut ctx, leader)?;
+        }
+        self.current_outer = saved_outer;
+        Ok(ctx.exits)
+    }
+
+    fn process_bc_block(&mut self, ctx: &mut MethodCtx, leader: u32) -> Result<(), Bailout> {
+        let edges = ctx.incoming.remove(&leader).unwrap_or_default();
+        if edges.is_empty() {
+            return Ok(()); // unreachable (e.g. a speculated-away branch)
+        }
+        ctx.processed.insert(leader);
+        let is_header = ctx.cfg.headers.contains(&leader);
+        let (mut tail, mut state) = if is_header {
+            self.enter_loop_header(ctx, leader, edges)?
+        } else if edges.len() == 1 {
+            let (t, s) = edges.into_iter().next().unwrap();
+            (t, s)
+        } else {
+            self.merge_edges(ctx, leader, edges)?
+        };
+
+        let block = ctx.cfg.blocks[&leader].clone();
+        let mut bci = block.start;
+        loop {
+            self.check_budget()?;
+            let insn = self.program.method(ctx.method).code[bci as usize];
+            let done = self.interpret_insn(ctx, insn, bci, &mut tail, &mut state)?;
+            if done || bci == block.last {
+                break;
+            }
+            bci += 1;
+        }
+        // Fall-through edge (block ended without a branch/terminator).
+        let last_insn = self.program.method(ctx.method).code[block.last as usize];
+        if !last_insn.is_terminator() && last_insn.branch_target().is_none() {
+            self.emit_edge(ctx, block.last + 1, tail, state)?;
+        }
+        Ok(())
+    }
+
+    fn merge_edges(
+        &mut self,
+        ctx: &mut MethodCtx,
+        leader: u32,
+        edges: Vec<(NodeId, FlowState)>,
+    ) -> Result<(NodeId, FlowState), Bailout> {
+        // Lock stacks must agree structurally.
+        for (_, s) in &edges {
+            if s.locks != edges[0].1.locks {
+                return Err(Bailout::UnstructuredLocking);
+            }
+        }
+        let mut ends = Vec::new();
+        for (attach, _) in &edges {
+            let end = self.graph.add(NodeKind::End, vec![]);
+            self.graph.set_next(*attach, end);
+            ends.push(end);
+        }
+        let merge = self.graph.add(NodeKind::Merge { ends }, vec![]);
+        let n_locals = edges[0].1.locals.len();
+        let n_stack = edges[0].1.stack.len();
+        debug_assert!(edges.iter().all(|(_, s)| s.stack.len() == n_stack));
+        let mut merged = edges[0].1.clone();
+        for slot in 0..n_locals + n_stack {
+            let get = |s: &FlowState| {
+                if slot < n_locals {
+                    s.locals[slot]
+                } else {
+                    s.stack[slot - n_locals]
+                }
+            };
+            let first = get(&edges[0].1);
+            if edges.iter().all(|(_, s)| get(s) == first) {
+                continue;
+            }
+            let inputs: Vec<NodeId> = edges.iter().map(|(_, s)| get(s)).collect();
+            let phi = self.graph.add(NodeKind::Phi { merge }, inputs);
+            if slot < n_locals {
+                merged.locals[slot] = phi;
+            } else {
+                merged.stack[slot - n_locals] = phi;
+            }
+        }
+        let fs = self.make_state(ctx.method, leader, &merged);
+        self.graph.set_state_after(merge, Some(fs));
+        merged.deopt_state = fs;
+        Ok((merge, merged))
+    }
+
+    fn enter_loop_header(
+        &mut self,
+        ctx: &mut MethodCtx,
+        leader: u32,
+        edges: Vec<(NodeId, FlowState)>,
+    ) -> Result<(NodeId, FlowState), Bailout> {
+        // Pre-merge multiple forward entries so the LoopBegin has exactly
+        // one forward end.
+        let (attach, entry_state) = if edges.len() == 1 {
+            let (t, s) = edges.into_iter().next().unwrap();
+            (t, s)
+        } else {
+            self.merge_edges(ctx, leader, edges)?
+        };
+        let end = self.graph.add(NodeKind::End, vec![]);
+        self.graph.set_next(attach, end);
+        let loop_begin = self.graph.add(NodeKind::LoopBegin { ends: vec![end] }, vec![]);
+        let mut template = entry_state.clone();
+        let mut phis = Vec::new();
+        for slot in 0..template.locals.len() + template.stack.len() {
+            let n_locals = template.locals.len();
+            let value = if slot < n_locals {
+                template.locals[slot]
+            } else {
+                template.stack[slot - n_locals]
+            };
+            let phi = self.graph.add(NodeKind::Phi { merge: loop_begin }, vec![value]);
+            phis.push(phi);
+            if slot < n_locals {
+                template.locals[slot] = phi;
+            } else {
+                template.stack[slot - n_locals] = phi;
+            }
+        }
+        let fs = self.make_state(ctx.method, leader, &template);
+        self.graph.set_state_after(loop_begin, Some(fs));
+        template.deopt_state = fs;
+        ctx.loops.insert(
+            leader,
+            LoopCtx {
+                loop_begin,
+                phis,
+                template: template.clone(),
+            },
+        );
+        Ok((loop_begin, template))
+    }
+
+    fn emit_edge(
+        &mut self,
+        ctx: &mut MethodCtx,
+        target: u32,
+        attach: NodeId,
+        state: FlowState,
+    ) -> Result<(), Bailout> {
+        if let Some(loop_ctx) = ctx.loops.get(&target) {
+            // Back edge.
+            if state.locks != loop_ctx.template.locks {
+                return Err(Bailout::UnstructuredLocking);
+            }
+            let loop_begin = loop_ctx.loop_begin;
+            let phis = loop_ctx.phis.clone();
+            let n_locals = state.locals.len();
+            let le = self.graph.add(NodeKind::LoopEnd, vec![]);
+            self.graph.set_next(attach, le);
+            self.graph.add_merge_end(loop_begin, le);
+            for (slot, phi) in phis.iter().enumerate() {
+                let value = if slot < n_locals {
+                    state.locals[slot]
+                } else {
+                    state.stack[slot - n_locals]
+                };
+                self.graph.push_input(*phi, value);
+            }
+            return Ok(());
+        }
+        if ctx.processed.contains(&target) {
+            return Err(Bailout::Irreducible);
+        }
+        ctx.incoming.entry(target).or_default().push((attach, state));
+        Ok(())
+    }
+
+    fn append(&mut self, tail: &mut NodeId, node: NodeId) {
+        self.graph.set_next(*tail, node);
+        *tail = node;
+    }
+
+    fn branch_profile(&self, method: MethodId, bci: u32) -> Option<(u64, u64)> {
+        self.profiles
+            .and_then(|p| p.branch(method, bci))
+            .map(|b| (b.taken, b.not_taken))
+    }
+
+    /// Translates one conditional branch: emits either a speculation guard
+    /// (when the profile says one side never happens) or an `If`.
+    fn branch(
+        &mut self,
+        ctx: &mut MethodCtx,
+        cond: NodeId,
+        taken: u32,
+        fall: u32,
+        bci: u32,
+        tail: &mut NodeId,
+        state: &mut FlowState,
+    ) -> Result<(), Bailout> {
+        if self.options.speculate_branches {
+            if let Some((t, nt)) = self.branch_profile(ctx.method, bci) {
+                let total = t + nt;
+                if total >= self.options.branch_threshold {
+                    if t == 0 {
+                        // Deopt if the condition is true.
+                        let guard = self.graph.add(
+                            NodeKind::Guard {
+                                reason: DeoptReason::UntakenBranch,
+                                negated: true,
+                            },
+                            vec![cond],
+                        );
+                        self.graph.set_state_after(guard, Some(state.deopt_state));
+                        self.append(tail, guard);
+                        return self.emit_edge(ctx, fall, *tail, state.clone());
+                    }
+                    if nt == 0 {
+                        let guard = self.graph.add(
+                            NodeKind::Guard {
+                                reason: DeoptReason::UntakenBranch,
+                                negated: false,
+                            },
+                            vec![cond],
+                        );
+                        self.graph.set_state_after(guard, Some(state.deopt_state));
+                        self.append(tail, guard);
+                        return self.emit_edge(ctx, taken, *tail, state.clone());
+                    }
+                }
+            }
+        }
+        let iff = self.graph.add(NodeKind::If, vec![cond]);
+        self.graph.set_next(*tail, iff);
+        let bt = self.graph.add(NodeKind::Begin, vec![]);
+        let bf = self.graph.add(NodeKind::Begin, vec![]);
+        self.graph.set_if_targets(iff, bt, bf);
+        self.emit_edge(ctx, taken, bt, state.clone())?;
+        self.emit_edge(ctx, fall, bf, state.clone())?;
+        Ok(())
+    }
+
+    /// Interprets one instruction. Returns `true` when the block's control
+    /// flow is complete (branch, return, throw).
+    #[allow(clippy::too_many_lines)]
+    fn interpret_insn(
+        &mut self,
+        ctx: &mut MethodCtx,
+        insn: Insn,
+        bci: u32,
+        tail: &mut NodeId,
+        state: &mut FlowState,
+    ) -> Result<bool, Bailout> {
+        let g = &mut self.graph;
+        match insn {
+            Insn::Const(v) => {
+                let c = g.const_int(v);
+                state.stack.push(c);
+            }
+            Insn::ConstNull => {
+                let c = g.const_null();
+                state.stack.push(c);
+            }
+            Insn::Load(n) => state.stack.push(state.locals[n as usize]),
+            Insn::Store(n) => {
+                let v = state.stack.pop().expect("verified stack");
+                state.locals[n as usize] = v;
+            }
+            Insn::Add | Insn::Sub | Insn::Mul | Insn::And | Insn::Or | Insn::Xor | Insn::Shl
+            | Insn::Shr => {
+                let b = state.stack.pop().expect("stack");
+                let a = state.stack.pop().expect("stack");
+                let op = match insn {
+                    Insn::Add => ArithOp::Add,
+                    Insn::Sub => ArithOp::Sub,
+                    Insn::Mul => ArithOp::Mul,
+                    Insn::And => ArithOp::And,
+                    Insn::Or => ArithOp::Or,
+                    Insn::Xor => ArithOp::Xor,
+                    Insn::Shl => ArithOp::Shl,
+                    _ => ArithOp::Shr,
+                };
+                let r = g.add(NodeKind::Arith { op }, vec![a, b]);
+                state.stack.push(r);
+            }
+            Insn::Div | Insn::Rem => {
+                let b = state.stack.pop().expect("stack");
+                let a = state.stack.pop().expect("stack");
+                let op = if insn == Insn::Div {
+                    ArithOp::Div
+                } else {
+                    ArithOp::Rem
+                };
+                let r = g.add(NodeKind::FixedArith { op }, vec![a, b]);
+                self.append(tail, r);
+                state.stack.push(r);
+            }
+            Insn::Neg => {
+                let a = state.stack.pop().expect("stack");
+                let r = g.add(NodeKind::Arith { op: ArithOp::Neg }, vec![a]);
+                state.stack.push(r);
+            }
+            Insn::Pop => {
+                state.stack.pop().expect("stack");
+            }
+            Insn::Dup => {
+                let v = *state.stack.last().expect("stack");
+                state.stack.push(v);
+            }
+            Insn::Swap => {
+                let len = state.stack.len();
+                state.stack.swap(len - 1, len - 2);
+            }
+            Insn::Goto(t) => {
+                let s = state.clone();
+                let at = *tail;
+                self.emit_edge(ctx, t, at, s)?;
+                return Ok(true);
+            }
+            Insn::IfCmp(op, t) => {
+                let b = state.stack.pop().expect("stack");
+                let a = state.stack.pop().expect("stack");
+                let cond = self.graph.add(NodeKind::Compare { op }, vec![a, b]);
+                self.branch(ctx, cond, t, bci + 1, bci, tail, state)?;
+                return Ok(true);
+            }
+            Insn::IfNull(t) | Insn::IfNonNull(t) => {
+                let v = state.stack.pop().expect("stack");
+                let mut cond = self.graph.add(NodeKind::IsNull, vec![v]);
+                self.append(tail, cond);
+                if matches!(insn, Insn::IfNonNull(_)) {
+                    let zero = self.graph.const_int(0);
+                    cond = self
+                        .graph
+                        .add(NodeKind::Compare { op: CmpOp::Eq }, vec![cond, zero]);
+                }
+                self.branch(ctx, cond, t, bci + 1, bci, tail, state)?;
+                return Ok(true);
+            }
+            Insn::IfRefEq(t) | Insn::IfRefNe(t) => {
+                let b = state.stack.pop().expect("stack");
+                let a = state.stack.pop().expect("stack");
+                let mut cond = self.graph.add(NodeKind::RefEq, vec![a, b]);
+                self.append(tail, cond);
+                if matches!(insn, Insn::IfRefNe(_)) {
+                    let zero = self.graph.const_int(0);
+                    cond = self
+                        .graph
+                        .add(NodeKind::Compare { op: CmpOp::Eq }, vec![cond, zero]);
+                }
+                self.branch(ctx, cond, t, bci + 1, bci, tail, state)?;
+                return Ok(true);
+            }
+            Insn::New(class) => {
+                let n = self.graph.add(NodeKind::New { class }, vec![]);
+                self.append(tail, n);
+                state.stack.push(n);
+            }
+            Insn::NewArray(kind) => {
+                let len = state.stack.pop().expect("stack");
+                let n = self.graph.add(NodeKind::NewArray { kind }, vec![len]);
+                self.append(tail, n);
+                state.stack.push(n);
+            }
+            Insn::GetField(field) => {
+                let obj = state.stack.pop().expect("stack");
+                let n = self.graph.add(NodeKind::LoadField { field }, vec![obj]);
+                self.append(tail, n);
+                state.stack.push(n);
+            }
+            Insn::PutField(field) => {
+                let value = state.stack.pop().expect("stack");
+                let obj = state.stack.pop().expect("stack");
+                let n = self
+                    .graph
+                    .add(NodeKind::StoreField { field }, vec![obj, value]);
+                self.append(tail, n);
+                let fs = self.make_state(ctx.method, bci + 1, state);
+                self.graph.set_state_after(n, Some(fs));
+                state.deopt_state = fs;
+            }
+            Insn::GetStatic(id) => {
+                let n = self.graph.add(NodeKind::GetStatic { id }, vec![]);
+                self.append(tail, n);
+                state.stack.push(n);
+            }
+            Insn::PutStatic(id) => {
+                let value = state.stack.pop().expect("stack");
+                let n = self.graph.add(NodeKind::PutStatic { id }, vec![value]);
+                self.append(tail, n);
+                let fs = self.make_state(ctx.method, bci + 1, state);
+                self.graph.set_state_after(n, Some(fs));
+                state.deopt_state = fs;
+            }
+            Insn::ArrayLoad => {
+                let idx = state.stack.pop().expect("stack");
+                let arr = state.stack.pop().expect("stack");
+                let n = self.graph.add(NodeKind::LoadIndexed, vec![arr, idx]);
+                self.append(tail, n);
+                state.stack.push(n);
+            }
+            Insn::ArrayStore => {
+                let value = state.stack.pop().expect("stack");
+                let idx = state.stack.pop().expect("stack");
+                let arr = state.stack.pop().expect("stack");
+                let n = self
+                    .graph
+                    .add(NodeKind::StoreIndexed, vec![arr, idx, value]);
+                self.append(tail, n);
+                let fs = self.make_state(ctx.method, bci + 1, state);
+                self.graph.set_state_after(n, Some(fs));
+                state.deopt_state = fs;
+            }
+            Insn::ArrayLength => {
+                let arr = state.stack.pop().expect("stack");
+                let n = self.graph.add(NodeKind::ArrayLen, vec![arr]);
+                self.append(tail, n);
+                state.stack.push(n);
+            }
+            Insn::InstanceOf(class) => {
+                let v = state.stack.pop().expect("stack");
+                let n = self
+                    .graph
+                    .add(NodeKind::InstanceOf { class, exact: false }, vec![v]);
+                self.append(tail, n);
+                state.stack.push(n);
+            }
+            Insn::CheckCast(class) => {
+                let v = state.stack.pop().expect("stack");
+                let n = self.graph.add(NodeKind::CheckCast { class }, vec![v]);
+                self.append(tail, n);
+                state.stack.push(n);
+            }
+            Insn::MonitorEnter => {
+                let obj = state.stack.pop().expect("stack");
+                let n = self.graph.add(NodeKind::MonitorEnter, vec![obj]);
+                self.append(tail, n);
+                state.locks.push(LockEntry {
+                    object: obj,
+                    from_sync: false,
+                });
+                let fs = self.make_state(ctx.method, bci + 1, state);
+                self.graph.set_state_after(n, Some(fs));
+                state.deopt_state = fs;
+            }
+            Insn::MonitorExit => {
+                let obj = state.stack.pop().expect("stack");
+                match state.locks.last() {
+                    Some(entry) if entry.object == obj && !entry.from_sync => {
+                        state.locks.pop();
+                    }
+                    _ => return Err(Bailout::UnstructuredLocking),
+                }
+                let n = self.graph.add(NodeKind::MonitorExit, vec![obj]);
+                self.append(tail, n);
+                let fs = self.make_state(ctx.method, bci + 1, state);
+                self.graph.set_state_after(n, Some(fs));
+                state.deopt_state = fs;
+            }
+            Insn::InvokeStatic(target) => {
+                self.do_invoke(ctx, target, false, bci, tail, state)?;
+            }
+            Insn::InvokeVirtual(target) => {
+                self.do_invoke(ctx, target, true, bci, tail, state)?;
+            }
+            Insn::Return | Insn::ReturnValue => {
+                let value = if insn == Insn::ReturnValue {
+                    Some(state.stack.pop().expect("stack"))
+                } else {
+                    None
+                };
+                // Release the synchronized-method monitor, if any.
+                if let Some(entry) = state.locks.last().cloned() {
+                    if entry.from_sync {
+                        state.locks.pop();
+                        let mx = self
+                            .graph
+                            .add(NodeKind::MonitorExit, vec![entry.object]);
+                        self.append(tail, mx);
+                        let mut st = state.clone();
+                        if let Some(v) = value {
+                            st.stack.push(v);
+                        }
+                        let fs = self.make_state(ctx.method, bci, &st);
+                        self.graph.set_state_after(mx, Some(fs));
+                        state.deopt_state = fs;
+                    }
+                }
+                if !state.locks.is_empty() {
+                    return Err(Bailout::UnstructuredLocking);
+                }
+                ctx.exits.push((*tail, value));
+                return Ok(true);
+            }
+            Insn::Throw => {
+                let code = state.stack.pop().expect("stack");
+                let t = self.graph.add(NodeKind::Throw, vec![code]);
+                self.graph.set_next(*tail, t);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Emits (or inlines) a call.
+    fn do_invoke(
+        &mut self,
+        ctx: &mut MethodCtx,
+        target: MethodId,
+        virtual_call: bool,
+        bci: u32,
+        tail: &mut NodeId,
+        state: &mut FlowState,
+    ) -> Result<(), Bailout> {
+        let callee_meta = self.program.method(target).clone();
+        let argc = callee_meta.param_count as usize;
+        let args: Vec<NodeId> = state.stack.split_off(state.stack.len() - argc);
+
+        // Resolve the inline target.
+        let mut resolved = target;
+        let mut needs_type_guard = None;
+        let mut devirtualized = !virtual_call;
+        if virtual_call {
+            let mono = self.profiles.and_then(|p| p.receiver(ctx.method, bci)).and_then(|r| {
+                (r.total() >= self.options.devirtualize_threshold)
+                    .then(|| r.monomorphic_class())
+                    .flatten()
+            });
+            match mono {
+                Some(class) => {
+                    resolved = self
+                        .program
+                        .resolve_virtual(class, target)
+                        .map_err(|e| Bailout::Unsupported(e.to_string()))?;
+                    needs_type_guard = Some(class);
+                    devirtualized = true;
+                }
+                None => {
+                    // Class-hierarchy fallback: if only one implementation
+                    // exists among all loaded classes, call it directly
+                    // (no guard needed in our closed world).
+                    let mut impls = HashSet::new();
+                    for c in 0..self.program.classes.len() {
+                        let cid = pea_bytecode::ClassId::from_index(c);
+                        if let Ok(m) = self.program.resolve_virtual(cid, target) {
+                            impls.insert(m);
+                        }
+                    }
+                    if impls.len() == 1 {
+                        // Dispatch can only reach this one implementation
+                        // in our closed world (class-hierarchy analysis).
+                        resolved = impls.into_iter().next().unwrap();
+                        devirtualized = true;
+                    }
+                }
+            }
+        }
+
+        let can_inline = self.options.inline
+            && ctx.depth < self.options.inline_max_depth
+            && devirtualized
+            && self.program.method(resolved).code.len() <= self.options.inline_max_callee_code
+            && !self.inline_stack.contains(&resolved);
+
+        if can_inline {
+            if virtual_call && needs_type_guard.is_none() {
+                // CHA devirtualization has no type guard; a null receiver
+                // must still raise, so guard on it (deopt → interpreter →
+                // NullPointer).
+                let recv = args[0];
+                let test = self.graph.add(NodeKind::IsNull, vec![recv]);
+                self.append(tail, test);
+                let guard = self.graph.add(
+                    NodeKind::Guard {
+                        reason: DeoptReason::NullCheck,
+                        negated: true,
+                    },
+                    vec![test],
+                );
+                self.graph.set_state_after(guard, Some(state.deopt_state));
+                self.append(tail, guard);
+            }
+            if let Some(class) = needs_type_guard {
+                let recv = args[0];
+                let test = self
+                    .graph
+                    .add(NodeKind::InstanceOf { class, exact: true }, vec![recv]);
+                self.append(tail, test);
+                let guard = self.graph.add(
+                    NodeKind::Guard {
+                        reason: DeoptReason::TypeCheck,
+                        negated: false,
+                    },
+                    vec![test],
+                );
+                self.graph.set_state_after(guard, Some(state.deopt_state));
+                self.append(tail, guard);
+            }
+            // Caller state at the call site (arguments already popped);
+            // the interpreter's resume pushes the return value and
+            // continues after the invoke.
+            let caller_state = self.make_state(ctx.method, bci, state);
+            self.inline_stack.push(resolved);
+            let exits =
+                self.build_method(resolved, args, Some(caller_state), ctx.depth + 1, *tail)?;
+            self.inline_stack.pop();
+            if exits.is_empty() {
+                // The callee never returns (always throws); compiling the
+                // continuation is pointless — bail and keep interpreting.
+                return Err(Bailout::Unsupported(
+                    "inlined callee never returns".into(),
+                ));
+            }
+            let (cont_tail, ret_val) = if exits.len() == 1 {
+                exits.into_iter().next().unwrap()
+            } else {
+                let returns_value = callee_meta.returns_value;
+                let mut ends = Vec::new();
+                let mut values = Vec::new();
+                for (attach, v) in &exits {
+                    let end = self.graph.add(NodeKind::End, vec![]);
+                    self.graph.set_next(*attach, end);
+                    ends.push(end);
+                    if returns_value {
+                        values.push(v.expect("value-returning callee"));
+                    }
+                }
+                let merge = self.graph.add(NodeKind::Merge { ends }, vec![]);
+                let v = if returns_value {
+                    if values.windows(2).all(|w| w[0] == w[1]) {
+                        Some(values[0])
+                    } else {
+                        Some(self.graph.add(NodeKind::Phi { merge }, values))
+                    }
+                } else {
+                    None
+                };
+                (merge, v)
+            };
+            *tail = cont_tail;
+            if let Some(v) = ret_val {
+                state.stack.push(v);
+            }
+            // Continuation state: resume after the invoke with the result
+            // on the stack.
+            let fs = self.make_state(ctx.method, bci + 1, state);
+            if matches!(self.graph.kind(*tail), NodeKind::Merge { .. }) {
+                self.graph.set_state_after(*tail, Some(fs));
+            }
+            state.deopt_state = fs;
+            return Ok(());
+        }
+
+        // Out-of-line call.
+        let invoke = self.graph.add(
+            NodeKind::Invoke {
+                target: resolved,
+                virtual_call: virtual_call && resolved == target,
+            },
+            args,
+        );
+        self.append(tail, invoke);
+        if callee_meta.returns_value {
+            state.stack.push(invoke);
+        }
+        let fs = self.make_state(ctx.method, bci + 1, state);
+        self.graph.set_state_after(invoke, Some(fs));
+        state.deopt_state = fs;
+        Ok(())
+    }
+
+    /// LoopBegins whose back edges were all speculated away degrade to
+    /// plain merges (a LoopBegin needs at least one back edge).
+    fn demote_empty_loops(&mut self) {
+        let loops: Vec<NodeId> = self
+            .graph
+            .live_nodes()
+            .filter(|&n| matches!(self.graph.kind(n), NodeKind::LoopBegin { .. }))
+            .collect();
+        for lb in loops {
+            let ends = self.graph.merge_ends(lb).to_vec();
+            if ends.len() == 1 {
+                *self.graph.kind_mut(lb) = NodeKind::Merge { ends };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::asm::parse_program;
+    use pea_ir::verify::verify;
+
+    fn build(src: &str, entry: &str) -> Graph {
+        let program = parse_program(src).unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        let method = program.static_method_by_name(entry).unwrap();
+        let g = build_graph(&program, method, None, &BuildOptions::default()).unwrap();
+        verify(&g).unwrap_or_else(|e| panic!("graph does not verify: {e}\n{}", pea_ir::dump::dump(&g)));
+        g
+    }
+
+    fn count(g: &Graph, pred: impl Fn(&NodeKind) -> bool) -> usize {
+        g.live_nodes().filter(|&n| pred(g.kind(n))).count()
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let g = build("method f 2 returns { load 0 load 1 add const 2 mul retv }", "f");
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Return)), 1);
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Arith { .. })), 2);
+    }
+
+    #[test]
+    fn diamond_produces_merge_and_phi() {
+        let g = build(
+            "method f 1 returns {
+                load 0 const 0 ifcmp lt Lneg
+                const 1 goto Lend
+            Lneg:
+                const -1
+            Lend:
+                retv
+            }",
+            "f",
+        );
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Merge { .. })), 1);
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Phi { .. })), 1);
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::If)), 1);
+    }
+
+    #[test]
+    fn loop_produces_loop_begin_with_phis() {
+        let g = build(
+            "method f 1 returns {
+                const 0 store 1
+            Lhead:
+                load 1 load 0 ifcmp ge Ldone
+                load 1 const 1 add store 1
+                goto Lhead
+            Ldone:
+                load 1 retv
+            }",
+            "f",
+        );
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::LoopBegin { .. })), 1);
+        assert!(count(&g, |k| matches!(k, NodeKind::Phi { .. })) >= 1);
+    }
+
+    #[test]
+    fn objects_and_frame_states() {
+        let g = build(
+            "class Box { field v int }
+             method f 1 returns {
+                new Box store 1
+                load 1 load 0 putfield Box.v
+                load 1 getfield Box.v
+                retv
+             }",
+            "f",
+        );
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::New { .. })), 1);
+        let store = g
+            .live_nodes()
+            .find(|&n| matches!(g.kind(n), NodeKind::StoreField { .. }))
+            .unwrap();
+        assert!(g.node(store).state_after.is_some());
+    }
+
+    #[test]
+    fn static_call_inlined() {
+        let g = build(
+            "method g 2 returns { load 0 load 1 add retv }
+             method f 0 returns { const 1 const 2 invokestatic g retv }",
+            "f",
+        );
+        // Inlined: no Invoke node remains.
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Invoke { .. })), 0);
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Arith { .. })), 1);
+    }
+
+    #[test]
+    fn recursive_call_not_inlined() {
+        let g = build(
+            "method f 1 returns {
+                load 0 const 0 ifcmp le Lbase
+                load 0 const 1 sub invokestatic f retv
+            Lbase:
+                const 0 retv
+            }",
+            "f",
+        );
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Invoke { .. })), 1);
+    }
+
+    #[test]
+    fn synchronized_callee_gets_monitors() {
+        let g = build(
+            "class C { field v int }
+             method virtual C.get 1 returns synchronized { load 0 getfield C.v retv }
+             method f 0 returns { new C invokevirtual C.get retv }",
+            "f",
+        );
+        // Monomorphic in a closed world: inlined with monitors.
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Invoke { .. })), 0);
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::MonitorEnter)), 1);
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::MonitorExit)), 1);
+        // Inner frame states chain to the caller.
+        let has_outer = g.live_nodes().any(|n| {
+            matches!(g.kind(n), NodeKind::FrameState(d) if d.has_outer)
+        });
+        assert!(has_outer, "inlined frame states must chain to the caller");
+    }
+
+    #[test]
+    fn never_taken_branch_becomes_guard_with_profile() {
+        let src = "method f 1 returns {
+            load 0 const 100 ifcmp gt Lrare
+            load 0 const 1 add retv
+        Lrare:
+            const -1 retv
+        }";
+        let program = parse_program(src).unwrap();
+        let f = program.static_method_by_name("f").unwrap();
+        let mut profiles = ProfileStore::new();
+        for _ in 0..50 {
+            profiles.record_branch(f, 2, false);
+        }
+        let g = build_graph(&program, f, Some(&profiles), &BuildOptions::default()).unwrap();
+        verify(&g).unwrap();
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Guard { .. })), 1);
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::If)), 0);
+        // The rare branch's return disappeared.
+        assert_eq!(count(&g, |k| matches!(k, NodeKind::Return)), 1);
+    }
+
+    #[test]
+    fn unbalanced_monitor_bails() {
+        let program = parse_program(
+            "class C { }
+             method f 0 returns { new C monitorenter const 1 retv }",
+        )
+        .unwrap();
+        let f = program.static_method_by_name("f").unwrap();
+        let err = build_graph(&program, f, None, &BuildOptions::default()).unwrap_err();
+        assert_eq!(err, Bailout::UnstructuredLocking);
+    }
+
+    #[test]
+    fn loop_with_two_back_edges() {
+        let g = build(
+            "method f 2 returns {
+                const 0 store 2
+            Lhead:
+                load 2 load 0 ifcmp ge Ldone
+                load 1 const 1 ifcmp eq Lplus2
+                load 2 const 1 add store 2
+                goto Lhead
+            Lplus2:
+                load 2 const 2 add store 2
+                goto Lhead
+            Ldone:
+                load 2 retv
+            }",
+            "f",
+        );
+        let lb = g
+            .live_nodes()
+            .find(|&n| matches!(g.kind(n), NodeKind::LoopBegin { .. }))
+            .unwrap();
+        assert_eq!(g.merge_ends(lb).len(), 3, "entry + two back edges");
+    }
+}

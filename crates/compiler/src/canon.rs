@@ -1,0 +1,251 @@
+//! Canonicalization: constant folding, phi simplification and global
+//! value numbering over the floating value nodes.
+//!
+//! PEA "is particularly effective if it can interact with other parts of
+//! the compiler, such as inlining, global value numbering, and constant
+//! folding" (paper §5) — the pipeline runs this pass before and after the
+//! escape analysis.
+
+use pea_bytecode::CmpOp;
+use pea_ir::{ArithOp, Graph, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Statistics from one canonicalization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CanonResult {
+    /// Arithmetic/compare nodes folded to constants.
+    pub folded: usize,
+    /// Phis replaced by their single distinct input.
+    pub simplified_phis: usize,
+    /// Nodes deduplicated by value numbering.
+    pub gvn_hits: usize,
+}
+
+/// Runs canonicalization to a fixpoint. Only floating value nodes are
+/// touched; control flow is left intact.
+pub fn canonicalize(graph: &mut Graph) -> CanonResult {
+    let mut result = CanonResult::default();
+    loop {
+        let mut changed = false;
+
+        // Constant folding.
+        let candidates: Vec<NodeId> = graph
+            .live_nodes()
+            .filter(|&n| {
+                matches!(
+                    graph.kind(n),
+                    NodeKind::Arith { .. } | NodeKind::Compare { .. }
+                )
+            })
+            .collect();
+        for n in candidates {
+            if let Some(value) = fold(graph, n) {
+                let c = graph.const_int(value);
+                if c != n {
+                    graph.replace_at_usages(n, c);
+                    graph.kill(n);
+                    result.folded += 1;
+                    changed = true;
+                }
+            }
+        }
+
+        // Phi simplification: all inputs identical (ignoring self-loops).
+        let phis: Vec<NodeId> = graph
+            .live_nodes()
+            .filter(|&n| matches!(graph.kind(n), NodeKind::Phi { .. }))
+            .collect();
+        for phi in phis {
+            let inputs = graph.node(phi).inputs().to_vec();
+            let distinct: Vec<NodeId> = inputs
+                .iter()
+                .copied()
+                .filter(|&i| i != phi)
+                .collect();
+            if distinct.is_empty() {
+                continue;
+            }
+            let first = distinct[0];
+            if distinct.iter().all(|&i| i == first) {
+                // replace_at_usages also rewrites the phi's own self-loop
+                // input, leaving it use-free.
+                graph.replace_at_usages(phi, first);
+                graph.kill(phi);
+                result.simplified_phis += 1;
+                changed = true;
+            }
+        }
+
+        // Global value numbering over pure floating nodes.
+        let mut table: HashMap<(String, Vec<NodeId>), NodeId> = HashMap::new();
+        let gvn_candidates: Vec<NodeId> = graph
+            .live_nodes()
+            .filter(|&n| {
+                matches!(
+                    graph.kind(n),
+                    NodeKind::Arith { .. }
+                        | NodeKind::Compare { .. }
+                        | NodeKind::ConstInt { .. }
+                        | NodeKind::ConstNull
+                        | NodeKind::Param { .. }
+                )
+            })
+            .collect();
+        for n in gvn_candidates {
+            let key = (
+                format!("{:?}", graph.kind(n)),
+                graph.node(n).inputs().to_vec(),
+            );
+            match table.get(&key) {
+                Some(&existing) if existing != n => {
+                    graph.replace_at_usages(n, existing);
+                    graph.kill(n);
+                    result.gvn_hits += 1;
+                    changed = true;
+                }
+                _ => {
+                    table.insert(key, n);
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    result
+}
+
+fn const_of(graph: &Graph, n: NodeId) -> Option<i64> {
+    match graph.kind(n) {
+        NodeKind::ConstInt { value } => Some(*value),
+        _ => None,
+    }
+}
+
+fn fold(graph: &Graph, n: NodeId) -> Option<i64> {
+    let inputs = graph.node(n).inputs();
+    match graph.kind(n) {
+        NodeKind::Arith { op } => {
+            let a = const_of(graph, inputs[0])?;
+            if *op == ArithOp::Neg {
+                return Some(a.wrapping_neg());
+            }
+            let b = const_of(graph, inputs[1])?;
+            Some(match op {
+                ArithOp::Add => a.wrapping_add(b),
+                ArithOp::Sub => a.wrapping_sub(b),
+                ArithOp::Mul => a.wrapping_mul(b),
+                ArithOp::And => a & b,
+                ArithOp::Or => a | b,
+                ArithOp::Xor => a ^ b,
+                ArithOp::Shl => a.wrapping_shl((b & 63) as u32),
+                ArithOp::Shr => a.wrapping_shr((b & 63) as u32),
+                ArithOp::Div | ArithOp::Rem | ArithOp::Neg => return None,
+            })
+        }
+        NodeKind::Compare { op } => {
+            let a = const_of(graph, inputs[0])?;
+            let b = const_of(graph, inputs[1])?;
+            let op: CmpOp = *op;
+            Some(i64::from(op.apply(a, b)))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut g = Graph::new();
+        let a = g.const_int(6);
+        let b = g.const_int(7);
+        let mul = g.add(NodeKind::Arith { op: ArithOp::Mul }, vec![a, b]);
+        let ret = g.add(NodeKind::Return, vec![mul]);
+        g.set_next(g.start, ret);
+        let r = canonicalize(&mut g);
+        assert_eq!(r.folded, 1);
+        assert!(matches!(
+            g.kind(g.node(ret).inputs()[0]),
+            NodeKind::ConstInt { value: 42 }
+        ));
+    }
+
+    #[test]
+    fn folds_transitively() {
+        let mut g = Graph::new();
+        let a = g.const_int(1);
+        let b = g.const_int(2);
+        let s1 = g.add(NodeKind::Arith { op: ArithOp::Add }, vec![a, b]);
+        let s2 = g.add(NodeKind::Arith { op: ArithOp::Add }, vec![s1, s1]);
+        let ret = g.add(NodeKind::Return, vec![s2]);
+        g.set_next(g.start, ret);
+        canonicalize(&mut g);
+        assert!(matches!(
+            g.kind(g.node(ret).inputs()[0]),
+            NodeKind::ConstInt { value: 6 }
+        ));
+    }
+
+    #[test]
+    fn does_not_fold_division_by_zero() {
+        let mut g = Graph::new();
+        let a = g.const_int(1);
+        let b = g.const_int(0);
+        let div = g.add(NodeKind::FixedArith { op: ArithOp::Div }, vec![a, b]);
+        g.set_next(g.start, div);
+        let ret = g.add(NodeKind::Return, vec![div]);
+        g.set_next(div, ret);
+        let r = canonicalize(&mut g);
+        assert_eq!(r.folded, 0);
+    }
+
+    #[test]
+    fn simplifies_redundant_loop_phi() {
+        let mut g = Graph::new();
+        let end = g.add(NodeKind::End, vec![]);
+        g.set_next(g.start, end);
+        let lb = g.add(NodeKind::LoopBegin { ends: vec![end] }, vec![]);
+        let x = g.const_int(5);
+        let phi = g.add(NodeKind::Phi { merge: lb }, vec![x]);
+        g.push_input(phi, phi); // self back edge
+        let le = g.add(NodeKind::LoopEnd, vec![]);
+        g.set_next(lb, le);
+        g.add_merge_end(lb, le);
+        let r = canonicalize(&mut g);
+        assert_eq!(r.simplified_phis, 1);
+    }
+
+    #[test]
+    fn gvn_deduplicates_identical_ops() {
+        let mut g = Graph::new();
+        let p = g.add(NodeKind::Param { index: 0 }, vec![]);
+        let a = g.add(NodeKind::Arith { op: ArithOp::Add }, vec![p, p]);
+        let b = g.add(NodeKind::Arith { op: ArithOp::Add }, vec![p, p]);
+        let sum = g.add(NodeKind::Arith { op: ArithOp::Mul }, vec![a, b]);
+        let ret = g.add(NodeKind::Return, vec![sum]);
+        g.set_next(g.start, ret);
+        let r = canonicalize(&mut g);
+        assert!(r.gvn_hits >= 1);
+        let inputs = g.node(sum).inputs();
+        assert_eq!(inputs[0], inputs[1]);
+    }
+
+    #[test]
+    fn folds_comparisons() {
+        let mut g = Graph::new();
+        let a = g.const_int(3);
+        let b = g.const_int(4);
+        let cmp = g.add(NodeKind::Compare { op: CmpOp::Lt }, vec![a, b]);
+        let ret = g.add(NodeKind::Return, vec![cmp]);
+        g.set_next(g.start, ret);
+        canonicalize(&mut g);
+        assert!(matches!(
+            g.kind(g.node(ret).inputs()[0]),
+            NodeKind::ConstInt { value: 1 }
+        ));
+    }
+}

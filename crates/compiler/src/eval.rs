@@ -1,0 +1,533 @@
+//! The compiled-code evaluator: executes a scheduled IR graph against the
+//! managed heap under the virtual cycle cost model, standing in for
+//! machine code. Implements full deoptimization (paper §2/§5.5): on a
+//! failed guard it walks the frame-state chain, **rematerializes** virtual
+//! objects (allocating them, filling their fields and re-entering their
+//! monitors) and hands reconstructed interpreter frames back to the VM.
+
+use crate::pipeline::CompiledMethod;
+use pea_bytecode::{MethodId, Program};
+use pea_ir::cfg::BlockId;
+use pea_ir::{ArithOp, DeoptReason, NodeId, NodeKind};
+use pea_runtime::cost;
+use pea_runtime::{Heap, ObjRef, Statics, Value, VmError};
+use std::collections::HashMap;
+
+/// Host services for compiled code (the VM implements this; tests use a
+/// trivial implementation).
+pub trait EvalEnv {
+    /// The managed heap.
+    fn heap(&mut self) -> &mut Heap;
+    /// Static variable storage.
+    fn statics(&mut self) -> &mut Statics;
+    /// Charges virtual cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::OutOfFuel`] when the budget is exhausted.
+    fn charge(&mut self, cycles: u64) -> Result<(), VmError>;
+    /// Performs an out-of-line call (tier chosen by the host).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the callee raises.
+    fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError>;
+}
+
+/// One interpreter frame reconstructed by deoptimization, outermost first
+/// in [`EvalOutcome::Deopt`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeoptFrame {
+    /// Frame method.
+    pub method: MethodId,
+    /// Bytecode index to resume at (outer frames: their invoke bci).
+    pub bci: u32,
+    /// Local variable values.
+    pub locals: Vec<Value>,
+    /// Operand stack values.
+    pub stack: Vec<Value>,
+    /// Held monitors: `(object, from_synchronized_method)`.
+    pub locked: Vec<(ObjRef, bool)>,
+}
+
+/// Result of running compiled code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalOutcome {
+    /// Normal return.
+    Return(Option<Value>),
+    /// Deoptimization: the VM must resume the interpreter with `frames`.
+    Deopt {
+        /// Why the speculation failed.
+        reason: DeoptReason,
+        /// Reconstructed frames, outermost first.
+        frames: Vec<DeoptFrame>,
+    },
+}
+
+/// Executes `code` with `args`.
+///
+/// # Errors
+///
+/// Runtime errors ([`VmError`]) exactly as the interpreter would raise
+/// them for the same program state — the differential test suite depends
+/// on this equivalence.
+pub fn evaluate(
+    program: &Program,
+    env: &mut dyn EvalEnv,
+    code: &CompiledMethod,
+    args: &[Value],
+) -> Result<EvalOutcome, VmError> {
+    env.charge(cost::CALL_OVERHEAD + cost::icache_cost(code.code_size))?;
+    let graph = &code.graph;
+    // Dense value table: one slot per node id (compiled graphs are
+    // compact after pruning; O(1) access dominates the evaluator).
+    let mut values: Vec<Option<Value>> = vec![None; graph.len()];
+    let mut commit_results: HashMap<NodeId, Vec<ObjRef>> = HashMap::new();
+    let mut block: BlockId = code.cfg.entry();
+    let mut came_from_end: Option<NodeId> = None;
+
+    'blocks: loop {
+        let first = code.cfg.block(block).first();
+        // Phi updates on entry to merge-like blocks (parallel assignment).
+        if let NodeKind::Merge { ends } | NodeKind::LoopBegin { ends } = graph.kind(first) {
+            let end = came_from_end.expect("merge entered without an end");
+            let idx = ends
+                .iter()
+                .position(|&e| e == end)
+                .expect("end not registered on merge");
+            let phis = graph.phis_of(first);
+            let mut updates = Vec::with_capacity(phis.len());
+            for phi in phis {
+                let input = graph.node(phi).inputs()[idx];
+                let v = values[input.index()].ok_or_else(|| {
+                    VmError::Internal(format!("phi input {input} not computed"))
+                })?;
+                updates.push((phi, v));
+            }
+            for (phi, v) in updates {
+                set(&mut values, phi, v);
+            }
+        }
+        came_from_end = None;
+
+        let order = &code.schedule.per_block[block.index()];
+        for &n in order {
+            let node = graph.node(n);
+            let inputs = node.inputs();
+            let val = |values: &[Option<Value>], id: NodeId| -> Result<Value, VmError> {
+                values[id.index()]
+                    .ok_or_else(|| VmError::Internal(format!("value {id} not computed")))
+            };
+            match graph.kind(n) {
+                NodeKind::Start | NodeKind::Begin | NodeKind::LoopExit { .. }
+                | NodeKind::Merge { .. } | NodeKind::LoopBegin { .. } => {}
+                NodeKind::Param { index } => {
+                    set(&mut values, n, args[*index as usize]);
+                }
+                NodeKind::ConstInt { value } => {
+                    set(&mut values, n, Value::Int(*value));
+                }
+                NodeKind::ConstNull => {
+                    set(&mut values, n, Value::Null);
+                }
+                NodeKind::Arith { op } | NodeKind::FixedArith { op } => {
+                    env.charge(cost::ALU_OP)?;
+                    let a = val(&values, inputs[0])?.as_int()?;
+                    let r = if *op == ArithOp::Neg {
+                        a.wrapping_neg()
+                    } else {
+                        let b = val(&values, inputs[1])?.as_int()?;
+                        apply_arith(*op, a, b)?
+                    };
+                    set(&mut values, n, Value::Int(r));
+                }
+                NodeKind::Compare { op } => {
+                    env.charge(cost::ALU_OP)?;
+                    let a = val(&values, inputs[0])?.as_int()?;
+                    let b = val(&values, inputs[1])?.as_int()?;
+                    set(&mut values, n, Value::from_bool(op.apply(a, b)));
+                }
+                NodeKind::Phi { .. } => {
+                    unreachable!("phis are not scheduled")
+                }
+                NodeKind::New { class } => {
+                    let bytes = program.object_size(*class);
+                    env.charge(cost::alloc_cost(bytes))?;
+                    let r = env.heap().alloc_instance(program, *class);
+                    set(&mut values, n, Value::Ref(r));
+                }
+                NodeKind::NewArray { kind } => {
+                    let len = val(&values, inputs[0])?.as_int()?;
+                    env.charge(cost::alloc_cost(Program::array_size(len.max(0) as u64)))?;
+                    let r = env.heap().alloc_array(*kind, len)?;
+                    set(&mut values, n, Value::Ref(r));
+                }
+                NodeKind::LoadField { field } => {
+                    env.charge(cost::MEMORY_OP)?;
+                    let obj = val(&values, inputs[0])?.as_ref()?;
+                    let v = env.heap().get_field(program, obj, *field)?;
+                    set(&mut values, n, v);
+                }
+                NodeKind::StoreField { field } => {
+                    env.charge(cost::MEMORY_OP)?;
+                    let obj = val(&values, inputs[0])?.as_ref()?;
+                    let v = val(&values, inputs[1])?;
+                    env.heap().put_field(program, obj, *field, v)?;
+                }
+                NodeKind::LoadIndexed => {
+                    env.charge(cost::MEMORY_OP)?;
+                    let arr = val(&values, inputs[0])?.as_ref()?;
+                    let idx = val(&values, inputs[1])?.as_int()?;
+                    let v = env.heap().array_get(arr, idx)?;
+                    set(&mut values, n, v);
+                }
+                NodeKind::StoreIndexed => {
+                    env.charge(cost::MEMORY_OP)?;
+                    let arr = val(&values, inputs[0])?.as_ref()?;
+                    let idx = val(&values, inputs[1])?.as_int()?;
+                    let v = val(&values, inputs[2])?;
+                    env.heap().array_set(arr, idx, v)?;
+                }
+                NodeKind::ArrayLen => {
+                    env.charge(cost::MEMORY_OP)?;
+                    let arr = val(&values, inputs[0])?.as_ref()?;
+                    let len = env.heap().array_length(arr)?;
+                    set(&mut values, n, Value::Int(len));
+                }
+                NodeKind::MonitorEnter => {
+                    env.charge(cost::MONITOR_OP)?;
+                    let obj = val(&values, inputs[0])?.as_ref()?;
+                    env.heap().monitor_enter(obj);
+                }
+                NodeKind::MonitorExit => {
+                    env.charge(cost::MONITOR_OP)?;
+                    let obj = val(&values, inputs[0])?.as_ref()?;
+                    env.heap().monitor_exit(obj)?;
+                }
+                NodeKind::GetStatic { id } => {
+                    env.charge(cost::MEMORY_OP)?;
+                    let v = env.statics().get(*id);
+                    set(&mut values, n, v);
+                }
+                NodeKind::PutStatic { id } => {
+                    env.charge(cost::MEMORY_OP)?;
+                    let v = val(&values, inputs[0])?;
+                    env.statics().set(*id, v);
+                }
+                NodeKind::RefEq => {
+                    env.charge(cost::ALU_OP)?;
+                    let a = val(&values, inputs[0])?.as_ref_or_null()?;
+                    let b = val(&values, inputs[1])?.as_ref_or_null()?;
+                    set(&mut values, n, Value::from_bool(a == b));
+                }
+                NodeKind::IsNull => {
+                    env.charge(cost::ALU_OP)?;
+                    let v = val(&values, inputs[0])?.as_ref_or_null()?;
+                    set(&mut values, n, Value::from_bool(v.is_none()));
+                }
+                NodeKind::InstanceOf { class, exact } => {
+                    env.charge(cost::ALU_OP)?;
+                    let v = val(&values, inputs[0])?.as_ref_or_null()?;
+                    let is = match v {
+                        Some(r) => {
+                            let dynamic = env.heap().class_of(r)?;
+                            if *exact {
+                                dynamic == *class
+                            } else {
+                                program.is_subclass_of(dynamic, *class)
+                            }
+                        }
+                        None => false,
+                    };
+                    set(&mut values, n, Value::from_bool(is));
+                }
+                NodeKind::CheckCast { class } => {
+                    env.charge(cost::ALU_OP)?;
+                    let v = val(&values, inputs[0])?;
+                    if let Some(r) = v.as_ref_or_null()? {
+                        let dynamic = env.heap().class_of(r)?;
+                        if !program.is_subclass_of(dynamic, *class) {
+                            return Err(VmError::ClassCast {
+                                expected: program.class(*class).name.clone(),
+                                found: program.class(dynamic).name.clone(),
+                            });
+                        }
+                    }
+                    set(&mut values, n, v);
+                }
+                NodeKind::Invoke {
+                    target,
+                    virtual_call,
+                } => {
+                    let mut call_args = Vec::with_capacity(inputs.len());
+                    for &i in inputs {
+                        call_args.push(val(&values, i)?);
+                    }
+                    let resolved = if *virtual_call {
+                        let recv = call_args[0].as_ref()?;
+                        let dynamic = env.heap().class_of(recv)?;
+                        program
+                            .resolve_virtual(dynamic, *target)
+                            .map_err(|e| VmError::NoSuchMethod(e.to_string()))?
+                    } else {
+                        *target
+                    };
+                    let result = env.invoke(resolved, call_args)?;
+                    if let Some(v) = result {
+                        set(&mut values, n, v);
+                    }
+                }
+                NodeKind::Commit { objects } => {
+                    // Group materialization: allocate all objects first so
+                    // cyclic field references resolve, then fill fields and
+                    // re-enter monitors (paper §4 "materialization").
+                    let mut refs = Vec::with_capacity(objects.len());
+                    for obj in objects {
+                        let r = match obj.shape {
+                            pea_ir::AllocShape::Instance { class } => {
+                                env.charge(cost::alloc_cost(program.object_size(class)))?;
+                                env.heap().alloc_instance(program, class)
+                            }
+                            pea_ir::AllocShape::Array { kind, length } => {
+                                env.charge(cost::alloc_cost(Program::array_size(u64::from(
+                                    length,
+                                ))))?;
+                                env.heap().alloc_array(kind, i64::from(length))?
+                            }
+                        };
+                        refs.push(r);
+                    }
+                    let mut input_pos = 0usize;
+                    for (oi, obj) in objects.iter().enumerate() {
+                        let field_ids: Vec<Option<pea_bytecode::FieldId>> = match obj.shape {
+                            pea_ir::AllocShape::Instance { class } => program
+                                .instance_fields(class)
+                                .into_iter()
+                                .map(Some)
+                                .collect(),
+                            pea_ir::AllocShape::Array { length, .. } => {
+                                (0..length).map(|_| None).collect()
+                            }
+                        };
+                        for (fi, field) in field_ids.into_iter().enumerate() {
+                            let input = inputs[input_pos];
+                            input_pos += 1;
+                            let v = match graph.kind(input) {
+                                NodeKind::AllocatedObject { index }
+                                    if graph.node(input).inputs()[0] == n =>
+                                {
+                                    Value::Ref(refs[*index])
+                                }
+                                _ => val(&values, input)?,
+                            };
+                            match field {
+                                Some(f) => {
+                                    env.heap().put_field(program, refs[oi], f, v)?;
+                                }
+                                None => {
+                                    env.heap().array_set(refs[oi], fi as i64, v)?;
+                                }
+                            }
+                        }
+                        for _ in 0..obj.lock_count {
+                            env.charge(cost::MONITOR_OP)?;
+                            env.heap().monitor_enter(refs[oi]);
+                        }
+                    }
+                    commit_results.insert(n, refs);
+                }
+                NodeKind::AllocatedObject { index } => {
+                    let commit = inputs[0];
+                    let refs = commit_results.get(&commit).ok_or_else(|| {
+                        VmError::Internal("allocated object before commit".into())
+                    })?;
+                    set(&mut values, n, Value::Ref(refs[*index]));
+                }
+                NodeKind::Guard { reason, negated } => {
+                    env.charge(cost::BRANCH_OP)?;
+                    let cond = val(&values, inputs[0])?.as_bool()?;
+                    if cond == *negated {
+                        let fs = node.state_after.expect("guard without frame state");
+                        env.charge(cost::DEOPT_PENALTY)?;
+                        let frames =
+                            build_deopt_frames(program, env, graph, &values, fs)?;
+                        return Ok(EvalOutcome::Deopt {
+                            reason: *reason,
+                            frames,
+                        });
+                    }
+                }
+                NodeKind::Deopt { reason } => {
+                    let fs = node.state_after.expect("deopt without frame state");
+                    env.charge(cost::DEOPT_PENALTY)?;
+                    let frames = build_deopt_frames(program, env, graph, &values, fs)?;
+                    return Ok(EvalOutcome::Deopt {
+                        reason: *reason,
+                        frames,
+                    });
+                }
+                NodeKind::If => {
+                    env.charge(cost::BRANCH_OP)?;
+                    let cond = val(&values, inputs[0])?.as_bool()?;
+                    let succ = node.successors()[usize::from(!cond)];
+                    block = code.cfg.block_of(succ);
+                    continue 'blocks;
+                }
+                NodeKind::End | NodeKind::LoopEnd => {
+                    env.charge(cost::BRANCH_OP)?;
+                    came_from_end = Some(n);
+                    let succ = code.cfg.block(block).succs[0];
+                    block = succ;
+                    continue 'blocks;
+                }
+                NodeKind::Return => {
+                    let v = match inputs.first() {
+                        Some(&i) => Some(val(&values, i)?),
+                        None => None,
+                    };
+                    return Ok(EvalOutcome::Return(v));
+                }
+                NodeKind::Throw => {
+                    let code_v = val(&values, inputs[0])?.as_int()?;
+                    return Err(VmError::UserException(code_v));
+                }
+                NodeKind::FrameState(_) | NodeKind::VirtualObjectMapping { .. } => {
+                    unreachable!("metadata scheduled for execution")
+                }
+            }
+        }
+        // A block's last node is always a terminator handled above.
+        return Err(VmError::Internal(format!(
+            "block {block} fell through without terminator"
+        )));
+    }
+}
+
+#[inline]
+fn set(values: &mut [Option<Value>], id: NodeId, v: Value) {
+    values[id.index()] = Some(v);
+}
+
+fn apply_arith(op: ArithOp, a: i64, b: i64) -> Result<i64, VmError> {
+    Ok(match op {
+        ArithOp::Add => a.wrapping_add(b),
+        ArithOp::Sub => a.wrapping_sub(b),
+        ArithOp::Mul => a.wrapping_mul(b),
+        ArithOp::Div => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero);
+            }
+            a.wrapping_div(b)
+        }
+        ArithOp::Rem => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        ArithOp::And => a & b,
+        ArithOp::Or => a | b,
+        ArithOp::Xor => a ^ b,
+        ArithOp::Shl => a.wrapping_shl((b & 63) as u32),
+        ArithOp::Shr => a.wrapping_shr((b & 63) as u32),
+        ArithOp::Neg => unreachable!("unary handled by caller"),
+    })
+}
+
+/// Reconstructs the interpreter frame chain from a frame state,
+/// rematerializing virtual objects (paper §5.5).
+fn build_deopt_frames(
+    program: &Program,
+    env: &mut dyn EvalEnv,
+    graph: &pea_ir::Graph,
+    values: &[Option<Value>],
+    innermost: NodeId,
+) -> Result<Vec<DeoptFrame>, VmError> {
+    // Collect the chain innermost → outermost, then reverse.
+    let mut chain = vec![innermost];
+    let mut cur = innermost;
+    while let Some(outer_idx) = graph.frame_state_data(cur).outer_index() {
+        cur = graph.node(cur).inputs()[outer_idx];
+        chain.push(cur);
+    }
+    chain.reverse();
+
+    let mut remat: HashMap<NodeId, ObjRef> = HashMap::new();
+    let mut frames = Vec::with_capacity(chain.len());
+    for fs in chain {
+        let data = graph.frame_state_data(fs).clone();
+        let inputs = graph.node(fs).inputs().to_vec();
+        let mut resolve = |env: &mut dyn EvalEnv, id: NodeId| -> Result<Value, VmError> {
+            resolve_slot(program, env, graph, values, &mut remat, id)
+        };
+        let mut locals = Vec::with_capacity(data.n_locals as usize);
+        for i in data.locals_range() {
+            locals.push(resolve(env, inputs[i])?);
+        }
+        let mut stack = Vec::with_capacity(data.n_stack as usize);
+        for i in data.stack_range() {
+            stack.push(resolve(env, inputs[i])?);
+        }
+        let mut locked = Vec::with_capacity(data.n_locks as usize);
+        for (k, i) in data.locks_range().enumerate() {
+            let obj = resolve(env, inputs[i])?.as_ref()?;
+            locked.push((obj, data.lock_from_sync[k]));
+        }
+        frames.push(DeoptFrame {
+            method: data.method,
+            bci: data.bci,
+            locals,
+            stack,
+            locked,
+        });
+    }
+    Ok(frames)
+}
+
+/// Resolves one frame-state slot: plain values come from the value table,
+/// virtual-object mappings are rematerialized (cycle-safe two-phase
+/// construction, locks re-entered).
+fn resolve_slot(
+    program: &Program,
+    env: &mut dyn EvalEnv,
+    graph: &pea_ir::Graph,
+    values: &[Option<Value>],
+    remat: &mut HashMap<NodeId, ObjRef>,
+    id: NodeId,
+) -> Result<Value, VmError> {
+    if let NodeKind::VirtualObjectMapping { shape, lock_count } = graph.kind(id) {
+        if let Some(&r) = remat.get(&id) {
+            return Ok(Value::Ref(r));
+        }
+        let r = match shape {
+            pea_ir::AllocShape::Instance { class } => env.heap().alloc_instance(program, *class),
+            pea_ir::AllocShape::Array { kind, length } => {
+                env.heap().alloc_array(*kind, i64::from(*length))?
+            }
+        };
+        env.heap().stats.rematerialized += 1;
+        remat.insert(id, r);
+        let field_inputs = graph.node(id).inputs().to_vec();
+        match shape {
+            pea_ir::AllocShape::Instance { class } => {
+                let fields = program.instance_fields(*class);
+                for (fi, &input) in field_inputs.iter().enumerate() {
+                    let v = resolve_slot(program, env, graph, values, remat, input)?;
+                    env.heap().put_field(program, r, fields[fi], v)?;
+                }
+            }
+            pea_ir::AllocShape::Array { .. } => {
+                for (fi, &input) in field_inputs.iter().enumerate() {
+                    let v = resolve_slot(program, env, graph, values, remat, input)?;
+                    env.heap().array_set(r, fi as i64, v)?;
+                }
+            }
+        }
+        for _ in 0..*lock_count {
+            env.heap().monitor_enter(r);
+        }
+        return Ok(Value::Ref(r));
+    }
+    values[id.index()]
+        .ok_or_else(|| VmError::Internal(format!("frame-state slot {id} not computed")))
+}

@@ -1,0 +1,34 @@
+//! The JIT compiler: bytecode → SSA graph construction (with inlining and
+//! profile-guided speculation), canonicalization, the Partial Escape
+//! Analysis phase (from `pea-core`), scheduling, and a compiled-code
+//! evaluator with full deoptimization support.
+//!
+//! The pieces correspond to the Graal infrastructure of the paper's §2:
+//!
+//! * [`builder`] — the bytecode parser producing Graal-IR-style graphs,
+//!   including `FrameState` bookkeeping at side effects and merges, and
+//!   speculative branch pruning (never-taken branches become guards that
+//!   deoptimize, which is what lets PEA remove allocations whose only
+//!   escape is a cold path);
+//! * inlining happens *during* graph building (callee graphs are built
+//!   directly into the caller, frame states chained to the caller's state
+//!   at the call site, synchronized callees bracketed with monitor
+//!   operations — producing exactly the paper's Listing 2 shape);
+//! * [`canon`] — constant folding, global value numbering, phi
+//!   simplification;
+//! * [`pipeline`] — phase orchestration per [`OptLevel`]:
+//!   no escape analysis / the flow-insensitive EES baseline / PEA;
+//! * [`eval`] — executes compiled graphs against the managed heap with a
+//!   cycle cost model ("machine code" stand-in); on a guard failure it
+//!   reconstructs interpreter frames from the frame state chain,
+//!   **rematerializing virtual objects** (including lock depths) per
+//!   §5.5.
+
+pub mod builder;
+pub mod canon;
+pub mod eval;
+pub mod pipeline;
+
+pub use builder::{build_graph, Bailout, BuildOptions};
+pub use eval::{evaluate, DeoptFrame, EvalEnv, EvalOutcome};
+pub use pipeline::{compile, CompiledMethod, CompilerOptions, OptLevel};

@@ -1,0 +1,155 @@
+//! Phase orchestration: bytecode → graph → canonicalize → escape analysis
+//! → canonicalize → schedule → [`CompiledMethod`].
+
+use crate::builder::{build_graph, Bailout, BuildOptions};
+use crate::canon::canonicalize;
+use pea_bytecode::{MethodId, Program};
+use pea_core::{run_ees, run_pea, PeaOptions, PeaResult};
+use pea_ir::cfg::Cfg;
+use pea_ir::dom::DomTree;
+use pea_ir::schedule::Schedule;
+use pea_ir::Graph;
+use pea_runtime::profile::ProfileStore;
+
+/// Which escape analysis the pipeline runs — the three configurations the
+/// paper's evaluation compares (§6: none vs. PEA; §6.2: the
+/// flow-insensitive server-compiler-style baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// No escape analysis (the paper's "without" configuration — the
+    /// original Graal performed none).
+    None,
+    /// Flow-insensitive Equi-Escape-Sets baseline.
+    Ees,
+    /// Partial Escape Analysis (the paper's contribution).
+    Pea,
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OptLevel::None => "none",
+            OptLevel::Ees => "ees",
+            OptLevel::Pea => "pea",
+        })
+    }
+}
+
+/// Full compiler configuration.
+#[derive(Clone, Debug)]
+pub struct CompilerOptions {
+    /// Escape-analysis configuration.
+    pub opt_level: OptLevel,
+    /// Graph-building (inlining/speculation) options.
+    pub build: BuildOptions,
+    /// PEA tuning and ablations.
+    pub pea: PeaOptions,
+    /// How many times to run the escape-analysis phase. The paper notes
+    /// the analysis "can be applied, possibly multiple times, at any
+    /// point during compilation" (§1); later runs pick up opportunities
+    /// exposed by canonicalization of the previous one. The analysis is
+    /// idempotent, so extra iterations are safe.
+    pub ea_iterations: usize,
+}
+
+impl CompilerOptions {
+    /// Defaults with the given escape-analysis level.
+    pub fn with_opt_level(opt_level: OptLevel) -> Self {
+        CompilerOptions {
+            opt_level,
+            build: BuildOptions::default(),
+            pea: PeaOptions::default(),
+            ea_iterations: 1,
+        }
+    }
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        Self::with_opt_level(OptLevel::Pea)
+    }
+}
+
+/// The compiled form of a method: the optimized graph plus the CFG and
+/// schedule the evaluator executes.
+#[derive(Clone, Debug)]
+pub struct CompiledMethod {
+    /// The compiled method.
+    pub method: MethodId,
+    /// Optimized graph.
+    pub graph: Graph,
+    /// Its control-flow graph.
+    pub cfg: Cfg,
+    /// Execution schedule (floating nodes placed).
+    pub schedule: Schedule,
+    /// Scheduled node count — the "machine code size" for the cost
+    /// model's instruction-cache term.
+    pub code_size: u64,
+    /// What the escape-analysis phase did (for reporting).
+    pub pea_result: PeaResult,
+}
+
+/// Compiles `method` at the given options.
+///
+/// # Errors
+///
+/// [`Bailout`] when the method cannot be compiled; the VM keeps
+/// interpreting it.
+pub fn compile(
+    program: &Program,
+    method: MethodId,
+    profiles: Option<&ProfileStore>,
+    options: &CompilerOptions,
+) -> Result<CompiledMethod, Bailout> {
+    let mut graph = build_graph(program, method, profiles, &options.build)?;
+    debug_assert_verify(&graph, "after build");
+    canonicalize(&mut graph);
+    graph.prune_dead();
+    debug_assert_verify(&graph, "after canonicalize");
+
+    let mut pea_result = PeaResult::default();
+    for round in 0..options.ea_iterations.max(1) {
+        let r = match options.opt_level {
+            OptLevel::None => PeaResult::default(),
+            OptLevel::Ees => run_ees(&mut graph, program, &options.pea),
+            OptLevel::Pea => run_pea(&mut graph, program, &options.pea),
+        };
+        debug_assert_verify(&graph, "after escape analysis");
+        canonicalize(&mut graph);
+        graph.prune_dead();
+        if round == 0 {
+            pea_result = r;
+        } else if !r.changed() {
+            break;
+        }
+    }
+
+    // A verification failure here is a compiler bug; degrade to a bailout
+    // so the VM falls back to the interpreter instead of executing a
+    // corrupt graph.
+    if let Err(e) = pea_ir::verify::verify(&graph) {
+        debug_assert!(false, "post-compilation verification failed: {e}");
+        return Err(Bailout::Unsupported(format!("verification failed: {e}")));
+    }
+
+    let cfg = Cfg::build(&graph);
+    let dom = DomTree::build(&cfg);
+    let schedule = Schedule::build(&graph, &cfg, &dom);
+    let code_size = schedule.code_size();
+    Ok(CompiledMethod {
+        method,
+        graph,
+        cfg,
+        schedule,
+        code_size,
+        pea_result,
+    })
+}
+
+fn debug_assert_verify(graph: &Graph, stage: &str) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = pea_ir::verify::verify(graph) {
+            panic!("{stage}: {e}\n{}", pea_ir::dump::dump(graph));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The flow-insensitive baseline: Equi-Escape Sets (Kotzmann &
+//! Mössenböck), the style of analysis the paper compares against (§3,
+//! §6.2, §8.1).
+//!
+//! Values are partitioned with a union–find structure; any escape point
+//! (static store, call argument, return, throw) marks its whole set as
+//! escaping, and — matching the all-or-nothing character the paper
+//! criticizes — an allocation that flows into a phi (a control-flow merge)
+//! is treated as escaping, because a flow-insensitive scalar replacement
+//! cannot split it per branch.
+//!
+//! Scalar replacement then reuses the *same* engine as Partial Escape
+//! Analysis restricted to the provably never-escaping allocation sites
+//! ([`crate::PeaOptions::allowed`]), exactly like the HotSpot server
+//! compiler performs a separate analysis step followed by an optimization
+//! step (paper §1: "previous systems perform a control-flow-sensitive
+//! analysis step followed by a control-flow-insensitive optimization
+//! step").
+
+use crate::analysis::{run_pea, PeaOptions, PeaResult};
+use pea_bytecode::Program;
+use pea_ir::{Graph, NodeId, NodeKind};
+use std::collections::HashSet;
+
+/// Union–find over graph nodes with escape marks.
+#[derive(Clone, Debug)]
+pub struct EscapeSets {
+    parent: Vec<u32>,
+    escaped: Vec<bool>,
+}
+
+impl EscapeSets {
+    /// Builds the equi-escape sets for `graph`.
+    pub fn build(graph: &Graph) -> EscapeSets {
+        let n = graph.len();
+        let mut sets = EscapeSets {
+            parent: (0..n as u32).collect(),
+            escaped: vec![false; n],
+        };
+        for node in graph.live_nodes() {
+            match graph.kind(node) {
+                NodeKind::Phi { .. } => {
+                    for &input in graph.node(node).inputs() {
+                        sets.union(node, input);
+                    }
+                    // Allocation merges defeat flow-insensitive scalar
+                    // replacement.
+                    sets.mark_escaped(node);
+                }
+                NodeKind::CheckCast { .. } => {
+                    sets.union(node, graph.node(node).inputs()[0]);
+                }
+                NodeKind::StoreField { .. } => {
+                    let [obj, value] = graph.node(node).inputs() else {
+                        unreachable!()
+                    };
+                    sets.union(*obj, *value);
+                }
+                NodeKind::StoreIndexed => {
+                    let [arr, _idx, value] = graph.node(node).inputs() else {
+                        unreachable!()
+                    };
+                    sets.union(*arr, *value);
+                }
+                NodeKind::LoadField { .. } => {
+                    sets.union(node, graph.node(node).inputs()[0]);
+                }
+                NodeKind::LoadIndexed => {
+                    sets.union(node, graph.node(node).inputs()[0]);
+                }
+                NodeKind::PutStatic { .. }
+                | NodeKind::Invoke { .. }
+                | NodeKind::Return
+                | NodeKind::Throw
+                | NodeKind::Commit { .. } => {
+                    for &input in graph.node(node).inputs() {
+                        sets.mark_escaped(input);
+                    }
+                }
+                _ => {}
+            }
+        }
+        sets
+    }
+
+    fn find(&mut self, n: NodeId) -> u32 {
+        let mut x = n.0;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: NodeId, b: NodeId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            let escaped = self.escaped[ra as usize] || self.escaped[rb as usize];
+            self.parent[rb as usize] = ra;
+            self.escaped[ra as usize] = escaped;
+        }
+    }
+
+    fn mark_escaped(&mut self, n: NodeId) {
+        let r = self.find(n);
+        self.escaped[r as usize] = true;
+    }
+
+    /// Whether `n`'s set escapes.
+    pub fn escapes(&mut self, n: NodeId) -> bool {
+        let r = self.find(n);
+        self.escaped[r as usize]
+    }
+
+    /// All allocation sites whose sets never escape.
+    pub fn non_escaping_allocations(&mut self, graph: &Graph) -> HashSet<NodeId> {
+        graph
+            .live_nodes()
+            .filter(|&n| {
+                matches!(
+                    graph.kind(n),
+                    NodeKind::New { .. } | NodeKind::NewArray { .. }
+                )
+            })
+            .filter(|&n| !self.escapes(n))
+            .collect()
+    }
+}
+
+/// Runs the flow-insensitive baseline: Equi-Escape-Sets analysis followed
+/// by all-or-nothing scalar replacement of the never-escaping allocations.
+pub fn run_ees(graph: &mut Graph, program: &Program, base: &PeaOptions) -> PeaResult {
+    let mut sets = EscapeSets::build(graph);
+    let allowed = sets.non_escaping_allocations(graph);
+    let options = PeaOptions {
+        allowed: Some(allowed),
+        ..base.clone()
+    };
+    run_pea(graph, program, &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::{ClassId, StaticId};
+
+    /// start -> new -> putstatic(new) -> return
+    #[test]
+    fn static_store_escapes() {
+        let mut g = Graph::new();
+        let new = g.add(NodeKind::New { class: ClassId(0) }, vec![]);
+        g.set_next(g.start, new);
+        let put = g.add(NodeKind::PutStatic { id: StaticId(0) }, vec![new]);
+        g.set_next(new, put);
+        let ret = g.add(NodeKind::Return, vec![]);
+        g.set_next(put, ret);
+        let mut sets = EscapeSets::build(&g);
+        assert!(sets.escapes(new));
+        assert!(sets.non_escaping_allocations(&g).is_empty());
+    }
+
+    #[test]
+    fn local_allocation_does_not_escape() {
+        let mut g = Graph::new();
+        let new = g.add(NodeKind::New { class: ClassId(0) }, vec![]);
+        g.set_next(g.start, new);
+        let load = g.add(
+            NodeKind::LoadField {
+                field: pea_bytecode::FieldId(0),
+            },
+            vec![new],
+        );
+        g.set_next(new, load);
+        let ret = g.add(NodeKind::Return, vec![load]);
+        g.set_next(load, ret);
+        let mut sets = EscapeSets::build(&g);
+        // The load's value is returned — it unions with the object, and
+        // Return marks it escaping. This is exactly the flow-insensitive
+        // conservatism: the loaded *field value* escaping drags the object
+        // along.
+        assert!(sets.escapes(new));
+    }
+
+    #[test]
+    fn pure_local_use_survives() {
+        let mut g = Graph::new();
+        let new = g.add(NodeKind::New { class: ClassId(0) }, vec![]);
+        g.set_next(g.start, new);
+        let me = g.add(NodeKind::MonitorEnter, vec![new]);
+        g.set_next(new, me);
+        let mx = g.add(NodeKind::MonitorExit, vec![new]);
+        g.set_next(me, mx);
+        let c = g.const_int(0);
+        let ret = g.add(NodeKind::Return, vec![c]);
+        g.set_next(mx, ret);
+        let mut sets = EscapeSets::build(&g);
+        assert!(!sets.escapes(new));
+        assert_eq!(sets.non_escaping_allocations(&g).len(), 1);
+    }
+
+    #[test]
+    fn phi_join_escapes() {
+        let mut g = Graph::new();
+        let new_a = g.add(NodeKind::New { class: ClassId(0) }, vec![]);
+        let merge = g.add(NodeKind::Merge { ends: vec![] }, vec![]);
+        let null = g.const_null();
+        let phi = g.add(NodeKind::Phi { merge }, vec![new_a, null]);
+        let _ = phi;
+        let mut sets = EscapeSets::build(&g);
+        assert!(sets.escapes(new_a));
+    }
+
+    #[test]
+    fn store_into_escaping_object_escapes_value() {
+        let mut g = Graph::new();
+        let a = g.add(NodeKind::New { class: ClassId(0) }, vec![]);
+        g.set_next(g.start, a);
+        let b = g.add(NodeKind::New { class: ClassId(0) }, vec![]);
+        g.set_next(a, b);
+        let store = g.add(
+            NodeKind::StoreField {
+                field: pea_bytecode::FieldId(0),
+            },
+            vec![a, b],
+        );
+        g.set_next(b, store);
+        let put = g.add(NodeKind::PutStatic { id: StaticId(0) }, vec![a]);
+        g.set_next(store, put);
+        let ret = g.add(NodeKind::Return, vec![]);
+        g.set_next(put, ret);
+        let mut sets = EscapeSets::build(&g);
+        assert!(sets.escapes(a));
+        assert!(sets.escapes(b), "b stored into escaping a must escape");
+    }
+}

@@ -1,0 +1,39 @@
+//! **Partial Escape Analysis and Scalar Replacement** — the primary
+//! contribution of Stadler, Würthinger, Mössenböck (CGO 2014) — plus the
+//! flow-insensitive Equi-Escape-Sets baseline it is evaluated against.
+//!
+//! The analysis iterates the IR in control-flow order, maintaining for
+//! every encountered allocation an [`ObjectState`]: **virtual** (field
+//! values and lock count tracked symbolically; no code emitted) or
+//! **escaped** (materialized into an actual allocation on exactly the
+//! paths that need it). See the paper-section mapping:
+//!
+//! | paper | here |
+//! |---|---|
+//! | §5.1 allocation state (Listing 7, Fig. 3) | [`state`] |
+//! | §5.2 node effects (Fig. 4, Fig. 5) | [`process`] (via [`analysis`]) |
+//! | §5.3 merge processing (Fig. 6) | [`merge`] |
+//! | §5.4 loops (Fig. 7) | [`analysis`] (reentrant iteration + fixpoint) |
+//! | §5.5 frame states (Fig. 8) | [`framestate`] |
+//! | §3 / §6.2 baseline | [`ees`] |
+//!
+//! Graph mutations are collected as [`effects::Effect`]s during the
+//! analysis and applied atomically afterwards (the analogue of Graal's
+//! `EffectsPhase`), so abandoned loop iterations never corrupt the graph.
+//!
+//! Entry points: [`run_pea`] (the paper's algorithm) and [`run_ees`] (the
+//! all-or-nothing baseline).
+
+pub mod analysis;
+pub mod ees;
+pub mod effects;
+pub mod fixtures;
+pub mod framestate;
+pub mod liveness;
+pub mod merge;
+pub mod process;
+pub mod state;
+
+pub use analysis::{run_pea, PeaOptions, PeaResult};
+pub use ees::{run_ees, EscapeSets};
+pub use state::{AllocId, AllocInfo, ObjectState, PeaState};

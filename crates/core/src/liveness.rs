@@ -1,0 +1,231 @@
+//! Node liveness per basic block, used by the merge processor to drop
+//! object states that can no longer be observed.
+//!
+//! Rationale: the paper's merge rules (§5.3) materialize an object that is
+//! virtual on one predecessor and escaped on another. Applied naively to
+//! *dead* objects (e.g. a callee-local temporary after the inline
+//! continuation merge), this would re-introduce the very allocation PEA
+//! removed. Graal avoids tracking such objects because its bytecode
+//! parser prunes dead locals from frame states; our builder keeps all
+//! locals, so we compensate with an explicit backward liveness analysis:
+//! an allocation's state only survives a merge if one of its alias nodes
+//! is still referenced at or after the merge point (including by frame
+//! states), transitively through the fields of surviving objects.
+
+use pea_ir::cfg::{BlockId, Cfg};
+use pea_ir::{Graph, NodeId, NodeKind};
+
+/// A compact node set.
+#[derive(Clone, Debug, Default)]
+pub struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// Empty set sized for `n` nodes.
+    pub fn new(n: usize) -> NodeSet {
+        NodeSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts a node; ids beyond the sized range are ignored (they are
+    /// analysis-created nodes, never queried).
+    pub fn insert(&mut self, id: NodeId) {
+        let i = id.index();
+        if i / 64 < self.words.len() {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Membership test; out-of-range ids report `true` (conservatively
+    /// live).
+    pub fn contains(&self, id: NodeId) -> bool {
+        let i = id.index();
+        match self.words.get(i / 64) {
+            Some(w) => (w >> (i % 64)) & 1 == 1,
+            None => true,
+        }
+    }
+
+    /// Unions `other` into `self`; reports whether anything changed.
+    pub fn union_with(&mut self, other: &NodeSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            if new != *a {
+                *a = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+impl NodeSet {
+    /// Removes a node.
+    pub fn remove(&mut self, id: NodeId) {
+        let i = id.index();
+        if i / 64 < self.words.len() {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+}
+
+fn add_frame_state_refs(graph: &Graph, fs: NodeId, set: &mut NodeSet) {
+    let data = graph.frame_state_data(fs);
+    let inputs = graph.node(fs).inputs();
+    for i in data
+        .locals_range()
+        .chain(data.stack_range())
+        .chain(data.locks_range())
+    {
+        set.insert(inputs[i]);
+    }
+    if let Some(outer) = data.outer_index() {
+        add_frame_state_refs(graph, inputs[outer], set);
+    }
+}
+
+/// Transfer function of one block, processed in reverse: definitions kill
+/// (this is what makes loop back edges precise — a fresh allocation in
+/// the *next* iteration re-defines its node, so the previous iteration's
+/// value is not considered live across the back edge), uses generate
+/// (data inputs, frame-state slots including outer chains). Phis defined
+/// at the block head are killed; their inputs are generated at the
+/// predecessors instead.
+fn transfer_block(graph: &Graph, block: &crate::liveness::BlockRef<'_>, live_out: &NodeSet) -> NodeSet {
+    let mut live = live_out.clone();
+    for &node in block.nodes.iter().rev() {
+        live.remove(node);
+        for &input in graph.node(node).inputs() {
+            live.insert(input);
+        }
+        if let Some(fs) = graph.node(node).state_after {
+            add_frame_state_refs(graph, fs, &mut live);
+        }
+    }
+    let head = block.nodes[0];
+    if matches!(
+        graph.kind(head),
+        NodeKind::Merge { .. } | NodeKind::LoopBegin { .. }
+    ) {
+        for phi in graph.phis_of(head) {
+            live.remove(phi);
+        }
+    }
+    live
+}
+
+/// Borrowed view of a block's fixed nodes.
+struct BlockRef<'a> {
+    nodes: &'a [NodeId],
+}
+
+/// Computes SSA liveness per block entry: the set of already-defined
+/// nodes that may still be consumed at or after the block's entry (data
+/// inputs of fixed nodes, frame-state slots including outer chains, and
+/// phi inputs of successor merges).
+pub fn live_at_entry(graph: &Graph, cfg: &Cfg) -> Vec<NodeSet> {
+    let n = graph.len();
+    let nb = cfg.blocks.len();
+    let mut live_in: Vec<NodeSet> = vec![NodeSet::new(n); nb];
+    // Phi inputs are uses at the corresponding predecessor's end; gather
+    // them per predecessor block up front.
+    let mut phi_uses_at_end: Vec<NodeSet> = vec![NodeSet::new(n); nb];
+    for block in &cfg.blocks {
+        let head = block.first();
+        if matches!(
+            graph.kind(head),
+            NodeKind::Merge { .. } | NodeKind::LoopBegin { .. }
+        ) {
+            for phi in graph.phis_of(head) {
+                let inputs = graph.node(phi).inputs();
+                for (k, &pred) in block.preds.iter().enumerate() {
+                    if let Some(&input) = inputs.get(k) {
+                        phi_uses_at_end[pred.index()].insert(input);
+                    }
+                }
+            }
+        }
+    }
+
+    let order: Vec<BlockId> = cfg.rpo.iter().rev().copied().collect();
+    loop {
+        let mut changed = false;
+        for &b in &order {
+            let mut live_out = phi_uses_at_end[b.index()].clone();
+            for &s in &cfg.block(b).succs {
+                live_out.union_with(&live_in[s.index()]);
+            }
+            let new_in = transfer_block(
+                graph,
+                &BlockRef {
+                    nodes: &cfg.block(b).nodes,
+                },
+                &live_out,
+            );
+            if live_in[b.index()].union_with(&new_in) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    live_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::FieldId;
+    use pea_ir::NodeKind;
+
+    #[test]
+    fn nodeset_basics() {
+        let mut s = NodeSet::new(100);
+        assert!(!s.contains(NodeId(3)));
+        s.insert(NodeId(3));
+        assert!(s.contains(NodeId(3)));
+        // Out-of-range ids are conservatively live.
+        assert!(s.contains(NodeId(1000)));
+    }
+
+    #[test]
+    fn liveness_flows_backwards() {
+        // B0: start, new, if -> B1 (uses new) | B2 (does not)
+        let mut g = Graph::new();
+        let p = g.add(NodeKind::Param { index: 0 }, vec![]);
+        let new = g.add(
+            NodeKind::New {
+                class: pea_bytecode::ClassId(0),
+            },
+            vec![],
+        );
+        g.set_next(g.start, new);
+        let iff = g.add(NodeKind::If, vec![p]);
+        g.set_next(new, iff);
+        let t = g.add(NodeKind::Begin, vec![]);
+        let f = g.add(NodeKind::Begin, vec![]);
+        g.set_if_targets(iff, t, f);
+        let load = g.add(NodeKind::LoadField { field: FieldId(0) }, vec![new]);
+        g.set_next(t, load);
+        let r1 = g.add(NodeKind::Return, vec![load]);
+        g.set_next(load, r1);
+        let r2 = g.add(NodeKind::Return, vec![p]);
+        g.set_next(f, r2);
+
+        let cfg = pea_ir::cfg::Cfg::build(&g);
+        let live = live_at_entry(&g, &cfg);
+        let tb = cfg.block_of(t);
+        let fb = cfg.block_of(f);
+        assert!(live[tb.index()].contains(new), "true branch uses the object");
+        assert!(!live[fb.index()].contains(new), "false branch does not");
+        // The definition kills upwards: the object is not live-in at its
+        // own defining block.
+        assert!(!live[cfg.entry().index()].contains(new));
+        // The parameter flows into both return paths' predecessors.
+        assert!(live[fb.index()].contains(p));
+    }
+}

@@ -1,0 +1,359 @@
+//! The MergeProcessor (paper §5.3, Figure 6): combines the states arriving
+//! over multiple control-flow predecessors into one consistent state,
+//! materializing exactly where necessary and iterating until stable.
+
+use crate::analysis::PeaContext;
+use crate::effects::Effect;
+use crate::process::materialize;
+use crate::state::{AllocId, ObjectState, PeaState};
+use pea_ir::cfg::BlockId;
+use pea_ir::{NodeId, NodeKind};
+
+/// Cache key tag for the materialized-value phi of an escaped merge.
+const MAT_PHI_KEY: usize = usize::MAX;
+
+/// Merges `pred_states` (aligned with `anchors`, the predecessor `End`
+/// nodes and their blocks) at `merge_node` (a `Merge` or `LoopBegin`).
+/// Predecessor states are mutated in place when objects must materialize
+/// at a predecessor (Fig. 6b middle case); the caller writes them back.
+pub(crate) fn merge_states(
+    ctx: &mut PeaContext<'_>,
+    merge_node: NodeId,
+    pred_states: &mut [PeaState],
+    anchors: &[(NodeId, BlockId)],
+) -> PeaState {
+    assert_eq!(pred_states.len(), anchors.len());
+    assert!(!pred_states.is_empty());
+    // "The whole process is iterated until no additional materializations
+    // happen during merging" (§5.3).
+    loop {
+        let ticks_at_start = ctx.materialize_ticks;
+        let mut merged = PeaState::new();
+
+        // (a) Intersection: ids present in every predecessor state...
+        let candidates: Vec<AllocId> = pred_states[0]
+            .states
+            .keys()
+            .copied()
+            .filter(|id| pred_states.iter().all(|s| s.states.contains_key(id)))
+            .collect();
+        // ...that are still observable at or after the merge: some alias
+        // must be live (see `crate::liveness`), transitively through the
+        // fields of surviving objects. Dead object states are dropped
+        // instead of being needlessly materialized.
+        let surviving: Vec<AllocId> = {
+            let live = ctx
+                .cfg
+                .try_block_of(merge_node)
+                .map(|b| &ctx.live_in[b.index()]);
+            // Phi inputs are uses at the predecessor ends — objects
+            // flowing through this merge's phis are observable too.
+            let phi_inputs: std::collections::HashSet<NodeId> = ctx
+                .graph
+                .phis_of(merge_node)
+                .into_iter()
+                .flat_map(|phi| ctx.graph.node(phi).inputs().to_vec())
+                .collect();
+            let directly_live = |id: AllocId| -> bool {
+                let Some(live) = live else { return true };
+                pred_states.iter().any(|s| {
+                    s.aliases.iter().any(|(&node, &aid)| {
+                        aid == id && (live.contains(node) || phi_inputs.contains(&node))
+                    })
+                })
+            };
+            let mut keep: Vec<AllocId> =
+                candidates.iter().copied().filter(|&id| directly_live(id)).collect();
+            // Transitive closure: fields of live objects keep their
+            // referents alive.
+            let mut i = 0;
+            while i < keep.len() {
+                let id = keep[i];
+                i += 1;
+                for s in pred_states.iter() {
+                    if let ObjectState::Virtual { fields, .. } = s.object(id) {
+                        for &v in fields {
+                            if let Some(child) = s.alias_of(v) {
+                                if candidates.contains(&child) && !keep.contains(&child) {
+                                    keep.push(child);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            keep.sort_unstable();
+            keep
+        };
+        // Aliases common to all predecessors (same node → same id).
+        for (&node, &id) in &pred_states[0].aliases {
+            if surviving.contains(&id)
+                && pred_states
+                    .iter()
+                    .all(|s| s.alias_of(node) == Some(id))
+            {
+                merged.aliases.insert(node, id);
+            }
+        }
+
+        for &id in &surviving {
+            let obj_states: Vec<&ObjectState> =
+                pred_states.iter().map(|s| s.object(id)).collect();
+            let all_virtual = obj_states.iter().all(|s| s.is_virtual());
+            let all_escaped = obj_states.iter().all(|s| !s.is_virtual());
+
+            if all_virtual {
+                // Lock counts must agree; balanced programs guarantee it,
+                // and mismatches force materialization (defensive).
+                let lock_counts: Vec<u32> = obj_states
+                    .iter()
+                    .map(|s| match s {
+                        ObjectState::Virtual { lock_count, .. } => *lock_count,
+                        ObjectState::Escaped { .. } => unreachable!(),
+                    })
+                    .collect();
+                let locks_agree = lock_counts.windows(2).all(|w| w[0] == w[1]);
+                if locks_agree
+                    && merge_virtual(ctx, merge_node, pred_states, anchors, id, &mut merged)
+                {
+                    if ctx.materialize_ticks != ticks_at_start {
+                        break; // a field merge materialized something: restart
+                    }
+                    continue;
+                }
+                // Field merge required materialization (or was disabled,
+                // or locks disagree): materialize everywhere and retry.
+                for (k, (anchor, block)) in anchors.iter().enumerate() {
+                    if pred_states[k].object(id).is_virtual() {
+                        materialize(ctx, &mut pred_states[k], id, *anchor, *block);
+                    }
+                }
+                break; // restart the whole merge
+            }
+
+            if !all_escaped {
+                // Mixed: materialize the virtual ones at their
+                // predecessors, then fall through to the escaped case on
+                // the next round (§5.3, second bullet).
+                for (k, (anchor, block)) in anchors.iter().enumerate() {
+                    if pred_states[k].object(id).is_virtual() {
+                        materialize(ctx, &mut pred_states[k], id, *anchor, *block);
+                    }
+                }
+                break;
+            }
+
+            // All escaped (Fig. 6b): merge materialized values.
+            let values: Vec<NodeId> = pred_states
+                .iter()
+                .map(|s| s.object(id).materialized_value().expect("escaped"))
+                .collect();
+            let value = if values.windows(2).all(|w| w[0] == w[1]) {
+                values[0]
+            } else {
+                let phi = cached_phi(ctx, merge_node, id, MAT_PHI_KEY, &values);
+                phi
+            };
+            merged
+                .states
+                .insert(id, ObjectState::Escaped { materialized: value });
+        }
+
+        if ctx.materialize_ticks != ticks_at_start {
+            continue;
+        }
+
+        // Existing phis attached to the merge (Fig. 6c and the bullet
+        // list that follows it).
+        let phis = ctx.graph.phis_of(merge_node);
+        for phi in phis {
+            let inputs = ctx.graph.node(phi).inputs().to_vec();
+            // Loop begins are merged mid-construction in rounds where the
+            // phi may not have grown its back-edge inputs yet; only
+            // process when arities match.
+            if inputs.len() != pred_states.len() {
+                continue;
+            }
+            let ids: Vec<Option<AllocId>> = inputs
+                .iter()
+                .zip(pred_states.iter())
+                .map(|(&v, s)| s.virtual_alias(v))
+                .collect();
+            let first = ids[0];
+            if first.is_some()
+                && ids.iter().all(|&i| i == first)
+                && merged.states.get(&first.unwrap()).is_some_and(ObjectState::is_virtual)
+            {
+                // All inputs refer to the same (still virtual) object: the
+                // phi becomes an alias (Fig. 6c).
+                merged.add_alias(phi, first.unwrap());
+                continue;
+            }
+            // Otherwise: any virtual input must be materialized at its
+            // predecessor; escaped inputs are replaced by their
+            // materialized values.
+            for (k, &v) in inputs.iter().enumerate() {
+                match pred_states[k].alias_of(v) {
+                    Some(aid) => {
+                        let real = match pred_states[k].object(aid) {
+                            ObjectState::Virtual { .. } => {
+                                let (anchor, block) = anchors[k];
+                                materialize(ctx, &mut pred_states[k], aid, anchor, block)
+                            }
+                            ObjectState::Escaped { materialized } => *materialized,
+                        };
+                        if real != v {
+                            let (_, block) = anchors[k];
+                            ctx.record(
+                                block,
+                                Effect::SetInput {
+                                    node: phi,
+                                    index: k,
+                                    value: real,
+                                },
+                            );
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+
+        if ctx.materialize_ticks == ticks_at_start {
+            return merged;
+        }
+        // Materializations during phi processing invalidate earlier merge
+        // decisions — run the whole merge again (§5.3 last paragraph).
+    }
+}
+
+/// Merges the per-field values of a virtual object (the all-virtual case
+/// of §5.3). Returns `false` when the merge needs the object materialized
+/// instead (field-phi creation disabled, or a field's values cannot be
+/// combined).
+fn merge_virtual(
+    ctx: &mut PeaContext<'_>,
+    merge_node: NodeId,
+    pred_states: &mut [PeaState],
+    anchors: &[(NodeId, BlockId)],
+    id: AllocId,
+    merged: &mut PeaState,
+) -> bool {
+    let field_count = ctx.infos[id.index()].field_count;
+    let lock_count = match pred_states[0].object(id) {
+        ObjectState::Virtual { lock_count, .. } => *lock_count,
+        ObjectState::Escaped { .. } => unreachable!(),
+    };
+    let mut new_fields: Vec<NodeId> = Vec::with_capacity(field_count);
+    // First pass: decide per field without mutating anything, so a
+    // disabled-phi bailout has no side effects.
+    #[derive(Clone, Copy)]
+    enum Plan {
+        Keep(NodeId),
+        SameAlias(AllocId),
+        NeedPhi,
+    }
+    let mut plans: Vec<Plan> = Vec::with_capacity(field_count);
+    for f in 0..field_count {
+        let values: Vec<NodeId> = pred_states
+            .iter()
+            .map(|s| match s.object(id) {
+                ObjectState::Virtual { fields, .. } => fields[f],
+                ObjectState::Escaped { .. } => unreachable!(),
+            })
+            .collect();
+        if values.windows(2).all(|w| w[0] == w[1]) {
+            plans.push(Plan::Keep(values[0]));
+            continue;
+        }
+        // "If all predecessor VirtualStates reference the same Id, then so
+        // does the new one."
+        let aliased: Vec<Option<AllocId>> = values
+            .iter()
+            .zip(pred_states.iter())
+            .map(|(&v, s)| s.virtual_alias(v))
+            .collect();
+        if aliased[0].is_some() && aliased.iter().all(|&a| a == aliased[0]) {
+            plans.push(Plan::SameAlias(aliased[0].unwrap()));
+            continue;
+        }
+        if !ctx.options.field_phis {
+            return false;
+        }
+        plans.push(Plan::NeedPhi);
+    }
+
+    for (f, plan) in plans.into_iter().enumerate() {
+        match plan {
+            Plan::Keep(v) => new_fields.push(v),
+            Plan::SameAlias(a) => {
+                // Canonical alias node: the allocation's origin, which is
+                // an alias in every predecessor.
+                new_fields.push(ctx.infos[a.index()].origin);
+            }
+            Plan::NeedPhi => {
+                // Each input must be an actual runtime value: materialize
+                // virtual references at their predecessors (§5.3).
+                let mut phi_inputs: Vec<NodeId> = Vec::with_capacity(pred_states.len());
+                for k in 0..pred_states.len() {
+                    let v = match pred_states[k].object(id) {
+                        ObjectState::Virtual { fields, .. } => fields[f],
+                        // A previous field's materialization can never
+                        // escape `id` itself (it is not in its own field
+                        // closure unless cyclic — and then we bail).
+                        ObjectState::Escaped { .. } => return false,
+                    };
+                    let real = match pred_states[k].alias_of(v) {
+                        Some(aid) => match pred_states[k].object(aid) {
+                            ObjectState::Virtual { .. } => {
+                                let (anchor, block) = anchors[k];
+                                materialize(ctx, &mut pred_states[k], aid, anchor, block)
+                            }
+                            ObjectState::Escaped { materialized } => *materialized,
+                        },
+                        None => v,
+                    };
+                    phi_inputs.push(real);
+                }
+                let phi = cached_phi(ctx, merge_node, id, f, &phi_inputs);
+                new_fields.push(phi);
+            }
+        }
+    }
+    merged.states.insert(
+        id,
+        ObjectState::Virtual {
+            fields: new_fields,
+            lock_count,
+        },
+    );
+    true
+}
+
+/// Returns the cached phi for `(merge, id, key)`, creating it on first
+/// use; inputs are (re)assigned directly — these phis belong to the
+/// analysis and are pruned if an abandoned round leaves them unused.
+fn cached_phi(
+    ctx: &mut PeaContext<'_>,
+    merge_node: NodeId,
+    id: AllocId,
+    key: usize,
+    inputs: &[NodeId],
+) -> NodeId {
+    if let Some(&phi) = ctx.phi_cache.get(&(merge_node, id, key)) {
+        let current = ctx.graph.node(phi).inputs().len();
+        for (i, &v) in inputs.iter().enumerate() {
+            if i < current {
+                ctx.graph.set_input(phi, i, v);
+            } else {
+                ctx.graph.push_input(phi, v);
+            }
+        }
+        return phi;
+    }
+    let phi = ctx
+        .graph
+        .add(NodeKind::Phi { merge: merge_node }, inputs.to_vec());
+    ctx.phi_cache.insert((merge_node, id, key), phi);
+    phi
+}

@@ -1,0 +1,248 @@
+//! The allocation state propagated through the IR (paper §5.1,
+//! Listing 7, Figure 3).
+
+use pea_ir::{AllocShape, NodeId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identity of one allocation *site occurrence* discovered during the
+/// analysis (the paper's `Id` objects).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocId(pub u32);
+
+impl AllocId {
+    /// Raw index into the analysis' [`AllocInfo`] table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AllocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.0)
+    }
+}
+
+impl fmt::Display for AllocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.0)
+    }
+}
+
+/// Immutable per-allocation metadata, shared by all states.
+#[derive(Clone, Debug)]
+pub struct AllocInfo {
+    /// Shape (class or fixed-length array).
+    pub shape: AllocShape,
+    /// The `New`/`NewArray` node this allocation came from.
+    pub origin: NodeId,
+    /// Number of field (or element) slots.
+    pub field_count: usize,
+}
+
+/// The paper's `ObjectState`: what the analysis currently knows about one
+/// allocation on the current path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectState {
+    /// No reason to allocate yet: field values and lock depth are tracked
+    /// symbolically (`VirtualState` in Listing 7).
+    Virtual {
+        /// Current value of each field/element. Entries may be alias
+        /// nodes of other (virtual or escaped) allocations.
+        fields: Vec<NodeId>,
+        /// Monitor depth the object would be held at (paper Fig. 4c/4d).
+        lock_count: u32,
+    },
+    /// The object exists in the heap (`EscapedState` in Listing 7).
+    Escaped {
+        /// Node producing the actual object reference (an
+        /// `AllocatedObject` of a commit, or a phi of such).
+        materialized: NodeId,
+    },
+}
+
+impl ObjectState {
+    /// Whether the object is still virtual.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, ObjectState::Virtual { .. })
+    }
+
+    /// The materialized value, if escaped.
+    pub fn materialized_value(&self) -> Option<NodeId> {
+        match self {
+            ObjectState::Escaped { materialized } => Some(*materialized),
+            ObjectState::Virtual { .. } => None,
+        }
+    }
+}
+
+/// The flow state: object states plus the alias map (paper Listing 7's
+/// `State` class).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PeaState {
+    /// Knowledge about each live allocation.
+    pub states: BTreeMap<AllocId, ObjectState>,
+    /// Mapping from IR nodes to the allocation they refer to. Initially
+    /// the `New` node; loads, phis and casts add more aliases (§5.1).
+    pub aliases: BTreeMap<NodeId, AllocId>,
+}
+
+impl PeaState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The allocation a node refers to, if tracked.
+    pub fn alias_of(&self, node: NodeId) -> Option<AllocId> {
+        self.aliases.get(&node).copied()
+    }
+
+    /// The object state of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not tracked in this state.
+    pub fn object(&self, id: AllocId) -> &ObjectState {
+        self.states.get(&id).expect("untracked allocation")
+    }
+
+    /// Mutable object state of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not tracked in this state.
+    pub fn object_mut(&mut self, id: AllocId) -> &mut ObjectState {
+        self.states.get_mut(&id).expect("untracked allocation")
+    }
+
+    /// Allocation id a node refers to *and* whose object is still virtual.
+    pub fn virtual_alias(&self, node: NodeId) -> Option<AllocId> {
+        self.alias_of(node)
+            .filter(|id| self.states.get(id).is_some_and(ObjectState::is_virtual))
+    }
+
+    /// Registers a new virtual allocation.
+    pub fn add_virtual(&mut self, id: AllocId, origin: NodeId, fields: Vec<NodeId>) {
+        self.states.insert(
+            id,
+            ObjectState::Virtual {
+                fields,
+                lock_count: 0,
+            },
+        );
+        self.aliases.insert(origin, id);
+    }
+
+    /// Registers `node` as an additional alias of `id`.
+    pub fn add_alias(&mut self, node: NodeId, id: AllocId) {
+        self.aliases.insert(node, id);
+    }
+
+    /// All ids currently in the virtual state.
+    pub fn virtual_ids(&self) -> Vec<AllocId> {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.is_virtual())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Renders the state in the visual style of the paper's Figure 3/4:
+    /// one line per id (`v` = virtual with lock count and fields, `e` =
+    /// escaped with materialized value), then the alias table.
+    pub fn render(&self, infos: &[AllocInfo]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (&id, state) in &self.states {
+            let shape = infos
+                .get(id.index())
+                .map(|i| i.shape.to_string())
+                .unwrap_or_else(|| "?".into());
+            match state {
+                ObjectState::Virtual { fields, lock_count } => {
+                    let fs: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+                    let _ = writeln!(
+                        out,
+                        "  {shape} {id}  v {lock_count} [{}]",
+                        fs.join(", ")
+                    );
+                }
+                ObjectState::Escaped { materialized } => {
+                    let _ = writeln!(out, "  {shape} {id}  e -> {materialized}");
+                }
+            }
+        }
+        if !self.aliases.is_empty() {
+            let aliases: Vec<String> = self
+                .aliases
+                .iter()
+                .map(|(n, id)| format!("{n}->{id}"))
+                .collect();
+            let _ = writeln!(out, "  aliases: {}", aliases.join(", "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::ClassId;
+
+    fn info() -> Vec<AllocInfo> {
+        vec![AllocInfo {
+            shape: AllocShape::Instance { class: ClassId(0) },
+            origin: NodeId(5),
+            field_count: 2,
+        }]
+    }
+
+    #[test]
+    fn add_virtual_registers_alias() {
+        let mut s = PeaState::new();
+        s.add_virtual(AllocId(0), NodeId(5), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(s.alias_of(NodeId(5)), Some(AllocId(0)));
+        assert!(s.object(AllocId(0)).is_virtual());
+        assert_eq!(s.virtual_alias(NodeId(5)), Some(AllocId(0)));
+        assert_eq!(s.virtual_ids(), vec![AllocId(0)]);
+    }
+
+    #[test]
+    fn escaped_objects_are_not_virtual_aliases() {
+        let mut s = PeaState::new();
+        s.add_virtual(AllocId(0), NodeId(5), vec![]);
+        *s.object_mut(AllocId(0)) = ObjectState::Escaped {
+            materialized: NodeId(9),
+        };
+        assert_eq!(s.virtual_alias(NodeId(5)), None);
+        assert_eq!(s.alias_of(NodeId(5)), Some(AllocId(0)));
+        assert_eq!(
+            s.object(AllocId(0)).materialized_value(),
+            Some(NodeId(9))
+        );
+    }
+
+    #[test]
+    fn states_compare_structurally() {
+        let mut a = PeaState::new();
+        a.add_virtual(AllocId(0), NodeId(5), vec![NodeId(1)]);
+        let mut b = PeaState::new();
+        b.add_virtual(AllocId(0), NodeId(5), vec![NodeId(1)]);
+        assert_eq!(a, b);
+        if let ObjectState::Virtual { lock_count, .. } = b.object_mut(AllocId(0)) {
+            *lock_count = 1;
+        }
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn render_matches_figure_style() {
+        let mut s = PeaState::new();
+        s.add_virtual(AllocId(0), NodeId(5), vec![NodeId(1), NodeId(2)]);
+        let text = s.render(&info());
+        assert!(text.contains("v 0 [v1, v2]"), "{text}");
+        assert!(text.contains("aliases: v5->(0)"), "{text}");
+    }
+}

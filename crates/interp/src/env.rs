@@ -1,0 +1,128 @@
+//! The execution environment the interpreter runs against.
+
+use pea_bytecode::{MethodId, Program};
+use pea_runtime::profile::ProfileStore;
+use pea_runtime::{Heap, Statics, Value, VmError};
+use std::rc::Rc;
+
+/// Services the interpreter needs from its host.
+///
+/// The tiered VM implements this to route [`InterpEnv::invoke`] through
+/// its compilation policy; tests use [`SimpleEnv`], which always
+/// interprets.
+pub trait InterpEnv {
+    /// The managed heap.
+    fn heap(&mut self) -> &mut Heap;
+    /// Static variable storage.
+    fn statics(&mut self) -> &mut Statics;
+    /// Profile sink; the interpreter records branches, receivers and
+    /// invocations here.
+    fn profiles(&mut self) -> &mut ProfileStore;
+    /// Charges virtual cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::OutOfFuel`] once the host's budget is exhausted.
+    fn charge(&mut self, cycles: u64) -> Result<(), VmError>;
+    /// Performs a (resolved) call; the host picks the tier.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the callee raises.
+    fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError>;
+    /// Whether the interpreter should record profiling data.
+    fn profiling_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A minimal interpret-everything environment for tests and examples: owns
+/// the heap and statics and recursively interprets every call.
+#[derive(Debug)]
+pub struct SimpleEnv {
+    program: Rc<Program>,
+    /// The managed heap (public for inspection in tests).
+    pub heap: Heap,
+    /// Static variable storage.
+    pub statics: Statics,
+    /// Gathered profiles.
+    pub profiles: ProfileStore,
+    /// Optional cycle budget; `None` means unlimited.
+    pub fuel: Option<u64>,
+    spent: u64,
+}
+
+impl SimpleEnv {
+    /// Creates an environment for `program` with unlimited fuel.
+    pub fn new(program: Program) -> Self {
+        let statics = Statics::new(&program.statics);
+        SimpleEnv {
+            program: Rc::new(program),
+            heap: Heap::new(),
+            statics,
+            profiles: ProfileStore::new(),
+            fuel: None,
+            spent: 0,
+        }
+    }
+
+    /// Creates an environment with a cycle budget.
+    pub fn with_fuel(program: Program, fuel: u64) -> Self {
+        let mut env = Self::new(program);
+        env.fuel = Some(fuel);
+        env
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Cycles charged so far.
+    pub fn cycles_spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Runs a static method by name.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchMethod`] if the name does not resolve, otherwise
+    /// whatever execution raises.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, VmError> {
+        let method = self
+            .program
+            .static_method_by_name(name)
+            .ok_or_else(|| VmError::NoSuchMethod(name.to_string()))?;
+        let program = Rc::clone(&self.program);
+        crate::interpret(&program, self, method, args.to_vec())
+    }
+}
+
+impl InterpEnv for SimpleEnv {
+    fn heap(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    fn statics(&mut self) -> &mut Statics {
+        &mut self.statics
+    }
+
+    fn profiles(&mut self) -> &mut ProfileStore {
+        &mut self.profiles
+    }
+
+    fn charge(&mut self, cycles: u64) -> Result<(), VmError> {
+        self.spent += cycles;
+        self.heap.stats.cycles += cycles;
+        match self.fuel {
+            Some(limit) if self.spent > limit => Err(VmError::OutOfFuel),
+            _ => Ok(()),
+        }
+    }
+
+    fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+        let program = Rc::clone(&self.program);
+        crate::interpret(&program, self, method, args)
+    }
+}

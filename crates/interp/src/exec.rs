@@ -1,0 +1,642 @@
+//! The interpreter execution loop, including resume-after-deoptimization.
+
+use crate::{Frame, InterpEnv};
+use pea_bytecode::{Insn, MethodId, Program};
+use pea_runtime::cost;
+use pea_runtime::{Value, VmError};
+
+/// Interprets one method call to completion.
+///
+/// # Errors
+///
+/// Any [`VmError`] the method raises, including errors propagated out of
+/// callees invoked through `env`.
+pub fn interpret(
+    program: &Program,
+    env: &mut dyn InterpEnv,
+    method: MethodId,
+    args: Vec<Value>,
+) -> Result<Option<Value>, VmError> {
+    let m = program.method(method);
+    debug_assert_eq!(args.len(), m.param_count as usize, "arity mismatch");
+    env.charge(cost::CALL_OVERHEAD)?;
+    if env.profiling_enabled() {
+        env.profiles().record_invocation(method);
+    }
+    let mut frame = Frame::entry(method, m.max_locals, &args);
+    if m.is_synchronized {
+        let receiver = frame.locals[0].as_ref()?;
+        env.heap().monitor_enter(receiver);
+        env.charge(cost::MONITOR_OP)?;
+        frame.locked.push(receiver);
+    }
+    run_frame(program, env, &mut frame)
+}
+
+/// Resumes execution from a reconstructed frame chain after
+/// deoptimization. `frames` is outermost-first; the innermost frame
+/// resumes at its `bci`, and when it returns, each outer frame continues
+/// *after* the `invoke` instruction at its own `bci`, consuming the return
+/// value if the callee returns one.
+///
+/// # Errors
+///
+/// Any [`VmError`] the resumed execution raises.
+///
+/// # Panics
+///
+/// Panics if `frames` is empty or an outer frame's `bci` does not point at
+/// an invoke instruction (both indicate a frame-state construction bug).
+pub fn resume(
+    program: &Program,
+    env: &mut dyn InterpEnv,
+    mut frames: Vec<Frame>,
+) -> Result<Option<Value>, VmError> {
+    assert!(!frames.is_empty(), "resume with no frames");
+    let mut result: Option<Value> = None;
+    let mut first = true;
+    while let Some(mut frame) = frames.pop() {
+        if !first {
+            // This frame was suspended at its invoke instruction.
+            let insn = program.method(frame.method).code[frame.bci as usize];
+            let callee = match insn {
+                Insn::InvokeStatic(mid) | Insn::InvokeVirtual(mid) => mid,
+                other => panic!("outer deopt frame not at an invoke: {other:?}"),
+            };
+            if program.method(callee).returns_value {
+                let v = result.take().ok_or_else(|| {
+                    VmError::Internal("missing return value on resume".into())
+                })?;
+                frame.stack.push(v);
+            }
+            frame.bci += 1;
+        }
+        first = false;
+        result = run_frame(program, env, &mut frame)?;
+    }
+    Ok(result)
+}
+
+fn pop(frame: &mut Frame) -> Result<Value, VmError> {
+    frame
+        .stack
+        .pop()
+        .ok_or_else(|| VmError::Internal("operand stack underflow".into()))
+}
+
+/// Executes `frame` until it returns. The frame's `bci` selects the next
+/// instruction throughout, so a frame reconstructed mid-method continues
+/// seamlessly.
+fn run_frame(
+    program: &Program,
+    env: &mut dyn InterpEnv,
+    frame: &mut Frame,
+) -> Result<Option<Value>, VmError> {
+    let method = frame.method;
+    let code: &[Insn] = &program.method(method).code;
+    loop {
+        let insn = code[frame.bci as usize];
+        env.charge(cost::INTERP_DISPATCH)?;
+        let mut next = frame.bci + 1;
+        match insn {
+            Insn::Const(v) => {
+                env.charge(cost::ALU_OP)?;
+                frame.stack.push(Value::Int(v));
+            }
+            Insn::ConstNull => {
+                env.charge(cost::ALU_OP)?;
+                frame.stack.push(Value::Null);
+            }
+            Insn::Load(n) => {
+                env.charge(cost::ALU_OP)?;
+                frame.stack.push(frame.locals[n as usize]);
+            }
+            Insn::Store(n) => {
+                env.charge(cost::ALU_OP)?;
+                let v = pop(frame)?;
+                frame.locals[n as usize] = v;
+            }
+            Insn::Add | Insn::Sub | Insn::Mul | Insn::Div | Insn::Rem | Insn::And | Insn::Or
+            | Insn::Xor | Insn::Shl | Insn::Shr => {
+                env.charge(cost::ALU_OP)?;
+                let b = pop(frame)?.as_int()?;
+                let a = pop(frame)?.as_int()?;
+                let r = apply_binop(insn, a, b)?;
+                frame.stack.push(Value::Int(r));
+            }
+            Insn::Neg => {
+                env.charge(cost::ALU_OP)?;
+                let a = pop(frame)?.as_int()?;
+                frame.stack.push(Value::Int(a.wrapping_neg()));
+            }
+            Insn::Pop => {
+                env.charge(cost::ALU_OP)?;
+                pop(frame)?;
+            }
+            Insn::Dup => {
+                env.charge(cost::ALU_OP)?;
+                let v = pop(frame)?;
+                frame.stack.push(v);
+                frame.stack.push(v);
+            }
+            Insn::Swap => {
+                env.charge(cost::ALU_OP)?;
+                let b = pop(frame)?;
+                let a = pop(frame)?;
+                frame.stack.push(b);
+                frame.stack.push(a);
+            }
+            Insn::Goto(t) => {
+                env.charge(cost::BRANCH_OP)?;
+                next = t;
+            }
+            Insn::IfCmp(op, t) => {
+                env.charge(cost::BRANCH_OP)?;
+                let b = pop(frame)?.as_int()?;
+                let a = pop(frame)?.as_int()?;
+                let taken = op.apply(a, b);
+                if env.profiling_enabled() {
+                    env.profiles().record_branch(method, frame.bci, taken);
+                }
+                if taken {
+                    next = t;
+                }
+            }
+            Insn::IfNull(t) | Insn::IfNonNull(t) => {
+                env.charge(cost::BRANCH_OP)?;
+                let v = pop(frame)?.as_ref_or_null()?;
+                let taken = v.is_none() == matches!(insn, Insn::IfNull(_));
+                if env.profiling_enabled() {
+                    env.profiles().record_branch(method, frame.bci, taken);
+                }
+                if taken {
+                    next = t;
+                }
+            }
+            Insn::IfRefEq(t) | Insn::IfRefNe(t) => {
+                env.charge(cost::BRANCH_OP)?;
+                let b = pop(frame)?.as_ref_or_null()?;
+                let a = pop(frame)?.as_ref_or_null()?;
+                let taken = (a == b) == matches!(insn, Insn::IfRefEq(_));
+                if env.profiling_enabled() {
+                    env.profiles().record_branch(method, frame.bci, taken);
+                }
+                if taken {
+                    next = t;
+                }
+            }
+            Insn::New(class) => {
+                let bytes = program.object_size(class);
+                env.charge(cost::alloc_cost(bytes))?;
+                let r = env.heap().alloc_instance(program, class);
+                frame.stack.push(Value::Ref(r));
+            }
+            Insn::GetField(field) => {
+                env.charge(cost::MEMORY_OP)?;
+                let r = pop(frame)?.as_ref()?;
+                let v = env.heap().get_field(program, r, field)?;
+                frame.stack.push(v);
+            }
+            Insn::PutField(field) => {
+                env.charge(cost::MEMORY_OP)?;
+                let v = pop(frame)?;
+                let r = pop(frame)?.as_ref()?;
+                env.heap().put_field(program, r, field, v)?;
+            }
+            Insn::GetStatic(s) => {
+                env.charge(cost::MEMORY_OP)?;
+                let v = env.statics().get(s);
+                frame.stack.push(v);
+            }
+            Insn::PutStatic(s) => {
+                env.charge(cost::MEMORY_OP)?;
+                let v = pop(frame)?;
+                env.statics().set(s, v);
+            }
+            Insn::NewArray(kind) => {
+                let len = pop(frame)?.as_int()?;
+                let bytes = Program::array_size(len.max(0) as u64);
+                env.charge(cost::alloc_cost(bytes))?;
+                let r = env.heap().alloc_array(kind, len)?;
+                frame.stack.push(Value::Ref(r));
+            }
+            Insn::ArrayLoad => {
+                env.charge(cost::MEMORY_OP)?;
+                let i = pop(frame)?.as_int()?;
+                let r = pop(frame)?.as_ref()?;
+                let v = env.heap().array_get(r, i)?;
+                frame.stack.push(v);
+            }
+            Insn::ArrayStore => {
+                env.charge(cost::MEMORY_OP)?;
+                let v = pop(frame)?;
+                let i = pop(frame)?.as_int()?;
+                let r = pop(frame)?.as_ref()?;
+                env.heap().array_set(r, i, v)?;
+            }
+            Insn::ArrayLength => {
+                env.charge(cost::MEMORY_OP)?;
+                let r = pop(frame)?.as_ref()?;
+                let len = env.heap().array_length(r)?;
+                frame.stack.push(Value::Int(len));
+            }
+            Insn::InstanceOf(class) => {
+                env.charge(cost::ALU_OP)?;
+                let v = pop(frame)?.as_ref_or_null()?;
+                let is = match v {
+                    Some(r) => {
+                        let dynamic = env.heap().class_of(r)?;
+                        program.is_subclass_of(dynamic, class)
+                    }
+                    None => false,
+                };
+                frame.stack.push(Value::from_bool(is));
+            }
+            Insn::CheckCast(class) => {
+                env.charge(cost::ALU_OP)?;
+                let v = pop(frame)?;
+                if let Some(r) = v.as_ref_or_null()? {
+                    let dynamic = env.heap().class_of(r)?;
+                    if !program.is_subclass_of(dynamic, class) {
+                        return Err(VmError::ClassCast {
+                            expected: program.class(class).name.clone(),
+                            found: program.class(dynamic).name.clone(),
+                        });
+                    }
+                }
+                frame.stack.push(v);
+            }
+            Insn::MonitorEnter => {
+                env.charge(cost::MONITOR_OP)?;
+                let r = pop(frame)?.as_ref()?;
+                env.heap().monitor_enter(r);
+            }
+            Insn::MonitorExit => {
+                env.charge(cost::MONITOR_OP)?;
+                let r = pop(frame)?.as_ref()?;
+                env.heap().monitor_exit(r)?;
+            }
+            Insn::InvokeStatic(target) => {
+                let argc = program.method(target).param_count as usize;
+                let args = split_args(frame, argc)?;
+                let result = env.invoke(target, args)?;
+                if let Some(v) = result {
+                    frame.stack.push(v);
+                }
+            }
+            Insn::InvokeVirtual(target) => {
+                let argc = program.method(target).param_count as usize;
+                let args = split_args(frame, argc)?;
+                let receiver = args[0].as_ref()?;
+                let dynamic = env.heap().class_of(receiver)?;
+                if env.profiling_enabled() {
+                    env.profiles().record_receiver(method, frame.bci, dynamic);
+                }
+                let resolved = program
+                    .resolve_virtual(dynamic, target)
+                    .map_err(|e| VmError::NoSuchMethod(e.to_string()))?;
+                let result = env.invoke(resolved, args)?;
+                if let Some(v) = result {
+                    frame.stack.push(v);
+                }
+            }
+            Insn::Return => {
+                release_frame_locks(env, frame)?;
+                return Ok(None);
+            }
+            Insn::ReturnValue => {
+                let v = pop(frame)?;
+                release_frame_locks(env, frame)?;
+                return Ok(Some(v));
+            }
+            Insn::Throw => {
+                let code = pop(frame)?.as_int()?;
+                return Err(VmError::UserException(code));
+            }
+        }
+        frame.bci = next;
+    }
+}
+
+fn release_frame_locks(env: &mut dyn InterpEnv, frame: &mut Frame) -> Result<(), VmError> {
+    while let Some(r) = frame.locked.pop() {
+        env.charge(cost::MONITOR_OP)?;
+        env.heap().monitor_exit(r)?;
+    }
+    Ok(())
+}
+
+fn split_args(frame: &mut Frame, argc: usize) -> Result<Vec<Value>, VmError> {
+    if frame.stack.len() < argc {
+        return Err(VmError::Internal("operand stack underflow at call".into()));
+    }
+    Ok(frame.stack.split_off(frame.stack.len() - argc))
+}
+
+fn apply_binop(insn: Insn, a: i64, b: i64) -> Result<i64, VmError> {
+    Ok(match insn {
+        Insn::Add => a.wrapping_add(b),
+        Insn::Sub => a.wrapping_sub(b),
+        Insn::Mul => a.wrapping_mul(b),
+        Insn::Div => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero);
+            }
+            a.wrapping_div(b)
+        }
+        Insn::Rem => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        Insn::And => a & b,
+        Insn::Or => a | b,
+        Insn::Xor => a ^ b,
+        Insn::Shl => a.wrapping_shl((b & 63) as u32),
+        Insn::Shr => a.wrapping_shr((b & 63) as u32),
+        other => return Err(VmError::Internal(format!("not a binop: {other:?}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimpleEnv;
+    use pea_bytecode::asm::parse_program;
+    use pea_bytecode::{verify_program, CmpOp};
+
+    fn run(source: &str, entry: &str, args: &[Value]) -> Result<Option<Value>, VmError> {
+        let program = parse_program(source).expect("asm");
+        verify_program(&program).expect("verify");
+        let mut env = SimpleEnv::new(program);
+        env.call(entry, args)
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        let r = run(
+            "method f 2 returns { load 0 load 1 add const 2 mul retv }",
+            "f",
+            &[Value::Int(3), Value::Int(4)],
+        );
+        assert_eq!(r.unwrap(), Some(Value::Int(14)));
+    }
+
+    #[test]
+    fn division_by_zero_raises() {
+        let r = run(
+            "method f 1 returns { load 0 const 0 div retv }",
+            "f",
+            &[Value::Int(3)],
+        );
+        assert_eq!(r.unwrap_err(), VmError::DivisionByZero);
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // sum 0..n
+        let src = "method f 1 returns {
+            const 0 store 1
+            const 0 store 2
+        Lhead:
+            load 2 load 0 ifcmp ge Ldone
+            load 1 load 2 add store 1
+            load 2 const 1 add store 2
+            goto Lhead
+        Ldone:
+            load 1 retv
+        }";
+        assert_eq!(run(src, "f", &[Value::Int(5)]).unwrap(), Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn objects_fields_and_identity() {
+        let src = "
+        class Box { field v int }
+        method f 1 returns {
+            new Box
+            store 1
+            load 1 load 0 putfield Box.v
+            load 1 getfield Box.v
+            retv
+        }";
+        assert_eq!(run(src, "f", &[Value::Int(9)]).unwrap(), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn null_field_access_raises() {
+        let src = "
+        class Box { field v int }
+        method f 0 returns { cnull getfield Box.v retv }";
+        assert_eq!(run(src, "f", &[]).unwrap_err(), VmError::NullPointer);
+    }
+
+    #[test]
+    fn statics_round_trip() {
+        let src = "
+        static g int
+        method f 1 returns { load 0 putstatic g getstatic g retv }";
+        assert_eq!(run(src, "f", &[Value::Int(7)]).unwrap(), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn arrays_work() {
+        let src = "method f 1 returns {
+            const 4 newarray int store 1
+            load 1 const 2 load 0 astore
+            load 1 const 2 aload
+            load 1 arraylen
+            add retv
+        }";
+        assert_eq!(run(src, "f", &[Value::Int(5)]).unwrap(), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn static_calls_pass_arguments() {
+        let src = "
+        method g 2 returns { load 0 load 1 sub retv }
+        method f 0 returns { const 10 const 4 invokestatic g retv }";
+        assert_eq!(run(src, "f", &[]).unwrap(), Some(Value::Int(6)));
+    }
+
+    #[test]
+    fn virtual_dispatch_picks_override() {
+        let src = "
+        class A { }
+        class B extends A { }
+        method virtual A.tag 1 returns { const 1 retv }
+        method virtual B.tag 1 returns { const 2 retv }
+        method f 0 returns { new B invokevirtual A.tag retv }";
+        assert_eq!(run(src, "f", &[]).unwrap(), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn synchronized_methods_balance_monitors() {
+        let src = "
+        class C { field v int }
+        method virtual C.get 1 returns synchronized { load 0 getfield C.v retv }
+        method f 0 returns { new C store 0 load 0 invokevirtual C.get retv }";
+        let program = parse_program(src).unwrap();
+        let mut env = SimpleEnv::new(program);
+        let r = env.call("f", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(0)));
+        assert_eq!(env.heap.stats.monitor_enters, 1);
+        assert_eq!(env.heap.stats.monitor_exits, 1);
+        assert_eq!(env.heap.total_lock_holds(), 0);
+    }
+
+    #[test]
+    fn explicit_monitors() {
+        let src = "
+        class C { }
+        method f 0 returns {
+            new C store 0
+            load 0 monitorenter
+            load 0 monitorexit
+            const 1 retv
+        }";
+        let program = parse_program(src).unwrap();
+        let mut env = SimpleEnv::new(program);
+        env.call("f", &[]).unwrap();
+        assert_eq!(env.heap.stats.monitor_ops(), 2);
+        assert_eq!(env.heap.total_lock_holds(), 0);
+    }
+
+    #[test]
+    fn throw_propagates_through_calls() {
+        let src = "
+        method g 0 { const 42 throw }
+        method f 0 returns { invokestatic g const 1 retv }";
+        assert_eq!(run(src, "f", &[]).unwrap_err(), VmError::UserException(42));
+    }
+
+    #[test]
+    fn instanceof_and_checkcast() {
+        let src = "
+        class A { }
+        class B extends A { }
+        method f 0 returns {
+            new B
+            dup
+            instanceof A
+            swap
+            checkcast A
+            pop
+            retv
+        }";
+        assert_eq!(run(src, "f", &[]).unwrap(), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn checkcast_failure() {
+        let src = "
+        class A { }
+        class B extends A { }
+        method f 0 returns { new A checkcast B pop const 0 retv }";
+        assert!(matches!(
+            run(src, "f", &[]).unwrap_err(),
+            VmError::ClassCast { .. }
+        ));
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let src = "method f 0 returns { Lx: goto Lx }";
+        let program = parse_program(src).unwrap();
+        let mut env = SimpleEnv::with_fuel(program, 10_000);
+        assert_eq!(env.call("f", &[]).unwrap_err(), VmError::OutOfFuel);
+    }
+
+    #[test]
+    fn profiles_record_branches_and_receivers() {
+        let src = "
+        class A { }
+        method virtual A.id 1 returns { const 5 retv }
+        method f 1 returns {
+            load 0 const 0 ifcmp le Lneg
+            new A invokevirtual A.id retv
+        Lneg:
+            const -1 retv
+        }";
+        let program = parse_program(src).unwrap();
+        let f = program.static_method_by_name("f").unwrap();
+        let mut env = SimpleEnv::new(program);
+        env.call("f", &[Value::Int(5)]).unwrap();
+        env.call("f", &[Value::Int(5)]).unwrap();
+        env.call("f", &[Value::Int(-1)]).unwrap();
+        let b = env.profiles.branch(f, 2).unwrap();
+        assert_eq!(b.taken, 1);
+        assert_eq!(b.not_taken, 2);
+        assert_eq!(env.profiles.invocation_count(f), 3);
+        // receiver profile exists at the invokevirtual bci (5)
+        assert!(env.profiles.receiver(f, 4).is_some());
+    }
+
+    #[test]
+    fn resume_continues_mid_method() {
+        // f computes local1 = a*2 at bci 0..3, then returns local1 + 1.
+        let src = "method f 1 returns {
+            load 0 const 2 mul store 1
+            load 1 const 1 add retv
+        }";
+        let program = parse_program(src).unwrap();
+        let f = program.static_method_by_name("f").unwrap();
+        let mut env = SimpleEnv::new(program.clone());
+        // Resume at bci 4 (after the store) with locals [a=3, local1=99].
+        let frame = Frame {
+            method: f,
+            bci: 4,
+            locals: vec![Value::Int(3), Value::Int(99)],
+            stack: vec![],
+            locked: vec![],
+        };
+        let r = resume(&program, &mut env, vec![frame]).unwrap();
+        assert_eq!(r, Some(Value::Int(100)));
+    }
+
+    #[test]
+    fn resume_pops_frame_chain() {
+        // caller suspended at its invokestatic; callee resumed mid-body.
+        let src = "
+        method g 1 returns { load 0 const 10 add retv }
+        method f 0 returns { const 1 invokestatic g const 100 add retv }";
+        let program = parse_program(src).unwrap();
+        let f = program.static_method_by_name("f").unwrap();
+        let g = program.static_method_by_name("g").unwrap();
+        let mut env = SimpleEnv::new(program.clone());
+        let outer = Frame {
+            method: f,
+            bci: 1, // at the invokestatic
+            locals: vec![],
+            stack: vec![],
+            locked: vec![],
+        };
+        let inner = Frame {
+            method: g,
+            bci: 0,
+            locals: vec![Value::Int(1)],
+            stack: vec![],
+            locked: vec![],
+        };
+        let r = resume(&program, &mut env, vec![outer, inner]).unwrap();
+        assert_eq!(r, Some(Value::Int(111)));
+    }
+
+    #[test]
+    fn comparison_ops_in_branches() {
+        for (op, a, b, expect) in [
+            (CmpOp::Lt, 1, 2, 1),
+            (CmpOp::Ge, 1, 2, 0),
+            (CmpOp::Ne, 3, 3, 0),
+        ] {
+            let src = format!(
+                "method f 2 returns {{ load 0 load 1 ifcmp {op} Lt const 0 retv Lt: const 1 retv }}"
+            );
+            assert_eq!(
+                run(&src, "f", &[Value::Int(a), Value::Int(b)]).unwrap(),
+                Some(Value::Int(expect))
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The bytecode interpreter: reference semantics, profiling tier, and
+//! deoptimization target.
+//!
+//! In the paper's system (HotSpot + Graal), the interpreter plays three
+//! roles that this crate reproduces:
+//!
+//! 1. **Reference semantics** — unoptimized execution against which the
+//!    compiled tiers are differentially tested;
+//! 2. **Profiling tier** — it gathers the invocation counts, branch
+//!    profiles and receiver types the speculative compiler consumes;
+//! 3. **Deoptimization target** — when compiled code bails out, the VM
+//!    reconstructs interpreter [`Frame`]s from the compiled frame state
+//!    (rematerializing virtual objects first, §5.5 of the paper) and
+//!    resumes here via [`resume`].
+//!
+//! The interpreter is parameterised over an [`InterpEnv`] so the VM can
+//! intercept calls (tier dispatch) and cycle accounting.
+
+mod env;
+mod exec;
+mod frame;
+
+pub use env::{InterpEnv, SimpleEnv};
+pub use exec::{interpret, resume};
+pub use frame::Frame;

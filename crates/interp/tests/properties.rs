@@ -1,0 +1,127 @@
+//! Property tests for the interpreter: executed semantics must match a
+//! direct Rust model of the same expression.
+
+use pea_bytecode::{MethodBuilder, ProgramBuilder};
+use pea_interp::SimpleEnv;
+use pea_runtime::{Value, VmError};
+use proptest::prelude::*;
+
+/// Expression trees with a direct evaluation model.
+#[derive(Clone, Debug)]
+enum E {
+    Const(i8),
+    P0,
+    P1,
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+}
+
+fn expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(E::Const),
+        Just(E::P0),
+        Just(E::P1),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(a.into(), b.into())),
+            inner.clone().prop_map(|a| E::Neg(a.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(a.into(), b.into())),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Shl(a.into(), b.into())),
+        ]
+    })
+}
+
+/// The reference model, mirroring the documented instruction semantics.
+fn model(e: &E, p0: i64, p1: i64) -> Result<i64, VmError> {
+    Ok(match e {
+        E::Const(c) => i64::from(*c),
+        E::P0 => p0,
+        E::P1 => p1,
+        E::Add(a, b) => model(a, p0, p1)?.wrapping_add(model(b, p0, p1)?),
+        E::Sub(a, b) => model(a, p0, p1)?.wrapping_sub(model(b, p0, p1)?),
+        E::Mul(a, b) => model(a, p0, p1)?.wrapping_mul(model(b, p0, p1)?),
+        E::Div(a, b) => {
+            let (a, b) = (model(a, p0, p1)?, model(b, p0, p1)?);
+            if b == 0 {
+                return Err(VmError::DivisionByZero);
+            }
+            a.wrapping_div(b)
+        }
+        E::Rem(a, b) => {
+            let (a, b) = (model(a, p0, p1)?, model(b, p0, p1)?);
+            if b == 0 {
+                return Err(VmError::DivisionByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        E::Neg(a) => model(a, p0, p1)?.wrapping_neg(),
+        E::Xor(a, b) => model(a, p0, p1)? ^ model(b, p0, p1)?,
+        E::Shl(a, b) => {
+            let (a, b) = (model(a, p0, p1)?, model(b, p0, p1)?);
+            a.wrapping_shl((b & 63) as u32)
+        }
+    })
+}
+
+fn emit(mb: &mut MethodBuilder, e: &E) {
+    match e {
+        E::Const(c) => {
+            mb.const_(i64::from(*c));
+        }
+        E::P0 => {
+            mb.load(0);
+        }
+        E::P1 => {
+            mb.load(1);
+        }
+        E::Neg(a) => {
+            emit(mb, a);
+            mb.emit(pea_bytecode::Insn::Neg);
+        }
+        E::Add(a, b) | E::Sub(a, b) | E::Mul(a, b) | E::Div(a, b) | E::Rem(a, b)
+        | E::Xor(a, b) | E::Shl(a, b) => {
+            emit(mb, a);
+            emit(mb, b);
+            mb.emit(match e {
+                E::Add(..) => pea_bytecode::Insn::Add,
+                E::Sub(..) => pea_bytecode::Insn::Sub,
+                E::Mul(..) => pea_bytecode::Insn::Mul,
+                E::Div(..) => pea_bytecode::Insn::Div,
+                E::Rem(..) => pea_bytecode::Insn::Rem,
+                E::Xor(..) => pea_bytecode::Insn::Xor,
+                _ => pea_bytecode::Insn::Shl,
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interpreter_matches_model(e in expr(), p0 in -50i64..50, p1 in -50i64..50) {
+        let mut pb = ProgramBuilder::new();
+        let mut mb = MethodBuilder::new_static("f", 2, true);
+        emit(&mut mb, &e);
+        mb.return_value();
+        pb.add_method(mb.build().expect("builds"));
+        let program = pb.build().expect("program");
+        pea_bytecode::verify_program(&program).expect("verifies");
+
+        let mut env = SimpleEnv::new(program);
+        let actual = env.call("f", &[Value::Int(p0), Value::Int(p1)]);
+        let expected = model(&e, p0, p1).map(|v| Some(Value::Int(v)));
+        prop_assert_eq!(actual, expected);
+    }
+}

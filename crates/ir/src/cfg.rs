@@ -1,0 +1,480 @@
+//! Basic-block discovery over the fixed-node chains, with reverse
+//! postorder and loop metadata.
+
+use crate::{Graph, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Index of a block within a [`Cfg`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// From raw index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        BlockId(u32::try_from(i).expect("block index exceeds u32"))
+    }
+}
+
+impl std::fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// One basic block: a maximal chain of fixed nodes.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Block id (position in [`Cfg::blocks`]).
+    pub id: BlockId,
+    /// The fixed nodes, first (block start) to last (block end).
+    pub nodes: Vec<NodeId>,
+    /// Successor blocks in branch order (If: `[true, false]`).
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks. For merge blocks the order matches the merge's
+    /// `ends` list (and therefore phi-input order).
+    pub preds: Vec<BlockId>,
+    /// Nesting depth (0 = not in any loop).
+    pub loop_depth: u32,
+    /// Innermost loop header block containing this block, if any.
+    pub loop_header: Option<BlockId>,
+}
+
+impl Block {
+    /// First node (the block start).
+    pub fn first(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node (the block end / terminator).
+    pub fn last(&self) -> NodeId {
+        *self.nodes.last().expect("empty block")
+    }
+}
+
+/// The control-flow graph: blocks, reverse postorder, loop forest.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All blocks; `blocks[0]` is the entry.
+    pub blocks: Vec<Block>,
+    /// Blocks in reverse postorder (loop headers precede their bodies).
+    pub rpo: Vec<BlockId>,
+    block_of_node: HashMap<NodeId, BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed control flow (dangling chains, a non-start node
+    /// without a block-start kind at a chain head). Run
+    /// [`crate::verify::verify`] for a diagnosable error instead.
+    pub fn build(graph: &Graph) -> Cfg {
+        // 1. Find block-start nodes reachable from start and collect their
+        //    chains.
+        let mut starts: Vec<NodeId> = Vec::new();
+        let mut seen: HashMap<NodeId, usize> = HashMap::new();
+        let mut work = vec![graph.start];
+        let mut chains: Vec<Vec<NodeId>> = Vec::new();
+        while let Some(head) = work.pop() {
+            if seen.contains_key(&head) {
+                continue;
+            }
+            debug_assert!(
+                graph.kind(head).is_block_start(),
+                "chain head {head} is not a block start: {:?}",
+                graph.kind(head)
+            );
+            let idx = starts.len();
+            seen.insert(head, idx);
+            starts.push(head);
+            let mut chain = vec![head];
+            let mut cur = head;
+            while let Some(next) = graph.next(cur) {
+                if graph.kind(next).is_block_start() {
+                    // Fall-through into a merge-like block is impossible:
+                    // merges are only entered through End nodes. A direct
+                    // next to a Begin is block-internal only if Begin is
+                    // not a target; our builder always makes Begins branch
+                    // targets, so treat as chain member.
+                    chain.push(next);
+                    cur = next;
+                } else {
+                    chain.push(next);
+                    cur = next;
+                }
+                if graph.node(cur).successors().len() != 1 {
+                    break;
+                }
+                if matches!(graph.kind(cur), NodeKind::End | NodeKind::LoopEnd) {
+                    break;
+                }
+            }
+            chains.push(chain);
+            // Discover successor heads from the chain terminator.
+            let last = *chains[idx].last().unwrap();
+            match graph.kind(last) {
+                NodeKind::If => {
+                    for &succ in graph.node(last).successors() {
+                        work.push(succ);
+                    }
+                }
+                NodeKind::End | NodeKind::LoopEnd => {
+                    if let Some(merge) = find_merge_of_end(graph, last) {
+                        work.push(merge);
+                    }
+                }
+                NodeKind::Return | NodeKind::Throw | NodeKind::Deopt { .. } => {}
+                _ => {
+                    // Straight-line chain ended because the next node is a
+                    // block start (cannot happen with Begin policy above) —
+                    // or the chain is dangling.
+                    panic!("block chain at {last} ends in non-terminator {:?}", graph.kind(last));
+                }
+            }
+        }
+
+        // Re-walk chains: a chain may contain embedded Begins (treated as
+        // ordinary members above). That is fine — Begins only matter as
+        // branch targets, and branch targets were pushed separately with
+        // their own chains. But a Begin reached by fall-through AND by
+        // branch would be duplicated; our construction never produces
+        // that (every Begin has exactly one control predecessor).
+
+        let mut blocks: Vec<Block> = chains
+            .iter()
+            .enumerate()
+            .map(|(i, chain)| Block {
+                id: BlockId::from_index(i),
+                nodes: chain.clone(),
+                succs: Vec::new(),
+                preds: Vec::new(),
+                loop_depth: 0,
+                loop_header: None,
+            })
+            .collect();
+
+        let block_of = |n: NodeId| -> BlockId {
+            BlockId::from_index(seen[&n])
+        };
+
+        // 2. Wire successor/predecessor edges.
+        // Merge preds must follow ends order; collect them separately.
+        for i in 0..blocks.len() {
+            let last = blocks[i].last();
+            let succs: Vec<BlockId> = match graph.kind(last) {
+                NodeKind::If => graph
+                    .node(last)
+                    .successors()
+                    .iter()
+                    .map(|&s| block_of(s))
+                    .collect(),
+                NodeKind::End | NodeKind::LoopEnd => match find_merge_of_end(graph, last) {
+                    Some(merge) => vec![block_of(merge)],
+                    None => vec![],
+                },
+                _ => vec![],
+            };
+            blocks[i].succs = succs;
+        }
+        for i in 0..blocks.len() {
+            let head = blocks[i].first();
+            let preds: Vec<BlockId> = match graph.kind(head) {
+                NodeKind::Merge { ends } | NodeKind::LoopBegin { ends } => ends
+                    .iter()
+                    .map(|&e| block_of(chain_head_of(graph, e, &seen)))
+                    .collect(),
+                _ => match graph.node(head).control_pred() {
+                    Some(p) => vec![block_of(chain_head_of(graph, p, &seen))],
+                    None => vec![],
+                },
+            };
+            blocks[i].preds = preds;
+        }
+
+        // 3. Reverse postorder ignoring back edges (edges into LoopBegin
+        //    blocks from LoopEnd terminators).
+        let n = blocks.len();
+        let mut rpo_rev: Vec<BlockId> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in stack, 2 done
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some((b, child)) = stack.last_mut() {
+            let bi = *b;
+            let succs = &blocks[bi].succs;
+            // Skip back edges: an edge is a back edge iff the source block
+            // terminator is a LoopEnd.
+            let is_back_src = matches!(graph.kind(blocks[bi].last()), NodeKind::LoopEnd);
+            if *child < succs.len() && !is_back_src {
+                let s = succs[*child].index();
+                *child += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[bi] = 2;
+                rpo_rev.push(BlockId::from_index(bi));
+                stack.pop();
+            }
+        }
+        rpo_rev.reverse();
+        let rpo = rpo_rev;
+
+        // 4. Loop membership: for each LoopBegin block, walk predecessors
+        //    backwards from its back-edge sources until the header.
+        let mut loops: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for b in 0..n {
+            if matches!(graph.kind(blocks[b].first()), NodeKind::LoopBegin { .. }) {
+                let header = BlockId::from_index(b);
+                let mut members = vec![header];
+                let mut wl: Vec<BlockId> = blocks[b]
+                    .preds
+                    .iter()
+                    .copied()
+                    .filter(|p| matches!(graph.kind(blocks[p.index()].last()), NodeKind::LoopEnd))
+                    .collect();
+                while let Some(m) = wl.pop() {
+                    if members.contains(&m) {
+                        continue;
+                    }
+                    members.push(m);
+                    wl.extend(blocks[m.index()].preds.iter().copied());
+                }
+                loops.push((header, members));
+            }
+        }
+        // Assign depth/innermost header: process loops outermost-first
+        // (headers earlier in RPO are outer).
+        let rpo_pos: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        loops.sort_by_key(|(h, _)| rpo_pos.get(h).copied().unwrap_or(usize::MAX));
+        for (header, members) in &loops {
+            for &m in members {
+                blocks[m.index()].loop_depth += 1;
+                blocks[m.index()].loop_header = Some(*header);
+            }
+        }
+
+        let block_of_node: HashMap<NodeId, BlockId> = blocks
+            .iter()
+            .flat_map(|b| b.nodes.iter().map(move |&n| (n, b.id)))
+            .collect();
+
+        Cfg {
+            blocks,
+            rpo,
+            block_of_node,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Block containing a fixed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a fixed node of this CFG.
+    pub fn block_of(&self, node: NodeId) -> BlockId {
+        self.block_of_node[&node]
+    }
+
+    /// Block containing a fixed node, if it belongs to this CFG.
+    pub fn try_block_of(&self, node: NodeId) -> Option<BlockId> {
+        self.block_of_node.get(&node).copied()
+    }
+
+    /// Block accessor.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// All blocks belonging to the loop headed by `header` (which must be
+    /// a `LoopBegin` block), including nested loops.
+    pub fn loop_members(&self, header: BlockId) -> Vec<BlockId> {
+        let mut members = vec![header];
+        let mut wl: Vec<BlockId> = self.blocks[header.index()]
+            .preds
+            .iter()
+            .copied()
+            .filter(|p| {
+                // back edges come from blocks ending in LoopEnd whose succ is header
+                self.blocks[p.index()].succs.contains(&header)
+                    && self.rpo_position(*p) >= self.rpo_position(header)
+            })
+            .collect();
+        while let Some(m) = wl.pop() {
+            if members.contains(&m) {
+                continue;
+            }
+            members.push(m);
+            wl.extend(self.blocks[m.index()].preds.iter().copied());
+        }
+        members
+    }
+
+    /// Position of a block in RPO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is unreachable (not in RPO).
+    pub fn rpo_position(&self, b: BlockId) -> usize {
+        self.rpo
+            .iter()
+            .position(|&x| x == b)
+            .expect("block not in RPO")
+    }
+}
+
+/// An `End`/`LoopEnd` belongs to the unique merge-like node listing it.
+pub fn find_merge_of_end(graph: &Graph, end: NodeId) -> Option<NodeId> {
+    graph.live_nodes().find(|&n| match graph.kind(n) {
+        NodeKind::Merge { ends } | NodeKind::LoopBegin { ends } => ends.contains(&end),
+        _ => false,
+    })
+}
+
+fn chain_head_of(
+    graph: &Graph,
+    mut node: NodeId,
+    heads: &HashMap<NodeId, usize>,
+) -> NodeId {
+    loop {
+        if heads.contains_key(&node) {
+            return node;
+        }
+        node = graph
+            .node(node)
+            .control_pred()
+            .expect("fixed node without predecessor outside any chain");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArithOp, NodeKind};
+
+    /// Builds: start -> if (p0) { a } else { b } -> merge -> return phi
+    fn diamond() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let p = g.add(NodeKind::Param { index: 0 }, vec![]);
+        let iff = g.add(NodeKind::If, vec![p]);
+        g.set_next(g.start, iff);
+        let t = g.add(NodeKind::Begin, vec![]);
+        let f = g.add(NodeKind::Begin, vec![]);
+        g.set_if_targets(iff, t, f);
+        let te = g.add(NodeKind::End, vec![]);
+        g.set_next(t, te);
+        let fe = g.add(NodeKind::End, vec![]);
+        g.set_next(f, fe);
+        let merge = g.add(NodeKind::Merge { ends: vec![te, fe] }, vec![]);
+        let c1 = g.const_int(1);
+        let c2 = g.const_int(2);
+        let phi = g.add(NodeKind::Phi { merge }, vec![c1, c2]);
+        let ret = g.add(NodeKind::Return, vec![phi]);
+        g.set_next(merge, ret);
+        (g, merge, phi)
+    }
+
+    /// start -> loopbegin -> if (phi < p0) { body: phi' = phi+1; loopend }
+    /// else { exit -> return phi }
+    fn simple_loop() -> (Graph, NodeId) {
+        let mut g = Graph::new();
+        let p = g.add(NodeKind::Param { index: 0 }, vec![]);
+        let entry_end = g.add(NodeKind::End, vec![]);
+        g.set_next(g.start, entry_end);
+        let lb = g.add(NodeKind::LoopBegin { ends: vec![entry_end] }, vec![]);
+        let zero = g.const_int(0);
+        let phi = g.add(NodeKind::Phi { merge: lb }, vec![zero]);
+        let cmp = g.add(
+            NodeKind::Compare { op: pea_bytecode::CmpOp::Lt },
+            vec![phi, p],
+        );
+        let iff = g.add(NodeKind::If, vec![cmp]);
+        g.set_next(lb, iff);
+        let body = g.add(NodeKind::Begin, vec![]);
+        let exit = g.add(NodeKind::LoopExit { loop_begin: lb }, vec![]);
+        g.set_if_targets(iff, body, exit);
+        let one = g.const_int(1);
+        let inc = g.add(NodeKind::Arith { op: ArithOp::Add }, vec![phi, one]);
+        let le = g.add(NodeKind::LoopEnd, vec![]);
+        g.set_next(body, le);
+        g.add_merge_end(lb, le);
+        g.push_input(phi, inc);
+        let ret = g.add(NodeKind::Return, vec![phi]);
+        g.set_next(exit, ret);
+        (g, lb)
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let (g, merge, _) = diamond();
+        let cfg = Cfg::build(&g);
+        assert_eq!(cfg.blocks.len(), 4);
+        let entry = cfg.block(cfg.entry());
+        assert_eq!(entry.succs.len(), 2);
+        let mb = cfg.block_of(merge);
+        assert_eq!(cfg.block(mb).preds.len(), 2);
+        // rpo: entry first, merge last
+        assert_eq!(cfg.rpo[0], cfg.entry());
+        assert_eq!(*cfg.rpo.last().unwrap(), mb);
+    }
+
+    #[test]
+    fn merge_preds_follow_ends_order() {
+        let (g, merge, _) = diamond();
+        let cfg = Cfg::build(&g);
+        let mb = cfg.block_of(merge);
+        let ends = g.merge_ends(merge).to_vec();
+        let pred_blocks: Vec<BlockId> = ends.iter().map(|&e| cfg.block_of(e)).collect();
+        assert_eq!(cfg.block(mb).preds, pred_blocks);
+    }
+
+    #[test]
+    fn loop_blocks_get_depth() {
+        let (g, lb) = simple_loop();
+        let cfg = Cfg::build(&g);
+        let header = cfg.block_of(lb);
+        assert_eq!(cfg.block(header).loop_depth, 1);
+        // body block has depth 1; exit block depth 0
+        let body_depth: Vec<u32> = cfg
+            .blocks
+            .iter()
+            .map(|b| b.loop_depth)
+            .collect();
+        assert!(body_depth.iter().any(|&d| d == 1));
+        assert!(body_depth.iter().any(|&d| d == 0));
+        let members = cfg.loop_members(header);
+        assert!(members.len() >= 2);
+    }
+
+    #[test]
+    fn rpo_visits_header_before_body() {
+        let (g, lb) = simple_loop();
+        let cfg = Cfg::build(&g);
+        let header = cfg.block_of(lb);
+        let header_pos = cfg.rpo_position(header);
+        for m in cfg.loop_members(header) {
+            if m != header {
+                assert!(cfg.rpo_position(m) > header_pos);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Runtime errors shared by the interpreter, the compiled-code evaluator
+//! and the VM.
+
+use std::error::Error;
+use std::fmt;
+
+/// An execution error. Both execution tiers raise identical errors for
+/// identical programs, which the differential test suite relies on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Dereference of the null reference.
+    NullPointer,
+    /// An int was used as a reference or vice versa.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it received.
+        found: &'static str,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Array access out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The array length.
+        length: usize,
+    },
+    /// Negative array length at allocation.
+    NegativeArrayLength(i64),
+    /// `checkcast` failure.
+    ClassCast {
+        /// Name of the expected class.
+        expected: String,
+        /// Name of the actual class.
+        found: String,
+    },
+    /// Field access on an object whose class does not declare the field.
+    NoSuchField(String),
+    /// Virtual dispatch found no implementation.
+    NoSuchMethod(String),
+    /// `monitorexit` on a monitor the current activation does not hold.
+    IllegalMonitorState,
+    /// `throw` was executed; carries the user error code.
+    UserException(i64),
+    /// Interpreter/evaluator ran past its fuel budget (guards runaway
+    /// loops in tests and benchmarks).
+    OutOfFuel,
+    /// Internal invariant violation; indicates a compiler bug.
+    Internal(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NullPointer => f.write_str("null pointer dereference"),
+            VmError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            VmError::DivisionByZero => f.write_str("division by zero"),
+            VmError::IndexOutOfBounds { index, length } => {
+                write!(f, "index {index} out of bounds for length {length}")
+            }
+            VmError::NegativeArrayLength(n) => write!(f, "negative array length {n}"),
+            VmError::ClassCast { expected, found } => {
+                write!(f, "class cast: `{found}` is not a `{expected}`")
+            }
+            VmError::NoSuchField(n) => write!(f, "no such field `{n}`"),
+            VmError::NoSuchMethod(n) => write!(f, "no such method `{n}`"),
+            VmError::IllegalMonitorState => f.write_str("illegal monitor state"),
+            VmError::UserException(code) => write!(f, "user exception ({code})"),
+            VmError::OutOfFuel => f.write_str("execution fuel exhausted"),
+            VmError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        assert_eq!(VmError::NullPointer.to_string(), "null pointer dereference");
+        assert_eq!(VmError::UserException(7).to_string(), "user exception (7)");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(VmError::DivisionByZero, VmError::DivisionByZero);
+        assert_ne!(VmError::NullPointer, VmError::DivisionByZero);
+    }
+}

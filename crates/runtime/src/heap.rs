@@ -1,0 +1,434 @@
+//! The managed heap: objects, arrays, monitors and statics.
+
+use crate::{Stats, Value, VmError};
+use pea_bytecode::{ClassId, FieldId, Program, StaticDecl, ValueKind};
+use std::fmt;
+
+/// A non-null reference into the [`Heap`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(u32);
+
+impl ObjRef {
+    /// Raw heap index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a reference from a raw heap index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ObjRef(u32::try_from(index).expect("heap index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Payload of a heap cell: a class instance or an array.
+#[derive(Clone, Debug)]
+pub enum HeapObject {
+    /// An instance with fields laid out per
+    /// [`Program::instance_fields`].
+    Instance {
+        /// Dynamic class.
+        class: ClassId,
+        /// Field values in layout order.
+        fields: Vec<Value>,
+    },
+    /// An array of a single element kind.
+    Array {
+        /// Element kind.
+        kind: ValueKind,
+        /// Element values.
+        elems: Vec<Value>,
+    },
+}
+
+/// One heap cell: payload plus its (single-threaded) monitor.
+#[derive(Clone, Debug)]
+pub struct HeapCell {
+    /// Object payload.
+    pub object: HeapObject,
+    /// Recursive monitor hold count.
+    pub lock_count: u32,
+}
+
+/// Static (global) variable storage.
+#[derive(Clone, Debug, Default)]
+pub struct Statics {
+    values: Vec<Value>,
+}
+
+impl Statics {
+    /// Creates storage with default values for each declaration.
+    pub fn new(decls: &[StaticDecl]) -> Self {
+        Statics {
+            values: decls.iter().map(|d| Value::default_for(d.kind)).collect(),
+        }
+    }
+
+    /// Reads a static variable.
+    #[inline]
+    pub fn get(&self, id: pea_bytecode::StaticId) -> Value {
+        self.values[id.index()]
+    }
+
+    /// Writes a static variable.
+    #[inline]
+    pub fn set(&mut self, id: pea_bytecode::StaticId, value: Value) {
+        self.values[id.index()] = value;
+    }
+
+    /// Resets all statics to their default values.
+    pub fn reset(&mut self, decls: &[StaticDecl]) {
+        self.values = decls.iter().map(|d| Value::default_for(d.kind)).collect();
+    }
+}
+
+/// The managed heap. Allocation is a bump into a vector; every allocation
+/// and monitor operation updates [`Stats`], which is what the paper's
+/// Table 1 measures.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    cells: Vec<HeapCell>,
+    /// Execution statistics, updated by allocation and monitor operations.
+    pub stats: Stats,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live cells (allocations since creation; nothing is freed).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the heap has no allocations.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Allocates a class instance with default-valued fields.
+    pub fn alloc_instance(&mut self, program: &Program, class: ClassId) -> ObjRef {
+        let fields = program
+            .instance_fields(class)
+            .iter()
+            .map(|&f| Value::default_for(program.field(f).kind))
+            .collect();
+        let bytes = program.object_size(class);
+        self.stats.record_alloc(bytes);
+        self.push(HeapObject::Instance { class, fields })
+    }
+
+    /// Allocates an array of `len` default-valued elements.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NegativeArrayLength`] if `len < 0`.
+    pub fn alloc_array(&mut self, kind: ValueKind, len: i64) -> Result<ObjRef, VmError> {
+        if len < 0 {
+            return Err(VmError::NegativeArrayLength(len));
+        }
+        let bytes = Program::array_size(len as u64);
+        self.stats.record_alloc(bytes);
+        Ok(self.push(HeapObject::Array {
+            kind,
+            elems: vec![Value::default_for(kind); len as usize],
+        }))
+    }
+
+    fn push(&mut self, object: HeapObject) -> ObjRef {
+        self.cells.push(HeapCell {
+            object,
+            lock_count: 0,
+        });
+        ObjRef::from_index(self.cells.len() - 1)
+    }
+
+    /// Immutable access to a cell.
+    #[inline]
+    pub fn cell(&self, r: ObjRef) -> &HeapCell {
+        &self.cells[r.index()]
+    }
+
+    /// Dynamic class of an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::TypeMismatch`] if `r` is an array.
+    pub fn class_of(&self, r: ObjRef) -> Result<ClassId, VmError> {
+        match &self.cell(r).object {
+            HeapObject::Instance { class, .. } => Ok(*class),
+            HeapObject::Array { .. } => Err(VmError::TypeMismatch {
+                expected: "instance",
+                found: "array",
+            }),
+        }
+    }
+
+    /// Field slot index of `field` within the layout of `r`'s class.
+    fn field_slot(&self, program: &Program, r: ObjRef, field: FieldId) -> Result<usize, VmError> {
+        let class = self.class_of(r)?;
+        program
+            .instance_fields(class)
+            .iter()
+            .position(|&f| f == field)
+            .ok_or_else(|| {
+                VmError::NoSuchField(format!(
+                    "{}.{}",
+                    program.class(program.field(field).class).name,
+                    program.field(field).name
+                ))
+            })
+    }
+
+    /// Reads an instance field.
+    ///
+    /// # Errors
+    ///
+    /// Field-resolution and kind errors as in [`VmError`].
+    pub fn get_field(
+        &self,
+        program: &Program,
+        r: ObjRef,
+        field: FieldId,
+    ) -> Result<Value, VmError> {
+        let slot = self.field_slot(program, r, field)?;
+        match &self.cell(r).object {
+            HeapObject::Instance { fields, .. } => Ok(fields[slot]),
+            HeapObject::Array { .. } => unreachable!("field_slot checked instance"),
+        }
+    }
+
+    /// Writes an instance field.
+    ///
+    /// # Errors
+    ///
+    /// Field-resolution errors as in [`VmError`].
+    pub fn put_field(
+        &mut self,
+        program: &Program,
+        r: ObjRef,
+        field: FieldId,
+        value: Value,
+    ) -> Result<(), VmError> {
+        let slot = self.field_slot(program, r, field)?;
+        match &mut self.cells[r.index()].object {
+            HeapObject::Instance { fields, .. } => {
+                fields[slot] = value;
+                Ok(())
+            }
+            HeapObject::Array { .. } => unreachable!("field_slot checked instance"),
+        }
+    }
+
+    /// Reads an array element.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::IndexOutOfBounds`] or [`VmError::TypeMismatch`].
+    pub fn array_get(&self, r: ObjRef, index: i64) -> Result<Value, VmError> {
+        match &self.cell(r).object {
+            HeapObject::Array { elems, .. } => {
+                if index < 0 || index as usize >= elems.len() {
+                    return Err(VmError::IndexOutOfBounds {
+                        index,
+                        length: elems.len(),
+                    });
+                }
+                Ok(elems[index as usize])
+            }
+            HeapObject::Instance { .. } => Err(VmError::TypeMismatch {
+                expected: "array",
+                found: "instance",
+            }),
+        }
+    }
+
+    /// Writes an array element.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::IndexOutOfBounds`] or [`VmError::TypeMismatch`].
+    pub fn array_set(&mut self, r: ObjRef, index: i64, value: Value) -> Result<(), VmError> {
+        match &mut self.cells[r.index()].object {
+            HeapObject::Array { elems, .. } => {
+                if index < 0 || index as usize >= elems.len() {
+                    return Err(VmError::IndexOutOfBounds {
+                        index,
+                        length: elems.len(),
+                    });
+                }
+                elems[index as usize] = value;
+                Ok(())
+            }
+            HeapObject::Instance { .. } => Err(VmError::TypeMismatch {
+                expected: "array",
+                found: "instance",
+            }),
+        }
+    }
+
+    /// Array length.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::TypeMismatch`] on instances.
+    pub fn array_length(&self, r: ObjRef) -> Result<i64, VmError> {
+        match &self.cell(r).object {
+            HeapObject::Array { elems, .. } => Ok(elems.len() as i64),
+            HeapObject::Instance { .. } => Err(VmError::TypeMismatch {
+                expected: "array",
+                found: "instance",
+            }),
+        }
+    }
+
+    /// Acquires the monitor of `r` (recursively) and counts the operation.
+    pub fn monitor_enter(&mut self, r: ObjRef) {
+        self.cells[r.index()].lock_count += 1;
+        self.stats.monitor_enters += 1;
+    }
+
+    /// Releases the monitor of `r` and counts the operation.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::IllegalMonitorState`] if the monitor is not held.
+    pub fn monitor_exit(&mut self, r: ObjRef) -> Result<(), VmError> {
+        let cell = &mut self.cells[r.index()];
+        if cell.lock_count == 0 {
+            return Err(VmError::IllegalMonitorState);
+        }
+        cell.lock_count -= 1;
+        self.stats.monitor_exits += 1;
+        Ok(())
+    }
+
+    /// Current recursive hold count of `r`'s monitor.
+    pub fn lock_count(&self, r: ObjRef) -> u32 {
+        self.cell(r).lock_count
+    }
+
+    /// Total monitor holds across the heap (0 when all lock/unlock pairs
+    /// are balanced; asserted by tests at quiescent points).
+    pub fn total_lock_holds(&self) -> u64 {
+        self.cells.iter().map(|c| u64::from(c.lock_count)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::{ProgramBuilder, StaticId};
+
+    fn program() -> (Program, ClassId, FieldId, FieldId) {
+        let mut pb = ProgramBuilder::new();
+        let key = pb.add_class("Key", None);
+        let idx = pb.add_field(key, "idx", ValueKind::Int);
+        let rf = pb.add_field(key, "ref", ValueKind::Ref);
+        pb.add_static("g", ValueKind::Ref);
+        (pb.build().unwrap(), key, idx, rf)
+    }
+
+    #[test]
+    fn alloc_initializes_defaults_and_counts() {
+        let (p, key, idx, rf) = program();
+        let mut heap = Heap::new();
+        let r = heap.alloc_instance(&p, key);
+        assert_eq!(heap.get_field(&p, r, idx).unwrap(), Value::Int(0));
+        assert_eq!(heap.get_field(&p, r, rf).unwrap(), Value::Null);
+        assert_eq!(heap.stats.alloc_count, 1);
+        assert_eq!(heap.stats.alloc_bytes, 16 + 16);
+    }
+
+    #[test]
+    fn field_round_trip() {
+        let (p, key, idx, _) = program();
+        let mut heap = Heap::new();
+        let r = heap.alloc_instance(&p, key);
+        heap.put_field(&p, r, idx, Value::Int(42)).unwrap();
+        assert_eq!(heap.get_field(&p, r, idx).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn arrays_round_trip_and_bound_check() {
+        let mut heap = Heap::new();
+        let r = heap.alloc_array(ValueKind::Int, 3).unwrap();
+        heap.array_set(r, 2, Value::Int(9)).unwrap();
+        assert_eq!(heap.array_get(r, 2).unwrap(), Value::Int(9));
+        assert_eq!(heap.array_length(r).unwrap(), 3);
+        assert!(matches!(
+            heap.array_get(r, 3),
+            Err(VmError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            heap.array_get(r, -1),
+            Err(VmError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_array_length_rejected() {
+        let mut heap = Heap::new();
+        assert_eq!(
+            heap.alloc_array(ValueKind::Ref, -1).unwrap_err(),
+            VmError::NegativeArrayLength(-1)
+        );
+    }
+
+    #[test]
+    fn monitors_count_and_balance() {
+        let (p, key, ..) = program();
+        let mut heap = Heap::new();
+        let r = heap.alloc_instance(&p, key);
+        heap.monitor_enter(r);
+        heap.monitor_enter(r);
+        assert_eq!(heap.lock_count(r), 2);
+        heap.monitor_exit(r).unwrap();
+        heap.monitor_exit(r).unwrap();
+        assert_eq!(heap.monitor_exit(r).unwrap_err(), VmError::IllegalMonitorState);
+        assert_eq!(heap.stats.monitor_enters, 2);
+        assert_eq!(heap.stats.monitor_exits, 2);
+        assert_eq!(heap.total_lock_holds(), 0);
+    }
+
+    #[test]
+    fn statics_default_and_set() {
+        let (p, ..) = program();
+        let mut statics = Statics::new(&p.statics);
+        let g = StaticId(0);
+        assert_eq!(statics.get(g), Value::Null);
+        statics.set(g, Value::Int(5));
+        assert_eq!(statics.get(g), Value::Int(5));
+        statics.reset(&p.statics);
+        assert_eq!(statics.get(g), Value::Null);
+    }
+
+    #[test]
+    fn array_bytes_accounted() {
+        let mut heap = Heap::new();
+        heap.alloc_array(ValueKind::Int, 10).unwrap();
+        assert_eq!(heap.stats.alloc_bytes, 16 + 80);
+    }
+
+    #[test]
+    fn class_of_rejects_arrays() {
+        let mut heap = Heap::new();
+        let r = heap.alloc_array(ValueKind::Int, 1).unwrap();
+        assert!(heap.class_of(r).is_err());
+    }
+}

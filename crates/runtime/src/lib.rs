@@ -1,0 +1,22 @@
+//! Shared runtime support for the PEA reproduction: dynamically typed
+//! [`Value`]s, a managed [`Heap`] with the allocation/monitor statistics
+//! the paper's evaluation reports, static (global) variable storage,
+//! execution [`Stats`], branch/call [`profile`] data, and [`VmError`].
+//!
+//! The heap is a bump arena without reclamation: the paper's metrics are
+//! *allocated bytes*, *allocation counts* and *monitor operations* per
+//! benchmark iteration, none of which require a collector. Monitors are
+//! modelled single-threaded but fully counted and balance-checked, which is
+//! what Lock Elision changes.
+
+pub mod cost;
+mod error;
+mod heap;
+pub mod profile;
+mod stats;
+mod value;
+
+pub use error::VmError;
+pub use heap::{Heap, HeapObject, ObjRef, Statics};
+pub use stats::Stats;
+pub use value::Value;

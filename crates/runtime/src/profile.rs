@@ -1,0 +1,188 @@
+//! Profiling data gathered by the interpreter and consumed by the
+//! speculative compiler.
+//!
+//! Three feedback channels, mirroring what Graal gets from HotSpot:
+//!
+//! * **invocation counts** drive compilation thresholds;
+//! * **branch profiles** (taken/not-taken per branch bci) drive
+//!   speculative branch pruning — a branch that was never taken is compiled
+//!   as a guard that deoptimizes, which is what lets Partial Escape
+//!   Analysis remove allocations whose only escape is on a cold path;
+//! * **receiver-type profiles** per call site drive guarded
+//!   devirtualization and inlining.
+
+use pea_bytecode::{ClassId, MethodId};
+use std::collections::HashMap;
+
+/// Taken/not-taken counters for one branch instruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BranchProfile {
+    /// Times the branch was taken.
+    pub taken: u64,
+    /// Times it fell through.
+    pub not_taken: u64,
+}
+
+impl BranchProfile {
+    /// Total executions of the branch.
+    pub fn total(&self) -> u64 {
+        self.taken + self.not_taken
+    }
+
+    /// Probability of the branch being taken, if it ever executed.
+    pub fn taken_probability(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| self.taken as f64 / total as f64)
+    }
+}
+
+/// Observed receiver classes at one virtual call site.
+#[derive(Clone, Debug, Default)]
+pub struct ReceiverProfile {
+    counts: Vec<(ClassId, u64)>,
+}
+
+impl ReceiverProfile {
+    /// Records one dispatch on `class`.
+    pub fn record(&mut self, class: ClassId) {
+        if let Some(entry) = self.counts.iter_mut().find(|(c, _)| *c == class) {
+            entry.1 += 1;
+        } else {
+            self.counts.push((class, 1));
+        }
+    }
+
+    /// Total observed dispatches.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The single observed receiver class, if the site is monomorphic.
+    pub fn monomorphic_class(&self) -> Option<ClassId> {
+        match self.counts.as_slice() {
+            [(class, _)] => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// All observed (class, count) pairs.
+    pub fn classes(&self) -> &[(ClassId, u64)] {
+        &self.counts
+    }
+}
+
+/// All profiling state, keyed by method and bytecode index.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileStore {
+    invocations: HashMap<MethodId, u64>,
+    branches: HashMap<(MethodId, u32), BranchProfile>,
+    receivers: HashMap<(MethodId, u32), ReceiverProfile>,
+}
+
+impl ProfileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one invocation of `method`; returns the new count.
+    pub fn record_invocation(&mut self, method: MethodId) -> u64 {
+        let n = self.invocations.entry(method).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Invocation count of `method`.
+    pub fn invocation_count(&self, method: MethodId) -> u64 {
+        self.invocations.get(&method).copied().unwrap_or(0)
+    }
+
+    /// Records one branch outcome at `(method, bci)`.
+    pub fn record_branch(&mut self, method: MethodId, bci: u32, taken: bool) {
+        let p = self.branches.entry((method, bci)).or_default();
+        if taken {
+            p.taken += 1;
+        } else {
+            p.not_taken += 1;
+        }
+    }
+
+    /// Branch profile at `(method, bci)`, if any executions were seen.
+    pub fn branch(&self, method: MethodId, bci: u32) -> Option<BranchProfile> {
+        self.branches.get(&(method, bci)).copied()
+    }
+
+    /// Records a receiver class at a virtual call site.
+    pub fn record_receiver(&mut self, method: MethodId, bci: u32, class: ClassId) {
+        self.receivers
+            .entry((method, bci))
+            .or_default()
+            .record(class);
+    }
+
+    /// Receiver profile at `(method, bci)`.
+    pub fn receiver(&self, method: MethodId, bci: u32) -> Option<&ReceiverProfile> {
+        self.receivers.get(&(method, bci))
+    }
+
+    /// Drops all gathered data (used when a method is re-profiled after
+    /// repeated deoptimization).
+    pub fn clear_method(&mut self, method: MethodId) {
+        self.invocations.remove(&method);
+        self.branches.retain(|(m, _), _| *m != method);
+        self.receivers.retain(|(m, _), _| *m != method);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invocation_counts_increment() {
+        let mut p = ProfileStore::new();
+        let m = MethodId(0);
+        assert_eq!(p.record_invocation(m), 1);
+        assert_eq!(p.record_invocation(m), 2);
+        assert_eq!(p.invocation_count(m), 2);
+        assert_eq!(p.invocation_count(MethodId(1)), 0);
+    }
+
+    #[test]
+    fn branch_profile_probability() {
+        let mut p = ProfileStore::new();
+        let m = MethodId(0);
+        p.record_branch(m, 3, true);
+        p.record_branch(m, 3, true);
+        p.record_branch(m, 3, false);
+        let b = p.branch(m, 3).unwrap();
+        assert_eq!(b.total(), 3);
+        let prob = b.taken_probability().unwrap();
+        assert!((prob - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(BranchProfile::default().taken_probability(), None);
+    }
+
+    #[test]
+    fn receiver_profile_monomorphism() {
+        let mut r = ReceiverProfile::default();
+        r.record(ClassId(0));
+        r.record(ClassId(0));
+        assert_eq!(r.monomorphic_class(), Some(ClassId(0)));
+        r.record(ClassId(1));
+        assert_eq!(r.monomorphic_class(), None);
+        assert_eq!(r.total(), 3);
+    }
+
+    #[test]
+    fn clear_method_drops_all_channels() {
+        let mut p = ProfileStore::new();
+        let m = MethodId(0);
+        p.record_invocation(m);
+        p.record_branch(m, 0, true);
+        p.record_receiver(m, 1, ClassId(0));
+        p.clear_method(m);
+        assert_eq!(p.invocation_count(m), 0);
+        assert!(p.branch(m, 0).is_none());
+        assert!(p.receiver(m, 1).is_none());
+    }
+}

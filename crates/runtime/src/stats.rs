@@ -1,0 +1,137 @@
+//! Execution statistics: exactly the quantities the paper's Table 1
+//! reports, plus a virtual cycle counter that stands in for wall-clock
+//! time ("iterations per minute").
+
+use std::fmt;
+use std::ops::Sub;
+
+/// Counters accumulated during execution.
+///
+/// `Stats` forms a monoid under per-field addition; [`Stats::delta`]
+/// subtracts a snapshot, which is how the harness computes per-iteration
+/// numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of heap allocations (objects + arrays + rematerializations).
+    pub alloc_count: u64,
+    /// Total allocated bytes.
+    pub alloc_bytes: u64,
+    /// Monitor acquisitions.
+    pub monitor_enters: u64,
+    /// Monitor releases.
+    pub monitor_exits: u64,
+    /// Virtual cycles spent executing (interpreter + compiled code).
+    pub cycles: u64,
+    /// Deoptimizations taken (compiled → interpreter transfers).
+    pub deopts: u64,
+    /// Methods JIT-compiled.
+    pub compiles: u64,
+    /// Objects rematerialized during deoptimization (paper §5.5).
+    pub rematerialized: u64,
+}
+
+impl Stats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one allocation of `bytes` bytes.
+    #[inline]
+    pub fn record_alloc(&mut self, bytes: u64) {
+        self.alloc_count += 1;
+        self.alloc_bytes += bytes;
+    }
+
+    /// Total monitor operations (enters + exits), the paper's
+    /// "lock operations" metric.
+    pub fn monitor_ops(&self) -> u64 {
+        self.monitor_enters + self.monitor_exits
+    }
+
+    /// Per-field difference against an earlier snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not componentwise ≤ `self`.
+    pub fn delta(&self, earlier: &Stats) -> Stats {
+        *self - *earlier
+    }
+}
+
+impl Sub for Stats {
+    type Output = Stats;
+
+    fn sub(self, rhs: Stats) -> Stats {
+        Stats {
+            alloc_count: self.alloc_count - rhs.alloc_count,
+            alloc_bytes: self.alloc_bytes - rhs.alloc_bytes,
+            monitor_enters: self.monitor_enters - rhs.monitor_enters,
+            monitor_exits: self.monitor_exits - rhs.monitor_exits,
+            cycles: self.cycles - rhs.cycles,
+            deopts: self.deopts - rhs.deopts,
+            compiles: self.compiles - rhs.compiles,
+            rematerialized: self.rematerialized - rhs.rematerialized,
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocs={} bytes={} monitors={}/{} cycles={} deopts={} compiles={} remat={}",
+            self.alloc_count,
+            self.alloc_bytes,
+            self.monitor_enters,
+            self.monitor_exits,
+            self.cycles,
+            self.deopts,
+            self.compiles,
+            self.rematerialized
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_alloc_updates_both_counters() {
+        let mut s = Stats::new();
+        s.record_alloc(24);
+        s.record_alloc(16);
+        assert_eq!(s.alloc_count, 2);
+        assert_eq!(s.alloc_bytes, 40);
+    }
+
+    #[test]
+    fn delta_subtracts_componentwise() {
+        let mut a = Stats::new();
+        a.record_alloc(10);
+        a.cycles = 100;
+        let snapshot = a;
+        a.record_alloc(5);
+        a.cycles = 130;
+        let d = a.delta(&snapshot);
+        assert_eq!(d.alloc_count, 1);
+        assert_eq!(d.alloc_bytes, 5);
+        assert_eq!(d.cycles, 30);
+    }
+
+    #[test]
+    fn monitor_ops_sums_both_directions() {
+        let s = Stats {
+            monitor_enters: 3,
+            monitor_exits: 2,
+            ..Stats::new()
+        };
+        assert_eq!(s.monitor_ops(), 5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Stats::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the managed heap: random operation sequences keep
+//! the statistics and monitor invariants.
+
+use pea_bytecode::{ProgramBuilder, ValueKind};
+use pea_runtime::{Heap, Value};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    AllocInstance,
+    AllocArray(u8),
+    PutField(u8, i64),
+    GetField(u8),
+    ArraySet(u8, u8, i64),
+    ArrayGet(u8, u8),
+    Enter(u8),
+    Exit(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::AllocInstance),
+        (0u8..16).prop_map(Op::AllocArray),
+        (any::<u8>(), any::<i64>()).prop_map(|(o, v)| Op::PutField(o, v)),
+        any::<u8>().prop_map(Op::GetField),
+        (any::<u8>(), 0u8..16, any::<i64>()).prop_map(|(o, i, v)| Op::ArraySet(o, i, v)),
+        (any::<u8>(), 0u8..16).prop_map(|(o, i)| Op::ArrayGet(o, i)),
+        any::<u8>().prop_map(Op::Enter),
+        any::<u8>().prop_map(Op::Exit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn heap_invariants_hold(ops in prop::collection::vec(op(), 0..64)) {
+        let mut pb = ProgramBuilder::new();
+        let class = pb.add_class("C", None);
+        let field = pb.add_field(class, "x", ValueKind::Int);
+        let program = pb.build().unwrap();
+
+        let mut heap = Heap::new();
+        let mut instances = Vec::new();
+        let mut arrays: Vec<(pea_runtime::ObjRef, u8)> = Vec::new();
+        let mut model_locks: std::collections::HashMap<pea_runtime::ObjRef, u32> =
+            std::collections::HashMap::new();
+        let mut model_fields: std::collections::HashMap<pea_runtime::ObjRef, i64> =
+            std::collections::HashMap::new();
+        let mut expected_allocs = 0u64;
+        let mut expected_bytes = 0u64;
+        let mut enters = 0u64;
+        let mut exits = 0u64;
+
+        for o in &ops {
+            match o {
+                Op::AllocInstance => {
+                    let r = heap.alloc_instance(&program, class);
+                    instances.push(r);
+                    model_fields.insert(r, 0);
+                    expected_allocs += 1;
+                    expected_bytes += 16 + 8;
+                }
+                Op::AllocArray(len) => {
+                    let r = heap.alloc_array(ValueKind::Int, i64::from(*len)).unwrap();
+                    arrays.push((r, *len));
+                    expected_allocs += 1;
+                    expected_bytes += 16 + 8 * u64::from(*len);
+                }
+                Op::PutField(o, v) if !instances.is_empty() => {
+                    let r = instances[*o as usize % instances.len()];
+                    heap.put_field(&program, r, field, Value::Int(*v)).unwrap();
+                    model_fields.insert(r, *v);
+                }
+                Op::GetField(o) if !instances.is_empty() => {
+                    let r = instances[*o as usize % instances.len()];
+                    let v = heap.get_field(&program, r, field).unwrap();
+                    prop_assert_eq!(v, Value::Int(model_fields[&r]));
+                }
+                Op::ArraySet(o, i, v) if !arrays.is_empty() => {
+                    let (r, len) = arrays[*o as usize % arrays.len()];
+                    let res = heap.array_set(r, i64::from(*i), Value::Int(*v));
+                    prop_assert_eq!(res.is_ok(), u64::from(*i) < u64::from(len));
+                }
+                Op::ArrayGet(o, i) if !arrays.is_empty() => {
+                    let (r, len) = arrays[*o as usize % arrays.len()];
+                    let res = heap.array_get(r, i64::from(*i));
+                    prop_assert_eq!(res.is_ok(), u64::from(*i) < u64::from(len));
+                }
+                Op::Enter(o) if !instances.is_empty() => {
+                    let r = instances[*o as usize % instances.len()];
+                    heap.monitor_enter(r);
+                    *model_locks.entry(r).or_insert(0) += 1;
+                    enters += 1;
+                }
+                Op::Exit(o) if !instances.is_empty() => {
+                    let r = instances[*o as usize % instances.len()];
+                    let held = model_locks.get(&r).copied().unwrap_or(0);
+                    let res = heap.monitor_exit(r);
+                    if held > 0 {
+                        prop_assert!(res.is_ok());
+                        model_locks.insert(r, held - 1);
+                        exits += 1;
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(heap.stats.alloc_count, expected_allocs);
+        prop_assert_eq!(heap.stats.alloc_bytes, expected_bytes);
+        prop_assert_eq!(heap.stats.monitor_enters, enters);
+        prop_assert_eq!(heap.stats.monitor_exits, exits);
+        let model_total: u64 = model_locks.values().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(heap.total_lock_holds(), model_total);
+        // Lock counts match the per-object model.
+        for (r, c) in &model_locks {
+            prop_assert_eq!(heap.lock_count(*r), *c);
+        }
+    }
+}

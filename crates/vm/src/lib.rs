@@ -1,0 +1,426 @@
+//! The tiered virtual machine: profiling interpreter → JIT compilation →
+//! compiled execution → deoptimization back to the interpreter.
+//!
+//! This mirrors the HotSpot+Graal execution model of the paper's §2
+//! (Figure 1): methods start in the interpreter, which gathers invocation
+//! counts, branch profiles and receiver types; hot methods are compiled
+//! (speculatively, guided by those profiles); compiled code that violates
+//! a speculation **deoptimizes** — the VM rebuilds interpreter frames from
+//! the compiled frame state (rematerializing scalar-replaced objects,
+//! §5.5) and resumes interpretation. Methods that deoptimize repeatedly
+//! are evicted, re-profiled and recompiled.
+//!
+//! ```
+//! use pea_vm::{Vm, VmOptions, OptLevel};
+//! use pea_bytecode::asm::parse_program;
+//! use pea_runtime::Value;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program("method f 1 returns { load 0 const 1 add retv }")?;
+//! let mut vm = Vm::new(program, VmOptions::with_opt_level(OptLevel::Pea));
+//! assert_eq!(vm.call_entry("f", &[Value::Int(41)])?, Some(Value::Int(42)));
+//! # Ok(())
+//! # }
+//! ```
+
+use pea_bytecode::{MethodId, Program};
+pub use pea_compiler::OptLevel;
+use pea_compiler::{compile, evaluate, CompiledMethod, CompilerOptions, EvalEnv, EvalOutcome};
+use pea_interp::{interpret, resume, Frame, InterpEnv};
+use pea_runtime::profile::ProfileStore;
+use pea_runtime::{Heap, Statics, Stats, Value, VmError};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// VM configuration.
+#[derive(Clone, Debug)]
+pub struct VmOptions {
+    /// Invocations before a method is JIT-compiled.
+    pub compile_threshold: u64,
+    /// Compiler configuration (escape-analysis level, inlining,
+    /// speculation, PEA ablations).
+    pub compiler: CompilerOptions,
+    /// Optional total cycle budget.
+    pub fuel: Option<u64>,
+    /// Deoptimizations tolerated before a method is evicted and
+    /// re-profiled.
+    pub max_deopts: u64,
+    /// Master switch for JIT compilation (off = pure interpreter).
+    pub jit: bool,
+}
+
+impl VmOptions {
+    /// Defaults with the given escape-analysis level.
+    pub fn with_opt_level(level: OptLevel) -> Self {
+        VmOptions {
+            compile_threshold: 50,
+            compiler: CompilerOptions::with_opt_level(level),
+            fuel: None,
+            max_deopts: 8,
+            jit: true,
+        }
+    }
+
+    /// A pure-interpreter configuration.
+    pub fn interpreter_only() -> Self {
+        VmOptions {
+            jit: false,
+            ..Self::with_opt_level(OptLevel::None)
+        }
+    }
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        Self::with_opt_level(OptLevel::Pea)
+    }
+}
+
+/// The virtual machine.
+pub struct Vm {
+    program: Rc<Program>,
+    heap: Heap,
+    statics: Statics,
+    profiles: ProfileStore,
+    code_cache: HashMap<MethodId, Rc<CompiledMethod>>,
+    bailed_out: HashSet<MethodId>,
+    deopt_counts: HashMap<MethodId, u64>,
+    options: VmOptions,
+    /// Re-entrancy depth (interpreter/compiled frames currently active).
+    depth: usize,
+}
+
+impl Vm {
+    /// Creates a VM for `program`.
+    pub fn new(program: Program, options: VmOptions) -> Vm {
+        let statics = Statics::new(&program.statics);
+        Vm {
+            program: Rc::new(program),
+            heap: Heap::new(),
+            statics,
+            profiles: ProfileStore::new(),
+            code_cache: HashMap::new(),
+            bailed_out: HashSet::new(),
+            deopt_counts: HashMap::new(),
+            options,
+            depth: 0,
+        }
+    }
+
+    /// The executed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Cumulative execution statistics.
+    pub fn stats(&self) -> Stats {
+        self.heap.stats
+    }
+
+    /// The managed heap (read access for tests and harnesses).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Gathered profiles (read access).
+    pub fn profiles(&self) -> &ProfileStore {
+        &self.profiles
+    }
+
+    /// Static variable storage (read access for tests and harnesses).
+    pub fn statics_ref(&self) -> &Statics {
+        &self.statics
+    }
+
+    /// Number of methods currently JIT-compiled.
+    pub fn compiled_method_count(&self) -> usize {
+        self.code_cache.len()
+    }
+
+    /// The compiled form of `method`, if it is in the code cache.
+    pub fn compiled(&self, method: MethodId) -> Option<&CompiledMethod> {
+        self.code_cache.get(&method).map(Rc::as_ref)
+    }
+
+    /// Resets static variables to defaults (heap contents and statistics
+    /// are preserved; benchmarks use deltas).
+    pub fn reset_statics(&mut self) {
+        self.statics.reset(&self.program.statics);
+    }
+
+    /// Calls a static method by name.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchMethod`] for unknown names; otherwise whatever the
+    /// program raises.
+    pub fn call_entry(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, VmError> {
+        let method = self
+            .program
+            .static_method_by_name(name)
+            .ok_or_else(|| VmError::NoSuchMethod(name.to_string()))?;
+        self.call(method, args.to_vec())
+    }
+
+    /// Calls a method through the tiering policy.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the method raises.
+    pub fn call(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+        self.depth += 1;
+        let result = self.call_inner(method, args);
+        self.depth -= 1;
+        result
+    }
+
+    fn call_inner(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+        if self.depth > 400 {
+            return Err(VmError::Internal("call stack overflow".into()));
+        }
+        let program = Rc::clone(&self.program);
+        if let Some(code) = self.code_cache.get(&method).cloned() {
+            return self.run_compiled(&program, &code, args);
+        }
+        if self.options.jit
+            && !self.bailed_out.contains(&method)
+            && self.profiles.invocation_count(method) >= self.options.compile_threshold
+        {
+            match compile(&program, method, Some(&self.profiles), &self.options.compiler) {
+                Ok(code) => {
+                    self.heap.stats.compiles += 1;
+                    let code = Rc::new(code);
+                    self.code_cache.insert(method, Rc::clone(&code));
+                    return self.run_compiled(&program, &code, args);
+                }
+                Err(_) => {
+                    self.bailed_out.insert(method);
+                }
+            }
+        }
+        interpret(&program, self, method, args)
+    }
+
+    fn run_compiled(
+        &mut self,
+        program: &Program,
+        code: &CompiledMethod,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, VmError> {
+        match evaluate(program, self, code, &args)? {
+            EvalOutcome::Return(v) => Ok(v),
+            EvalOutcome::Deopt { frames, .. } => {
+                self.heap.stats.deopts += 1;
+                let method = code.method;
+                let count = self.deopt_counts.entry(method).or_insert(0);
+                *count += 1;
+                if *count >= self.options.max_deopts {
+                    // Evict and re-profile: the speculation no longer
+                    // matches reality.
+                    self.code_cache.remove(&method);
+                    self.bailed_out.remove(&method);
+                    self.profiles.clear_method(method);
+                    self.deopt_counts.remove(&method);
+                }
+                let interp_frames: Vec<Frame> = frames
+                    .into_iter()
+                    .map(|f| Frame {
+                        method: f.method,
+                        bci: f.bci,
+                        locals: f.locals,
+                        stack: f.stack,
+                        // Only synchronized-method monitors are released
+                        // automatically on frame return; explicit pairs are
+                        // re-executed by the bytecode itself.
+                        locked: f
+                            .locked
+                            .into_iter()
+                            .filter_map(|(obj, sync)| sync.then_some(obj))
+                            .collect(),
+                    })
+                    .collect();
+                resume(program, self, interp_frames)
+            }
+        }
+    }
+
+    fn charge_cycles(&mut self, cycles: u64) -> Result<(), VmError> {
+        self.heap.stats.cycles += cycles;
+        match self.options.fuel {
+            Some(limit) if self.heap.stats.cycles > limit => Err(VmError::OutOfFuel),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl InterpEnv for Vm {
+    fn heap(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+    fn statics(&mut self) -> &mut Statics {
+        &mut self.statics
+    }
+    fn profiles(&mut self) -> &mut ProfileStore {
+        &mut self.profiles
+    }
+    fn charge(&mut self, cycles: u64) -> Result<(), VmError> {
+        self.charge_cycles(cycles)
+    }
+    fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+        self.call(method, args)
+    }
+}
+
+impl EvalEnv for Vm {
+    fn heap(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+    fn statics(&mut self) -> &mut Statics {
+        &mut self.statics
+    }
+    fn charge(&mut self, cycles: u64) -> Result<(), VmError> {
+        self.charge_cycles(cycles)
+    }
+    fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+        self.call(method, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::asm::parse_program;
+
+    fn vm(src: &str, options: VmOptions) -> Vm {
+        let program = parse_program(src).unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        Vm::new(program, options)
+    }
+
+    #[test]
+    fn interprets_then_compiles() {
+        let mut v = vm(
+            "method f 1 returns { load 0 const 1 add retv }",
+            VmOptions::with_opt_level(OptLevel::Pea),
+        );
+        for i in 0..100 {
+            let r = v.call_entry("f", &[Value::Int(i)]).unwrap();
+            assert_eq!(r, Some(Value::Int(i + 1)));
+        }
+        assert_eq!(v.compiled_method_count(), 1);
+        assert_eq!(v.stats().compiles, 1);
+    }
+
+    #[test]
+    fn interpreter_only_never_compiles() {
+        let mut v = vm(
+            "method f 0 returns { const 7 retv }",
+            VmOptions::interpreter_only(),
+        );
+        for _ in 0..200 {
+            v.call_entry("f", &[]).unwrap();
+        }
+        assert_eq!(v.compiled_method_count(), 0);
+    }
+
+    #[test]
+    fn deopt_resumes_in_interpreter_with_correct_result() {
+        // Branch taken only after warmup: the compiled code speculates it
+        // never happens and must deopt, producing the same result the
+        // interpreter would.
+        let src = "
+            class Box { field v int }
+            static g ref
+            method f 1 returns {
+                new Box store 1
+                load 1 load 0 putfield Box.v
+                load 0 const 100 ifcmp gt Lrare
+                load 1 getfield Box.v const 1 add retv
+            Lrare:
+                load 1 putstatic g
+                load 1 getfield Box.v const 1000 add retv
+            }";
+        let mut v = vm(src, VmOptions::with_opt_level(OptLevel::Pea));
+        for i in 0..80 {
+            assert_eq!(v.call_entry("f", &[Value::Int(i)]).unwrap(), Some(Value::Int(i + 1)));
+        }
+        assert_eq!(v.compiled_method_count(), 1);
+        let before = v.stats();
+        let r = v.call_entry("f", &[Value::Int(500)]).unwrap();
+        assert_eq!(r, Some(Value::Int(1500)));
+        let delta = v.stats().delta(&before);
+        assert_eq!(delta.deopts, 1);
+        assert_eq!(delta.rematerialized, 1);
+        // The interpreter finished the rare path: the box escaped into g.
+        let g = v.program().static_by_name("g").unwrap();
+        assert!(matches!(v.statics.get(g), Value::Ref(_)));
+    }
+
+    #[test]
+    fn repeated_deopts_evict_and_recompile() {
+        let src = "
+            static g int
+            method f 1 returns {
+                load 0 const 0 ifcmp le Lneg
+                const 1 retv
+            Lneg:
+                const -1 retv
+            }";
+        let mut v = vm(src, VmOptions::with_opt_level(OptLevel::Pea));
+        // Warm up with positive args: speculation = never negative.
+        for _ in 0..80 {
+            v.call_entry("f", &[Value::Int(5)]).unwrap();
+        }
+        assert_eq!(v.compiled_method_count(), 1);
+        // Hammer the cold branch until eviction.
+        for _ in 0..20 {
+            assert_eq!(v.call_entry("f", &[Value::Int(-3)]).unwrap(), Some(Value::Int(-1)));
+        }
+        // Evicted at max_deopts, then re-profiled; it may have been
+        // recompiled without the failing speculation afterwards.
+        assert!(v.stats().deopts >= 8);
+        // Re-warm: both branches now profiled, recompilation must not
+        // speculate the branch away.
+        for _ in 0..80 {
+            v.call_entry("f", &[Value::Int(-3)]).unwrap();
+            v.call_entry("f", &[Value::Int(3)]).unwrap();
+        }
+        let before = v.stats();
+        v.call_entry("f", &[Value::Int(-3)]).unwrap();
+        v.call_entry("f", &[Value::Int(3)]).unwrap();
+        assert_eq!(v.stats().delta(&before).deopts, 0, "stable after re-profile");
+    }
+
+    #[test]
+    fn fuel_limit_applies_across_tiers() {
+        let mut v = vm(
+            "method f 0 returns { Lx: goto Lx }",
+            VmOptions {
+                fuel: Some(100_000),
+                ..VmOptions::default()
+            },
+        );
+        assert_eq!(v.call_entry("f", &[]).unwrap_err(), VmError::OutOfFuel);
+    }
+
+    #[test]
+    fn virtual_dispatch_through_tiers() {
+        let src = "
+            class A { }
+            class B extends A { }
+            method virtual A.tag 1 returns { const 1 retv }
+            method virtual B.tag 1 returns { const 2 retv }
+            method mk 1 returns {
+                load 0 const 0 ifcmp eq La
+                new B retv
+            La:
+                new A retv
+            }
+            method f 1 returns { load 0 invokestatic mk invokevirtual A.tag retv }";
+        let mut v = vm(src, VmOptions::with_opt_level(OptLevel::Pea));
+        for i in 0..200 {
+            let r = v.call_entry("f", &[Value::Int(i % 2)]).unwrap();
+            assert_eq!(r, Some(Value::Int(if i % 2 == 0 { 1 } else { 2 })));
+        }
+    }
+}

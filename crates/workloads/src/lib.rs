@@ -1,0 +1,166 @@
+//! Synthetic benchmark kernels standing in for the paper's evaluation
+//! suites (DaCapo 9.12, ScalaDaCapo 0.1.0, SPECjbb2005).
+//!
+//! The real suites are large Java applications we cannot run on a toy VM;
+//! per the substitution policy in `DESIGN.md`, each benchmark is replaced
+//! by a kernel **composed of allocation patterns** chosen to reproduce
+//! that benchmark's qualitative row in Table 1: which suites win big
+//! under Partial Escape Analysis (Scala-style boxing/tuple/closure
+//! churn), which barely move (allocation-free or escape-heavy code),
+//! where lock elision shows (tomcat, SPECjbb), and where PEA *loses*
+//! (jython: code-size growth from sinking allocations into many
+//! branches). Patterns are tuned by structure — escape probability and
+//! allocation mix — never by pasting the paper's numbers.
+//!
+//! Every workload exposes one `iterate(i)` method; the harness warms it
+//! up (interpreter → profile → JIT) and then measures per-iteration
+//! statistics deltas.
+
+mod patterns;
+mod suites;
+
+use pea_bytecode::asm::parse_program;
+use pea_bytecode::Program;
+
+pub use patterns::{Pattern, PatternInstance};
+pub use suites::{dacapo, scaladacapo, specjbb, WorkloadSpec};
+
+/// Which evaluation suite a workload belongs to (the three blocks of
+/// Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// DaCapo 9.12-bach stand-ins.
+    DaCapo,
+    /// ScalaDaCapo 0.1.0 stand-ins.
+    ScalaDaCapo,
+    /// SPECjbb2005 stand-in.
+    SpecJbb,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Suite::DaCapo => "DaCapo",
+            Suite::ScalaDaCapo => "ScalaDaCapo",
+            Suite::SpecJbb => "SPECjbb2005",
+        })
+    }
+}
+
+/// A ready-to-run workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name (matching the Table 1 row it stands in for).
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The generated program.
+    pub program: Program,
+    /// Whether the paper reports this row as significant (insignificant
+    /// DaCapo rows are folded into the average only).
+    pub significant: bool,
+}
+
+impl Workload {
+    /// Builds the workload from its spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated assembly fails to parse or verify — a bug
+    /// in the generator, covered by tests.
+    pub fn from_spec(spec: &WorkloadSpec) -> Workload {
+        let source = spec.to_asm();
+        let program = parse_program(&source)
+            .unwrap_or_else(|e| panic!("workload {}: {e}\n{source}", spec.name));
+        pea_bytecode::verify_program(&program)
+            .unwrap_or_else(|e| panic!("workload {}: {e}", spec.name));
+        Workload {
+            name: spec.name.to_string(),
+            suite: spec.suite,
+            program,
+            significant: spec.significant,
+        }
+    }
+}
+
+/// All workloads of all suites, in Table 1 order.
+pub fn all_workloads() -> Vec<Workload> {
+    dacapo()
+        .iter()
+        .chain(scaladacapo().iter())
+        .chain(std::iter::once(&specjbb()))
+        .map(Workload::from_spec)
+        .collect()
+}
+
+/// Workloads of one suite.
+pub fn suite_workloads(suite: Suite) -> Vec<Workload> {
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.suite == suite)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_runtime::Value;
+    use pea_vm::{OptLevel, Vm, VmOptions};
+
+    #[test]
+    fn all_workloads_parse_and_verify() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 14 + 12 + 1);
+        assert_eq!(ws.iter().filter(|w| w.suite == Suite::DaCapo).count(), 14);
+        assert_eq!(
+            ws.iter().filter(|w| w.suite == Suite::ScalaDaCapo).count(),
+            12
+        );
+    }
+
+    #[test]
+    fn workloads_run_and_levels_agree() {
+        for w in all_workloads() {
+            let mut results = Vec::new();
+            for level in [OptLevel::None, OptLevel::Pea] {
+                let mut vm = Vm::new(w.program.clone(), VmOptions::with_opt_level(level));
+                let mut acc = Vec::new();
+                for i in 0..3 {
+                    let r = vm
+                        .call_entry("iterate", &[Value::Int(i)])
+                        .unwrap_or_else(|e| panic!("{} at {level}: {e}", w.name));
+                    acc.push(r);
+                }
+                results.push(acc);
+            }
+            assert_eq!(results[0], results[1], "{}: levels disagree", w.name);
+        }
+    }
+
+    #[test]
+    fn factorie_like_is_boxing_heavy() {
+        let w = suite_workloads(Suite::ScalaDaCapo)
+            .into_iter()
+            .find(|w| w.name == "factorie")
+            .unwrap();
+        // Compare steady-state allocation counts with and without PEA.
+        let mut counts = Vec::new();
+        for level in [OptLevel::None, OptLevel::Pea] {
+            let mut vm = Vm::new(w.program.clone(), VmOptions::with_opt_level(level));
+            for i in 0..60 {
+                vm.call_entry("iterate", &[Value::Int(i)]).unwrap();
+            }
+            let before = vm.stats();
+            for i in 60..70 {
+                vm.call_entry("iterate", &[Value::Int(i)]).unwrap();
+            }
+            counts.push(vm.stats().delta(&before).alloc_count);
+        }
+        assert!(
+            (counts[1] as f64) < 0.6 * counts[0] as f64,
+            "factorie-like must cut allocations by >40%: none={} pea={}",
+            counts[0],
+            counts[1]
+        );
+    }
+}

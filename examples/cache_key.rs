@@ -1,0 +1,136 @@
+//! The paper's running example (Listings 1–6): a cache keyed by a
+//! freshly allocated `Key` object that escapes only on the miss path.
+//!
+//! This example shows every stage the paper walks through:
+//!
+//! 1. the source-level program (Listing 1/4, as assembler),
+//! 2. the IR after inlining the constructor and the synchronized
+//!    `equals` (Listing 5 / Figure 2),
+//! 3. the IR after Partial Escape Analysis (Listing 6): allocation and
+//!    monitors gone from the hit path, one materialization on the miss
+//!    path,
+//! 4. runtime behaviour: hits allocate nothing, misses allocate exactly
+//!    one object.
+//!
+//! ```sh
+//! cargo run --example cache_key
+//! ```
+
+use pea::bytecode::asm::parse_program;
+use pea::compiler::{compile, CompilerOptions, OptLevel};
+use pea::ir::dump::dump;
+use pea::ir::NodeKind;
+use pea::runtime::Value;
+use pea::vm::{Vm, VmOptions};
+
+const SOURCE: &str = "
+    class Key {
+        field idx int
+        field ref ref
+    }
+    static cacheKey ref
+    static cacheValue int
+
+    method virtual Key.equals 2 returns synchronized {
+        load 1 ifnull Lfalse
+        load 0 getfield Key.idx
+        load 1 checkcast Key getfield Key.idx
+        ifcmp ne Lfalse
+        load 0 getfield Key.ref
+        load 1 checkcast Key getfield Key.ref
+        ifrefne Lfalse
+        const 1 retv
+    Lfalse:
+        const 0 retv
+    }
+
+    method getValue 2 returns {
+        new Key store 2
+        load 2 load 0 putfield Key.idx
+        load 2 load 1 putfield Key.ref
+        load 2 getstatic cacheKey invokevirtual Key.equals
+        const 0 ifcmp eq Lmiss
+        getstatic cacheValue retv
+    Lmiss:
+        load 2 putstatic cacheKey
+        load 0 const 13 mul putstatic cacheValue
+        getstatic cacheValue retv
+    }
+";
+
+fn count(g: &pea::ir::Graph, pred: impl Fn(&NodeKind) -> bool) -> usize {
+    g.live_nodes().filter(|&n| pred(g.kind(n))).count()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(SOURCE)?;
+    let get_value = program.static_method_by_name("getValue").expect("getValue");
+
+    // --- Stage 1: after inlining, before PEA (Listing 5 / Figure 2) ---
+    let no_ea = compile(
+        &program,
+        get_value,
+        None,
+        &CompilerOptions::with_opt_level(OptLevel::None),
+    )?;
+    println!("=== after inlining (Listing 5 / Figure 2) ===");
+    println!(
+        "allocations={} monitors={} field-loads={}",
+        count(&no_ea.graph, |k| matches!(k, NodeKind::New { .. })),
+        count(&no_ea.graph, |k| matches!(
+            k,
+            NodeKind::MonitorEnter | NodeKind::MonitorExit
+        )),
+        count(&no_ea.graph, |k| matches!(k, NodeKind::LoadField { .. })),
+    );
+    println!("{}", dump(&no_ea.graph));
+
+    // --- Stage 2: after Partial Escape Analysis (Listing 6) ---
+    let pea = compile(
+        &program,
+        get_value,
+        None,
+        &CompilerOptions::with_opt_level(OptLevel::Pea),
+    )?;
+    println!("=== after Partial Escape Analysis (Listing 6) ===");
+    println!("phase report: {:?}", pea.pea_result);
+    println!(
+        "allocations={} commits={} monitors={} field-loads={}",
+        count(&pea.graph, |k| matches!(k, NodeKind::New { .. })),
+        count(&pea.graph, |k| matches!(k, NodeKind::Commit { .. })),
+        count(&pea.graph, |k| matches!(
+            k,
+            NodeKind::MonitorEnter | NodeKind::MonitorExit
+        )),
+        count(&pea.graph, |k| matches!(k, NodeKind::LoadField { .. })),
+    );
+    println!("{}", dump(&pea.graph));
+
+    // --- Stage 3: runtime behaviour ---
+    let mut vm = Vm::new(program, VmOptions::default());
+    for i in 0..100 {
+        vm.call_entry("getValue", &[Value::Int(i / 25), Value::Null])?;
+    }
+    // Hit: same key as the previous call.
+    let before = vm.stats();
+    vm.call_entry("getValue", &[Value::Int(3), Value::Null])?;
+    vm.call_entry("getValue", &[Value::Int(3), Value::Null])?;
+    let hit = vm.stats().delta(&before);
+    // Miss: key changes.
+    let before = vm.stats();
+    vm.call_entry("getValue", &[Value::Int(999), Value::Null])?;
+    let miss = vm.stats().delta(&before);
+    println!("=== runtime (compiled with PEA) ===");
+    println!(
+        "hit path:  allocations={} monitor-ops={}",
+        hit.alloc_count,
+        hit.monitor_ops()
+    );
+    println!(
+        "miss path: allocations={} monitor-ops={}",
+        miss.alloc_count,
+        miss.monitor_ops()
+    );
+    println!("\nThe allocation was moved into the miss branch (paper §4).");
+    Ok(())
+}

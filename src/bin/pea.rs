@@ -1,0 +1,190 @@
+//! `pea` — command-line driver for the PEA virtual machine and compiler.
+//!
+//! ```text
+//! pea run <file.asm> <entry> [args...] [--level none|ees|pea] [--interp]
+//! pea dump <file.asm> <method> [--level none|ees|pea]  # IR before/after
+//! pea dot <file.asm> <method> [--level ...]            # GraphViz output
+//! pea disasm <file.asm>                                # parse + re-print
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! echo 'method main 1 returns { load 0 const 2 mul retv }' > /tmp/double.asm
+//! pea run /tmp/double.asm main 21
+//! pea dump /tmp/double.asm main
+//! ```
+
+use pea::bytecode::asm::parse_program;
+use pea::compiler::{compile, CompilerOptions, OptLevel};
+use pea::runtime::Value;
+use pea::vm::{Vm, VmOptions};
+use std::process::ExitCode;
+
+fn parse_level(args: &[String]) -> OptLevel {
+    match args
+        .iter()
+        .position(|a| a == "--level")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("none") => OptLevel::None,
+        Some("ees") => OptLevel::Ees,
+        Some("pea") | None => OptLevel::Pea,
+        Some(other) => {
+            eprintln!("unknown level `{other}` (none|ees|pea)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(path: &str) -> pea::bytecode::Program {
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let program = parse_program(&source).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    if let Err(e) = pea::bytecode::verify_program(&program) {
+        eprintln!("{path}: verification failed: {e}");
+        std::process::exit(2);
+    }
+    program
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let [path, entry, rest @ ..] = args else {
+        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N]");
+        return ExitCode::from(2);
+    };
+    let program = load(path);
+    let interp_only = rest.iter().any(|a| a == "--interp");
+    let warmup: u64 = rest
+        .iter()
+        .position(|a| a == "--warmup")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let call_args: Vec<Value> = rest
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(|a| {
+            if a == "null" {
+                Value::Null
+            } else {
+                Value::Int(a.parse().unwrap_or_else(|_| {
+                    eprintln!("bad argument `{a}` (int or `null`)");
+                    std::process::exit(2);
+                }))
+            }
+        })
+        .collect();
+    let options = if interp_only {
+        VmOptions::interpreter_only()
+    } else {
+        VmOptions::with_opt_level(parse_level(rest))
+    };
+    let mut vm = Vm::new(program, options);
+    for _ in 0..warmup {
+        if vm.call_entry(entry, &call_args).is_err() {
+            break; // errors reported by the measured call below
+        }
+    }
+    let before = vm.stats();
+    match vm.call_entry(entry, &call_args) {
+        Ok(v) => {
+            let d = vm.stats().delta(&before);
+            println!(
+                "result = {}",
+                v.map_or("void".to_string(), |v| v.to_string())
+            );
+            println!(
+                "allocations={} bytes={} monitors={} cycles={} deopts={} compiled-methods={}",
+                d.alloc_count,
+                d.alloc_bytes,
+                d.monitor_ops(),
+                d.cycles,
+                d.deopts,
+                vm.compiled_method_count(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn compiled_for(args: &[String]) -> Option<(pea::compiler::CompiledMethod, String)> {
+    let [path, method_name, rest @ ..] = args else {
+        eprintln!("usage: pea dump|dot <file.asm> <method> [--level L]");
+        return None;
+    };
+    let program = load(path);
+    let level = parse_level(rest);
+    let method = program
+        .static_method_by_name(method_name)
+        .unwrap_or_else(|| {
+            eprintln!("no static method `{method_name}`");
+            std::process::exit(2);
+        });
+    match compile(&program, method, None, &CompilerOptions::with_opt_level(level)) {
+        Ok(code) => Some((code, method_name.clone())),
+        Err(e) => {
+            eprintln!("compilation bailout: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_dump(args: &[String]) -> ExitCode {
+    let Some((code, name)) = compiled_for(args) else {
+        return ExitCode::from(2);
+    };
+    println!("=== {name} (code size {} nodes) ===", code.code_size);
+    println!("escape analysis: {:?}", code.pea_result);
+    println!("{}", pea::ir::dump::dump(&code.graph));
+    ExitCode::SUCCESS
+}
+
+fn cmd_dot(args: &[String]) -> ExitCode {
+    let Some((code, name)) = compiled_for(args) else {
+        return ExitCode::from(2);
+    };
+    println!("{}", pea::ir::dump::dump_dot(&code.graph, &name));
+    ExitCode::SUCCESS
+}
+
+fn cmd_disasm(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: pea disasm <file.asm>");
+        return ExitCode::from(2);
+    };
+    let program = load(path);
+    print!("{}", pea::bytecode::disasm::disassemble(&program));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "run" => cmd_run(rest),
+            "dump" => cmd_dump(rest),
+            "dot" => cmd_dot(rest),
+            "disasm" => cmd_disasm(rest),
+            other => {
+                eprintln!("unknown command `{other}`");
+                eprintln!("commands: run, dump, dot, disasm");
+                ExitCode::from(2)
+            }
+        },
+        None => {
+            eprintln!("usage: pea <run|dump|dot|disasm> ...");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # pea — Partial Escape Analysis and Scalar Replacement
+//!
+//! A from-scratch Rust reproduction of *"Partial Escape Analysis and Scalar
+//! Replacement for Java"* (Stadler, Würthinger, Mössenböck — CGO 2014),
+//! including the whole substrate the algorithm needs: a toy JVM-like
+//! bytecode and interpreter, a Graal-style SSA IR with frame states, a
+//! speculative JIT compiler with deoptimization, the Partial Escape
+//! Analysis itself, a flow-insensitive baseline, a tiered VM, and synthetic
+//! benchmark suites standing in for DaCapo/ScalaDaCapo/SPECjbb2005.
+//!
+//! This facade crate re-exports every subsystem under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`bytecode`] | `pea-bytecode` | classes, methods, instructions, assembler |
+//! | [`runtime`] | `pea-runtime` | heap, values, monitors, statistics, profiles |
+//! | [`interp`] | `pea-interp` | profiling interpreter, deopt re-entry |
+//! | [`ir`] | `pea-ir` | SSA graph, CFG, dominators, scheduler, verifier |
+//! | [`compiler`] | `pea-compiler` | graph builder, inlining, canonicalizer, evaluator |
+//! | [`core`] | `pea-core` | **Partial Escape Analysis** + EES baseline |
+//! | [`vm`] | `pea-vm` | tiered execution: interpret → profile → JIT → deopt |
+//! | [`workloads`] | `pea-workloads` | synthetic benchmark kernels |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pea::vm::{Vm, VmOptions, OptLevel};
+//! use pea::bytecode::asm::parse_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "method f 1 returns { load 0 const 1 add retv }",
+//! )?;
+//! let mut vm = Vm::new(program, VmOptions::with_opt_level(OptLevel::Pea));
+//! let result = vm.call_entry("f", &[pea::runtime::Value::Int(41)])?;
+//! assert_eq!(result, Some(pea::runtime::Value::Int(42)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pea_bytecode as bytecode;
+pub use pea_compiler as compiler;
+pub use pea_core as core;
+pub use pea_interp as interp;
+pub use pea_ir as ir;
+pub use pea_runtime as runtime;
+pub use pea_vm as vm;
+pub use pea_workloads as workloads;

@@ -1,0 +1,455 @@
+//! Differential testing: randomly generated programs must behave
+//! identically under every execution configuration — pure interpreter,
+//! JIT without escape analysis, JIT with the EES baseline, JIT with
+//! Partial Escape Analysis, and JIT with aggressive branch speculation
+//! (which exercises deoptimization and rematerialization).
+//!
+//! "Behave identically" means: same return value or same error on every
+//! call, same observable static variables afterwards (compared
+//! structurally, since allocation identities legitimately differ), and
+//! balanced monitors. Additionally, PEA must never allocate *more* than
+//! the unoptimized configuration (§4: "there will always be at most as
+//! many dynamic allocations as in the original code").
+
+use pea::bytecode::{CmpOp, MethodBuilder, Program, ProgramBuilder, ValueKind};
+use pea::runtime::{Value, VmError};
+use pea::vm::{OptLevel, Vm, VmOptions};
+use proptest::prelude::*;
+
+/// A structured mini-AST lowered to verified bytecode, so every generated
+/// program is executable (runtime errors like null dereferences are still
+/// possible and must match across configurations).
+#[derive(Clone, Debug)]
+enum Expr {
+    Const(i8),
+    IntLocal(u8),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    GetField(u8, u8),
+    GetStatic(u8),
+}
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    AssignInt(u8, Expr),
+    NewObj(u8),
+    StoreField(u8, u8, Expr),
+    PublishObj(u8),
+    PutStaticInt(u8, Expr),
+    If(Expr, CmpOp, Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+    Sync(u8, Vec<Stmt>),
+}
+
+const INT_LOCALS: u16 = 3; // locals 0..3 (0 and 1 are parameters)
+const OBJ_LOCALS: u16 = 2; // locals 3..5
+const INT_STATICS: u8 = 2;
+const FIELDS: u8 = 2;
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(Expr::Const),
+        (0..INT_LOCALS as u8).prop_map(Expr::IntLocal),
+        (0..OBJ_LOCALS as u8, 0..FIELDS).prop_map(|(o, f)| Expr::GetField(o, f)),
+        (0..INT_STATICS).prop_map(Expr::GetStatic),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Div(a.into(), b.into())),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (0..INT_LOCALS as u8, expr_strategy()).prop_map(|(l, e)| Stmt::AssignInt(l, e)),
+        (0..OBJ_LOCALS as u8).prop_map(Stmt::NewObj),
+        (0..OBJ_LOCALS as u8, 0..FIELDS, expr_strategy())
+            .prop_map(|(o, f, e)| Stmt::StoreField(o, f, e)),
+        (0..OBJ_LOCALS as u8).prop_map(Stmt::PublishObj),
+        (0..INT_STATICS, expr_strategy()).prop_map(|(s, e)| Stmt::PutStaticInt(s, e)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 0..4);
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Ne),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Ge)
+                ],
+                block.clone(),
+                block.clone()
+            )
+                .prop_map(|(e, op, t, f)| Stmt::If(e, op, t, f)),
+            (1..4u8, block.clone()).prop_map(|(n, b)| Stmt::Loop(n, b)),
+            (0..OBJ_LOCALS as u8, block).prop_map(|(o, b)| Stmt::Sync(o, b)),
+        ]
+    })
+}
+
+struct Lowerer<'a> {
+    mb: &'a mut MethodBuilder,
+    class: pea::bytecode::ClassId,
+    fields: Vec<pea::bytecode::FieldId>,
+    statics: Vec<pea::bytecode::StaticId>,
+    obj_static: pea::bytecode::StaticId,
+    next_local: u16,
+}
+
+impl Lowerer<'_> {
+    fn int_local(&self, l: u8) -> u16 {
+        u16::from(l) % INT_LOCALS
+    }
+
+    fn obj_local(&self, l: u8) -> u16 {
+        INT_LOCALS + u16::from(l) % OBJ_LOCALS
+    }
+
+    fn lower_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(c) => {
+                self.mb.const_(i64::from(*c));
+            }
+            Expr::IntLocal(l) => {
+                self.mb.load(self.int_local(*l));
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                self.lower_expr(a);
+                self.lower_expr(b);
+                match e {
+                    Expr::Add(..) => self.mb.add(),
+                    Expr::Sub(..) => self.mb.sub(),
+                    Expr::Mul(..) => self.mb.mul(),
+                    _ => self.mb.div(),
+                };
+            }
+            Expr::GetField(o, f) => {
+                self.mb.load(self.obj_local(*o));
+                self.mb.get_field(self.fields[usize::from(*f) % self.fields.len()]);
+            }
+            Expr::GetStatic(s) => {
+                self.mb
+                    .get_static(self.statics[usize::from(*s) % self.statics.len()]);
+            }
+        }
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.lower_stmt(s);
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::AssignInt(l, e) => {
+                self.lower_expr(e);
+                self.mb.store(self.int_local(*l));
+            }
+            Stmt::NewObj(o) => {
+                self.mb.new_object(self.class);
+                self.mb.store(self.obj_local(*o));
+            }
+            Stmt::StoreField(o, f, e) => {
+                self.mb.load(self.obj_local(*o));
+                self.lower_expr(e);
+                self.mb
+                    .put_field(self.fields[usize::from(*f) % self.fields.len()]);
+            }
+            Stmt::PublishObj(o) => {
+                self.mb.load(self.obj_local(*o));
+                self.mb.put_static(self.obj_static);
+            }
+            Stmt::PutStaticInt(st, e) => {
+                self.lower_expr(e);
+                self.mb
+                    .put_static(self.statics[usize::from(*st) % self.statics.len()]);
+            }
+            Stmt::If(e, op, then_b, else_b) => {
+                self.lower_expr(e);
+                self.mb.const_(0);
+                let lt = self.mb.new_label();
+                let lend = self.mb.new_label();
+                self.mb.if_cmp(*op, lt);
+                self.lower_block(else_b);
+                self.mb.goto(lend);
+                self.mb.bind(lt);
+                self.lower_block(then_b);
+                self.mb.bind(lend);
+            }
+            Stmt::Loop(n, body) => {
+                let counter = self.next_local;
+                self.next_local += 1;
+                self.mb.const_(0);
+                self.mb.store(counter);
+                let head = self.mb.new_label();
+                let done = self.mb.new_label();
+                self.mb.bind(head);
+                self.mb.load(counter);
+                self.mb.const_(i64::from(*n));
+                self.mb.if_cmp(CmpOp::Ge, done);
+                self.lower_block(body);
+                self.mb.load(counter);
+                self.mb.const_(1);
+                self.mb.add();
+                self.mb.store(counter);
+                self.mb.goto(head);
+                self.mb.bind(done);
+            }
+            Stmt::Sync(o, body) => {
+                // Null check first so the monitorenter/monitorexit pair is
+                // structurally balanced even for null objects (the error
+                // then comes from monitorenter in both tiers).
+                self.mb.load(self.obj_local(*o));
+                self.mb.monitor_enter();
+                self.lower_block(body);
+                self.mb.load(self.obj_local(*o));
+                self.mb.monitor_exit();
+            }
+        }
+    }
+}
+
+fn build_program(body: &[Stmt]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let class = pb.add_class("Obj", None);
+    let fields = vec![
+        pb.add_field(class, "f0", ValueKind::Int),
+        pb.add_field(class, "f1", ValueKind::Int),
+    ];
+    let statics = vec![
+        pb.add_static("s0", ValueKind::Int),
+        pb.add_static("s1", ValueKind::Int),
+    ];
+    let obj_static = pb.add_static("published", ValueKind::Ref);
+    let mut mb = MethodBuilder::new_static("f", 2, true);
+    mb.locals(INT_LOCALS + OBJ_LOCALS + 8);
+    // Type discipline: int locals start at 0 (as javac would guarantee —
+    // JVM bytecode never performs integer arithmetic on references, and
+    // the compiler's early scheduler relies on that; see pea-ir docs).
+    for l in 2..INT_LOCALS {
+        mb.const_(0);
+        mb.store(l);
+    }
+    {
+        let mut lower = Lowerer {
+            mb: &mut mb,
+            class,
+            fields,
+            statics,
+            obj_static,
+            next_local: INT_LOCALS + OBJ_LOCALS,
+        };
+        lower.lower_block(body);
+        // Return a digest of the int locals.
+        lower.mb.load(0);
+        lower.mb.load(1);
+        lower.mb.add();
+        lower.mb.load(2);
+        lower.mb.add();
+        lower.mb.return_value();
+    }
+    pb.add_method(mb.build().expect("generated method builds"));
+    let program = pb.build().expect("program builds");
+    pea::bytecode::verify_program(&program).expect("generated bytecode verifies");
+    program
+}
+
+/// Observable end state: statics, with published objects compared by
+/// field values (not identity — allocation order differs legitimately
+/// between configurations).
+fn observe(vm: &Vm) -> Vec<String> {
+    let program = vm.program();
+    let mut out = Vec::new();
+    for i in 0..program.statics.len() {
+        let id = pea::bytecode::StaticId::from_index(i);
+        let v = vm.statics_ref().get(id);
+        match v {
+            Value::Int(x) => out.push(format!("s{i}={x}")),
+            Value::Null => out.push(format!("s{i}=null")),
+            Value::Ref(r) => {
+                let class = vm.heap().class_of(r).expect("published object");
+                let fields: Vec<String> = program
+                    .instance_fields(class)
+                    .iter()
+                    .map(|&f| {
+                        match vm.heap().get_field(program, r, f).expect("field") {
+                            Value::Int(x) => x.to_string(),
+                            Value::Null => "null".into(),
+                            Value::Ref(_) => "ref".into(),
+                        }
+                    })
+                    .collect();
+                out.push(format!("s{i}=obj[{}]", fields.join(",")));
+            }
+        }
+    }
+    // Monitor holds are compared only on *reachable* objects: an error
+    // raised while a lock-elided virtual object was "locked" leaves the
+    // interpreter holding a monitor on a garbage object, which no program
+    // can observe (and which compiled code correctly never allocated).
+    let mut reachable_locks = 0u64;
+    let mut work: Vec<pea::runtime::ObjRef> = (0..program.statics.len())
+        .filter_map(|i| {
+            match vm.statics_ref().get(pea::bytecode::StaticId::from_index(i)) {
+                Value::Ref(r) => Some(r),
+                _ => None,
+            }
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    while let Some(r) = work.pop() {
+        if !seen.insert(r) {
+            continue;
+        }
+        reachable_locks += u64::from(vm.heap().lock_count(r));
+        if let Ok(class) = vm.heap().class_of(r) {
+            for f in program.instance_fields(class) {
+                if let Ok(Value::Ref(child)) = vm.heap().get_field(program, r, f) {
+                    work.push(child);
+                }
+            }
+        }
+    }
+    out.push(format!("reachable-locks={reachable_locks}"));
+    out
+}
+
+fn configs() -> Vec<(&'static str, VmOptions)> {
+    let mut spec_opts = VmOptions::with_opt_level(OptLevel::Pea);
+    spec_opts.compile_threshold = 3;
+    spec_opts.compiler.build.branch_threshold = 4;
+    spec_opts.compiler.build.devirtualize_threshold = 4;
+    let mut low = |level: OptLevel| {
+        let mut o = VmOptions::with_opt_level(level);
+        o.compile_threshold = 3;
+        o
+    };
+    vec![
+        ("interp", VmOptions::interpreter_only()),
+        ("jit-none", low(OptLevel::None)),
+        ("jit-ees", low(OptLevel::Ees)),
+        ("jit-pea", low(OptLevel::Pea)),
+        ("jit-pea-speculative", spec_opts),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_configurations_agree(body in prop::collection::vec(stmt_strategy(), 1..8),
+                                a in -4i64..4, b in -4i64..4) {
+        let program = build_program(&body);
+        let mut outcomes: Vec<(String, Vec<Result<Option<Value>, VmError>>, Vec<String>)> =
+            Vec::new();
+        let mut alloc_counts: Vec<(String, u64)> = Vec::new();
+        for (name, options) in configs() {
+            let mut vm = Vm::new(program.clone(), options);
+            let mut results = Vec::new();
+            for round in 0..10i64 {
+                results.push(vm.call_entry("f", &[Value::Int(a + round), Value::Int(b)]));
+            }
+            let end_state = observe(&vm);
+            alloc_counts.push((name.to_string(), vm.stats().alloc_count));
+            outcomes.push((name.to_string(), results, end_state));
+        }
+        let (ref_name, ref_results, ref_state) = &outcomes[0];
+        for (name, results, state) in &outcomes[1..] {
+            prop_assert_eq!(
+                results, ref_results,
+                "{} disagrees with {} on results", name, ref_name
+            );
+            prop_assert_eq!(
+                state, ref_state,
+                "{} disagrees with {} on end state", name, ref_name
+            );
+        }
+        // PEA never allocates more than the unoptimized JIT ("at most as
+        // many dynamic allocations as in the original code", §4) — as
+        // long as no deopt rematerialized (rematerialization may
+        // legitimately duplicate an allocation the interpreter performed
+        // once).
+        let none = alloc_counts.iter().find(|(n, _)| n == "jit-none").unwrap().1;
+        let pea = alloc_counts.iter().find(|(n, _)| n == "jit-pea").unwrap().1;
+        prop_assert!(
+            pea <= none,
+            "PEA allocated more than baseline: {} > {}",
+            pea,
+            none
+        );
+    }
+}
+
+#[test]
+fn fixed_regression_cases() {
+    // Hand-picked shapes that stress the analysis: publish-in-branch,
+    // sync on maybe-null, loop-carried object state.
+    use Stmt::*;
+    let cases: Vec<Vec<Stmt>> = vec![
+        vec![
+            NewObj(0),
+            StoreField(0, 0, Expr::IntLocal(0)),
+            If(
+                Expr::IntLocal(1),
+                CmpOp::Lt,
+                vec![PublishObj(0)],
+                vec![AssignInt(2, Expr::GetField(0, 0))],
+            ),
+        ],
+        vec![
+            NewObj(0),
+            Sync(0, vec![StoreField(0, 1, Expr::Const(5))]),
+            AssignInt(0, Expr::GetField(0, 1)),
+        ],
+        vec![
+            NewObj(1),
+            Loop(
+                3,
+                vec![
+                    StoreField(1, 0, Expr::Add(
+                        Box::new(Expr::GetField(1, 0)),
+                        Box::new(Expr::IntLocal(0)),
+                    )),
+                ],
+            ),
+            AssignInt(2, Expr::GetField(1, 0)),
+        ],
+        // Sync on a null object local: error must match everywhere.
+        vec![Sync(0, vec![AssignInt(0, Expr::Const(1))])],
+        // Field access on null.
+        vec![AssignInt(0, Expr::GetField(0, 0))],
+        // Division by a value that can be zero.
+        vec![AssignInt(0, Expr::Div(
+            Box::new(Expr::IntLocal(0)),
+            Box::new(Expr::IntLocal(1)),
+        ))],
+    ];
+    for body in cases {
+        let program = build_program(&body);
+        let mut reference: Option<Vec<Result<Option<Value>, VmError>>> = None;
+        for (name, options) in configs() {
+            let mut vm = Vm::new(program.clone(), options);
+            let mut results = Vec::new();
+            for round in 0..10i64 {
+                results.push(vm.call_entry("f", &[Value::Int(round - 2), Value::Int(2)]));
+            }
+            match &reference {
+                None => reference = Some(results),
+                Some(r) => assert_eq!(&results, r, "{name} disagrees on {body:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Cross-crate integration tests: the full stack (assembler → verifier →
+//! interpreter → profiles → compiler → evaluator → deoptimization) on
+//! scenarios from the paper.
+
+use pea::bytecode::asm::parse_program;
+use pea::runtime::{Value, VmError};
+use pea::vm::{OptLevel, Vm, VmOptions};
+
+fn vm_for(src: &str, level: OptLevel) -> Vm {
+    let program = parse_program(src).expect("assembles");
+    pea::bytecode::verify_program(&program).expect("verifies");
+    Vm::new(program, VmOptions::with_opt_level(level))
+}
+
+/// The paper's running example driven through the whole VM with a
+/// realistic hit/miss mix, at all three optimization levels.
+#[test]
+fn cache_example_full_stack() {
+    let src = "
+        class Key { field idx int field ref ref }
+        static cacheKey ref
+        static cacheValue int
+        method virtual Key.equals 2 returns synchronized {
+            load 1 ifnull Lf
+            load 0 getfield Key.idx
+            load 1 checkcast Key getfield Key.idx
+            ifcmp ne Lf
+            const 1 retv
+        Lf: const 0 retv
+        }
+        method getValue 1 returns {
+            new Key store 1
+            load 1 load 0 putfield Key.idx
+            load 1 getstatic cacheKey invokevirtual Key.equals
+            const 0 ifcmp eq Lmiss
+            getstatic cacheValue retv
+        Lmiss:
+            load 1 putstatic cacheKey
+            load 0 const 13 mul putstatic cacheValue
+            getstatic cacheValue retv
+        }";
+    let mut outputs = Vec::new();
+    let mut hit_allocs = Vec::new();
+    for level in [OptLevel::None, OptLevel::Ees, OptLevel::Pea] {
+        let mut vm = vm_for(src, level);
+        let mut sum = 0i64;
+        for i in 0..300i64 {
+            let key = i / 10; // 90% hits
+            let r = vm.call_entry("getValue", &[Value::Int(key)]).unwrap();
+            sum = sum.wrapping_add(r.unwrap().as_int().unwrap());
+        }
+        outputs.push(sum);
+        // Steady-state hit cost.
+        let before = vm.stats();
+        vm.call_entry("getValue", &[Value::Int(29)]).unwrap();
+        hit_allocs.push(vm.stats().delta(&before).alloc_count);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+    assert_eq!(hit_allocs[0], 1, "no EA: every call allocates a key");
+    assert_eq!(hit_allocs[1], 1, "EES: the key escapes somewhere, so never optimized");
+    assert_eq!(hit_allocs[2], 0, "PEA: hit path allocates nothing");
+}
+
+/// §5.5 with locks: the object is *locked* (synchronized method inlined)
+/// at the deopt point. Rematerialization must re-enter the monitor, and
+/// the interpreter must release it when the synchronized frame returns.
+#[test]
+fn deopt_inside_synchronized_inlined_callee() {
+    let src = "
+        class Acc { field v int }
+        static published ref
+        method virtual Acc.bump 2 returns synchronized {
+            load 0 load 0 getfield Acc.v load 1 add putfield Acc.v
+            load 1 const 1000 ifcmp gt Lrare
+            load 0 getfield Acc.v retv
+        Lrare:
+            load 0 putstatic published
+            load 0 getfield Acc.v const 1000000 add retv
+        }
+        method f 1 returns {
+            new Acc store 1
+            load 1 load 0 invokevirtual Acc.bump retv
+        }";
+    let mut vm = vm_for(src, OptLevel::Pea);
+    for i in 0..120 {
+        let r = vm.call_entry("f", &[Value::Int(i)]).unwrap();
+        assert_eq!(r, Some(Value::Int(i)));
+    }
+    assert!(vm.compiled_method_count() >= 1);
+    // Verify the hot path is fully virtual (no allocation, no monitors).
+    let before = vm.stats();
+    vm.call_entry("f", &[Value::Int(7)]).unwrap();
+    let hot = vm.stats().delta(&before);
+    assert_eq!(hot.alloc_count, 0, "scalar-replaced");
+    assert_eq!(hot.monitor_ops(), 0, "lock elided");
+
+    // Cold path: the guard inside the synchronized callee fails while the
+    // virtual Acc is LOCKED. Deopt must rematerialize it with the monitor
+    // held, and the resumed interpreter frame must release it on return.
+    let before = vm.stats();
+    let r = vm.call_entry("f", &[Value::Int(5000)]).unwrap();
+    assert_eq!(r, Some(Value::Int(1005000)));
+    let cold = vm.stats().delta(&before);
+    assert_eq!(cold.deopts, 1);
+    assert!(cold.rematerialized >= 1);
+    assert_eq!(
+        cold.monitor_enters, cold.monitor_exits,
+        "monitor balance across deopt: {cold}"
+    );
+    assert_eq!(vm.heap().total_lock_holds(), 0, "no leaked monitors");
+
+    // The published object carries the updated field.
+    let program = vm.program();
+    let published = program.static_by_name("published").unwrap();
+    let obj = match vm.statics_ref().get(published) {
+        Value::Ref(r) => r,
+        other => panic!("expected object, got {other}"),
+    };
+    let acc = program.class_by_name("Acc").unwrap();
+    let field = program.field_by_name(acc, "v").unwrap();
+    assert_eq!(
+        vm.heap().get_field(program, obj, field).unwrap(),
+        Value::Int(5000)
+    );
+}
+
+/// Fibonacci through recursion: exercises non-inlined calls from compiled
+/// code back into the VM (and interpreter ↔ compiled mixing).
+#[test]
+fn recursive_calls_across_tiers() {
+    let src = "
+        method fib 1 returns {
+            load 0 const 2 ifcmp lt Lbase
+            load 0 const 1 sub invokestatic fib
+            load 0 const 2 sub invokestatic fib
+            add retv
+        Lbase:
+            load 0 retv
+        }";
+    for level in [OptLevel::None, OptLevel::Pea] {
+        let mut vm = vm_for(src, level);
+        for _ in 0..10 {
+            assert_eq!(
+                vm.call_entry("fib", &[Value::Int(15)]).unwrap(),
+                Some(Value::Int(610))
+            );
+        }
+        assert!(vm.compiled_method_count() >= 1, "fib gets hot via recursion");
+        assert_eq!(
+            vm.call_entry("fib", &[Value::Int(20)]).unwrap(),
+            Some(Value::Int(6765))
+        );
+    }
+}
+
+/// Virtual arrays: constant-length arrays are scalar-replaced, dynamic
+/// ones are not; both behave identically.
+#[test]
+fn virtual_arrays_behave_like_real_ones() {
+    let src = "
+        method pack 2 returns {
+            const 2 newarray int store 2
+            load 2 const 0 load 0 astore
+            load 2 const 1 load 1 astore
+            load 2 const 0 aload
+            load 2 const 1 aload
+            add
+            load 2 arraylen
+            mul retv
+        }";
+    let mut pea_vm = vm_for(src, OptLevel::Pea);
+    let mut none_vm = vm_for(src, OptLevel::None);
+    for i in 0..120 {
+        let a = pea_vm
+            .call_entry("pack", &[Value::Int(i), Value::Int(i * 2)])
+            .unwrap();
+        let b = none_vm
+            .call_entry("pack", &[Value::Int(i), Value::Int(i * 2)])
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, Some(Value::Int((i + i * 2) * 2)));
+    }
+    let before = pea_vm.stats();
+    pea_vm
+        .call_entry("pack", &[Value::Int(1), Value::Int(2)])
+        .unwrap();
+    assert_eq!(
+        pea_vm.stats().delta(&before).alloc_count,
+        0,
+        "constant-length array scalar-replaced"
+    );
+}
+
+/// Errors must be identical across tiers, including ones raised deep in
+/// inlined code.
+#[test]
+fn errors_agree_across_tiers() {
+    let src = "
+        class Box { field v int }
+        method inner 1 returns {
+            load 0 const 0 ifcmp ne Lok
+            cnull getfield Box.v retv
+        Lok:
+            const 100 load 0 div retv
+        }
+        method f 1 returns { load 0 invokestatic inner retv }";
+    let mut results: Vec<Vec<Result<Option<Value>, VmError>>> = Vec::new();
+    for level in [OptLevel::None, OptLevel::Pea] {
+        let mut vm = vm_for(src, level);
+        let mut r = Vec::new();
+        for round in 0..150i64 {
+            // Mostly fine args, occasionally null-deref (0) — after the
+            // method is compiled.
+            let arg = if round == 130 { 0 } else { (round % 7) + 1 };
+            r.push(vm.call_entry("f", &[Value::Int(arg)]));
+        }
+        results.push(r);
+    }
+    assert_eq!(results[0], results[1]);
+    assert!(results[0].iter().any(|r| r == &Err(VmError::NullPointer)));
+}
+
+/// All 27 workload kernels agree between interpreter-only and PEA-JIT
+/// execution over a longer horizon than the unit tests use, and keep
+/// their monitors balanced.
+#[test]
+fn workload_smoke_long_horizon() {
+    for w in pea::workloads::all_workloads() {
+        let mut interp = Vm::new(w.program.clone(), VmOptions::interpreter_only());
+        let mut jit = Vm::new(w.program.clone(), {
+            let mut o = VmOptions::with_opt_level(OptLevel::Pea);
+            o.compile_threshold = 10;
+            o
+        });
+        for i in 0..25i64 {
+            let a = interp.call_entry("iterate", &[Value::Int(i)]).unwrap();
+            let b = jit.call_entry("iterate", &[Value::Int(i)]).unwrap();
+            assert_eq!(a, b, "{} diverges at iteration {i}", w.name);
+        }
+        assert_eq!(jit.heap().total_lock_holds(), 0, "{}: leaked monitors", w.name);
+        assert!(jit.compiled_method_count() > 0, "{}: nothing compiled", w.name);
+    }
+}
