@@ -6,7 +6,12 @@
 //! allocation-count change and speedup against the no-escape-analysis
 //! baseline; the `full` row is the complete algorithm for reference.
 
-use pea_bench::{measure, Row, DEFAULT_ITERS, DEFAULT_WARMUP};
+//!
+//! With `--per-site`, each variant row is followed by its materialization
+//! reason totals (folded from the PEA trace stream), showing *which*
+//! decisions each disabled feature forces the analysis into.
+
+use pea_bench::{measure, measure_per_site, Row, DEFAULT_ITERS, DEFAULT_WARMUP};
 use pea_vm::{OptLevel, Vm, VmOptions};
 use pea_workloads::{suite_workloads, Suite, Workload};
 
@@ -39,6 +44,7 @@ fn variant(name: &'static str, mutate: impl Fn(&mut VmOptions)) -> (&'static str
 }
 
 fn main() {
+    let per_site = std::env::args().any(|a| a == "--per-site");
     let variants: Vec<(&'static str, VmOptions)> = vec![
         variant("full", |_| {}),
         variant("no-lock-elision", |o| o.compiler.pea.lock_elision = false),
@@ -73,6 +79,26 @@ fn main() {
             print!(" {allocs:>+12.1}% {speed:>+9.1}%");
         }
         println!();
+        if per_site {
+            // Fold materialization reasons over every workload of every
+            // suite for this variant.
+            let mut totals = std::collections::BTreeMap::new();
+            for suite in [Suite::DaCapo, Suite::ScalaDaCapo, Suite::SpecJbb] {
+                for w in &suite_workloads(suite) {
+                    let agg =
+                        measure_per_site(w, options.clone(), DEFAULT_WARMUP, DEFAULT_ITERS);
+                    for (reason, count) in agg.reason_totals() {
+                        *totals.entry(reason).or_insert(0u64) += count;
+                    }
+                }
+            }
+            let line = totals
+                .iter()
+                .map(|(r, c)| format!("{r} {c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!("    materializations: {}", if line.is_empty() { "none" } else { &line });
+        }
     }
     println!("\n(expect: no-lock-elision keeps monitor ops and loses part of the");
     println!(" speedup; no-field-phis and no-loop-fixpoint materialize objects");

@@ -2,13 +2,22 @@
 //! allocated bytes, allocation counts and iterations/minute, without and
 //! with Partial Escape Analysis, plus the §6.1 monitor-operation notes.
 //!
-//! Usage: `table1 [dacapo|scala|specjbb|all]` (default: all).
+//! Usage: `table1 [dacapo|scala|specjbb|all] [--per-site]`.
+//!
+//! `--per-site` appends, for every workload, the per-allocation-site
+//! decision breakdown folded from the PEA trace stream: how often each
+//! site was virtualized, how often and *why* it was materialized
+//! (escape-to-store, merge-of-mixed-states, …), and how many lock, load
+//! and store operations it absorbed.
 
-use pea_bench::{render_monitor_stats, render_table, suite_rows};
-use pea_vm::OptLevel;
+use pea_bench::{
+    measure_per_site, render_monitor_stats, render_table, suite_rows, DEFAULT_ITERS,
+    DEFAULT_WARMUP,
+};
+use pea_vm::{OptLevel, VmOptions};
 use pea_workloads::{suite_workloads, Suite};
 
-fn run_suite(title: &str, suite: Suite) {
+fn run_suite(title: &str, suite: Suite, per_site: bool) {
     let workloads = suite_workloads(suite);
     let rows = suite_rows(&workloads, OptLevel::Pea);
     println!("{}", render_table(title, &rows));
@@ -16,26 +25,48 @@ fn run_suite(title: &str, suite: Suite) {
     if !monitors.is_empty() {
         println!("Monitor operations (paper §6.1):\n{monitors}");
     }
+    if per_site {
+        println!("Per-site materialization breakdown ({title}):");
+        for w in &workloads {
+            let agg = measure_per_site(
+                w,
+                VmOptions::with_opt_level(OptLevel::Pea),
+                DEFAULT_WARMUP,
+                DEFAULT_ITERS,
+            );
+            println!("  {}:", w.name);
+            for line in agg.render().lines() {
+                println!("    {line}");
+            }
+        }
+        println!();
+    }
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let per_site = args.iter().any(|a| a == "--per-site");
+    let arg = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
     println!(
         "Table 1 reproduction — without vs. with Partial Escape Analysis\n\
          (synthetic kernels; compare the *shape* against the paper, not\n\
          absolute magnitudes — see EXPERIMENTS.md)\n"
     );
     match arg.as_str() {
-        "dacapo" => run_suite("DaCapo", Suite::DaCapo),
-        "scala" => run_suite("ScalaDaCapo", Suite::ScalaDaCapo),
-        "specjbb" => run_suite("SPECjbb2005", Suite::SpecJbb),
+        "dacapo" => run_suite("DaCapo", Suite::DaCapo, per_site),
+        "scala" => run_suite("ScalaDaCapo", Suite::ScalaDaCapo, per_site),
+        "specjbb" => run_suite("SPECjbb2005", Suite::SpecJbb, per_site),
         "all" => {
-            run_suite("DaCapo", Suite::DaCapo);
-            run_suite("ScalaDaCapo", Suite::ScalaDaCapo);
-            run_suite("SPECjbb2005", Suite::SpecJbb);
+            run_suite("DaCapo", Suite::DaCapo, per_site);
+            run_suite("ScalaDaCapo", Suite::ScalaDaCapo, per_site);
+            run_suite("SPECjbb2005", Suite::SpecJbb, per_site);
         }
         other => {
-            eprintln!("unknown suite `{other}`; use dacapo|scala|specjbb|all");
+            eprintln!("unknown suite `{other}`; use dacapo|scala|specjbb|all [--per-site]");
             std::process::exit(2);
         }
     }

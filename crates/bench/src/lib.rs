@@ -15,6 +15,7 @@
 
 use pea_runtime::cost::CYCLES_PER_MINUTE;
 use pea_runtime::{Stats, Value};
+use pea_trace::{SharedSink, SiteAggregator};
 use pea_vm::{OptLevel, Vm, VmOptions};
 use pea_workloads::Workload;
 
@@ -77,6 +78,36 @@ pub fn measure(workload: &Workload, level: OptLevel, warmup: u64, iters: u64) ->
         deopts: d.deopts,
         compiles: vm.stats().compiles,
     }
+}
+
+/// Runs `workload` with a [`SiteAggregator`] attached to the VM's trace
+/// sink and returns the folded per-allocation-site decision counters:
+/// which sites were virtualized, which materialized and why, which locks,
+/// loads and stores were elided, plus deopt/eviction totals.
+///
+/// The extra `options` parameter (rather than a bare [`OptLevel`]) lets
+/// the ablation harness report breakdowns for feature-disabled variants.
+///
+/// # Panics
+///
+/// Panics if the workload raises a runtime error.
+pub fn measure_per_site(
+    workload: &Workload,
+    mut options: VmOptions,
+    warmup: u64,
+    iters: u64,
+) -> SiteAggregator {
+    let (sink, agg) = SharedSink::new(SiteAggregator::new());
+    options.trace = Some(sink);
+    let mut vm = Vm::new(workload.program.clone(), options);
+    for i in 0..warmup + iters {
+        vm.call_entry("iterate", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("{} traced run: {e}", workload.name));
+    }
+    drop(vm);
+    std::rc::Rc::try_unwrap(agg)
+        .expect("aggregator handle is unique once the VM is dropped")
+        .into_inner()
 }
 
 /// One Table 1 row: a workload measured without and with an optimization.
@@ -170,7 +201,7 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
         );
     }
     let n = rows.len() as f64;
-    let avg = |f: &dyn Fn(&Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+    let avg = |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).sum::<f64>() / n;
     let _ = writeln!(
         out,
         "{:<14} {:>8} {:>8} {:>+5.1}% {:>9} {:>8} {:>+5.1}% {:>10} {:>10} {:>+7.1}%",

@@ -396,7 +396,7 @@ impl ProgramBuilder {
         param_count: u16,
         returns_value: bool,
     ) -> MethodId {
-        let id = self.add_method(Method {
+        self.add_method(Method {
             class,
             name: name.to_string(),
             param_count,
@@ -405,8 +405,7 @@ impl ProgramBuilder {
             is_synchronized: false,
             max_locals: param_count,
             code: vec![Insn::Return],
-        });
-        id
+        })
     }
 
     /// Replaces the body of a previously declared method.

@@ -85,25 +85,19 @@ pub fn verify_method(program: &Program, id: MethodId) -> Result<(), VerifyError>
             }
         }
         match insn {
-            Insn::Load(n) | Insn::Store(n) => {
-                if n >= method.max_locals {
-                    return Err(err(id, bci, format!("local {n} out of range")));
-                }
+            Insn::Load(n) | Insn::Store(n) if n >= method.max_locals => {
+                return Err(err(id, bci, format!("local {n} out of range")));
             }
-            Insn::New(c) | Insn::InstanceOf(c) | Insn::CheckCast(c) => {
-                if c.index() >= program.classes.len() {
-                    return Err(err(id, bci, format!("unknown class {c}")));
-                }
+            Insn::New(c) | Insn::InstanceOf(c) | Insn::CheckCast(c)
+                if c.index() >= program.classes.len() =>
+            {
+                return Err(err(id, bci, format!("unknown class {c}")));
             }
-            Insn::GetField(f) | Insn::PutField(f) => {
-                if f.index() >= program.fields.len() {
-                    return Err(err(id, bci, format!("unknown field {f}")));
-                }
+            Insn::GetField(f) | Insn::PutField(f) if f.index() >= program.fields.len() => {
+                return Err(err(id, bci, format!("unknown field {f}")));
             }
-            Insn::GetStatic(s) | Insn::PutStatic(s) => {
-                if s.index() >= program.statics.len() {
-                    return Err(err(id, bci, format!("unknown static {s}")));
-                }
+            Insn::GetStatic(s) | Insn::PutStatic(s) if s.index() >= program.statics.len() => {
+                return Err(err(id, bci, format!("unknown static {s}")));
             }
             Insn::InvokeStatic(m) => {
                 if m.index() >= program.methods.len() {

@@ -673,6 +673,7 @@ impl<'a> GraphBuilder<'a> {
 
     /// Translates one conditional branch: emits either a speculation guard
     /// (when the profile says one side never happens) or an `If`.
+    #[allow(clippy::too_many_arguments)]
     fn branch(
         &mut self,
         ctx: &mut MethodCtx,

@@ -61,6 +61,10 @@ pub enum EvalOutcome {
         reason: DeoptReason,
         /// Reconstructed frames, outermost first.
         frames: Vec<DeoptFrame>,
+        /// Shapes of the virtual objects rematerialized while rebuilding
+        /// the frames (§5.5), in allocation order — the deopt's
+        /// rematerialization inventory for tracing and invariant checks.
+        rematerialized: Vec<String>,
     },
 }
 
@@ -349,21 +353,24 @@ pub fn evaluate(
                     if cond == *negated {
                         let fs = node.state_after.expect("guard without frame state");
                         env.charge(cost::DEOPT_PENALTY)?;
-                        let frames =
+                        let (frames, rematerialized) =
                             build_deopt_frames(program, env, graph, &values, fs)?;
                         return Ok(EvalOutcome::Deopt {
                             reason: *reason,
                             frames,
+                            rematerialized,
                         });
                     }
                 }
                 NodeKind::Deopt { reason } => {
                     let fs = node.state_after.expect("deopt without frame state");
                     env.charge(cost::DEOPT_PENALTY)?;
-                    let frames = build_deopt_frames(program, env, graph, &values, fs)?;
+                    let (frames, rematerialized) =
+                        build_deopt_frames(program, env, graph, &values, fs)?;
                     return Ok(EvalOutcome::Deopt {
                         reason: *reason,
                         frames,
+                        rematerialized,
                     });
                 }
                 NodeKind::If => {
@@ -435,14 +442,15 @@ fn apply_arith(op: ArithOp, a: i64, b: i64) -> Result<i64, VmError> {
 }
 
 /// Reconstructs the interpreter frame chain from a frame state,
-/// rematerializing virtual objects (paper §5.5).
+/// rematerializing virtual objects (paper §5.5). Returns the frames plus
+/// the shapes of the objects rematerialized, in allocation order.
 fn build_deopt_frames(
     program: &Program,
     env: &mut dyn EvalEnv,
     graph: &pea_ir::Graph,
     values: &[Option<Value>],
     innermost: NodeId,
-) -> Result<Vec<DeoptFrame>, VmError> {
+) -> Result<(Vec<DeoptFrame>, Vec<String>), VmError> {
     // Collect the chain innermost → outermost, then reverse.
     let mut chain = vec![innermost];
     let mut cur = innermost;
@@ -453,12 +461,13 @@ fn build_deopt_frames(
     chain.reverse();
 
     let mut remat: HashMap<NodeId, ObjRef> = HashMap::new();
+    let mut inventory: Vec<String> = Vec::new();
     let mut frames = Vec::with_capacity(chain.len());
     for fs in chain {
         let data = graph.frame_state_data(fs).clone();
         let inputs = graph.node(fs).inputs().to_vec();
         let mut resolve = |env: &mut dyn EvalEnv, id: NodeId| -> Result<Value, VmError> {
-            resolve_slot(program, env, graph, values, &mut remat, id)
+            resolve_slot(program, env, graph, values, &mut remat, &mut inventory, id)
         };
         let mut locals = Vec::with_capacity(data.n_locals as usize);
         for i in data.locals_range() {
@@ -481,7 +490,7 @@ fn build_deopt_frames(
             locked,
         });
     }
-    Ok(frames)
+    Ok((frames, inventory))
 }
 
 /// Resolves one frame-state slot: plain values come from the value table,
@@ -493,6 +502,7 @@ fn resolve_slot(
     graph: &pea_ir::Graph,
     values: &[Option<Value>],
     remat: &mut HashMap<NodeId, ObjRef>,
+    inventory: &mut Vec<String>,
     id: NodeId,
 ) -> Result<Value, VmError> {
     if let NodeKind::VirtualObjectMapping { shape, lock_count } = graph.kind(id) {
@@ -506,19 +516,23 @@ fn resolve_slot(
             }
         };
         env.heap().stats.rematerialized += 1;
+        inventory.push(match shape {
+            pea_ir::AllocShape::Instance { class } => program.class(*class).name.clone(),
+            other => other.to_string(),
+        });
         remat.insert(id, r);
         let field_inputs = graph.node(id).inputs().to_vec();
         match shape {
             pea_ir::AllocShape::Instance { class } => {
                 let fields = program.instance_fields(*class);
                 for (fi, &input) in field_inputs.iter().enumerate() {
-                    let v = resolve_slot(program, env, graph, values, remat, input)?;
+                    let v = resolve_slot(program, env, graph, values, remat, inventory, input)?;
                     env.heap().put_field(program, r, fields[fi], v)?;
                 }
             }
             pea_ir::AllocShape::Array { .. } => {
                 for (fi, &input) in field_inputs.iter().enumerate() {
-                    let v = resolve_slot(program, env, graph, values, remat, input)?;
+                    let v = resolve_slot(program, env, graph, values, remat, inventory, input)?;
                     env.heap().array_set(r, fi as i64, v)?;
                 }
             }

@@ -4,12 +4,13 @@
 use crate::builder::{build_graph, Bailout, BuildOptions};
 use crate::canon::canonicalize;
 use pea_bytecode::{MethodId, Program};
-use pea_core::{run_ees, run_pea, PeaOptions, PeaResult};
+use pea_core::{run_ees, run_pea, run_pea_traced, PeaOptions, PeaResult};
 use pea_ir::cfg::Cfg;
 use pea_ir::dom::DomTree;
 use pea_ir::schedule::Schedule;
 use pea_ir::Graph;
 use pea_runtime::profile::ProfileStore;
+use pea_trace::{TraceEvent, TraceSink, Tracer};
 
 /// Which escape analysis the pipeline runs — the three configurations the
 /// paper's evaluation compares (§6: none vs. PEA; §6.2: the
@@ -101,6 +102,37 @@ pub fn compile(
     profiles: Option<&ProfileStore>,
     options: &CompilerOptions,
 ) -> Result<CompiledMethod, Bailout> {
+    compile_impl(program, method, profiles, options, Tracer::off())
+}
+
+/// Like [`compile`], but emits [`TraceEvent`]s describing the compilation:
+/// a [`TraceEvent::CompileStart`]/[`TraceEvent::CompileEnd`] bracket, with
+/// every PEA decision in between (see [`run_pea_traced`]).
+///
+/// # Errors
+///
+/// [`Bailout`] as for [`compile`] (no `CompileEnd` is emitted then).
+pub fn compile_traced(
+    program: &Program,
+    method: MethodId,
+    profiles: Option<&ProfileStore>,
+    options: &CompilerOptions,
+    sink: &mut dyn TraceSink,
+) -> Result<CompiledMethod, Bailout> {
+    compile_impl(program, method, profiles, options, Tracer::new(sink))
+}
+
+fn compile_impl<'a>(
+    program: &'a Program,
+    method: MethodId,
+    profiles: Option<&'a ProfileStore>,
+    options: &'a CompilerOptions,
+    mut tracer: Tracer<'a>,
+) -> Result<CompiledMethod, Bailout> {
+    tracer.emit_with(|| TraceEvent::CompileStart {
+        method: program.method(method).qualified_name(program),
+        level: options.opt_level.to_string(),
+    });
     let mut graph = build_graph(program, method, profiles, &options.build)?;
     debug_assert_verify(&graph, "after build");
     canonicalize(&mut graph);
@@ -112,7 +144,10 @@ pub fn compile(
         let r = match options.opt_level {
             OptLevel::None => PeaResult::default(),
             OptLevel::Ees => run_ees(&mut graph, program, &options.pea),
-            OptLevel::Pea => run_pea(&mut graph, program, &options.pea),
+            OptLevel::Pea => match tracer.sink() {
+                Some(sink) => run_pea_traced(&mut graph, program, &options.pea, sink),
+                None => run_pea(&mut graph, program, &options.pea),
+            },
         };
         debug_assert_verify(&graph, "after escape analysis");
         canonicalize(&mut graph);
@@ -136,6 +171,10 @@ pub fn compile(
     let dom = DomTree::build(&cfg);
     let schedule = Schedule::build(&graph, &cfg, &dom);
     let code_size = schedule.code_size();
+    tracer.emit_with(|| TraceEvent::CompileEnd {
+        method: program.method(method).qualified_name(program),
+        code_size,
+    });
     Ok(CompiledMethod {
         method,
         graph,

@@ -6,6 +6,7 @@ use crate::state::{AllocId, AllocInfo, PeaState};
 use pea_bytecode::Program;
 use pea_ir::cfg::{BlockId, Cfg};
 use pea_ir::{Graph, NodeId, NodeKind};
+use pea_trace::{MaterializeReason, TraceEvent, TraceSink, Tracer};
 use std::collections::{HashMap, HashSet};
 
 /// Tuning knobs, including the ablation switches exercised by the
@@ -105,6 +106,15 @@ pub(crate) struct PeaContext<'a> {
     /// materializations happen").
     pub materialize_ticks: usize,
     pub result: PeaResult,
+    /// Where decision events go when tracing is enabled.
+    pub tracer: Tracer<'a>,
+    /// Trace events buffered per generating block, mirroring `effects`, so
+    /// abandoned loop rounds discard their events too and the final trace
+    /// reports only decisions that stuck.
+    pub trace_buf: HashMap<BlockId, Vec<TraceEvent>>,
+    /// Loop fixpoint rounds; every executed round is real analysis work,
+    /// so these are never discarded.
+    pub loop_trace: Vec<TraceEvent>,
 }
 
 impl<'a> PeaContext<'a> {
@@ -112,8 +122,35 @@ impl<'a> PeaContext<'a> {
         self.effects.entry(block).or_default().push(effect);
     }
 
+    /// Whether decision events should be constructed at all.
+    #[inline]
+    pub(crate) fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Buffers `event` against the block whose processing produced it.
+    pub(crate) fn trace(&mut self, block: BlockId, event: TraceEvent) {
+        self.trace_buf.entry(block).or_default().push(event);
+    }
+
+    /// The allocation site (origin `New`/`NewArray` node) of `id`, as the
+    /// stable key used in trace events.
+    pub(crate) fn site_of(&self, id: AllocId) -> u32 {
+        self.infos[id.index()].origin.index() as u32
+    }
+
+    /// Human-readable shape for trace events: class *name* rather than the
+    /// bare `ClassId` the [`pea_ir::AllocShape`] display would give.
+    pub(crate) fn shape_str(&self, shape: pea_ir::AllocShape) -> String {
+        match shape {
+            pea_ir::AllocShape::Instance { class } => self.program.class(class).name.clone(),
+            pea_ir::AllocShape::Array { kind, length } => format!("{kind}[{length}]"),
+        }
+    }
+
     fn clear_block_effects(&mut self, block: BlockId) {
         self.effects.remove(&block);
+        self.trace_buf.remove(&block);
         self.rewritten_states.retain(|_, b| *b != block);
     }
 
@@ -215,6 +252,7 @@ impl<'a> PeaContext<'a> {
                     id,
                     entry_end,
                     entry_block,
+                    MaterializeReason::LoopStateMismatch,
                 );
             }
             self.states.insert(entry_block, speculative.clone());
@@ -230,6 +268,12 @@ impl<'a> PeaContext<'a> {
         loop {
             rounds += 1;
             self.result.loop_rounds += 1;
+            if self.tracing() {
+                self.loop_trace.push(TraceEvent::LoopRound {
+                    loop_begin: loop_begin.index() as u32,
+                    round: rounds as u32,
+                });
+            }
             // Speculative header state: loop phis alias whatever their
             // entry input aliases (checked against back edges below).
             let mut header_state = speculative.clone();
@@ -277,6 +321,7 @@ impl<'a> PeaContext<'a> {
                         id,
                         entry_end,
                         entry_block,
+                        MaterializeReason::LoopStateMismatch,
                     );
                 }
                 self.states.insert(entry_block, entry_state.clone());
@@ -294,6 +339,34 @@ impl<'a> PeaContext<'a> {
 /// The graph must verify ([`pea_ir::verify::verify`]) beforehand; it will
 /// verify afterwards as well, which the test suite asserts.
 pub fn run_pea(graph: &mut Graph, program: &Program, options: &PeaOptions) -> PeaResult {
+    run_pea_impl(graph, program, options, Tracer::off())
+}
+
+/// Like [`run_pea`], but emits a [`TraceEvent`] for every decision that
+/// survives into the final graph: allocations virtualized/materialized
+/// (with forcing node, block, and reason), locks elided, loads/stores
+/// absorbed, checks folded, phis created at merges, and loop fixpoint
+/// rounds.
+///
+/// Events are buffered per block alongside the [`Effect`] lists and
+/// flushed in reverse-postorder once the analysis commits, so decisions
+/// from abandoned loop rounds never reach the sink (the exception being
+/// [`TraceEvent::LoopRound`], which reports real analysis work per round).
+pub fn run_pea_traced(
+    graph: &mut Graph,
+    program: &Program,
+    options: &PeaOptions,
+    sink: &mut dyn TraceSink,
+) -> PeaResult {
+    run_pea_impl(graph, program, options, Tracer::new(sink))
+}
+
+fn run_pea_impl<'a>(
+    graph: &'a mut Graph,
+    program: &'a Program,
+    options: &'a PeaOptions,
+    tracer: Tracer<'a>,
+) -> PeaResult {
     let cfg = Cfg::build(graph);
     let rpo = cfg.rpo.clone();
     let live_in = crate::liveness::live_at_entry(graph, &cfg);
@@ -310,14 +383,25 @@ pub fn run_pea(graph: &mut Graph, program: &Program, options: &PeaOptions) -> Pe
         live_in,
         materialize_ticks: 0,
         result: PeaResult::default(),
+        tracer,
+        trace_buf: HashMap::new(),
+        loop_trace: Vec::new(),
     };
     ctx.process_blocks(&rpo);
 
-    // Apply effects in RPO order; count what actually happened.
+    // Apply effects in RPO order; count what actually happened. Trace
+    // events flush in the same order, so the emitted trace reads as the
+    // final per-block decision sequence.
     let mut applier = EffectApplier::new();
     let mut result = ctx.result;
     let effects = std::mem::take(&mut ctx.effects);
+    let mut trace_buf = std::mem::take(&mut ctx.trace_buf);
     for &b in &rpo {
+        if let Some(events) = trace_buf.remove(&b) {
+            for e in &events {
+                ctx.tracer.emit(e);
+            }
+        }
         let Some(list) = effects.get(&b) else {
             continue;
         };
@@ -356,5 +440,32 @@ pub fn run_pea(graph: &mut Graph, program: &Program, options: &PeaOptions) -> Pe
         }
     }
     ctx.graph.prune_dead();
+
+    if ctx.tracer.enabled() {
+        // Phis are cached across merge restarts and loop rounds (and some
+        // end up unused after an abandoned round), so they are reported
+        // from the cache after pruning: exactly the phis that survived.
+        let mut phis: Vec<(NodeId, NodeId, AllocId, usize)> = ctx
+            .phi_cache
+            .iter()
+            .map(|(&(merge, id, key), &phi)| (phi, merge, id, key))
+            .collect();
+        phis.sort_unstable();
+        for (phi, merge, id, key) in phis {
+            if ctx.graph.node(phi).is_deleted() {
+                continue;
+            }
+            let event = TraceEvent::PhiCreated {
+                merge: merge.index() as u32,
+                site: ctx.site_of(id),
+                field: (key != crate::merge::MAT_PHI_KEY).then_some(key as u32),
+            };
+            ctx.tracer.emit(&event);
+        }
+        let loop_trace = std::mem::take(&mut ctx.loop_trace);
+        for e in &loop_trace {
+            ctx.tracer.emit(e);
+        }
+    }
     result
 }

@@ -34,6 +34,6 @@ pub mod merge;
 pub mod process;
 pub mod state;
 
-pub use analysis::{run_pea, PeaOptions, PeaResult};
+pub use analysis::{run_pea, run_pea_traced, PeaOptions, PeaResult};
 pub use ees::{run_ees, EscapeSets};
 pub use state::{AllocId, AllocInfo, ObjectState, PeaState};

@@ -8,9 +8,10 @@ use crate::process::materialize;
 use crate::state::{AllocId, ObjectState, PeaState};
 use pea_ir::cfg::BlockId;
 use pea_ir::{NodeId, NodeKind};
+use pea_trace::MaterializeReason;
 
 /// Cache key tag for the materialized-value phi of an escaped merge.
-const MAT_PHI_KEY: usize = usize::MAX;
+pub(crate) const MAT_PHI_KEY: usize = usize::MAX;
 
 /// Merges `pred_states` (aligned with `anchors`, the predecessor `End`
 /// nodes and their blocks) at `merge_node` (a `Merge` or `LoopBegin`).
@@ -125,7 +126,14 @@ pub(crate) fn merge_states(
                 // or locks disagree): materialize everywhere and retry.
                 for (k, (anchor, block)) in anchors.iter().enumerate() {
                     if pred_states[k].object(id).is_virtual() {
-                        materialize(ctx, &mut pred_states[k], id, *anchor, *block);
+                        materialize(
+                            ctx,
+                            &mut pred_states[k],
+                            id,
+                            *anchor,
+                            *block,
+                            MaterializeReason::MergeFieldConflict,
+                        );
                     }
                 }
                 break; // restart the whole merge
@@ -137,7 +145,14 @@ pub(crate) fn merge_states(
                 // the next round (§5.3, second bullet).
                 for (k, (anchor, block)) in anchors.iter().enumerate() {
                     if pred_states[k].object(id).is_virtual() {
-                        materialize(ctx, &mut pred_states[k], id, *anchor, *block);
+                        materialize(
+                            ctx,
+                            &mut pred_states[k],
+                            id,
+                            *anchor,
+                            *block,
+                            MaterializeReason::MergeOfMixedStates,
+                        );
                     }
                 }
                 break;
@@ -151,8 +166,7 @@ pub(crate) fn merge_states(
             let value = if values.windows(2).all(|w| w[0] == w[1]) {
                 values[0]
             } else {
-                let phi = cached_phi(ctx, merge_node, id, MAT_PHI_KEY, &values);
-                phi
+                cached_phi(ctx, merge_node, id, MAT_PHI_KEY, &values)
             };
             merged
                 .states
@@ -179,42 +193,46 @@ pub(crate) fn merge_states(
                 .zip(pred_states.iter())
                 .map(|(&v, s)| s.virtual_alias(v))
                 .collect();
-            let first = ids[0];
-            if first.is_some()
-                && ids.iter().all(|&i| i == first)
-                && merged.states.get(&first.unwrap()).is_some_and(ObjectState::is_virtual)
-            {
-                // All inputs refer to the same (still virtual) object: the
-                // phi becomes an alias (Fig. 6c).
-                merged.add_alias(phi, first.unwrap());
-                continue;
+            if let Some(first) = ids[0] {
+                if ids.iter().all(|&i| i == Some(first))
+                    && merged.states.get(&first).is_some_and(ObjectState::is_virtual)
+                {
+                    // All inputs refer to the same (still virtual) object:
+                    // the phi becomes an alias (Fig. 6c).
+                    merged.add_alias(phi, first);
+                    continue;
+                }
             }
             // Otherwise: any virtual input must be materialized at its
             // predecessor; escaped inputs are replaced by their
             // materialized values.
             for (k, &v) in inputs.iter().enumerate() {
-                match pred_states[k].alias_of(v) {
-                    Some(aid) => {
-                        let real = match pred_states[k].object(aid) {
-                            ObjectState::Virtual { .. } => {
-                                let (anchor, block) = anchors[k];
-                                materialize(ctx, &mut pred_states[k], aid, anchor, block)
-                            }
-                            ObjectState::Escaped { materialized } => *materialized,
-                        };
-                        if real != v {
-                            let (_, block) = anchors[k];
-                            ctx.record(
+                if let Some(aid) = pred_states[k].alias_of(v) {
+                    let real = match pred_states[k].object(aid) {
+                        ObjectState::Virtual { .. } => {
+                            let (anchor, block) = anchors[k];
+                            materialize(
+                                ctx,
+                                &mut pred_states[k],
+                                aid,
+                                anchor,
                                 block,
-                                Effect::SetInput {
-                                    node: phi,
-                                    index: k,
-                                    value: real,
-                                },
-                            );
+                                MaterializeReason::MergePhiInput,
+                            )
                         }
+                        ObjectState::Escaped { materialized } => *materialized,
+                    };
+                    if real != v {
+                        let (_, block) = anchors[k];
+                        ctx.record(
+                            block,
+                            Effect::SetInput {
+                                node: phi,
+                                index: k,
+                                value: real,
+                            },
+                        );
                     }
-                    None => {}
                 }
             }
         }
@@ -307,7 +325,14 @@ fn merge_virtual(
                         Some(aid) => match pred_states[k].object(aid) {
                             ObjectState::Virtual { .. } => {
                                 let (anchor, block) = anchors[k];
-                                materialize(ctx, &mut pred_states[k], aid, anchor, block)
+                                materialize(
+                                    ctx,
+                                    &mut pred_states[k],
+                                    aid,
+                                    anchor,
+                                    block,
+                                    MaterializeReason::MergePhiInput,
+                                )
                             }
                             ObjectState::Escaped { materialized } => *materialized,
                         },

@@ -6,6 +6,7 @@ use crate::effects::Effect;
 use crate::state::{AllocId, AllocInfo, ObjectState, PeaState};
 use pea_ir::cfg::BlockId;
 use pea_ir::{AllocShape, CommitObject, NodeId, NodeKind};
+use pea_trace::{MaterializeReason, TraceEvent};
 
 /// Field-slot index of `field` within instances of `class`.
 fn field_slot(
@@ -29,6 +30,7 @@ pub(crate) fn materialize(
     id: AllocId,
     anchor: NodeId,
     block: BlockId,
+    reason: MaterializeReason,
 ) -> NodeId {
     // Transitive closure over virtual field references.
     let mut group: Vec<AllocId> = vec![id];
@@ -107,6 +109,19 @@ pub(crate) fn materialize(
             node: commit,
         },
     );
+    if ctx.tracing() {
+        // One event per group member: each allocation site materializes,
+        // even though the group shares a single commit node.
+        for &m in &group {
+            let event = TraceEvent::Materialized {
+                site: ctx.site_of(m),
+                anchor: anchor.index() as u32,
+                block: block.index() as u32,
+                reason,
+            };
+            ctx.trace(block, event);
+        }
+    }
     ctx.materialize_ticks += 1;
     allocated[0]
 }
@@ -120,13 +135,29 @@ pub(crate) fn resolve_to_real(
     value: NodeId,
     anchor: NodeId,
     block: BlockId,
+    reason: MaterializeReason,
 ) -> NodeId {
     match state.alias_of(value) {
         Some(id) => match state.object(id) {
-            ObjectState::Virtual { .. } => materialize(ctx, state, id, anchor, block),
+            ObjectState::Virtual { .. } => materialize(ctx, state, id, anchor, block, reason),
             ObjectState::Escaped { materialized } => *materialized,
         },
         None => value,
+    }
+}
+
+/// The trace reason for an object forced into existence by `kind` (§5.2's
+/// generic escape rule, specialized for reporting).
+fn escape_reason(kind: &NodeKind) -> MaterializeReason {
+    match kind {
+        NodeKind::StoreField { .. } | NodeKind::StoreIndexed | NodeKind::PutStatic { .. } => {
+            MaterializeReason::EscapeToStore
+        }
+        NodeKind::Invoke { .. } => MaterializeReason::CallArgument,
+        NodeKind::Return => MaterializeReason::ReturnValue,
+        NodeKind::Throw => MaterializeReason::ThrowValue,
+        NodeKind::MonitorEnter | NodeKind::MonitorExit => MaterializeReason::MonitorOperation,
+        _ => MaterializeReason::Other,
     }
 }
 
@@ -139,10 +170,11 @@ fn escape_all_alias_inputs(
     node: NodeId,
     block: BlockId,
 ) {
+    let reason = escape_reason(ctx.graph.kind(node));
     let inputs = ctx.graph.node(node).inputs().to_vec();
     for (i, v) in inputs.into_iter().enumerate() {
         if state.alias_of(v).is_some() {
-            let real = resolve_to_real(ctx, state, v, node, block);
+            let real = resolve_to_real(ctx, state, v, node, block, reason);
             ctx.record(
                 block,
                 Effect::SetInput {
@@ -204,6 +236,13 @@ pub(crate) fn process_node(
                 });
                 state.add_virtual(id, node, fields);
                 ctx.record(block, Effect::DeleteFixed { node });
+                if ctx.tracing() {
+                    let event = TraceEvent::Virtualized {
+                        site: node.index() as u32,
+                        shape: ctx.shape_str(shape),
+                    };
+                    ctx.trace(block, event);
+                }
                 deleted = true;
             }
         }
@@ -236,6 +275,13 @@ pub(crate) fn process_node(
                     });
                     state.add_virtual(id, node, fields);
                     ctx.record(block, Effect::DeleteFixed { node });
+                    if ctx.tracing() {
+                        let event = TraceEvent::Virtualized {
+                            site: node.index() as u32,
+                            shape: ctx.shape_str(shape),
+                        };
+                        ctx.trace(block, event);
+                    }
                     deleted = true;
                 }
                 _ => escape_all_alias_inputs(ctx, state, node, block),
@@ -257,6 +303,13 @@ pub(crate) fn process_node(
                                 fields[slot] = value;
                             }
                             ctx.record(block, Effect::DeleteFixed { node });
+                            if ctx.tracing() {
+                                let event = TraceEvent::StoreElided {
+                                    site: ctx.site_of(id),
+                                    node: node.index() as u32,
+                                };
+                                ctx.trace(block, event);
+                            }
                             deleted = true;
                         }
                         None => {
@@ -294,6 +347,13 @@ pub(crate) fn process_node(
                                     replacement: value,
                                 },
                             );
+                            if ctx.tracing() {
+                                let event = TraceEvent::LoadElided {
+                                    site: ctx.site_of(id),
+                                    node: node.index() as u32,
+                                };
+                                ctx.trace(block, event);
+                            }
                             deleted = true;
                         }
                         None => escape_all_alias_inputs(ctx, state, node, block),
@@ -319,6 +379,13 @@ pub(crate) fn process_node(
                         fields[i as usize] = value;
                     }
                     ctx.record(block, Effect::DeleteFixed { node });
+                    if ctx.tracing() {
+                        let event = TraceEvent::StoreElided {
+                            site: ctx.site_of(id),
+                            node: node.index() as u32,
+                        };
+                        ctx.trace(block, event);
+                    }
                     deleted = true;
                 }
                 _ => escape_all_alias_inputs(ctx, state, node, block),
@@ -351,6 +418,13 @@ pub(crate) fn process_node(
                             replacement: value,
                         },
                     );
+                    if ctx.tracing() {
+                        let event = TraceEvent::LoadElided {
+                            site: ctx.site_of(id),
+                            node: node.index() as u32,
+                        };
+                        ctx.trace(block, event);
+                    }
                     deleted = true;
                 }
                 _ => escape_all_alias_inputs(ctx, state, node, block),
@@ -371,6 +445,13 @@ pub(crate) fn process_node(
                             replacement: c,
                         },
                     );
+                    if ctx.tracing() {
+                        let event = TraceEvent::CheckFolded {
+                            node: node.index() as u32,
+                            value: i64::from(length),
+                        };
+                        ctx.trace(block, event);
+                    }
                     deleted = true;
                 }
                 None => escape_all_alias_inputs(ctx, state, node, block),
@@ -386,6 +467,14 @@ pub(crate) fn process_node(
                         *lock_count += 1;
                     }
                     ctx.record(block, Effect::DeleteFixed { node });
+                    if ctx.tracing() {
+                        let event = TraceEvent::LockElided {
+                            site: ctx.site_of(id),
+                            node: node.index() as u32,
+                            exit: false,
+                        };
+                        ctx.trace(block, event);
+                    }
                     deleted = true;
                 }
                 _ => escape_all_alias_inputs(ctx, state, node, block),
@@ -405,6 +494,14 @@ pub(crate) fn process_node(
                         *lock_count -= 1;
                     }
                     ctx.record(block, Effect::DeleteFixed { node });
+                    if ctx.tracing() {
+                        let event = TraceEvent::LockElided {
+                            site: ctx.site_of(id),
+                            node: node.index() as u32,
+                            exit: true,
+                        };
+                        ctx.trace(block, event);
+                    }
                     deleted = true;
                 }
                 _ => escape_all_alias_inputs(ctx, state, node, block),
@@ -431,6 +528,13 @@ pub(crate) fn process_node(
                         replacement: c,
                     },
                 );
+                if ctx.tracing() {
+                    let event = TraceEvent::CheckFolded {
+                        node: node.index() as u32,
+                        value,
+                    };
+                    ctx.trace(block, event);
+                }
                 deleted = true;
             } else {
                 escape_all_alias_inputs(ctx, state, node, block);
@@ -447,6 +551,13 @@ pub(crate) fn process_node(
                         replacement: c,
                     },
                 );
+                if ctx.tracing() {
+                    let event = TraceEvent::CheckFolded {
+                        node: node.index() as u32,
+                        value: 0,
+                    };
+                    ctx.trace(block, event);
+                }
                 deleted = true;
             } else {
                 escape_all_alias_inputs(ctx, state, node, block);
@@ -474,6 +585,13 @@ pub(crate) fn process_node(
                             replacement: c,
                         },
                     );
+                    if ctx.tracing() {
+                        let event = TraceEvent::CheckFolded {
+                            node: node.index() as u32,
+                            value: i64::from(passes),
+                        };
+                        ctx.trace(block, event);
+                    }
                     deleted = true;
                 }
                 None => escape_all_alias_inputs(ctx, state, node, block),
@@ -498,6 +616,13 @@ pub(crate) fn process_node(
                                 replacement: a,
                             },
                         );
+                        if ctx.tracing() {
+                            let event = TraceEvent::CheckFolded {
+                                node: node.index() as u32,
+                                value: 1,
+                            };
+                            ctx.trace(block, event);
+                        }
                         deleted = true;
                     } else {
                         // Will raise at runtime; the object must exist.

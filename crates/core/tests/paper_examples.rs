@@ -4,7 +4,7 @@
 use pea_core::fixtures::{fig7_loop_graph, key_program, listing5_graph, listing8_graph};
 use pea_core::{run_ees, run_pea, PeaOptions};
 use pea_ir::verify::verify;
-use pea_ir::{Graph, NodeId, NodeKind};
+use pea_ir::{Graph, NodeKind};
 
 fn count_kind(g: &Graph, pred: impl Fn(&NodeKind) -> bool) -> usize {
     g.live_nodes().filter(|&n| pred(g.kind(n))).count()

@@ -1,0 +1,220 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the subset of its API this workspace
+//! uses: `Criterion`, `benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`/`iter_with_setup`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each `bench_function` runs a short warmup, then
+//! `sample_size` timed samples (each sample auto-scales its iteration
+//! count toward ~5 ms), and prints min/median/mean per-iteration times.
+//! There is no statistical analysis, plotting, or baseline storage.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The harness entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards CLI args; a bare non-flag arg is a name
+        // filter (the only criterion CLI feature this shim supports).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Ungrouped single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self, &id, 20, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size;
+        run_one(self.criterion, &full, samples, f);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing extra to do).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, samples: usize, mut f: F) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut all = Vec::with_capacity(samples.max(1));
+    // Warmup + calibration sample, then the measured samples.
+    for _ in 0..=samples.max(1) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            all.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    if all.len() > 1 {
+        all.remove(0); // discard the warmup sample
+    }
+    all.sort_by(|a, b| a.total_cmp(b));
+    if all.is_empty() {
+        println!("{id:<48} (no iterations)");
+        return;
+    }
+    let min = all[0];
+    let median = all[all.len() / 2];
+    let mean = all.iter().sum::<f64>() / all.len() as f64;
+    println!(
+        "{id:<48} min {:>12} median {:>12} mean {:>12}  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        all.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to benchmark closures; accumulates timed iterations.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Scale iteration counts so one sample takes roughly this long.
+    const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: run once, then choose a batch size.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let batch = batch_size(once);
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() + once;
+        self.iters = batch + 1;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut routine: R,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed();
+        let batch = batch_size(once);
+        let mut elapsed = once;
+        for _ in 0..batch {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iters = batch + 1;
+    }
+}
+
+fn batch_size(once: Duration) -> u64 {
+    if once.is_zero() {
+        1000
+    } else {
+        (Bencher::TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 100_000) as u64
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` may execute bench binaries with --test to check
+            // they run; keep that path instant.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -173,8 +173,8 @@ impl Cfg {
 
         // 2. Wire successor/predecessor edges.
         // Merge preds must follow ends order; collect them separately.
-        for i in 0..blocks.len() {
-            let last = blocks[i].last();
+        for block in &mut blocks {
+            let last = block.last();
             let succs: Vec<BlockId> = match graph.kind(last) {
                 NodeKind::If => graph
                     .node(last)
@@ -188,10 +188,10 @@ impl Cfg {
                 },
                 _ => vec![],
             };
-            blocks[i].succs = succs;
+            block.succs = succs;
         }
-        for i in 0..blocks.len() {
-            let head = blocks[i].first();
+        for block in &mut blocks {
+            let head = block.first();
             let preds: Vec<BlockId> = match graph.kind(head) {
                 NodeKind::Merge { ends } | NodeKind::LoopBegin { ends } => ends
                     .iter()
@@ -202,7 +202,7 @@ impl Cfg {
                     None => vec![],
                 },
             };
-            blocks[i].preds = preds;
+            block.preds = preds;
         }
 
         // 3. Reverse postorder ignoring back edges (edges into LoopBegin
@@ -459,8 +459,8 @@ mod tests {
             .iter()
             .map(|b| b.loop_depth)
             .collect();
-        assert!(body_depth.iter().any(|&d| d == 1));
-        assert!(body_depth.iter().any(|&d| d == 0));
+        assert!(body_depth.contains(&1));
+        assert!(body_depth.contains(&0));
         let members = cfg.loop_members(header);
         assert!(members.len() >= 2);
     }

@@ -423,8 +423,8 @@ impl Graph {
             // via uses when something needs them, so nothing extra here.
         }
         let mut collected = 0;
-        for i in 0..self.nodes.len() {
-            if !marked[i] && !self.nodes[i].deleted {
+        for (i, mark) in marked.iter().enumerate() {
+            if !mark && !self.nodes[i].deleted {
                 self.kill_unchecked(NodeId::from_index(i));
                 collected += 1;
             }

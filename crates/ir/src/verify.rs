@@ -110,10 +110,8 @@ pub fn verify(graph: &Graph) -> Result<(), IrError> {
                     }
                 }
             }
-            NodeKind::If => {
-                if node.successors().len() != 2 {
-                    return Err(err(n, "If without two successors"));
-                }
+            NodeKind::If if node.successors().len() != 2 => {
+                return Err(err(n, "If without two successors"));
             }
             _ => {}
         }

@@ -1,0 +1,44 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! crate, implementing exactly the API surface this workspace uses:
+//! strategies (ranges, tuples, `Just`, `any`, `prop_map`, `prop_oneof!`,
+//! `prop_recursive`, `prop::collection::vec`), the `proptest!` test macro
+//! with `#![proptest_config(..)]`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim (`max_shrink_iters` is accepted and ignored).
+//! * **Deterministic.** The generator is seeded from the test name, so
+//!   runs are reproducible across machines and CI.
+//! * `proptest-regressions` files are ignored.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Alias of the crate root, so `prop::collection::vec(..)` resolves the
+/// way it does with the real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Collection strategies (only `vec` is provided).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

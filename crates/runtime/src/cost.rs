@@ -86,6 +86,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn deopt_dwarfs_single_ops() {
         assert!(DEOPT_PENALTY > 100 * ALU_OP);
         assert!(DEOPT_PENALTY > alloc_cost(64));

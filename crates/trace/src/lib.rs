@@ -1,0 +1,902 @@
+//! Decision-trace observability for the PEA pipeline and the tiered VM.
+//!
+//! The optimizer and the VM explain *what* they decided through typed
+//! [`TraceEvent`]s: every allocation virtualized or materialized (with the
+//! forcing node, block, and [`MaterializeReason`]), every lock elided, every
+//! field phi created at a merge, every loop re-iteration, and — on the VM
+//! side — every compile, deoptimization (with its rematerialization
+//! inventory), eviction, and recompile.
+//!
+//! Events flow into a [`TraceSink`]. Three sinks ship here:
+//! [`MemorySink`] (collect for assertions), [`PrettySink`] (human-readable
+//! lines), and [`JsonLinesSink`] (one JSON object per line, parseable back
+//! via [`TraceEvent::from_json_line`]). [`SiteAggregator`] is a fourth,
+//! derived sink that folds the stream into per-allocation-site counters for
+//! the benchmark tables.
+//!
+//! Tracing is zero-cost when disabled: producers hold a [`Tracer`] handle
+//! and construct events inside [`Tracer::emit_with`] closures, so a
+//! disabled tracer is a single branch on an `Option`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+
+pub mod json;
+
+/// Why a virtual allocation had to be materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MaterializeReason {
+    /// Stored into an object (or static) that is itself not virtual.
+    EscapeToStore,
+    /// Passed as an argument to a call.
+    CallArgument,
+    /// Returned from the method.
+    ReturnValue,
+    /// Thrown as an exception value.
+    ThrowValue,
+    /// A monitor operation that could not be elided (lock elision disabled
+    /// or lock state not tracked).
+    MonitorOperation,
+    /// Virtual in some predecessors of a control-flow merge, escaped in
+    /// others (§5.3: the virtual predecessors materialize before the merge).
+    MergeOfMixedStates,
+    /// Virtual in all predecessors, but the per-field states could not be
+    /// reconciled (field phis disabled, or lock depths disagree).
+    MergeFieldConflict,
+    /// Flowed into a value phi at a merge, forcing a real reference.
+    MergePhiInput,
+    /// Loop state could not be kept virtual across iterations (loop
+    /// processing disabled, or the fixpoint hit the round limit).
+    LoopStateMismatch,
+    /// Any other escaping operation (§5.2 default rule).
+    Other,
+}
+
+impl MaterializeReason {
+    /// Stable kebab-case name used by both printers and the JSON codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MaterializeReason::EscapeToStore => "escape-to-store",
+            MaterializeReason::CallArgument => "call-argument",
+            MaterializeReason::ReturnValue => "return-value",
+            MaterializeReason::ThrowValue => "throw-value",
+            MaterializeReason::MonitorOperation => "monitor-operation",
+            MaterializeReason::MergeOfMixedStates => "merge-of-mixed-states",
+            MaterializeReason::MergeFieldConflict => "merge-field-conflict",
+            MaterializeReason::MergePhiInput => "merge-phi-input",
+            MaterializeReason::LoopStateMismatch => "loop-state-mismatch",
+            MaterializeReason::Other => "other",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "escape-to-store" => MaterializeReason::EscapeToStore,
+            "call-argument" => MaterializeReason::CallArgument,
+            "return-value" => MaterializeReason::ReturnValue,
+            "throw-value" => MaterializeReason::ThrowValue,
+            "monitor-operation" => MaterializeReason::MonitorOperation,
+            "merge-of-mixed-states" => MaterializeReason::MergeOfMixedStates,
+            "merge-field-conflict" => MaterializeReason::MergeFieldConflict,
+            "merge-phi-input" => MaterializeReason::MergePhiInput,
+            "loop-state-mismatch" => MaterializeReason::LoopStateMismatch,
+            "other" => MaterializeReason::Other,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for MaterializeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One decision made by the PEA phase or the VM.
+///
+/// Compile-time events identify allocations by `site` — the IR node id of
+/// the original `new` — which is stable across analysis and usable as a key
+/// into source listings. `block` and `anchor`/`node` ids refer to the IR of
+/// the method named by the enclosing [`CompileStart`](Self::CompileStart).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The compiler started (re)compiling a method at an optimization level.
+    CompileStart { method: String, level: String },
+    /// Compilation finished; `code_size` is the scheduled node count.
+    CompileEnd { method: String, code_size: u64 },
+    /// An allocation was taken virtual (scalar-replaced unless forced back).
+    Virtualized { site: u32, shape: String },
+    /// A virtual allocation was forced into existence.
+    Materialized {
+        /// Node id of the original allocation.
+        site: u32,
+        /// Node that forced the materialization.
+        anchor: u32,
+        /// Block the materialization code lands in.
+        block: u32,
+        reason: MaterializeReason,
+    },
+    /// A monitor enter/exit on a virtual object was removed.
+    LockElided { site: u32, node: u32, exit: bool },
+    /// A field/array load was satisfied from the virtual state.
+    LoadElided { site: u32, node: u32 },
+    /// A field/array store was absorbed into the virtual state.
+    StoreElided { site: u32, node: u32 },
+    /// A reference check (ref-eq, null check, instanceof, checkcast,
+    /// array-length) was folded using virtual object identity.
+    CheckFolded { node: u32, value: i64 },
+    /// A phi was created at a merge to carry virtual field state (§5.3).
+    /// `field` is `None` for the materialized-reference phi.
+    PhiCreated {
+        merge: u32,
+        site: u32,
+        field: Option<u32>,
+    },
+    /// The loop fixpoint (§5.4) ran another analysis round.
+    LoopRound { loop_begin: u32, round: u32 },
+    /// The VM deoptimized compiled code; `rematerialized` lists the shapes
+    /// of virtual objects reallocated while reconstructing interpreter
+    /// frames (§5.5).
+    Deopt {
+        method: String,
+        reason: String,
+        rematerialized: Vec<String>,
+    },
+    /// The VM discarded a compiled method after repeated deopts.
+    Evict { method: String, deopts: u64 },
+    /// The VM is compiling a method it previously evicted.
+    Recompile { method: String },
+}
+
+impl TraceEvent {
+    /// Stable event-kind tag shared by the pretty printer and JSON codec.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::CompileStart { .. } => "compile-start",
+            TraceEvent::CompileEnd { .. } => "compile-end",
+            TraceEvent::Virtualized { .. } => "virtualized",
+            TraceEvent::Materialized { .. } => "materialized",
+            TraceEvent::LockElided { .. } => "lock-elided",
+            TraceEvent::LoadElided { .. } => "load-elided",
+            TraceEvent::StoreElided { .. } => "store-elided",
+            TraceEvent::CheckFolded { .. } => "check-folded",
+            TraceEvent::PhiCreated { .. } => "phi-created",
+            TraceEvent::LoopRound { .. } => "loop-round",
+            TraceEvent::Deopt { .. } => "deopt",
+            TraceEvent::Evict { .. } => "evict",
+            TraceEvent::Recompile { .. } => "recompile",
+        }
+    }
+
+    /// Renders the event as one human-readable line (no trailing newline).
+    pub fn pretty(&self) -> String {
+        match self {
+            TraceEvent::CompileStart { method, level } => {
+                format!("compile {method} (level={level})")
+            }
+            TraceEvent::CompileEnd { method, code_size } => {
+                format!("compiled {method}: {code_size} nodes scheduled")
+            }
+            TraceEvent::Virtualized { site, shape } => {
+                format!("  alloc n{site} ({shape}) virtualized")
+            }
+            TraceEvent::Materialized {
+                site,
+                anchor,
+                block,
+                reason,
+            } => format!("  alloc n{site} materialized at n{anchor} in b{block}: {reason}"),
+            TraceEvent::LockElided { site, node, exit } => {
+                let what = if *exit { "monitor-exit" } else { "monitor-enter" };
+                format!("  {what} n{node} elided (alloc n{site})")
+            }
+            TraceEvent::LoadElided { site, node } => {
+                format!("  load n{node} elided (alloc n{site})")
+            }
+            TraceEvent::StoreElided { site, node } => {
+                format!("  store n{node} elided (alloc n{site})")
+            }
+            TraceEvent::CheckFolded { node, value } => {
+                format!("  check n{node} folded to {value}")
+            }
+            TraceEvent::PhiCreated { merge, site, field } => match field {
+                Some(f) => format!("  phi at n{merge} for field {f} of alloc n{site}"),
+                None => format!("  phi at n{merge} for materialized alloc n{site}"),
+            },
+            TraceEvent::LoopRound { loop_begin, round } => {
+                format!("  loop n{loop_begin} re-analyzed (round {round})")
+            }
+            TraceEvent::Deopt {
+                method,
+                reason,
+                rematerialized,
+            } => {
+                if rematerialized.is_empty() {
+                    format!("deopt {method} ({reason})")
+                } else {
+                    format!(
+                        "deopt {method} ({reason}): rematerialized [{}]",
+                        rematerialized.join(", ")
+                    )
+                }
+            }
+            TraceEvent::Evict { method, deopts } => {
+                format!("evict {method} after {deopts} deopts")
+            }
+            TraceEvent::Recompile { method } => format!("recompile {method}"),
+        }
+    }
+
+    /// Serializes the event as a single-line JSON object.
+    pub fn to_json_line(&self) -> String {
+        let mut o = json::ObjectWriter::new();
+        o.str("event", self.kind());
+        match self {
+            TraceEvent::CompileStart { method, level } => {
+                o.str("method", method);
+                o.str("level", level);
+            }
+            TraceEvent::CompileEnd { method, code_size } => {
+                o.str("method", method);
+                o.num("code_size", *code_size as i64);
+            }
+            TraceEvent::Virtualized { site, shape } => {
+                o.num("site", *site as i64);
+                o.str("shape", shape);
+            }
+            TraceEvent::Materialized {
+                site,
+                anchor,
+                block,
+                reason,
+            } => {
+                o.num("site", *site as i64);
+                o.num("anchor", *anchor as i64);
+                o.num("block", *block as i64);
+                o.str("reason", reason.as_str());
+            }
+            TraceEvent::LockElided { site, node, exit } => {
+                o.num("site", *site as i64);
+                o.num("node", *node as i64);
+                o.bool("exit", *exit);
+            }
+            TraceEvent::LoadElided { site, node } => {
+                o.num("site", *site as i64);
+                o.num("node", *node as i64);
+            }
+            TraceEvent::StoreElided { site, node } => {
+                o.num("site", *site as i64);
+                o.num("node", *node as i64);
+            }
+            TraceEvent::CheckFolded { node, value } => {
+                o.num("node", *node as i64);
+                o.num("value", *value);
+            }
+            TraceEvent::PhiCreated { merge, site, field } => {
+                o.num("merge", *merge as i64);
+                o.num("site", *site as i64);
+                match field {
+                    Some(f) => o.num("field", *f as i64),
+                    None => o.null("field"),
+                }
+            }
+            TraceEvent::LoopRound { loop_begin, round } => {
+                o.num("loop_begin", *loop_begin as i64);
+                o.num("round", *round as i64);
+            }
+            TraceEvent::Deopt {
+                method,
+                reason,
+                rematerialized,
+            } => {
+                o.str("method", method);
+                o.str("reason", reason);
+                o.str_array("rematerialized", rematerialized);
+            }
+            TraceEvent::Evict { method, deopts } => {
+                o.str("method", method);
+                o.num("deopts", *deopts as i64);
+            }
+            TraceEvent::Recompile { method } => o.str("method", method),
+        }
+        o.finish()
+    }
+
+    /// Parses a line produced by [`to_json_line`](Self::to_json_line).
+    pub fn from_json_line(line: &str) -> Result<TraceEvent, json::JsonError> {
+        let obj = json::parse_object(line)?;
+        let kind = obj.get_str("event")?;
+        let event = match kind {
+            "compile-start" => TraceEvent::CompileStart {
+                method: obj.get_str("method")?.to_string(),
+                level: obj.get_str("level")?.to_string(),
+            },
+            "compile-end" => TraceEvent::CompileEnd {
+                method: obj.get_str("method")?.to_string(),
+                code_size: obj.get_num("code_size")? as u64,
+            },
+            "virtualized" => TraceEvent::Virtualized {
+                site: obj.get_num("site")? as u32,
+                shape: obj.get_str("shape")?.to_string(),
+            },
+            "materialized" => TraceEvent::Materialized {
+                site: obj.get_num("site")? as u32,
+                anchor: obj.get_num("anchor")? as u32,
+                block: obj.get_num("block")? as u32,
+                reason: {
+                    let raw = obj.get_str("reason")?;
+                    MaterializeReason::parse(raw)
+                        .ok_or_else(|| json::JsonError::new(format!("unknown reason {raw:?}")))?
+                },
+            },
+            "lock-elided" => TraceEvent::LockElided {
+                site: obj.get_num("site")? as u32,
+                node: obj.get_num("node")? as u32,
+                exit: obj.get_bool("exit")?,
+            },
+            "load-elided" => TraceEvent::LoadElided {
+                site: obj.get_num("site")? as u32,
+                node: obj.get_num("node")? as u32,
+            },
+            "store-elided" => TraceEvent::StoreElided {
+                site: obj.get_num("site")? as u32,
+                node: obj.get_num("node")? as u32,
+            },
+            "check-folded" => TraceEvent::CheckFolded {
+                node: obj.get_num("node")? as u32,
+                value: obj.get_num("value")?,
+            },
+            "phi-created" => TraceEvent::PhiCreated {
+                merge: obj.get_num("merge")? as u32,
+                site: obj.get_num("site")? as u32,
+                field: obj.get_opt_num("field")?.map(|n| n as u32),
+            },
+            "loop-round" => TraceEvent::LoopRound {
+                loop_begin: obj.get_num("loop_begin")? as u32,
+                round: obj.get_num("round")? as u32,
+            },
+            "deopt" => TraceEvent::Deopt {
+                method: obj.get_str("method")?.to_string(),
+                reason: obj.get_str("reason")?.to_string(),
+                rematerialized: obj.get_str_array("rematerialized")?,
+            },
+            "evict" => TraceEvent::Evict {
+                method: obj.get_str("method")?.to_string(),
+                deopts: obj.get_num("deopts")? as u64,
+            },
+            "recompile" => TraceEvent::Recompile {
+                method: obj.get_str("method")?.to_string(),
+            },
+            other => {
+                return Err(json::JsonError::new(format!("unknown event kind {other:?}")));
+            }
+        };
+        Ok(event)
+    }
+}
+
+/// Receives trace events. Implementations must be cheap per call; producers
+/// only invoke them when tracing is enabled.
+pub trait TraceSink {
+    fn emit(&mut self, event: &TraceEvent);
+}
+
+/// Discards everything (useful for overhead measurements with a sink
+/// attached but inert).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _event: &TraceEvent) {}
+}
+
+/// Collects events in order for later inspection (golden-trace tests).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    pub events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events of one kind, in emission order.
+    pub fn of_kind(&self, kind: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.kind() == kind).collect()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Writes one human-readable line per event.
+pub struct PrettySink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> PrettySink<W> {
+    pub fn new(out: W) -> Self {
+        PrettySink { out }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for PrettySink<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        let _ = writeln!(self.out, "{}", event.pretty());
+    }
+}
+
+/// Writes one JSON object per line; parseable by
+/// [`TraceEvent::from_json_line`].
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        let _ = writeln!(self.out, "{}", event.to_json_line());
+    }
+}
+
+/// Broadcasts each event to every attached sink, in order.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        for sink in &mut self.sinks {
+            sink.emit(event);
+        }
+    }
+}
+
+/// A clonable, shared handle to a sink, for producers that outlive a simple
+/// borrow (the VM holds one in its options and emits from nested calls).
+#[derive(Clone)]
+pub struct SharedSink(Rc<RefCell<dyn TraceSink>>);
+
+impl SharedSink {
+    /// Wraps `sink`, returning the shared handle plus a typed handle the
+    /// caller keeps for reading results back out.
+    pub fn new<S: TraceSink + 'static>(sink: S) -> (SharedSink, Rc<RefCell<S>>) {
+        let typed = Rc::new(RefCell::new(sink));
+        (SharedSink(typed.clone()), typed)
+    }
+
+    /// Emits through a shared reference (the trait method needs `&mut`).
+    pub fn emit_event(&self, event: &TraceEvent) {
+        self.0.borrow_mut().emit(event);
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.0.borrow_mut().emit(event);
+    }
+}
+
+impl fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SharedSink(..)")
+    }
+}
+
+/// Producer-side handle: either a live borrow of a sink, or off.
+///
+/// `emit_with` takes a closure so event construction (string formatting,
+/// allocation) is skipped entirely when tracing is disabled — the disabled
+/// path is one `Option` branch.
+pub struct Tracer<'a> {
+    sink: Option<&'a mut dyn TraceSink>,
+}
+
+impl<'a> Tracer<'a> {
+    /// A tracer that records nothing and costs one branch per emit site.
+    pub fn off() -> Tracer<'a> {
+        Tracer { sink: None }
+    }
+
+    pub fn new(sink: &'a mut dyn TraceSink) -> Tracer<'a> {
+        Tracer { sink: Some(sink) }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The underlying sink, for handing to a nested traced phase.
+    pub fn sink(&mut self) -> Option<&mut dyn TraceSink> {
+        match self.sink.as_mut() {
+            Some(s) => Some(&mut **s),
+            None => None,
+        }
+    }
+
+    /// Emits the event produced by `f`, constructing it only if enabled.
+    #[inline]
+    pub fn emit_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(&f());
+        }
+    }
+
+    /// Emits an already-constructed event.
+    pub fn emit(&mut self, event: &TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(event);
+        }
+    }
+}
+
+impl fmt::Debug for Tracer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tracer(enabled={})", self.enabled())
+    }
+}
+
+/// Per-allocation-site counters folded from a trace stream.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SiteCounters {
+    pub shape: String,
+    pub virtualized: u64,
+    pub materialized: u64,
+    /// Materializations by reason, in reason order.
+    pub by_reason: BTreeMap<MaterializeReason, u64>,
+    pub locks_elided: u64,
+    pub loads_elided: u64,
+    pub stores_elided: u64,
+}
+
+/// Folds a trace stream into per-(method, site) counters — the benchmark
+/// tables use this for per-site materialization breakdowns.
+///
+/// Compile-scoped events are attributed to the most recent
+/// [`TraceEvent::CompileStart`]; VM events carry their own method name.
+#[derive(Debug, Default)]
+pub struct SiteAggregator {
+    current_method: String,
+    /// (method, site) → counters.
+    pub sites: BTreeMap<(String, u32), SiteCounters>,
+    /// method → (deopts, rematerialized objects across those deopts).
+    pub deopts: BTreeMap<String, (u64, u64)>,
+    pub compiles: u64,
+    pub evictions: u64,
+}
+
+impl SiteAggregator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn site(&mut self, site: u32) -> &mut SiteCounters {
+        self.sites
+            .entry((self.current_method.clone(), site))
+            .or_default()
+    }
+
+    /// Total materializations per reason across all sites.
+    pub fn reason_totals(&self) -> BTreeMap<MaterializeReason, u64> {
+        let mut totals = BTreeMap::new();
+        for c in self.sites.values() {
+            for (&reason, &n) in &c.by_reason {
+                *totals.entry(reason).or_insert(0) += n;
+            }
+        }
+        totals
+    }
+
+    /// Renders the per-site breakdown as indented text lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ((method, site), c) in &self.sites {
+            let reasons = c
+                .by_reason
+                .iter()
+                .map(|(r, n)| format!("{r} {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "{method} n{site} ({}): virtualized {}, materialized {}{}{}\n",
+                if c.shape.is_empty() { "?" } else { &c.shape },
+                c.virtualized,
+                c.materialized,
+                if reasons.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{reasons}]")
+                },
+                {
+                    let mut extras = Vec::new();
+                    if c.locks_elided > 0 {
+                        extras.push(format!("locks elided {}", c.locks_elided));
+                    }
+                    if c.loads_elided > 0 {
+                        extras.push(format!("loads elided {}", c.loads_elided));
+                    }
+                    if c.stores_elided > 0 {
+                        extras.push(format!("stores elided {}", c.stores_elided));
+                    }
+                    if extras.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", {}", extras.join(", "))
+                    }
+                },
+            ));
+        }
+        for (method, (deopts, remat)) in &self.deopts {
+            out.push_str(&format!(
+                "{method}: {deopts} deopts, {remat} objects rematerialized\n"
+            ));
+        }
+        out
+    }
+}
+
+impl TraceSink for SiteAggregator {
+    fn emit(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::CompileStart { method, .. } => {
+                self.current_method = method.clone();
+                self.compiles += 1;
+            }
+            TraceEvent::CompileEnd { .. } => {}
+            TraceEvent::Virtualized { site, shape } => {
+                let shape = shape.clone();
+                let c = self.site(*site);
+                c.virtualized += 1;
+                c.shape = shape;
+            }
+            TraceEvent::Materialized { site, reason, .. } => {
+                let reason = *reason;
+                let c = self.site(*site);
+                c.materialized += 1;
+                *c.by_reason.entry(reason).or_insert(0) += 1;
+            }
+            TraceEvent::LockElided { site, .. } => self.site(*site).locks_elided += 1,
+            TraceEvent::LoadElided { site, .. } => self.site(*site).loads_elided += 1,
+            TraceEvent::StoreElided { site, .. } => self.site(*site).stores_elided += 1,
+            TraceEvent::CheckFolded { .. }
+            | TraceEvent::PhiCreated { .. }
+            | TraceEvent::LoopRound { .. } => {}
+            TraceEvent::Deopt {
+                method,
+                rematerialized,
+                ..
+            } => {
+                let entry = self.deopts.entry(method.clone()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += rematerialized.len() as u64;
+            }
+            TraceEvent::Evict { .. } => self.evictions += 1,
+            TraceEvent::Recompile { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::CompileStart {
+                method: "Cache.getValue".into(),
+                level: "pea".into(),
+            },
+            TraceEvent::Virtualized {
+                site: 3,
+                shape: "Key".into(),
+            },
+            TraceEvent::LoadElided { site: 3, node: 12 },
+            TraceEvent::StoreElided { site: 3, node: 13 },
+            TraceEvent::LockElided {
+                site: 3,
+                node: 7,
+                exit: false,
+            },
+            TraceEvent::LockElided {
+                site: 3,
+                node: 9,
+                exit: true,
+            },
+            TraceEvent::CheckFolded { node: 15, value: 1 },
+            TraceEvent::PhiCreated {
+                merge: 20,
+                site: 3,
+                field: Some(1),
+            },
+            TraceEvent::PhiCreated {
+                merge: 20,
+                site: 3,
+                field: None,
+            },
+            TraceEvent::LoopRound {
+                loop_begin: 18,
+                round: 2,
+            },
+            TraceEvent::Materialized {
+                site: 3,
+                anchor: 27,
+                block: 4,
+                reason: MaterializeReason::EscapeToStore,
+            },
+            TraceEvent::CompileEnd {
+                method: "Cache.getValue".into(),
+                code_size: 41,
+            },
+            TraceEvent::Deopt {
+                method: "Cache.getValue".into(),
+                reason: "untaken-branch".into(),
+                rematerialized: vec!["Key".into(), "int[8]".into()],
+            },
+            TraceEvent::Deopt {
+                method: "Cache.getValue".into(),
+                reason: "type-check".into(),
+                rematerialized: vec![],
+            },
+            TraceEvent::Evict {
+                method: "Cache.getValue".into(),
+                deopts: 4,
+            },
+            TraceEvent::Recompile {
+                method: "Cache.getValue".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_lines_round_trip_every_variant() {
+        for event in sample_events() {
+            let line = event.to_json_line();
+            let back = TraceEvent::from_json_line(&line)
+                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            assert_eq!(back, event, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn json_escaping_survives_round_trip() {
+        let event = TraceEvent::Recompile {
+            method: "weird \"name\"\\with\n\tcontrol \u{1} chars".into(),
+        };
+        let line = event.to_json_line();
+        assert!(!line.contains('\n'), "JSON-lines output must be one line");
+        assert_eq!(TraceEvent::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn json_lines_sink_output_parses_back() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        for event in sample_events() {
+            sink.emit(&event);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let parsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_json_line(l).unwrap())
+            .collect();
+        assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(TraceEvent::from_json_line("").is_err());
+        assert!(TraceEvent::from_json_line("{}").is_err());
+        assert!(TraceEvent::from_json_line("{\"event\":\"nope\"}").is_err());
+        assert!(TraceEvent::from_json_line("{\"event\":\"deopt\"}").is_err());
+        assert!(TraceEvent::from_json_line("not json").is_err());
+        assert!(TraceEvent::from_json_line("{\"event\":12}").is_err());
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        for event in sample_events() {
+            sink.emit(&event);
+        }
+        assert_eq!(sink.events, sample_events());
+        assert_eq!(sink.of_kind("lock-elided").len(), 2);
+    }
+
+    #[test]
+    fn pretty_sink_writes_one_line_per_event() {
+        let mut sink = PrettySink::new(Vec::new());
+        for event in sample_events() {
+            sink.emit(&event);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), sample_events().len());
+        assert!(text.contains("alloc n3 (Key) virtualized"));
+        assert!(text.contains("materialized at n27 in b4: escape-to-store"));
+        assert!(text.contains("rematerialized [Key, int[8]]"));
+    }
+
+    #[test]
+    fn disabled_tracer_never_constructs_events() {
+        let mut tracer = Tracer::off();
+        let mut constructed = false;
+        tracer.emit_with(|| {
+            constructed = true;
+            TraceEvent::Recompile {
+                method: "x".into(),
+            }
+        });
+        assert!(!constructed);
+        assert!(!tracer.enabled());
+    }
+
+    #[test]
+    fn shared_sink_feeds_back_to_typed_handle() {
+        let (mut shared, typed) = SharedSink::new(MemorySink::new());
+        let mut clone = shared.clone();
+        shared.emit(&TraceEvent::Recompile {
+            method: "a".into(),
+        });
+        clone.emit(&TraceEvent::Recompile {
+            method: "b".into(),
+        });
+        assert_eq!(typed.borrow().events.len(), 2);
+    }
+
+    #[test]
+    fn site_aggregator_folds_per_site_counters() {
+        let mut agg = SiteAggregator::new();
+        for event in sample_events() {
+            agg.emit(&event);
+        }
+        let c = &agg.sites[&("Cache.getValue".to_string(), 3)];
+        assert_eq!(c.shape, "Key");
+        assert_eq!(c.virtualized, 1);
+        assert_eq!(c.materialized, 1);
+        assert_eq!(c.by_reason[&MaterializeReason::EscapeToStore], 1);
+        assert_eq!(c.locks_elided, 2);
+        assert_eq!(c.loads_elided, 1);
+        assert_eq!(c.stores_elided, 1);
+        assert_eq!(agg.deopts["Cache.getValue"], (2, 2));
+        assert_eq!(agg.compiles, 1);
+        assert_eq!(agg.evictions, 1);
+        let render = agg.render();
+        assert!(render.contains("Cache.getValue n3 (Key)"));
+        assert!(render.contains("escape-to-store 1"));
+        assert_eq!(
+            agg.reason_totals()[&MaterializeReason::EscapeToStore],
+            1
+        );
+    }
+}

@@ -25,10 +25,14 @@
 
 use pea_bytecode::{MethodId, Program};
 pub use pea_compiler::OptLevel;
-use pea_compiler::{compile, evaluate, CompiledMethod, CompilerOptions, EvalEnv, EvalOutcome};
+use pea_compiler::{
+    compile, compile_traced, evaluate, CompiledMethod, CompilerOptions, EvalEnv, EvalOutcome,
+};
 use pea_interp::{interpret, resume, Frame, InterpEnv};
 use pea_runtime::profile::ProfileStore;
 use pea_runtime::{Heap, Statics, Stats, Value, VmError};
+pub use pea_trace::SharedSink;
+use pea_trace::TraceEvent;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
@@ -47,6 +51,10 @@ pub struct VmOptions {
     pub max_deopts: u64,
     /// Master switch for JIT compilation (off = pure interpreter).
     pub jit: bool,
+    /// Optional event log: compiles (with every PEA decision), deopts
+    /// (with rematerialization inventories), evictions and recompiles all
+    /// flow into this sink. `None` (the default) is zero-cost.
+    pub trace: Option<SharedSink>,
 }
 
 impl VmOptions {
@@ -58,6 +66,7 @@ impl VmOptions {
             fuel: None,
             max_deopts: 8,
             jit: true,
+            trace: None,
         }
     }
 
@@ -85,6 +94,8 @@ pub struct Vm {
     code_cache: HashMap<MethodId, Rc<CompiledMethod>>,
     bailed_out: HashSet<MethodId>,
     deopt_counts: HashMap<MethodId, u64>,
+    /// Methods evicted at least once (a later compile is a recompile).
+    evicted: HashSet<MethodId>,
     options: VmOptions,
     /// Re-entrancy depth (interpreter/compiled frames currently active).
     depth: usize,
@@ -102,9 +113,15 @@ impl Vm {
             code_cache: HashMap::new(),
             bailed_out: HashSet::new(),
             deopt_counts: HashMap::new(),
+            evicted: HashSet::new(),
             options,
             depth: 0,
         }
+    }
+
+    /// Attaches (or replaces) the VM event-log sink after construction.
+    pub fn set_trace(&mut self, sink: SharedSink) {
+        self.options.trace = Some(sink);
     }
 
     /// The executed program.
@@ -186,7 +203,24 @@ impl Vm {
             && !self.bailed_out.contains(&method)
             && self.profiles.invocation_count(method) >= self.options.compile_threshold
         {
-            match compile(&program, method, Some(&self.profiles), &self.options.compiler) {
+            let compiled = match self.options.trace.clone() {
+                Some(mut sink) => {
+                    if self.evicted.contains(&method) {
+                        sink.emit_event(&TraceEvent::Recompile {
+                            method: program.method(method).qualified_name(&program),
+                        });
+                    }
+                    compile_traced(
+                        &program,
+                        method,
+                        Some(&self.profiles),
+                        &self.options.compiler,
+                        &mut sink,
+                    )
+                }
+                None => compile(&program, method, Some(&self.profiles), &self.options.compiler),
+            };
+            match compiled {
                 Ok(code) => {
                     self.heap.stats.compiles += 1;
                     let code = Rc::new(code);
@@ -209,18 +243,37 @@ impl Vm {
     ) -> Result<Option<Value>, VmError> {
         match evaluate(program, self, code, &args)? {
             EvalOutcome::Return(v) => Ok(v),
-            EvalOutcome::Deopt { frames, .. } => {
+            EvalOutcome::Deopt {
+                reason,
+                frames,
+                rematerialized,
+            } => {
                 self.heap.stats.deopts += 1;
                 let method = code.method;
                 let count = self.deopt_counts.entry(method).or_insert(0);
                 *count += 1;
-                if *count >= self.options.max_deopts {
+                let deopts = *count;
+                if let Some(sink) = &self.options.trace {
+                    sink.emit_event(&TraceEvent::Deopt {
+                        method: program.method(method).qualified_name(program),
+                        reason: reason.to_string(),
+                        rematerialized,
+                    });
+                }
+                if deopts >= self.options.max_deopts {
                     // Evict and re-profile: the speculation no longer
                     // matches reality.
                     self.code_cache.remove(&method);
                     self.bailed_out.remove(&method);
                     self.profiles.clear_method(method);
                     self.deopt_counts.remove(&method);
+                    self.evicted.insert(method);
+                    if let Some(sink) = &self.options.trace {
+                        sink.emit_event(&TraceEvent::Evict {
+                            method: program.method(method).qualified_name(program),
+                            deopts,
+                        });
+                    }
                 }
                 let interp_frames: Vec<Frame> = frames
                     .into_iter()

@@ -1,0 +1,32 @@
+class Key {
+    field idx int
+    field ref ref
+}
+static cacheKey ref
+static cacheValue int
+
+method virtual Key.equals 2 returns synchronized {
+    load 1 ifnull Lfalse
+    load 0 getfield Key.idx
+    load 1 checkcast Key getfield Key.idx
+    ifcmp ne Lfalse
+    load 0 getfield Key.ref
+    load 1 checkcast Key getfield Key.ref
+    ifrefne Lfalse
+    const 1 retv
+Lfalse:
+    const 0 retv
+}
+
+method getValue 2 returns {
+    new Key store 2
+    load 2 load 0 putfield Key.idx
+    load 2 load 1 putfield Key.ref
+    load 2 getstatic cacheKey invokevirtual Key.equals
+    const 0 ifcmp eq Lmiss
+    getstatic cacheValue retv
+Lmiss:
+    load 2 putstatic cacheKey
+    load 0 const 13 mul putstatic cacheValue
+    getstatic cacheValue retv
+}

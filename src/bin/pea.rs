@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! pea run <file.asm> <entry> [args...] [--level none|ees|pea] [--interp]
+//!         [--trace|--trace-json]                       # + VM/PEA event log
+//! pea trace <file.asm> [method] [--level ...] [--json] # decision trace only
 //! pea dump <file.asm> <method> [--level none|ees|pea]  # IR before/after
 //! pea dot <file.asm> <method> [--level ...]            # GraphViz output
 //! pea disasm <file.asm>                                # parse + re-print
 //! ```
+//!
+//! `pea --trace <file.asm> [method]` and `pea --trace-json <file.asm>
+//! [method]` are shorthands for the `trace` subcommand.
 //!
 //! Examples:
 //!
@@ -13,11 +18,13 @@
 //! echo 'method main 1 returns { load 0 const 2 mul retv }' > /tmp/double.asm
 //! pea run /tmp/double.asm main 21
 //! pea dump /tmp/double.asm main
+//! pea --trace examples/cache_key.asm
 //! ```
 
 use pea::bytecode::asm::parse_program;
-use pea::compiler::{compile, CompilerOptions, OptLevel};
+use pea::compiler::{compile, compile_traced, CompilerOptions, OptLevel};
 use pea::runtime::Value;
+use pea::trace::{JsonLinesSink, PrettySink, SharedSink, TraceSink};
 use pea::vm::{Vm, VmOptions};
 use std::process::ExitCode;
 
@@ -54,9 +61,21 @@ fn load(path: &str) -> pea::bytecode::Program {
     program
 }
 
+/// Build a [`SharedSink`] writing to stdout per the `--trace` / `--trace-json`
+/// flags, or `None` when neither is present.
+fn stdout_sink(args: &[String]) -> Option<SharedSink> {
+    if args.iter().any(|a| a == "--trace-json") {
+        Some(SharedSink::new(JsonLinesSink::new(std::io::stdout())).0)
+    } else if args.iter().any(|a| a == "--trace") {
+        Some(SharedSink::new(PrettySink::new(std::io::stdout())).0)
+    } else {
+        None
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let [path, entry, rest @ ..] = args else {
-        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N]");
+        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N] [--trace|--trace-json]");
         return ExitCode::from(2);
     };
     let program = load(path);
@@ -81,11 +100,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
         })
         .collect();
-    let options = if interp_only {
+    let mut options = if interp_only {
         VmOptions::interpreter_only()
     } else {
         VmOptions::with_opt_level(parse_level(rest))
     };
+    options.trace = stdout_sink(rest);
     let mut vm = Vm::new(program, options);
     for _ in 0..warmup {
         if vm.call_entry(entry, &call_args).is_err() {
@@ -116,6 +136,47 @@ fn cmd_run(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `pea trace <file.asm> [method] [--level L] [--json]` — compile the named
+/// method (or every free static method when omitted) and stream every PEA
+/// decision the compiler makes to stdout.
+fn cmd_trace(args: &[String], json: bool) -> ExitCode {
+    let [path, rest @ ..] = args else {
+        eprintln!("usage: pea trace <file.asm> [method] [--level L] [--json]");
+        return ExitCode::from(2);
+    };
+    let json = json || rest.iter().any(|a| a == "--json" || a == "--trace-json");
+    let program = load(path);
+    let level = parse_level(rest);
+    let methods: Vec<pea::bytecode::MethodId> = match rest.iter().find(|a| !a.starts_with("--")) {
+        Some(name) => match program.static_method_by_name(name) {
+            Some(id) => vec![id],
+            None => {
+                eprintln!("no static method `{name}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => (0..program.methods.len())
+            .map(pea::bytecode::MethodId::from_index)
+            .filter(|&m| program.method(m).class.is_none())
+            .collect(),
+    };
+    let mut sink: Box<dyn TraceSink> = if json {
+        Box::new(JsonLinesSink::new(std::io::stdout()))
+    } else {
+        Box::new(PrettySink::new(std::io::stdout()))
+    };
+    let options = CompilerOptions::with_opt_level(level);
+    for method in methods {
+        if let Err(e) = compile_traced(&program, method, None, &options, sink.as_mut()) {
+            eprintln!(
+                "{}: compilation bailout: {e}",
+                program.method(method).qualified_name(&program)
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn compiled_for(args: &[String]) -> Option<(pea::compiler::CompiledMethod, String)> {
@@ -173,17 +234,21 @@ fn main() -> ExitCode {
     match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "run" => cmd_run(rest),
+            "trace" => cmd_trace(rest, false),
+            // `pea --trace <file> [method]` shorthand for the subcommand.
+            "--trace" => cmd_trace(rest, false),
+            "--trace-json" => cmd_trace(rest, true),
             "dump" => cmd_dump(rest),
             "dot" => cmd_dot(rest),
             "disasm" => cmd_disasm(rest),
             other => {
                 eprintln!("unknown command `{other}`");
-                eprintln!("commands: run, dump, dot, disasm");
+                eprintln!("commands: run, trace, dump, dot, disasm");
                 ExitCode::from(2)
             }
         },
         None => {
-            eprintln!("usage: pea <run|dump|dot|disasm> ...");
+            eprintln!("usage: pea <run|trace|dump|dot|disasm> ...");
             ExitCode::from(2)
         }
     }

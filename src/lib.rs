@@ -20,6 +20,7 @@
 //! | [`core`] | `pea-core` | **Partial Escape Analysis** + EES baseline |
 //! | [`vm`] | `pea-vm` | tiered execution: interpret → profile → JIT → deopt |
 //! | [`workloads`] | `pea-workloads` | synthetic benchmark kernels |
+//! | [`trace`] | `pea-trace` | decision-trace events, sinks, per-site aggregation |
 //!
 //! # Quickstart
 //!
@@ -44,5 +45,6 @@ pub use pea_core as core;
 pub use pea_interp as interp;
 pub use pea_ir as ir;
 pub use pea_runtime as runtime;
+pub use pea_trace as trace;
 pub use pea_vm as vm;
 pub use pea_workloads as workloads;

@@ -13,8 +13,11 @@
 
 use pea::bytecode::{CmpOp, MethodBuilder, Program, ProgramBuilder, ValueKind};
 use pea::runtime::{Value, VmError};
+use pea::trace::{MemorySink, SharedSink, TraceEvent};
 use pea::vm::{OptLevel, Vm, VmOptions};
 use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A structured mini-AST lowered to verified bytecode, so every generated
 /// program is executable (runtime errors like null dereferences are still
@@ -328,7 +331,7 @@ fn configs() -> Vec<(&'static str, VmOptions)> {
     spec_opts.compile_threshold = 3;
     spec_opts.compiler.build.branch_threshold = 4;
     spec_opts.compiler.build.devirtualize_threshold = 4;
-    let mut low = |level: OptLevel| {
+    let low = |level: OptLevel| {
         let mut o = VmOptions::with_opt_level(level);
         o.compile_threshold = 3;
         o
@@ -353,8 +356,8 @@ proptest! {
     fn all_configurations_agree(body in prop::collection::vec(stmt_strategy(), 1..8),
                                 a in -4i64..4, b in -4i64..4) {
         let program = build_program(&body);
-        let mut outcomes: Vec<(String, Vec<Result<Option<Value>, VmError>>, Vec<String>)> =
-            Vec::new();
+        type Outcome = (String, Vec<Result<Option<Value>, VmError>>, Vec<String>);
+        let mut outcomes: Vec<Outcome> = Vec::new();
         let mut alloc_counts: Vec<(String, u64)> = Vec::new();
         for (name, options) in configs() {
             let mut vm = Vm::new(program.clone(), options);
@@ -451,5 +454,263 @@ fn fixed_regression_cases() {
                 Some(r) => assert_eq!(&results, r, "{name} disagrees on {body:?}"),
             }
         }
+    }
+}
+
+// ---- Trace-derived invariants -----------------------------------------
+//
+// The decision trace is a *claim* about what the compiled code does; these
+// tests check the claims against the runtime counters the heap keeps
+// independently.
+
+fn traced_vm(program: &Program, mut options: VmOptions) -> (Vm, Rc<RefCell<MemorySink>>) {
+    let (sink, mem) = SharedSink::new(MemorySink::new());
+    options.trace = Some(sink);
+    (Vm::new(program.clone(), options), mem)
+}
+
+fn speculative_pea_options() -> VmOptions {
+    let mut options = VmOptions::with_opt_level(OptLevel::Pea);
+    options.compile_threshold = 3;
+    options.compiler.build.branch_threshold = 4;
+    options.compiler.build.devirtualize_threshold = 4;
+    options
+}
+
+fn count_events(mem: &Rc<RefCell<MemorySink>>, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+    mem.borrow().events.iter().filter(|e| pred(e)).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn trace_invariants_hold(body in prop::collection::vec(stmt_strategy(), 1..8),
+                             a in -4i64..4, b in -4i64..4) {
+        let program = build_program(&body);
+        let (mut vm, mem) = traced_vm(&program, speculative_pea_options());
+        for round in 0..10i64 {
+            let _ = vm.call_entry("f", &[Value::Int(a + round), Value::Int(b)]);
+        }
+
+        // Every deoptimization's rematerialization inventory must account
+        // for exactly the objects the heap says were rematerialized.
+        let remat_logged: u64 = mem
+            .borrow()
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Deopt { rematerialized, .. } => rematerialized.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(
+            remat_logged,
+            vm.stats().rematerialized,
+            "deopt inventories disagree with Stats::rematerialized"
+        );
+
+        // Only virtualized sites can materialize.
+        let mat_sites: std::collections::HashSet<u32> = mem
+            .borrow()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Materialized { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        let virt_sites: std::collections::HashSet<u32> = mem
+            .borrow()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Virtualized { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        prop_assert!(
+            mat_sites.is_subset(&virt_sites),
+            "materialized a site that was never virtualized: {:?} vs {:?}",
+            mat_sites, virt_sites
+        );
+
+        // Steady-state window: once speculation has settled (no deopt, no
+        // recompilation during the window, and every compile in the log
+        // succeeded), the trace's materialization events are the *only*
+        // way compiled code can allocate — so zero events means zero
+        // allocations, and the allocations that do happen stay within the
+        // unoptimized run of the same window (§4: "at most as many dynamic
+        // allocations as in the original code").
+        let events_before = mem.borrow().events.len();
+        let before = vm.stats();
+        const WINDOW: i64 = 4;
+        for round in 0..WINDOW {
+            let _ = vm.call_entry("f", &[Value::Int(a + round), Value::Int(b)]);
+        }
+        let d = vm.stats().delta(&before);
+        let window_quiet = {
+            let log = mem.borrow();
+            !log.events[events_before..].iter().any(|e| {
+                matches!(
+                    e,
+                    TraceEvent::CompileStart { .. }
+                        | TraceEvent::Deopt { .. }
+                        | TraceEvent::Evict { .. }
+                )
+            })
+        };
+        let all_compiles_succeeded = count_events(&mem, |e| {
+            matches!(e, TraceEvent::CompileStart { .. })
+        }) == count_events(&mem, |e| matches!(e, TraceEvent::CompileEnd { .. }));
+        if window_quiet && all_compiles_succeeded && vm.compiled_method_count() >= 1 {
+            let mat_events =
+                count_events(&mem, |e| matches!(e, TraceEvent::Materialized { .. })) as u64;
+            if mat_events == 0 {
+                prop_assert_eq!(
+                    d.alloc_count, 0,
+                    "compiled code allocated without any materialization event"
+                );
+            }
+            // Mirror of the same window under the unoptimized JIT.
+            let mut none = Vm::new(
+                program.clone(),
+                {
+                    let mut o = VmOptions::with_opt_level(OptLevel::None);
+                    o.compile_threshold = 3;
+                    o
+                },
+            );
+            for round in 0..10i64 {
+                let _ = none.call_entry("f", &[Value::Int(a + round), Value::Int(b)]);
+            }
+            let none_before = none.stats();
+            for round in 0..WINDOW {
+                let _ = none.call_entry("f", &[Value::Int(a + round), Value::Int(b)]);
+            }
+            let none_d = none.stats().delta(&none_before);
+            prop_assert!(
+                d.alloc_count <= none_d.alloc_count,
+                "materializations allocated {} objects but the unoptimized \
+                 code only allocates {} in the same window",
+                d.alloc_count, none_d.alloc_count
+            );
+        }
+    }
+}
+
+/// Lock-elision invariant: when the trace claims a site's monitors were
+/// elided and the site never materializes, the runtime must observe *zero*
+/// real monitor operations — the elided locks cannot coincide with real
+/// acquisitions on the same site.
+#[test]
+fn elided_locks_never_acquired_at_runtime() {
+    use Stmt::*;
+    let body = vec![
+        NewObj(0),
+        Sync(0, vec![StoreField(0, 1, Expr::Const(5))]),
+        AssignInt(0, Expr::GetField(0, 1)),
+    ];
+    let program = build_program(&body);
+
+    // Reference: the interpreter really does lock.
+    let mut interp = Vm::new(program.clone(), VmOptions::interpreter_only());
+    let before = interp.stats();
+    interp
+        .call_entry("f", &[Value::Int(1), Value::Int(2)])
+        .expect("interp");
+    assert!(
+        interp.stats().delta(&before).monitor_ops() > 0,
+        "fixture must actually synchronize"
+    );
+
+    // Traced PEA: warm up past the compile threshold, then measure.
+    let (mut vm, mem) = traced_vm(&program, speculative_pea_options());
+    for round in 0..10i64 {
+        vm.call_entry("f", &[Value::Int(round), Value::Int(2)])
+            .expect("warmup");
+    }
+    let elided: Vec<u32> = mem
+        .borrow()
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::LockElided { site, .. } => Some(*site),
+            _ => None,
+        })
+        .collect();
+    assert!(!elided.is_empty(), "the synchronized block must be elided");
+    for site in &elided {
+        assert_eq!(
+            count_events(&mem, |e| matches!(
+                e,
+                TraceEvent::Materialized { site: s, .. } if s == site
+            )),
+            0,
+            "site n{site} with elided locks must not materialize here"
+        );
+    }
+    let before = vm.stats();
+    for round in 0..4i64 {
+        vm.call_entry("f", &[Value::Int(round), Value::Int(2)])
+            .expect("steady state");
+    }
+    let d = vm.stats().delta(&before);
+    assert_eq!(d.deopts, 0, "window must be deopt-free");
+    assert_eq!(
+        d.monitor_ops(),
+        0,
+        "elided-lock sites must never reach the runtime monitor"
+    );
+}
+
+/// Observability must be free: attaching a trace sink changes neither the
+/// results nor any runtime counter (the virtual-cycle cost model included),
+/// and a VM with tracing compiled in but disabled behaves identically.
+#[test]
+fn tracing_does_not_perturb_execution() {
+    use Stmt::*;
+    let bodies: Vec<Vec<Stmt>> = vec![
+        vec![
+            NewObj(0),
+            StoreField(0, 0, Expr::IntLocal(0)),
+            If(
+                Expr::IntLocal(1),
+                CmpOp::Lt,
+                vec![PublishObj(0)],
+                vec![AssignInt(2, Expr::GetField(0, 0))],
+            ),
+        ],
+        vec![
+            NewObj(1),
+            Sync(1, vec![StoreField(1, 0, Expr::IntLocal(0))]),
+            Loop(3, vec![AssignInt(2, Expr::GetField(1, 0))]),
+        ],
+    ];
+    for body in bodies {
+        let program = build_program(&body);
+        let mut plain = Vm::new(program.clone(), speculative_pea_options());
+        let (mut traced, _mem) = traced_vm(&program, speculative_pea_options());
+        for round in 0..12i64 {
+            let args = [Value::Int(round - 2), Value::Int(2)];
+            let a = plain.call_entry("f", &args);
+            let b = traced.call_entry("f", &args);
+            assert_eq!(a, b, "tracing changed a result on {body:?}");
+        }
+        let (p, t) = (plain.stats(), traced.stats());
+        assert_eq!(p.cycles, t.cycles, "tracing changed the cycle count");
+        assert_eq!(p.alloc_count, t.alloc_count);
+        assert_eq!(p.alloc_bytes, t.alloc_bytes);
+        assert_eq!(p.deopts, t.deopts);
+        assert_eq!(p.rematerialized, t.rematerialized);
+        assert_eq!(p.compiles, t.compiles);
+        assert_eq!(
+            plain.compiled_method_count(),
+            traced.compiled_method_count()
+        );
     }
 }
