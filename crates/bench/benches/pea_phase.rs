@@ -51,8 +51,7 @@ fn bench_workload_compilation(c: &mut Criterion) {
         group.bench_function(format!("{level}"), |b| {
             let options = pea_compiler::CompilerOptions::with_opt_level(level);
             b.iter(|| {
-                pea_compiler::compile(&workload.program, method, None, &options)
-                    .expect("compiles")
+                pea_compiler::compile(&workload.program, method, None, &options).expect("compiles")
             })
         });
     }

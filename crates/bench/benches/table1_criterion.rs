@@ -13,9 +13,7 @@ fn bench_suite_measurement(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/specjbb_measurement");
     group.sample_size(10);
     for level in [OptLevel::None, OptLevel::Pea] {
-        group.bench_function(format!("{level}"), |b| {
-            b.iter(|| measure(w, level, 60, 5))
-        });
+        group.bench_function(format!("{level}"), |b| b.iter(|| measure(w, level, 60, 5)));
     }
     group.finish();
 }

@@ -49,7 +49,9 @@ fn main() {
         variant("full", |_| {}),
         variant("no-lock-elision", |o| o.compiler.pea.lock_elision = false),
         variant("no-field-phis", |o| o.compiler.pea.field_phis = false),
-        variant("no-loop-fixpoint", |o| o.compiler.pea.loop_processing = false),
+        variant("no-loop-fixpoint", |o| {
+            o.compiler.pea.loop_processing = false
+        }),
     ];
     println!("PEA ablations — suite-average deltas vs. no escape analysis");
     println!(
@@ -85,8 +87,7 @@ fn main() {
             let mut totals = std::collections::BTreeMap::new();
             for suite in [Suite::DaCapo, Suite::ScalaDaCapo, Suite::SpecJbb] {
                 for w in &suite_workloads(suite) {
-                    let agg =
-                        measure_per_site(w, options.clone(), DEFAULT_WARMUP, DEFAULT_ITERS);
+                    let agg = measure_per_site(w, options.clone(), DEFAULT_WARMUP, DEFAULT_ITERS);
                     for (reason, count) in agg.reason_totals() {
                         *totals.entry(reason).or_insert(0u64) += count;
                     }
@@ -97,7 +98,10 @@ fn main() {
                 .map(|(r, c)| format!("{r} {c}"))
                 .collect::<Vec<_>>()
                 .join(", ");
-            println!("    materializations: {}", if line.is_empty() { "none" } else { &line });
+            println!(
+                "    materializations: {}",
+                if line.is_empty() { "none" } else { &line }
+            );
         }
     }
     println!("\n(expect: no-lock-elision keeps monitor ops and loses part of the");

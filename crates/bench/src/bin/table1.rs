@@ -11,8 +11,7 @@
 //! and store operations it absorbed.
 
 use pea_bench::{
-    measure_per_site, render_monitor_stats, render_table, suite_rows, DEFAULT_ITERS,
-    DEFAULT_WARMUP,
+    measure_per_site, render_monitor_stats, render_table, suite_rows, DEFAULT_ITERS, DEFAULT_WARMUP,
 };
 use pea_vm::{OptLevel, VmOptions};
 use pea_workloads::{suite_workloads, Suite};

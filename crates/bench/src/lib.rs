@@ -105,9 +105,10 @@ pub fn measure_per_site(
             .unwrap_or_else(|e| panic!("{} traced run: {e}", workload.name));
     }
     drop(vm);
-    std::rc::Rc::try_unwrap(agg)
-        .expect("aggregator handle is unique once the VM is dropped")
+    std::sync::Arc::try_unwrap(agg)
+        .unwrap_or_else(|_| panic!("aggregator handle is unique once the VM is dropped"))
         .into_inner()
+        .expect("aggregator lock poisoned")
 }
 
 /// One Table 1 row: a workload measured without and with an optimization.
@@ -136,7 +137,10 @@ impl Row {
 
     /// Relative change in monitor operations.
     pub fn monitors_delta(&self) -> f64 {
-        pct(self.without.monitor_ops_per_iter, self.with.monitor_ops_per_iter)
+        pct(
+            self.without.monitor_ops_per_iter,
+            self.with.monitor_ops_per_iter,
+        )
     }
 
     /// Speedup in iterations per minute (positive = faster).

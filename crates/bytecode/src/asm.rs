@@ -351,14 +351,7 @@ pub fn parse_program(source: &str) -> Result<Program, AsmError> {
         if d.synchronized {
             mb.synchronized();
         }
-        assemble_body(
-            &mut mb,
-            &d.body,
-            &class_ids,
-            &static_ids,
-            &method_ids,
-            &pb,
-        )?;
+        assemble_body(&mut mb, &d.body, &class_ids, &static_ids, &method_ids, &pb)?;
         let method = mb.build().map_err(|e| AsmError {
             line: d.line,
             reason: format!("in method `{}`: {e}", d.name),
@@ -695,7 +688,10 @@ mod tests {
         assert!(p.method(get_value).returns_value);
         let key = p.class_by_name("Key").unwrap();
         assert!(p.declared_method_by_name(key, "equals").is_some());
-        assert!(p.method(p.declared_method_by_name(key, "equals").unwrap()).is_synchronized);
+        assert!(
+            p.method(p.declared_method_by_name(key, "equals").unwrap())
+                .is_synchronized
+        );
     }
 
     #[test]
@@ -719,10 +715,8 @@ mod tests {
 
     #[test]
     fn extends_resolves_forward() {
-        let p = parse_program(
-            "class A extends B { }\nclass B { field x int }\nmethod f 0 { ret }",
-        )
-        .unwrap();
+        let p = parse_program("class A extends B { }\nclass B { field x int }\nmethod f 0 { ret }")
+            .unwrap();
         let a = p.class_by_name("A").unwrap();
         let b = p.class_by_name("B").unwrap();
         assert_eq!(p.class(a).superclass, Some(b));

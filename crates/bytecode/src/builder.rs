@@ -5,7 +5,7 @@
 //! is bound before [`MethodBuilder::build`] succeeds.
 
 use crate::{
-    ClassId, Class, CmpOp, Field, FieldId, Insn, Method, MethodId, Program, ProgramError,
+    Class, ClassId, CmpOp, Field, FieldId, Insn, Method, MethodId, Program, ProgramError,
     StaticDecl, StaticId, ValueKind,
 };
 use std::collections::HashSet;

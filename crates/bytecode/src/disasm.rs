@@ -29,7 +29,11 @@ pub fn disassemble(program: &Program) -> String {
         let _ = writeln!(out, "static {} {}", s.name, s.kind);
     }
     for (i, method) in program.methods.iter().enumerate() {
-        out.push_str(&disassemble_method(program, MethodId::from_index(i), method));
+        out.push_str(&disassemble_method(
+            program,
+            MethodId::from_index(i),
+            method,
+        ));
     }
     out
 }
@@ -166,13 +170,13 @@ mod tests {
             && a.fields.len() == b.fields.len()
             && a.statics.len() == b.statics.len()
             && a.methods.len() == b.methods.len()
-            && a.methods
-                .iter()
-                .zip(&b.methods)
-                .all(|(x, y)| x.code == y.code && x.name == y.name
+            && a.methods.iter().zip(&b.methods).all(|(x, y)| {
+                x.code == y.code
+                    && x.name == y.name
                     && x.param_count == y.param_count
                     && x.returns_value == y.returns_value
-                    && x.is_synchronized == y.is_synchronized)
+                    && x.is_synchronized == y.is_synchronized
+            })
             && a.classes
                 .iter()
                 .zip(&b.classes)
@@ -192,7 +196,10 @@ mod tests {
 
     #[test]
     fn labels_emitted_for_targets() {
-        let p = parse_program("method f 1 returns { load 0 const 0 ifcmp lt Ln const 1 retv Ln: const -1 retv }").unwrap();
+        let p = parse_program(
+            "method f 1 returns { load 0 const 0 ifcmp lt Ln const 1 retv Ln: const -1 retv }",
+        )
+        .unwrap();
         let text = disassemble(&p);
         assert!(text.contains("L5:"), "{text}");
         assert!(text.contains("ifcmp lt L5"), "{text}");

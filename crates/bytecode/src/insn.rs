@@ -317,7 +317,14 @@ mod tests {
 
     #[test]
     fn cmp_negated_is_logical_not() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(0, 0), (1, 2), (2, 1)] {
                 assert_eq!(op.apply(a, b), !op.negated().apply(a, b));
             }
@@ -326,7 +333,14 @@ mod tests {
 
     #[test]
     fn cmp_flipped_swaps_operands() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(0, 0), (1, 2), (2, 1)] {
                 assert_eq!(op.apply(a, b), op.flipped().apply(b, a));
             }

@@ -152,6 +152,15 @@ pub struct Program {
     pub statics: Vec<StaticDecl>,
 }
 
+// The VM shares one `Arc<Program>` with background compiler threads, so
+// the program (and everything reachable from it) must stay thread-safe.
+// This trips at compile time if an `Rc`/`RefCell`/raw pointer ever sneaks
+// into the arenas.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+};
+
 impl Program {
     /// Access a class by id.
     ///

@@ -22,7 +22,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "method {} @ bci {}: {}", self.method, self.bci, self.reason)
+        write!(
+            f,
+            "method {} @ bci {}: {}",
+            self.method, self.bci, self.reason
+        )
     }
 }
 
@@ -149,7 +153,11 @@ pub fn verify_method(program: &Program, id: MethodId) -> Result<(), VerifyError>
         let insn = method.code[bci];
         let (pops, pushes) = stack_effect(program, insn);
         if h < pops {
-            return Err(err(id, bci, format!("stack underflow: height {h}, pops {pops}")));
+            return Err(err(
+                id,
+                bci,
+                format!("stack underflow: height {h}, pops {pops}"),
+            ));
         }
         let out = h - pops + pushes;
         if insn.is_terminator() {

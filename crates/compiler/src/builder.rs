@@ -196,7 +196,11 @@ fn analyze_bytecode(code: &[Insn]) -> BcCfg {
             leaders.insert(i as u32 + 1);
         }
     }
-    let leader_list: Vec<u32> = leaders.iter().copied().filter(|&l| (l as usize) < code.len()).collect();
+    let leader_list: Vec<u32> = leaders
+        .iter()
+        .copied()
+        .filter(|&l| (l as usize) < code.len())
+        .collect();
     let mut blocks = BTreeMap::new();
     for (k, &start) in leader_list.iter().enumerate() {
         let next_leader = leader_list.get(k + 1).copied().unwrap_or(code.len() as u32);
@@ -593,7 +597,9 @@ impl<'a> GraphBuilder<'a> {
         };
         let end = self.graph.add(NodeKind::End, vec![]);
         self.graph.set_next(attach, end);
-        let loop_begin = self.graph.add(NodeKind::LoopBegin { ends: vec![end] }, vec![]);
+        let loop_begin = self
+            .graph
+            .add(NodeKind::LoopBegin { ends: vec![end] }, vec![]);
         let mut template = entry_state.clone();
         let mut phis = Vec::new();
         for slot in 0..template.locals.len() + template.stack.len() {
@@ -603,7 +609,9 @@ impl<'a> GraphBuilder<'a> {
             } else {
                 template.stack[slot - n_locals]
             };
-            let phi = self.graph.add(NodeKind::Phi { merge: loop_begin }, vec![value]);
+            let phi = self
+                .graph
+                .add(NodeKind::Phi { merge: loop_begin }, vec![value]);
             phis.push(phi);
             if slot < n_locals {
                 template.locals[slot] = phi;
@@ -656,7 +664,10 @@ impl<'a> GraphBuilder<'a> {
         if ctx.processed.contains(&target) {
             return Err(Bailout::Irreducible);
         }
-        ctx.incoming.entry(target).or_default().push((attach, state));
+        ctx.incoming
+            .entry(target)
+            .or_default()
+            .push((attach, state));
         Ok(())
     }
 
@@ -752,7 +763,13 @@ impl<'a> GraphBuilder<'a> {
                 let v = state.stack.pop().expect("verified stack");
                 state.locals[n as usize] = v;
             }
-            Insn::Add | Insn::Sub | Insn::Mul | Insn::And | Insn::Or | Insn::Xor | Insn::Shl
+            Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::And
+            | Insn::Or
+            | Insn::Xor
+            | Insn::Shl
             | Insn::Shr => {
                 let b = state.stack.pop().expect("stack");
                 let a = state.stack.pop().expect("stack");
@@ -905,9 +922,13 @@ impl<'a> GraphBuilder<'a> {
             }
             Insn::InstanceOf(class) => {
                 let v = state.stack.pop().expect("stack");
-                let n = self
-                    .graph
-                    .add(NodeKind::InstanceOf { class, exact: false }, vec![v]);
+                let n = self.graph.add(
+                    NodeKind::InstanceOf {
+                        class,
+                        exact: false,
+                    },
+                    vec![v],
+                );
                 self.append(tail, n);
                 state.stack.push(n);
             }
@@ -959,9 +980,7 @@ impl<'a> GraphBuilder<'a> {
                 if let Some(entry) = state.locks.last().cloned() {
                     if entry.from_sync {
                         state.locks.pop();
-                        let mx = self
-                            .graph
-                            .add(NodeKind::MonitorExit, vec![entry.object]);
+                        let mx = self.graph.add(NodeKind::MonitorExit, vec![entry.object]);
                         self.append(tail, mx);
                         let mut st = state.clone();
                         if let Some(v) = value {
@@ -1007,11 +1026,14 @@ impl<'a> GraphBuilder<'a> {
         let mut needs_type_guard = None;
         let mut devirtualized = !virtual_call;
         if virtual_call {
-            let mono = self.profiles.and_then(|p| p.receiver(ctx.method, bci)).and_then(|r| {
-                (r.total() >= self.options.devirtualize_threshold)
-                    .then(|| r.monomorphic_class())
-                    .flatten()
-            });
+            let mono = self
+                .profiles
+                .and_then(|p| p.receiver(ctx.method, bci))
+                .and_then(|r| {
+                    (r.total() >= self.options.devirtualize_threshold)
+                        .then(|| r.monomorphic_class())
+                        .flatten()
+                });
             match mono {
                 Some(class) => {
                     resolved = self
@@ -1093,9 +1115,7 @@ impl<'a> GraphBuilder<'a> {
             if exits.is_empty() {
                 // The callee never returns (always throws); compiling the
                 // continuation is pointless — bail and keep interpreting.
-                return Err(Bailout::Unsupported(
-                    "inlined callee never returns".into(),
-                ));
+                return Err(Bailout::Unsupported("inlined callee never returns".into()));
             }
             let (cont_tail, ret_val) = if exits.len() == 1 {
                 exits.into_iter().next().unwrap()
@@ -1183,7 +1203,8 @@ mod tests {
         pea_bytecode::verify_program(&program).unwrap();
         let method = program.static_method_by_name(entry).unwrap();
         let g = build_graph(&program, method, None, &BuildOptions::default()).unwrap();
-        verify(&g).unwrap_or_else(|e| panic!("graph does not verify: {e}\n{}", pea_ir::dump::dump(&g)));
+        verify(&g)
+            .unwrap_or_else(|e| panic!("graph does not verify: {e}\n{}", pea_ir::dump::dump(&g)));
         g
     }
 
@@ -1193,7 +1214,10 @@ mod tests {
 
     #[test]
     fn straight_line_arithmetic() {
-        let g = build("method f 2 returns { load 0 load 1 add const 2 mul retv }", "f");
+        let g = build(
+            "method f 2 returns { load 0 load 1 add const 2 mul retv }",
+            "f",
+        );
         assert_eq!(count(&g, |k| matches!(k, NodeKind::Return)), 1);
         assert_eq!(count(&g, |k| matches!(k, NodeKind::Arith { .. })), 2);
     }
@@ -1293,9 +1317,9 @@ mod tests {
         assert_eq!(count(&g, |k| matches!(k, NodeKind::MonitorEnter)), 1);
         assert_eq!(count(&g, |k| matches!(k, NodeKind::MonitorExit)), 1);
         // Inner frame states chain to the caller.
-        let has_outer = g.live_nodes().any(|n| {
-            matches!(g.kind(n), NodeKind::FrameState(d) if d.has_outer)
-        });
+        let has_outer = g
+            .live_nodes()
+            .any(|n| matches!(g.kind(n), NodeKind::FrameState(d) if d.has_outer));
         assert!(has_outer, "inlined frame states must chain to the caller");
     }
 

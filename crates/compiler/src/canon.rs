@@ -57,11 +57,7 @@ pub fn canonicalize(graph: &mut Graph) -> CanonResult {
             .collect();
         for phi in phis {
             let inputs = graph.node(phi).inputs().to_vec();
-            let distinct: Vec<NodeId> = inputs
-                .iter()
-                .copied()
-                .filter(|&i| i != phi)
-                .collect();
+            let distinct: Vec<NodeId> = inputs.iter().copied().filter(|&i| i != phi).collect();
             if distinct.is_empty() {
                 continue;
             }

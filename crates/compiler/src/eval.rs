@@ -103,9 +103,8 @@ pub fn evaluate(
             let mut updates = Vec::with_capacity(phis.len());
             for phi in phis {
                 let input = graph.node(phi).inputs()[idx];
-                let v = values[input.index()].ok_or_else(|| {
-                    VmError::Internal(format!("phi input {input} not computed"))
-                })?;
+                let v = values[input.index()]
+                    .ok_or_else(|| VmError::Internal(format!("phi input {input} not computed")))?;
                 updates.push((phi, v));
             }
             for (phi, v) in updates {
@@ -123,8 +122,11 @@ pub fn evaluate(
                     .ok_or_else(|| VmError::Internal(format!("value {id} not computed")))
             };
             match graph.kind(n) {
-                NodeKind::Start | NodeKind::Begin | NodeKind::LoopExit { .. }
-                | NodeKind::Merge { .. } | NodeKind::LoopBegin { .. } => {}
+                NodeKind::Start
+                | NodeKind::Begin
+                | NodeKind::LoopExit { .. }
+                | NodeKind::Merge { .. }
+                | NodeKind::LoopBegin { .. } => {}
                 NodeKind::Param { index } => {
                     set(&mut values, n, args[*index as usize]);
                 }

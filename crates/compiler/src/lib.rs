@@ -31,4 +31,6 @@ pub mod pipeline;
 
 pub use builder::{build_graph, Bailout, BuildOptions};
 pub use eval::{evaluate, DeoptFrame, EvalEnv, EvalOutcome};
-pub use pipeline::{compile, compile_traced, CompiledMethod, CompilerOptions, OptLevel};
+pub use pipeline::{
+    compile, compile_traced, CompiledMethod, CompilerOptions, OptLevel, PhaseTimes,
+};

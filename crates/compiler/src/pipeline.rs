@@ -11,6 +11,7 @@ use pea_ir::schedule::Schedule;
 use pea_ir::Graph;
 use pea_runtime::profile::ProfileStore;
 use pea_trace::{TraceEvent, TraceSink, Tracer};
+use std::time::{Duration, Instant};
 
 /// Which escape analysis the pipeline runs — the three configurations the
 /// paper's evaluation compares (§6: none vs. PEA; §6.2: the
@@ -71,6 +72,38 @@ impl Default for CompilerOptions {
     }
 }
 
+/// Wall-clock time spent in each compilation phase, for the compile-speed
+/// benchmark and compile-service telemetry. Purely observational: two
+/// compilations of the same method differ only here, never in the
+/// artifact itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Bytecode → graph construction (including inlining).
+    pub build: Duration,
+    /// All canonicalization passes (constant folding, GVN, phi
+    /// simplification), across every run.
+    pub canonicalize: Duration,
+    /// The escape-analysis phase (all `ea_iterations` rounds).
+    pub escape_analysis: Duration,
+    /// CFG construction, dominators and scheduling.
+    pub schedule: Duration,
+}
+
+impl PhaseTimes {
+    /// Accumulates another compilation's phase times into this one.
+    pub fn absorb(&mut self, other: &PhaseTimes) {
+        self.build += other.build;
+        self.canonicalize += other.canonicalize;
+        self.escape_analysis += other.escape_analysis;
+        self.schedule += other.schedule;
+    }
+
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.build + self.canonicalize + self.escape_analysis + self.schedule
+    }
+}
+
 /// The compiled form of a method: the optimized graph plus the CFG and
 /// schedule the evaluator executes.
 #[derive(Clone, Debug)]
@@ -86,9 +119,23 @@ pub struct CompiledMethod {
     /// Scheduled node count — the "machine code size" for the cost
     /// model's instruction-cache term.
     pub code_size: u64,
-    /// What the escape-analysis phase did (for reporting).
+    /// What the escape-analysis phase did (for reporting), aggregated
+    /// across every `ea_iterations` round.
     pub pea_result: PeaResult,
+    /// Wall-clock per-phase compile times (observational; excluded from
+    /// artifact-equality comparisons).
+    pub times: PhaseTimes,
 }
+
+// Compile requests cross thread boundaries in the background compile
+// service, and finished artifacts are shared between the VM and the
+// service, so both directions must be thread-safe by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledMethod>();
+    assert_send_sync::<CompilerOptions>();
+    assert_send_sync::<ProfileStore>();
+};
 
 /// Compiles `method` at the given options.
 ///
@@ -133,14 +180,20 @@ fn compile_impl<'a>(
         method: program.method(method).qualified_name(program),
         level: options.opt_level.to_string(),
     });
+    let mut times = PhaseTimes::default();
+    let t = Instant::now();
     let mut graph = build_graph(program, method, profiles, &options.build)?;
+    times.build = t.elapsed();
     debug_assert_verify(&graph, "after build");
+    let t = Instant::now();
     canonicalize(&mut graph);
     graph.prune_dead();
+    times.canonicalize += t.elapsed();
     debug_assert_verify(&graph, "after canonicalize");
 
     let mut pea_result = PeaResult::default();
-    for round in 0..options.ea_iterations.max(1) {
+    for _ in 0..options.ea_iterations.max(1) {
+        let t = Instant::now();
         let r = match options.opt_level {
             OptLevel::None => PeaResult::default(),
             OptLevel::Ees => run_ees(&mut graph, program, &options.pea),
@@ -149,12 +202,16 @@ fn compile_impl<'a>(
                 None => run_pea(&mut graph, program, &options.pea),
             },
         };
+        times.escape_analysis += t.elapsed();
         debug_assert_verify(&graph, "after escape analysis");
+        let t = Instant::now();
         canonicalize(&mut graph);
         graph.prune_dead();
-        if round == 0 {
-            pea_result = r;
-        } else if !r.changed() {
+        times.canonicalize += t.elapsed();
+        // Every round's counters are real graph changes: report the sum,
+        // not just the first round's.
+        pea_result.absorb(&r);
+        if !r.changed() {
             break;
         }
     }
@@ -167,9 +224,11 @@ fn compile_impl<'a>(
         return Err(Bailout::Unsupported(format!("verification failed: {e}")));
     }
 
+    let t = Instant::now();
     let cfg = Cfg::build(&graph);
     let dom = DomTree::build(&cfg);
     let schedule = Schedule::build(&graph, &cfg, &dom);
+    times.schedule = t.elapsed();
     let code_size = schedule.code_size();
     tracer.emit_with(|| TraceEvent::CompileEnd {
         method: program.method(method).qualified_name(program),
@@ -182,6 +241,7 @@ fn compile_impl<'a>(
         schedule,
         code_size,
         pea_result,
+        times,
     })
 }
 

@@ -101,17 +101,17 @@ fn irreducible_control_flow_bails_out() {
             // The classic irreducible pair: a cycle A ⇄ B entered at both
             // A (fall-through) and B (branch) — neither dominates the
             // other, so there is no natural loop header.
-            Insn::Load(0),                          // 0
-            Insn::Const(0),                         // 1
+            Insn::Load(0),                           // 0
+            Insn::Const(0),                          // 1
             Insn::IfCmp(pea_bytecode::CmpOp::Eq, 6), // 2: entry → B
-            Insn::Const(1),                         // 3: A
-            Insn::Store(1),                         // 4
-            Insn::Goto(6),                          // 5: A → B
-            Insn::Load(1),                          // 6: B
-            Insn::Const(5),                         // 7
+            Insn::Const(1),                          // 3: A
+            Insn::Store(1),                          // 4
+            Insn::Goto(6),                           // 5: A → B
+            Insn::Load(1),                           // 6: B
+            Insn::Const(5),                          // 7
             Insn::IfCmp(pea_bytecode::CmpOp::Lt, 3), // 8: B → A (cycle)
-            Insn::Load(1),                          // 9: exit
-            Insn::ReturnValue,                      // 10
+            Insn::Load(1),                           // 9: exit
+            Insn::ReturnValue,                       // 10
         ],
     };
     pb.add_method(method);

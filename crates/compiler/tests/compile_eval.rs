@@ -4,7 +4,9 @@
 
 use pea_bytecode::asm::parse_program;
 use pea_bytecode::{MethodId, Program};
-use pea_compiler::{compile, evaluate, CompilerOptions, DeoptFrame, EvalEnv, EvalOutcome, OptLevel};
+use pea_compiler::{
+    compile, evaluate, CompilerOptions, DeoptFrame, EvalEnv, EvalOutcome, OptLevel,
+};
 use pea_runtime::profile::ProfileStore;
 use pea_runtime::{Heap, Statics, Value, VmError};
 
@@ -173,11 +175,9 @@ fn pea_is_cheaper_in_cycles_on_hit_path() {
         .unwrap();
         let mut env = TestEnv::new(&program);
         // miss (seeds cache), then hit
-        evaluate(&program, &mut env, &code, &[Value::Int(1), Value::Null])
-            .unwrap();
+        evaluate(&program, &mut env, &code, &[Value::Int(1), Value::Null]).unwrap();
         let before = env.heap.stats;
-        let out = evaluate(&program, &mut env, &code, &[Value::Int(1), Value::Null])
-            .unwrap();
+        let out = evaluate(&program, &mut env, &code, &[Value::Int(1), Value::Null]).unwrap();
         assert_eq!(out, EvalOutcome::Return(Some(Value::Int(77))));
         let delta = env.heap.stats.delta(&before);
         match level {
@@ -236,15 +236,15 @@ fn guard_deopt_reconstructs_frames_with_rematerialized_object() {
     };
     assert_eq!(frames.len(), 1);
     let DeoptFrame {
-        method: m,
-        locals,
-        ..
+        method: m, locals, ..
     } = &frames[0];
     assert_eq!(*m, method);
     assert_eq!(env.heap.stats.rematerialized, 1);
     // local 1 is the rematerialized box with v = 500.
     let obj = locals[1].as_ref().expect("box reference");
-    let field = program.field_by_name(program.class_by_name("Box").unwrap(), "v").unwrap();
+    let field = program
+        .field_by_name(program.class_by_name("Box").unwrap(), "v")
+        .unwrap();
     assert_eq!(
         env.heap.get_field(&program, obj, field).unwrap(),
         Value::Int(500)

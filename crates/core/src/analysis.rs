@@ -67,6 +67,21 @@ pub struct PeaResult {
 }
 
 impl PeaResult {
+    /// Accumulates the counters of another analysis round. The pipeline
+    /// may run the escape-analysis phase several times (the compiler's
+    /// `ea_iterations` knob); the reported result is the sum over every
+    /// round, since each round's counters describe real, distinct graph
+    /// changes.
+    pub fn absorb(&mut self, other: &PeaResult) {
+        self.virtualized_allocs += other.virtualized_allocs;
+        self.deleted_loads += other.deleted_loads;
+        self.deleted_stores += other.deleted_stores;
+        self.elided_monitors += other.elided_monitors;
+        self.folded_checks += other.folded_checks;
+        self.materializations += other.materializations;
+        self.loop_rounds += other.loop_rounds;
+    }
+
     /// Whether the graph was changed at all.
     pub fn changed(&self) -> bool {
         self.virtualized_allocs
@@ -190,16 +205,13 @@ impl<'a> PeaContext<'a> {
         match self.graph.kind(first).clone() {
             NodeKind::Start => PeaState::new(),
             NodeKind::Merge { ends } => {
-                let anchors: Vec<(NodeId, BlockId)> = ends
-                    .iter()
-                    .map(|&e| (e, self.cfg.block_of(e)))
-                    .collect();
+                let anchors: Vec<(NodeId, BlockId)> =
+                    ends.iter().map(|&e| (e, self.cfg.block_of(e))).collect();
                 let mut pred_states: Vec<PeaState> = anchors
                     .iter()
                     .map(|(_, pb)| self.states.get(pb).cloned().unwrap_or_default())
                     .collect();
-                let merged =
-                    crate::merge::merge_states(self, first, &mut pred_states, &anchors);
+                let merged = crate::merge::merge_states(self, first, &mut pred_states, &anchors);
                 // Write back pred mutations (merge materializations).
                 for ((_, pb), st) in anchors.iter().zip(pred_states) {
                     self.states.insert(*pb, st);
@@ -222,9 +234,15 @@ impl<'a> PeaContext<'a> {
     /// Processes the fixed nodes of one block, storing its out-state.
     fn process_block_nodes(&mut self, b: BlockId, mut state: PeaState) {
         self.clear_block_effects(b);
-        let nodes = self.cfg.block(b).nodes.clone();
-        for n in nodes {
+        // Indexed iteration instead of cloning the node list: graph
+        // mutations are deferred as `Effect`s, so the CFG's block
+        // membership is stable during analysis, but `process_node` needs
+        // `&mut self` and would otherwise force a per-block Vec clone on
+        // the analysis hot path.
+        let mut i = 0;
+        while let Some(&n) = self.cfg.block(b).nodes.get(i) {
             crate::process::process_node(self, &mut state, n, b);
+            i += 1;
         }
         self.states.insert(b, state);
     }
@@ -236,11 +254,7 @@ impl<'a> PeaContext<'a> {
         let ends = self.graph.merge_ends(loop_begin).to_vec();
         let entry_end = ends[0];
         let entry_block = self.cfg.block_of(entry_end);
-        let mut speculative = self
-            .states
-            .get(&entry_block)
-            .cloned()
-            .unwrap_or_default();
+        let mut speculative = self.states.get(&entry_block).cloned().unwrap_or_default();
 
         if !self.options.loop_processing {
             // Ablation: no loop support — everything live at entry exists.
@@ -290,16 +304,13 @@ impl<'a> PeaContext<'a> {
             self.process_blocks(&body);
 
             // Merge entry + back-edge states.
-            let anchors: Vec<(NodeId, BlockId)> = ends
-                .iter()
-                .map(|&e| (e, self.cfg.block_of(e)))
-                .collect();
+            let anchors: Vec<(NodeId, BlockId)> =
+                ends.iter().map(|&e| (e, self.cfg.block_of(e))).collect();
             let mut pred_states: Vec<PeaState> = anchors
                 .iter()
                 .map(|(_, pb)| self.states.get(pb).cloned().unwrap_or_default())
                 .collect();
-            let merged =
-                crate::merge::merge_states(self, loop_begin, &mut pred_states, &anchors);
+            let merged = crate::merge::merge_states(self, loop_begin, &mut pred_states, &anchors);
             // Write back (entry materializations must persist).
             for ((_, pb), st) in anchors.iter().zip(pred_states) {
                 self.states.insert(*pb, st);

@@ -184,10 +184,7 @@ mod tests {
     #[test]
     fn insert_before_splices_commit() {
         let (mut g, _p, load1, _load2, _ret) = chain_graph();
-        let commit = g.add(
-            NodeKind::Commit { objects: vec![] },
-            vec![],
-        );
+        let commit = g.add(NodeKind::Commit { objects: vec![] }, vec![]);
         let mut applier = EffectApplier::new();
         applier.apply(
             &mut g,

@@ -12,8 +12,7 @@
 //! * [`listing8_graph`] — the frame-state example of Listing 8 / Figure 8.
 
 use pea_bytecode::{
-    ClassId, CmpOp, FieldId, MethodBuilder, MethodId, Program, ProgramBuilder, StaticId,
-    ValueKind,
+    ClassId, CmpOp, FieldId, MethodBuilder, MethodId, Program, ProgramBuilder, StaticId, ValueKind,
 };
 use pea_ir::{FrameStateData, Graph, NodeId, NodeKind};
 
@@ -94,12 +93,7 @@ pub fn listing5_graph(p: &KeyProgram) -> (Graph, Listing5) {
     let rf = g.add(NodeKind::Param { index: 1 }, vec![]);
 
     // Key key = new Key(idx, ref);   (constructor inlined)
-    let new_key = g.add(
-        NodeKind::New {
-            class: p.key_class,
-        },
-        vec![],
-    );
+    let new_key = g.add(NodeKind::New { class: p.key_class }, vec![]);
     g.set_next(g.start, new_key);
     let entry_state = g.add_frame_state(
         FrameStateData::new(p.m_get_value, 0, 2, 0, 0, false),
@@ -122,12 +116,7 @@ pub fn listing5_graph(p: &KeyProgram) -> (Graph, Listing5) {
     let _ = entry_state;
 
     // Key tmp1 = cacheKey;
-    let load_cache_key = g.add(
-        NodeKind::GetStatic {
-            id: p.s_cache_key,
-        },
-        vec![],
-    );
+    let load_cache_key = g.add(NodeKind::GetStatic { id: p.s_cache_key }, vec![]);
     g.set_next(store_ref, load_cache_key);
 
     // synchronized (key) { tmp2 = key.idx == tmp1.idx && key.ref == tmp1.ref }
@@ -145,10 +134,7 @@ pub fn listing5_graph(p: &KeyProgram) -> (Graph, Listing5) {
 
     let load_key_idx = g.add(NodeKind::LoadField { field: p.f_idx }, vec![new_key]);
     g.set_next(monitor_enter, load_key_idx);
-    let load_tmp_idx = g.add(
-        NodeKind::LoadField { field: p.f_idx },
-        vec![load_cache_key],
-    );
+    let load_tmp_idx = g.add(NodeKind::LoadField { field: p.f_idx }, vec![load_cache_key]);
     g.set_next(load_key_idx, load_tmp_idx);
     let cmp_idx = g.add(
         NodeKind::Compare { op: CmpOp::Eq },
@@ -156,10 +142,7 @@ pub fn listing5_graph(p: &KeyProgram) -> (Graph, Listing5) {
     );
     let load_key_ref = g.add(NodeKind::LoadField { field: p.f_ref }, vec![new_key]);
     g.set_next(load_tmp_idx, load_key_ref);
-    let load_tmp_ref = g.add(
-        NodeKind::LoadField { field: p.f_ref },
-        vec![load_cache_key],
-    );
+    let load_tmp_ref = g.add(NodeKind::LoadField { field: p.f_ref }, vec![load_cache_key]);
     g.set_next(load_key_ref, load_tmp_ref);
     let cmp_ref = g.add(NodeKind::RefEq, vec![load_key_ref, load_tmp_ref]);
     g.set_next(load_tmp_ref, cmp_ref);
@@ -197,12 +180,7 @@ pub fn listing5_graph(p: &KeyProgram) -> (Graph, Listing5) {
     g.set_next(load_cache_value, return_hit);
 
     // miss: cacheKey = key; cacheValue = createValue(); return cacheValue
-    let put_cache_key = g.add(
-        NodeKind::PutStatic {
-            id: p.s_cache_key,
-        },
-        vec![new_key],
-    );
+    let put_cache_key = g.add(NodeKind::PutStatic { id: p.s_cache_key }, vec![new_key]);
     g.set_next(miss, put_cache_key);
     let st5 = g.add_frame_state(
         FrameStateData::new(p.m_get_value, 5, 3, 0, 0, false),
@@ -265,12 +243,7 @@ pub fn fig7_loop_graph(p: &KeyProgram) -> (Graph, NodeId) {
     let mut g = Graph::new();
     let p0 = g.add(NodeKind::Param { index: 0 }, vec![]);
     let p1 = g.add(NodeKind::Param { index: 1 }, vec![]);
-    let new_key = g.add(
-        NodeKind::New {
-            class: p.key_class,
-        },
-        vec![],
-    );
+    let new_key = g.add(NodeKind::New { class: p.key_class }, vec![]);
     g.set_next(g.start, new_key);
     let zero = g.const_int(0);
     let store0 = g.add(NodeKind::StoreField { field: p.f_idx }, vec![new_key, zero]);
@@ -362,12 +335,7 @@ pub fn fig7_loop_graph(p: &KeyProgram) -> (Graph, NodeId) {
 pub fn listing8_graph(p: &KeyProgram) -> (Graph, NodeId, NodeId) {
     let mut g = Graph::new();
     let x = g.add(NodeKind::Param { index: 0 }, vec![]);
-    let new_int = g.add(
-        NodeKind::New {
-            class: p.key_class,
-        },
-        vec![],
-    );
+    let new_int = g.add(NodeKind::New { class: p.key_class }, vec![]);
     g.set_next(g.start, new_int);
 
     // Inlined constructor store with inner state chained to the outer.
@@ -385,12 +353,7 @@ pub fn listing8_graph(p: &KeyProgram) -> (Graph, NodeId, NodeId) {
 
     // global = null;
     let null = g.const_null();
-    let put = g.add(
-        NodeKind::PutStatic {
-            id: p.s_cache_key,
-        },
-        vec![null],
-    );
+    let put = g.add(NodeKind::PutStatic { id: p.s_cache_key }, vec![null]);
     g.set_next(store, put);
     let after = g.add_frame_state(
         FrameStateData::new(p.m_get_value, 13, 2, 0, 0, false),

@@ -42,7 +42,10 @@ fn rewrite_one(
     ctx.rewritten_states.insert(fs, block);
     let data = ctx.graph.frame_state_data(fs).clone();
     let inputs = ctx.graph.node(fs).inputs().to_vec();
-    let value_slots = data.locals_range().chain(data.stack_range()).chain(data.locks_range());
+    let value_slots = data
+        .locals_range()
+        .chain(data.stack_range())
+        .chain(data.locks_range());
     for i in value_slots {
         let v = inputs[i];
         if let Some(id) = state.alias_of(v) {

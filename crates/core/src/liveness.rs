@@ -94,7 +94,11 @@ fn add_frame_state_refs(graph: &Graph, fs: NodeId, set: &mut NodeSet) {
 /// (data inputs, frame-state slots including outer chains). Phis defined
 /// at the block head are killed; their inputs are generated at the
 /// predecessors instead.
-fn transfer_block(graph: &Graph, block: &crate::liveness::BlockRef<'_>, live_out: &NodeSet) -> NodeSet {
+fn transfer_block(
+    graph: &Graph,
+    block: &crate::liveness::BlockRef<'_>,
+    live_out: &NodeSet,
+) -> NodeSet {
     let mut live = live_out.clone();
     for &node in block.nodes.iter().rev() {
         live.remove(node);
@@ -220,7 +224,10 @@ mod tests {
         let live = live_at_entry(&g, &cfg);
         let tb = cfg.block_of(t);
         let fb = cfg.block_of(f);
-        assert!(live[tb.index()].contains(new), "true branch uses the object");
+        assert!(
+            live[tb.index()].contains(new),
+            "true branch uses the object"
+        );
         assert!(!live[fb.index()].contains(new), "false branch does not");
         // The definition kills upwards: the object is not live-in at its
         // own defining block.

@@ -63,8 +63,11 @@ pub(crate) fn merge_states(
                     })
                 })
             };
-            let mut keep: Vec<AllocId> =
-                candidates.iter().copied().filter(|&id| directly_live(id)).collect();
+            let mut keep: Vec<AllocId> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| directly_live(id))
+                .collect();
             // Transitive closure: fields of live objects keep their
             // referents alive.
             let mut i = 0;
@@ -88,18 +91,13 @@ pub(crate) fn merge_states(
         };
         // Aliases common to all predecessors (same node → same id).
         for (&node, &id) in &pred_states[0].aliases {
-            if surviving.contains(&id)
-                && pred_states
-                    .iter()
-                    .all(|s| s.alias_of(node) == Some(id))
-            {
+            if surviving.contains(&id) && pred_states.iter().all(|s| s.alias_of(node) == Some(id)) {
                 merged.aliases.insert(node, id);
             }
         }
 
         for &id in &surviving {
-            let obj_states: Vec<&ObjectState> =
-                pred_states.iter().map(|s| s.object(id)).collect();
+            let obj_states: Vec<&ObjectState> = pred_states.iter().map(|s| s.object(id)).collect();
             let all_virtual = obj_states.iter().all(|s| s.is_virtual());
             let all_escaped = obj_states.iter().all(|s| !s.is_virtual());
 
@@ -168,9 +166,12 @@ pub(crate) fn merge_states(
             } else {
                 cached_phi(ctx, merge_node, id, MAT_PHI_KEY, &values)
             };
-            merged
-                .states
-                .insert(id, ObjectState::Escaped { materialized: value });
+            merged.states.insert(
+                id,
+                ObjectState::Escaped {
+                    materialized: value,
+                },
+            );
         }
 
         if ctx.materialize_ticks != ticks_at_start {
@@ -195,7 +196,10 @@ pub(crate) fn merge_states(
                 .collect();
             if let Some(first) = ids[0] {
                 if ids.iter().all(|&i| i == Some(first))
-                    && merged.states.get(&first).is_some_and(ObjectState::is_virtual)
+                    && merged
+                        .states
+                        .get(&first)
+                        .is_some_and(ObjectState::is_virtual)
                 {
                     // All inputs refer to the same (still virtual) object:
                     // the phi becomes an alias (Fig. 6c).

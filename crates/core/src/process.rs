@@ -41,7 +41,7 @@ pub(crate) fn materialize(
         let ObjectState::Virtual { fields, .. } = state.object(member) else {
             unreachable!("materializing a non-virtual object");
         };
-        for &v in fields.clone().iter() {
+        for &v in fields {
             if let Some(child) = state.virtual_alias(v) {
                 if !group.contains(&child) {
                     group.push(child);
@@ -65,7 +65,10 @@ pub(crate) fn materialize(
         .collect();
     let commit = ctx.graph.add(NodeKind::Commit { objects }, vec![]);
     let allocated: Vec<NodeId> = (0..group.len())
-        .map(|index| ctx.graph.add(NodeKind::AllocatedObject { index }, vec![commit]))
+        .map(|index| {
+            ctx.graph
+                .add(NodeKind::AllocatedObject { index }, vec![commit])
+        })
         .collect();
 
     // Snapshot field values, then mark the group escaped.
@@ -602,9 +605,7 @@ pub(crate) fn process_node(
             match state.virtual_alias(a) {
                 Some(id) => {
                     let passes = match ctx.infos[id.index()].shape {
-                        AllocShape::Instance { class: c } => {
-                            ctx.program.is_subclass_of(c, class)
-                        }
+                        AllocShape::Instance { class: c } => ctx.program.is_subclass_of(c, class),
                         AllocShape::Array { .. } => false,
                     };
                     if passes {

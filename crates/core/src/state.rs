@@ -163,11 +163,7 @@ impl PeaState {
             match state {
                 ObjectState::Virtual { fields, lock_count } => {
                     let fs: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
-                    let _ = writeln!(
-                        out,
-                        "  {shape} {id}  v {lock_count} [{}]",
-                        fs.join(", ")
-                    );
+                    let _ = writeln!(out, "  {shape} {id}  v {lock_count} [{}]", fs.join(", "));
                 }
                 ObjectState::Escaped { materialized } => {
                     let _ = writeln!(out, "  {shape} {id}  e -> {materialized}");
@@ -218,10 +214,7 @@ mod tests {
         };
         assert_eq!(s.virtual_alias(NodeId(5)), None);
         assert_eq!(s.alias_of(NodeId(5)), Some(AllocId(0)));
-        assert_eq!(
-            s.object(AllocId(0)).materialized_value(),
-            Some(NodeId(9))
-        );
+        assert_eq!(s.object(AllocId(0)).materialized_value(), Some(NodeId(9)));
     }
 
     #[test]

@@ -33,7 +33,12 @@ fn virtual_array_constant_accesses_fold() {
     let mut g = Graph::new();
     let p = g.add(NodeKind::Param { index: 0 }, vec![]);
     let len = g.const_int(3);
-    let arr = g.add(NodeKind::NewArray { kind: ValueKind::Int }, vec![len]);
+    let arr = g.add(
+        NodeKind::NewArray {
+            kind: ValueKind::Int,
+        },
+        vec![len],
+    );
     g.set_next(g.start, arr);
     let idx1 = g.const_int(1);
     let store = g.add(NodeKind::StoreIndexed, vec![arr, idx1, p]);
@@ -45,7 +50,9 @@ fn virtual_array_constant_accesses_fold() {
     let alen = g.add(NodeKind::ArrayLen, vec![arr]);
     g.set_next(load, alen);
     let sum = g.add(
-        NodeKind::Arith { op: pea_ir::ArithOp::Add },
+        NodeKind::Arith {
+            op: pea_ir::ArithOp::Add,
+        },
         vec![load, alen],
     );
     let ret = g.add(NodeKind::Return, vec![sum]);
@@ -69,7 +76,12 @@ fn dynamic_index_materializes_the_array() {
     let mut g = Graph::new();
     let p = g.add(NodeKind::Param { index: 0 }, vec![]);
     let len = g.const_int(4);
-    let arr = g.add(NodeKind::NewArray { kind: ValueKind::Int }, vec![len]);
+    let arr = g.add(
+        NodeKind::NewArray {
+            kind: ValueKind::Int,
+        },
+        vec![len],
+    );
     g.set_next(g.start, arr);
     // Store at a non-constant index: the array must exist.
     let store = g.add(NodeKind::StoreIndexed, vec![arr, p, p]);
@@ -106,7 +118,12 @@ fn oversized_array_is_not_virtualized() {
     let (program, ..) = hierarchy();
     let mut g = Graph::new();
     let len = g.const_int(1000);
-    let arr = g.add(NodeKind::NewArray { kind: ValueKind::Int }, vec![len]);
+    let arr = g.add(
+        NodeKind::NewArray {
+            kind: ValueKind::Int,
+        },
+        vec![len],
+    );
     g.set_next(g.start, arr);
     let ret = g.add(NodeKind::Return, vec![]);
     g.set_next(arr, ret);
@@ -150,14 +167,23 @@ fn instanceof_folds_with_hierarchy() {
     let isnull = g.add(NodeKind::IsNull, vec![obj]);
     g.set_next(io_other, isnull);
     let s1 = g.add(
-        NodeKind::Arith { op: pea_ir::ArithOp::Add },
+        NodeKind::Arith {
+            op: pea_ir::ArithOp::Add,
+        },
         vec![io_base, io_base_exact],
     );
     let s2 = g.add(
-        NodeKind::Arith { op: pea_ir::ArithOp::Add },
+        NodeKind::Arith {
+            op: pea_ir::ArithOp::Add,
+        },
         vec![io_other, isnull],
     );
-    let s3 = g.add(NodeKind::Arith { op: pea_ir::ArithOp::Add }, vec![s1, s2]);
+    let s3 = g.add(
+        NodeKind::Arith {
+            op: pea_ir::ArithOp::Add,
+        },
+        vec![s1, s2],
+    );
     let ret = g.add(NodeKind::Return, vec![s3]);
     g.set_next(isnull, ret);
     verify(&g).unwrap();
@@ -320,7 +346,9 @@ fn nested_loops_keep_object_virtual() {
     g.set_next(inner, load_i);
     let one = g.const_int(1);
     let inc = g.add(
-        NodeKind::Arith { op: pea_ir::ArithOp::Add },
+        NodeKind::Arith {
+            op: pea_ir::ArithOp::Add,
+        },
         vec![load_i, one],
     );
     let store_i = g.add(NodeKind::StoreField { field }, vec![obj, inc]);

@@ -32,10 +32,7 @@ fn outer_frame_state_slots_are_rewritten() {
         FrameStateData::new(p.m_create_value, 2, 1, 0, 0, true),
         vec![x, outer],
     );
-    let put = g.add(
-        NodeKind::PutStatic { id: p.s_cache_key },
-        vec![x],
-    );
+    let put = g.add(NodeKind::PutStatic { id: p.s_cache_key }, vec![x]);
     // PutStatic of an int would be odd but is legal here; it simply keeps
     // the frame state alive.
     g.set_next(obj, put);
@@ -81,7 +78,12 @@ fn mapping_records_lock_depth() {
     };
     g.set_state_after(me2, Some(st2));
     // A side effect while doubly locked keeps st2 live.
-    let put = g.add(NodeKind::PutStatic { id: p.s_cache_value }, vec![x]);
+    let put = g.add(
+        NodeKind::PutStatic {
+            id: p.s_cache_value,
+        },
+        vec![x],
+    );
     g.set_next(me2, put);
     let st3 = {
         let mut d = FrameStateData::new(p.m_get_value, 3, 1, 0, 2, false);
@@ -99,7 +101,10 @@ fn mapping_records_lock_depth() {
     g.set_state_after(mx1, Some(st4));
     let mx2 = g.add(NodeKind::MonitorExit, vec![obj]);
     g.set_next(mx1, mx2);
-    let st5 = g.add_frame_state(FrameStateData::new(p.m_get_value, 5, 1, 0, 0, false), vec![x]);
+    let st5 = g.add_frame_state(
+        FrameStateData::new(p.m_get_value, 5, 1, 0, 0, false),
+        vec![x],
+    );
     g.set_state_after(mx2, Some(st5));
     let ret = g.add(NodeKind::Return, vec![]);
     g.set_next(mx2, ret);
@@ -134,10 +139,18 @@ fn shared_slots_share_one_mapping() {
     // a.ref = a (self-cycle) so the mapping references itself.
     let store = g.add(NodeKind::StoreField { field: p.f_ref }, vec![a, a]);
     g.set_next(a, store);
-    let st0 = g.add_frame_state(FrameStateData::new(p.m_get_value, 1, 1, 0, 0, false), vec![x]);
+    let st0 = g.add_frame_state(
+        FrameStateData::new(p.m_get_value, 1, 1, 0, 0, false),
+        vec![x],
+    );
     g.set_state_after(store, Some(st0));
     // Both locals hold the same object.
-    let put = g.add(NodeKind::PutStatic { id: p.s_cache_value }, vec![x]);
+    let put = g.add(
+        NodeKind::PutStatic {
+            id: p.s_cache_value,
+        },
+        vec![x],
+    );
     g.set_next(store, put);
     let st = g.add_frame_state(
         FrameStateData::new(p.m_get_value, 2, 3, 0, 0, false),
@@ -157,7 +170,11 @@ fn shared_slots_share_one_mapping() {
     assert_eq!(inputs[1], vom);
     assert_eq!(inputs[2], vom);
     // The self-referential field points back at the mapping itself.
-    assert_eq!(g.node(vom).inputs()[1], vom, "cyclic mapping closes on itself");
+    assert_eq!(
+        g.node(vom).inputs()[1],
+        vom,
+        "cyclic mapping closes on itself"
+    );
 }
 
 /// A frame state is rewritten exactly once, at its earliest flow position:

@@ -89,8 +89,15 @@ fn listing5_no_lock_elision_golden_trace() {
     };
     let lines = traced(&mut g, &program, &options);
     assert_eq!(lines[0], "virtualized n3 Key");
-    let mat: Vec<&String> = lines.iter().filter(|l| l.starts_with("materialized")).collect();
-    assert_eq!(mat.len(), 1, "one materialization, at the monitor: {lines:?}");
+    let mat: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.starts_with("materialized"))
+        .collect();
+    assert_eq!(
+        mat.len(),
+        1,
+        "one materialization, at the monitor: {lines:?}"
+    );
     assert!(
         mat[0].ends_with("monitor-operation"),
         "reason must be the retained monitor, got {}",
@@ -120,11 +127,16 @@ fn fig7_loop_golden_trace() {
         "iterative processing needs at least two rounds: {lines:?}"
     );
     assert!(
-        lines.iter().any(|l| l.starts_with("phi") && l.contains("field")),
+        lines
+            .iter()
+            .any(|l| l.starts_with("phi") && l.contains("field")),
         "the loop-carried field must surface as a phi: {lines:?}"
     );
     assert_eq!(
-        lines.iter().filter(|l| l.starts_with("virtualized")).count(),
+        lines
+            .iter()
+            .filter(|l| l.starts_with("virtualized"))
+            .count(),
         1,
         "exactly one allocation participates: {lines:?}"
     );
@@ -230,7 +242,9 @@ fn merge_golden_traces() {
         "materializations must carry a merge-specific reason: {mats:?}"
     );
     assert!(
-        !lines2.iter().any(|l| l.starts_with("phi") && l.contains("field")),
+        !lines2
+            .iter()
+            .any(|l| l.starts_with("phi") && l.contains("field")),
         "no field phi without §5.3 support: {lines2:?}"
     );
 }
@@ -259,10 +273,26 @@ fn trace_agrees_with_result_counters() {
             count("materialized") >= result.materializations,
             "fixture {fixture}: group members ≥ commits"
         );
-        assert_eq!(count("lock-elided"), result.elided_monitors, "fixture {fixture}");
-        assert_eq!(count("load-elided"), result.deleted_loads, "fixture {fixture}");
-        assert_eq!(count("store-elided"), result.deleted_stores, "fixture {fixture}");
-        assert_eq!(count("check-folded"), result.folded_checks, "fixture {fixture}");
+        assert_eq!(
+            count("lock-elided"),
+            result.elided_monitors,
+            "fixture {fixture}"
+        );
+        assert_eq!(
+            count("load-elided"),
+            result.deleted_loads,
+            "fixture {fixture}"
+        );
+        assert_eq!(
+            count("store-elided"),
+            result.deleted_stores,
+            "fixture {fixture}"
+        );
+        assert_eq!(
+            count("check-folded"),
+            result.folded_checks,
+            "fixture {fixture}"
+        );
         assert_eq!(
             sink.of_kind("loop-round")
                 .iter()

@@ -79,7 +79,10 @@ fn listing5_to_listing6() {
             None => break,
         }
     }
-    assert!(found_put, "commit is anchored immediately before the escape");
+    assert!(
+        found_put,
+        "commit is anchored immediately before the escape"
+    );
 
     // The hit-path return is untouched; the miss-path putstatic now sees
     // the materialized object.
@@ -182,7 +185,10 @@ fn fig7_loop_keeps_object_virtual() {
         0,
         "all loads folded"
     );
-    assert!(result.loop_rounds >= 2, "fixpoint needed at least two rounds");
+    assert!(
+        result.loop_rounds >= 2,
+        "fixpoint needed at least two rounds"
+    );
     // The field became a loop phi with three inputs (entry + 2 back edges).
     let lb = g
         .live_nodes()
@@ -337,8 +343,7 @@ fn cyclic_virtual_objects_commit_together() {
         .inputs()
         .iter()
         .filter(|&&i| {
-            matches!(g.kind(i), NodeKind::AllocatedObject { .. })
-                && g.node(i).inputs()[0] == commit
+            matches!(g.kind(i), NodeKind::AllocatedObject { .. }) && g.node(i).inputs()[0] == commit
         })
         .count();
     assert_eq!(self_refs, 2, "cyclic fields reference the commit itself");

@@ -188,8 +188,7 @@ fn batch_size(once: Duration) -> u64 {
     if once.is_zero() {
         1000
     } else {
-        (Bencher::TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1))
-            .clamp(1, 100_000) as u64
+        (Bencher::TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
     }
 }
 

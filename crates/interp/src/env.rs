@@ -3,7 +3,7 @@
 use pea_bytecode::{MethodId, Program};
 use pea_runtime::profile::ProfileStore;
 use pea_runtime::{Heap, Statics, Value, VmError};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Services the interpreter needs from its host.
 ///
@@ -34,13 +34,18 @@ pub trait InterpEnv {
     fn profiling_enabled(&self) -> bool {
         true
     }
+    /// Safepoint poll, called at loop back-edges (method entry is the
+    /// host's own responsibility). The tiered VM uses this to install
+    /// methods finished by background compiler threads without waiting
+    /// for the current (possibly long-running) interpreted loop to exit.
+    fn safepoint(&mut self) {}
 }
 
 /// A minimal interpret-everything environment for tests and examples: owns
 /// the heap and statics and recursively interprets every call.
 #[derive(Debug)]
 pub struct SimpleEnv {
-    program: Rc<Program>,
+    program: Arc<Program>,
     /// The managed heap (public for inspection in tests).
     pub heap: Heap,
     /// Static variable storage.
@@ -57,7 +62,7 @@ impl SimpleEnv {
     pub fn new(program: Program) -> Self {
         let statics = Statics::new(&program.statics);
         SimpleEnv {
-            program: Rc::new(program),
+            program: Arc::new(program),
             heap: Heap::new(),
             statics,
             profiles: ProfileStore::new(),
@@ -94,7 +99,7 @@ impl SimpleEnv {
             .program
             .static_method_by_name(name)
             .ok_or_else(|| VmError::NoSuchMethod(name.to_string()))?;
-        let program = Rc::clone(&self.program);
+        let program = Arc::clone(&self.program);
         crate::interpret(&program, self, method, args.to_vec())
     }
 }
@@ -122,7 +127,7 @@ impl InterpEnv for SimpleEnv {
     }
 
     fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
-        let program = Rc::clone(&self.program);
+        let program = Arc::clone(&self.program);
         crate::interpret(&program, self, method, args)
     }
 }

@@ -64,9 +64,9 @@ pub fn resume(
                 other => panic!("outer deopt frame not at an invoke: {other:?}"),
             };
             if program.method(callee).returns_value {
-                let v = result.take().ok_or_else(|| {
-                    VmError::Internal("missing return value on resume".into())
-                })?;
+                let v = result
+                    .take()
+                    .ok_or_else(|| VmError::Internal("missing return value on resume".into()))?;
                 frame.stack.push(v);
             }
             frame.bci += 1;
@@ -116,8 +116,16 @@ fn run_frame(
                 let v = pop(frame)?;
                 frame.locals[n as usize] = v;
             }
-            Insn::Add | Insn::Sub | Insn::Mul | Insn::Div | Insn::Rem | Insn::And | Insn::Or
-            | Insn::Xor | Insn::Shl | Insn::Shr => {
+            Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::Div
+            | Insn::Rem
+            | Insn::And
+            | Insn::Or
+            | Insn::Xor
+            | Insn::Shl
+            | Insn::Shr => {
                 env.charge(cost::ALU_OP)?;
                 let b = pop(frame)?.as_int()?;
                 let a = pop(frame)?.as_int()?;
@@ -314,6 +322,12 @@ fn run_frame(
                 return Err(VmError::UserException(code));
             }
         }
+        // Loop back-edge safepoint: lets the host install finished
+        // background compilations even while a single interpreted loop
+        // keeps spinning (the other safepoint is method entry).
+        if next <= frame.bci {
+            env.safepoint();
+        }
         frame.bci = next;
     }
 }
@@ -407,7 +421,10 @@ mod tests {
         Ldone:
             load 1 retv
         }";
-        assert_eq!(run(src, "f", &[Value::Int(5)]).unwrap(), Some(Value::Int(10)));
+        assert_eq!(
+            run(src, "f", &[Value::Int(5)]).unwrap(),
+            Some(Value::Int(10))
+        );
     }
 
     #[test]
@@ -421,7 +438,10 @@ mod tests {
             load 1 getfield Box.v
             retv
         }";
-        assert_eq!(run(src, "f", &[Value::Int(9)]).unwrap(), Some(Value::Int(9)));
+        assert_eq!(
+            run(src, "f", &[Value::Int(9)]).unwrap(),
+            Some(Value::Int(9))
+        );
     }
 
     #[test]
@@ -437,7 +457,10 @@ mod tests {
         let src = "
         static g int
         method f 1 returns { load 0 putstatic g getstatic g retv }";
-        assert_eq!(run(src, "f", &[Value::Int(7)]).unwrap(), Some(Value::Int(7)));
+        assert_eq!(
+            run(src, "f", &[Value::Int(7)]).unwrap(),
+            Some(Value::Int(7))
+        );
     }
 
     #[test]
@@ -449,7 +472,10 @@ mod tests {
             load 1 arraylen
             add retv
         }";
-        assert_eq!(run(src, "f", &[Value::Int(5)]).unwrap(), Some(Value::Int(9)));
+        assert_eq!(
+            run(src, "f", &[Value::Int(5)]).unwrap(),
+            Some(Value::Int(9))
+        );
     }
 
     #[test]

@@ -23,11 +23,7 @@ enum E {
 }
 
 fn expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(E::Const),
-        Just(E::P0),
-        Just(E::P1),
-    ];
+    let leaf = prop_oneof![any::<i8>().prop_map(E::Const), Just(E::P0), Just(E::P1),];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
@@ -89,8 +85,13 @@ fn emit(mb: &mut MethodBuilder, e: &E) {
             emit(mb, a);
             mb.emit(pea_bytecode::Insn::Neg);
         }
-        E::Add(a, b) | E::Sub(a, b) | E::Mul(a, b) | E::Div(a, b) | E::Rem(a, b)
-        | E::Xor(a, b) | E::Shl(a, b) => {
+        E::Add(a, b)
+        | E::Sub(a, b)
+        | E::Mul(a, b)
+        | E::Div(a, b)
+        | E::Rem(a, b)
+        | E::Xor(a, b)
+        | E::Shl(a, b) => {
             emit(mb, a);
             emit(mb, b);
             mb.emit(match e {

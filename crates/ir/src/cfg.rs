@@ -142,7 +142,10 @@ impl Cfg {
                     // Straight-line chain ended because the next node is a
                     // block start (cannot happen with Begin policy above) —
                     // or the chain is dangling.
-                    panic!("block chain at {last} ends in non-terminator {:?}", graph.kind(last));
+                    panic!(
+                        "block chain at {last} ends in non-terminator {:?}",
+                        graph.kind(last)
+                    );
                 }
             }
         }
@@ -167,9 +170,7 @@ impl Cfg {
             })
             .collect();
 
-        let block_of = |n: NodeId| -> BlockId {
-            BlockId::from_index(seen[&n])
-        };
+        let block_of = |n: NodeId| -> BlockId { BlockId::from_index(seen[&n]) };
 
         // 2. Wire successor/predecessor edges.
         // Merge preds must follow ends order; collect them separately.
@@ -350,11 +351,7 @@ pub fn find_merge_of_end(graph: &Graph, end: NodeId) -> Option<NodeId> {
     })
 }
 
-fn chain_head_of(
-    graph: &Graph,
-    mut node: NodeId,
-    heads: &HashMap<NodeId, usize>,
-) -> NodeId {
+fn chain_head_of(graph: &Graph, mut node: NodeId, heads: &HashMap<NodeId, usize>) -> NodeId {
     loop {
         if heads.contains_key(&node) {
             return node;
@@ -400,11 +397,18 @@ mod tests {
         let p = g.add(NodeKind::Param { index: 0 }, vec![]);
         let entry_end = g.add(NodeKind::End, vec![]);
         g.set_next(g.start, entry_end);
-        let lb = g.add(NodeKind::LoopBegin { ends: vec![entry_end] }, vec![]);
+        let lb = g.add(
+            NodeKind::LoopBegin {
+                ends: vec![entry_end],
+            },
+            vec![],
+        );
         let zero = g.const_int(0);
         let phi = g.add(NodeKind::Phi { merge: lb }, vec![zero]);
         let cmp = g.add(
-            NodeKind::Compare { op: pea_bytecode::CmpOp::Lt },
+            NodeKind::Compare {
+                op: pea_bytecode::CmpOp::Lt,
+            },
             vec![phi, p],
         );
         let iff = g.add(NodeKind::If, vec![cmp]);
@@ -454,11 +458,7 @@ mod tests {
         let header = cfg.block_of(lb);
         assert_eq!(cfg.block(header).loop_depth, 1);
         // body block has depth 1; exit block depth 0
-        let body_depth: Vec<u32> = cfg
-            .blocks
-            .iter()
-            .map(|b| b.loop_depth)
-            .collect();
+        let body_depth: Vec<u32> = cfg.blocks.iter().map(|b| b.loop_depth).collect();
         assert!(body_depth.contains(&1));
         assert!(body_depth.contains(&0));
         let members = cfg.loop_members(header);

@@ -19,7 +19,11 @@ pub fn dump(graph: &Graph) -> String {
     let mut out = String::new();
     for &bid in &cfg.rpo {
         let block = cfg.block(bid);
-        let _ = writeln!(out, "{bid}: preds={:?} succs={:?}", block.preds, block.succs);
+        let _ = writeln!(
+            out,
+            "{bid}: preds={:?} succs={:?}",
+            block.preds, block.succs
+        );
         // Phis of merge-like block heads first.
         let head = block.first();
         if matches!(
@@ -121,12 +125,7 @@ pub fn dump_dot(graph: &Graph, title: &str) -> String {
             );
         }
         if let Some(state) = node.state_after {
-            let _ = writeln!(
-                out,
-                "  {} -> {} [style=dashed];",
-                n.index(),
-                state.index()
-            );
+            let _ = writeln!(out, "  {} -> {} [style=dashed];", n.index(), state.index());
         }
     }
     let _ = writeln!(out, "}}");
@@ -159,7 +158,10 @@ mod tests {
     #[test]
     fn describe_shows_inputs() {
         let g = tiny_graph();
-        let ret = g.live_nodes().find(|&n| matches!(g.kind(n), NodeKind::Return)).unwrap();
+        let ret = g
+            .live_nodes()
+            .find(|&n| matches!(g.kind(n), NodeKind::Return))
+            .unwrap();
         let d = describe(&g, ret);
         assert!(d.contains("Return"));
         assert!(d.contains("(v1)"));
@@ -169,10 +171,7 @@ mod tests {
     fn frame_state_brief_shows_chain() {
         let mut g = Graph::new();
         let p = g.add(NodeKind::Param { index: 0 }, vec![]);
-        let outer = g.add_frame_state(
-            FrameStateData::new(MethodId(0), 5, 1, 0, 0, false),
-            vec![p],
-        );
+        let outer = g.add_frame_state(FrameStateData::new(MethodId(0), 5, 1, 0, 0, false), vec![p]);
         let inner = g.add_frame_state(
             FrameStateData::new(MethodId(1), 9, 2, 0, 0, true),
             vec![p, p, outer],

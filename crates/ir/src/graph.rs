@@ -142,9 +142,7 @@ impl Graph {
 
     /// Whether `id` has any live user.
     pub fn has_uses(&self, id: NodeId) -> bool {
-        self.uses[id.index()]
-            .iter()
-            .any(|u| !self.node(*u).deleted)
+        self.uses[id.index()].iter().any(|u| !self.node(*u).deleted)
     }
 
     // ----- input editing -----
@@ -236,10 +234,7 @@ impl Graph {
     /// Panics if `from` already has a successor or is a block end.
     pub fn set_next(&mut self, from: NodeId, to: NodeId) {
         let f = &mut self.nodes[from.index()];
-        assert!(
-            f.successors.is_empty(),
-            "{from} already has a successor"
-        );
+        assert!(f.successors.is_empty(), "{from} already has a successor");
         f.successors.push(to);
         self.nodes[to.index()].control_pred = Some(from);
     }
@@ -299,7 +294,10 @@ impl Graph {
     /// Inserts a straight-line fixed node `new` immediately before `at`
     /// (which must have a unique control predecessor).
     pub fn insert_fixed_before(&mut self, at: NodeId, new: NodeId) {
-        let pred = self.node(at).control_pred.expect("insert before pred-less node");
+        let pred = self
+            .node(at)
+            .control_pred
+            .expect("insert before pred-less node");
         let pred_node = &mut self.nodes[pred.index()];
         let slot = pred_node
             .successors
@@ -430,7 +428,8 @@ impl Graph {
             }
         }
         // Drop cache entries pointing at dead nodes.
-        self.const_cache.retain(|_, id| !self.nodes[id.index()].deleted);
+        self.const_cache
+            .retain(|_, id| !self.nodes[id.index()].deleted);
         if let Some(id) = self.null_cache {
             if self.nodes[id.index()].deleted {
                 self.null_cache = None;

@@ -37,6 +37,4 @@ pub mod verify;
 
 pub use framestate::FrameStateData;
 pub use graph::Graph;
-pub use node::{
-    AllocShape, ArithOp, CommitObject, DeoptReason, Node, NodeId, NodeKind,
-};
+pub use node::{AllocShape, ArithOp, CommitObject, DeoptReason, Node, NodeId, NodeKind};

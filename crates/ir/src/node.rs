@@ -540,8 +540,8 @@ mod tests {
             },
         ];
         for k in kinds {
-            let sum = usize::from(k.is_fixed()) + usize::from(k.is_floating())
-                + usize::from(k.is_meta());
+            let sum =
+                usize::from(k.is_fixed()) + usize::from(k.is_floating()) + usize::from(k.is_meta());
             assert_eq!(sum, 1, "kind {k:?} must be in exactly one class");
         }
     }
@@ -556,10 +556,7 @@ mod tests {
 
     #[test]
     fn side_effects_are_the_frame_state_carriers() {
-        assert!(NodeKind::StoreField {
-            field: FieldId(0)
-        }
-        .is_side_effect());
+        assert!(NodeKind::StoreField { field: FieldId(0) }.is_side_effect());
         assert!(NodeKind::MonitorEnter.is_side_effect());
         assert!(!NodeKind::New { class: ClassId(0) }.is_side_effect());
         assert!(!NodeKind::LoadField { field: FieldId(0) }.is_side_effect());
@@ -575,6 +572,8 @@ mod tests {
     #[test]
     fn mnemonics_are_nonempty() {
         assert!(!NodeKind::Start.mnemonic().is_empty());
-        assert!(NodeKind::New { class: ClassId(3) }.mnemonic().contains("C3"));
+        assert!(NodeKind::New { class: ClassId(3) }
+            .mnemonic()
+            .contains("C3"));
     }
 }

@@ -126,10 +126,16 @@ fn place_early(
     for &input in graph.node(node).inputs() {
         let b = place_early(graph, cfg, dom, input, placement);
         if dom.depth(b) > dom.depth(best) {
-            debug_assert!(dom.dominates(best, b), "inputs of {node} not on a dominance chain");
+            debug_assert!(
+                dom.dominates(best, b),
+                "inputs of {node} not on a dominance chain"
+            );
             best = b;
         } else {
-            debug_assert!(dom.dominates(b, best), "inputs of {node} not on a dominance chain");
+            debug_assert!(
+                dom.dominates(b, best),
+                "inputs of {node} not on a dominance chain"
+            );
         }
     }
     placement.insert(node, best);
@@ -169,9 +175,9 @@ fn order_block(graph: &Graph, fixed: &[NodeId], floaters: &[NodeId]) -> Vec<Node
     ready.sort_unstable();
 
     let emit = |n: NodeId,
-                    out: &mut Vec<NodeId>,
-                    ready: &mut Vec<NodeId>,
-                    pending: &mut HashMap<NodeId, usize>| {
+                out: &mut Vec<NodeId>,
+                ready: &mut Vec<NodeId>,
+                pending: &mut HashMap<NodeId, usize>| {
         out.push(n);
         if let Some(deps) = dependents.get(&n) {
             for &d in deps {
@@ -207,7 +213,11 @@ fn order_block(graph: &Graph, fixed: &[NodeId], floaters: &[NodeId]) -> Vec<Node
     while let Some(f) = ready.pop() {
         emit(f, &mut out, &mut ready, &mut pending);
     }
-    debug_assert_eq!(out.len(), fixed.len() + floaters.len(), "schedule lost nodes");
+    debug_assert_eq!(
+        out.len(),
+        fixed.len() + floaters.len(),
+        "schedule lost nodes"
+    );
     out
 }
 

@@ -81,7 +81,10 @@ pub fn verify(graph: &Graph) -> Result<(), IrError> {
             if s.control_pred() != Some(n) {
                 return Err(err(
                     succ,
-                    format!("control_pred mismatch: expected {n}, found {:?}", s.control_pred()),
+                    format!(
+                        "control_pred mismatch: expected {n}, found {:?}",
+                        s.control_pred()
+                    ),
                 ));
             }
         }
@@ -166,7 +169,8 @@ pub fn verify(graph: &Graph) -> Result<(), IrError> {
     let dom = DomTree::build(&cfg);
     let sched = Schedule::build(graph, &cfg, &dom);
     let block_of = |n: NodeId| -> Option<crate::cfg::BlockId> {
-        cfg.try_block_of(n).or_else(|| sched.placement.get(&n).copied())
+        cfg.try_block_of(n)
+            .or_else(|| sched.placement.get(&n).copied())
     };
     for n in graph.live_nodes() {
         let kind = graph.kind(n);
@@ -215,7 +219,9 @@ pub fn verify(graph: &Graph) -> Result<(), IrError> {
             if !dom.dominates(def_block, user_block) {
                 return Err(err(
                     n,
-                    format!("input {input} (in {def_block}) does not dominate use (in {user_block})"),
+                    format!(
+                        "input {input} (in {def_block}) does not dominate use (in {user_block})"
+                    ),
                 ));
             }
         }

@@ -21,8 +21,7 @@ fn region_strategy() -> impl Strategy<Value = Region> {
     let leaf = (0u8..4).prop_map(Region::Straight);
     leaf.prop_recursive(4, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Region::IfElse(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Region::IfElse(a.into(), b.into())),
             inner.clone().prop_map(|r| Region::Loop(r.into())),
             (inner.clone(), inner).prop_map(|(a, b)| Region::Seq(a.into(), b.into())),
         ]
@@ -97,10 +96,9 @@ impl Builder {
                 let le = self.g.add(NodeKind::LoopEnd, vec![]);
                 self.g.set_next(cont, le);
                 self.g.add_merge_end(lb, le);
-                let back = self.g.add(
-                    NodeKind::Arith { op: ArithOp::Add },
-                    vec![phi, seed],
-                );
+                let back = self
+                    .g
+                    .add(NodeKind::Arith { op: ArithOp::Add }, vec![phi, seed]);
                 self.g.push_input(phi, back);
                 exit
             }

@@ -43,11 +43,8 @@ pub trait Strategy {
         for _ in 0..depth {
             // At each level, either stop at a leaf or recurse one deeper;
             // leaves are twice as likely, bounding expected size.
-            strat = Union::weighted(vec![
-                (2, self.clone().boxed()),
-                (1, recurse(strat).boxed()),
-            ])
-            .boxed();
+            strat = Union::weighted(vec![(2, self.clone().boxed()), (1, recurse(strat).boxed())])
+                .boxed();
         }
         strat
     }

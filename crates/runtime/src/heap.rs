@@ -400,7 +400,10 @@ mod tests {
         assert_eq!(heap.lock_count(r), 2);
         heap.monitor_exit(r).unwrap();
         heap.monitor_exit(r).unwrap();
-        assert_eq!(heap.monitor_exit(r).unwrap_err(), VmError::IllegalMonitorState);
+        assert_eq!(
+            heap.monitor_exit(r).unwrap_err(),
+            VmError::IllegalMonitorState
+        );
         assert_eq!(heap.stats.monitor_enters, 2);
         assert_eq!(heap.stats.monitor_exits, 2);
         assert_eq!(heap.total_lock_holds(), 0);

@@ -35,7 +35,9 @@ pub struct ObjectWriter {
 
 impl ObjectWriter {
     pub fn new() -> Self {
-        ObjectWriter { buf: String::from("{") }
+        ObjectWriter {
+            buf: String::from("{"),
+        }
     }
 
     fn key(&mut self, key: &str) {
@@ -128,21 +130,27 @@ impl Object {
     pub fn get_str(&self, key: &str) -> Result<&str, JsonError> {
         match self.get(key)? {
             Value::Str(s) => Ok(s),
-            other => Err(JsonError::new(format!("field {key:?}: expected string, got {other:?}"))),
+            other => Err(JsonError::new(format!(
+                "field {key:?}: expected string, got {other:?}"
+            ))),
         }
     }
 
     pub fn get_num(&self, key: &str) -> Result<i64, JsonError> {
         match self.get(key)? {
             Value::Num(n) => Ok(*n),
-            other => Err(JsonError::new(format!("field {key:?}: expected number, got {other:?}"))),
+            other => Err(JsonError::new(format!(
+                "field {key:?}: expected number, got {other:?}"
+            ))),
         }
     }
 
     pub fn get_bool(&self, key: &str) -> Result<bool, JsonError> {
         match self.get(key)? {
             Value::Bool(b) => Ok(*b),
-            other => Err(JsonError::new(format!("field {key:?}: expected bool, got {other:?}"))),
+            other => Err(JsonError::new(format!(
+                "field {key:?}: expected bool, got {other:?}"
+            ))),
         }
     }
 
@@ -191,7 +199,12 @@ pub fn parse_object(input: &str) -> Result<Object, JsonError> {
             match p.next_byte()? {
                 b',' => continue,
                 b'}' => break,
-                c => return Err(JsonError::new(format!("expected ',' or '}}', got {:?}", c as char))),
+                c => {
+                    return Err(JsonError::new(format!(
+                        "expected ',' or '}}', got {:?}",
+                        c as char
+                    )))
+                }
             }
         }
     }
@@ -213,7 +226,9 @@ impl Parser<'_> {
     }
 
     fn next_byte(&mut self) -> Result<u8, JsonError> {
-        let b = self.peek().ok_or_else(|| JsonError::new("unexpected end of input"))?;
+        let b = self
+            .peek()
+            .ok_or_else(|| JsonError::new("unexpected end of input"))?;
         self.pos += 1;
         Ok(b)
     }
@@ -292,7 +307,10 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Value, JsonError> {
-        match self.peek().ok_or_else(|| JsonError::new("unexpected end of input"))? {
+        match self
+            .peek()
+            .ok_or_else(|| JsonError::new("unexpected end of input"))?
+        {
             b'"' => Ok(Value::Str(self.string()?)),
             b'[' => {
                 self.pos += 1;
@@ -335,7 +353,10 @@ impl Parser<'_> {
                     .map(Value::Num)
                     .map_err(|_| JsonError::new(format!("bad number {text:?}")))
             }
-            c => Err(JsonError::new(format!("unexpected character {:?}", c as char))),
+            c => Err(JsonError::new(format!(
+                "unexpected character {:?}",
+                c as char
+            ))),
         }
     }
 

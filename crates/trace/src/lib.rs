@@ -18,11 +18,10 @@
 //! and construct events inside [`Tracer::emit_with`] closures, so a
 //! disabled tracer is a single branch on an `Option`.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 pub mod json;
 
@@ -191,7 +190,11 @@ impl TraceEvent {
                 reason,
             } => format!("  alloc n{site} materialized at n{anchor} in b{block}: {reason}"),
             TraceEvent::LockElided { site, node, exit } => {
-                let what = if *exit { "monitor-exit" } else { "monitor-enter" };
+                let what = if *exit {
+                    "monitor-exit"
+                } else {
+                    "monitor-enter"
+                };
                 format!("  {what} n{node} elided (alloc n{site})")
             }
             TraceEvent::LoadElided { site, node } => {
@@ -372,7 +375,9 @@ impl TraceEvent {
                 method: obj.get_str("method")?.to_string(),
             },
             other => {
-                return Err(json::JsonError::new(format!("unknown event kind {other:?}")));
+                return Err(json::JsonError::new(format!(
+                    "unknown event kind {other:?}"
+                )));
             }
         };
         Ok(event)
@@ -485,27 +490,40 @@ impl TraceSink for FanoutSink {
 }
 
 /// A clonable, shared handle to a sink, for producers that outlive a simple
-/// borrow (the VM holds one in its options and emits from nested calls).
+/// borrow (the VM holds one in its options and emits from nested calls;
+/// background compiler threads hold clones and emit concurrently).
+///
+/// The handle is `Send + Sync`: events are serialized through an internal
+/// mutex, so streams from parallel compilations interleave at event
+/// granularity but individual events are never torn.
 #[derive(Clone)]
-pub struct SharedSink(Rc<RefCell<dyn TraceSink>>);
+pub struct SharedSink(Arc<Mutex<dyn TraceSink + Send>>);
 
 impl SharedSink {
     /// Wraps `sink`, returning the shared handle plus a typed handle the
     /// caller keeps for reading results back out.
-    pub fn new<S: TraceSink + 'static>(sink: S) -> (SharedSink, Rc<RefCell<S>>) {
-        let typed = Rc::new(RefCell::new(sink));
+    pub fn new<S: TraceSink + Send + 'static>(sink: S) -> (SharedSink, Arc<Mutex<S>>) {
+        let typed = Arc::new(Mutex::new(sink));
         (SharedSink(typed.clone()), typed)
     }
 
     /// Emits through a shared reference (the trait method needs `&mut`).
     pub fn emit_event(&self, event: &TraceEvent) {
-        self.0.borrow_mut().emit(event);
+        self.0.lock().expect("trace sink poisoned").emit(event);
+    }
+
+    /// Runs `f` with exclusive access to the sink — used to hand the sink
+    /// to a nested phase that expects a plain `&mut dyn TraceSink` (e.g. a
+    /// traced compilation on a worker thread).
+    pub fn with_sink<R>(&self, f: impl FnOnce(&mut dyn TraceSink) -> R) -> R {
+        let mut guard = self.0.lock().expect("trace sink poisoned");
+        f(&mut *guard)
     }
 }
 
 impl TraceSink for SharedSink {
     fn emit(&mut self, event: &TraceEvent) {
-        self.0.borrow_mut().emit(event);
+        self.emit_event(event);
     }
 }
 
@@ -853,9 +871,7 @@ mod tests {
         let mut constructed = false;
         tracer.emit_with(|| {
             constructed = true;
-            TraceEvent::Recompile {
-                method: "x".into(),
-            }
+            TraceEvent::Recompile { method: "x".into() }
         });
         assert!(!constructed);
         assert!(!tracer.enabled());
@@ -865,13 +881,42 @@ mod tests {
     fn shared_sink_feeds_back_to_typed_handle() {
         let (mut shared, typed) = SharedSink::new(MemorySink::new());
         let mut clone = shared.clone();
-        shared.emit(&TraceEvent::Recompile {
-            method: "a".into(),
+        shared.emit(&TraceEvent::Recompile { method: "a".into() });
+        clone.emit(&TraceEvent::Recompile { method: "b".into() });
+        assert_eq!(typed.lock().unwrap().events.len(), 2);
+    }
+
+    #[test]
+    fn shared_sink_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedSink>();
+    }
+
+    #[test]
+    fn shared_sink_collects_across_threads() {
+        let (shared, typed) = SharedSink::new(MemorySink::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let sink = shared.clone();
+                scope.spawn(move || {
+                    sink.emit_event(&TraceEvent::Recompile {
+                        method: format!("m{t}"),
+                    });
+                });
+            }
         });
-        clone.emit(&TraceEvent::Recompile {
-            method: "b".into(),
-        });
-        assert_eq!(typed.borrow().events.len(), 2);
+        let mut methods: Vec<String> = typed
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Recompile { method } => method.clone(),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        methods.sort();
+        assert_eq!(methods, ["m0", "m1", "m2", "m3"]);
     }
 
     #[test]
@@ -894,9 +939,6 @@ mod tests {
         let render = agg.render();
         assert!(render.contains("Cache.getValue n3 (Key)"));
         assert!(render.contains("escape-to-store 1"));
-        assert_eq!(
-            agg.reason_totals()[&MaterializeReason::EscapeToStore],
-            1
-        );
+        assert_eq!(agg.reason_totals()[&MaterializeReason::EscapeToStore], 1);
     }
 }

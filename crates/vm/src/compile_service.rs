@@ -1,0 +1,316 @@
+//! The background JIT compilation service: a worker-thread pool fed by a
+//! bounded, hotness-ordered priority queue with request deduplication.
+//!
+//! This mirrors the HotSpot execution model the paper's system lives in
+//! (§2): compilation happens on **background compiler threads** while the
+//! interpreter keeps serving execution, and finished code is installed at
+//! safepoints. In this reproduction the VM requests a compilation when a
+//! method crosses the hotness threshold, hands the service an immutable
+//! [`ProfileStore`] snapshot (so the artifact is a deterministic function
+//! of the request, independent of concurrent profile updates), keeps
+//! interpreting, and drains finished [`CompiledMethod`]s into its code
+//! cache at the next safepoint (method entry or an interpreter loop
+//! back-edge).
+//!
+//! Queue policy:
+//!
+//! * **priority** — requests are ordered by hotness (invocation count at
+//!   request time); ties go to the earlier request;
+//! * **dedup** — a method that is queued, compiling, or finished but not
+//!   yet drained is never enqueued twice;
+//! * **bounded** — beyond `queue_capacity` pending requests, new requests
+//!   are rejected; the method stays interpreted, keeps getting hotter,
+//!   and is retried at a later threshold check.
+
+use pea_bytecode::{MethodId, Program};
+use pea_compiler::{compile, compile_traced, Bailout, CompiledMethod, CompilerOptions};
+use pea_runtime::profile::ProfileStore;
+use pea_trace::{MemorySink, SharedSink};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Configuration of the service's pool and queue.
+#[derive(Clone, Debug)]
+pub struct CompileServiceOptions {
+    /// Worker thread count; `None` picks [`default_workers`].
+    pub workers: Option<usize>,
+    /// Maximum queued (not yet started) requests; further requests are
+    /// rejected until the queue drains.
+    pub queue_capacity: usize,
+}
+
+impl Default for CompileServiceOptions {
+    fn default() -> Self {
+        CompileServiceOptions {
+            workers: None,
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// Default worker count: all hardware threads minus one (the one running
+/// the VM), but at least one.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// One finished compilation, ready to install at a safepoint.
+#[derive(Debug)]
+pub struct CompileOutcome {
+    /// The compiled method.
+    pub method: MethodId,
+    /// Eviction epoch of the method at request time; the VM discards
+    /// outcomes from before the latest eviction (their speculation is the
+    /// one that kept deoptimizing).
+    pub epoch: u64,
+    /// The artifact, or the bailout that keeps the method interpreted.
+    pub result: Result<CompiledMethod, Bailout>,
+}
+
+/// A queued compilation request.
+struct Request {
+    hotness: u64,
+    /// Monotonic sequence number; earlier requests win hotness ties.
+    seq: u64,
+    epoch: u64,
+    method: MethodId,
+    profiles: ProfileStore,
+}
+
+impl PartialEq for Request {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Request {}
+
+impl PartialOrd for Request {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Request {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: hotter first, then FIFO.
+        (self.hotness, std::cmp::Reverse(self.seq))
+            .cmp(&(other.hotness, std::cmp::Reverse(other.seq)))
+    }
+}
+
+struct Queue {
+    heap: BinaryHeap<Request>,
+    /// Methods queued, compiling, or awaiting drain (the dedup set).
+    inflight: HashSet<MethodId>,
+    seq: u64,
+    /// Workers currently compiling.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    program: Arc<Program>,
+    options: CompilerOptions,
+    trace: Option<SharedSink>,
+    queue: Mutex<Queue>,
+    /// Signals workers that work (or shutdown) is available.
+    work: Condvar,
+    /// Signals waiters that the queue went empty with no active compile.
+    idle: Condvar,
+}
+
+/// The compilation service. Dropping it shuts the pool down (workers
+/// finish their current compile and exit).
+pub struct CompileService {
+    shared: Arc<Shared>,
+    results: Receiver<CompileOutcome>,
+    workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+}
+
+impl CompileService {
+    /// Starts `options.workers` worker threads compiling against
+    /// `program` at `compiler` options. When `trace` is set, each
+    /// compilation's decision events are buffered locally and flushed to
+    /// the sink as one contiguous block on completion (so events from
+    /// parallel compilations never interleave within a method).
+    pub fn start(
+        program: Arc<Program>,
+        compiler: CompilerOptions,
+        trace: Option<SharedSink>,
+        options: &CompileServiceOptions,
+    ) -> CompileService {
+        let shared = Arc::new(Shared {
+            program,
+            options: compiler,
+            trace,
+            queue: Mutex::new(Queue {
+                heap: BinaryHeap::new(),
+                inflight: HashSet::new(),
+                seq: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let (tx, rx) = channel();
+        let worker_count = options.workers.unwrap_or_else(default_workers).max(1);
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("pea-compile-{i}"))
+                    .spawn(move || worker_loop(&shared, &tx))
+                    .expect("spawn compile worker")
+            })
+            .collect();
+        CompileService {
+            shared,
+            results: rx,
+            workers,
+            capacity: options.queue_capacity.max(1),
+        }
+    }
+
+    /// Enqueues a compilation of `method` from the given profile
+    /// snapshot. Returns `false` (and does nothing) if the method is
+    /// already in flight or the queue is full.
+    pub fn request(
+        &self,
+        method: MethodId,
+        hotness: u64,
+        epoch: u64,
+        profiles: ProfileStore,
+    ) -> bool {
+        let mut q = self.lock_queue();
+        if q.inflight.contains(&method) || q.heap.len() >= self.queue_capacity() {
+            return false;
+        }
+        q.inflight.insert(method);
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(Request {
+            hotness,
+            seq,
+            epoch,
+            method,
+            profiles,
+        });
+        drop(q);
+        self.shared.work.notify_one();
+        true
+    }
+
+    /// Collects every finished compilation without blocking. Drained
+    /// methods leave the dedup set and may be requested again (the VM
+    /// does so after evictions).
+    pub fn drain(&self) -> Vec<CompileOutcome> {
+        let mut out = Vec::new();
+        while let Ok(outcome) = self.results.try_recv() {
+            self.lock_queue().inflight.remove(&outcome.method);
+            out.push(outcome);
+        }
+        out
+    }
+
+    /// Number of requests in flight (queued, compiling, or awaiting
+    /// drain).
+    pub fn inflight(&self) -> usize {
+        self.lock_queue().inflight.len()
+    }
+
+    /// Blocks until the queue is empty and no worker is mid-compile.
+    /// Finished outcomes may still be waiting in [`drain`](Self::drain).
+    pub fn wait_idle(&self) {
+        let mut q = self.lock_queue();
+        while !(q.heap.is_empty() && q.active == 0) {
+            q = self.shared.idle.wait(q).expect("compile queue poisoned");
+        }
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, Queue> {
+        self.shared.queue.lock().expect("compile queue poisoned")
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        self.lock_queue().shutdown = true;
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
+    loop {
+        let request = {
+            let mut q = shared.queue.lock().expect("compile queue poisoned");
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if let Some(r) = q.heap.pop() {
+                    q.active += 1;
+                    break r;
+                }
+                q = shared.work.wait(q).expect("compile queue poisoned");
+            }
+        };
+        let result = run_one(shared, &request);
+        // The VM may already be gone (send fails); nothing to do then.
+        let _ = tx.send(CompileOutcome {
+            method: request.method,
+            epoch: request.epoch,
+            result,
+        });
+        let mut q = shared.queue.lock().expect("compile queue poisoned");
+        q.active -= 1;
+        if q.heap.is_empty() && q.active == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+fn run_one(shared: &Shared, request: &Request) -> Result<CompiledMethod, Bailout> {
+    match &shared.trace {
+        Some(sink) => {
+            // Buffer locally, flush as one block: compilations stay
+            // parallel and each method's event run stays contiguous.
+            let mut buffer = MemorySink::new();
+            let result = compile_traced(
+                &shared.program,
+                request.method,
+                Some(&request.profiles),
+                &shared.options,
+                &mut buffer,
+            );
+            sink.with_sink(|s| {
+                for event in &buffer.events {
+                    s.emit(event);
+                }
+            });
+            result
+        }
+        None => compile(
+            &shared.program,
+            request.method,
+            Some(&request.profiles),
+            &shared.options,
+        ),
+    }
+}

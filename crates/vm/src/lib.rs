@@ -23,10 +23,14 @@
 //! # }
 //! ```
 
+pub mod compile_service;
+
+pub use compile_service::{default_workers, CompileService, CompileServiceOptions};
 use pea_bytecode::{MethodId, Program};
 pub use pea_compiler::OptLevel;
 use pea_compiler::{
-    compile, compile_traced, evaluate, CompiledMethod, CompilerOptions, EvalEnv, EvalOutcome,
+    compile, compile_traced, evaluate, Bailout, CompiledMethod, CompilerOptions, EvalEnv,
+    EvalOutcome,
 };
 use pea_interp::{interpret, resume, Frame, InterpEnv};
 use pea_runtime::profile::ProfileStore;
@@ -34,7 +38,34 @@ use pea_runtime::{Heap, Statics, Stats, Value, VmError};
 pub use pea_trace::SharedSink;
 use pea_trace::TraceEvent;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How JIT compilation is scheduled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JitMode {
+    /// Compile synchronously at the call site that crosses the threshold
+    /// (the default: virtual-cycle measurements and decision traces stay
+    /// deterministic).
+    #[default]
+    Sync,
+    /// Hand hot methods to the background [`CompileService`]; the
+    /// interpreter keeps running and finished code is installed at the
+    /// next safepoint (method entry or interpreter loop back-edge).
+    Background,
+}
+
+impl std::str::FromStr for JitMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sync" => Ok(JitMode::Sync),
+            "background" => Ok(JitMode::Background),
+            other => Err(format!("unknown jit mode `{other}` (sync|background)")),
+        }
+    }
+}
 
 /// VM configuration.
 #[derive(Clone, Debug)]
@@ -51,6 +82,14 @@ pub struct VmOptions {
     pub max_deopts: u64,
     /// Master switch for JIT compilation (off = pure interpreter).
     pub jit: bool,
+    /// Synchronous or background compilation.
+    pub jit_mode: JitMode,
+    /// Background compile worker threads; `None` picks
+    /// [`default_workers`] (hardware threads minus one).
+    pub compile_workers: Option<usize>,
+    /// Bound on the background compile queue; requests beyond it are
+    /// deferred to a later hotness check.
+    pub compile_queue_capacity: usize,
     /// Optional event log: compiles (with every PEA decision), deopts
     /// (with rematerialization inventories), evictions and recompiles all
     /// flow into this sink. `None` (the default) is zero-cost.
@@ -66,6 +105,9 @@ impl VmOptions {
             fuel: None,
             max_deopts: 8,
             jit: true,
+            jit_mode: JitMode::Sync,
+            compile_workers: None,
+            compile_queue_capacity: 128,
             trace: None,
         }
     }
@@ -87,15 +129,21 @@ impl Default for VmOptions {
 
 /// The virtual machine.
 pub struct Vm {
-    program: Rc<Program>,
+    program: Arc<Program>,
     heap: Heap,
     statics: Statics,
     profiles: ProfileStore,
-    code_cache: HashMap<MethodId, Rc<CompiledMethod>>,
+    code_cache: HashMap<MethodId, Arc<CompiledMethod>>,
     bailed_out: HashSet<MethodId>,
     deopt_counts: HashMap<MethodId, u64>,
     /// Methods evicted at least once (a later compile is a recompile).
     evicted: HashSet<MethodId>,
+    /// Per-method eviction epoch; background outcomes compiled before the
+    /// latest eviction are discarded (their speculation is the one that
+    /// kept deoptimizing).
+    evict_epochs: HashMap<MethodId, u64>,
+    /// Background compilation pool, started lazily on the first request.
+    service: Option<CompileService>,
     options: VmOptions,
     /// Re-entrancy depth (interpreter/compiled frames currently active).
     depth: usize,
@@ -106,7 +154,7 @@ impl Vm {
     pub fn new(program: Program, options: VmOptions) -> Vm {
         let statics = Statics::new(&program.statics);
         Vm {
-            program: Rc::new(program),
+            program: Arc::new(program),
             heap: Heap::new(),
             statics,
             profiles: ProfileStore::new(),
@@ -114,12 +162,17 @@ impl Vm {
             bailed_out: HashSet::new(),
             deopt_counts: HashMap::new(),
             evicted: HashSet::new(),
+            evict_epochs: HashMap::new(),
+            service: None,
             options,
             depth: 0,
         }
     }
 
     /// Attaches (or replaces) the VM event-log sink after construction.
+    ///
+    /// In background mode, attach the sink before the first method turns
+    /// hot: the compile service captures the sink when it starts.
     pub fn set_trace(&mut self, sink: SharedSink) {
         self.options.trace = Some(sink);
     }
@@ -156,7 +209,14 @@ impl Vm {
 
     /// The compiled form of `method`, if it is in the code cache.
     pub fn compiled(&self, method: MethodId) -> Option<&CompiledMethod> {
-        self.code_cache.get(&method).map(Rc::as_ref)
+        self.code_cache.get(&method).map(Arc::as_ref)
+    }
+
+    /// Methods currently in the code cache (for artifact comparisons).
+    pub fn compiled_methods(&self) -> Vec<MethodId> {
+        let mut methods: Vec<MethodId> = self.code_cache.keys().copied().collect();
+        methods.sort_unstable_by_key(|m| m.index());
+        methods
     }
 
     /// Resets static variables to defaults (heap contents and statistics
@@ -195,7 +255,12 @@ impl Vm {
         if self.depth > 400 {
             return Err(VmError::Internal("call stack overflow".into()));
         }
-        let program = Rc::clone(&self.program);
+        let program = Arc::clone(&self.program);
+        // Method-entry safepoint: install anything the background
+        // compilers finished since the last poll.
+        if self.options.jit_mode == JitMode::Background {
+            self.drain_background();
+        }
         if let Some(code) = self.code_cache.get(&method).cloned() {
             return self.run_compiled(&program, &code, args);
         }
@@ -203,36 +268,172 @@ impl Vm {
             && !self.bailed_out.contains(&method)
             && self.profiles.invocation_count(method) >= self.options.compile_threshold
         {
-            let compiled = match self.options.trace.clone() {
-                Some(mut sink) => {
-                    if self.evicted.contains(&method) {
-                        sink.emit_event(&TraceEvent::Recompile {
-                            method: program.method(method).qualified_name(&program),
-                        });
+            match self.options.jit_mode {
+                JitMode::Sync => {
+                    let compiled = match self.options.trace.clone() {
+                        Some(mut sink) => {
+                            if self.evicted.contains(&method) {
+                                sink.emit_event(&TraceEvent::Recompile {
+                                    method: program.method(method).qualified_name(&program),
+                                });
+                            }
+                            compile_traced(
+                                &program,
+                                method,
+                                Some(&self.profiles),
+                                &self.options.compiler,
+                                &mut sink,
+                            )
+                        }
+                        None => compile(
+                            &program,
+                            method,
+                            Some(&self.profiles),
+                            &self.options.compiler,
+                        ),
+                    };
+                    match compiled {
+                        Ok(code) => {
+                            self.heap.stats.compiles += 1;
+                            let code = Arc::new(code);
+                            self.code_cache.insert(method, Arc::clone(&code));
+                            return self.run_compiled(&program, &code, args);
+                        }
+                        Err(_) => {
+                            self.bailed_out.insert(method);
+                        }
                     }
-                    compile_traced(
-                        &program,
-                        method,
-                        Some(&self.profiles),
-                        &self.options.compiler,
-                        &mut sink,
-                    )
                 }
-                None => compile(&program, method, Some(&self.profiles), &self.options.compiler),
-            };
-            match compiled {
+                JitMode::Background => {
+                    // Snapshot the profiles and keep interpreting; the
+                    // artifact is installed at a later safepoint.
+                    self.request_background(method);
+                }
+            }
+        }
+        interpret(&program, self, method, args)
+    }
+
+    /// Enqueues a background compilation of `method` (deduplicated by the
+    /// service). The profile snapshot makes the artifact a deterministic
+    /// function of the request: later interpreter profiling cannot leak
+    /// into an in-flight compilation.
+    fn request_background(&mut self, method: MethodId) {
+        if self.service.is_none() {
+            self.service = Some(CompileService::start(
+                Arc::clone(&self.program),
+                self.options.compiler.clone(),
+                self.options.trace.clone(),
+                &CompileServiceOptions {
+                    workers: self.options.compile_workers,
+                    queue_capacity: self.options.compile_queue_capacity,
+                },
+            ));
+        }
+        let hotness = self.profiles.invocation_count(method);
+        let epoch = self.evict_epochs.get(&method).copied().unwrap_or(0);
+        let snapshot = self.profiles.clone();
+        let service = self.service.as_ref().expect("service just started");
+        if service.request(method, hotness, epoch, snapshot) && self.evicted.contains(&method) {
+            if let Some(sink) = &self.options.trace {
+                sink.emit_event(&TraceEvent::Recompile {
+                    method: self.program.method(method).qualified_name(&self.program),
+                });
+            }
+        }
+    }
+
+    /// Installs finished background compilations (a safepoint action:
+    /// called at method entry and interpreter loop back-edges).
+    fn drain_background(&mut self) {
+        let Some(service) = &self.service else {
+            return;
+        };
+        for outcome in service.drain() {
+            let current_epoch = self.evict_epochs.get(&outcome.method).copied().unwrap_or(0);
+            if outcome.epoch != current_epoch {
+                // Compiled before the method's latest eviction: the
+                // speculation that kept deoptimizing. Drop it; the fresh
+                // profile will trigger a new request.
+                continue;
+            }
+            match outcome.result {
                 Ok(code) => {
                     self.heap.stats.compiles += 1;
-                    let code = Rc::new(code);
-                    self.code_cache.insert(method, Rc::clone(&code));
-                    return self.run_compiled(&program, &code, args);
+                    self.code_cache.insert(outcome.method, Arc::new(code));
+                }
+                Err(_) => {
+                    self.bailed_out.insert(outcome.method);
+                }
+            }
+        }
+    }
+
+    /// Blocks until every requested background compilation has finished,
+    /// then installs the artifacts. Returns the number of methods now in
+    /// the code cache. No-op in sync mode.
+    pub fn await_background_compiles(&mut self) -> usize {
+        if let Some(service) = &self.service {
+            service.wait_idle();
+            self.drain_background();
+        }
+        self.code_cache.len()
+    }
+
+    /// Compiles every method of the program on `parallelism` threads from
+    /// the current profiles and installs the results, skipping methods
+    /// already compiled. Methods that bail out are marked interpreted.
+    /// Returns the number of methods installed.
+    ///
+    /// This is the batch counterpart of the background service: workloads
+    /// with a known method universe (benchmark corpora, ahead-of-time
+    /// warmup) compile everything at once instead of discovering hot
+    /// methods one threshold crossing at a time.
+    pub fn precompile_all(&mut self, parallelism: usize) -> usize {
+        let parallelism = parallelism.max(1);
+        let program = Arc::clone(&self.program);
+        let profiles = &self.profiles;
+        let options = &self.options.compiler;
+        let methods: Vec<MethodId> = (0..program.methods.len())
+            .map(MethodId::from_index)
+            .filter(|m| !self.code_cache.contains_key(m))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(MethodId, Result<CompiledMethod, Bailout>)>> =
+            Mutex::new(Vec::with_capacity(methods.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..parallelism.min(methods.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&method) = methods.get(i) else {
+                        break;
+                    };
+                    let r = compile(&program, method, Some(profiles), options);
+                    results
+                        .lock()
+                        .expect("precompile results poisoned")
+                        .push((method, r));
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("precompile results poisoned");
+        // Install in method order so the cache state is independent of
+        // thread completion order.
+        results.sort_unstable_by_key(|(m, _)| m.index());
+        let mut installed = 0;
+        for (method, result) in results {
+            match result {
+                Ok(code) => {
+                    self.heap.stats.compiles += 1;
+                    self.code_cache.insert(method, Arc::new(code));
+                    installed += 1;
                 }
                 Err(_) => {
                     self.bailed_out.insert(method);
                 }
             }
         }
-        interpret(&program, self, method, args)
+        installed
     }
 
     fn run_compiled(
@@ -268,6 +469,10 @@ impl Vm {
                     self.profiles.clear_method(method);
                     self.deopt_counts.remove(&method);
                     self.evicted.insert(method);
+                    // Invalidate in-flight background compilations of this
+                    // method: they speculate from the profile that just
+                    // failed.
+                    *self.evict_epochs.entry(method).or_insert(0) += 1;
                     if let Some(sink) = &self.options.trace {
                         sink.emit_event(&TraceEvent::Evict {
                             method: program.method(method).qualified_name(program),
@@ -321,6 +526,13 @@ impl InterpEnv for Vm {
     }
     fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
         self.call(method, args)
+    }
+    fn safepoint(&mut self) {
+        // Loop back-edge: install finished background compilations so a
+        // long-running interpreted loop still picks up compiled callees.
+        if self.options.jit_mode == JitMode::Background {
+            self.drain_background();
+        }
     }
 }
 
@@ -395,7 +607,10 @@ mod tests {
             }";
         let mut v = vm(src, VmOptions::with_opt_level(OptLevel::Pea));
         for i in 0..80 {
-            assert_eq!(v.call_entry("f", &[Value::Int(i)]).unwrap(), Some(Value::Int(i + 1)));
+            assert_eq!(
+                v.call_entry("f", &[Value::Int(i)]).unwrap(),
+                Some(Value::Int(i + 1))
+            );
         }
         assert_eq!(v.compiled_method_count(), 1);
         let before = v.stats();
@@ -427,7 +642,10 @@ mod tests {
         assert_eq!(v.compiled_method_count(), 1);
         // Hammer the cold branch until eviction.
         for _ in 0..20 {
-            assert_eq!(v.call_entry("f", &[Value::Int(-3)]).unwrap(), Some(Value::Int(-1)));
+            assert_eq!(
+                v.call_entry("f", &[Value::Int(-3)]).unwrap(),
+                Some(Value::Int(-1))
+            );
         }
         // Evicted at max_deopts, then re-profiled; it may have been
         // recompiled without the failing speculation afterwards.
@@ -441,7 +659,11 @@ mod tests {
         let before = v.stats();
         v.call_entry("f", &[Value::Int(-3)]).unwrap();
         v.call_entry("f", &[Value::Int(3)]).unwrap();
-        assert_eq!(v.stats().delta(&before).deopts, 0, "stable after re-profile");
+        assert_eq!(
+            v.stats().delta(&before).deopts,
+            0,
+            "stable after re-profile"
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ fn deopt_statistics_attribute_to_the_right_method() {
     options.compiler.build.branch_threshold = 4;
     let mut vm = vm_with(src, options);
     for i in 0..60 {
-        assert_eq!(vm.call_entry("f", &[Value::Int(i)]).unwrap(), Some(Value::Int(i)));
+        assert_eq!(
+            vm.call_entry("f", &[Value::Int(i)]).unwrap(),
+            Some(Value::Int(i))
+        );
     }
     let before = vm.stats();
     assert_eq!(
@@ -139,7 +142,10 @@ fn errors_do_not_poison_the_code_cache() {
         VmError::DivisionByZero
     );
     // ...and the method keeps running compiled afterwards.
-    assert_eq!(vm.call_entry("f", &[Value::Int(4)]).unwrap(), Some(Value::Int(25)));
+    assert_eq!(
+        vm.call_entry("f", &[Value::Int(4)]).unwrap(),
+        Some(Value::Int(25))
+    );
     assert_eq!(vm.compiled_method_count(), 1);
     assert_eq!(vm.stats().compiles, 1);
 }

@@ -545,11 +545,17 @@ mod tests {
         for p in [
             Pattern::BoxingArith { n: 10 },
             Pattern::TupleReturn { n: 10 },
-            Pattern::CacheLookup { n: 10, miss_every: 4 },
+            Pattern::CacheLookup {
+                n: 10,
+                miss_every: 4,
+            },
             Pattern::IteratorSum { len: 40 },
             Pattern::SyncCounter { n: 10 },
             Pattern::EscapeHeavy { n: 10, pool: 8 },
-            Pattern::MixedEscape { n: 10, escape_every: 4 },
+            Pattern::MixedEscape {
+                n: 10,
+                escape_every: 4,
+            },
             Pattern::ScratchVector { n: 10 },
             Pattern::ArrayFill { n: 5, len: 16 },
             Pattern::BranchyEscape { n: 10, branches: 4 },

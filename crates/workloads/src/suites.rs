@@ -67,9 +67,12 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
             true,
             vec![
                 TupleReturn { n: 15 },
-                MixedEscape { n: 20, escape_every: 8 },
+                MixedEscape {
+                    n: 20,
+                    escape_every: 8,
+                },
                 EscapeHeavy { n: 110, pool: 64 },
-            Ballast { n: 3000 },
+                Ballast { n: 3000 },
             ],
         ),
         w(
@@ -79,16 +82,22 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
                 SyncCounter { n: 40 },
                 EscapeHeavy { n: 120, pool: 64 },
                 ArrayFill { n: 10, len: 24 },
-            Ballast { n: 5000 },
+                Ballast { n: 5000 },
             ],
         ),
         w(
             "jython",
             true,
             vec![
-                BranchyEscape { n: 150, branches: 12 },
+                BranchyEscape {
+                    n: 150,
+                    branches: 12,
+                },
                 PolyDispatch { n: 40 },
-                MixedEscape { n: 30, escape_every: 3 },
+                MixedEscape {
+                    n: 30,
+                    escape_every: 3,
+                },
                 Ballast { n: 2600 },
             ],
         ),
@@ -99,7 +108,7 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
                 ScratchVector { n: 60 },
                 ArrayFill { n: 16, len: 48 },
                 EscapeHeavy { n: 60, pool: 64 },
-            Ballast { n: 6000 },
+                Ballast { n: 6000 },
             ],
         ),
         w(
@@ -107,19 +116,25 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
             true,
             vec![
                 SyncCounter { n: 30 },
-                CacheLookup { n: 15, miss_every: 16 },
+                CacheLookup {
+                    n: 15,
+                    miss_every: 16,
+                },
                 EscapeHeavy { n: 150, pool: 64 },
-            Ballast { n: 3000 },
+                Ballast { n: 3000 },
             ],
         ),
         w(
             "tradebeans",
             true,
             vec![
-                MixedEscape { n: 40, escape_every: 6 },
+                MixedEscape {
+                    n: 40,
+                    escape_every: 6,
+                },
                 EscapeHeavy { n: 130, pool: 64 },
                 TupleReturn { n: 10 },
-            Ballast { n: 3000 },
+                Ballast { n: 3000 },
             ],
         ),
         w(
@@ -129,35 +144,72 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
                 EscapeHeavy { n: 100, pool: 64 },
                 ArrayFill { n: 20, len: 32 },
                 BoxingArith { n: 15 },
-            Ballast { n: 3000 },
+                Ballast { n: 3000 },
             ],
         ),
         // Rows without significant change: dominated by true escapes and
         // array churn.
-        w("avrora", false, vec![EscapeHeavy { n: 60, pool: 64 }, ArrayFill { n: 8, len: 16 }, Ballast { n: 2000 },
-            ]),
-        w("batik", false, vec![ArrayFill { n: 20, len: 40 }, EscapeHeavy { n: 30, pool: 64 }, Ballast { n: 2000 },
-            ]),
+        w(
+            "avrora",
+            false,
+            vec![
+                EscapeHeavy { n: 60, pool: 64 },
+                ArrayFill { n: 8, len: 16 },
+                Ballast { n: 2000 },
+            ],
+        ),
+        w(
+            "batik",
+            false,
+            vec![
+                ArrayFill { n: 20, len: 40 },
+                EscapeHeavy { n: 30, pool: 64 },
+                Ballast { n: 2000 },
+            ],
+        ),
         w(
             "eclipse",
             false,
-            vec![EscapeHeavy { n: 90, pool: 64 }, PolyDispatch { n: 30 }, Ballast { n: 2000 },
+            vec![
+                EscapeHeavy { n: 90, pool: 64 },
+                PolyDispatch { n: 30 },
+                Ballast { n: 2000 },
             ],
         ),
-        w("luindex", false, vec![ArrayFill { n: 25, len: 24 }, EscapeHeavy { n: 20, pool: 64 }, Ballast { n: 2000 },
-            ]),
+        w(
+            "luindex",
+            false,
+            vec![
+                ArrayFill { n: 25, len: 24 },
+                EscapeHeavy { n: 20, pool: 64 },
+                Ballast { n: 2000 },
+            ],
+        ),
         w(
             "lusearch",
             false,
-            vec![ArrayFill { n: 30, len: 32 }, EscapeHeavy { n: 40, pool: 64 }, Ballast { n: 2000 },
+            vec![
+                ArrayFill { n: 30, len: 32 },
+                EscapeHeavy { n: 40, pool: 64 },
+                Ballast { n: 2000 },
             ],
         ),
-        w("pmd", false, vec![EscapeHeavy { n: 70, pool: 64 }, PolyDispatch { n: 40 }, Ballast { n: 2000 },
-            ]),
+        w(
+            "pmd",
+            false,
+            vec![
+                EscapeHeavy { n: 70, pool: 64 },
+                PolyDispatch { n: 40 },
+                Ballast { n: 2000 },
+            ],
+        ),
         w(
             "tradesoap",
             false,
-            vec![EscapeHeavy { n: 100, pool: 64 }, ArrayFill { n: 10, len: 48 }, Ballast { n: 2000 },
+            vec![
+                EscapeHeavy { n: 100, pool: 64 },
+                ArrayFill { n: 10, len: 48 },
+                Ballast { n: 2000 },
             ],
         ),
     ]
@@ -181,7 +233,7 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 BoxingArith { n: 25 },
                 SyncCounter { n: 25 },
                 EscapeHeavy { n: 110, pool: 64 },
-            Ballast { n: 3000 },
+                Ballast { n: 3000 },
             ],
         ),
         w(
@@ -190,7 +242,7 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 ArrayFill { n: 25, len: 40 },
                 TupleReturn { n: 40 },
                 EscapeHeavy { n: 40, pool: 64 },
-            Ballast { n: 2000 },
+                Ballast { n: 2000 },
             ],
         ),
         w(
@@ -199,7 +251,7 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 BoxingArith { n: 200 },
                 ScratchVector { n: 80 },
                 ArrayFill { n: 6, len: 32 },
-            Ballast { n: 6000 },
+                Ballast { n: 6000 },
             ],
         ),
         w(
@@ -208,16 +260,19 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 TupleReturn { n: 18 },
                 IteratorSum { len: 48 },
                 EscapeHeavy { n: 90, pool: 64 },
-            Ballast { n: 2500 },
+                Ballast { n: 2500 },
             ],
         ),
         w(
             "scalac",
             vec![
                 BoxingArith { n: 25 },
-                MixedEscape { n: 25, escape_every: 5 },
+                MixedEscape {
+                    n: 25,
+                    escape_every: 5,
+                },
                 EscapeHeavy { n: 110, pool: 64 },
-            Ballast { n: 3000 },
+                Ballast { n: 3000 },
             ],
         ),
         w(
@@ -226,7 +281,7 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 TupleReturn { n: 30 },
                 BoxingArith { n: 15 },
                 EscapeHeavy { n: 110, pool: 64 },
-            Ballast { n: 3000 },
+                Ballast { n: 3000 },
             ],
         ),
         w(
@@ -235,16 +290,19 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 IteratorSum { len: 64 },
                 TupleReturn { n: 12 },
                 EscapeHeavy { n: 80, pool: 64 },
-            Ballast { n: 2500 },
+                Ballast { n: 2500 },
             ],
         ),
         w(
             "scalariform",
             vec![
                 TupleReturn { n: 25 },
-                MixedEscape { n: 15, escape_every: 6 },
+                MixedEscape {
+                    n: 15,
+                    escape_every: 6,
+                },
                 EscapeHeavy { n: 110, pool: 64 },
-            Ballast { n: 3000 },
+                Ballast { n: 3000 },
             ],
         ),
         w(
@@ -253,16 +311,19 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 EscapeHeavy { n: 80, pool: 64 },
                 ArrayFill { n: 10, len: 24 },
                 TupleReturn { n: 10 },
-            Ballast { n: 2500 },
+                Ballast { n: 2500 },
             ],
         ),
         w(
             "scalaxb",
             vec![
-                MixedEscape { n: 25, escape_every: 5 },
+                MixedEscape {
+                    n: 25,
+                    escape_every: 5,
+                },
                 ArrayFill { n: 10, len: 24 },
                 EscapeHeavy { n: 80, pool: 64 },
-            Ballast { n: 2500 },
+                Ballast { n: 2500 },
             ],
         ),
         w(
@@ -271,7 +332,7 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 BoxingArith { n: 160 },
                 TupleReturn { n: 80 },
                 ArrayFill { n: 10, len: 56 },
-            Ballast { n: 5000 },
+                Ballast { n: 5000 },
             ],
         ),
         w(
@@ -280,7 +341,7 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 ArrayFill { n: 30, len: 48 },
                 BoxingArith { n: 30 },
                 EscapeHeavy { n: 40, pool: 64 },
-            Ballast { n: 2500 },
+                Ballast { n: 2500 },
             ],
         ),
     ]
@@ -295,7 +356,10 @@ pub fn specjbb() -> WorkloadSpec {
         suite: Suite::SpecJbb,
         significant: true,
         parts: vec![
-            CacheLookup { n: 30, miss_every: 12 },
+            CacheLookup {
+                n: 30,
+                miss_every: 12,
+            },
             SyncCounter { n: 40 },
             TupleReturn { n: 25 },
             EscapeHeavy { n: 110, pool: 64 },

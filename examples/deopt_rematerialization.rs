@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cold.alloc_count, cold.deopts, cold.rematerialized
     );
     assert_eq!(cold.deopts, 1, "guard failed once");
-    assert!(cold.rematerialized >= 1, "box was rebuilt from the frame state");
+    assert!(
+        cold.rematerialized >= 1,
+        "box was rebuilt from the frame state"
+    );
 
     // The interpreter finished the branch: the box is published with the
     // right field value.

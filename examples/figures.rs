@@ -131,7 +131,11 @@ fn fig4_and_5() {
     println!("-- Fig. 5: store into an escaped object --");
     println!("before:\n{}", dump(&g));
     let r = run_pea(&mut g, &program, &PeaOptions::default());
-    println!("after ({} materializations — both objects exist):\n{}", r.materializations, dump(&g));
+    println!(
+        "after ({} materializations — both objects exist):\n{}",
+        r.materializations,
+        dump(&g)
+    );
 }
 
 fn fig6() {
@@ -141,7 +145,10 @@ fn fig6() {
     // field phi (Fig. 6 all-virtual case); the same graph under the
     // no-field-phi ablation materializes at both predecessors (Fig. 6b).
     for (label, options) in [
-        ("field phis enabled (object stays virtual)", PeaOptions::default()),
+        (
+            "field phis enabled (object stays virtual)",
+            PeaOptions::default(),
+        ),
         (
             "ablation: field phis disabled (materialized at both ends)",
             PeaOptions {
@@ -204,7 +211,10 @@ fn fig7() {
         "loop rounds until the speculative state stabilized: {}",
         r.loop_rounds
     );
-    println!("after (object virtual through two back edges; field is a loop phi):\n{}", dump(&g));
+    println!(
+        "after (object virtual through two back edges; field is a loop phi):\n{}",
+        dump(&g)
+    );
 }
 
 fn fig8() {

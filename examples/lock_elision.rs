@@ -41,15 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("each of the 100 `add` calls locks and unlocks the counter.\n");
     for (label, options) in [
         ("interpreter", VmOptions::interpreter_only()),
-        ("JIT, no escape analysis", VmOptions::with_opt_level(OptLevel::None)),
         (
-            "JIT, PEA lock-elision off",
-            {
-                let mut o = VmOptions::with_opt_level(OptLevel::Pea);
-                o.compiler.pea.lock_elision = false;
-                o
-            },
+            "JIT, no escape analysis",
+            VmOptions::with_opt_level(OptLevel::None),
         ),
+        ("JIT, PEA lock-elision off", {
+            let mut o = VmOptions::with_opt_level(OptLevel::Pea);
+            o.compiler.pea.lock_elision = false;
+            o
+        }),
         ("JIT, full PEA", VmOptions::with_opt_level(OptLevel::Pea)),
     ] {
         let program = parse_program(SOURCE)?;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pea run <file.asm> <entry> [args...] [--level none|ees|pea] [--interp]
-//!         [--trace|--trace-json]                       # + VM/PEA event log
+//!         [--jit-mode sync|background] [--trace|--trace-json]  # + VM/PEA event log
 //! pea trace <file.asm> [method] [--level ...] [--json] # decision trace only
 //! pea dump <file.asm> <method> [--level none|ees|pea]  # IR before/after
 //! pea dot <file.asm> <method> [--level ...]            # GraphViz output
@@ -25,7 +25,7 @@ use pea::bytecode::asm::parse_program;
 use pea::compiler::{compile, compile_traced, CompilerOptions, OptLevel};
 use pea::runtime::Value;
 use pea::trace::{JsonLinesSink, PrettySink, SharedSink, TraceSink};
-use pea::vm::{Vm, VmOptions};
+use pea::vm::{JitMode, Vm, VmOptions};
 use std::process::ExitCode;
 
 fn parse_level(args: &[String]) -> OptLevel {
@@ -75,7 +75,7 @@ fn stdout_sink(args: &[String]) -> Option<SharedSink> {
 
 fn cmd_run(args: &[String]) -> ExitCode {
     let [path, entry, rest @ ..] = args else {
-        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N] [--trace|--trace-json]");
+        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N] [--jit-mode sync|background] [--trace|--trace-json]");
         return ExitCode::from(2);
     };
     let program = load(path);
@@ -105,12 +105,28 @@ fn cmd_run(args: &[String]) -> ExitCode {
     } else {
         VmOptions::with_opt_level(parse_level(rest))
     };
+    if let Some(mode) = rest
+        .iter()
+        .position(|a| a == "--jit-mode")
+        .and_then(|i| rest.get(i + 1))
+    {
+        options.jit_mode = mode.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
     options.trace = stdout_sink(rest);
+    let background = options.jit_mode == JitMode::Background;
     let mut vm = Vm::new(program, options);
     for _ in 0..warmup {
         if vm.call_entry(entry, &call_args).is_err() {
             break; // errors reported by the measured call below
         }
+    }
+    if background {
+        // Settle: measure steady-state compiled code, not the race between
+        // the warmup loop and the compile queue.
+        vm.await_background_compiles();
     }
     let before = vm.stats();
     match vm.call_entry(entry, &call_args) {
@@ -192,7 +208,12 @@ fn compiled_for(args: &[String]) -> Option<(pea::compiler::CompiledMethod, Strin
             eprintln!("no static method `{method_name}`");
             std::process::exit(2);
         });
-    match compile(&program, method, None, &CompilerOptions::with_opt_level(level)) {
+    match compile(
+        &program,
+        method,
+        None,
+        &CompilerOptions::with_opt_level(level),
+    ) {
         Ok(code) => Some((code, method_name.clone())),
         Err(e) => {
             eprintln!("compilation bailout: {e}");

@@ -16,8 +16,8 @@ use pea::runtime::{Value, VmError};
 use pea::trace::{MemorySink, SharedSink, TraceEvent};
 use pea::vm::{OptLevel, Vm, VmOptions};
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A structured mini-AST lowered to verified bytecode, so every generated
 /// program is executable (runtime errors like null dereferences are still
@@ -136,7 +136,8 @@ impl Lowerer<'_> {
             }
             Expr::GetField(o, f) => {
                 self.mb.load(self.obj_local(*o));
-                self.mb.get_field(self.fields[usize::from(*f) % self.fields.len()]);
+                self.mb
+                    .get_field(self.fields[usize::from(*f) % self.fields.len()]);
             }
             Expr::GetStatic(s) => {
                 self.mb
@@ -283,13 +284,13 @@ fn observe(vm: &Vm) -> Vec<String> {
                 let fields: Vec<String> = program
                     .instance_fields(class)
                     .iter()
-                    .map(|&f| {
-                        match vm.heap().get_field(program, r, f).expect("field") {
+                    .map(
+                        |&f| match vm.heap().get_field(program, r, f).expect("field") {
                             Value::Int(x) => x.to_string(),
                             Value::Null => "null".into(),
                             Value::Ref(_) => "ref".into(),
-                        }
-                    })
+                        },
+                    )
                     .collect();
                 out.push(format!("s{i}=obj[{}]", fields.join(",")));
             }
@@ -301,12 +302,12 @@ fn observe(vm: &Vm) -> Vec<String> {
     // can observe (and which compiled code correctly never allocated).
     let mut reachable_locks = 0u64;
     let mut work: Vec<pea::runtime::ObjRef> = (0..program.statics.len())
-        .filter_map(|i| {
-            match vm.statics_ref().get(pea::bytecode::StaticId::from_index(i)) {
+        .filter_map(
+            |i| match vm.statics_ref().get(pea::bytecode::StaticId::from_index(i)) {
                 Value::Ref(r) => Some(r),
                 _ => None,
-            }
-        })
+            },
+        )
         .collect();
     let mut seen = std::collections::HashSet::new();
     while let Some(r) = work.pop() {
@@ -421,12 +422,11 @@ fn fixed_regression_cases() {
             NewObj(1),
             Loop(
                 3,
-                vec![
-                    StoreField(1, 0, Expr::Add(
-                        Box::new(Expr::GetField(1, 0)),
-                        Box::new(Expr::IntLocal(0)),
-                    )),
-                ],
+                vec![StoreField(
+                    1,
+                    0,
+                    Expr::Add(Box::new(Expr::GetField(1, 0)), Box::new(Expr::IntLocal(0))),
+                )],
             ),
             AssignInt(2, Expr::GetField(1, 0)),
         ],
@@ -435,10 +435,10 @@ fn fixed_regression_cases() {
         // Field access on null.
         vec![AssignInt(0, Expr::GetField(0, 0))],
         // Division by a value that can be zero.
-        vec![AssignInt(0, Expr::Div(
-            Box::new(Expr::IntLocal(0)),
-            Box::new(Expr::IntLocal(1)),
-        ))],
+        vec![AssignInt(
+            0,
+            Expr::Div(Box::new(Expr::IntLocal(0)), Box::new(Expr::IntLocal(1))),
+        )],
     ];
     for body in cases {
         let program = build_program(&body);
@@ -463,7 +463,7 @@ fn fixed_regression_cases() {
 // tests check the claims against the runtime counters the heap keeps
 // independently.
 
-fn traced_vm(program: &Program, mut options: VmOptions) -> (Vm, Rc<RefCell<MemorySink>>) {
+fn traced_vm(program: &Program, mut options: VmOptions) -> (Vm, Arc<Mutex<MemorySink>>) {
     let (sink, mem) = SharedSink::new(MemorySink::new());
     options.trace = Some(sink);
     (Vm::new(program.clone(), options), mem)
@@ -477,8 +477,13 @@ fn speculative_pea_options() -> VmOptions {
     options
 }
 
-fn count_events(mem: &Rc<RefCell<MemorySink>>, pred: impl Fn(&TraceEvent) -> bool) -> usize {
-    mem.borrow().events.iter().filter(|e| pred(e)).count()
+fn count_events(mem: &Arc<Mutex<MemorySink>>, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+    mem.lock()
+        .unwrap()
+        .events
+        .iter()
+        .filter(|e| pred(e))
+        .count()
 }
 
 proptest! {
@@ -500,7 +505,7 @@ proptest! {
         // Every deoptimization's rematerialization inventory must account
         // for exactly the objects the heap says were rematerialized.
         let remat_logged: u64 = mem
-            .borrow()
+            .lock().unwrap()
             .events
             .iter()
             .map(|e| match e {
@@ -516,7 +521,7 @@ proptest! {
 
         // Only virtualized sites can materialize.
         let mat_sites: std::collections::HashSet<u32> = mem
-            .borrow()
+            .lock().unwrap()
             .events
             .iter()
             .filter_map(|e| match e {
@@ -525,7 +530,7 @@ proptest! {
             })
             .collect();
         let virt_sites: std::collections::HashSet<u32> = mem
-            .borrow()
+            .lock().unwrap()
             .events
             .iter()
             .filter_map(|e| match e {
@@ -546,7 +551,7 @@ proptest! {
         // allocations, and the allocations that do happen stay within the
         // unoptimized run of the same window (§4: "at most as many dynamic
         // allocations as in the original code").
-        let events_before = mem.borrow().events.len();
+        let events_before = mem.lock().unwrap().events.len();
         let before = vm.stats();
         const WINDOW: i64 = 4;
         for round in 0..WINDOW {
@@ -554,7 +559,7 @@ proptest! {
         }
         let d = vm.stats().delta(&before);
         let window_quiet = {
-            let log = mem.borrow();
+            let log = mem.lock().unwrap();
             !log.events[events_before..].iter().any(|e| {
                 matches!(
                     e,
@@ -635,7 +640,8 @@ fn elided_locks_never_acquired_at_runtime() {
             .expect("warmup");
     }
     let elided: Vec<u32> = mem
-        .borrow()
+        .lock()
+        .unwrap()
         .events
         .iter()
         .filter_map(|e| match e {

@@ -57,7 +57,10 @@ fn cache_example_full_stack() {
     }
     assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
     assert_eq!(hit_allocs[0], 1, "no EA: every call allocates a key");
-    assert_eq!(hit_allocs[1], 1, "EES: the key escapes somewhere, so never optimized");
+    assert_eq!(
+        hit_allocs[1], 1,
+        "EES: the key escapes somewhere, so never optimized"
+    );
     assert_eq!(hit_allocs[2], 0, "PEA: hit path allocates nothing");
 }
 
@@ -145,7 +148,10 @@ fn recursive_calls_across_tiers() {
                 Some(Value::Int(610))
             );
         }
-        assert!(vm.compiled_method_count() >= 1, "fib gets hot via recursion");
+        assert!(
+            vm.compiled_method_count() >= 1,
+            "fib gets hot via recursion"
+        );
         assert_eq!(
             vm.call_entry("fib", &[Value::Int(20)]).unwrap(),
             Some(Value::Int(6765))
@@ -237,7 +243,16 @@ fn workload_smoke_long_horizon() {
             let b = jit.call_entry("iterate", &[Value::Int(i)]).unwrap();
             assert_eq!(a, b, "{} diverges at iteration {i}", w.name);
         }
-        assert_eq!(jit.heap().total_lock_holds(), 0, "{}: leaked monitors", w.name);
-        assert!(jit.compiled_method_count() > 0, "{}: nothing compiled", w.name);
+        assert_eq!(
+            jit.heap().total_lock_holds(),
+            0,
+            "{}: leaked monitors",
+            w.name
+        );
+        assert!(
+            jit.compiled_method_count() > 0,
+            "{}: nothing compiled",
+            w.name
+        );
     }
 }
