@@ -1,0 +1,369 @@
+//! A small worklist dataflow framework over method bytecode.
+//!
+//! Analyses implement [`ForwardAnalysis`] or [`BackwardAnalysis`]: a state
+//! type forming a join-semilattice (the `join` must be monotone and
+//! idempotent), a boundary state, and a per-instruction transfer function.
+//! The solvers iterate a worklist over bytecode indices until the per-bci
+//! states stabilize.
+//!
+//! Transfer functions take `&mut self` so an analysis can accumulate global
+//! facts (escape classes, findings) while solving. Because the solver may
+//! visit an instruction several times before the fixpoint, such accumulation
+//! must be **idempotent** — grow monotone sets, never bump counters.
+
+use pea_bytecode::{Insn, Method, Program};
+
+/// A fixed-capacity bit set used as the workhorse abstract domain: joins are
+/// word-wise ORs and the lattice height is bounded by the bit count, which
+/// guarantees solver termination.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `n` bits.
+    pub fn new(n: usize) -> BitSet {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    pub fn insert(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1 << (bit % 64);
+    }
+
+    pub fn remove(&mut self, bit: usize) {
+        if let Some(w) = self.words.get_mut(bit / 64) {
+            *w &= !(1u64 << (bit % 64));
+        }
+    }
+
+    pub fn contains(&self, bit: usize) -> bool {
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1 << (bit % 64)) != 0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Unions `other` into `self`; true when any new bit appeared.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// True when the two sets share at least one bit.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates the set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| i * 64 + b)
+        })
+    }
+}
+
+/// Successor bytecode indices of the instruction at `bci`.
+pub fn successors(insn: Insn, bci: usize) -> impl Iterator<Item = usize> {
+    let branch = insn.branch_target().map(|t| t as usize);
+    let fall = if insn.falls_through() {
+        Some(bci + 1)
+    } else {
+        None
+    };
+    branch.into_iter().chain(fall)
+}
+
+/// A forward dataflow analysis: states flow from method entry toward
+/// instruction successors.
+pub trait ForwardAnalysis {
+    type State: Clone;
+
+    /// The state on entry to the method (before bci 0).
+    fn boundary(&mut self, program: &Program, method: &Method) -> Self::State;
+
+    /// Joins `b` into `a`; true when `a` changed. Must be monotone.
+    fn join(a: &mut Self::State, b: &Self::State) -> bool;
+
+    /// Applies the instruction at `bci` to `state` in place. May record
+    /// global facts on `self` (idempotently — see the module docs).
+    fn transfer(
+        &mut self,
+        program: &Program,
+        method: &Method,
+        bci: usize,
+        insn: Insn,
+        state: &mut Self::State,
+    );
+}
+
+/// Runs `analysis` to a fixpoint and returns the state *entering* each
+/// bytecode index (`None` for unreachable instructions).
+pub fn solve_forward<A: ForwardAnalysis>(
+    program: &Program,
+    method: &Method,
+    analysis: &mut A,
+) -> Vec<Option<A::State>> {
+    let code = &method.code;
+    let mut input: Vec<Option<A::State>> = vec![None; code.len()];
+    if code.is_empty() {
+        return input;
+    }
+    input[0] = Some(analysis.boundary(program, method));
+    let mut work = vec![0usize];
+    while let Some(bci) = work.pop() {
+        let mut state = input[bci].clone().expect("worklist entries have states");
+        let insn = code[bci];
+        analysis.transfer(program, method, bci, insn, &mut state);
+        for succ in successors(insn, bci) {
+            match &mut input[succ] {
+                Some(existing) => {
+                    if A::join(existing, &state) {
+                        work.push(succ);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(state.clone());
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    input
+}
+
+/// A backward dataflow analysis: states flow from method exits toward
+/// instruction predecessors.
+pub trait BackwardAnalysis {
+    type State: Clone;
+
+    /// The state *after* a terminator (return/throw).
+    fn boundary(&mut self, program: &Program, method: &Method) -> Self::State;
+
+    /// Joins `b` into `a`; true when `a` changed. Must be monotone.
+    fn join(a: &mut Self::State, b: &Self::State) -> bool;
+
+    /// Transforms the state holding *after* the instruction at `bci` into
+    /// the state holding *before* it, in place.
+    fn transfer(
+        &mut self,
+        program: &Program,
+        method: &Method,
+        bci: usize,
+        insn: Insn,
+        state: &mut Self::State,
+    );
+}
+
+/// Runs `analysis` backward to a fixpoint and returns the state *before*
+/// each bytecode index.
+pub fn solve_backward<A: BackwardAnalysis>(
+    program: &Program,
+    method: &Method,
+    analysis: &mut A,
+) -> Vec<Option<A::State>> {
+    let code = &method.code;
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); code.len()];
+    for (bci, &insn) in code.iter().enumerate() {
+        for succ in successors(insn, bci) {
+            preds[succ].push(bci);
+        }
+    }
+    let mut before: Vec<Option<A::State>> = vec![None; code.len()];
+    // Seed every instruction once; terminators start from the exit
+    // boundary, everything else becomes live once a successor has a state.
+    let mut work: Vec<usize> = (0..code.len()).collect();
+    while let Some(bci) = work.pop() {
+        let insn = code[bci];
+        let mut after: Option<A::State> = if insn.is_terminator() {
+            Some(analysis.boundary(program, method))
+        } else {
+            None
+        };
+        for succ in successors(insn, bci) {
+            if let Some(s) = &before[succ] {
+                match &mut after {
+                    Some(a) => {
+                        A::join(a, s);
+                    }
+                    slot @ None => *slot = Some(s.clone()),
+                }
+            }
+        }
+        let Some(mut state) = after else { continue };
+        analysis.transfer(program, method, bci, insn, &mut state);
+        let changed = match &mut before[bci] {
+            Some(existing) => A::join(existing, &state),
+            slot @ None => {
+                *slot = Some(state);
+                true
+            }
+        };
+        if changed {
+            work.extend(preds[bci].iter().copied());
+        }
+    }
+    before
+}
+
+/// Per-bci sets of locals that may be read before being overwritten later
+/// in the method — the textbook backward liveness analysis, exposed both as
+/// a framework demonstration and for dead-store reporting.
+pub fn live_locals(program: &Program, method: &Method) -> Vec<Option<BitSet>> {
+    struct Liveness {
+        n_locals: usize,
+    }
+    impl BackwardAnalysis for Liveness {
+        type State = BitSet;
+        fn boundary(&mut self, _program: &Program, _method: &Method) -> BitSet {
+            BitSet::new(self.n_locals)
+        }
+        fn join(a: &mut BitSet, b: &BitSet) -> bool {
+            a.union_with(b)
+        }
+        fn transfer(
+            &mut self,
+            _program: &Program,
+            _method: &Method,
+            _bci: usize,
+            insn: Insn,
+            state: &mut BitSet,
+        ) {
+            match insn {
+                Insn::Store(n) => state.remove(n as usize),
+                Insn::Load(n) => state.insert(n as usize),
+                _ => {}
+            }
+        }
+    }
+    let mut analysis = Liveness {
+        n_locals: method.max_locals as usize,
+    };
+    solve_backward(program, method, &mut analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::asm::parse_program;
+
+    #[test]
+    fn bitset_ops() {
+        let mut a = BitSet::new(130);
+        a.insert(0);
+        a.insert(65);
+        a.insert(129);
+        assert!(a.contains(65) && !a.contains(64));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 65, 129]);
+        a.remove(65);
+        assert!(!a.contains(65));
+        a.insert(65);
+        let mut b = BitSet::new(130);
+        b.insert(64);
+        assert!(!a.intersects(&b));
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a), "second union is a no-op");
+        assert!(a.intersects(&b));
+    }
+
+    /// Forward toy analysis: which `const` bcis may have produced the
+    /// current top-of-stack value. Exercises branch joins.
+    #[test]
+    fn forward_solver_joins_across_branches() {
+        let program = parse_program(
+            "method m 1 returns {
+                load 0 const 0 ifcmp ne Lb
+                const 7 goto Lr
+            Lb: const 9
+            Lr: retv
+            }",
+        )
+        .unwrap();
+        let method = &program.methods[0];
+
+        struct TopConst;
+        impl ForwardAnalysis for TopConst {
+            type State = BitSet;
+            fn boundary(&mut self, _p: &Program, m: &Method) -> BitSet {
+                BitSet::new(m.code.len())
+            }
+            fn join(a: &mut BitSet, b: &BitSet) -> bool {
+                a.union_with(b)
+            }
+            fn transfer(
+                &mut self,
+                _p: &Program,
+                m: &Method,
+                bci: usize,
+                insn: Insn,
+                state: &mut BitSet,
+            ) {
+                if matches!(insn, Insn::Const(_)) {
+                    *state = BitSet::new(m.code.len());
+                    state.insert(bci);
+                }
+            }
+        }
+        let states = solve_forward(&program, method, &mut TopConst);
+        // retv is the last instruction; both arms' consts reach it.
+        let at_ret = states.last().unwrap().as_ref().unwrap();
+        assert_eq!(at_ret.iter().count(), 2, "{at_ret:?}");
+        assert!(!at_ret.contains(1), "comparison const was overwritten");
+    }
+
+    #[test]
+    fn backward_liveness_sees_loop_carried_use() {
+        let program = parse_program(
+            "method m 1 returns {
+                load 0 store 1
+            L:  load 1 const 0 ifcmp eq Ld
+                load 1 const 1 sub store 1 goto L
+            Ld: load 1 retv
+            }",
+        )
+        .unwrap();
+        let method = &program.methods[0];
+        let live = live_locals(&program, method);
+        // At the loop header (bci 2), local 1 is live around the back edge.
+        assert!(live[2].as_ref().unwrap().contains(1));
+        // On entry, local 0 is live but local 1 is not yet.
+        let entry = live[0].as_ref().unwrap();
+        assert!(entry.contains(0) && !entry.contains(1));
+    }
+
+    #[test]
+    fn unreachable_code_has_no_state() {
+        let program = parse_program(
+            "method m 0 returns {
+                const 1 retv
+                const 2 retv
+            }",
+        )
+        .unwrap();
+        let method = &program.methods[0];
+
+        struct Unit;
+        impl ForwardAnalysis for Unit {
+            type State = ();
+            fn boundary(&mut self, _p: &Program, _m: &Method) {}
+            fn join(_a: &mut (), _b: &()) -> bool {
+                false
+            }
+            fn transfer(&mut self, _p: &Program, _m: &Method, _b: usize, _i: Insn, _s: &mut ()) {}
+        }
+        let states = solve_forward(&program, method, &mut Unit);
+        assert!(states[0].is_some() && states[2].is_none());
+    }
+}

@@ -1,0 +1,634 @@
+//! Flow-insensitive, conservative escape pre-analysis.
+//!
+//! Every `new`/`newarray` site in a method is classified on the classic
+//! three-point lattice
+//!
+//! ```text
+//! NoEscape  <  ArgEscape  <  GlobalEscape
+//! ```
+//!
+//! following whole-method escape analyses built by abstract interpretation
+//! (Hill & Spoto). The analysis runs the forward [`crate::dataflow`] solver
+//! with **source sets** as the abstract value: each stack slot and local
+//! holds the set of allocation sites, parameters, and/or the *unknown*
+//! source that may have produced it. Escaping operations (stores to
+//! statics, call arguments, returns) raise the class of every source in the
+//! operand set; stores into tracked objects record field *contents* so that
+//! later loads re-surface the stored sources (this is what makes the
+//! verdicts sound against PEA's load elision, which forwards stored values
+//! directly).
+//!
+//! The analysis **over-approximates**: it may report `ArgEscape` or
+//! `GlobalEscape` for an object that dynamically never leaves the method,
+//! but a `NoEscape` verdict is definitive. That direction is exactly what
+//! both consumers need — the compiler only *skips* PEA work for provably
+//! escaping sites, and the sanitizer only *rejects* PEA decisions that
+//! contradict a `NoEscape` proof.
+
+use crate::dataflow::{solve_forward, BitSet, ForwardAnalysis};
+use pea_bytecode::{ClassId, Insn, Method, MethodId, Program, ValueKind};
+
+/// Escape classification of an allocation site, ordered by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EscapeClass {
+    /// The object provably never leaves the method.
+    NoEscape,
+    /// The object may leave via a call argument, a return value, or a
+    /// store into a caller-visible object — but not via a static.
+    ArgEscape,
+    /// The object may become reachable from a static variable (or flows
+    /// into entirely unknown storage).
+    GlobalEscape,
+}
+
+impl EscapeClass {
+    /// Kebab-case tag for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EscapeClass::NoEscape => "no-escape",
+            EscapeClass::ArgEscape => "arg-escape",
+            EscapeClass::GlobalEscape => "global-escape",
+        }
+    }
+}
+
+/// What an allocation site allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocKind {
+    Instance(ClassId),
+    Array(ValueKind),
+}
+
+/// Per-site analysis result.
+#[derive(Clone, Debug)]
+pub struct AllocSite {
+    /// Bytecode index of the `new`/`newarray` instruction.
+    pub bci: u32,
+    pub kind: AllocKind,
+    pub escape: EscapeClass,
+    /// The site may appear in a `monitorenter`/`monitorexit` operand set
+    /// (including via values loaded back out of tracked objects).
+    pub locked: bool,
+    /// The site may flow into a call argument (including receivers).
+    pub passed_to_call: bool,
+    /// The allocation is immediately published: the very next instruction
+    /// is `putstatic` consuming the fresh reference. These sites escape
+    /// globally in *any* calling context, which makes them safe to exclude
+    /// from PEA up front (see the compiler's pre-filter opt level).
+    pub immediate_global: bool,
+}
+
+impl AllocSite {
+    /// Whether any execution could hold a monitor on this object: it is
+    /// locked directly, may reach a callee (which may lock it), or escapes
+    /// the method entirely.
+    pub fn may_be_locked(&self) -> bool {
+        self.locked || self.passed_to_call || self.escape != EscapeClass::NoEscape
+    }
+}
+
+/// Result of [`analyze_method`]: one entry per allocation site, in
+/// bytecode order.
+#[derive(Clone, Debug)]
+pub struct EscapeSummary {
+    pub method: MethodId,
+    pub sites: Vec<AllocSite>,
+}
+
+impl EscapeSummary {
+    /// The site allocated at `bci`, if any.
+    pub fn site_at(&self, bci: u32) -> Option<&AllocSite> {
+        self.sites.iter().find(|s| s.bci == bci)
+    }
+}
+
+/// All `new`/`newarray` sites of a method, in bytecode order.
+pub fn alloc_sites(method: &Method) -> Vec<(u32, AllocKind)> {
+    method
+        .code
+        .iter()
+        .enumerate()
+        .filter_map(|(bci, insn)| match insn {
+            Insn::New(c) => Some((bci as u32, AllocKind::Instance(*c))),
+            Insn::NewArray(k) => Some((bci as u32, AllocKind::Array(*k))),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Bcis of allocations whose fresh reference is consumed by an immediately
+/// following `putstatic` — the syntactic subset of `GlobalEscape` that is
+/// safe to exclude from PEA regardless of inlining context.
+pub fn immediate_global_sites(method: &Method) -> Vec<u32> {
+    alloc_sites(method)
+        .into_iter()
+        .filter(|&(bci, _)| matches!(method.code.get(bci as usize + 1), Some(Insn::PutStatic(_))))
+        .map(|(bci, _)| bci)
+        .collect()
+}
+
+/// Abstract frame: per-local and per-stack-slot source sets.
+#[derive(Clone, PartialEq, Eq)]
+struct Frame {
+    locals: Vec<BitSet>,
+    stack: Vec<BitSet>,
+}
+
+struct EscapeFlow {
+    /// Site bcis, defining source indices `0..n_sites`.
+    site_bcis: Vec<u32>,
+    n_sites: usize,
+    n_params: usize,
+    /// Monotone per-source escape class (`n_sites + n_params + 1` entries;
+    /// the last is the *unknown* source, pinned at `GlobalEscape`).
+    escape: Vec<EscapeClass>,
+    /// Per-source over-approximation of everything ever stored into the
+    /// object's fields/elements (field- and element-insensitive).
+    contents: Vec<BitSet>,
+    /// Sources observed as monitor operands.
+    locked: BitSet,
+    /// Sources observed as call arguments.
+    called: BitSet,
+    /// Any global fact grew during the current solver pass.
+    grew: bool,
+}
+
+impl EscapeFlow {
+    fn n_sources(&self) -> usize {
+        self.n_sites + self.n_params + 1
+    }
+
+    fn unknown_bit(&self) -> usize {
+        self.n_sources() - 1
+    }
+
+    fn empty(&self) -> BitSet {
+        BitSet::new(self.n_sources())
+    }
+
+    fn raise(&mut self, set: &BitSet, to: EscapeClass) {
+        for src in set.iter() {
+            if self.escape[src] < to {
+                self.escape[src] = to;
+                self.grew = true;
+            }
+        }
+    }
+
+    /// Records `value` flowing into the fields of every object in
+    /// `container`.
+    fn flow_into(&mut self, container: &BitSet, value: &BitSet) {
+        let mut into_param = false;
+        let mut into_unknown = false;
+        for src in container.iter() {
+            if src < self.n_sites {
+                let grown = self.contents[src].union_with(value);
+                self.grew |= grown;
+            } else if src == self.unknown_bit() {
+                into_unknown = true;
+            } else {
+                into_param = true;
+                let grown = self.contents[src].union_with(value);
+                self.grew |= grown;
+            }
+        }
+        if into_unknown {
+            self.raise(value, EscapeClass::GlobalEscape);
+        } else if into_param {
+            self.raise(value, EscapeClass::ArgEscape);
+        }
+    }
+
+    /// The set of sources a load out of `container` may surface.
+    fn loaded_from(&self, container: &BitSet) -> BitSet {
+        let mut out = self.empty();
+        for src in container.iter() {
+            if src == self.unknown_bit() {
+                out.insert(self.unknown_bit());
+            } else {
+                // Both allocation sites and parameter objects surface their
+                // recorded contents; parameters additionally surface unknown
+                // caller-written values.
+                out.union_with(&self.contents[src]);
+                if src >= self.n_sites {
+                    out.insert(self.unknown_bit());
+                }
+            }
+        }
+        out
+    }
+
+    fn mark_locked(&mut self, set: &BitSet) {
+        self.grew |= self.locked.union_with(set);
+    }
+}
+
+impl ForwardAnalysis for EscapeFlow {
+    type State = Frame;
+
+    fn boundary(&mut self, _program: &Program, method: &Method) -> Frame {
+        let mut locals = vec![self.empty(); method.max_locals as usize];
+        for (p, slot) in locals.iter_mut().enumerate().take(self.n_params) {
+            slot.insert(self.n_sites + p);
+        }
+        Frame {
+            locals,
+            stack: Vec::new(),
+        }
+    }
+
+    fn join(a: &mut Frame, b: &Frame) -> bool {
+        let mut changed = false;
+        for (x, y) in a.locals.iter_mut().zip(&b.locals) {
+            changed |= x.union_with(y);
+        }
+        // The verifier guarantees equal stack heights at joins.
+        for (x, y) in a.stack.iter_mut().zip(&b.stack) {
+            changed |= x.union_with(y);
+        }
+        changed
+    }
+
+    fn transfer(
+        &mut self,
+        program: &Program,
+        _method: &Method,
+        bci: usize,
+        insn: Insn,
+        state: &mut Frame,
+    ) {
+        let empty = self.empty();
+        match insn {
+            Insn::Load(n) => state.stack.push(state.locals[n as usize].clone()),
+            Insn::Store(n) => {
+                let v = state.stack.pop().expect("verified stack");
+                state.locals[n as usize] = v;
+            }
+            Insn::New(_) | Insn::NewArray(_) => {
+                if matches!(insn, Insn::NewArray(_)) {
+                    state.stack.pop(); // length
+                }
+                let site = self
+                    .site_bcis
+                    .iter()
+                    .position(|&b| b == bci as u32)
+                    .expect("every allocation is a site");
+                let mut s = self.empty();
+                s.insert(site);
+                state.stack.push(s);
+            }
+            Insn::Dup => {
+                let top = state.stack.last().expect("verified stack").clone();
+                state.stack.push(top);
+            }
+            Insn::Swap => {
+                let n = state.stack.len();
+                state.stack.swap(n - 1, n - 2);
+            }
+            Insn::GetField(_) => {
+                let obj = state.stack.pop().expect("verified stack");
+                state.stack.push(self.loaded_from(&obj));
+            }
+            Insn::PutField(_) => {
+                let value = state.stack.pop().expect("verified stack");
+                let obj = state.stack.pop().expect("verified stack");
+                self.flow_into(&obj, &value);
+            }
+            Insn::ArrayLoad => {
+                state.stack.pop(); // index
+                let arr = state.stack.pop().expect("verified stack");
+                state.stack.push(self.loaded_from(&arr));
+            }
+            Insn::ArrayStore => {
+                let value = state.stack.pop().expect("verified stack");
+                state.stack.pop(); // index
+                let arr = state.stack.pop().expect("verified stack");
+                self.flow_into(&arr, &value);
+            }
+            Insn::GetStatic(_) => {
+                let mut s = self.empty();
+                s.insert(self.unknown_bit());
+                state.stack.push(s);
+            }
+            Insn::PutStatic(_) => {
+                let value = state.stack.pop().expect("verified stack");
+                self.raise(&value, EscapeClass::GlobalEscape);
+            }
+            Insn::MonitorEnter | Insn::MonitorExit => {
+                let obj = state.stack.pop().expect("verified stack");
+                self.mark_locked(&obj);
+            }
+            Insn::InvokeStatic(target) | Insn::InvokeVirtual(target) => {
+                let callee = program.method(target);
+                for _ in 0..callee.param_count {
+                    let arg = state.stack.pop().expect("verified stack");
+                    self.raise(&arg, EscapeClass::ArgEscape);
+                    self.grew |= self.called.union_with(&arg);
+                }
+                if callee.returns_value {
+                    let mut s = self.empty();
+                    s.insert(self.unknown_bit());
+                    state.stack.push(s);
+                }
+            }
+            Insn::ReturnValue => {
+                let value = state.stack.pop().expect("verified stack");
+                self.raise(&value, EscapeClass::ArgEscape);
+            }
+            Insn::Throw => {
+                let value = state.stack.pop().expect("verified stack");
+                self.raise(&value, EscapeClass::GlobalEscape);
+            }
+            Insn::CheckCast(_) => {} // identity on the reference
+            Insn::InstanceOf(_) | Insn::ArrayLength | Insn::Neg => {
+                state.stack.pop();
+                state.stack.push(empty);
+            }
+            other => {
+                // Pure stack arithmetic/control: pop/push integer results,
+                // which carry no sources.
+                for _ in 0..other.pops() {
+                    state.stack.pop().expect("verified stack");
+                }
+                for _ in 0..other.pushes() {
+                    state.stack.push(empty.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Runs the escape pre-analysis over one (verified) method.
+pub fn analyze_method(program: &Program, method_id: MethodId) -> EscapeSummary {
+    let method = program.method(method_id);
+    let sites = alloc_sites(method);
+    let n_sites = sites.len();
+    let n_params = method.param_count as usize;
+    let n_sources = n_sites + n_params + 1;
+    let mut flow = EscapeFlow {
+        site_bcis: sites.iter().map(|&(b, _)| b).collect(),
+        n_sites,
+        n_params,
+        escape: vec![EscapeClass::NoEscape; n_sources],
+        contents: vec![BitSet::new(n_sources); n_sources],
+        locked: BitSet::new(n_sources),
+        called: BitSet::new(n_sources),
+        grew: false,
+    };
+    *flow.escape.last_mut().expect("unknown source") = EscapeClass::GlobalEscape;
+    if method.is_synchronized {
+        let mut receiver = flow.empty();
+        receiver.insert(n_sites); // param 0
+        flow.mark_locked(&receiver);
+    }
+    if n_sites > 0 {
+        // Global facts (contents, escape) feed back into transfer
+        // functions, so re-solve until they stop growing. Termination:
+        // all facts are monotone over finite domains.
+        loop {
+            flow.grew = false;
+            solve_forward(program, method, &mut flow);
+            if !flow.grew {
+                break;
+            }
+        }
+        // Close escape classes over the contents relation: anything stored
+        // into an escaping object escapes at least as far.
+        loop {
+            let mut changed = false;
+            for container in 0..n_sources {
+                let class = flow.escape[container];
+                if class == EscapeClass::NoEscape {
+                    continue;
+                }
+                for value in flow.contents[container].clone().iter() {
+                    if flow.escape[value] < class {
+                        flow.escape[value] = class;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    let immediate = immediate_global_sites(method);
+    EscapeSummary {
+        method: method_id,
+        sites: sites
+            .into_iter()
+            .enumerate()
+            .map(|(i, (bci, kind))| AllocSite {
+                bci,
+                kind,
+                escape: flow.escape[i],
+                locked: flow.locked.contains(i),
+                passed_to_call: flow.called.contains(i),
+                immediate_global: immediate.contains(&bci),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::asm::parse_program;
+
+    fn summary(src: &str, method: &str) -> EscapeSummary {
+        let program = parse_program(src).unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        let id = program.static_method_by_name(method).unwrap();
+        analyze_method(&program, id)
+    }
+
+    #[test]
+    fn purely_local_object_does_not_escape() {
+        let s = summary(
+            "class Box { field v int }
+             method m 1 returns {
+                new Box store 1
+                load 1 load 0 putfield Box.v
+                load 1 getfield Box.v retv
+             }",
+            "m",
+        );
+        assert_eq!(s.sites.len(), 1);
+        assert_eq!(s.sites[0].escape, EscapeClass::NoEscape);
+        assert!(!s.sites[0].may_be_locked());
+        assert!(!s.sites[0].immediate_global);
+    }
+
+    #[test]
+    fn returned_object_arg_escapes() {
+        let s = summary(
+            "class Box { field v int }
+             method m 0 returns { new Box retv }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::ArgEscape);
+    }
+
+    #[test]
+    fn published_object_global_escapes_and_is_immediate() {
+        let s = summary(
+            "class Box { field v int }
+             static g ref
+             method m 0 { new Box putstatic g ret }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape);
+        assert!(s.sites[0].immediate_global);
+    }
+
+    #[test]
+    fn publication_via_local_is_global_but_not_immediate() {
+        let s = summary(
+            "class Box { field v int }
+             static g ref
+             method m 0 { new Box store 0 load 0 putstatic g ret }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape);
+        assert!(!s.sites[0].immediate_global);
+    }
+
+    #[test]
+    fn store_into_published_container_escapes_transitively() {
+        let s = summary(
+            "class Node { field next ref }
+             static g ref
+             method m 0 {
+                new Node store 0
+                new Node store 1
+                load 0 load 1 putfield Node.next
+                load 0 putstatic g ret
+             }",
+            "m",
+        );
+        // Both the container and the stored object are global.
+        assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape);
+        assert_eq!(s.sites[1].escape, EscapeClass::GlobalEscape);
+    }
+
+    #[test]
+    fn store_into_parameter_object_arg_escapes() {
+        let s = summary(
+            "class Node { field next ref }
+             method m 1 {
+                new Node store 1
+                load 0 checkcast Node load 1 putfield Node.next ret
+             }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::ArgEscape);
+    }
+
+    #[test]
+    fn call_argument_arg_escapes_and_may_be_locked() {
+        let s = summary(
+            "class Box { field v int }
+             method callee 1 { ret }
+             method m 0 {
+                new Box invokestatic callee ret
+             }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::ArgEscape);
+        assert!(s.sites[0].passed_to_call);
+        assert!(s.sites[0].may_be_locked());
+    }
+
+    #[test]
+    fn lock_through_reloaded_field_is_seen() {
+        // The object is locked via a value loaded back out of a tracked
+        // container — exactly the flow PEA's load elision shortcuts.
+        let s = summary(
+            "class Holder { field obj ref }
+             class Box { field v int }
+             method m 0 {
+                new Holder store 0
+                new Box store 1
+                load 0 load 1 putfield Holder.obj
+                load 0 getfield Holder.obj monitorenter
+                load 0 getfield Holder.obj monitorexit
+                ret
+             }",
+            "m",
+        );
+        let boxsite = &s.sites[1];
+        assert_eq!(boxsite.escape, EscapeClass::NoEscape);
+        assert!(boxsite.locked, "lock through elidable load must be seen");
+        assert!(boxsite.may_be_locked());
+        assert!(!s.sites[0].locked);
+    }
+
+    #[test]
+    fn loop_carried_store_reaches_fixpoint() {
+        // a.next = b inside a loop where a and b swap: both sites end up in
+        // each other's contents; neither escapes.
+        let s = summary(
+            "class Node { field next ref }
+             method m 1 {
+                new Node store 1
+                new Node store 2
+             L: load 0 const 0 ifcmp le Ld
+                load 1 load 2 putfield Node.next
+                load 1 store 3 load 2 store 1 load 3 store 2
+                load 0 const 1 sub store 0
+                goto L
+             Ld: ret
+             }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::NoEscape);
+        assert_eq!(s.sites[1].escape, EscapeClass::NoEscape);
+    }
+
+    #[test]
+    fn array_element_flow_tracked() {
+        let s = summary(
+            "class Box { field v int }
+             static g ref
+             method m 0 {
+                const 1 newarray ref store 0
+                new Box store 1
+                load 0 const 0 load 1 astore
+                load 0 putstatic g ret
+             }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape, "the array");
+        assert_eq!(s.sites[1].escape, EscapeClass::GlobalEscape, "the element");
+    }
+
+    #[test]
+    fn paper_cache_key_escapes_globally_but_not_immediately() {
+        // The running example: the fresh Key is compared on the hit path
+        // and published to `cacheKey` on the miss path. Flow-insensitively
+        // it must be GlobalEscape (PEA's win is exactly that it is *not*
+        // flow-insensitive), and it is not an immediate publication.
+        let s = summary(
+            "class Key { field idx int field ref ref }
+             static cacheKey ref
+             static cacheValue int
+             method virtual Key.equals 2 returns { const 1 retv }
+             method getValue 1 returns {
+                new Key store 1
+                load 1 load 0 putfield Key.idx
+                load 1 getstatic cacheKey invokevirtual Key.equals
+                const 0 ifcmp eq Lmiss
+                getstatic cacheValue retv
+             Lmiss:
+                load 1 putstatic cacheKey
+                load 0 const 13 mul putstatic cacheValue
+                getstatic cacheValue retv
+             }",
+            "getValue",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape);
+        assert!(!s.sites[0].immediate_global);
+        assert!(s.sites[0].passed_to_call, "receiver of Key.equals");
+    }
+}

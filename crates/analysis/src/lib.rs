@@ -1,0 +1,41 @@
+//! Conservative static analyses over `pea-bytecode`, independent of the
+//! speculative partial escape analysis in `pea-core`.
+//!
+//! The crate has two roles:
+//!
+//! 1. **Pre-analysis** — a classic flow-insensitive escape analysis in the
+//!    tradition of whole-method abstract-interpretation escape analyses
+//!    (Hill & Spoto) and cheap pre-filters for precise analyses (SkipFlow).
+//!    Every allocation site is classified on the three-point lattice
+//!    `NoEscape < ArgEscape < GlobalEscape`. The compiler pipeline uses the
+//!    syntactic subset of `GlobalEscape` sites (allocation immediately
+//!    published to a static) to skip PEA work that provably cannot pay off.
+//!
+//! 2. **Sanitizer** — an independent oracle for the speculative PEA: every
+//!    `Virtualized`/`LockElided` trace event and every post-PEA frame state
+//!    is cross-checked against the conservative verdicts. Because the static
+//!    analysis over-approximates (it never wrongly claims `NoEscape`), any
+//!    PEA decision that contradicts it is a compiler bug, reported loudly.
+//!
+//! Both are built on a small reusable worklist dataflow framework
+//! ([`dataflow`]) with forward and backward solvers over method bytecode.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`dataflow`] | worklist solvers, join-semilattice trait, bit sets |
+//! | [`escape`] | NoEscape/ArgEscape/GlobalEscape classification per site |
+//! | [`lockbalance`] | monitorenter/monitorexit pairing depth per site |
+//! | [`nullness`] | definite assignment + null-ness findings |
+//! | [`sanitize`] | PEA decision sanitizer over trace events + frame states |
+
+pub mod dataflow;
+pub mod escape;
+pub mod lockbalance;
+pub mod nullness;
+pub mod sanitize;
+
+pub use dataflow::{BackwardAnalysis, BitSet, ForwardAnalysis};
+pub use escape::{analyze_method, AllocKind, AllocSite, EscapeClass, EscapeSummary};
+pub use lockbalance::{analyze_locks, LockFinding, LockFindingKind, LockSummary};
+pub use nullness::{analyze_nullness, NullFinding, NullFindingKind, NullnessSummary};
+pub use sanitize::{check_compilation, Inconsistency, SiteVerdict, StaticVerdicts};

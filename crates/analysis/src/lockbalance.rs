@@ -1,0 +1,458 @@
+//! Lock-balance analysis: proves `monitorenter`/`monitorexit` pairing and
+//! bounds the simultaneous lock depth per allocation site.
+//!
+//! The bytecode verifier only checks stack heights; structured locking is
+//! *assumed* by the graph builder (which bails out with
+//! `UnstructuredLocking` when its block-local lock stack goes wrong) and by
+//! the paper's lock-elision rules, which remove enter/exit *pairs* on
+//! virtual objects (§5.2). This analysis provides the missing whole-method
+//! proof: a forward dataflow pass tracks an abstract stack of lock operands
+//! (as source sets, like [`crate::escape`]) and reports every way the
+//! pairing can break — an exit with no enter, provably mismatched
+//! enter/exit operands, locks still held at a return, or join points where
+//! two paths disagree on the lock depth.
+
+use crate::dataflow::{solve_forward, BitSet, ForwardAnalysis};
+use crate::escape::alloc_sites;
+use pea_bytecode::{Insn, Method, MethodId, Program};
+use std::collections::BTreeSet;
+
+/// One way the monitor pairing can break, at a bytecode index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockFindingKind {
+    /// `monitorexit` with an empty abstract lock stack.
+    ExitWithoutEnter,
+    /// The exited object provably differs from the innermost held lock.
+    MismatchedExit,
+    /// A return is reachable with monitors still held (beyond the
+    /// synchronized-method frame lock, which the VM releases itself).
+    UnreleasedAtReturn,
+    /// Two paths reach the same instruction with different lock depths.
+    InconsistentDepthAtJoin,
+}
+
+impl LockFindingKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LockFindingKind::ExitWithoutEnter => "exit-without-enter",
+            LockFindingKind::MismatchedExit => "mismatched-exit",
+            LockFindingKind::UnreleasedAtReturn => "unreleased-at-return",
+            LockFindingKind::InconsistentDepthAtJoin => "inconsistent-depth-at-join",
+        }
+    }
+}
+
+/// A located lock-balance violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockFinding {
+    pub bci: u32,
+    pub kind: LockFindingKind,
+}
+
+/// Result of [`analyze_locks`] for one method.
+#[derive(Clone, Debug)]
+pub struct LockSummary {
+    pub method: MethodId,
+    pub findings: Vec<LockFinding>,
+    /// Upper bound on the simultaneous lock depth per allocation site of
+    /// this method, aligned with [`crate::escape::alloc_sites`] order.
+    pub max_depth: Vec<u32>,
+}
+
+impl LockSummary {
+    /// The pairing is provably structured.
+    pub fn balanced(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Largest per-site depth bound (0 when the method locks nothing it
+    /// allocates).
+    pub fn max_site_depth(&self) -> u32 {
+        self.max_depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct LockFrame {
+    locals: Vec<BitSet>,
+    stack: Vec<BitSet>,
+    /// Innermost lock last; each entry is the operand's source set.
+    locks: Vec<BitSet>,
+    /// A join merged unequal depths; suppress downstream findings.
+    broken: bool,
+}
+
+struct LockFlow {
+    site_bcis: Vec<u32>,
+    n_sites: usize,
+    n_params: usize,
+    findings: BTreeSet<LockFinding>,
+    max_depth: Vec<u32>,
+}
+
+impl LockFlow {
+    fn n_sources(&self) -> usize {
+        self.n_sites + self.n_params + 1
+    }
+
+    fn unknown_bit(&self) -> usize {
+        self.n_sources() - 1
+    }
+
+    fn empty(&self) -> BitSet {
+        BitSet::new(self.n_sources())
+    }
+
+    fn unknown(&self) -> BitSet {
+        let mut s = self.empty();
+        s.insert(self.unknown_bit());
+        s
+    }
+
+    fn record(&mut self, bci: usize, kind: LockFindingKind) {
+        self.findings.insert(LockFinding {
+            bci: bci as u32,
+            kind,
+        });
+    }
+}
+
+impl ForwardAnalysis for LockFlow {
+    type State = LockFrame;
+
+    fn boundary(&mut self, _program: &Program, method: &Method) -> LockFrame {
+        let mut locals = vec![self.empty(); method.max_locals as usize];
+        for (p, slot) in locals.iter_mut().enumerate().take(self.n_params) {
+            slot.insert(self.n_sites + p);
+        }
+        LockFrame {
+            locals,
+            stack: Vec::new(),
+            // The VM acquires the receiver lock for synchronized methods;
+            // model it so nested explicit locking is counted on top of it.
+            locks: if method.is_synchronized {
+                let mut receiver = self.empty();
+                receiver.insert(self.n_sites);
+                vec![receiver]
+            } else {
+                Vec::new()
+            },
+            broken: false,
+        }
+    }
+
+    fn join(a: &mut LockFrame, b: &LockFrame) -> bool {
+        let mut changed = false;
+        for (x, y) in a.locals.iter_mut().zip(&b.locals) {
+            changed |= x.union_with(y);
+        }
+        for (x, y) in a.stack.iter_mut().zip(&b.stack) {
+            changed |= x.union_with(y);
+        }
+        if a.locks.len() != b.locks.len() {
+            if !a.broken {
+                a.broken = true;
+                changed = true;
+            }
+            a.locks.truncate(b.locks.len().min(a.locks.len()));
+        } else {
+            for (x, y) in a.locks.iter_mut().zip(&b.locks) {
+                changed |= x.union_with(y);
+            }
+        }
+        if b.broken && !a.broken {
+            a.broken = true;
+            changed = true;
+        }
+        changed
+    }
+
+    fn transfer(
+        &mut self,
+        program: &Program,
+        method: &Method,
+        bci: usize,
+        insn: Insn,
+        state: &mut LockFrame,
+    ) {
+        match insn {
+            Insn::Load(n) => state.stack.push(state.locals[n as usize].clone()),
+            Insn::Store(n) => {
+                let v = state.stack.pop().expect("verified stack");
+                state.locals[n as usize] = v;
+            }
+            Insn::New(_) | Insn::NewArray(_) => {
+                if matches!(insn, Insn::NewArray(_)) {
+                    state.stack.pop();
+                }
+                let site = self
+                    .site_bcis
+                    .iter()
+                    .position(|&b| b == bci as u32)
+                    .expect("every allocation is a site");
+                let mut s = self.empty();
+                s.insert(site);
+                state.stack.push(s);
+            }
+            Insn::Dup => {
+                let top = state.stack.last().expect("verified stack").clone();
+                state.stack.push(top);
+            }
+            Insn::Swap => {
+                let n = state.stack.len();
+                state.stack.swap(n - 1, n - 2);
+            }
+            Insn::CheckCast(_) => {}
+            Insn::GetField(_) => {
+                state.stack.pop();
+                state.stack.push(self.unknown());
+            }
+            Insn::ArrayLoad => {
+                state.stack.pop();
+                state.stack.pop();
+                state.stack.push(self.unknown());
+            }
+            Insn::GetStatic(_) => state.stack.push(self.unknown()),
+            Insn::MonitorEnter => {
+                let obj = state.stack.pop().expect("verified stack");
+                state.locks.push(obj);
+                if !state.broken {
+                    for site in state.locks.last().expect("just pushed").clone().iter() {
+                        if site < self.n_sites {
+                            let depth =
+                                state.locks.iter().filter(|l| l.contains(site)).count() as u32;
+                            self.max_depth[site] = self.max_depth[site].max(depth);
+                        }
+                    }
+                }
+            }
+            Insn::MonitorExit => {
+                let obj = state.stack.pop().expect("verified stack");
+                match state.locks.pop() {
+                    None => {
+                        if !state.broken {
+                            self.record(bci, LockFindingKind::ExitWithoutEnter);
+                            state.broken = true;
+                        }
+                    }
+                    Some(top) => {
+                        let provable = !obj.is_empty()
+                            && !top.is_empty()
+                            && !obj.contains(self.unknown_bit())
+                            && !top.contains(self.unknown_bit());
+                        if provable && !obj.intersects(&top) && !state.broken {
+                            self.record(bci, LockFindingKind::MismatchedExit);
+                        }
+                    }
+                }
+            }
+            Insn::InvokeStatic(target) | Insn::InvokeVirtual(target) => {
+                let callee = program.method(target);
+                for _ in 0..callee.param_count {
+                    state.stack.pop();
+                }
+                if callee.returns_value {
+                    state.stack.push(self.unknown());
+                }
+            }
+            Insn::Return | Insn::ReturnValue => {
+                if matches!(insn, Insn::ReturnValue) {
+                    state.stack.pop();
+                }
+                let expected = usize::from(method.is_synchronized);
+                if state.locks.len() != expected && !state.broken {
+                    self.record(bci, LockFindingKind::UnreleasedAtReturn);
+                }
+            }
+            Insn::Throw => {
+                // Throw aborts the whole VM run in this machine; no unwind
+                // releases to account for.
+                state.stack.pop();
+            }
+            other => {
+                let empty = self.empty();
+                for _ in 0..other.pops() {
+                    state.stack.pop().expect("verified stack");
+                }
+                for _ in 0..other.pushes() {
+                    state.stack.push(empty.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Runs the lock-balance analysis over one (verified) method.
+pub fn analyze_locks(program: &Program, method_id: MethodId) -> LockSummary {
+    let method = program.method(method_id);
+    let sites = alloc_sites(method);
+    let n_sites = sites.len();
+    let mut flow = LockFlow {
+        site_bcis: sites.iter().map(|&(b, _)| b).collect(),
+        n_sites,
+        n_params: method.param_count as usize,
+        findings: BTreeSet::new(),
+        max_depth: vec![0; n_sites],
+    };
+    let states = solve_forward(program, method, &mut flow);
+    if let Some(bci) = states
+        .iter()
+        .position(|s| s.as_ref().is_some_and(|s| s.broken))
+    {
+        flow.record(bci, LockFindingKind::InconsistentDepthAtJoin);
+    }
+    LockSummary {
+        method: method_id,
+        findings: flow.findings.into_iter().collect(),
+        max_depth: flow.max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::asm::parse_program;
+
+    fn locks(src: &str, method: &str) -> LockSummary {
+        let program = parse_program(src).unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        let id = (0..program.methods.len())
+            .map(MethodId::from_index)
+            .find(|&m| program.method(m).name == method)
+            .unwrap();
+        analyze_locks(&program, id)
+    }
+
+    const BOX: &str = "class Box { field v int }\n";
+
+    #[test]
+    fn balanced_pair_is_clean_with_depth_one() {
+        let s = locks(
+            &format!(
+                "{BOX} method m 0 {{
+                    new Box store 0
+                    load 0 monitorenter
+                    load 0 monitorexit
+                    ret
+                }}"
+            ),
+            "m",
+        );
+        assert!(s.balanced(), "{:?}", s.findings);
+        assert_eq!(s.max_depth, vec![1]);
+    }
+
+    #[test]
+    fn nested_relocking_bounds_depth_two() {
+        let s = locks(
+            &format!(
+                "{BOX} method m 0 {{
+                    new Box store 0
+                    load 0 monitorenter
+                    load 0 monitorenter
+                    load 0 monitorexit
+                    load 0 monitorexit
+                    ret
+                }}"
+            ),
+            "m",
+        );
+        assert!(s.balanced());
+        assert_eq!(s.max_depth, vec![2]);
+    }
+
+    #[test]
+    fn missing_exit_flagged_at_return() {
+        let s = locks(
+            &format!(
+                "{BOX} method m 0 {{
+                    new Box store 0
+                    load 0 monitorenter
+                    ret
+                }}"
+            ),
+            "m",
+        );
+        assert_eq!(s.findings.len(), 1);
+        assert_eq!(s.findings[0].kind, LockFindingKind::UnreleasedAtReturn);
+    }
+
+    #[test]
+    fn exit_without_enter_flagged() {
+        let s = locks(
+            &format!("{BOX} method m 1 {{ load 0 monitorexit ret }}"),
+            "m",
+        );
+        assert_eq!(s.findings[0].kind, LockFindingKind::ExitWithoutEnter);
+    }
+
+    #[test]
+    fn provably_mismatched_exit_flagged() {
+        let s = locks(
+            &format!(
+                "{BOX} method m 0 {{
+                    new Box store 0
+                    new Box store 1
+                    load 0 monitorenter
+                    load 1 monitorexit
+                    ret
+                }}"
+            ),
+            "m",
+        );
+        assert!(s
+            .findings
+            .iter()
+            .any(|f| f.kind == LockFindingKind::MismatchedExit));
+    }
+
+    #[test]
+    fn depth_disagreement_at_join_flagged() {
+        let s = locks(
+            &format!(
+                "{BOX} method m 1 {{
+                    new Box store 1
+                    load 0 const 0 ifcmp eq Lskip
+                    load 1 monitorenter
+                Lskip:
+                    load 1 monitorexit
+                    ret
+                }}"
+            ),
+            "m",
+        );
+        assert!(s
+            .findings
+            .iter()
+            .any(|f| f.kind == LockFindingKind::InconsistentDepthAtJoin));
+    }
+
+    #[test]
+    fn synchronized_method_frame_lock_is_expected() {
+        let s = locks(
+            "class C { field v int }
+             method virtual C.m 1 returns synchronized {
+                load 0 getfield C.v retv
+             }",
+            "m",
+        );
+        assert!(s.balanced(), "{:?}", s.findings);
+    }
+
+    #[test]
+    fn lock_on_unknown_object_is_not_a_mismatch() {
+        let s = locks(
+            &format!(
+                "{BOX} static g ref
+                 method m 0 {{
+                    getstatic g monitorenter
+                    getstatic g monitorexit
+                    ret
+                }}"
+            ),
+            "m",
+        );
+        assert!(s.balanced(), "{:?}", s.findings);
+        assert_eq!(s.max_site_depth(), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Definite-assignment and null-ness analysis.
+//!
+//! A forward pass over the [`crate::dataflow`] framework tracking, per
+//! local and stack slot, a small may-lattice: *unassigned*, *null*,
+//! *non-null-or-int* (joins are bit-ORs). It reports
+//!
+//! * locals read before any store reaches them (the bytecode verifier
+//!   deliberately allows this — defaults are well-defined — but it is
+//!   almost always a workload-authoring bug),
+//! * dereferences whose receiver is provably `null`, and
+//! * a count of *maybe*-null dereferences (sites PEA must keep a null
+//!   check for).
+
+use crate::dataflow::{solve_forward, ForwardAnalysis};
+use pea_bytecode::{Insn, Method, MethodId, Program};
+use std::collections::BTreeSet;
+
+const UNASSIGNED: u8 = 1;
+const NULL: u8 = 2;
+const NONNULL: u8 = 4;
+
+/// A located definite finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NullFinding {
+    pub bci: u32,
+    pub kind: NullFindingKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NullFindingKind {
+    /// `load n` may execute before any `store n`.
+    ReadBeforeStore { local: u16 },
+    /// The dereferenced receiver can only be `null` here.
+    DefiniteNullDeref,
+}
+
+impl NullFindingKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NullFindingKind::ReadBeforeStore { .. } => "read-before-store",
+            NullFindingKind::DefiniteNullDeref => "definite-null-deref",
+        }
+    }
+}
+
+/// Result of [`analyze_nullness`] for one method.
+#[derive(Clone, Debug)]
+pub struct NullnessSummary {
+    pub method: MethodId,
+    pub findings: Vec<NullFinding>,
+    /// Distinct dereference sites whose receiver *may* be null — each one
+    /// needs a residual null check unless PEA folds it.
+    pub maybe_null_derefs: usize,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct NullFrame {
+    locals: Vec<u8>,
+    stack: Vec<u8>,
+}
+
+struct NullFlow {
+    findings: BTreeSet<NullFinding>,
+    maybe_null: BTreeSet<u32>,
+}
+
+impl NullFlow {
+    fn deref(&mut self, bci: usize, receiver: u8) {
+        if receiver & (NULL | UNASSIGNED) == 0 {
+            return;
+        }
+        if receiver & NONNULL == 0 {
+            self.findings.insert(NullFinding {
+                bci: bci as u32,
+                kind: NullFindingKind::DefiniteNullDeref,
+            });
+        } else {
+            self.maybe_null.insert(bci as u32);
+        }
+    }
+}
+
+impl ForwardAnalysis for NullFlow {
+    type State = NullFrame;
+
+    fn boundary(&mut self, _program: &Program, method: &Method) -> NullFrame {
+        let mut locals = vec![UNASSIGNED; method.max_locals as usize];
+        for (i, slot) in locals
+            .iter_mut()
+            .enumerate()
+            .take(method.param_count as usize)
+        {
+            // The receiver of an instance method is null-checked by the VM
+            // at dispatch; other parameters may be anything.
+            *slot = if i == 0 && !method.is_static {
+                NONNULL
+            } else {
+                NULL | NONNULL
+            };
+        }
+        NullFrame {
+            locals,
+            stack: Vec::new(),
+        }
+    }
+
+    fn join(a: &mut NullFrame, b: &NullFrame) -> bool {
+        let mut changed = false;
+        for (x, y) in a.locals.iter_mut().zip(&b.locals) {
+            let next = *x | y;
+            changed |= next != *x;
+            *x = next;
+        }
+        for (x, y) in a.stack.iter_mut().zip(&b.stack) {
+            let next = *x | y;
+            changed |= next != *x;
+            *x = next;
+        }
+        changed
+    }
+
+    fn transfer(
+        &mut self,
+        program: &Program,
+        _method: &Method,
+        bci: usize,
+        insn: Insn,
+        state: &mut NullFrame,
+    ) {
+        let any = NULL | NONNULL;
+        match insn {
+            Insn::Load(n) => {
+                let v = state.locals[n as usize];
+                if v & UNASSIGNED != 0 {
+                    self.findings.insert(NullFinding {
+                        bci: bci as u32,
+                        kind: NullFindingKind::ReadBeforeStore { local: n },
+                    });
+                }
+                // Unassigned locals read as well-defined defaults (0/null).
+                let loaded = if v & UNASSIGNED != 0 {
+                    (v & !UNASSIGNED) | NULL | NONNULL
+                } else {
+                    v
+                };
+                state.stack.push(loaded);
+            }
+            Insn::Store(n) => {
+                let v = state.stack.pop().expect("verified stack");
+                state.locals[n as usize] = v;
+            }
+            Insn::Const(_) => state.stack.push(NONNULL),
+            Insn::ConstNull => state.stack.push(NULL),
+            Insn::New(_) => state.stack.push(NONNULL),
+            Insn::NewArray(_) => {
+                state.stack.pop();
+                state.stack.push(NONNULL);
+            }
+            Insn::Dup => {
+                let top = *state.stack.last().expect("verified stack");
+                state.stack.push(top);
+            }
+            Insn::Swap => {
+                let n = state.stack.len();
+                state.stack.swap(n - 1, n - 2);
+            }
+            Insn::GetField(_) => {
+                let obj = state.stack.pop().expect("verified stack");
+                self.deref(bci, obj);
+                state.stack.push(any);
+            }
+            Insn::PutField(_) => {
+                state.stack.pop();
+                let obj = state.stack.pop().expect("verified stack");
+                self.deref(bci, obj);
+            }
+            Insn::ArrayLoad => {
+                state.stack.pop();
+                let arr = state.stack.pop().expect("verified stack");
+                self.deref(bci, arr);
+                state.stack.push(any);
+            }
+            Insn::ArrayStore => {
+                state.stack.pop();
+                state.stack.pop();
+                let arr = state.stack.pop().expect("verified stack");
+                self.deref(bci, arr);
+            }
+            Insn::ArrayLength => {
+                let arr = state.stack.pop().expect("verified stack");
+                self.deref(bci, arr);
+                state.stack.push(NONNULL);
+            }
+            Insn::MonitorEnter | Insn::MonitorExit => {
+                let obj = state.stack.pop().expect("verified stack");
+                self.deref(bci, obj);
+            }
+            Insn::GetStatic(_) => state.stack.push(any),
+            Insn::CheckCast(_) => {} // a null reference passes any cast
+            Insn::InstanceOf(_) => {
+                state.stack.pop();
+                state.stack.push(NONNULL);
+            }
+            Insn::InvokeStatic(target) | Insn::InvokeVirtual(target) => {
+                let callee = program.method(target);
+                let argc = callee.param_count as usize;
+                if matches!(insn, Insn::InvokeVirtual(_)) {
+                    let receiver = state.stack[state.stack.len() - argc];
+                    self.deref(bci, receiver);
+                }
+                for _ in 0..argc {
+                    state.stack.pop();
+                }
+                if callee.returns_value {
+                    state.stack.push(any);
+                }
+            }
+            other => {
+                for _ in 0..other.pops() {
+                    state.stack.pop().expect("verified stack");
+                }
+                for _ in 0..other.pushes() {
+                    state.stack.push(NONNULL);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the definite-assignment/null-ness analysis over one (verified)
+/// method.
+pub fn analyze_nullness(program: &Program, method_id: MethodId) -> NullnessSummary {
+    let mut flow = NullFlow {
+        findings: BTreeSet::new(),
+        maybe_null: BTreeSet::new(),
+    };
+    solve_forward(program, program.method(method_id), &mut flow);
+    NullnessSummary {
+        method: method_id,
+        findings: flow.findings.into_iter().collect(),
+        maybe_null_derefs: flow.maybe_null.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pea_bytecode::asm::parse_program;
+
+    fn nullness(src: &str, method: &str) -> NullnessSummary {
+        let program = parse_program(src).unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        let id = (0..program.methods.len())
+            .map(MethodId::from_index)
+            .find(|&m| program.method(m).name == method)
+            .unwrap();
+        analyze_nullness(&program, id)
+    }
+
+    #[test]
+    fn read_before_any_store_flagged() {
+        let s = nullness("method m 1 returns { load 1 retv }", "m");
+        assert_eq!(s.findings.len(), 1);
+        assert_eq!(
+            s.findings[0].kind,
+            NullFindingKind::ReadBeforeStore { local: 1 }
+        );
+    }
+
+    #[test]
+    fn stored_local_is_clean() {
+        let s = nullness("method m 1 returns { load 0 store 1 load 1 retv }", "m");
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+    }
+
+    #[test]
+    fn store_on_only_one_path_still_flagged() {
+        let s = nullness(
+            "method m 1 returns {
+                load 0 const 0 ifcmp eq Lskip
+                const 7 store 1
+             Lskip:
+                load 1 retv
+             }",
+            "m",
+        );
+        assert!(s
+            .findings
+            .iter()
+            .any(|f| f.kind == NullFindingKind::ReadBeforeStore { local: 1 }));
+    }
+
+    #[test]
+    fn definite_null_deref_flagged() {
+        let s = nullness(
+            "class Box { field v int }
+             method m 0 returns { cnull getfield Box.v retv }",
+            "m",
+        );
+        assert_eq!(s.findings[0].kind, NullFindingKind::DefiniteNullDeref);
+    }
+
+    #[test]
+    fn fresh_object_deref_is_clean() {
+        let s = nullness(
+            "class Box { field v int }
+             method m 1 returns {
+                new Box store 1
+                load 1 load 0 putfield Box.v
+                load 1 getfield Box.v retv
+             }",
+            "m",
+        );
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+        assert_eq!(s.maybe_null_derefs, 0);
+    }
+
+    #[test]
+    fn parameter_deref_is_maybe_null_not_definite() {
+        let s = nullness(
+            "class Box { field v int }
+             method m 1 returns { load 0 checkcast Box getfield Box.v retv }",
+            "m",
+        );
+        assert!(s.findings.is_empty());
+        assert_eq!(s.maybe_null_derefs, 1);
+    }
+
+    #[test]
+    fn receiver_of_instance_method_is_nonnull() {
+        let s = nullness(
+            "class Box { field v int }
+             method virtual Box.get 1 returns { load 0 getfield Box.v retv }",
+            "get",
+        );
+        assert!(s.findings.is_empty());
+        assert_eq!(s.maybe_null_derefs, 0);
+    }
+}

@@ -15,7 +15,17 @@ use pea_bench::{measure, measure_per_site, Row, DEFAULT_ITERS, DEFAULT_WARMUP};
 use pea_vm::{OptLevel, Vm, VmOptions};
 use pea_workloads::{suite_workloads, Suite, Workload};
 
-fn measure_with(workload: &Workload, options: &VmOptions) -> pea_bench::Measurement {
+/// How much work the escape-analysis phase did, summed over the compiled
+/// methods: sites it processed to a virtual state, and sites the static
+/// pre-filter excluded before the analysis ever saw them (nonzero only
+/// for the `pea-prefilter` variant).
+#[derive(Clone, Copy, Default)]
+struct PeaWork {
+    virtualized: usize,
+    prefiltered: usize,
+}
+
+fn measure_with(workload: &Workload, options: &VmOptions) -> (pea_bench::Measurement, PeaWork) {
     let mut vm = Vm::new(workload.program.clone(), options.clone());
     for i in 0..DEFAULT_WARMUP {
         vm.call_entry("iterate", &[pea_runtime::Value::Int(i as i64)])
@@ -27,14 +37,24 @@ fn measure_with(workload: &Workload, options: &VmOptions) -> pea_bench::Measurem
             .expect("iterate");
     }
     let d = vm.stats().delta(&before);
-    pea_bench::Measurement {
+    let mut work = PeaWork::default();
+    for method in vm.compiled_methods() {
+        let r = vm
+            .compiled(method)
+            .expect("listed method is cached")
+            .pea_result;
+        work.virtualized += r.virtualized_allocs;
+        work.prefiltered += r.prefiltered_allocs;
+    }
+    let measurement = pea_bench::Measurement {
         bytes_per_iter: d.alloc_bytes as f64 / DEFAULT_ITERS as f64,
         allocs_per_iter: d.alloc_count as f64 / DEFAULT_ITERS as f64,
         monitor_ops_per_iter: d.monitor_ops() as f64 / DEFAULT_ITERS as f64,
         cycles_per_iter: d.cycles as f64 / DEFAULT_ITERS as f64,
         deopts: d.deopts,
         compiles: vm.stats().compiles,
-    }
+    };
+    (measurement, work)
 }
 
 fn variant(name: &'static str, mutate: impl Fn(&mut VmOptions)) -> (&'static str, VmOptions) {
@@ -52,6 +72,10 @@ fn main() {
         variant("no-loop-fixpoint", |o| {
             o.compiler.pea.loop_processing = false
         }),
+        // Not an ablation of a paper feature: the static escape
+        // pre-analysis withholds provably-escaping sites from PEA. Same
+        // results, less analysis work (the `pea work` line shows how much).
+        variant("pea-prefilter", |o| o.compiler.opt_level = OptLevel::PeaPre),
     ];
     println!("PEA ablations — suite-average deltas vs. no escape analysis");
     println!(
@@ -64,15 +88,21 @@ fn main() {
     );
     for (name, options) in &variants {
         print!("{name:<18}");
+        let mut work = PeaWork::default();
         for suite in [Suite::DaCapo, Suite::ScalaDaCapo, Suite::SpecJbb] {
             let workloads = suite_workloads(suite);
             let rows: Vec<Row> = workloads
                 .iter()
-                .map(|w| Row {
-                    name: w.name.clone(),
-                    significant: w.significant,
-                    without: measure(w, OptLevel::None, DEFAULT_WARMUP, DEFAULT_ITERS),
-                    with: measure_with(w, options),
+                .map(|w| {
+                    let (with, w_work) = measure_with(w, options);
+                    work.virtualized += w_work.virtualized;
+                    work.prefiltered += w_work.prefiltered;
+                    Row {
+                        name: w.name.clone(),
+                        significant: w.significant,
+                        without: measure(w, OptLevel::None, DEFAULT_WARMUP, DEFAULT_ITERS),
+                        with,
+                    }
                 })
                 .collect();
             let n = rows.len() as f64;
@@ -81,6 +111,10 @@ fn main() {
             print!(" {allocs:>+12.1}% {speed:>+9.1}%");
         }
         println!();
+        println!(
+            "    pea work: {} sites virtualized, {} pre-filtered away",
+            work.virtualized, work.prefiltered
+        );
         if per_site {
             // Fold materialization reasons over every workload of every
             // suite for this variant.

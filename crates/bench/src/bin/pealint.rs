@@ -1,0 +1,159 @@
+//! `pealint` — runs every static analysis in `pea-analysis` plus the PEA
+//! decision sanitizer over the whole workload corpus and the paper
+//! examples, and writes a machine-readable JSON report.
+//!
+//! ```text
+//! pealint [--out REPORT.json]
+//! ```
+//!
+//! The exit code is non-zero **only** when the sanitizer finds an
+//! inconsistency between a compilation's PEA decisions and the static
+//! escape verdicts — that is a compiler bug, and CI fails on it. Lock or
+//! nullness findings in corpus programs are reported but do not fail the
+//! run (the analyses flag patterns the verifier deliberately accepts).
+
+use pea_analysis::{
+    analyze_locks, analyze_method, analyze_nullness, check_compilation, EscapeClass, StaticVerdicts,
+};
+use pea_bytecode::asm::parse_program;
+use pea_bytecode::{MethodId, Program};
+use pea_compiler::{compile_traced, CompilerOptions, OptLevel};
+use pea_trace::json::ObjectWriter;
+use pea_trace::MemorySink;
+use std::process::ExitCode;
+
+/// The paper's running example (§2, Figure 2) beyond the shipped
+/// `examples/cache_key.asm`: a synchronized accumulator whose lock is
+/// elided on the hot path and rematerialized held on the cold one.
+const SYNC_ACC: &str = "
+    class Acc { field v int }
+    static published ref
+    method virtual Acc.bump 2 returns synchronized {
+        load 0 load 0 getfield Acc.v load 1 add putfield Acc.v
+        load 1 const 1000 ifcmp gt Lrare
+        load 0 getfield Acc.v retv
+    Lrare:
+        load 0 putstatic published
+        load 0 getfield Acc.v const 1000000 add retv
+    }
+    method f 1 returns {
+        new Acc store 1
+        load 1 load 0 invokevirtual Acc.bump retv
+    }";
+
+#[derive(Default)]
+struct Report {
+    programs: i64,
+    methods: i64,
+    alloc_sites: i64,
+    no_escape: i64,
+    arg_escape: i64,
+    global_escape: i64,
+    lock_findings: i64,
+    nullness_findings: i64,
+    maybe_null_derefs: i64,
+    compiled: i64,
+    bailouts: i64,
+    inconsistencies: i64,
+}
+
+fn lint_program(name: &str, program: &Program, report: &mut Report) {
+    report.programs += 1;
+    let verdicts = StaticVerdicts::analyze(program);
+    let options = CompilerOptions::with_opt_level(OptLevel::Pea);
+    for index in 0..program.methods.len() {
+        let method = MethodId::from_index(index);
+        report.methods += 1;
+        let escape = analyze_method(program, method);
+        for site in &escape.sites {
+            report.alloc_sites += 1;
+            match site.escape {
+                EscapeClass::NoEscape => report.no_escape += 1,
+                EscapeClass::ArgEscape => report.arg_escape += 1,
+                EscapeClass::GlobalEscape => report.global_escape += 1,
+            }
+        }
+        let locks = analyze_locks(program, method);
+        for finding in &locks.findings {
+            report.lock_findings += 1;
+            eprintln!(
+                "{name}/{}: lock-balance {} at bci {}",
+                program.method(method).qualified_name(program),
+                finding.kind.as_str(),
+                finding.bci,
+            );
+        }
+        let nullness = analyze_nullness(program, method);
+        report.nullness_findings += nullness.findings.len() as i64;
+        report.maybe_null_derefs += nullness.maybe_null_derefs as i64;
+
+        let mut buffer = MemorySink::new();
+        match compile_traced(program, method, None, &options, &mut buffer) {
+            Ok(code) => {
+                report.compiled += 1;
+                for finding in
+                    check_compilation(program, &verdicts, method, &code.graph, &buffer.events)
+                {
+                    report.inconsistencies += 1;
+                    eprintln!("{name}: SANITIZER: {finding}");
+                }
+            }
+            Err(_) => report.bailouts += 1,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("PEALINT.json", String::as_str);
+
+    let mut report = Report::default();
+    for workload in pea_workloads::all_workloads() {
+        lint_program(&workload.name, &workload.program, &mut report);
+    }
+    for (name, source) in [
+        (
+            "cache_key",
+            include_str!("../../../../examples/cache_key.asm"),
+        ),
+        ("sync_acc", SYNC_ACC),
+    ] {
+        let program = parse_program(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        pea_bytecode::verify_program(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+        lint_program(name, &program, &mut report);
+    }
+
+    let mut o = ObjectWriter::new();
+    o.num("programs", report.programs);
+    o.num("methods", report.methods);
+    o.num("alloc_sites", report.alloc_sites);
+    o.num("no_escape", report.no_escape);
+    o.num("arg_escape", report.arg_escape);
+    o.num("global_escape", report.global_escape);
+    o.num("lock_findings", report.lock_findings);
+    o.num("nullness_findings", report.nullness_findings);
+    o.num("maybe_null_derefs", report.maybe_null_derefs);
+    o.num("compiled", report.compiled);
+    o.num("bailouts", report.bailouts);
+    o.num("inconsistencies", report.inconsistencies);
+    let line = o.finish();
+    if let Err(e) = std::fs::write(out, format!("{line}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("{line}");
+    println!("report written to {out}");
+
+    if report.inconsistencies > 0 {
+        eprintln!(
+            "pealint: {} sanitizer inconsistency(ies) — PEA decisions disagree with the static analysis",
+            report.inconsistencies
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -379,4 +379,30 @@ mod tests {
         let p = pb.build().unwrap();
         assert!(verify_method(&p, id).is_err());
     }
+
+    #[test]
+    fn accepts_unbalanced_monitors() {
+        // The verifier checks types and stack discipline only; monitor
+        // pairing is intentionally out of scope (like JVM bytecode
+        // verification). The lock-balance dataflow pass in `pea-analysis`
+        // flags this, and the graph builder bails out on it.
+        let src = "
+            class C { }
+            method f 0 returns {
+                new C monitorenter
+                const 1 retv
+            }";
+        let p = crate::asm::parse_program(src).unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn accepts_read_before_any_store() {
+        // Non-parameter locals default to zero/null at runtime, so a load
+        // with no prior store verifies fine; the definite-assignment pass
+        // in `pea-analysis` reports it as a likely bug instead.
+        let src = "method f 0 returns { load 3 retv }";
+        let p = crate::asm::parse_program(src).unwrap();
+        verify_program(&p).unwrap();
+    }
 }

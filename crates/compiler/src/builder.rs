@@ -856,12 +856,14 @@ impl<'a> GraphBuilder<'a> {
             }
             Insn::New(class) => {
                 let n = self.graph.add(NodeKind::New { class }, vec![]);
+                self.graph.set_provenance(n, ctx.method, bci);
                 self.append(tail, n);
                 state.stack.push(n);
             }
             Insn::NewArray(kind) => {
                 let len = state.stack.pop().expect("stack");
                 let n = self.graph.add(NodeKind::NewArray { kind }, vec![len]);
+                self.graph.set_provenance(n, ctx.method, bci);
                 self.append(tail, n);
                 state.stack.push(n);
             }

@@ -9,8 +9,10 @@ use pea_ir::cfg::Cfg;
 use pea_ir::dom::DomTree;
 use pea_ir::schedule::Schedule;
 use pea_ir::Graph;
+use pea_ir::NodeKind;
 use pea_runtime::profile::ProfileStore;
-use pea_trace::{TraceEvent, TraceSink, Tracer};
+use pea_trace::{PhaseMicros, TraceEvent, TraceSink, Tracer};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Which escape analysis the pipeline runs — the three configurations the
@@ -25,6 +27,13 @@ pub enum OptLevel {
     Ees,
     /// Partial Escape Analysis (the paper's contribution).
     Pea,
+    /// PEA with a static pre-filter: a flow-insensitive escape
+    /// pre-analysis (see `pea-analysis`) runs over the bytecode first and
+    /// allocation sites it proves globally escaping are never handed to
+    /// the flow-sensitive analysis, saving PEA work without changing the
+    /// optimized artifact ([`PeaResult::prefiltered_allocs`] reports how
+    /// many sites were excluded up front).
+    PeaPre,
 }
 
 impl std::fmt::Display for OptLevel {
@@ -33,6 +42,7 @@ impl std::fmt::Display for OptLevel {
             OptLevel::None => "none",
             OptLevel::Ees => "ees",
             OptLevel::Pea => "pea",
+            OptLevel::PeaPre => "pea-pre",
         })
     }
 }
@@ -191,15 +201,32 @@ fn compile_impl<'a>(
     times.canonicalize += t.elapsed();
     debug_assert_verify(&graph, "after canonicalize");
 
+    // The pre-filter exclusion set is computed once, up front: allocation
+    // nodes only appear during graph building (inlining included), never
+    // during canonicalization, so later EA rounds see the same sites.
+    let mut prefiltered_allocs = 0usize;
+    let effective_pea: PeaOptions = if options.opt_level == OptLevel::PeaPre {
+        let mut allowed = prefilter_allowed(program, &graph, &mut prefiltered_allocs);
+        if let Some(user) = &options.pea.allowed {
+            allowed.retain(|n| user.contains(n));
+        }
+        PeaOptions {
+            allowed: Some(allowed),
+            ..options.pea.clone()
+        }
+    } else {
+        options.pea.clone()
+    };
+
     let mut pea_result = PeaResult::default();
     for _ in 0..options.ea_iterations.max(1) {
         let t = Instant::now();
         let r = match options.opt_level {
             OptLevel::None => PeaResult::default(),
-            OptLevel::Ees => run_ees(&mut graph, program, &options.pea),
-            OptLevel::Pea => match tracer.sink() {
-                Some(sink) => run_pea_traced(&mut graph, program, &options.pea, sink),
-                None => run_pea(&mut graph, program, &options.pea),
+            OptLevel::Ees => run_ees(&mut graph, program, &effective_pea),
+            OptLevel::Pea | OptLevel::PeaPre => match tracer.sink() {
+                Some(sink) => run_pea_traced(&mut graph, program, &effective_pea, sink),
+                None => run_pea(&mut graph, program, &effective_pea),
             },
         };
         times.escape_analysis += t.elapsed();
@@ -215,6 +242,7 @@ fn compile_impl<'a>(
             break;
         }
     }
+    pea_result.prefiltered_allocs = prefiltered_allocs;
 
     // A verification failure here is a compiler bug; degrade to a bailout
     // so the VM falls back to the interpreter instead of executing a
@@ -233,6 +261,12 @@ fn compile_impl<'a>(
     tracer.emit_with(|| TraceEvent::CompileEnd {
         method: program.method(method).qualified_name(program),
         code_size,
+        phases: PhaseMicros {
+            build: times.build.as_micros() as u64,
+            canonicalize: times.canonicalize.as_micros() as u64,
+            escape_analysis: times.escape_analysis.as_micros() as u64,
+            schedule: times.schedule.as_micros() as u64,
+        },
     });
     Ok(CompiledMethod {
         method,
@@ -243,6 +277,42 @@ fn compile_impl<'a>(
         pea_result,
         times,
     })
+}
+
+/// Computes the allocation nodes PEA may virtualize at
+/// [`OptLevel::PeaPre`]: every live `New`/`NewArray` except those the
+/// static pre-analysis proves globally escaping up front. Only the
+/// immediately-stored-to-a-static pattern qualifies — it is the one
+/// verdict that stays correct no matter where the bytecode was inlined —
+/// so the filter can never change what PEA produces, only skip work.
+/// `excluded` receives the number of sites filtered out.
+fn prefilter_allowed(
+    program: &Program,
+    graph: &Graph,
+    excluded: &mut usize,
+) -> std::collections::HashSet<pea_ir::NodeId> {
+    let mut global_sites: HashMap<MethodId, Vec<u32>> = HashMap::new();
+    let mut allowed = std::collections::HashSet::new();
+    for id in graph.live_nodes() {
+        if !matches!(
+            graph.kind(id),
+            NodeKind::New { .. } | NodeKind::NewArray { .. }
+        ) {
+            continue;
+        }
+        let escapes = graph.provenance(id).is_some_and(|(m, bci)| {
+            global_sites
+                .entry(m)
+                .or_insert_with(|| pea_analysis::escape::immediate_global_sites(program.method(m)))
+                .contains(&bci)
+        });
+        if escapes {
+            *excluded += 1;
+        } else {
+            allowed.insert(id);
+        }
+    }
+    allowed
 }
 
 fn debug_assert_verify(graph: &Graph, stage: &str) {

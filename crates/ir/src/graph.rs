@@ -1,6 +1,7 @@
 //! The node arena with def-use tracking and control-flow wiring helpers.
 
 use crate::{FrameStateData, Node, NodeId, NodeKind};
+use pea_bytecode::MethodId;
 use std::collections::HashMap;
 
 /// An SSA graph for one compiled method (possibly with inlined callees).
@@ -16,6 +17,11 @@ pub struct Graph {
     pub start: NodeId,
     const_cache: HashMap<i64, NodeId>,
     null_cache: Option<NodeId>,
+    /// Bytecode origin `(method, bci)` of allocation nodes
+    /// (`New`/`NewArray`), recorded by the graph builder. Entries survive
+    /// node deletion on purpose: trace events keep referring to
+    /// virtualized allocations by their original node id.
+    provenance: HashMap<NodeId, (MethodId, u32)>,
 }
 
 impl Default for Graph {
@@ -33,6 +39,7 @@ impl Graph {
             start: NodeId(0),
             const_cache: HashMap::new(),
             null_cache: None,
+            provenance: HashMap::new(),
         };
         let start = g.add(NodeKind::Start, vec![]);
         g.start = start;
@@ -310,6 +317,24 @@ impl Graph {
         new_node.successors.push(at);
         new_node.control_pred = Some(pred);
         self.nodes[at.index()].control_pred = Some(new);
+    }
+
+    /// Records the bytecode origin of an allocation node. With inlining,
+    /// `method` is the (possibly inlined) method whose code contains the
+    /// `new`/`newarray` at `bci`.
+    pub fn set_provenance(&mut self, node: NodeId, method: MethodId, bci: u32) {
+        self.provenance.insert(node, (method, bci));
+    }
+
+    /// The recorded bytecode origin of an allocation node, if any. Still
+    /// answers for deleted (virtualized) allocations — see the field docs.
+    pub fn provenance(&self, node: NodeId) -> Option<(MethodId, u32)> {
+        self.provenance.get(&node).copied()
+    }
+
+    /// All recorded allocation origins.
+    pub fn provenance_entries(&self) -> impl Iterator<Item = (NodeId, MethodId, u32)> + '_ {
+        self.provenance.iter().map(|(&n, &(m, b))| (n, m, b))
     }
 
     /// Attaches a frame state to a node.

@@ -95,6 +95,29 @@ impl fmt::Display for MaterializeReason {
     }
 }
 
+/// Per-phase compile cost in microseconds, attached to
+/// [`TraceEvent::CompileEnd`]. Mirrors the compiler's `PhaseTimes`
+/// wall-clock breakdown but in a fixed-width unit so it can round-trip
+/// through the JSON-lines codec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseMicros {
+    /// Graph building (parsing bytecode into IR, inlining).
+    pub build: u64,
+    /// Canonicalization rounds.
+    pub canonicalize: u64,
+    /// Partial escape analysis (zero when EA is disabled).
+    pub escape_analysis: u64,
+    /// Control-flow scheduling of the final graph.
+    pub schedule: u64,
+}
+
+impl PhaseMicros {
+    /// Total compile time across the recorded phases.
+    pub fn total(&self) -> u64 {
+        self.build + self.canonicalize + self.escape_analysis + self.schedule
+    }
+}
+
 /// One decision made by the PEA phase or the VM.
 ///
 /// Compile-time events identify allocations by `site` — the IR node id of
@@ -105,8 +128,13 @@ impl fmt::Display for MaterializeReason {
 pub enum TraceEvent {
     /// The compiler started (re)compiling a method at an optimization level.
     CompileStart { method: String, level: String },
-    /// Compilation finished; `code_size` is the scheduled node count.
-    CompileEnd { method: String, code_size: u64 },
+    /// Compilation finished; `code_size` is the scheduled node count and
+    /// `phases` the per-phase wall-clock breakdown.
+    CompileEnd {
+        method: String,
+        code_size: u64,
+        phases: PhaseMicros,
+    },
     /// An allocation was taken virtual (scalar-replaced unless forced back).
     Virtualized { site: u32, shape: String },
     /// A virtual allocation was forced into existence.
@@ -177,8 +205,24 @@ impl TraceEvent {
             TraceEvent::CompileStart { method, level } => {
                 format!("compile {method} (level={level})")
             }
-            TraceEvent::CompileEnd { method, code_size } => {
-                format!("compiled {method}: {code_size} nodes scheduled")
+            TraceEvent::CompileEnd {
+                method,
+                code_size,
+                phases,
+            } => {
+                if phases.total() == 0 {
+                    format!("compiled {method}: {code_size} nodes scheduled")
+                } else {
+                    format!(
+                        "compiled {method}: {code_size} nodes scheduled in {}us \
+                         (build {}us, canon {}us, ea {}us, sched {}us)",
+                        phases.total(),
+                        phases.build,
+                        phases.canonicalize,
+                        phases.escape_analysis,
+                        phases.schedule
+                    )
+                }
             }
             TraceEvent::Virtualized { site, shape } => {
                 format!("  alloc n{site} ({shape}) virtualized")
@@ -243,9 +287,17 @@ impl TraceEvent {
                 o.str("method", method);
                 o.str("level", level);
             }
-            TraceEvent::CompileEnd { method, code_size } => {
+            TraceEvent::CompileEnd {
+                method,
+                code_size,
+                phases,
+            } => {
                 o.str("method", method);
                 o.num("code_size", *code_size as i64);
+                o.num("build_us", phases.build as i64);
+                o.num("canonicalize_us", phases.canonicalize as i64);
+                o.num("escape_analysis_us", phases.escape_analysis as i64);
+                o.num("schedule_us", phases.schedule as i64);
             }
             TraceEvent::Virtualized { site, shape } => {
                 o.num("site", *site as i64);
@@ -321,6 +373,14 @@ impl TraceEvent {
             "compile-end" => TraceEvent::CompileEnd {
                 method: obj.get_str("method")?.to_string(),
                 code_size: obj.get_num("code_size")? as u64,
+                // The timing fields are optional so traces recorded before
+                // the payload existed still parse.
+                phases: PhaseMicros {
+                    build: obj.get_opt_num("build_us")?.unwrap_or(0) as u64,
+                    canonicalize: obj.get_opt_num("canonicalize_us")?.unwrap_or(0) as u64,
+                    escape_analysis: obj.get_opt_num("escape_analysis_us")?.unwrap_or(0) as u64,
+                    schedule: obj.get_opt_num("schedule_us")?.unwrap_or(0) as u64,
+                },
             },
             "virtualized" => TraceEvent::Virtualized {
                 site: obj.get_num("site")? as u32,
@@ -777,6 +837,12 @@ mod tests {
             TraceEvent::CompileEnd {
                 method: "Cache.getValue".into(),
                 code_size: 41,
+                phases: PhaseMicros {
+                    build: 120,
+                    canonicalize: 35,
+                    escape_analysis: 88,
+                    schedule: 12,
+                },
             },
             TraceEvent::Deopt {
                 method: "Cache.getValue".into(),

@@ -18,9 +18,11 @@
 //!   request time); ties go to the earlier request;
 //! * **dedup** — a method that is queued, compiling, or finished but not
 //!   yet drained is never enqueued twice;
-//! * **bounded** — beyond `queue_capacity` pending requests, new requests
-//!   are rejected; the method stays interpreted, keeps getting hotter,
-//!   and is retried at a later threshold check.
+//! * **bounded with backpressure** — when `queue_capacity` requests are
+//!   pending, a new request evicts the coldest queued one if the newcomer
+//!   is strictly hotter (the evicted method stays interpreted, keeps
+//!   getting hotter, and is retried at a later threshold check);
+//!   otherwise the newcomer itself is rejected.
 
 use pea_bytecode::{MethodId, Program};
 use pea_compiler::{compile, compile_traced, Bailout, CompiledMethod, CompilerOptions};
@@ -37,9 +39,14 @@ use std::thread::JoinHandle;
 pub struct CompileServiceOptions {
     /// Worker thread count; `None` picks [`default_workers`].
     pub workers: Option<usize>,
-    /// Maximum queued (not yet started) requests; further requests are
-    /// rejected until the queue drains.
+    /// Maximum queued (not yet started) requests; at capacity a new
+    /// request either evicts the coldest pending one (if strictly hotter)
+    /// or is rejected.
     pub queue_capacity: usize,
+    /// Run the PEA decision sanitizer (see `pea-analysis`) over every
+    /// finished compilation; findings are reported on the
+    /// [`CompileOutcome`] and the VM panics when installing them.
+    pub checked: bool,
 }
 
 impl Default for CompileServiceOptions {
@@ -47,6 +54,7 @@ impl Default for CompileServiceOptions {
         CompileServiceOptions {
             workers: None,
             queue_capacity: 128,
+            checked: false,
         }
     }
 }
@@ -71,6 +79,10 @@ pub struct CompileOutcome {
     pub epoch: u64,
     /// The artifact, or the bailout that keeps the method interpreted.
     pub result: Result<CompiledMethod, Bailout>,
+    /// Sanitizer inconsistencies (only populated in checked mode; always
+    /// empty for bailouts). Workers report rather than panic so a finding
+    /// cannot wedge [`CompileService::wait_idle`].
+    pub findings: Vec<String>,
 }
 
 /// A queued compilation request.
@@ -115,10 +127,39 @@ struct Queue {
     shutdown: bool,
 }
 
+impl Queue {
+    /// Backpressure policy for a full queue: evict the coldest pending
+    /// request if it is strictly colder than a newcomer of `hotness`,
+    /// freeing its slot (and dedup entry, so the method can re-request
+    /// later). Returns whether a slot was freed. On a hotness tie the
+    /// incumbent wins — eviction must not livelock two equally hot
+    /// methods displacing each other.
+    fn evict_coldest_below(&mut self, hotness: u64) -> bool {
+        let colder = self.heap.iter().min().is_some_and(|r| r.hotness < hotness);
+        if !colder {
+            return false;
+        }
+        let mut pending = std::mem::take(&mut self.heap).into_vec();
+        let victim_at = pending
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.cmp(b))
+            .map(|(i, _)| i)
+            .expect("non-empty: min exists");
+        let victim = pending.swap_remove(victim_at);
+        self.inflight.remove(&victim.method);
+        self.heap = pending.into();
+        true
+    }
+}
+
 struct Shared {
     program: Arc<Program>,
     options: CompilerOptions,
     trace: Option<SharedSink>,
+    /// Static escape verdicts for the sanitizer; `Some` iff checked mode
+    /// is on (computed once at service start, shared by all workers).
+    verdicts: Option<pea_analysis::StaticVerdicts>,
     queue: Mutex<Queue>,
     /// Signals workers that work (or shutdown) is available.
     work: Condvar,
@@ -147,10 +188,14 @@ impl CompileService {
         trace: Option<SharedSink>,
         options: &CompileServiceOptions,
     ) -> CompileService {
+        let verdicts = options
+            .checked
+            .then(|| pea_analysis::StaticVerdicts::analyze(&program));
         let shared = Arc::new(Shared {
             program,
             options: compiler,
             trace,
+            verdicts,
             queue: Mutex::new(Queue {
                 heap: BinaryHeap::new(),
                 inflight: HashSet::new(),
@@ -183,7 +228,9 @@ impl CompileService {
 
     /// Enqueues a compilation of `method` from the given profile
     /// snapshot. Returns `false` (and does nothing) if the method is
-    /// already in flight or the queue is full.
+    /// already in flight, or if the queue is full and every pending
+    /// request is at least as hot (a full queue evicts its coldest
+    /// request to admit a strictly hotter newcomer).
     pub fn request(
         &self,
         method: MethodId,
@@ -192,7 +239,10 @@ impl CompileService {
         profiles: ProfileStore,
     ) -> bool {
         let mut q = self.lock_queue();
-        if q.inflight.contains(&method) || q.heap.len() >= self.queue_capacity() {
+        if q.inflight.contains(&method) {
+            return false;
+        }
+        if q.heap.len() >= self.queue_capacity() && !q.evict_coldest_below(hotness) {
             return false;
         }
         q.inflight.insert(method);
@@ -271,12 +321,13 @@ fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
                 q = shared.work.wait(q).expect("compile queue poisoned");
             }
         };
-        let result = run_one(shared, &request);
+        let (result, findings) = run_one(shared, &request);
         // The VM may already be gone (send fails); nothing to do then.
         let _ = tx.send(CompileOutcome {
             method: request.method,
             epoch: request.epoch,
             result,
+            findings,
         });
         let mut q = shared.queue.lock().expect("compile queue poisoned");
         q.active -= 1;
@@ -286,31 +337,153 @@ fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
     }
 }
 
-fn run_one(shared: &Shared, request: &Request) -> Result<CompiledMethod, Bailout> {
-    match &shared.trace {
-        Some(sink) => {
-            // Buffer locally, flush as one block: compilations stay
-            // parallel and each method's event run stays contiguous.
-            let mut buffer = MemorySink::new();
-            let result = compile_traced(
-                &shared.program,
-                request.method,
-                Some(&request.profiles),
-                &shared.options,
-                &mut buffer,
-            );
-            sink.with_sink(|s| {
-                for event in &buffer.events {
-                    s.emit(event);
-                }
-            });
-            result
-        }
-        None => compile(
+fn run_one(shared: &Shared, request: &Request) -> (Result<CompiledMethod, Bailout>, Vec<String>) {
+    if shared.trace.is_none() && shared.verdicts.is_none() {
+        let result = compile(
             &shared.program,
             request.method,
             Some(&request.profiles),
             &shared.options,
-        ),
+        );
+        return (result, Vec::new());
+    }
+    // Buffer locally, flush as one block: compilations stay parallel and
+    // each method's event run stays contiguous. The sanitizer reads the
+    // same buffer.
+    let mut buffer = MemorySink::new();
+    let result = compile_traced(
+        &shared.program,
+        request.method,
+        Some(&request.profiles),
+        &shared.options,
+        &mut buffer,
+    );
+    let mut findings = Vec::new();
+    if let (Some(verdicts), Ok(code)) = (&shared.verdicts, &result) {
+        findings = pea_analysis::check_compilation(
+            &shared.program,
+            verdicts,
+            request.method,
+            &code.graph,
+            &buffer.events,
+        )
+        .into_iter()
+        .map(|f| f.to_string())
+        .collect();
+    }
+    if let Some(sink) = &shared.trace {
+        sink.with_sink(|s| {
+            for event in &buffer.events {
+                s.emit(event);
+            }
+        });
+    }
+    (result, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue() -> Queue {
+        Queue {
+            heap: BinaryHeap::new(),
+            inflight: HashSet::new(),
+            seq: 0,
+            active: 0,
+            shutdown: false,
+        }
+    }
+
+    fn push(q: &mut Queue, method: u32, hotness: u64) {
+        let method = MethodId::from_index(method as usize);
+        assert!(q.inflight.insert(method), "test enqueued {method:?} twice");
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(Request {
+            hotness,
+            seq,
+            epoch: 0,
+            method,
+            profiles: ProfileStore::new(),
+        });
+    }
+
+    fn queued_methods(q: &Queue) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = q
+            .heap
+            .iter()
+            .map(|r| (r.method.index() as u32, r.hotness))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn evicts_the_coldest_for_a_strictly_hotter_newcomer() {
+        let mut q = queue();
+        push(&mut q, 0, 50);
+        push(&mut q, 1, 80);
+        push(&mut q, 2, 120);
+        assert!(q.evict_coldest_below(60));
+        assert_eq!(queued_methods(&q), vec![(1, 80), (2, 120)]);
+        // The victim left the dedup set: it may be re-requested later.
+        assert!(!q.inflight.contains(&MethodId::from_index(0)));
+        assert!(q.inflight.contains(&MethodId::from_index(1)));
+    }
+
+    #[test]
+    fn equal_hotness_keeps_the_incumbent() {
+        // Strictly-hotter only: otherwise two equally hot methods would
+        // displace each other forever without either compiling.
+        let mut q = queue();
+        push(&mut q, 0, 50);
+        push(&mut q, 1, 80);
+        assert!(!q.evict_coldest_below(50));
+        assert_eq!(queued_methods(&q), vec![(0, 50), (1, 80)]);
+        assert!(q.inflight.contains(&MethodId::from_index(0)));
+    }
+
+    #[test]
+    fn among_equally_cold_requests_the_newest_is_evicted() {
+        let mut q = queue();
+        push(&mut q, 0, 50); // older request at the coldest hotness
+        push(&mut q, 1, 50); // newer request at the coldest hotness
+        assert!(q.evict_coldest_below(99));
+        // FIFO among ties: the earlier request keeps its slot.
+        assert_eq!(queued_methods(&q), vec![(0, 50)]);
+    }
+
+    #[test]
+    fn capacity_one_queue_still_upgrades() {
+        let mut q = queue();
+        push(&mut q, 0, 10);
+        assert!(!q.evict_coldest_below(10), "not strictly hotter");
+        assert!(q.evict_coldest_below(11));
+        assert!(q.heap.is_empty());
+        assert!(q.inflight.is_empty());
+    }
+
+    #[test]
+    fn duplicate_requests_are_rejected_regardless_of_hotness() {
+        let program =
+            pea_bytecode::asm::parse_program("method f 1 returns { load 0 const 1 add retv }")
+                .unwrap();
+        let service = CompileService::start(
+            Arc::new(program),
+            CompilerOptions::default(),
+            None,
+            &CompileServiceOptions {
+                workers: Some(1),
+                queue_capacity: 1,
+                checked: false,
+            },
+        );
+        let m = MethodId::from_index(0);
+        assert!(service.request(m, 5, 0, ProfileStore::new()));
+        // In flight (queued or compiling): dedup rejects, even hotter.
+        assert!(!service.request(m, 100, 0, ProfileStore::new()));
+        service.wait_idle();
+        assert_eq!(service.drain().len(), 1);
     }
 }

@@ -94,6 +94,13 @@ pub struct VmOptions {
     /// (with rematerialization inventories), evictions and recompiles all
     /// flow into this sink. `None` (the default) is zero-cost.
     pub trace: Option<SharedSink>,
+    /// Cross-check every compilation's PEA decisions against the static
+    /// escape pre-analysis (see `pea-analysis`): virtualized/lock-elided
+    /// sites must be consistent with the flow-insensitive verdicts and the
+    /// compiled frame states must carry closed rematerialization info.
+    /// Any inconsistency panics loudly — this is a debugging/CI mode, not
+    /// a production setting.
+    pub checked: bool,
 }
 
 impl VmOptions {
@@ -109,6 +116,7 @@ impl VmOptions {
             compile_workers: None,
             compile_queue_capacity: 128,
             trace: None,
+            checked: false,
         }
     }
 
@@ -144,6 +152,9 @@ pub struct Vm {
     evict_epochs: HashMap<MethodId, u64>,
     /// Background compilation pool, started lazily on the first request.
     service: Option<CompileService>,
+    /// Static escape verdicts for the sanitizer, computed lazily on the
+    /// first checked compilation.
+    verdicts: Option<Arc<pea_analysis::StaticVerdicts>>,
     options: VmOptions,
     /// Re-entrancy depth (interpreter/compiled frames currently active).
     depth: usize,
@@ -164,6 +175,7 @@ impl Vm {
             evicted: HashSet::new(),
             evict_epochs: HashMap::new(),
             service: None,
+            verdicts: None,
             options,
             depth: 0,
         }
@@ -270,27 +282,44 @@ impl Vm {
         {
             match self.options.jit_mode {
                 JitMode::Sync => {
-                    let compiled = match self.options.trace.clone() {
-                        Some(mut sink) => {
-                            if self.evicted.contains(&method) {
-                                sink.emit_event(&TraceEvent::Recompile {
-                                    method: program.method(method).qualified_name(&program),
-                                });
-                            }
-                            compile_traced(
-                                &program,
-                                method,
-                                Some(&self.profiles),
-                                &self.options.compiler,
-                                &mut sink,
-                            )
+                    if let Some(sink) = &self.options.trace {
+                        if self.evicted.contains(&method) {
+                            sink.emit_event(&TraceEvent::Recompile {
+                                method: program.method(method).qualified_name(&program),
+                            });
                         }
-                        None => compile(
+                    }
+                    let compiled = if self.options.checked || self.options.trace.is_some() {
+                        // Buffer the decision events so the sanitizer can
+                        // inspect them; forward to the user's sink after.
+                        let mut buffer = pea_trace::MemorySink::new();
+                        let result = compile_traced(
                             &program,
                             method,
                             Some(&self.profiles),
                             &self.options.compiler,
-                        ),
+                            &mut buffer,
+                        );
+                        if self.options.checked {
+                            if let Ok(code) = &result {
+                                self.sanitize(&program, method, &code.graph, &buffer.events);
+                            }
+                        }
+                        if let Some(sink) = &self.options.trace {
+                            sink.with_sink(|s| {
+                                for event in &buffer.events {
+                                    s.emit(event);
+                                }
+                            });
+                        }
+                        result
+                    } else {
+                        compile(
+                            &program,
+                            method,
+                            Some(&self.profiles),
+                            &self.options.compiler,
+                        )
                     };
                     match compiled {
                         Ok(code) => {
@@ -314,6 +343,41 @@ impl Vm {
         interpret(&program, self, method, args)
     }
 
+    /// The static escape verdicts, computed over the whole program on
+    /// first use and reused for every checked compilation.
+    fn static_verdicts(&mut self) -> Arc<pea_analysis::StaticVerdicts> {
+        if let Some(v) = &self.verdicts {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(pea_analysis::StaticVerdicts::analyze(&self.program));
+        self.verdicts = Some(Arc::clone(&v));
+        v
+    }
+
+    /// Cross-checks one finished compilation against the static verdicts
+    /// and panics on any inconsistency (checked mode is a debugging/CI
+    /// tool: an inconsistency is a compiler bug, not a user error).
+    fn sanitize(
+        &mut self,
+        program: &Program,
+        method: MethodId,
+        graph: &pea_ir::Graph,
+        events: &[TraceEvent],
+    ) {
+        let verdicts = self.static_verdicts();
+        let findings = pea_analysis::check_compilation(program, &verdicts, method, graph, events);
+        if !findings.is_empty() {
+            let name = program.method(method).qualified_name(program);
+            let lines: Vec<String> = findings.iter().map(|f| format!("  - {f}")).collect();
+            panic!(
+                "PEA decision sanitizer: {} inconsistenc{} compiling {name}:\n{}",
+                findings.len(),
+                if findings.len() == 1 { "y" } else { "ies" },
+                lines.join("\n"),
+            );
+        }
+    }
+
     /// Enqueues a background compilation of `method` (deduplicated by the
     /// service). The profile snapshot makes the artifact a deterministic
     /// function of the request: later interpreter profiling cannot leak
@@ -327,6 +391,7 @@ impl Vm {
                 &CompileServiceOptions {
                     workers: self.options.compile_workers,
                     queue_capacity: self.options.compile_queue_capacity,
+                    checked: self.options.checked,
                 },
             ));
         }
@@ -356,6 +421,25 @@ impl Vm {
                 // speculation that kept deoptimizing. Drop it; the fresh
                 // profile will trigger a new request.
                 continue;
+            }
+            // Workers never panic (that would wedge `wait_idle`); sanitizer
+            // findings surface here, at the installing safepoint.
+            if !outcome.findings.is_empty() {
+                let name = self
+                    .program
+                    .method(outcome.method)
+                    .qualified_name(&self.program);
+                panic!(
+                    "PEA decision sanitizer: {} inconsistenc{} in background compile of {name}:\n{}",
+                    outcome.findings.len(),
+                    if outcome.findings.len() == 1 { "y" } else { "ies" },
+                    outcome
+                        .findings
+                        .iter()
+                        .map(|f| format!("  - {f}"))
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                );
             }
             match outcome.result {
                 Ok(code) => {

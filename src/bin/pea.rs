@@ -1,10 +1,11 @@
 //! `pea` — command-line driver for the PEA virtual machine and compiler.
 //!
 //! ```text
-//! pea run <file.asm> <entry> [args...] [--level none|ees|pea] [--interp]
-//!         [--jit-mode sync|background] [--trace|--trace-json]  # + VM/PEA event log
+//! pea run <file.asm> <entry> [args...] [--level none|ees|pea|pea-pre]
+//!         [--interp] [--jit-mode sync|background] [--checked]
+//!         [--trace|--trace-json]                       # + VM/PEA event log
 //! pea trace <file.asm> [method] [--level ...] [--json] # decision trace only
-//! pea dump <file.asm> <method> [--level none|ees|pea]  # IR before/after
+//! pea dump <file.asm> <method> [--level ...]           # IR before/after
 //! pea dot <file.asm> <method> [--level ...]            # GraphViz output
 //! pea disasm <file.asm>                                # parse + re-print
 //! ```
@@ -38,8 +39,9 @@ fn parse_level(args: &[String]) -> OptLevel {
         Some("none") => OptLevel::None,
         Some("ees") => OptLevel::Ees,
         Some("pea") | None => OptLevel::Pea,
+        Some("pea-pre") => OptLevel::PeaPre,
         Some(other) => {
-            eprintln!("unknown level `{other}` (none|ees|pea)");
+            eprintln!("unknown level `{other}` (none|ees|pea|pea-pre)");
             std::process::exit(2);
         }
     }
@@ -75,7 +77,7 @@ fn stdout_sink(args: &[String]) -> Option<SharedSink> {
 
 fn cmd_run(args: &[String]) -> ExitCode {
     let [path, entry, rest @ ..] = args else {
-        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N] [--jit-mode sync|background] [--trace|--trace-json]");
+        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N] [--jit-mode sync|background] [--checked] [--trace|--trace-json]");
         return ExitCode::from(2);
     };
     let program = load(path);
@@ -116,6 +118,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         });
     }
     options.trace = stdout_sink(rest);
+    options.checked = rest.iter().any(|a| a == "--checked");
     let background = options.jit_mode == JitMode::Background;
     let mut vm = Vm::new(program, options);
     for _ in 0..warmup {

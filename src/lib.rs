@@ -21,6 +21,7 @@
 //! | [`vm`] | `pea-vm` | tiered execution: interpret → profile → JIT → deopt |
 //! | [`workloads`] | `pea-workloads` | synthetic benchmark kernels |
 //! | [`trace`] | `pea-trace` | decision-trace events, sinks, per-site aggregation |
+//! | [`analysis`] | `pea-analysis` | static dataflow analyses + PEA decision sanitizer |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@
 //! # }
 //! ```
 
+pub use pea_analysis as analysis;
 pub use pea_bytecode as bytecode;
 pub use pea_compiler as compiler;
 pub use pea_core as core;

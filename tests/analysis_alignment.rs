@@ -1,0 +1,175 @@
+//! Cross-layer alignment of the static analyses in `pea-analysis` with
+//! the rest of the stack: the bytecode verifier (which deliberately
+//! accepts what the dataflow passes flag), the graph builder (which bails
+//! out on unstructured locking), the checked-mode VM (whose sanitizer
+//! must stay silent on the paper examples), and the `pea-pre` static
+//! pre-filter (which must save PEA work without changing behavior).
+
+use pea::analysis::{analyze_locks, analyze_method, analyze_nullness, EscapeClass};
+use pea::analysis::{LockFindingKind, NullFindingKind};
+use pea::bytecode::asm::parse_program;
+use pea::bytecode::{verify_program, MethodId};
+use pea::compiler::{compile, Bailout, CompilerOptions};
+use pea::runtime::Value;
+use pea::vm::{JitMode, OptLevel, Vm, VmOptions};
+
+const CACHE_EXAMPLE: &str = include_str!("../examples/cache_key.asm");
+
+/// §2's synchronized accumulator: lock elision on the hot path, deopt
+/// with the monitor held on the cold one.
+const SYNC_ACC: &str = "
+    class Acc { field v int }
+    static published ref
+    method virtual Acc.bump 2 returns synchronized {
+        load 0 load 0 getfield Acc.v load 1 add putfield Acc.v
+        load 1 const 1000 ifcmp gt Lrare
+        load 0 getfield Acc.v retv
+    Lrare:
+        load 0 putstatic published
+        load 0 getfield Acc.v const 1000000 add retv
+    }
+    method f 1 returns {
+        new Acc store 1
+        load 1 load 0 invokevirtual Acc.bump retv
+    }";
+
+#[test]
+fn unbalanced_monitor_passes_verifier_but_is_flagged_and_bailed() {
+    let src = "
+        class C { }
+        method f 0 returns {
+            new C monitorenter
+            const 1 retv
+        }";
+    let program = parse_program(src).unwrap();
+    // Layer 1: the verifier accepts it (monitor pairing is out of scope,
+    // as in JVM bytecode verification).
+    verify_program(&program).unwrap();
+    // Layer 2: the lock-balance dataflow pass flags the leaked monitor.
+    let locks = analyze_locks(&program, MethodId::from_index(0));
+    assert!(!locks.balanced());
+    assert!(locks
+        .findings
+        .iter()
+        .any(|f| f.kind == LockFindingKind::UnreleasedAtReturn));
+    // Layer 3: the compiler refuses to build a graph for it.
+    let result = compile(
+        &program,
+        MethodId::from_index(0),
+        None,
+        &CompilerOptions::default(),
+    );
+    assert!(matches!(result, Err(Bailout::UnstructuredLocking)));
+}
+
+#[test]
+fn read_before_store_passes_verifier_but_is_flagged() {
+    let src = "method f 0 returns { load 3 retv }";
+    let program = parse_program(src).unwrap();
+    verify_program(&program).unwrap();
+    let nullness = analyze_nullness(&program, MethodId::from_index(0));
+    assert!(nullness
+        .findings
+        .iter()
+        .any(|f| f.kind == NullFindingKind::ReadBeforeStore { local: 3 }));
+}
+
+#[test]
+fn escape_classes_on_the_paper_example() {
+    let program = parse_program(CACHE_EXAMPLE).unwrap();
+    let get_value = program.static_method_by_name("getValue").unwrap();
+    let summary = analyze_method(&program, get_value);
+    assert_eq!(summary.sites.len(), 1);
+    // The Key escapes through `putstatic cacheKey` on the miss path, so
+    // the flow-insensitive verdict is GlobalEscape — which is exactly why
+    // flow-sensitive PEA is needed to optimize the hit path.
+    assert_eq!(summary.sites[0].escape, EscapeClass::GlobalEscape);
+    assert!(
+        !summary.sites[0].immediate_global,
+        "the escape is conditional, not an immediate publish: \
+         the pre-filter must leave this site to PEA"
+    );
+}
+
+fn run_checked(src: &str, mode: JitMode) {
+    let program = parse_program(src).unwrap();
+    verify_program(&program).unwrap();
+    let mut options = VmOptions::with_opt_level(OptLevel::Pea);
+    options.compile_threshold = 5;
+    options.checked = true;
+    options.jit_mode = mode;
+    let mut vm = Vm::new(program, options);
+    for i in 0..200 {
+        vm.call_entry("f", &[Value::Int(i)])
+            .or_else(|_| vm.call_entry("getValue", &[Value::Int(i), Value::Null]))
+            .unwrap();
+    }
+    if mode == JitMode::Background {
+        vm.await_background_compiles();
+    }
+    assert!(vm.compiled_method_count() >= 1, "JIT never kicked in");
+}
+
+#[test]
+fn checked_mode_is_clean_on_the_cache_example() {
+    // The sanitizer cross-checks every Virtualized/LockElided decision
+    // against the static verdicts and panics on inconsistency; the paper
+    // examples must run clean in both compilation modes.
+    run_checked(CACHE_EXAMPLE, JitMode::Sync);
+    run_checked(CACHE_EXAMPLE, JitMode::Background);
+}
+
+#[test]
+fn checked_mode_is_clean_on_the_sync_deopt_example() {
+    run_checked(SYNC_ACC, JitMode::Sync);
+    run_checked(SYNC_ACC, JitMode::Background);
+}
+
+#[test]
+fn prefilter_skips_immediate_global_but_preserves_behavior() {
+    // Site 1 is published to a static immediately (the pre-filter excludes
+    // it); site 2 is scalar-replaced by PEA either way.
+    let src = "
+        class C { field v int }
+        static g ref
+        method f 1 returns {
+            new C putstatic g
+            new C store 1
+            load 1 load 0 putfield C.v
+            load 1 getfield C.v const 1 add retv
+        }";
+    let mut results = Vec::new();
+    for level in [OptLevel::Pea, OptLevel::PeaPre] {
+        let program = parse_program(src).unwrap();
+        let mut options = VmOptions::with_opt_level(level);
+        options.compile_threshold = 5;
+        options.checked = level == OptLevel::Pea;
+        let mut vm = Vm::new(program, options);
+        for i in 0..50 {
+            assert_eq!(
+                vm.call_entry("f", &[Value::Int(i)]).unwrap(),
+                Some(Value::Int(i + 1))
+            );
+        }
+        assert_eq!(vm.compiled_method_count(), 1);
+        // Steady state: one call allocates exactly the published object.
+        let before = vm.stats();
+        vm.call_entry("f", &[Value::Int(9)]).unwrap();
+        let delta = vm.stats().delta(&before);
+        let method = vm.compiled_methods()[0];
+        let pea_result = vm.compiled(method).unwrap().pea_result;
+        results.push((level, delta.alloc_count, pea_result));
+    }
+    let (_, pea_allocs, pea_result) = results[0];
+    let (_, pre_allocs, pre_result) = results[1];
+    assert_eq!(pea_allocs, pre_allocs, "identical steady-state allocation");
+    assert_eq!(pea_allocs, 1, "only the published object is allocated");
+    assert_eq!(pea_result.prefiltered_allocs, 0);
+    assert_eq!(
+        pre_result.prefiltered_allocs, 1,
+        "the immediately-published site is excluded up front"
+    );
+    // The pre-filter saves PEA the work of virtualizing and then
+    // materializing the escaping site.
+    assert!(pre_result.virtualized_allocs < pea_result.virtualized_allocs);
+}

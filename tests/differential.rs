@@ -342,6 +342,7 @@ fn configs() -> Vec<(&'static str, VmOptions)> {
         ("jit-none", low(OptLevel::None)),
         ("jit-ees", low(OptLevel::Ees)),
         ("jit-pea", low(OptLevel::Pea)),
+        ("jit-pea-pre", low(OptLevel::PeaPre)),
         ("jit-pea-speculative", spec_opts),
     ]
 }
@@ -392,6 +393,19 @@ proptest! {
             pea <= none,
             "PEA allocated more than baseline: {} > {}",
             pea,
+            none
+        );
+        // The static pre-filter only withholds provably-escaping sites
+        // from PEA, so it keeps the same guarantee.
+        let pre = alloc_counts
+            .iter()
+            .find(|(n, _)| n == "jit-pea-pre")
+            .unwrap()
+            .1;
+        prop_assert!(
+            pre <= none,
+            "pre-filtered PEA allocated more than baseline: {} > {}",
+            pre,
             none
         );
     }
