@@ -1,0 +1,161 @@
+//! Runs the workload corpus with the metrics registry enabled, cross-checks
+//! every `pea.*` counter against the trace stream's [`SiteAggregator`] fold
+//! (the two consume the same event buffers, so they must agree *exactly*),
+//! and writes a combined `METRICS.json` artifact.
+//!
+//! Usage: `metrics [--smoke] [--out PATH]`
+//!
+//! `--smoke` restricts the run to one workload per suite with fewer
+//! iterations (the CI configuration). Exits nonzero if any counter
+//! disagrees with the aggregator or a background run records no
+//! queue-latency / compile-phase samples.
+
+use pea_metrics::export::{render_json, write_with_dirs};
+use pea_metrics::{MetricsHub, MetricsSnapshot};
+use pea_runtime::Value;
+use pea_trace::{SharedSink, SiteAggregator};
+use pea_vm::{JitMode, OptLevel, Vm, VmOptions};
+use pea_workloads::{all_workloads, Workload};
+use std::path::Path;
+
+struct Run {
+    workload: String,
+    mode: &'static str,
+    snapshot: MetricsSnapshot,
+    failures: Vec<String>,
+}
+
+fn options_for(mode: &str) -> VmOptions {
+    let mut options = VmOptions::with_opt_level(OptLevel::Pea);
+    options.metrics = MetricsHub::enabled();
+    if mode == "background" {
+        options.jit_mode = JitMode::Background;
+        options.compile_workers = Some(2);
+    }
+    options
+}
+
+fn check(workload: &Workload, mode: &'static str, iters: u64) -> Run {
+    let (sink, agg) = SharedSink::new(SiteAggregator::new());
+    let mut options = options_for(mode);
+    options.trace = Some(sink);
+    let mut vm = Vm::new(workload.program.clone(), options);
+    for i in 0..iters {
+        vm.call_entry("iterate", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("{} {mode} iteration {i}: {e}", workload.name));
+    }
+    vm.await_background_compiles();
+    let snapshot = vm.metrics().snapshot().expect("metrics enabled");
+    drop(vm);
+    let agg = agg.lock().expect("aggregator lock poisoned");
+
+    let mut totals = [0u64; 5];
+    for c in agg.sites.values() {
+        totals[0] += c.virtualized;
+        totals[1] += c.materialized;
+        totals[2] += c.locks_elided;
+        totals[3] += c.loads_elided;
+        totals[4] += c.stores_elided;
+    }
+    let mut failures = Vec::new();
+    for (name, expected) in [
+        ("pea.virtualized", totals[0]),
+        ("pea.materialized", totals[1]),
+        ("pea.locks_elided", totals[2]),
+        ("pea.loads_elided", totals[3]),
+        ("pea.stores_elided", totals[4]),
+        ("compile.started", agg.compiles),
+        ("vm.evictions", agg.evictions),
+        ("vm.deopts", agg.deopts.values().map(|(d, _)| *d).sum()),
+        (
+            "vm.rematerialized_objects",
+            agg.deopts.values().map(|(_, r)| *r).sum(),
+        ),
+    ] {
+        let got = snapshot.counter(name);
+        if got != expected {
+            failures.push(format!(
+                "{name}: metrics say {got}, trace aggregator says {expected}"
+            ));
+        }
+    }
+    if mode == "background" {
+        for h in ["compile.queue_latency_us", "compile.total_us"] {
+            let count = snapshot.histogram(h).map_or(0, |s| s.count());
+            if count == 0 {
+                failures.push(format!("{h}: no samples in a background run"));
+            }
+        }
+    }
+    Run {
+        workload: workload.name.clone(),
+        mode,
+        snapshot,
+        failures,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("METRICS.json", String::as_str);
+    let (names, iters): (&[&str], u64) = if smoke {
+        (&["fop", "factorie", "SPECjbb2005"], 150)
+    } else {
+        (&[], 250) // empty = the whole corpus
+    };
+    let workloads = all_workloads();
+    let selected: Vec<&Workload> = workloads
+        .iter()
+        .filter(|w| names.is_empty() || names.contains(&w.name.as_str()))
+        .collect();
+
+    let mut runs = Vec::new();
+    for w in &selected {
+        for mode in ["sync", "background"] {
+            let run = check(w, mode, iters);
+            let status = if run.failures.is_empty() {
+                "ok"
+            } else {
+                "INCONSISTENT"
+            };
+            println!("{:24} {:10} {status}", run.workload, run.mode);
+            for f in &run.failures {
+                println!("    {f}");
+            }
+            runs.push(run);
+        }
+    }
+
+    // Combined artifact: one metrics document per (workload, mode), plus
+    // the consistency verdicts, in a stable order.
+    let mut doc = String::from("{\"schema\":\"pea-metrics-bench/1\",\"runs\":[");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(
+            "{{\"workload\":\"{}\",\"mode\":\"{}\",\"consistent\":{},\"metrics\":{}}}",
+            run.workload,
+            run.mode,
+            run.failures.is_empty(),
+            render_json(&run.snapshot),
+        ));
+    }
+    doc.push_str("]}\n");
+    if let Err(e) = write_with_dirs(Path::new(out), &doc) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out} ({} runs)", runs.len());
+
+    let bad: usize = runs.iter().filter(|r| !r.failures.is_empty()).count();
+    if bad > 0 {
+        eprintln!("{bad} run(s) failed the metrics/trace consistency check");
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,7 @@
 //! The execution environment the interpreter runs against.
 
 use pea_bytecode::{MethodId, Program};
+use pea_metrics::MetricsHub;
 use pea_runtime::profile::ProfileStore;
 use pea_runtime::{Heap, Statics, Value, VmError};
 use std::sync::Arc;
@@ -39,6 +40,12 @@ pub trait InterpEnv {
     /// methods finished by background compiler threads without waiting
     /// for the current (possibly long-running) interpreted loop to exit.
     fn safepoint(&mut self) {}
+    /// The host's metrics handle; the interpreter counts steps, back-edges
+    /// and safepoint polls through it. Defaults to the disabled hub, which
+    /// records nothing at the cost of one branch per site.
+    fn metrics(&self) -> &MetricsHub {
+        MetricsHub::disabled_ref()
+    }
 }
 
 /// A minimal interpret-everything environment for tests and examples: owns
@@ -54,6 +61,8 @@ pub struct SimpleEnv {
     pub profiles: ProfileStore,
     /// Optional cycle budget; `None` means unlimited.
     pub fuel: Option<u64>,
+    /// Metrics handle (disabled by default).
+    pub metrics: MetricsHub,
     spent: u64,
 }
 
@@ -67,6 +76,7 @@ impl SimpleEnv {
             statics,
             profiles: ProfileStore::new(),
             fuel: None,
+            metrics: MetricsHub::disabled(),
             spent: 0,
         }
     }
@@ -129,5 +139,9 @@ impl InterpEnv for SimpleEnv {
     fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
         let program = Arc::clone(&self.program);
         crate::interpret(&program, self, method, args)
+    }
+
+    fn metrics(&self) -> &MetricsHub {
+        &self.metrics
     }
 }

@@ -20,6 +20,9 @@ pub fn interpret(
     let m = program.method(method);
     debug_assert_eq!(args.len(), m.param_count as usize, "arity mismatch");
     env.charge(cost::CALL_OVERHEAD)?;
+    if let Some(m) = env.metrics().on() {
+        m.interp.invocations.inc();
+    }
     if env.profiling_enabled() {
         env.profiles().record_invocation(method);
     }
@@ -94,9 +97,15 @@ fn run_frame(
 ) -> Result<Option<Value>, VmError> {
     let method = frame.method;
     let code: &[Insn] = &program.method(method).code;
+    // One hub clone per frame (an `Option<Arc>` bump, no allocation) so the
+    // per-instruction path below is a single branch when metrics are off.
+    let metrics = env.metrics().clone();
     loop {
         let insn = code[frame.bci as usize];
         env.charge(cost::INTERP_DISPATCH)?;
+        if let Some(m) = metrics.on() {
+            m.interp.steps.inc();
+        }
         let mut next = frame.bci + 1;
         match insn {
             Insn::Const(v) => {
@@ -326,6 +335,10 @@ fn run_frame(
         // background compilations even while a single interpreted loop
         // keeps spinning (the other safepoint is method entry).
         if next <= frame.bci {
+            if let Some(m) = metrics.on() {
+                m.interp.back_edges.inc();
+                m.interp.safepoint_polls.inc();
+            }
             env.safepoint();
         }
         frame.bci = next;
@@ -425,6 +438,31 @@ mod tests {
             run(src, "f", &[Value::Int(5)]).unwrap(),
             Some(Value::Int(10))
         );
+    }
+
+    #[test]
+    fn enabled_metrics_count_steps_invocations_and_back_edges() {
+        let src = "method f 1 returns {
+            const 0 store 1
+        Lhead:
+            load 1 load 0 ifcmp ge Ldone
+            load 1 const 1 add store 1
+            goto Lhead
+        Ldone:
+            load 1 retv
+        }";
+        let program = parse_program(src).expect("asm");
+        let mut env = SimpleEnv::new(program);
+        env.metrics = pea_metrics::MetricsHub::enabled();
+        env.call("f", &[Value::Int(7)]).unwrap();
+        let snap = env.metrics.snapshot().unwrap();
+        assert_eq!(snap.counter("interp.invocations"), 1);
+        // One `goto Lhead` back-edge per completed iteration.
+        assert_eq!(snap.counter("interp.back_edges"), 7);
+        assert_eq!(snap.counter("interp.safepoint_polls"), 7);
+        // 2 setup insns, 8 per completed iteration, 5 on the exit path
+        // (final header check plus `load 1 retv`).
+        assert_eq!(snap.counter("interp.steps"), 2 + 7 * 8 + 5);
     }
 
     #[test]

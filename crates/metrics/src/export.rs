@@ -1,0 +1,272 @@
+//! Renderers for [`MetricsSnapshot`]: human-readable report, stable JSON,
+//! and Prometheus-style text exposition — plus file helpers that create
+//! missing parent directories (so `--metrics-json out/run1/METRICS.json`
+//! just works).
+
+use crate::{bucket_upper_bound, HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// Renders the end-of-run human-readable report (`--metrics` prints this
+/// to stderr).
+pub fn render_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("== metrics ==\n");
+    let mut group = "";
+    for (name, value) in &snapshot.counters {
+        let g = name.split('.').next().unwrap_or("");
+        if g != group {
+            group = g;
+            let _ = writeln!(out, "[{g}]");
+        }
+        let _ = writeln!(out, "  {name:<40} {value}");
+    }
+    let _ = writeln!(out, "[gauges]");
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "  {name:<40} {value}");
+    }
+    let _ = writeln!(out, "[histograms]");
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "  {name:<40} count={} sum={} mean={} p50<={} p90<={} p99<={} max={}",
+            h.count(),
+            h.sum,
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max,
+        );
+    }
+    out
+}
+
+fn escape_json_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},",
+        h.count(),
+        h.sum,
+        h.max,
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99),
+    );
+    out.push_str("\"buckets\":[");
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let le = bucket_upper_bound(i);
+        if le == u64::MAX {
+            let _ = write!(out, "{{\"le\":\"+Inf\",\"count\":{c}}}");
+        } else {
+            let _ = write!(out, "{{\"le\":{le},\"count\":{c}}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the snapshot as one stable-schema JSON document
+/// (`pea-metrics/1`): counters and gauges as flat name→value maps,
+/// histograms as summaries with non-empty `{le, count}` buckets.
+pub fn render_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"schema\":\"pea-metrics/1\",\"counters\":{");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json_into(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json_into(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json_into(&mut out, name);
+        out.push(':');
+        out.push_str(&histogram_json(h));
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Maps a dotted metric name onto a Prometheus-legal one.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::from("pea_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as a Prometheus-style text exposition (the format
+/// a future `/metrics` server endpoint would serve): counters, gauges,
+/// and cumulative histogram buckets with `_sum`/`_count` series.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let le = bucket_upper_bound(i);
+            if le == u64::MAX {
+                continue; // folded into the +Inf bucket below
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    out
+}
+
+/// Creates (truncating) a file, first creating any missing parent
+/// directories.
+///
+/// # Errors
+///
+/// Any I/O error from directory creation or file creation.
+pub fn create_file_with_dirs(path: &Path) -> io::Result<File> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    File::create(path)
+}
+
+/// Writes `contents` to `path`, creating missing parent directories.
+///
+/// # Errors
+///
+/// Any I/O error from directory or file creation, or the write.
+pub fn write_with_dirs(path: &Path, contents: &str) -> io::Result<()> {
+    use io::Write as _;
+    let mut f = create_file_with_dirs(path)?;
+    f.write_all(contents.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VmMetrics;
+
+    fn sample() -> MetricsSnapshot {
+        let m = VmMetrics::default();
+        m.interp.steps.add(42);
+        m.pea.virtualized.add(3);
+        m.compile.queue_depth.set(2);
+        m.compile.total_us.record(100);
+        m.compile.total_us.record(3000);
+        m.heap.classes.resolve("Key").allocs.inc();
+        m.snapshot()
+    }
+
+    #[test]
+    fn text_report_contains_every_section() {
+        let t = render_text(&sample());
+        assert!(t.contains("[interp]"));
+        assert!(t.contains("interp.steps"));
+        assert!(t.contains("42"));
+        assert!(t.contains("[gauges]"));
+        assert!(t.contains("compile.queue_depth"));
+        assert!(t.contains("[histograms]"));
+        assert!(t.contains("compile.total_us"));
+        assert!(t.contains("count=2"));
+        assert!(t.contains("heap.class.Key.allocs"));
+    }
+
+    #[test]
+    fn json_is_parseable_enough_and_stable() {
+        let j = render_json(&sample());
+        assert!(j.starts_with("{\"schema\":\"pea-metrics/1\""));
+        assert!(j.contains("\"interp.steps\":42"));
+        assert!(j.contains("\"compile.queue_depth\":2"));
+        assert!(j.contains("\"compile.total_us\":{\"count\":2,\"sum\":3100"));
+        assert!(j.contains("\"le\":127,\"count\":1"));
+        // Two renders of the same snapshot are byte-identical.
+        assert_eq!(j, render_json(&sample()));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_buckets_and_counts() {
+        let p = render_prometheus(&sample());
+        assert!(p.contains("# TYPE pea_interp_steps counter"));
+        assert!(p.contains("pea_interp_steps 42"));
+        assert!(p.contains("# TYPE pea_compile_queue_depth gauge"));
+        assert!(p.contains("# TYPE pea_compile_total_us histogram"));
+        assert!(p.contains("pea_compile_total_us_bucket{le=\"127\"} 1"));
+        assert!(p.contains("pea_compile_total_us_bucket{le=\"+Inf\"} 2"));
+        assert!(p.contains("pea_compile_total_us_sum 3100"));
+        assert!(p.contains("pea_compile_total_us_count 2"));
+        assert!(p.contains("pea_heap_class_Key_allocs 1"));
+    }
+
+    #[test]
+    fn write_with_dirs_creates_missing_parents() {
+        let dir = std::env::temp_dir().join(format!("pea-metrics-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("a/b/METRICS.json");
+        write_with_dirs(&path, "{}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

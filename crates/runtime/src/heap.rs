@@ -2,6 +2,7 @@
 
 use crate::{Stats, Value, VmError};
 use pea_bytecode::{ClassId, FieldId, Program, StaticDecl, ValueKind};
+use pea_metrics::HeapRecorder;
 use std::fmt;
 
 /// A non-null reference into the [`Heap`].
@@ -103,12 +104,19 @@ pub struct Heap {
     cells: Vec<HeapCell>,
     /// Execution statistics, updated by allocation and monitor operations.
     pub stats: Stats,
+    recorder: HeapRecorder,
 }
 
 impl Heap {
     /// Creates an empty heap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a metrics recorder; every subsequent allocation also feeds
+    /// the per-class counters of the recorder's hub.
+    pub fn set_metrics(&mut self, recorder: HeapRecorder) {
+        self.recorder = recorder;
     }
 
     /// Number of live cells (allocations since creation; nothing is freed).
@@ -130,6 +138,7 @@ impl Heap {
             .collect();
         let bytes = program.object_size(class);
         self.stats.record_alloc(bytes);
+        self.recorder.record_instance(class.index(), bytes);
         self.push(HeapObject::Instance { class, fields })
     }
 
@@ -144,6 +153,7 @@ impl Heap {
         }
         let bytes = Program::array_size(len as u64);
         self.stats.record_alloc(bytes);
+        self.recorder.record_array(bytes);
         Ok(self.push(HeapObject::Array {
             kind,
             elems: vec![Value::default_for(kind); len as usize],
@@ -426,6 +436,22 @@ mod tests {
         let mut heap = Heap::new();
         heap.alloc_array(ValueKind::Int, 10).unwrap();
         assert_eq!(heap.stats.alloc_bytes, 16 + 80);
+    }
+
+    #[test]
+    fn attached_recorder_sees_instances_and_arrays() {
+        let (p, key, ..) = program();
+        let hub = pea_metrics::MetricsHub::enabled();
+        let names: Vec<&str> = p.classes.iter().map(|c| c.name.as_str()).collect();
+        let mut heap = Heap::new();
+        heap.set_metrics(HeapRecorder::new(&hub, names));
+        heap.alloc_instance(&p, key);
+        heap.alloc_array(ValueKind::Int, 10).unwrap();
+        let snap = hub.snapshot().unwrap();
+        assert_eq!(snap.counter("heap.allocs"), 2);
+        assert_eq!(snap.counter("heap.bytes"), heap.stats.alloc_bytes);
+        assert_eq!(snap.counter("heap.class.Key.allocs"), 1);
+        assert_eq!(snap.counter("heap.class.array.allocs"), 1);
     }
 
     #[test]

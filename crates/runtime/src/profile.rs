@@ -132,6 +132,109 @@ impl ProfileStore {
         self.branches.retain(|(m, _), _| *m != method);
         self.receivers.retain(|(m, _), _| *m != method);
     }
+
+    /// Serializes the store as deterministic JSON lines (one flat object
+    /// per record, sorted by kind then key), so a warmed-up profile can be
+    /// saved with `--profile-out` and replayed with `--profile-in`.
+    pub fn export_json(&self) -> String {
+        use pea_trace::json::ObjectWriter;
+        let mut out = String::new();
+        let mut invocations: Vec<_> = self.invocations.iter().collect();
+        invocations.sort();
+        for (method, count) in invocations {
+            let mut o = ObjectWriter::new();
+            o.str("record", "invocation");
+            o.num("method", method.index() as i64);
+            o.num("count", *count as i64);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        let mut branches: Vec<_> = self.branches.iter().collect();
+        branches.sort_by_key(|(k, _)| *k);
+        for ((method, bci), p) in branches {
+            let mut o = ObjectWriter::new();
+            o.str("record", "branch");
+            o.num("method", method.index() as i64);
+            o.num("bci", *bci as i64);
+            o.num("taken", p.taken as i64);
+            o.num("not_taken", p.not_taken as i64);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        let mut receivers: Vec<_> = self.receivers.iter().collect();
+        receivers.sort_by_key(|(k, _)| *k);
+        for ((method, bci), p) in receivers {
+            for (class, count) in p.classes() {
+                let mut o = ObjectWriter::new();
+                o.str("record", "receiver");
+                o.num("method", method.index() as i64);
+                o.num("bci", *bci as i64);
+                o.num("class", class.index() as i64);
+                o.num("count", *count as i64);
+                out.push_str(&o.finish());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses a store back from [`export_json`] output. Blank lines are
+    /// skipped; repeated records for the same key accumulate.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line on malformed input, an unknown
+    /// record kind, or a negative count.
+    pub fn import_json(text: &str) -> Result<ProfileStore, String> {
+        fn field(obj: &pea_trace::json::Object, key: &str, line_no: usize) -> Result<u64, String> {
+            let n = obj
+                .get_num(key)
+                .map_err(|e| format!("profile line {line_no}: {e}"))?;
+            u64::try_from(n).map_err(|_| format!("profile line {line_no}: negative {key:?}"))
+        }
+        let mut store = ProfileStore::new();
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let obj = pea_trace::json::parse_object(line)
+                .map_err(|e| format!("profile line {line_no}: {e}"))?;
+            let record = obj
+                .get_str("record")
+                .map_err(|e| format!("profile line {line_no}: {e}"))?
+                .to_string();
+            let method = MethodId::from_index(field(&obj, "method", line_no)? as usize);
+            match record.as_str() {
+                "invocation" => {
+                    *store.invocations.entry(method).or_insert(0) += field(&obj, "count", line_no)?;
+                }
+                "branch" => {
+                    let bci = field(&obj, "bci", line_no)? as u32;
+                    let p = store.branches.entry((method, bci)).or_default();
+                    p.taken += field(&obj, "taken", line_no)?;
+                    p.not_taken += field(&obj, "not_taken", line_no)?;
+                }
+                "receiver" => {
+                    let bci = field(&obj, "bci", line_no)? as u32;
+                    let class = ClassId::from_index(field(&obj, "class", line_no)? as usize);
+                    let count = field(&obj, "count", line_no)?;
+                    let p = store.receivers.entry((method, bci)).or_default();
+                    if let Some(entry) = p.counts.iter_mut().find(|(c, _)| *c == class) {
+                        entry.1 += count;
+                    } else {
+                        p.counts.push((class, count));
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "profile line {line_no}: unknown record kind {other:?}"
+                    ));
+                }
+            }
+        }
+        Ok(store)
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +274,75 @@ mod tests {
         r.record(ClassId(1));
         assert_eq!(r.monomorphic_class(), None);
         assert_eq!(r.total(), 3);
+    }
+
+    fn populated_store() -> ProfileStore {
+        let mut p = ProfileStore::new();
+        for _ in 0..120 {
+            p.record_invocation(MethodId(0));
+        }
+        p.record_invocation(MethodId(2));
+        p.record_branch(MethodId(0), 3, true);
+        p.record_branch(MethodId(0), 3, true);
+        p.record_branch(MethodId(0), 3, false);
+        p.record_branch(MethodId(2), 7, false);
+        p.record_receiver(MethodId(0), 5, ClassId(1));
+        p.record_receiver(MethodId(0), 5, ClassId(1));
+        p.record_receiver(MethodId(0), 5, ClassId(4));
+        p
+    }
+
+    #[test]
+    fn export_import_round_trips_every_channel() {
+        let p = populated_store();
+        let text = p.export_json();
+        let q = ProfileStore::import_json(&text).unwrap();
+        assert_eq!(q.invocation_count(MethodId(0)), 120);
+        assert_eq!(q.invocation_count(MethodId(2)), 1);
+        assert_eq!(q.branch(MethodId(0), 3), p.branch(MethodId(0), 3));
+        assert_eq!(q.branch(MethodId(2), 7), p.branch(MethodId(2), 7));
+        let r = q.receiver(MethodId(0), 5).unwrap();
+        assert_eq!(r.classes(), p.receiver(MethodId(0), 5).unwrap().classes());
+        // The round trip is a fixpoint: re-exporting yields identical text.
+        assert_eq!(q.export_json(), text);
+    }
+
+    #[test]
+    fn export_is_deterministic_and_sorted() {
+        let text = populated_store().export_json();
+        assert_eq!(text, populated_store().export_json());
+        let kinds: Vec<&str> = text
+            .lines()
+            .map(|l| {
+                if l.contains("\"record\":\"invocation\"") {
+                    "invocation"
+                } else if l.contains("\"record\":\"branch\"") {
+                    "branch"
+                } else {
+                    "receiver"
+                }
+            })
+            .collect();
+        let mut sorted = kinds.clone();
+        sorted.sort_by_key(|k| match *k {
+            "invocation" => 0,
+            "branch" => 1,
+            _ => 2,
+        });
+        assert_eq!(kinds, sorted, "records grouped by kind");
+    }
+
+    #[test]
+    fn import_rejects_malformed_lines() {
+        assert!(ProfileStore::import_json("not json").is_err());
+        assert!(ProfileStore::import_json("{\"record\":\"nope\",\"method\":0}").is_err());
+        assert!(ProfileStore::import_json("{\"record\":\"invocation\",\"method\":0}").is_err());
+        assert!(
+            ProfileStore::import_json("{\"record\":\"invocation\",\"method\":0,\"count\":-1}")
+                .is_err()
+        );
+        let empty = ProfileStore::import_json("\n\n").unwrap();
+        assert_eq!(empty.invocation_count(MethodId(0)), 0);
     }
 
     #[test]

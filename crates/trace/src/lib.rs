@@ -177,6 +177,10 @@ pub enum TraceEvent {
     Evict { method: String, deopts: u64 },
     /// The VM is compiling a method it previously evicted.
     Recompile { method: String },
+    /// A periodic metrics delta emitted by the VM at a background-mode
+    /// safepoint: `counters` holds `name=value` lines of every metric
+    /// that changed since the previous snapshot (see `pea-metrics`).
+    MetricsSnapshot { seq: u64, counters: Vec<String> },
 }
 
 impl TraceEvent {
@@ -196,6 +200,7 @@ impl TraceEvent {
             TraceEvent::Deopt { .. } => "deopt",
             TraceEvent::Evict { .. } => "evict",
             TraceEvent::Recompile { .. } => "recompile",
+            TraceEvent::MetricsSnapshot { .. } => "metrics-snapshot",
         }
     }
 
@@ -275,6 +280,13 @@ impl TraceEvent {
                 format!("evict {method} after {deopts} deopts")
             }
             TraceEvent::Recompile { method } => format!("recompile {method}"),
+            TraceEvent::MetricsSnapshot { seq, counters } => {
+                if counters.is_empty() {
+                    format!("metrics #{seq}: (no change)")
+                } else {
+                    format!("metrics #{seq}: {}", counters.join(" "))
+                }
+            }
         }
     }
 
@@ -357,6 +369,10 @@ impl TraceEvent {
                 o.num("deopts", *deopts as i64);
             }
             TraceEvent::Recompile { method } => o.str("method", method),
+            TraceEvent::MetricsSnapshot { seq, counters } => {
+                o.num("seq", *seq as i64);
+                o.str_array("counters", counters);
+            }
         }
         o.finish()
     }
@@ -433,6 +449,10 @@ impl TraceEvent {
             },
             "recompile" => TraceEvent::Recompile {
                 method: obj.get_str("method")?.to_string(),
+            },
+            "metrics-snapshot" => TraceEvent::MetricsSnapshot {
+                seq: obj.get_num("seq")? as u64,
+                counters: obj.get_str_array("counters")?,
             },
             other => {
                 return Err(json::JsonError::new(format!(
@@ -590,6 +610,72 @@ impl TraceSink for SharedSink {
 impl fmt::Debug for SharedSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("SharedSink(..)")
+    }
+}
+
+/// Merges per-worker event buffers into a [`SharedSink`] in sequence order.
+///
+/// Background compile workers buffer each compilation's events privately
+/// (no shared-sink lock on the hot path) and flush the whole block here with
+/// the sequence number the compile queue assigned when the request was
+/// popped. Blocks are released downstream strictly in `0, 1, 2, …` order:
+/// an out-of-order flush parks its block until every earlier sequence has
+/// arrived, so consumers see deterministically ordered, never-interleaved
+/// compilation streams regardless of worker scheduling.
+pub struct SequencedMerge {
+    sink: SharedSink,
+    state: Mutex<MergeState>,
+}
+
+struct MergeState {
+    next: u64,
+    pending: BTreeMap<u64, Vec<TraceEvent>>,
+}
+
+impl SequencedMerge {
+    /// A merge that releases blocks into `sink`, starting at sequence 0.
+    pub fn new(sink: SharedSink) -> SequencedMerge {
+        SequencedMerge {
+            sink,
+            state: Mutex::new(MergeState {
+                next: 0,
+                pending: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Hands over the block for sequence `seq`. Every sequence number must
+    /// be flushed exactly once; the block (and any parked successors it
+    /// unblocks) is forwarded downstream as soon as it is next in line.
+    pub fn flush(&self, seq: u64, events: Vec<TraceEvent>) {
+        let mut state = self.state.lock().expect("merge state poisoned");
+        state.pending.insert(seq, events);
+        while let Some(block) = {
+            let next = state.next;
+            state.pending.remove(&next)
+        } {
+            state.next += 1;
+            self.sink.with_sink(|sink| {
+                for event in &block {
+                    sink.emit(event);
+                }
+            });
+        }
+    }
+
+    /// Number of blocks parked waiting for an earlier sequence.
+    pub fn pending(&self) -> usize {
+        self.state
+            .lock()
+            .expect("merge state poisoned")
+            .pending
+            .len()
+    }
+}
+
+impl fmt::Debug for SequencedMerge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SequencedMerge(..)")
     }
 }
 
@@ -782,7 +868,7 @@ impl TraceSink for SiteAggregator {
                 entry.1 += rematerialized.len() as u64;
             }
             TraceEvent::Evict { .. } => self.evictions += 1,
-            TraceEvent::Recompile { .. } => {}
+            TraceEvent::Recompile { .. } | TraceEvent::MetricsSnapshot { .. } => {}
         }
     }
 }
@@ -860,6 +946,10 @@ mod tests {
             },
             TraceEvent::Recompile {
                 method: "Cache.getValue".into(),
+            },
+            TraceEvent::MetricsSnapshot {
+                seq: 1,
+                counters: vec!["interp.steps=120".into(), "vm.deopts=2".into()],
             },
         ]
     }
@@ -1006,5 +1096,60 @@ mod tests {
         assert!(render.contains("Cache.getValue n3 (Key)"));
         assert!(render.contains("escape-to-store 1"));
         assert_eq!(agg.reason_totals()[&MaterializeReason::EscapeToStore], 1);
+    }
+
+    fn block(tag: &str, len: usize) -> Vec<TraceEvent> {
+        (0..len)
+            .map(|i| TraceEvent::Recompile {
+                method: format!("{tag}.{i}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequenced_merge_releases_blocks_in_sequence_order() {
+        let (shared, typed) = SharedSink::new(MemorySink::new());
+        let merge = SequencedMerge::new(shared);
+        merge.flush(2, block("c", 1));
+        merge.flush(1, block("b", 2));
+        assert_eq!(typed.lock().unwrap().events.len(), 0, "0 not yet flushed");
+        assert_eq!(merge.pending(), 2);
+        merge.flush(0, block("a", 1));
+        assert_eq!(merge.pending(), 0);
+        let expected: Vec<TraceEvent> = [block("a", 1), block("b", 2), block("c", 1)]
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(typed.lock().unwrap().events, expected);
+    }
+
+    #[test]
+    fn sequenced_merge_loses_no_events_across_threads() {
+        let (shared, typed) = SharedSink::new(MemorySink::new());
+        let merge = SequencedMerge::new(shared);
+        let blocks: Vec<Vec<TraceEvent>> = (0..16)
+            .map(|seq| block(&format!("w{seq}"), seq % 4 + 1))
+            .collect();
+        std::thread::scope(|scope| {
+            for (seq, events) in blocks.iter().enumerate() {
+                let merge = &merge;
+                let events = events.clone();
+                scope.spawn(move || merge.flush(seq as u64, events));
+            }
+        });
+        assert_eq!(merge.pending(), 0);
+        let merged = typed.lock().unwrap().events.clone();
+        let expected: Vec<TraceEvent> = blocks.into_iter().flatten().collect();
+        assert_eq!(merged, expected, "blocks must come out whole and in order");
+    }
+
+    #[test]
+    fn sequenced_merge_forwards_empty_blocks_to_unblock_successors() {
+        let (shared, typed) = SharedSink::new(MemorySink::new());
+        let merge = SequencedMerge::new(shared);
+        merge.flush(1, block("b", 3));
+        merge.flush(0, Vec::new());
+        assert_eq!(merge.pending(), 0);
+        assert_eq!(typed.lock().unwrap().events, block("b", 3));
     }
 }

@@ -26,13 +26,15 @@
 
 use pea_bytecode::{MethodId, Program};
 use pea_compiler::{compile, compile_traced, Bailout, CompiledMethod, CompilerOptions};
+use pea_metrics::MetricsHub;
 use pea_runtime::profile::ProfileStore;
-use pea_trace::{MemorySink, SharedSink};
+use pea_trace::{MemorySink, SequencedMerge, SharedSink};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration of the service's pool and queue.
 #[derive(Clone, Debug)]
@@ -47,6 +49,9 @@ pub struct CompileServiceOptions {
     /// finished compilation; findings are reported on the
     /// [`CompileOutcome`] and the VM panics when installing them.
     pub checked: bool,
+    /// Metrics handle; queue admission/rejection counters, the depth
+    /// gauge, and per-compilation PEA/phase metrics flow through it.
+    pub metrics: MetricsHub,
 }
 
 impl Default for CompileServiceOptions {
@@ -55,6 +60,7 @@ impl Default for CompileServiceOptions {
             workers: None,
             queue_capacity: 128,
             checked: false,
+            metrics: MetricsHub::disabled(),
         }
     }
 }
@@ -83,6 +89,9 @@ pub struct CompileOutcome {
     /// empty for bailouts). Workers report rather than panic so a finding
     /// cannot wedge [`CompileService::wait_idle`].
     pub findings: Vec<String>,
+    /// When the request entered the queue; the VM measures the
+    /// enqueue→install latency histogram from this.
+    pub enqueued_at: Instant,
 }
 
 /// A queued compilation request.
@@ -93,6 +102,7 @@ struct Request {
     epoch: u64,
     method: MethodId,
     profiles: ProfileStore,
+    enqueued_at: Instant,
 }
 
 impl PartialEq for Request {
@@ -122,6 +132,12 @@ struct Queue {
     /// Methods queued, compiling, or awaiting drain (the dedup set).
     inflight: HashSet<MethodId>,
     seq: u64,
+    /// Next trace-flush sequence number, assigned when a worker *pops* a
+    /// request (not when it is enqueued — evicted requests never compile,
+    /// so enqueue-time numbering would leave permanent gaps in the
+    /// [`SequencedMerge`] order). Every popped request flushes exactly
+    /// once, so the merge sequence is dense.
+    flush_seq: u64,
     /// Workers currently compiling.
     active: usize,
     shutdown: bool,
@@ -156,7 +172,13 @@ impl Queue {
 struct Shared {
     program: Arc<Program>,
     options: CompilerOptions,
-    trace: Option<SharedSink>,
+    /// Sequence-ordered fan-in to the user's trace sink (`Some` iff a sink
+    /// is attached): each worker buffers a compilation's events privately
+    /// and flushes the block here, keyed by pop-order, so downstream
+    /// consumers see deterministically ordered, never-interleaved
+    /// compilation streams.
+    merge: Option<SequencedMerge>,
+    metrics: MetricsHub,
     /// Static escape verdicts for the sanitizer; `Some` iff checked mode
     /// is on (computed once at service start, shared by all workers).
     verdicts: Option<pea_analysis::StaticVerdicts>,
@@ -194,12 +216,14 @@ impl CompileService {
         let shared = Arc::new(Shared {
             program,
             options: compiler,
-            trace,
+            merge: trace.map(SequencedMerge::new),
+            metrics: options.metrics.clone(),
             verdicts,
             queue: Mutex::new(Queue {
                 heap: BinaryHeap::new(),
                 inflight: HashSet::new(),
                 seq: 0,
+                flush_seq: 0,
                 active: 0,
                 shutdown: false,
             }),
@@ -238,12 +262,25 @@ impl CompileService {
         epoch: u64,
         profiles: ProfileStore,
     ) -> bool {
+        let metrics = &self.shared.metrics;
         let mut q = self.lock_queue();
         if q.inflight.contains(&method) {
+            if let Some(m) = metrics.on() {
+                m.compile.dedup_rejected.inc();
+            }
             return false;
         }
-        if q.heap.len() >= self.queue_capacity() && !q.evict_coldest_below(hotness) {
-            return false;
+        if q.heap.len() >= self.queue_capacity() {
+            if q.evict_coldest_below(hotness) {
+                if let Some(m) = metrics.on() {
+                    m.compile.queue_evicted.inc();
+                }
+            } else {
+                if let Some(m) = metrics.on() {
+                    m.compile.queue_rejected.inc();
+                }
+                return false;
+            }
         }
         q.inflight.insert(method);
         let seq = q.seq;
@@ -254,7 +291,12 @@ impl CompileService {
             epoch,
             method,
             profiles,
+            enqueued_at: Instant::now(),
         });
+        if let Some(m) = metrics.on() {
+            m.compile.enqueued.inc();
+            m.compile.queue_depth.set(q.heap.len() as i64);
+        }
         drop(q);
         self.shared.work.notify_one();
         true
@@ -308,7 +350,7 @@ impl Drop for CompileService {
 
 fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
     loop {
-        let request = {
+        let (request, flush_seq) = {
             let mut q = shared.queue.lock().expect("compile queue poisoned");
             loop {
                 if q.shutdown {
@@ -316,18 +358,27 @@ fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
                 }
                 if let Some(r) = q.heap.pop() {
                     q.active += 1;
-                    break r;
+                    // Flush order is fixed here, under the queue lock, so
+                    // the merged trace stream is pop-deterministic however
+                    // the workers themselves get scheduled.
+                    let flush_seq = q.flush_seq;
+                    q.flush_seq += 1;
+                    if let Some(m) = shared.metrics.on() {
+                        m.compile.queue_depth.set(q.heap.len() as i64);
+                    }
+                    break (r, flush_seq);
                 }
                 q = shared.work.wait(q).expect("compile queue poisoned");
             }
         };
-        let (result, findings) = run_one(shared, &request);
+        let (result, findings) = run_one(shared, &request, flush_seq);
         // The VM may already be gone (send fails); nothing to do then.
         let _ = tx.send(CompileOutcome {
             method: request.method,
             epoch: request.epoch,
             result,
             findings,
+            enqueued_at: request.enqueued_at,
         });
         let mut q = shared.queue.lock().expect("compile queue poisoned");
         q.active -= 1;
@@ -337,8 +388,12 @@ fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
     }
 }
 
-fn run_one(shared: &Shared, request: &Request) -> (Result<CompiledMethod, Bailout>, Vec<String>) {
-    if shared.trace.is_none() && shared.verdicts.is_none() {
+fn run_one(
+    shared: &Shared,
+    request: &Request,
+    flush_seq: u64,
+) -> (Result<CompiledMethod, Bailout>, Vec<String>) {
+    if shared.merge.is_none() && shared.verdicts.is_none() && !shared.metrics.is_enabled() {
         let result = compile(
             &shared.program,
             request.method,
@@ -348,8 +403,8 @@ fn run_one(shared: &Shared, request: &Request) -> (Result<CompiledMethod, Bailou
         return (result, Vec::new());
     }
     // Buffer locally, flush as one block: compilations stay parallel and
-    // each method's event run stays contiguous. The sanitizer reads the
-    // same buffer.
+    // each method's event run stays contiguous. The sanitizer and the
+    // metrics fold read the same buffer.
     let mut buffer = MemorySink::new();
     let result = compile_traced(
         &shared.program,
@@ -371,12 +426,11 @@ fn run_one(shared: &Shared, request: &Request) -> (Result<CompiledMethod, Bailou
         .map(|f| f.to_string())
         .collect();
     }
-    if let Some(sink) = &shared.trace {
-        sink.with_sink(|s| {
-            for event in &buffer.events {
-                s.emit(event);
-            }
-        });
+    if let Some(m) = shared.metrics.on() {
+        crate::record_compile_metrics(m, &buffer.events, &result);
+    }
+    if let Some(merge) = &shared.merge {
+        merge.flush(flush_seq, buffer.events);
     }
     (result, findings)
 }
@@ -390,6 +444,7 @@ mod tests {
             heap: BinaryHeap::new(),
             inflight: HashSet::new(),
             seq: 0,
+            flush_seq: 0,
             active: 0,
             shutdown: false,
         }
@@ -406,6 +461,7 @@ mod tests {
             epoch: 0,
             method,
             profiles: ProfileStore::new(),
+            enqueued_at: Instant::now(),
         });
     }
 
@@ -477,6 +533,7 @@ mod tests {
                 workers: Some(1),
                 queue_capacity: 1,
                 checked: false,
+                metrics: MetricsHub::disabled(),
             },
         );
         let m = MethodId::from_index(0);

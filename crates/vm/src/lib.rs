@@ -33,6 +33,8 @@ use pea_compiler::{
     EvalOutcome,
 };
 use pea_interp::{interpret, resume, Frame, InterpEnv};
+pub use pea_metrics::MetricsHub;
+use pea_metrics::{HeapRecorder, MetricsSnapshot, VmMetrics};
 use pea_runtime::profile::ProfileStore;
 use pea_runtime::{Heap, Statics, Stats, Value, VmError};
 pub use pea_trace::SharedSink;
@@ -101,6 +103,14 @@ pub struct VmOptions {
     /// Any inconsistency panics loudly — this is a debugging/CI mode, not
     /// a production setting.
     pub checked: bool,
+    /// Metrics handle shared by every layer (interpreter, tiering,
+    /// compile service, PEA, heap). The default disabled hub records
+    /// nothing at the cost of one branch per site.
+    pub metrics: MetricsHub,
+    /// In background mode, emit a [`TraceEvent::MetricsSnapshot`] delta
+    /// into the trace sink every this-many installing safepoints (0
+    /// disables; requires both `metrics` and `trace` to be attached).
+    pub metrics_snapshot_every: u64,
 }
 
 impl VmOptions {
@@ -117,6 +127,8 @@ impl VmOptions {
             compile_queue_capacity: 128,
             trace: None,
             checked: false,
+            metrics: MetricsHub::disabled(),
+            metrics_snapshot_every: 64,
         }
     }
 
@@ -158,15 +170,28 @@ pub struct Vm {
     options: VmOptions,
     /// Re-entrancy depth (interpreter/compiled frames currently active).
     depth: usize,
+    /// Installing safepoints seen since the last metrics snapshot event.
+    snapshot_polls: u64,
+    /// Sequence number of the next metrics snapshot event.
+    snapshot_seq: u64,
+    /// Baseline for metrics snapshot deltas.
+    last_snapshot: MetricsSnapshot,
 }
 
 impl Vm {
     /// Creates a VM for `program`.
     pub fn new(program: Program, options: VmOptions) -> Vm {
         let statics = Statics::new(&program.statics);
+        let mut heap = Heap::new();
+        if options.metrics.is_enabled() {
+            heap.set_metrics(HeapRecorder::new(
+                &options.metrics,
+                program.classes.iter().map(|c| c.name.as_str()),
+            ));
+        }
         Vm {
             program: Arc::new(program),
-            heap: Heap::new(),
+            heap,
             statics,
             profiles: ProfileStore::new(),
             code_cache: HashMap::new(),
@@ -178,6 +203,9 @@ impl Vm {
             verdicts: None,
             options,
             depth: 0,
+            snapshot_polls: 0,
+            snapshot_seq: 0,
+            last_snapshot: MetricsSnapshot::default(),
         }
     }
 
@@ -207,6 +235,18 @@ impl Vm {
     /// Gathered profiles (read access).
     pub fn profiles(&self) -> &ProfileStore {
         &self.profiles
+    }
+
+    /// Replaces the profile store with an imported one (see
+    /// [`ProfileStore::import_json`]): methods that were hot in a previous
+    /// run cross the compile threshold immediately.
+    pub fn import_profiles(&mut self, profiles: ProfileStore) {
+        self.profiles = profiles;
+    }
+
+    /// The VM's metrics handle.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.options.metrics
     }
 
     /// Static variable storage (read access for tests and harnesses).
@@ -282,16 +322,23 @@ impl Vm {
         {
             match self.options.jit_mode {
                 JitMode::Sync => {
-                    if let Some(sink) = &self.options.trace {
-                        if self.evicted.contains(&method) {
+                    if self.evicted.contains(&method) {
+                        if let Some(m) = self.options.metrics.on() {
+                            m.vm.recompiles.inc();
+                        }
+                        if let Some(sink) = &self.options.trace {
                             sink.emit_event(&TraceEvent::Recompile {
                                 method: program.method(method).qualified_name(&program),
                             });
                         }
                     }
-                    let compiled = if self.options.checked || self.options.trace.is_some() {
-                        // Buffer the decision events so the sanitizer can
-                        // inspect them; forward to the user's sink after.
+                    let compiled = if self.options.checked
+                        || self.options.trace.is_some()
+                        || self.options.metrics.is_enabled()
+                    {
+                        // Buffer the decision events so the sanitizer and
+                        // the metrics fold can inspect them; forward to the
+                        // user's sink after.
                         let mut buffer = pea_trace::MemorySink::new();
                         let result = compile_traced(
                             &program,
@@ -304,6 +351,9 @@ impl Vm {
                             if let Ok(code) = &result {
                                 self.sanitize(&program, method, &code.graph, &buffer.events);
                             }
+                        }
+                        if let Some(m) = self.options.metrics.on() {
+                            record_compile_metrics(m, &buffer.events, &result);
                         }
                         if let Some(sink) = &self.options.trace {
                             sink.with_sink(|s| {
@@ -324,6 +374,9 @@ impl Vm {
                     match compiled {
                         Ok(code) => {
                             self.heap.stats.compiles += 1;
+                            if let Some(m) = self.options.metrics.on() {
+                                m.vm.installs.inc();
+                            }
                             let code = Arc::new(code);
                             self.code_cache.insert(method, Arc::clone(&code));
                             return self.run_compiled(&program, &code, args);
@@ -392,6 +445,7 @@ impl Vm {
                     workers: self.options.compile_workers,
                     queue_capacity: self.options.compile_queue_capacity,
                     checked: self.options.checked,
+                    metrics: self.options.metrics.clone(),
                 },
             ));
         }
@@ -400,6 +454,9 @@ impl Vm {
         let snapshot = self.profiles.clone();
         let service = self.service.as_ref().expect("service just started");
         if service.request(method, hotness, epoch, snapshot) && self.evicted.contains(&method) {
+            if let Some(m) = self.options.metrics.on() {
+                m.vm.recompiles.inc();
+            }
             if let Some(sink) = &self.options.trace {
                 sink.emit_event(&TraceEvent::Recompile {
                     method: self.program.method(method).qualified_name(&self.program),
@@ -420,6 +477,9 @@ impl Vm {
                 // Compiled before the method's latest eviction: the
                 // speculation that kept deoptimizing. Drop it; the fresh
                 // profile will trigger a new request.
+                if let Some(m) = self.options.metrics.on() {
+                    m.compile.stale_dropped.inc();
+                }
                 continue;
             }
             // Workers never panic (that would wedge `wait_idle`); sanitizer
@@ -444,6 +504,12 @@ impl Vm {
             match outcome.result {
                 Ok(code) => {
                     self.heap.stats.compiles += 1;
+                    if let Some(m) = self.options.metrics.on() {
+                        m.vm.installs.inc();
+                        m.compile
+                            .queue_latency_us
+                            .record(outcome.enqueued_at.elapsed().as_micros() as u64);
+                    }
                     self.code_cache.insert(outcome.method, Arc::new(code));
                 }
                 Err(_) => {
@@ -451,6 +517,42 @@ impl Vm {
                 }
             }
         }
+        self.maybe_emit_metrics_snapshot();
+    }
+
+    /// Emits a [`TraceEvent::MetricsSnapshot`] delta into the trace sink
+    /// every `metrics_snapshot_every` installing safepoints (background
+    /// mode only — that is the only caller of [`Self::drain_background`]).
+    fn maybe_emit_metrics_snapshot(&mut self) {
+        let every = self.options.metrics_snapshot_every;
+        if every == 0 || !self.options.metrics.is_enabled() || self.options.trace.is_none() {
+            return;
+        }
+        self.snapshot_polls += 1;
+        if self.snapshot_polls < every {
+            return;
+        }
+        self.snapshot_polls = 0;
+        self.emit_metrics_snapshot();
+    }
+
+    /// Unconditionally emits one metrics snapshot delta (skipping empty
+    /// deltas), advancing the snapshot baseline.
+    fn emit_metrics_snapshot(&mut self) {
+        let (Some(snapshot), Some(sink)) = (self.options.metrics.snapshot(), &self.options.trace)
+        else {
+            return;
+        };
+        let counters = snapshot.delta(&self.last_snapshot).delta_lines();
+        if counters.is_empty() {
+            return;
+        }
+        sink.emit_event(&TraceEvent::MetricsSnapshot {
+            seq: self.snapshot_seq,
+            counters,
+        });
+        self.snapshot_seq += 1;
+        self.last_snapshot = snapshot;
     }
 
     /// Blocks until every requested background compilation has finished,
@@ -460,6 +562,9 @@ impl Vm {
         if let Some(service) = &self.service {
             service.wait_idle();
             self.drain_background();
+            // Close the metrics stream with a final delta so the event log
+            // accounts for everything up to the settle point.
+            self.emit_metrics_snapshot();
         }
         self.code_cache.len()
     }
@@ -478,6 +583,7 @@ impl Vm {
         let program = Arc::clone(&self.program);
         let profiles = &self.profiles;
         let options = &self.options.compiler;
+        let metrics = &self.options.metrics;
         let methods: Vec<MethodId> = (0..program.methods.len())
             .map(MethodId::from_index)
             .filter(|m| !self.code_cache.contains_key(m))
@@ -492,7 +598,18 @@ impl Vm {
                     let Some(&method) = methods.get(i) else {
                         break;
                     };
-                    let r = compile(&program, method, Some(profiles), options);
+                    // Metrics fold needs the decision events, so the
+                    // enabled path compiles through a private buffer
+                    // (atomics make the fold safe from worker threads).
+                    let r = if let Some(m) = metrics.on() {
+                        let mut buffer = pea_trace::MemorySink::new();
+                        let r =
+                            compile_traced(&program, method, Some(profiles), options, &mut buffer);
+                        record_compile_metrics(m, &buffer.events, &r);
+                        r
+                    } else {
+                        compile(&program, method, Some(profiles), options)
+                    };
                     results
                         .lock()
                         .expect("precompile results poisoned")
@@ -509,6 +626,9 @@ impl Vm {
             match result {
                 Ok(code) => {
                     self.heap.stats.compiles += 1;
+                    if let Some(m) = self.options.metrics.on() {
+                        m.vm.installs.inc();
+                    }
                     self.code_cache.insert(method, Arc::new(code));
                     installed += 1;
                 }
@@ -526,6 +646,9 @@ impl Vm {
         code: &CompiledMethod,
         args: Vec<Value>,
     ) -> Result<Option<Value>, VmError> {
+        if let Some(m) = self.options.metrics.on() {
+            m.vm.invocations_compiled.inc();
+        }
         match evaluate(program, self, code, &args)? {
             EvalOutcome::Return(v) => Ok(v),
             EvalOutcome::Deopt {
@@ -538,6 +661,10 @@ impl Vm {
                 let count = self.deopt_counts.entry(method).or_insert(0);
                 *count += 1;
                 let deopts = *count;
+                if let Some(m) = self.options.metrics.on() {
+                    m.vm.deopts.inc();
+                    m.vm.rematerialized_objects.add(rematerialized.len() as u64);
+                }
                 if let Some(sink) = &self.options.trace {
                     sink.emit_event(&TraceEvent::Deopt {
                         method: program.method(method).qualified_name(program),
@@ -557,6 +684,9 @@ impl Vm {
                     // method: they speculate from the profile that just
                     // failed.
                     *self.evict_epochs.entry(method).or_insert(0) += 1;
+                    if let Some(m) = self.options.metrics.on() {
+                        m.vm.evictions.inc();
+                    }
                     if let Some(sink) = &self.options.trace {
                         sink.emit_event(&TraceEvent::Evict {
                             method: program.method(method).qualified_name(program),
@@ -595,6 +725,52 @@ impl Vm {
     }
 }
 
+/// Folds one compilation's buffered decision events (plus its result) into
+/// the metrics registry. This is the same stream the trace
+/// [`pea_trace::SiteAggregator`] consumes, so the `pea.*` totals and the
+/// per-site trace aggregation cross-check exactly — which the test suite
+/// asserts on every corpus program.
+pub(crate) fn record_compile_metrics(
+    m: &VmMetrics,
+    events: &[TraceEvent],
+    result: &Result<CompiledMethod, Bailout>,
+) {
+    for event in events {
+        match event {
+            TraceEvent::CompileStart { .. } => m.compile.started.inc(),
+            TraceEvent::CompileEnd { phases, .. } => {
+                m.compile.build_us.record(phases.build);
+                m.compile.canonicalize_us.record(phases.canonicalize);
+                m.compile.escape_analysis_us.record(phases.escape_analysis);
+                m.compile.schedule_us.record(phases.schedule);
+                m.compile.total_us.record(phases.total());
+            }
+            TraceEvent::Virtualized { .. } => m.pea.virtualized.inc(),
+            TraceEvent::Materialized { .. } => m.pea.materialized.inc(),
+            TraceEvent::LockElided { .. } => m.pea.locks_elided.inc(),
+            TraceEvent::LoadElided { .. } => m.pea.loads_elided.inc(),
+            TraceEvent::StoreElided { .. } => m.pea.stores_elided.inc(),
+            TraceEvent::CheckFolded { .. } => m.pea.checks_folded.inc(),
+            TraceEvent::PhiCreated { .. } => m.pea.phis_created.inc(),
+            TraceEvent::LoopRound { .. } => m.pea.loop_rounds.inc(),
+            // VM-side events are counted at their emission sites.
+            TraceEvent::Deopt { .. }
+            | TraceEvent::Evict { .. }
+            | TraceEvent::Recompile { .. }
+            | TraceEvent::MetricsSnapshot { .. } => {}
+        }
+    }
+    match result {
+        Ok(code) => {
+            m.compile.succeeded.inc();
+            m.pea
+                .prefiltered_sites
+                .add(code.pea_result.prefiltered_allocs as u64);
+        }
+        Err(_) => m.compile.bailouts.inc(),
+    }
+}
+
 impl InterpEnv for Vm {
     fn heap(&mut self) -> &mut Heap {
         &mut self.heap
@@ -617,6 +793,9 @@ impl InterpEnv for Vm {
         if self.options.jit_mode == JitMode::Background {
             self.drain_background();
         }
+    }
+    fn metrics(&self) -> &MetricsHub {
+        &self.options.metrics
     }
 }
 

@@ -3,7 +3,9 @@
 //! ```text
 //! pea run <file.asm> <entry> [args...] [--level none|ees|pea|pea-pre]
 //!         [--interp] [--jit-mode sync|background] [--checked]
-//!         [--trace|--trace-json]                       # + VM/PEA event log
+//!         [--trace|--trace-json [PATH]]                # + VM/PEA event log
+//!         [--metrics] [--metrics-json PATH] [--metrics-prom PATH]
+//!         [--profile-in PATH] [--profile-out PATH]     # profile reuse
 //! pea trace <file.asm> [method] [--level ...] [--json] # decision trace only
 //! pea dump <file.asm> <method> [--level ...]           # IR before/after
 //! pea dot <file.asm> <method> [--level ...]            # GraphViz output
@@ -24,9 +26,15 @@
 
 use pea::bytecode::asm::parse_program;
 use pea::compiler::{compile, compile_traced, CompilerOptions, OptLevel};
+use pea::metrics::export::{
+    create_file_with_dirs, render_json, render_prometheus, render_text, write_with_dirs,
+};
+use pea::metrics::MetricsHub;
+use pea::runtime::profile::ProfileStore;
 use pea::runtime::Value;
 use pea::trace::{JsonLinesSink, PrettySink, SharedSink, TraceSink};
 use pea::vm::{JitMode, Vm, VmOptions};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn parse_level(args: &[String]) -> OptLevel {
@@ -63,11 +71,30 @@ fn load(path: &str) -> pea::bytecode::Program {
     program
 }
 
-/// Build a [`SharedSink`] writing to stdout per the `--trace` / `--trace-json`
-/// flags, or `None` when neither is present.
-fn stdout_sink(args: &[String]) -> Option<SharedSink> {
+/// The value following `flag`, if it is present and not another flag.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .filter(|v| !v.starts_with("--"))
+}
+
+/// Build a [`SharedSink`] per the `--trace` / `--trace-json [PATH]` flags,
+/// or `None` when neither is present. `--trace-json` with a path writes
+/// JSON lines to that file (creating parent directories); without one it
+/// streams to stdout, as `--trace` always does (pretty-printed).
+fn trace_sink(args: &[String]) -> Option<SharedSink> {
     if args.iter().any(|a| a == "--trace-json") {
-        Some(SharedSink::new(JsonLinesSink::new(std::io::stdout())).0)
+        if let Some(path) = flag_value(args, "--trace-json") {
+            let file = create_file_with_dirs(Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                std::process::exit(2);
+            });
+            Some(SharedSink::new(JsonLinesSink::new(file)).0)
+        } else {
+            Some(SharedSink::new(JsonLinesSink::new(std::io::stdout())).0)
+        }
     } else if args.iter().any(|a| a == "--trace") {
         Some(SharedSink::new(PrettySink::new(std::io::stdout())).0)
     } else {
@@ -75,9 +102,17 @@ fn stdout_sink(args: &[String]) -> Option<SharedSink> {
     }
 }
 
+/// Writes an output artifact to `path`, creating parent directories.
+fn write_output(path: &str, contents: &str) {
+    if let Err(e) = write_with_dirs(Path::new(path), contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let [path, entry, rest @ ..] = args else {
-        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N] [--jit-mode sync|background] [--checked] [--trace|--trace-json]");
+        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N] [--jit-mode sync|background] [--checked] [--trace|--trace-json [PATH]] [--metrics] [--metrics-json PATH] [--metrics-prom PATH] [--profile-in PATH] [--profile-out PATH]");
         return ExitCode::from(2);
     };
     let program = load(path);
@@ -117,10 +152,29 @@ fn cmd_run(args: &[String]) -> ExitCode {
             std::process::exit(2);
         });
     }
-    options.trace = stdout_sink(rest);
+    options.trace = trace_sink(rest);
     options.checked = rest.iter().any(|a| a == "--checked");
+    let metrics_text = rest.iter().any(|a| a == "--metrics");
+    let metrics_json = flag_value(rest, "--metrics-json");
+    let metrics_prom = flag_value(rest, "--metrics-prom");
+    if metrics_text || metrics_json.is_some() || metrics_prom.is_some() {
+        options.metrics = MetricsHub::enabled();
+    }
     let background = options.jit_mode == JitMode::Background;
     let mut vm = Vm::new(program, options);
+    if let Some(path) = flag_value(rest, "--profile-in") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match ProfileStore::import_json(&text) {
+            Ok(profiles) => vm.import_profiles(profiles),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     for _ in 0..warmup {
         if vm.call_entry(entry, &call_args).is_err() {
             break; // errors reported by the measured call below
@@ -134,6 +188,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let before = vm.stats();
     match vm.call_entry(entry, &call_args) {
         Ok(v) => {
+            if background {
+                vm.await_background_compiles();
+            }
             let d = vm.stats().delta(&before);
             println!(
                 "result = {}",
@@ -148,6 +205,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 d.deopts,
                 vm.compiled_method_count(),
             );
+            if let Some(snapshot) = vm.metrics().snapshot() {
+                if metrics_text {
+                    eprint!("{}", render_text(&snapshot));
+                }
+                if let Some(path) = metrics_json {
+                    write_output(path, &render_json(&snapshot));
+                }
+                if let Some(path) = metrics_prom {
+                    write_output(path, &render_prometheus(&snapshot));
+                }
+            }
+            if let Some(path) = flag_value(rest, "--profile-out") {
+                write_output(path, &vm.profiles().export_json());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -46,6 +46,7 @@ pub use pea_compiler as compiler;
 pub use pea_core as core;
 pub use pea_interp as interp;
 pub use pea_ir as ir;
+pub use pea_metrics as metrics;
 pub use pea_runtime as runtime;
 pub use pea_trace as trace;
 pub use pea_vm as vm;
