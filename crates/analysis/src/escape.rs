@@ -88,11 +88,20 @@ impl AllocSite {
 }
 
 /// Result of [`analyze_method`]: one entry per allocation site, in
-/// bytecode order.
+/// bytecode order, plus per-parameter escape verdicts.
 #[derive(Clone, Debug)]
 pub struct EscapeSummary {
     pub method: MethodId,
     pub sites: Vec<AllocSite>,
+    /// Escape class of each parameter *as caused by this method* (and,
+    /// when analyzed with a [`CalleeOracle`], its transitive callees):
+    /// `GlobalEscape` means a caller-passed object may become reachable
+    /// from a static by calling this method.
+    pub param_escape: Vec<EscapeClass>,
+    /// The method returns a value and every returned source is one of its
+    /// own allocation sites — inlining the method exposes a fresh
+    /// allocation to the caller's compilation unit.
+    pub returns_fresh: bool,
 }
 
 impl EscapeSummary {
@@ -127,6 +136,20 @@ pub fn immediate_global_sites(method: &Method) -> Vec<u32> {
         .collect()
 }
 
+/// Supplies per-parameter escape verdicts for call targets, letting the
+/// per-method flow raise call arguments only as far as the callee (join
+/// of possible callees for virtual dispatch) actually forces. Without an
+/// oracle every argument is blanket-raised to `ArgEscape`; an oracle can
+/// only *add* `GlobalEscape` upgrades on top of that floor, so
+/// oracle-driven results are always at least as severe as the
+/// intraprocedural ones.
+pub trait CalleeOracle {
+    /// Escape class a call to `target` imposes on its argument at
+    /// parameter position `idx` (receiver = position 0). Virtual calls
+    /// must join over every possible concrete target.
+    fn call_arg_class(&self, target: MethodId, virtual_call: bool, idx: usize) -> EscapeClass;
+}
+
 /// Abstract frame: per-local and per-stack-slot source sets.
 #[derive(Clone, PartialEq, Eq)]
 struct Frame {
@@ -134,7 +157,7 @@ struct Frame {
     stack: Vec<BitSet>,
 }
 
-struct EscapeFlow {
+struct EscapeFlow<'a> {
     /// Site bcis, defining source indices `0..n_sites`.
     site_bcis: Vec<u32>,
     n_sites: usize,
@@ -149,11 +172,15 @@ struct EscapeFlow {
     locked: BitSet,
     /// Sources observed as call arguments.
     called: BitSet,
+    /// Sources observed as return values.
+    returned: BitSet,
+    /// Optional per-callee parameter verdicts (interprocedural mode).
+    oracle: Option<&'a dyn CalleeOracle>,
     /// Any global fact grew during the current solver pass.
     grew: bool,
 }
 
-impl EscapeFlow {
+impl EscapeFlow<'_> {
     fn n_sources(&self) -> usize {
         self.n_sites + self.n_params + 1
     }
@@ -223,7 +250,7 @@ impl EscapeFlow {
     }
 }
 
-impl ForwardAnalysis for EscapeFlow {
+impl ForwardAnalysis for EscapeFlow<'_> {
     type State = Frame;
 
     fn boundary(&mut self, _program: &Program, method: &Method) -> Frame {
@@ -320,9 +347,18 @@ impl ForwardAnalysis for EscapeFlow {
             }
             Insn::InvokeStatic(target) | Insn::InvokeVirtual(target) => {
                 let callee = program.method(target);
-                for _ in 0..callee.param_count {
+                let virtual_call = matches!(insn, Insn::InvokeVirtual(_));
+                // Arguments pop in reverse: top of stack is the last
+                // parameter.
+                for idx in (0..callee.param_count as usize).rev() {
                     let arg = state.stack.pop().expect("verified stack");
-                    self.raise(&arg, EscapeClass::ArgEscape);
+                    let class = match self.oracle {
+                        Some(oracle) => oracle
+                            .call_arg_class(target, virtual_call, idx)
+                            .max(EscapeClass::ArgEscape),
+                        None => EscapeClass::ArgEscape,
+                    };
+                    self.raise(&arg, class);
                     self.grew |= self.called.union_with(&arg);
                 }
                 if callee.returns_value {
@@ -334,6 +370,7 @@ impl ForwardAnalysis for EscapeFlow {
             Insn::ReturnValue => {
                 let value = state.stack.pop().expect("verified stack");
                 self.raise(&value, EscapeClass::ArgEscape);
+                self.grew |= self.returned.union_with(&value);
             }
             Insn::Throw => {
                 let value = state.stack.pop().expect("verified stack");
@@ -358,8 +395,19 @@ impl ForwardAnalysis for EscapeFlow {
     }
 }
 
-/// Runs the escape pre-analysis over one (verified) method.
+/// Runs the escape pre-analysis over one (verified) method, with no
+/// knowledge of callees (every call argument is raised to `ArgEscape`).
 pub fn analyze_method(program: &Program, method_id: MethodId) -> EscapeSummary {
+    analyze_method_with(program, method_id, None)
+}
+
+/// Runs the escape pre-analysis over one (verified) method, raising call
+/// arguments per the oracle's callee verdicts (see [`CalleeOracle`]).
+pub fn analyze_method_with(
+    program: &Program,
+    method_id: MethodId,
+    oracle: Option<&dyn CalleeOracle>,
+) -> EscapeSummary {
     let method = program.method(method_id);
     let sites = alloc_sites(method);
     let n_sites = sites.len();
@@ -373,6 +421,8 @@ pub fn analyze_method(program: &Program, method_id: MethodId) -> EscapeSummary {
         contents: vec![BitSet::new(n_sources); n_sources],
         locked: BitSet::new(n_sources),
         called: BitSet::new(n_sources),
+        returned: BitSet::new(n_sources),
+        oracle,
         grew: false,
     };
     *flow.escape.last_mut().expect("unknown source") = EscapeClass::GlobalEscape;
@@ -381,39 +431,42 @@ pub fn analyze_method(program: &Program, method_id: MethodId) -> EscapeSummary {
         receiver.insert(n_sites); // param 0
         flow.mark_locked(&receiver);
     }
-    if n_sites > 0 {
-        // Global facts (contents, escape) feed back into transfer
-        // functions, so re-solve until they stop growing. Termination:
-        // all facts are monotone over finite domains.
-        loop {
-            flow.grew = false;
-            solve_forward(program, method, &mut flow);
-            if !flow.grew {
-                break;
+    // Parameter verdicts matter even for allocation-free methods (the
+    // interprocedural fixpoint reads them), so the solver always runs.
+    // Global facts (contents, escape) feed back into transfer functions,
+    // so re-solve until they stop growing. Termination: all facts are
+    // monotone over finite domains.
+    loop {
+        flow.grew = false;
+        solve_forward(program, method, &mut flow);
+        if !flow.grew {
+            break;
+        }
+    }
+    // Close escape classes over the contents relation: anything stored
+    // into an escaping object escapes at least as far.
+    loop {
+        let mut changed = false;
+        for container in 0..n_sources {
+            let class = flow.escape[container];
+            if class == EscapeClass::NoEscape {
+                continue;
+            }
+            for value in flow.contents[container].clone().iter() {
+                if flow.escape[value] < class {
+                    flow.escape[value] = class;
+                    changed = true;
+                }
             }
         }
-        // Close escape classes over the contents relation: anything stored
-        // into an escaping object escapes at least as far.
-        loop {
-            let mut changed = false;
-            for container in 0..n_sources {
-                let class = flow.escape[container];
-                if class == EscapeClass::NoEscape {
-                    continue;
-                }
-                for value in flow.contents[container].clone().iter() {
-                    if flow.escape[value] < class {
-                        flow.escape[value] = class;
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
+        if !changed {
+            break;
         }
     }
     let immediate = immediate_global_sites(method);
+    let returns_fresh = method.returns_value
+        && flow.returned.iter().next().is_some()
+        && flow.returned.iter().all(|src| src < n_sites);
     EscapeSummary {
         method: method_id,
         sites: sites
@@ -428,6 +481,8 @@ pub fn analyze_method(program: &Program, method_id: MethodId) -> EscapeSummary {
                 immediate_global: immediate.contains(&bci),
             })
             .collect(),
+        param_escape: (0..n_params).map(|p| flow.escape[n_sites + p]).collect(),
+        returns_fresh,
     }
 }
 

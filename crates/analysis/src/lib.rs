@@ -27,15 +27,21 @@
 //! | [`lockbalance`] | monitorenter/monitorexit pairing depth per site |
 //! | [`nullness`] | definite assignment + null-ness findings |
 //! | [`sanitize`] | PEA decision sanitizer over trace events + frame states |
+//! | [`summary`] | call graph + interprocedural per-method escape summaries |
 
 pub mod dataflow;
 pub mod escape;
 pub mod lockbalance;
 pub mod nullness;
 pub mod sanitize;
+pub mod summary;
 
 pub use dataflow::{BackwardAnalysis, BitSet, ForwardAnalysis};
-pub use escape::{analyze_method, AllocKind, AllocSite, EscapeClass, EscapeSummary};
+pub use escape::{
+    analyze_method, immediate_global_sites, AllocKind, AllocSite, CalleeOracle, EscapeClass,
+    EscapeSummary,
+};
 pub use lockbalance::{analyze_locks, LockFinding, LockFindingKind, LockSummary};
 pub use nullness::{analyze_nullness, NullFinding, NullFindingKind, NullnessSummary};
 pub use sanitize::{check_compilation, Inconsistency, SiteVerdict, StaticVerdicts};
+pub use summary::{CallGraph, MethodSummary, ProgramSummaries};

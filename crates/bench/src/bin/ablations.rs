@@ -12,6 +12,7 @@
 //! decisions each disabled feature forces the analysis into.
 
 use pea_bench::{measure, measure_per_site, Row, DEFAULT_ITERS, DEFAULT_WARMUP};
+use pea_compiler::InlinePolicy;
 use pea_vm::{OptLevel, Vm, VmOptions};
 use pea_workloads::{suite_workloads, Suite, Workload};
 
@@ -76,6 +77,23 @@ fn main() {
         // pre-analysis withholds provably-escaping sites from PEA. Same
         // results, less analysis work (the `pea work` line shows how much).
         variant("pea-prefilter", |o| o.compiler.opt_level = OptLevel::PeaPre),
+        // Interprocedural widening of the pre-filter: call-graph escape
+        // summaries also exclude sites whose fresh allocation is handed
+        // to a callee that publishes it on every path. Strictly more
+        // sites pre-filtered, same artifact.
+        variant("pea-pre-ipa", |o| {
+            o.compiler.opt_level = OptLevel::PeaPreIpa
+        }),
+        // Inlining-policy comparison (both under full PEA): the
+        // size-budget baseline vs. the summary-driven policy that inlines
+        // wherever a virtualizable allocation flows into the callee and
+        // refuses callees that globally publish their argument.
+        variant("inline=size", |o| {
+            o.compiler.build.inline_policy = InlinePolicy::Size
+        }),
+        variant("inline=summary", |o| {
+            o.compiler.build.inline_policy = InlinePolicy::Summary
+        }),
     ];
     println!("PEA ablations — suite-average deltas vs. no escape analysis");
     println!(

@@ -3,17 +3,29 @@
 //! examples, and writes a machine-readable JSON report.
 //!
 //! ```text
-//! pealint [--out REPORT.json]
+//! pealint [--out REPORT.json] [--callgraph CALLGRAPH.json]
 //! ```
+//!
+//! Besides the aggregate report, pealint emits a `CALLGRAPH.json`
+//! artifact: one flat JSON object per method (JSON lines) describing the
+//! interprocedural escape summary — parameter escape classes, whether the
+//! method returns a fresh allocation, its call-graph successors, and how
+//! many allocation sites the `pea-pre` / `pea-pre-ipa` pre-filters would
+//! exclude.
 //!
 //! The exit code is non-zero **only** when the sanitizer finds an
 //! inconsistency between a compilation's PEA decisions and the static
-//! escape verdicts — that is a compiler bug, and CI fails on it. Lock or
-//! nullness findings in corpus programs are reported but do not fail the
-//! run (the analyses flag patterns the verifier deliberately accepts).
+//! escape verdicts, or when the interprocedural summaries are internally
+//! inconsistent (a must-publish parameter not classified `GlobalEscape`,
+//! an IPA exclusion set that is not a superset of the immediate one, or
+//! an unstable fixpoint) — those are compiler bugs, and CI fails on
+//! them. Lock or nullness findings in corpus programs are reported but do
+//! not fail the run (the analyses flag patterns the verifier deliberately
+//! accepts).
 
 use pea_analysis::{
-    analyze_locks, analyze_method, analyze_nullness, check_compilation, EscapeClass, StaticVerdicts,
+    analyze_locks, analyze_method, analyze_nullness, check_compilation, immediate_global_sites,
+    EscapeClass, ProgramSummaries, StaticVerdicts,
 };
 use pea_bytecode::asm::parse_program;
 use pea_bytecode::{MethodId, Program};
@@ -54,11 +66,87 @@ struct Report {
     maybe_null_derefs: i64,
     compiled: i64,
     bailouts: i64,
+    summary_methods: i64,
+    ipa_excluded_sites: i64,
+    immediate_excluded_sites: i64,
     inconsistencies: i64,
 }
 
-fn lint_program(name: &str, program: &Program, report: &mut Report) {
+/// Emits the per-method call-graph/summary lines for `program` into
+/// `lines`, checking the summaries' internal invariants along the way.
+/// Every violation is a bug in `pea-analysis` and counts as an
+/// inconsistency (non-zero exit).
+fn lint_summaries(name: &str, program: &Program, report: &mut Report, lines: &mut Vec<String>) {
+    let summaries = ProgramSummaries::compute(program);
+    // Fixpoint determinism: an independent recomputation must converge to
+    // the same summaries (catches iteration-order-dependent results).
+    let again = ProgramSummaries::compute(program);
+    for (index, summary) in summaries.all().iter().enumerate() {
+        let method = MethodId::from_index(index);
+        let qualified = program.method(method).qualified_name(program);
+        report.summary_methods += 1;
+
+        let immediate = immediate_global_sites(program.method(method));
+        let excluded = summaries.excluded_sites(program, method);
+        report.immediate_excluded_sites += immediate.len() as i64;
+        report.ipa_excluded_sites += excluded.len() as i64;
+
+        for (i, &publishes) in summary.publishes_immediately.iter().enumerate() {
+            if publishes && summary.param_escape[i] != EscapeClass::GlobalEscape {
+                report.inconsistencies += 1;
+                eprintln!(
+                    "{name}/{qualified}: SUMMARY: parameter {i} must-publishes \
+                     but is classified {}",
+                    summary.param_escape[i].as_str()
+                );
+            }
+        }
+        if !immediate.iter().all(|bci| excluded.contains(bci)) {
+            report.inconsistencies += 1;
+            eprintln!(
+                "{name}/{qualified}: SUMMARY: IPA exclusions {excluded:?} miss \
+                 immediate putstatic sites {immediate:?}"
+            );
+        }
+        let other = &again.all()[index];
+        if summary.param_escape != other.param_escape
+            || summary.returns_fresh != other.returns_fresh
+        {
+            report.inconsistencies += 1;
+            eprintln!("{name}/{qualified}: SUMMARY: fixpoint is not stable across recomputation");
+        }
+
+        let mut o = ObjectWriter::new();
+        o.str("program", name);
+        o.str("method", &qualified);
+        o.str_array(
+            "params",
+            &summary
+                .param_escape
+                .iter()
+                .map(|c| c.as_str().to_string())
+                .collect::<Vec<_>>(),
+        );
+        o.bool("returns_fresh", summary.returns_fresh);
+        o.str_array(
+            "callees",
+            &summaries
+                .call_graph
+                .callees(method)
+                .iter()
+                .map(|&c| program.method(c).qualified_name(program))
+                .collect::<Vec<_>>(),
+        );
+        o.num("alloc_sites", summary.sites.len() as i64);
+        o.num("excluded_immediate", immediate.len() as i64);
+        o.num("excluded_ipa", excluded.len() as i64);
+        lines.push(o.finish());
+    }
+}
+
+fn lint_program(name: &str, program: &Program, report: &mut Report, callgraph: &mut Vec<String>) {
     report.programs += 1;
+    lint_summaries(name, program, report, callgraph);
     let verdicts = StaticVerdicts::analyze(program);
     let options = CompilerOptions::with_opt_level(OptLevel::Pea);
     for index in 0..program.methods.len() {
@@ -110,10 +198,21 @@ fn main() -> ExitCode {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("PEALINT.json", String::as_str);
+    let callgraph_out = args
+        .iter()
+        .position(|a| a == "--callgraph")
+        .and_then(|i| args.get(i + 1))
+        .map_or("CALLGRAPH.json", String::as_str);
 
     let mut report = Report::default();
+    let mut callgraph = Vec::new();
     for workload in pea_workloads::all_workloads() {
-        lint_program(&workload.name, &workload.program, &mut report);
+        lint_program(
+            &workload.name,
+            &workload.program,
+            &mut report,
+            &mut callgraph,
+        );
     }
     for (name, source) in [
         (
@@ -124,8 +223,17 @@ fn main() -> ExitCode {
     ] {
         let program = parse_program(source).unwrap_or_else(|e| panic!("{name}: {e}"));
         pea_bytecode::verify_program(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
-        lint_program(name, &program, &mut report);
+        lint_program(name, &program, &mut report, &mut callgraph);
     }
+
+    if let Err(e) = std::fs::write(callgraph_out, callgraph.join("\n") + "\n") {
+        eprintln!("cannot write {callgraph_out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "call graph ({} methods) written to {callgraph_out}",
+        callgraph.len()
+    );
 
     let mut o = ObjectWriter::new();
     o.num("programs", report.programs);
@@ -139,6 +247,9 @@ fn main() -> ExitCode {
     o.num("maybe_null_derefs", report.maybe_null_derefs);
     o.num("compiled", report.compiled);
     o.num("bailouts", report.bailouts);
+    o.num("summary_methods", report.summary_methods);
+    o.num("excluded_immediate", report.immediate_excluded_sites);
+    o.num("excluded_ipa", report.ipa_excluded_sites);
     o.num("inconsistencies", report.inconsistencies);
     let line = o.finish();
     if let Err(e) = std::fs::write(out, format!("{line}\n")) {
@@ -150,7 +261,8 @@ fn main() -> ExitCode {
 
     if report.inconsistencies > 0 {
         eprintln!(
-            "pealint: {} sanitizer inconsistency(ies) — PEA decisions disagree with the static analysis",
+            "pealint: {} inconsistency(ies) — PEA decisions disagree with the static analysis, \
+             or the interprocedural summaries violate their invariants",
             report.inconsistencies
         );
         return ExitCode::FAILURE;

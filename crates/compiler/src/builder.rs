@@ -9,12 +9,21 @@
 //! and at every merge, exactly as §2 of the paper describes, and inlined
 //! callees chain their states to the caller's state at the call site.
 
+use pea_analysis::{EscapeClass, ProgramSummaries};
 use pea_bytecode::{CmpOp, Insn, MethodId, Program};
 use pea_ir::{ArithOp, DeoptReason, FrameStateData, Graph, NodeId, NodeKind};
 use pea_runtime::profile::ProfileStore;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
+
+/// Hard cap on the active inline chain (root + transitively inlined
+/// callees), independent of the configurable depth limit. A policy bug or
+/// an absurd `inline_max_depth` cannot push parsing into unbounded
+/// inlining: crossing this cap is a compile bailout, not a skipped
+/// candidate.
+pub const MAX_INLINE_CHAIN: usize = 32;
 
 /// Why a method cannot be compiled (the VM falls back to interpretation).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,6 +35,8 @@ pub enum Bailout {
     UnstructuredLocking,
     /// The graph exceeded the node budget.
     TooLarge,
+    /// The active inline chain exceeded [`MAX_INLINE_CHAIN`].
+    RecursionLimit,
     /// Anything else.
     Unsupported(String),
 }
@@ -36,12 +47,82 @@ impl fmt::Display for Bailout {
             Bailout::Irreducible => f.write_str("irreducible control flow"),
             Bailout::UnstructuredLocking => f.write_str("unstructured locking"),
             Bailout::TooLarge => f.write_str("graph too large"),
+            Bailout::RecursionLimit => f.write_str("inline recursion limit exceeded"),
             Bailout::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
     }
 }
 
 impl Error for Bailout {}
+
+/// Which first-class policy decides inline candidacy at each call site.
+///
+/// Both policies share the hard gates (inlining enabled, devirtualized
+/// target, depth limit, no recursion); they differ in what makes an
+/// eligible candidate worth inlining.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InlinePolicy {
+    /// The classic cutoff: inline iff the callee bytecode fits the size
+    /// budget (`inline_max_callee_code`).
+    #[default]
+    Size,
+    /// Driven by interprocedural escape summaries plus profile call
+    /// counts: inline beyond the size budget where a fresh allocation
+    /// flows into a callee that keeps it unpublished (scalar replacement
+    /// can then see the whole object lifetime), refuse — regardless of
+    /// size — where the callee globally publishes every allocation passed
+    /// to it and allocates nothing itself, and fall back to the size rule
+    /// otherwise. Without summaries it degrades to the size rule.
+    Summary,
+}
+
+impl InlinePolicy {
+    /// Kebab-case tag for flags, traces and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InlinePolicy::Size => "size",
+            InlinePolicy::Summary => "summary",
+        }
+    }
+}
+
+impl fmt::Display for InlinePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for InlinePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "size" => Ok(InlinePolicy::Size),
+            "summary" => Ok(InlinePolicy::Summary),
+            other => Err(format!("unknown inline policy `{other}` (size|summary)")),
+        }
+    }
+}
+
+/// One recorded inline decision: every resolved call site parsed during
+/// graph construction gets exactly one, accepted or not. The pipeline
+/// turns these into `InlineDecision` trace events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InlineDecisionRec {
+    /// Method whose bytecode contains the call site (the root method or
+    /// an already-inlined callee).
+    pub caller: MethodId,
+    /// Call-site bytecode index within `caller`.
+    pub bci: u32,
+    /// The resolved (devirtualized if possible) call target.
+    pub callee: MethodId,
+    /// Policy that made the decision.
+    pub policy: InlinePolicy,
+    /// Whether the callee was inlined.
+    pub inlined: bool,
+    /// Kebab-case decision reason.
+    pub reason: &'static str,
+}
 
 /// Graph-construction options.
 #[derive(Clone, Debug)]
@@ -61,6 +142,8 @@ pub struct BuildOptions {
     pub devirtualize_threshold: u64,
     /// Node budget; exceeding it bails out.
     pub max_graph_nodes: usize,
+    /// Which policy decides inline candidacy (see [`InlinePolicy`]).
+    pub inline_policy: InlinePolicy,
 }
 
 impl Default for BuildOptions {
@@ -73,7 +156,18 @@ impl Default for BuildOptions {
             inline_max_callee_code: 64,
             devirtualize_threshold: 20,
             max_graph_nodes: 20_000,
+            inline_policy: InlinePolicy::Size,
         }
+    }
+}
+
+/// The classic size cutoff, shared by both policies (the summary policy
+/// falls back to it when summaries say nothing interesting).
+fn size_rule(callee_len: usize, budget: usize) -> (bool, &'static str) {
+    if callee_len <= budget {
+        (true, "within-size-budget")
+    } else {
+        (false, "over-size-budget")
     }
 }
 
@@ -327,8 +421,15 @@ pub struct GraphBuilder<'a> {
     program: &'a Program,
     profiles: Option<&'a ProfileStore>,
     options: &'a BuildOptions,
+    /// Interprocedural summaries for the summary inline policy (absent →
+    /// the policy degrades to the size rule).
+    summaries: Option<&'a ProgramSummaries>,
     graph: Graph,
-    inline_stack: Vec<MethodId>,
+    /// Methods on the active inline chain (root included) — a set, so the
+    /// per-call-site recursion check is O(1) instead of O(depth).
+    inline_active: HashSet<MethodId>,
+    /// Inline decisions in parse order, one per resolved call site.
+    decisions: Vec<InlineDecisionRec>,
     /// Frame state of the innermost enclosing caller while building an
     /// inlined callee (becomes the `outer` of the callee's frame states).
     current_outer: Option<NodeId>,
@@ -349,12 +450,30 @@ pub fn build_graph(
     profiles: Option<&ProfileStore>,
     options: &BuildOptions,
 ) -> Result<Graph, Bailout> {
+    build_graph_with(program, method, profiles, options, None).map(|(graph, _)| graph)
+}
+
+/// [`build_graph`] with interprocedural summaries for the summary inline
+/// policy, also returning the per-call-site inline decisions.
+///
+/// # Errors
+///
+/// Returns a [`Bailout`] when the method cannot be represented.
+pub fn build_graph_with(
+    program: &Program,
+    method: MethodId,
+    profiles: Option<&ProfileStore>,
+    options: &BuildOptions,
+    summaries: Option<&ProgramSummaries>,
+) -> Result<(Graph, Vec<InlineDecisionRec>), Bailout> {
     let mut builder = GraphBuilder {
         program,
         profiles,
         options,
+        summaries,
         graph: Graph::new(),
-        inline_stack: vec![method],
+        inline_active: HashSet::from([method]),
+        decisions: Vec::new(),
         current_outer: None,
         liveness: HashMap::new(),
     };
@@ -376,7 +495,7 @@ pub fn build_graph(
         builder.graph.set_next(attach, ret);
     }
     builder.demote_empty_loops();
-    Ok(builder.graph)
+    Ok((builder.graph, builder.decisions))
 }
 
 impl<'a> GraphBuilder<'a> {
@@ -1009,6 +1128,69 @@ impl<'a> GraphBuilder<'a> {
         Ok(false)
     }
 
+    /// The summary inline policy (see [`InlinePolicy::Summary`]): decides
+    /// from the callee's interprocedural escape summary and its profile
+    /// call count whether the eligible candidate is worth inlining.
+    fn summary_decision(
+        &self,
+        resolved: MethodId,
+        args: &[NodeId],
+        callee_len: usize,
+    ) -> (bool, &'static str) {
+        let Some(summaries) = self.summaries else {
+            return size_rule(callee_len, self.options.inline_max_callee_code);
+        };
+        let callee = summaries.summary(resolved);
+        // Classify the fresh allocations among the arguments: does the
+        // callee keep any of them unpublished (scalar replacement can win
+        // across the call), or does it globally publish everything we
+        // would hand it?
+        let mut alloc_flows_in = false;
+        let mut published_alloc_arg = false;
+        for (i, &arg) in args.iter().enumerate() {
+            if matches!(
+                self.graph.kind(arg),
+                NodeKind::New { .. } | NodeKind::NewArray { .. }
+            ) {
+                let class = callee
+                    .param_escape
+                    .get(i)
+                    .copied()
+                    .unwrap_or(EscapeClass::GlobalEscape);
+                if class == EscapeClass::GlobalEscape {
+                    published_alloc_arg = true;
+                } else {
+                    alloc_flows_in = true;
+                }
+            }
+        }
+        if published_alloc_arg && !alloc_flows_in && callee.sites.is_empty() {
+            // Every allocation we pass is globally published by the
+            // callee and the callee allocates nothing itself: inlining
+            // cannot save an allocation, however small the body.
+            return (false, "publishes-argument");
+        }
+        if alloc_flows_in {
+            // A virtualizable allocation flows into the callee: spend a
+            // bigger budget, doubled again for profile-hot callees.
+            let hot = self.profiles.is_some_and(|p| {
+                p.invocation_count(resolved) >= self.options.devirtualize_threshold
+            });
+            let budget = self.options.inline_max_callee_code * if hot { 4 } else { 2 };
+            return if callee_len <= budget {
+                (true, "allocation-flows-in")
+            } else {
+                (false, "over-summary-budget")
+            };
+        }
+        if callee.returns_fresh && callee_len <= self.options.inline_max_callee_code * 2 {
+            // The callee hands back a fresh allocation; inlining exposes
+            // it to the caller's PEA.
+            return (true, "returns-fresh-allocation");
+        }
+        size_rule(callee_len, self.options.inline_max_callee_code)
+    }
+
     /// Emits (or inlines) a call.
     fn do_invoke(
         &mut self,
@@ -1066,13 +1248,37 @@ impl<'a> GraphBuilder<'a> {
             }
         }
 
-        let can_inline = self.options.inline
-            && ctx.depth < self.options.inline_max_depth
-            && devirtualized
-            && self.program.method(resolved).code.len() <= self.options.inline_max_callee_code
-            && !self.inline_stack.contains(&resolved);
+        // Policy decision. Hard gates first (shared by every policy),
+        // then the policy's own judgement; every resolved site records
+        // exactly one decision for the trace.
+        let callee_len = self.program.method(resolved).code.len();
+        let (can_inline, reason) = if !self.options.inline {
+            (false, "inlining-disabled")
+        } else if !devirtualized {
+            (false, "megamorphic")
+        } else if self.inline_active.contains(&resolved) {
+            (false, "recursive")
+        } else if ctx.depth >= self.options.inline_max_depth {
+            (false, "depth-limit")
+        } else {
+            match self.options.inline_policy {
+                InlinePolicy::Size => size_rule(callee_len, self.options.inline_max_callee_code),
+                InlinePolicy::Summary => self.summary_decision(resolved, &args, callee_len),
+            }
+        };
+        self.decisions.push(InlineDecisionRec {
+            caller: ctx.method,
+            bci,
+            callee: resolved,
+            policy: self.options.inline_policy,
+            inlined: can_inline,
+            reason,
+        });
 
         if can_inline {
+            if self.inline_active.len() >= MAX_INLINE_CHAIN {
+                return Err(Bailout::RecursionLimit);
+            }
             if virtual_call && needs_type_guard.is_none() {
                 // CHA devirtualization has no type guard; a null receiver
                 // must still raise, so guard on it (deopt → interpreter →
@@ -1110,10 +1316,10 @@ impl<'a> GraphBuilder<'a> {
             // the interpreter's resume pushes the return value and
             // continues after the invoke.
             let caller_state = self.make_state(ctx.method, bci, state);
-            self.inline_stack.push(resolved);
+            self.inline_active.insert(resolved);
             let exits =
                 self.build_method(resolved, args, Some(caller_state), ctx.depth + 1, *tail)?;
-            self.inline_stack.pop();
+            self.inline_active.remove(&resolved);
             if exits.is_empty() {
                 // The callee never returns (always throws); compiling the
                 // continuation is pointless — bail and keep interpreting.
@@ -1304,6 +1510,98 @@ mod tests {
             "f",
         );
         assert_eq!(count(&g, |k| matches!(k, NodeKind::Invoke { .. })), 1);
+    }
+
+    #[test]
+    fn recursion_is_rejected_with_a_dedicated_reason() {
+        let program = parse_program(
+            "method f 1 returns {
+                load 0 const 0 ifcmp le Lbase
+                load 0 const 1 sub invokestatic f retv
+            Lbase:
+                const 0 retv
+            }",
+        )
+        .unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        let method = program.static_method_by_name("f").unwrap();
+        let (_, decisions) =
+            build_graph_with(&program, method, None, &BuildOptions::default(), None).unwrap();
+        assert_eq!(decisions.len(), 1);
+        assert!(!decisions[0].inlined);
+        assert_eq!(decisions[0].reason, "recursive");
+        assert_eq!(decisions[0].callee, method);
+    }
+
+    #[test]
+    fn absurd_depth_limit_hits_the_recursion_backstop() {
+        // A non-recursive chain deeper than MAX_INLINE_CHAIN with the
+        // configurable depth limit opened wide: the hard backstop must
+        // turn the compilation into a RecursionLimit bailout rather than
+        // letting parsing inline without bound.
+        let mut src = String::new();
+        let chain = MAX_INLINE_CHAIN + 4;
+        for i in 0..chain {
+            if i + 1 < chain {
+                src.push_str(&format!(
+                    "method m{i} 1 returns {{ load 0 invokestatic m{} retv }}\n",
+                    i + 1
+                ));
+            } else {
+                src.push_str(&format!("method m{i} 1 returns {{ load 0 retv }}\n"));
+            }
+        }
+        let program = parse_program(&src).unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        let method = program.static_method_by_name("m0").unwrap();
+        let options = BuildOptions {
+            inline_max_depth: chain + 8,
+            ..BuildOptions::default()
+        };
+        let result = build_graph(&program, method, None, &options);
+        assert!(matches!(result, Err(Bailout::RecursionLimit)), "{result:?}");
+    }
+
+    #[test]
+    fn summary_policy_refuses_publishing_callee_and_inlines_flow_in() {
+        let src = "class Box { field v int }
+             static g ref
+             method publish 1 { load 0 putstatic g ret }
+             method fill 1 returns {
+                load 0 const 1 putfield Box.v
+                load 0 getfield Box.v retv
+             }
+             method f 0 returns {
+                new Box invokestatic publish
+                new Box invokestatic fill retv
+             }";
+        let program = parse_program(src).unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        let summaries = ProgramSummaries::compute(&program);
+        let method = program.static_method_by_name("f").unwrap();
+        let options = BuildOptions {
+            inline_policy: InlinePolicy::Summary,
+            ..BuildOptions::default()
+        };
+        let (_, decisions) =
+            build_graph_with(&program, method, None, &options, Some(&summaries)).unwrap();
+        assert_eq!(decisions.len(), 2);
+        let publish = &decisions[0];
+        assert!(!publish.inlined);
+        assert_eq!(publish.reason, "publishes-argument");
+        let fill = &decisions[1];
+        assert!(fill.inlined);
+        assert_eq!(fill.reason, "allocation-flows-in");
+        // The size policy inlines both (both bodies are tiny).
+        let (_, size_decisions) = build_graph_with(
+            &program,
+            method,
+            None,
+            &BuildOptions::default(),
+            Some(&summaries),
+        )
+        .unwrap();
+        assert!(size_decisions.iter().all(|d| d.inlined));
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub trait EvalEnv {
     ///
     /// Whatever the callee raises.
     fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError>;
+    /// Safepoint poll, issued at every compiled loop back-edge. The VM
+    /// installs finished background compilations here — without this,
+    /// a long compiled-only loop (hot caller with every callee inlined or
+    /// itself compiled) would never reach an interpreter safepoint and
+    /// background installs would starve. The default is a no-op for
+    /// hosts without tiering.
+    fn safepoint(&mut self) {}
 }
 
 /// One interpreter frame reconstructed by deoptimization, outermost first
@@ -384,6 +391,10 @@ pub fn evaluate(
                 }
                 NodeKind::End | NodeKind::LoopEnd => {
                     env.charge(cost::BRANCH_OP)?;
+                    if matches!(node.kind, NodeKind::LoopEnd) {
+                        // Compiled-code safepoint at the loop back-edge.
+                        env.safepoint();
+                    }
                     came_from_end = Some(n);
                     let succ = code.cfg.block(block).succs[0];
                     block = succ;

@@ -27,10 +27,14 @@
 pub mod builder;
 pub mod canon;
 pub mod eval;
+pub mod phases;
 pub mod pipeline;
 
-pub use builder::{build_graph, Bailout, BuildOptions};
+pub use builder::{
+    build_graph, build_graph_with, Bailout, BuildOptions, InlineDecisionRec, InlinePolicy,
+};
 pub use eval::{evaluate, DeoptFrame, EvalEnv, EvalOutcome};
+pub use phases::{CompilationUnit, PhaseKind, PhaseManager};
 pub use pipeline::{
     compile, compile_traced, CompiledMethod, CompilerOptions, OptLevel, PhaseTimes,
 };

@@ -1,0 +1,384 @@
+//! Explicit per-compilation state ([`CompilationUnit`]) and phase
+//! sequencing ([`PhaseManager`]).
+//!
+//! Each compilation owns a `CompilationUnit` that carries everything the
+//! phases produce — the graph under construction, inline decisions,
+//! resolved interprocedural summaries, the effective PEA configuration,
+//! per-phase wall-clock times — and a `PhaseManager` drives an explicit
+//! list of [`PhaseKind`]s over it. This replaces the former ad-hoc
+//! statement sequencing inside `compile_impl`: the phase list is data, so
+//! tests and tools can inspect exactly which phases a configuration runs,
+//! and every phase reads and writes the unit through one named interface.
+//!
+//! Phases are an enum rather than trait objects because they emit through
+//! the lifetime-bound [`Tracer`], which a `dyn Phase` could not carry
+//! without infecting every signature with the sink lifetime.
+
+use crate::builder::{build_graph_with, Bailout, InlineDecisionRec, InlinePolicy};
+use crate::canon::canonicalize;
+use crate::pipeline::{CompilerOptions, OptLevel, PhaseTimes};
+use pea_analysis::ProgramSummaries;
+use pea_bytecode::{MethodId, Program};
+use pea_core::{run_ees, run_pea, run_pea_traced, PeaOptions, PeaResult};
+use pea_ir::cfg::Cfg;
+use pea_ir::dom::DomTree;
+use pea_ir::schedule::Schedule;
+use pea_ir::{Graph, NodeKind};
+use pea_runtime::profile::ProfileStore;
+use pea_trace::{TraceEvent, Tracer};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One compilation phase. The order a [`PhaseManager`] runs them in is the
+/// pipeline; each phase reads its inputs from and writes its outputs to
+/// the [`CompilationUnit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Resolve interprocedural summaries: reuse the set injected through
+    /// [`CompilerOptions::summaries`] or compute them from the program
+    /// (emitting [`TraceEvent::SummaryComputed`] per reachable method).
+    /// Scheduled only when the configuration consumes summaries.
+    Summaries,
+    /// Bytecode → graph construction, inlining included; records one
+    /// [`InlineDecisionRec`] per call site and emits it as a
+    /// [`TraceEvent::InlineDecision`].
+    Build,
+    /// Constant folding, GVN, phi simplification, dead-node pruning.
+    Canonicalize,
+    /// Compute the allocation-site exclusion set for the `pea-pre` /
+    /// `pea-pre-ipa` levels and freeze the effective [`PeaOptions`].
+    Prefilter,
+    /// The escape-analysis rounds (`ea_iterations`, each followed by a
+    /// canonicalization pass).
+    EscapeAnalysis,
+    /// Final IR verification; a failure degrades into a [`Bailout`] so the
+    /// VM keeps interpreting rather than executing a corrupt graph.
+    VerifyIr,
+    /// CFG construction, dominators, scheduling.
+    Schedule,
+}
+
+/// Everything one compilation accumulates while its phases run.
+pub struct CompilationUnit<'a> {
+    pub program: &'a Program,
+    pub method: MethodId,
+    pub profiles: Option<&'a ProfileStore>,
+    pub options: &'a CompilerOptions,
+    /// Interprocedural summaries, once the [`PhaseKind::Summaries`] phase
+    /// resolved them (shared when the VM injected its cache, owned when
+    /// computed on demand).
+    pub summaries: Option<Arc<ProgramSummaries>>,
+    /// The graph under construction (present after [`PhaseKind::Build`]).
+    pub graph: Option<Graph>,
+    /// Every inline decision the builder made, in call-site order.
+    pub inline_decisions: Vec<InlineDecisionRec>,
+    /// The PEA configuration the escape-analysis phase runs with (the
+    /// user's [`PeaOptions`] until [`PhaseKind::Prefilter`] narrows it).
+    pub effective_pea: PeaOptions,
+    /// Allocation sites the pre-filter excluded up front.
+    pub prefiltered_allocs: usize,
+    /// Escape-analysis counters, summed across every round.
+    pub pea_result: PeaResult,
+    /// Wall-clock per-phase times.
+    pub times: PhaseTimes,
+    /// Scheduling artifacts (present after [`PhaseKind::Schedule`]).
+    pub artifact: Option<Artifact>,
+}
+
+/// The back-end products of a compilation: the schedule the evaluator
+/// executes plus its CFG and size.
+pub struct Artifact {
+    pub cfg: Cfg,
+    pub schedule: Schedule,
+    pub code_size: u64,
+}
+
+impl<'a> CompilationUnit<'a> {
+    pub fn new(
+        program: &'a Program,
+        method: MethodId,
+        profiles: Option<&'a ProfileStore>,
+        options: &'a CompilerOptions,
+    ) -> CompilationUnit<'a> {
+        CompilationUnit {
+            program,
+            method,
+            profiles,
+            options,
+            summaries: None,
+            graph: None,
+            inline_decisions: Vec::new(),
+            effective_pea: options.pea.clone(),
+            prefiltered_allocs: 0,
+            pea_result: PeaResult::default(),
+            times: PhaseTimes::default(),
+            artifact: None,
+        }
+    }
+
+    fn graph_mut(&mut self) -> &mut Graph {
+        self.graph.as_mut().expect("build phase ran")
+    }
+
+    fn qualified_name(&self, method: MethodId) -> String {
+        self.program.method(method).qualified_name(self.program)
+    }
+}
+
+/// An explicit, inspectable phase sequence over a [`CompilationUnit`].
+#[derive(Clone, Debug)]
+pub struct PhaseManager {
+    phases: Vec<PhaseKind>,
+}
+
+impl PhaseManager {
+    /// The standard pipeline for `options`: summaries are resolved only
+    /// when the inline policy or the opt level consumes them, and the
+    /// prefilter phase only runs at the `pea-pre` levels.
+    pub fn standard(options: &CompilerOptions) -> PhaseManager {
+        let mut phases = Vec::new();
+        if options.needs_summaries() {
+            phases.push(PhaseKind::Summaries);
+        }
+        phases.push(PhaseKind::Build);
+        phases.push(PhaseKind::Canonicalize);
+        if matches!(options.opt_level, OptLevel::PeaPre | OptLevel::PeaPreIpa) {
+            phases.push(PhaseKind::Prefilter);
+        }
+        phases.push(PhaseKind::EscapeAnalysis);
+        phases.push(PhaseKind::VerifyIr);
+        phases.push(PhaseKind::Schedule);
+        PhaseManager { phases }
+    }
+
+    /// The phases this manager will run, in order.
+    pub fn phases(&self) -> &[PhaseKind] {
+        &self.phases
+    }
+
+    /// Runs every phase in order over `unit`.
+    ///
+    /// # Errors
+    ///
+    /// The first phase [`Bailout`] aborts the sequence.
+    pub fn run(
+        &self,
+        unit: &mut CompilationUnit<'_>,
+        tracer: &mut Tracer<'_>,
+    ) -> Result<(), Bailout> {
+        for &phase in &self.phases {
+            run_phase(phase, unit, tracer)?;
+        }
+        Ok(())
+    }
+}
+
+fn run_phase(
+    phase: PhaseKind,
+    unit: &mut CompilationUnit<'_>,
+    tracer: &mut Tracer<'_>,
+) -> Result<(), Bailout> {
+    match phase {
+        PhaseKind::Summaries => {
+            if let Some(shared) = &unit.options.summaries {
+                unit.summaries = Some(shared.clone());
+                return Ok(());
+            }
+            let t = Instant::now();
+            let summaries = ProgramSummaries::compute(unit.program);
+            // Summary computation is interprocedural front-end work;
+            // account it to the build bucket.
+            unit.times.build += t.elapsed();
+            if tracer.enabled() {
+                for s in summaries.all() {
+                    let method = unit.qualified_name(s.method);
+                    tracer.emit(&TraceEvent::SummaryComputed {
+                        method,
+                        params: s
+                            .param_escape
+                            .iter()
+                            .map(|c| c.as_str().to_string())
+                            .collect(),
+                        returns_fresh: s.returns_fresh,
+                    });
+                }
+            }
+            unit.summaries = Some(Arc::new(summaries));
+            Ok(())
+        }
+        PhaseKind::Build => {
+            let t = Instant::now();
+            let (graph, decisions) = build_graph_with(
+                unit.program,
+                unit.method,
+                unit.profiles,
+                &unit.options.build,
+                unit.summaries.as_deref(),
+            )?;
+            unit.times.build += t.elapsed();
+            for d in &decisions {
+                tracer.emit_with(|| TraceEvent::InlineDecision {
+                    method: unit.program.method(d.caller).qualified_name(unit.program),
+                    bci: d.bci,
+                    callee: unit.program.method(d.callee).qualified_name(unit.program),
+                    policy: d.policy.as_str().to_string(),
+                    inlined: d.inlined,
+                    reason: d.reason.to_string(),
+                });
+            }
+            unit.inline_decisions = decisions;
+            debug_assert_verify(&graph, "after build");
+            unit.graph = Some(graph);
+            Ok(())
+        }
+        PhaseKind::Canonicalize => {
+            let t = Instant::now();
+            let graph = unit.graph_mut();
+            canonicalize(graph);
+            graph.prune_dead();
+            unit.times.canonicalize += t.elapsed();
+            debug_assert_verify(unit.graph_mut(), "after canonicalize");
+            Ok(())
+        }
+        PhaseKind::Prefilter => {
+            // The exclusion set is computed once, up front: allocation
+            // nodes only appear during graph building (inlining included),
+            // never during canonicalization, so later EA rounds see the
+            // same sites.
+            let mut excluded = 0usize;
+            let mut allowed = prefilter_allowed(
+                unit.program,
+                unit.graph.as_ref().expect("build phase ran"),
+                unit.options.opt_level,
+                unit.summaries.as_deref(),
+                &mut excluded,
+            );
+            if let Some(user) = &unit.options.pea.allowed {
+                allowed.retain(|n| user.contains(n));
+            }
+            unit.prefiltered_allocs = excluded;
+            unit.effective_pea = PeaOptions {
+                allowed: Some(allowed),
+                ..unit.options.pea.clone()
+            };
+            Ok(())
+        }
+        PhaseKind::EscapeAnalysis => {
+            for _ in 0..unit.options.ea_iterations.max(1) {
+                let t = Instant::now();
+                let graph = unit.graph.as_mut().expect("build phase ran");
+                let r = match unit.options.opt_level {
+                    OptLevel::None => PeaResult::default(),
+                    OptLevel::Ees => run_ees(graph, unit.program, &unit.effective_pea),
+                    OptLevel::Pea | OptLevel::PeaPre | OptLevel::PeaPreIpa => match tracer.sink() {
+                        Some(sink) => {
+                            run_pea_traced(graph, unit.program, &unit.effective_pea, sink)
+                        }
+                        None => run_pea(graph, unit.program, &unit.effective_pea),
+                    },
+                };
+                unit.times.escape_analysis += t.elapsed();
+                debug_assert_verify(unit.graph_mut(), "after escape analysis");
+                let t = Instant::now();
+                let graph = unit.graph_mut();
+                canonicalize(graph);
+                graph.prune_dead();
+                unit.times.canonicalize += t.elapsed();
+                // Every round's counters are real graph changes: report
+                // the sum, not just the first round's.
+                unit.pea_result.absorb(&r);
+                if !r.changed() {
+                    break;
+                }
+            }
+            unit.pea_result.prefiltered_allocs = unit.prefiltered_allocs;
+            Ok(())
+        }
+        PhaseKind::VerifyIr => {
+            let graph = unit.graph.as_ref().expect("build phase ran");
+            if let Err(e) = pea_ir::verify::verify(graph) {
+                debug_assert!(false, "post-compilation verification failed: {e}");
+                return Err(Bailout::Unsupported(format!("verification failed: {e}")));
+            }
+            Ok(())
+        }
+        PhaseKind::Schedule => {
+            let t = Instant::now();
+            let graph = unit.graph.as_ref().expect("build phase ran");
+            let cfg = Cfg::build(graph);
+            let dom = DomTree::build(&cfg);
+            let schedule = Schedule::build(graph, &cfg, &dom);
+            unit.times.schedule += t.elapsed();
+            let code_size = schedule.code_size();
+            unit.artifact = Some(Artifact {
+                cfg,
+                schedule,
+                code_size,
+            });
+            Ok(())
+        }
+    }
+}
+
+/// Computes the allocation nodes PEA may virtualize at the `pea-pre`
+/// levels: every live `New`/`NewArray` except those the static
+/// pre-analysis proves globally escaping up front.
+///
+/// At [`OptLevel::PeaPre`] only the immediately-stored-to-a-static pattern
+/// qualifies. At [`OptLevel::PeaPreIpa`] the interprocedural summaries
+/// widen the set with sites whose fresh reference is immediately passed to
+/// a callee that publishes its parameter on every path
+/// ([`ProgramSummaries::excluded_sites`]) — a superset of the immediate
+/// sites by construction. Both verdicts stay correct no matter where the
+/// bytecode was inlined, so the filter can never change what PEA produces,
+/// only skip work. `excluded` receives the number of sites filtered out.
+fn prefilter_allowed(
+    program: &Program,
+    graph: &Graph,
+    opt_level: OptLevel,
+    summaries: Option<&ProgramSummaries>,
+    excluded: &mut usize,
+) -> HashSet<pea_ir::NodeId> {
+    let mut global_sites: HashMap<MethodId, Vec<u32>> = HashMap::new();
+    let mut allowed = HashSet::new();
+    for id in graph.live_nodes() {
+        if !matches!(
+            graph.kind(id),
+            NodeKind::New { .. } | NodeKind::NewArray { .. }
+        ) {
+            continue;
+        }
+        let escapes = graph.provenance(id).is_some_and(|(m, bci)| {
+            global_sites
+                .entry(m)
+                .or_insert_with(|| match (opt_level, summaries) {
+                    (OptLevel::PeaPreIpa, Some(s)) => s.excluded_sites(program, m),
+                    _ => pea_analysis::escape::immediate_global_sites(program.method(m)),
+                })
+                .contains(&bci)
+        });
+        if escapes {
+            *excluded += 1;
+        } else {
+            allowed.insert(id);
+        }
+    }
+    allowed
+}
+
+fn debug_assert_verify(graph: &Graph, stage: &str) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = pea_ir::verify::verify(graph) {
+            panic!("{stage}: {e}\n{}", pea_ir::dump::dump(graph));
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// Whether this configuration consumes interprocedural summaries (and
+    /// the [`PhaseKind::Summaries`] phase must run).
+    pub fn needs_summaries(&self) -> bool {
+        self.opt_level == OptLevel::PeaPreIpa || self.build.inline_policy == InlinePolicy::Summary
+    }
+}

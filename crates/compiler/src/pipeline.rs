@@ -1,19 +1,20 @@
-//! Phase orchestration: bytecode → graph → canonicalize → escape analysis
-//! → canonicalize → schedule → [`CompiledMethod`].
+//! Pipeline entry points and configuration: [`compile`]/[`compile_traced`]
+//! build a [`phases::CompilationUnit`](crate::phases::CompilationUnit) and
+//! run the standard [`phases::PhaseManager`](crate::phases::PhaseManager)
+//! sequence over it, producing a [`CompiledMethod`].
 
-use crate::builder::{build_graph, Bailout, BuildOptions};
-use crate::canon::canonicalize;
+use crate::builder::{Bailout, BuildOptions};
+use crate::phases::{CompilationUnit, PhaseManager};
+use pea_analysis::ProgramSummaries;
 use pea_bytecode::{MethodId, Program};
-use pea_core::{run_ees, run_pea, run_pea_traced, PeaOptions, PeaResult};
+use pea_core::{PeaOptions, PeaResult};
 use pea_ir::cfg::Cfg;
-use pea_ir::dom::DomTree;
 use pea_ir::schedule::Schedule;
 use pea_ir::Graph;
-use pea_ir::NodeKind;
 use pea_runtime::profile::ProfileStore;
 use pea_trace::{PhaseMicros, TraceEvent, TraceSink, Tracer};
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Which escape analysis the pipeline runs — the three configurations the
 /// paper's evaluation compares (§6: none vs. PEA; §6.2: the
@@ -34,6 +35,12 @@ pub enum OptLevel {
     /// optimized artifact ([`PeaResult::prefiltered_allocs`] reports how
     /// many sites were excluded up front).
     PeaPre,
+    /// [`PeaPre`](Self::PeaPre) widened interprocedurally: the call-graph
+    /// escape summaries (`pea-analysis::summary`) additionally exclude
+    /// sites whose fresh allocation is immediately handed to a callee that
+    /// publishes its parameter on every path — a strict superset of the
+    /// immediate `putstatic` pattern, still artifact-preserving.
+    PeaPreIpa,
 }
 
 impl std::fmt::Display for OptLevel {
@@ -43,6 +50,7 @@ impl std::fmt::Display for OptLevel {
             OptLevel::Ees => "ees",
             OptLevel::Pea => "pea",
             OptLevel::PeaPre => "pea-pre",
+            OptLevel::PeaPreIpa => "pea-pre-ipa",
         })
     }
 }
@@ -62,6 +70,12 @@ pub struct CompilerOptions {
     /// exposed by canonicalization of the previous one. The analysis is
     /// idempotent, so extra iterations are safe.
     pub ea_iterations: usize,
+    /// Pre-computed interprocedural summaries. Summaries depend only on
+    /// the program bytecode, so a VM computes them once and shares the
+    /// `Arc` across every compilation (both JIT modes); when `None` and
+    /// the configuration needs them (`pea-pre-ipa` or the summary inline
+    /// policy), the pipeline computes them per compilation.
+    pub summaries: Option<Arc<ProgramSummaries>>,
 }
 
 impl CompilerOptions {
@@ -72,6 +86,7 @@ impl CompilerOptions {
             build: BuildOptions::default(),
             pea: PeaOptions::default(),
             ea_iterations: 1,
+            summaries: None,
         }
     }
 }
@@ -190,77 +205,14 @@ fn compile_impl<'a>(
         method: program.method(method).qualified_name(program),
         level: options.opt_level.to_string(),
     });
-    let mut times = PhaseTimes::default();
-    let t = Instant::now();
-    let mut graph = build_graph(program, method, profiles, &options.build)?;
-    times.build = t.elapsed();
-    debug_assert_verify(&graph, "after build");
-    let t = Instant::now();
-    canonicalize(&mut graph);
-    graph.prune_dead();
-    times.canonicalize += t.elapsed();
-    debug_assert_verify(&graph, "after canonicalize");
-
-    // The pre-filter exclusion set is computed once, up front: allocation
-    // nodes only appear during graph building (inlining included), never
-    // during canonicalization, so later EA rounds see the same sites.
-    let mut prefiltered_allocs = 0usize;
-    let effective_pea: PeaOptions = if options.opt_level == OptLevel::PeaPre {
-        let mut allowed = prefilter_allowed(program, &graph, &mut prefiltered_allocs);
-        if let Some(user) = &options.pea.allowed {
-            allowed.retain(|n| user.contains(n));
-        }
-        PeaOptions {
-            allowed: Some(allowed),
-            ..options.pea.clone()
-        }
-    } else {
-        options.pea.clone()
-    };
-
-    let mut pea_result = PeaResult::default();
-    for _ in 0..options.ea_iterations.max(1) {
-        let t = Instant::now();
-        let r = match options.opt_level {
-            OptLevel::None => PeaResult::default(),
-            OptLevel::Ees => run_ees(&mut graph, program, &effective_pea),
-            OptLevel::Pea | OptLevel::PeaPre => match tracer.sink() {
-                Some(sink) => run_pea_traced(&mut graph, program, &effective_pea, sink),
-                None => run_pea(&mut graph, program, &effective_pea),
-            },
-        };
-        times.escape_analysis += t.elapsed();
-        debug_assert_verify(&graph, "after escape analysis");
-        let t = Instant::now();
-        canonicalize(&mut graph);
-        graph.prune_dead();
-        times.canonicalize += t.elapsed();
-        // Every round's counters are real graph changes: report the sum,
-        // not just the first round's.
-        pea_result.absorb(&r);
-        if !r.changed() {
-            break;
-        }
-    }
-    pea_result.prefiltered_allocs = prefiltered_allocs;
-
-    // A verification failure here is a compiler bug; degrade to a bailout
-    // so the VM falls back to the interpreter instead of executing a
-    // corrupt graph.
-    if let Err(e) = pea_ir::verify::verify(&graph) {
-        debug_assert!(false, "post-compilation verification failed: {e}");
-        return Err(Bailout::Unsupported(format!("verification failed: {e}")));
-    }
-
-    let t = Instant::now();
-    let cfg = Cfg::build(&graph);
-    let dom = DomTree::build(&cfg);
-    let schedule = Schedule::build(&graph, &cfg, &dom);
-    times.schedule = t.elapsed();
-    let code_size = schedule.code_size();
+    let mut unit = CompilationUnit::new(program, method, profiles, options);
+    PhaseManager::standard(options).run(&mut unit, &mut tracer)?;
+    let times = unit.times;
+    let artifact = unit.artifact.expect("schedule phase ran");
+    let graph = unit.graph.expect("build phase ran");
     tracer.emit_with(|| TraceEvent::CompileEnd {
         method: program.method(method).qualified_name(program),
-        code_size,
+        code_size: artifact.code_size,
         phases: PhaseMicros {
             build: times.build.as_micros() as u64,
             canonicalize: times.canonicalize.as_micros() as u64,
@@ -271,54 +223,10 @@ fn compile_impl<'a>(
     Ok(CompiledMethod {
         method,
         graph,
-        cfg,
-        schedule,
-        code_size,
-        pea_result,
+        cfg: artifact.cfg,
+        schedule: artifact.schedule,
+        code_size: artifact.code_size,
+        pea_result: unit.pea_result,
         times,
     })
-}
-
-/// Computes the allocation nodes PEA may virtualize at
-/// [`OptLevel::PeaPre`]: every live `New`/`NewArray` except those the
-/// static pre-analysis proves globally escaping up front. Only the
-/// immediately-stored-to-a-static pattern qualifies — it is the one
-/// verdict that stays correct no matter where the bytecode was inlined —
-/// so the filter can never change what PEA produces, only skip work.
-/// `excluded` receives the number of sites filtered out.
-fn prefilter_allowed(
-    program: &Program,
-    graph: &Graph,
-    excluded: &mut usize,
-) -> std::collections::HashSet<pea_ir::NodeId> {
-    let mut global_sites: HashMap<MethodId, Vec<u32>> = HashMap::new();
-    let mut allowed = std::collections::HashSet::new();
-    for id in graph.live_nodes() {
-        if !matches!(
-            graph.kind(id),
-            NodeKind::New { .. } | NodeKind::NewArray { .. }
-        ) {
-            continue;
-        }
-        let escapes = graph.provenance(id).is_some_and(|(m, bci)| {
-            global_sites
-                .entry(m)
-                .or_insert_with(|| pea_analysis::escape::immediate_global_sites(program.method(m)))
-                .contains(&bci)
-        });
-        if escapes {
-            *excluded += 1;
-        } else {
-            allowed.insert(id);
-        }
-    }
-    allowed
-}
-
-fn debug_assert_verify(graph: &Graph, stage: &str) {
-    if cfg!(debug_assertions) {
-        if let Err(e) = pea_ir::verify::verify(graph) {
-            panic!("{stage}: {e}\n{}", pea_ir::dump::dump(graph));
-        }
-    }
 }

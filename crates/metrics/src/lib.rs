@@ -279,6 +279,10 @@ pub struct TierMetrics {
     pub evictions: Counter,
     /// Recompilations of previously evicted methods requested.
     pub recompiles: Counter,
+    /// Safepoint polls issued from compiled code (loop back-edges in the
+    /// evaluator); the interpreter's polls are counted separately in
+    /// `interp.safepoint_polls`.
+    pub safepoint_polls: Counter,
 }
 
 /// Compile-pipeline and compile-service counters.
@@ -301,6 +305,14 @@ pub struct CompileMetrics {
     /// Finished artifacts dropped at install because the method was
     /// evicted after the request (stale eviction epoch).
     pub stale_dropped: Counter,
+    /// Inline candidates the active policy accepted.
+    pub inline_accepted: Counter,
+    /// Inline candidates the active policy refused.
+    pub inline_rejected: Counter,
+    /// Compilations that reused the VM's cached interprocedural summaries.
+    pub summary_cache_hits: Counter,
+    /// Compilations that had to (re)compute interprocedural summaries.
+    pub summary_cache_misses: Counter,
     /// Current background queue depth.
     pub queue_depth: Gauge,
     /// Enqueue→install latency of background compilations, µs.
@@ -392,6 +404,7 @@ impl VmMetrics {
             ("vm.installs".into(), self.vm.installs.get()),
             ("vm.evictions".into(), self.vm.evictions.get()),
             ("vm.recompiles".into(), self.vm.recompiles.get()),
+            ("vm.safepoint_polls".into(), self.vm.safepoint_polls.get()),
             ("compile.started".into(), self.compile.started.get()),
             ("compile.succeeded".into(), self.compile.succeeded.get()),
             ("compile.bailouts".into(), self.compile.bailouts.get()),
@@ -411,6 +424,22 @@ impl VmMetrics {
             (
                 "compile.stale_dropped".into(),
                 self.compile.stale_dropped.get(),
+            ),
+            (
+                "compile.inline_accepted".into(),
+                self.compile.inline_accepted.get(),
+            ),
+            (
+                "compile.inline_rejected".into(),
+                self.compile.inline_rejected.get(),
+            ),
+            (
+                "compile.summary_cache_hits".into(),
+                self.compile.summary_cache_hits.get(),
+            ),
+            (
+                "compile.summary_cache_misses".into(),
+                self.compile.summary_cache_misses.get(),
             ),
             ("pea.virtualized".into(), self.pea.virtualized.get()),
             ("pea.materialized".into(), self.pea.materialized.get()),

@@ -181,6 +181,27 @@ pub enum TraceEvent {
     /// safepoint: `counters` holds `name=value` lines of every metric
     /// that changed since the previous snapshot (see `pea-metrics`).
     MetricsSnapshot { seq: u64, counters: Vec<String> },
+    /// The graph builder decided whether to inline a call site. `policy`
+    /// names the active inline policy (`size` or `summary`), `reason` the
+    /// kebab-case rule that settled the decision (e.g. `within-size-budget`,
+    /// `publishes-argument`, `recursive`).
+    InlineDecision {
+        method: String,
+        bci: u32,
+        callee: String,
+        policy: String,
+        inlined: bool,
+        reason: String,
+    },
+    /// An interprocedural escape summary was computed for a method:
+    /// `params` holds one escape-class tag per parameter (`no-escape`,
+    /// `arg-escape`, `global-escape`), `returns_fresh` whether every
+    /// returned reference is a fresh allocation of the method itself.
+    SummaryComputed {
+        method: String,
+        params: Vec<String>,
+        returns_fresh: bool,
+    },
 }
 
 impl TraceEvent {
@@ -201,6 +222,8 @@ impl TraceEvent {
             TraceEvent::Evict { .. } => "evict",
             TraceEvent::Recompile { .. } => "recompile",
             TraceEvent::MetricsSnapshot { .. } => "metrics-snapshot",
+            TraceEvent::InlineDecision { .. } => "inline-decision",
+            TraceEvent::SummaryComputed { .. } => "summary-computed",
         }
     }
 
@@ -287,6 +310,30 @@ impl TraceEvent {
                     format!("metrics #{seq}: {}", counters.join(" "))
                 }
             }
+            TraceEvent::InlineDecision {
+                method,
+                bci,
+                callee,
+                policy,
+                inlined,
+                reason,
+            } => {
+                let verdict = if *inlined { "inline" } else { "no-inline" };
+                format!("  {verdict} {callee} at {method}:{bci} (policy={policy}, {reason})")
+            }
+            TraceEvent::SummaryComputed {
+                method,
+                params,
+                returns_fresh,
+            } => format!(
+                "summary {method}: params [{}]{}",
+                params.join(", "),
+                if *returns_fresh {
+                    ", returns fresh"
+                } else {
+                    ""
+                }
+            ),
         }
     }
 
@@ -373,6 +420,30 @@ impl TraceEvent {
                 o.num("seq", *seq as i64);
                 o.str_array("counters", counters);
             }
+            TraceEvent::InlineDecision {
+                method,
+                bci,
+                callee,
+                policy,
+                inlined,
+                reason,
+            } => {
+                o.str("method", method);
+                o.num("bci", *bci as i64);
+                o.str("callee", callee);
+                o.str("policy", policy);
+                o.bool("inlined", *inlined);
+                o.str("reason", reason);
+            }
+            TraceEvent::SummaryComputed {
+                method,
+                params,
+                returns_fresh,
+            } => {
+                o.str("method", method);
+                o.str_array("params", params);
+                o.bool("returns_fresh", *returns_fresh);
+            }
         }
         o.finish()
     }
@@ -453,6 +524,19 @@ impl TraceEvent {
             "metrics-snapshot" => TraceEvent::MetricsSnapshot {
                 seq: obj.get_num("seq")? as u64,
                 counters: obj.get_str_array("counters")?,
+            },
+            "inline-decision" => TraceEvent::InlineDecision {
+                method: obj.get_str("method")?.to_string(),
+                bci: obj.get_num("bci")? as u32,
+                callee: obj.get_str("callee")?.to_string(),
+                policy: obj.get_str("policy")?.to_string(),
+                inlined: obj.get_bool("inlined")?,
+                reason: obj.get_str("reason")?.to_string(),
+            },
+            "summary-computed" => TraceEvent::SummaryComputed {
+                method: obj.get_str("method")?.to_string(),
+                params: obj.get_str_array("params")?,
+                returns_fresh: obj.get_bool("returns_fresh")?,
             },
             other => {
                 return Err(json::JsonError::new(format!(
@@ -868,7 +952,10 @@ impl TraceSink for SiteAggregator {
                 entry.1 += rematerialized.len() as u64;
             }
             TraceEvent::Evict { .. } => self.evictions += 1,
-            TraceEvent::Recompile { .. } | TraceEvent::MetricsSnapshot { .. } => {}
+            TraceEvent::Recompile { .. }
+            | TraceEvent::MetricsSnapshot { .. }
+            | TraceEvent::InlineDecision { .. }
+            | TraceEvent::SummaryComputed { .. } => {}
         }
     }
 }
@@ -950,6 +1037,27 @@ mod tests {
             TraceEvent::MetricsSnapshot {
                 seq: 1,
                 counters: vec!["interp.steps=120".into(), "vm.deopts=2".into()],
+            },
+            TraceEvent::InlineDecision {
+                method: "Cache.getValue".into(),
+                bci: 4,
+                callee: "Cache.hash".into(),
+                policy: "summary".into(),
+                inlined: true,
+                reason: "allocation-flows-in".into(),
+            },
+            TraceEvent::InlineDecision {
+                method: "Cache.getValue".into(),
+                bci: 9,
+                callee: "Registry.publish".into(),
+                policy: "summary".into(),
+                inlined: false,
+                reason: "publishes-argument".into(),
+            },
+            TraceEvent::SummaryComputed {
+                method: "Cache.hash".into(),
+                params: vec!["no-escape".into(), "arg-escape".into()],
+                returns_fresh: true,
             },
         ]
     }

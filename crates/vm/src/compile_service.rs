@@ -24,6 +24,7 @@
 //!   getting hotter, and is retried at a later threshold check);
 //!   otherwise the newcomer itself is rejected.
 
+use crate::SummaryCache;
 use pea_bytecode::{MethodId, Program};
 use pea_compiler::{compile, compile_traced, Bailout, CompiledMethod, CompilerOptions};
 use pea_metrics::MetricsHub;
@@ -52,6 +53,12 @@ pub struct CompileServiceOptions {
     /// Metrics handle; queue admission/rejection counters, the depth
     /// gauge, and per-compilation PEA/phase metrics flow through it.
     pub metrics: MetricsHub,
+    /// Interprocedural summary cache shared with the VM's synchronous
+    /// compile path. When the compiler configuration consumes summaries,
+    /// workers resolve from here per compilation (so a VM-side
+    /// invalidation reaches in-flight workers' *next* compilations);
+    /// `None` makes each worker compilation compute its own.
+    pub summary_cache: Option<SummaryCache>,
 }
 
 impl Default for CompileServiceOptions {
@@ -61,6 +68,7 @@ impl Default for CompileServiceOptions {
             queue_capacity: 128,
             checked: false,
             metrics: MetricsHub::disabled(),
+            summary_cache: None,
         }
     }
 }
@@ -182,6 +190,9 @@ struct Shared {
     /// Static escape verdicts for the sanitizer; `Some` iff checked mode
     /// is on (computed once at service start, shared by all workers).
     verdicts: Option<pea_analysis::StaticVerdicts>,
+    /// Summary cache shared with the VM (see
+    /// [`CompileServiceOptions::summary_cache`]).
+    summary_cache: Option<SummaryCache>,
     queue: Mutex<Queue>,
     /// Signals workers that work (or shutdown) is available.
     work: Condvar,
@@ -219,6 +230,7 @@ impl CompileService {
             merge: trace.map(SequencedMerge::new),
             metrics: options.metrics.clone(),
             verdicts,
+            summary_cache: options.summary_cache.clone(),
             queue: Mutex::new(Queue {
                 heap: BinaryHeap::new(),
                 inflight: HashSet::new(),
@@ -393,12 +405,25 @@ fn run_one(
     request: &Request,
     flush_seq: u64,
 ) -> (Result<CompiledMethod, Bailout>, Vec<String>) {
+    // Resolve interprocedural summaries through the shared cache when the
+    // configuration consumes them, so workers and the VM's synchronous
+    // path compile against the same set (and the cache's hit/miss
+    // counters cover both JIT modes).
+    let mut options_owned;
+    let options = match &shared.summary_cache {
+        Some(cache) if shared.options.needs_summaries() && shared.options.summaries.is_none() => {
+            options_owned = shared.options.clone();
+            options_owned.summaries = Some(cache.resolve(&shared.program, &shared.metrics));
+            &options_owned
+        }
+        _ => &shared.options,
+    };
     if shared.merge.is_none() && shared.verdicts.is_none() && !shared.metrics.is_enabled() {
         let result = compile(
             &shared.program,
             request.method,
             Some(&request.profiles),
-            &shared.options,
+            options,
         );
         return (result, Vec::new());
     }
@@ -410,7 +435,7 @@ fn run_one(
         &shared.program,
         request.method,
         Some(&request.profiles),
-        &shared.options,
+        options,
         &mut buffer,
     );
     let mut findings = Vec::new();
@@ -534,6 +559,7 @@ mod tests {
                 queue_capacity: 1,
                 checked: false,
                 metrics: MetricsHub::disabled(),
+                summary_cache: None,
             },
         );
         let m = MethodId::from_index(0);

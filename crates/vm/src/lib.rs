@@ -26,6 +26,7 @@
 pub mod compile_service;
 
 pub use compile_service::{default_workers, CompileService, CompileServiceOptions};
+use pea_analysis::ProgramSummaries;
 use pea_bytecode::{MethodId, Program};
 pub use pea_compiler::OptLevel;
 use pea_compiler::{
@@ -147,6 +148,55 @@ impl Default for VmOptions {
     }
 }
 
+/// Shared cache of interprocedural escape summaries, consulted by the
+/// synchronous compile path and every background compile worker of one VM.
+///
+/// Summaries are a function of the program bytecode alone, so one
+/// computation serves every compilation; the cache still follows the code
+/// cache's invalidation discipline (cleared on method eviction, so a
+/// recompile after re-profiling starts from a fresh slot) to keep the
+/// summary lifetime observable and never longer than the compiled code it
+/// informed. Hits and misses are counted in
+/// `compile.summary_cache_hits` / `compile.summary_cache_misses`.
+#[derive(Clone, Debug, Default)]
+pub struct SummaryCache {
+    slot: Arc<Mutex<Option<Arc<ProgramSummaries>>>>,
+}
+
+impl SummaryCache {
+    pub fn new() -> SummaryCache {
+        SummaryCache::default()
+    }
+
+    /// The cached summaries, computing and caching them on miss.
+    pub fn resolve(&self, program: &Program, metrics: &MetricsHub) -> Arc<ProgramSummaries> {
+        let mut slot = self.slot.lock().expect("summary cache poisoned");
+        if let Some(s) = &*slot {
+            if let Some(m) = metrics.on() {
+                m.compile.summary_cache_hits.inc();
+            }
+            return Arc::clone(s);
+        }
+        if let Some(m) = metrics.on() {
+            m.compile.summary_cache_misses.inc();
+        }
+        let s = Arc::new(ProgramSummaries::compute(program));
+        *slot = Some(Arc::clone(&s));
+        s
+    }
+
+    /// Drops the cached summaries; the next [`resolve`](Self::resolve)
+    /// recomputes.
+    pub fn invalidate(&self) {
+        *self.slot.lock().expect("summary cache poisoned") = None;
+    }
+
+    /// Whether the cache currently holds summaries.
+    pub fn is_populated(&self) -> bool {
+        self.slot.lock().expect("summary cache poisoned").is_some()
+    }
+}
+
 /// The virtual machine.
 pub struct Vm {
     program: Arc<Program>,
@@ -167,6 +217,8 @@ pub struct Vm {
     /// Static escape verdicts for the sanitizer, computed lazily on the
     /// first checked compilation.
     verdicts: Option<Arc<pea_analysis::StaticVerdicts>>,
+    /// Interprocedural summary cache shared with the compile service.
+    summary_cache: SummaryCache,
     options: VmOptions,
     /// Re-entrancy depth (interpreter/compiled frames currently active).
     depth: usize,
@@ -201,6 +253,7 @@ impl Vm {
             evict_epochs: HashMap::new(),
             service: None,
             verdicts: None,
+            summary_cache: SummaryCache::new(),
             options,
             depth: 0,
             snapshot_polls: 0,
@@ -332,6 +385,7 @@ impl Vm {
                             });
                         }
                     }
+                    let copts = self.effective_compiler_options(&program);
                     let compiled = if self.options.checked
                         || self.options.trace.is_some()
                         || self.options.metrics.is_enabled()
@@ -344,7 +398,7 @@ impl Vm {
                             &program,
                             method,
                             Some(&self.profiles),
-                            &self.options.compiler,
+                            &copts,
                             &mut buffer,
                         );
                         if self.options.checked {
@@ -364,12 +418,7 @@ impl Vm {
                         }
                         result
                     } else {
-                        compile(
-                            &program,
-                            method,
-                            Some(&self.profiles),
-                            &self.options.compiler,
-                        )
+                        compile(&program, method, Some(&self.profiles), &copts)
                     };
                     match compiled {
                         Ok(code) => {
@@ -394,6 +443,24 @@ impl Vm {
             }
         }
         interpret(&program, self, method, args)
+    }
+
+    /// The compiler options for one compilation: when the configuration
+    /// consumes interprocedural summaries (`pea-pre-ipa` or the summary
+    /// inline policy), the shared [`SummaryCache`] is resolved (computing
+    /// on miss) and injected so the pipeline never recomputes per method.
+    fn effective_compiler_options(&self, program: &Program) -> CompilerOptions {
+        let mut copts = self.options.compiler.clone();
+        if copts.needs_summaries() && copts.summaries.is_none() {
+            copts.summaries = Some(self.summary_cache.resolve(program, &self.options.metrics));
+        }
+        copts
+    }
+
+    /// The VM's interprocedural summary cache (shared with the background
+    /// compile service; read access for tests and harnesses).
+    pub fn summary_cache(&self) -> &SummaryCache {
+        &self.summary_cache
     }
 
     /// The static escape verdicts, computed over the whole program on
@@ -446,6 +513,7 @@ impl Vm {
                     queue_capacity: self.options.compile_queue_capacity,
                     checked: self.options.checked,
                     metrics: self.options.metrics.clone(),
+                    summary_cache: Some(self.summary_cache.clone()),
                 },
             ));
         }
@@ -581,8 +649,9 @@ impl Vm {
     pub fn precompile_all(&mut self, parallelism: usize) -> usize {
         let parallelism = parallelism.max(1);
         let program = Arc::clone(&self.program);
+        let options = self.effective_compiler_options(&program);
+        let options = &options;
         let profiles = &self.profiles;
-        let options = &self.options.compiler;
         let metrics = &self.options.metrics;
         let methods: Vec<MethodId> = (0..program.methods.len())
             .map(MethodId::from_index)
@@ -684,6 +753,9 @@ impl Vm {
                     // method: they speculate from the profile that just
                     // failed.
                     *self.evict_epochs.entry(method).or_insert(0) += 1;
+                    // Same discipline for the summary cache: the next
+                    // compilation (sync or background) re-resolves.
+                    self.summary_cache.invalidate();
                     if let Some(m) = self.options.metrics.on() {
                         m.vm.evictions.inc();
                     }
@@ -753,8 +825,17 @@ pub(crate) fn record_compile_metrics(
             TraceEvent::CheckFolded { .. } => m.pea.checks_folded.inc(),
             TraceEvent::PhiCreated { .. } => m.pea.phis_created.inc(),
             TraceEvent::LoopRound { .. } => m.pea.loop_rounds.inc(),
-            // VM-side events are counted at their emission sites.
-            TraceEvent::Deopt { .. }
+            TraceEvent::InlineDecision { inlined, .. } => {
+                if *inlined {
+                    m.compile.inline_accepted.inc();
+                } else {
+                    m.compile.inline_rejected.inc();
+                }
+            }
+            // VM-side events are counted at their emission sites;
+            // summaries are program-wide, not per-compilation.
+            TraceEvent::SummaryComputed { .. }
+            | TraceEvent::Deopt { .. }
             | TraceEvent::Evict { .. }
             | TraceEvent::Recompile { .. }
             | TraceEvent::MetricsSnapshot { .. } => {}
@@ -811,6 +892,17 @@ impl EvalEnv for Vm {
     }
     fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
         self.call(method, args)
+    }
+    fn safepoint(&mut self) {
+        if let Some(m) = self.options.metrics.on() {
+            m.vm.safepoint_polls.inc();
+        }
+        // Compiled-loop back-edge: install anything the background
+        // compilers finished, so compiled-only phases (hot caller with
+        // inlined or compiled callees) cannot starve installs.
+        if self.options.jit_mode == JitMode::Background {
+            self.drain_background();
+        }
     }
 }
 

@@ -227,6 +227,84 @@ fn precompile_all_parallelism_levels_agree() {
     );
 }
 
+#[test]
+fn compiled_only_loop_drains_background_installs_at_backedge_safepoints() {
+    // A hot caller whose callee is inlined becomes a compiled-only loop:
+    // once it is running, no interpreter safepoint and no method-entry
+    // drain is ever reached again until it returns. Finished background
+    // compilations must still install *during* such a phase, via the
+    // evaluator's loop back-edge safepoint polls.
+    let src = "method helper 1 returns { load 0 const 3 mul retv }
+         method cold 1 returns { load 0 const 7 add retv }
+         method hotloop 1 returns {
+            const 0 store 1
+            const 0 store 2
+         Lhead:
+            load 2 load 0 ifcmp ge Ldone
+            load 2 invokestatic helper load 1 add store 1
+            load 2 const 1 add store 2
+            goto Lhead
+         Ldone:
+            load 1 retv
+         }";
+    let program = pea_bytecode::asm::parse_program(src).unwrap();
+    let cold = program.static_method_by_name("cold").unwrap();
+    let options = VmOptions {
+        jit_mode: JitMode::Background,
+        compile_workers: Some(1),
+        compile_threshold: 10,
+        metrics: pea_vm::MetricsHub::enabled(),
+        ..VmOptions::with_opt_level(OptLevel::Pea)
+    };
+    let mut vm = Vm::new(program, options);
+
+    // Compile the loop itself (helper is inlined into it).
+    let hotloop = vm.program().static_method_by_name("hotloop").unwrap();
+    for _ in 0..20 {
+        vm.call_entry("hotloop", &[Value::Int(4)]).unwrap();
+    }
+    vm.await_background_compiles();
+    assert!(
+        vm.compiled(hotloop).is_some(),
+        "hotloop must be compiled before the compiled-only phase"
+    );
+    let polls_before = vm
+        .metrics()
+        .on()
+        .map(|m| m.vm.safepoint_polls.get())
+        .unwrap();
+
+    // Make `cold` cross the threshold — its final call enqueues the
+    // background request — then immediately enter a long compiled-only
+    // loop. The install may only happen at a back-edge safepoint inside
+    // that call (or, if the worker wins the race to the call, at its
+    // entry drain); either way no further drain opportunity exists after
+    // the loop returns.
+    // One call past the threshold: the request is issued by the call that
+    // *observes* the crossed count.
+    for i in 0..11 {
+        vm.call_entry("cold", &[Value::Int(i)]).unwrap();
+    }
+    let mut attempts = 0;
+    while vm.compiled(cold).is_none() {
+        attempts += 1;
+        assert!(
+            attempts <= 10,
+            "background install starved through {attempts} compiled-only loops"
+        );
+        vm.call_entry("hotloop", &[Value::Int(300_000)]).unwrap();
+    }
+    let polls_after = vm
+        .metrics()
+        .on()
+        .map(|m| m.vm.safepoint_polls.get())
+        .unwrap();
+    assert!(
+        polls_after > polls_before,
+        "compiled loop issued no back-edge safepoint polls"
+    );
+}
+
 /// Small random workloads assembled from the corpus generator's patterns.
 fn pattern() -> impl Strategy<Value = Pattern> {
     prop_oneof![

@@ -12,6 +12,7 @@
 //! | [`Pattern::IteratorSum`] | iterator objects over arrays | iterator scalar-replaced, array survives |
 //! | [`Pattern::SyncCounter`] | synchronized accumulators (tomcat, jbb) | allocation + **lock elision** |
 //! | [`Pattern::EscapeHeavy`] | objects published to shared structures | no win (true escapes) |
+//! | [`Pattern::PublishViaHelper`] | registration/listener helpers publishing their argument | no win; only `pea-pre-ipa` pre-filters the sites |
 //! | [`Pattern::MixedEscape`] | occasional publication on a return path | partial escape: materialize 1/N |
 //! | [`Pattern::ScratchVector`] | vector-math temporaries (sunflow) | temporaries scalar-replaced |
 //! | [`Pattern::ArrayFill`] | buffer/array churn (xalan, tmt) | arrays survive (bytes dominated) |
@@ -59,6 +60,17 @@ pub enum Pattern {
         n: i64,
         /// Pool size.
         pool: i64,
+    },
+    /// `n` fresh events handed straight to a registration helper that
+    /// publishes its argument to a static on every path (one directly,
+    /// one through a relay). True escapes like [`Pattern::EscapeHeavy`],
+    /// but the publication happens in the *callee*: only the
+    /// interprocedural summaries (`pea-pre-ipa`) can pre-filter these
+    /// sites; the intraprocedural `pea-pre` filter cannot see past the
+    /// call.
+    PublishViaHelper {
+        /// Inner repetitions.
+        n: i64,
     },
     /// `n` records; every `escape_every`-th is published on a separate
     /// return path (the Listing 4 shape).
@@ -316,6 +328,42 @@ Lz{s}:
 "
                 );
             }
+            Pattern::PublishViaHelper { n } => {
+                // `new Ev; invokestatic pub` / `new Ev; invokestatic
+                // relay`: the fresh object is the call's only argument and
+                // the callee's first action is `putstatic` (directly, or
+                // through one relay hop) — the must-publish shape the
+                // summary analysis proves and `excluded_sites` keys on.
+                let _ = write!(
+                    out,
+                    "
+class Ev{s} {{ field v int }}
+static reg{s} ref
+method pub{s} 1 {{
+    load 0 putstatic reg{s}
+    ret
+}}
+method relay{s} 1 {{
+    load 0 invokestatic pub{s}
+    ret
+}}
+method p{s} 1 returns {{
+    const 0 store 1
+    const 0 store 2
+Lh{s}:
+    load 2 const {n} ifcmp ge Ld{s}
+    new Ev{s} invokestatic pub{s}
+    new Ev{s} invokestatic relay{s}
+    getstatic reg{s} checkcast Ev{s} getfield Ev{s}.v
+    load 1 add load 2 add store 1
+    load 2 const 1 add store 2
+    goto Lh{s}
+Ld{s}:
+    load 1 retv
+}}
+"
+                );
+            }
             Pattern::MixedEscape { n, escape_every } => {
                 let _ = write!(
                     out,
@@ -552,6 +600,7 @@ mod tests {
             Pattern::IteratorSum { len: 40 },
             Pattern::SyncCounter { n: 10 },
             Pattern::EscapeHeavy { n: 10, pool: 8 },
+            Pattern::PublishViaHelper { n: 10 },
             Pattern::MixedEscape {
                 n: 10,
                 escape_every: 4,

@@ -154,6 +154,7 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
             false,
             vec![
                 EscapeHeavy { n: 60, pool: 64 },
+                PublishViaHelper { n: 20 },
                 ArrayFill { n: 8, len: 16 },
                 Ballast { n: 2000 },
             ],
@@ -208,6 +209,7 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
             false,
             vec![
                 EscapeHeavy { n: 100, pool: 64 },
+                PublishViaHelper { n: 30 },
                 ArrayFill { n: 10, len: 48 },
                 Ballast { n: 2000 },
             ],

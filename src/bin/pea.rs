@@ -1,7 +1,8 @@
 //! `pea` — command-line driver for the PEA virtual machine and compiler.
 //!
 //! ```text
-//! pea run <file.asm> <entry> [args...] [--level none|ees|pea|pea-pre]
+//! pea run <file.asm> <entry> [args...] [--level none|ees|pea|pea-pre|pea-pre-ipa]
+//!         [--inline-policy size|summary]
 //!         [--interp] [--jit-mode sync|background] [--checked]
 //!         [--trace|--trace-json [PATH]]                # + VM/PEA event log
 //!         [--metrics] [--metrics-json PATH] [--metrics-prom PATH]
@@ -25,7 +26,7 @@
 //! ```
 
 use pea::bytecode::asm::parse_program;
-use pea::compiler::{compile, compile_traced, CompilerOptions, OptLevel};
+use pea::compiler::{compile, compile_traced, CompilerOptions, InlinePolicy, OptLevel};
 use pea::metrics::export::{
     create_file_with_dirs, render_json, render_prometheus, render_text, write_with_dirs,
 };
@@ -48,10 +49,26 @@ fn parse_level(args: &[String]) -> OptLevel {
         Some("ees") => OptLevel::Ees,
         Some("pea") | None => OptLevel::Pea,
         Some("pea-pre") => OptLevel::PeaPre,
+        Some("pea-pre-ipa") => OptLevel::PeaPreIpa,
         Some(other) => {
-            eprintln!("unknown level `{other}` (none|ees|pea|pea-pre)");
+            eprintln!("unknown level `{other}` (none|ees|pea|pea-pre|pea-pre-ipa)");
             std::process::exit(2);
         }
+    }
+}
+
+/// The `--inline-policy size|summary` flag (default: size).
+fn parse_inline_policy(args: &[String]) -> InlinePolicy {
+    match args
+        .iter()
+        .position(|a| a == "--inline-policy")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(word) => word.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => InlinePolicy::Size,
     }
 }
 
@@ -112,7 +129,7 @@ fn write_output(path: &str, contents: &str) {
 
 fn cmd_run(args: &[String]) -> ExitCode {
     let [path, entry, rest @ ..] = args else {
-        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--interp] [--warmup N] [--jit-mode sync|background] [--checked] [--trace|--trace-json [PATH]] [--metrics] [--metrics-json PATH] [--metrics-prom PATH] [--profile-in PATH] [--profile-out PATH]");
+        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--inline-policy size|summary] [--interp] [--warmup N] [--jit-mode sync|background] [--checked] [--trace|--trace-json [PATH]] [--metrics] [--metrics-json PATH] [--metrics-prom PATH] [--profile-in PATH] [--profile-out PATH]");
         return ExitCode::from(2);
     };
     let program = load(path);
@@ -142,6 +159,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     } else {
         VmOptions::with_opt_level(parse_level(rest))
     };
+    options.compiler.build.inline_policy = parse_inline_policy(rest);
     if let Some(mode) = rest
         .iter()
         .position(|a| a == "--jit-mode")
@@ -233,7 +251,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
 /// decision the compiler makes to stdout.
 fn cmd_trace(args: &[String], json: bool) -> ExitCode {
     let [path, rest @ ..] = args else {
-        eprintln!("usage: pea trace <file.asm> [method] [--level L] [--json]");
+        eprintln!("usage: pea trace <file.asm> [method] [--level L] [--inline-policy P] [--json]");
         return ExitCode::from(2);
     };
     let json = json || rest.iter().any(|a| a == "--json" || a == "--trace-json");
@@ -257,7 +275,8 @@ fn cmd_trace(args: &[String], json: bool) -> ExitCode {
     } else {
         Box::new(PrettySink::new(std::io::stdout()))
     };
-    let options = CompilerOptions::with_opt_level(level);
+    let mut options = CompilerOptions::with_opt_level(level);
+    options.build.inline_policy = parse_inline_policy(rest);
     for method in methods {
         if let Err(e) = compile_traced(&program, method, None, &options, sink.as_mut()) {
             eprintln!(
@@ -282,12 +301,9 @@ fn compiled_for(args: &[String]) -> Option<(pea::compiler::CompiledMethod, Strin
             eprintln!("no static method `{method_name}`");
             std::process::exit(2);
         });
-    match compile(
-        &program,
-        method,
-        None,
-        &CompilerOptions::with_opt_level(level),
-    ) {
+    let mut options = CompilerOptions::with_opt_level(level);
+    options.build.inline_policy = parse_inline_policy(rest);
+    match compile(&program, method, None, &options) {
         Ok(code) => Some((code, method_name.clone())),
         Err(e) => {
             eprintln!("compilation bailout: {e}");

@@ -173,3 +173,132 @@ fn prefilter_skips_immediate_global_but_preserves_behavior() {
     // materializing the escaping site.
     assert!(pre_result.virtualized_allocs < pea_result.virtualized_allocs);
 }
+
+#[test]
+fn ipa_prefilter_excludes_callee_published_sites_with_aligned_artifacts() {
+    // `f` has three allocation sites: one published immediately
+    // (`pea-pre` excludes it), one handed straight to a helper that
+    // publishes its argument on every path (only `pea-pre-ipa` can
+    // exclude it — the publication is in the callee), and one that PEA
+    // scalar-replaces at every level. `f2` only has sites both filters
+    // agree on, so its artifact must be byte-identical across them.
+    let src = "
+        class C { field v int }
+        static g ref
+        static h ref
+        method publish 1 {
+            load 0 putstatic h
+            ret
+        }
+        method f 1 returns {
+            new C putstatic g
+            new C invokestatic publish
+            new C store 1
+            load 1 load 0 putfield C.v
+            load 1 getfield C.v const 1 add retv
+        }
+        method f2 1 returns {
+            new C putstatic g
+            new C store 1
+            load 1 load 0 putfield C.v
+            load 1 getfield C.v const 2 add retv
+        }";
+    let mut results = Vec::new();
+    for level in [OptLevel::Pea, OptLevel::PeaPre, OptLevel::PeaPreIpa] {
+        let program = parse_program(src).unwrap();
+        let mut options = VmOptions::with_opt_level(level);
+        options.compile_threshold = 5;
+        options.checked = level == OptLevel::Pea;
+        let mut vm = Vm::new(program, options);
+        for i in 0..50 {
+            assert_eq!(
+                vm.call_entry("f", &[Value::Int(i)]).unwrap(),
+                Some(Value::Int(i + 1))
+            );
+            assert_eq!(
+                vm.call_entry("f2", &[Value::Int(i)]).unwrap(),
+                Some(Value::Int(i + 2))
+            );
+        }
+        let f = vm.program().static_method_by_name("f").unwrap();
+        let f2 = vm.program().static_method_by_name("f2").unwrap();
+        let before = vm.stats();
+        vm.call_entry("f", &[Value::Int(9)]).unwrap();
+        let delta = vm.stats().delta(&before);
+        let code = vm.compiled(f).expect("f is hot");
+        results.push((
+            delta.alloc_count,
+            code.pea_result,
+            pea::ir::dump::dump(&vm.compiled(f2).expect("f2 is hot").graph),
+        ));
+    }
+    let (pea_allocs, pea_result, pea_dump2) = &results[0];
+    let (pre_allocs, pre_result, pre_dump2) = &results[1];
+    let (ipa_allocs, ipa_result, ipa_dump2) = &results[2];
+    // Exclusion counts on `f` grow strictly: 0 (plain PEA) → 1 (immediate
+    // putstatic) → 2 (+ the callee-published site) — the IPA filter is a
+    // strict superset here...
+    assert_eq!(pea_result.prefiltered_allocs, 0);
+    assert_eq!(pre_result.prefiltered_allocs, 1);
+    assert_eq!(
+        ipa_result.prefiltered_allocs, 2,
+        "the summary filter must also exclude the callee-published site"
+    );
+    assert!(ipa_result.virtualized_allocs < pre_result.virtualized_allocs);
+    // ...while runtime behavior is unchanged: both filtered sites are
+    // true escapes PEA would have materialized right back anyway.
+    assert_eq!(pea_allocs, pre_allocs, "identical steady-state allocation");
+    assert_eq!(pea_allocs, ipa_allocs, "identical steady-state allocation");
+    // And on `f2`, where both filters exclude the same set, the compiled
+    // artifacts are byte-identical.
+    assert_eq!(
+        pre_dump2, ipa_dump2,
+        "equal exclusion sets must yield identical pea-pre / pea-pre-ipa artifacts"
+    );
+    assert_ne!(
+        pea_dump2, pre_dump2,
+        "the filtered artifact keeps the plain New instead of a Commit group"
+    );
+}
+
+/// Acceptance gate for the summary-driven inlining policy: on every
+/// corpus program it must virtualize at least as many allocations as the
+/// size-budget baseline — in both JIT modes, with the checked-mode
+/// sanitizer cross-checking every PEA decision along the way.
+#[test]
+fn summary_inline_virtualizes_at_least_size_on_corpus() {
+    use pea::compiler::InlinePolicy;
+    for w in pea::workloads::all_workloads() {
+        for mode in [JitMode::Sync, JitMode::Background] {
+            let mut virtualized = Vec::new();
+            for policy in [InlinePolicy::Size, InlinePolicy::Summary] {
+                let mut options = VmOptions::with_opt_level(OptLevel::Pea);
+                options.compile_threshold = 5;
+                options.checked = true;
+                options.jit_mode = mode;
+                options.compiler.build.inline_policy = policy;
+                let mut vm = Vm::new(w.program.clone(), options);
+                for i in 0..25 {
+                    vm.call_entry("iterate", &[Value::Int(i)])
+                        .unwrap_or_else(|e| panic!("{} under {policy}: {e}", w.name));
+                }
+                if mode == JitMode::Background {
+                    vm.await_background_compiles();
+                }
+                let total: usize = vm
+                    .compiled_methods()
+                    .iter()
+                    .map(|&m| vm.compiled(m).unwrap().pea_result.virtualized_allocs)
+                    .sum();
+                virtualized.push(total);
+            }
+            assert!(
+                virtualized[1] >= virtualized[0],
+                "{} ({mode:?}): summary policy virtualized {} < size policy's {}",
+                w.name,
+                virtualized[1],
+                virtualized[0]
+            );
+        }
+    }
+}

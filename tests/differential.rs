@@ -337,12 +337,16 @@ fn configs() -> Vec<(&'static str, VmOptions)> {
         o.compile_threshold = 3;
         o
     };
+    let mut summary_opts = low(OptLevel::Pea);
+    summary_opts.compiler.build.inline_policy = pea::compiler::InlinePolicy::Summary;
     vec![
         ("interp", VmOptions::interpreter_only()),
         ("jit-none", low(OptLevel::None)),
         ("jit-ees", low(OptLevel::Ees)),
         ("jit-pea", low(OptLevel::Pea)),
         ("jit-pea-pre", low(OptLevel::PeaPre)),
+        ("jit-pea-pre-ipa", low(OptLevel::PeaPreIpa)),
+        ("jit-pea-summary-inline", summary_opts),
         ("jit-pea-speculative", spec_opts),
     ]
 }
@@ -397,15 +401,31 @@ proptest! {
         );
         // The static pre-filter only withholds provably-escaping sites
         // from PEA, so it keeps the same guarantee.
-        let pre = alloc_counts
+        for filtered in ["jit-pea-pre", "jit-pea-pre-ipa"] {
+            let pre = alloc_counts
+                .iter()
+                .find(|(n, _)| *n == filtered)
+                .unwrap()
+                .1;
+            prop_assert!(
+                pre <= none,
+                "{}: pre-filtered PEA allocated more than baseline: {} > {}",
+                filtered,
+                pre,
+                none
+            );
+        }
+        // The summary inline policy is built to virtualize at least as
+        // much as the size policy, so it keeps the same guarantee too.
+        let summary = alloc_counts
             .iter()
-            .find(|(n, _)| n == "jit-pea-pre")
+            .find(|(n, _)| n == "jit-pea-summary-inline")
             .unwrap()
             .1;
         prop_assert!(
-            pre <= none,
-            "pre-filtered PEA allocated more than baseline: {} > {}",
-            pre,
+            summary <= none,
+            "summary-inline PEA allocated more than baseline: {} > {}",
+            summary,
             none
         );
     }
