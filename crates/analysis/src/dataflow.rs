@@ -107,6 +107,20 @@ pub trait ForwardAnalysis {
         insn: Insn,
         state: &mut Self::State,
     );
+
+    /// The state on entry to an exception handler. The framework propagates
+    /// one post-transfer state to *all* successors, so it cannot model the
+    /// JVM's exceptional transfer (operand stack cleared to just the caught
+    /// exception) edge-precisely; instead, analyses that must see handler
+    /// code return a conservative handler-entry state here and the solver
+    /// seeds every `exception_table` handler bci with it. `None` (the
+    /// default) leaves handlers reachable only through normal control flow,
+    /// which is correct for analyses that do not model exceptions at all —
+    /// but note their transfer functions then never run on handler-only
+    /// blocks.
+    fn handler_boundary(&mut self, _program: &Program, _method: &Method) -> Option<Self::State> {
+        None
+    }
 }
 
 /// Runs `analysis` to a fixpoint and returns the state *entering* each
@@ -123,6 +137,24 @@ pub fn solve_forward<A: ForwardAnalysis>(
     }
     input[0] = Some(analysis.boundary(program, method));
     let mut work = vec![0usize];
+    if !method.exception_table.is_empty() {
+        if let Some(entry_state) = analysis.handler_boundary(program, method) {
+            for e in &method.exception_table {
+                let h = e.handler as usize;
+                match &mut input[h] {
+                    Some(existing) => {
+                        if A::join(existing, &entry_state) {
+                            work.push(h);
+                        }
+                    }
+                    slot @ None => {
+                        *slot = Some(entry_state.clone());
+                        work.push(h);
+                    }
+                }
+            }
+        }
+    }
     while let Some(bci) = work.pop() {
         let mut state = input[bci].clone().expect("worklist entries have states");
         let insn = code[bci];
@@ -175,9 +207,29 @@ pub fn solve_backward<A: BackwardAnalysis>(
     analysis: &mut A,
 ) -> Vec<Option<A::State>> {
     let code = &method.code;
+    // Normal successors plus exceptional edges: any instruction inside a
+    // protected range may (after interpreter-side unwinding) transfer to
+    // the handler, so facts holding before the handler must hold after
+    // every covered bci. Over-approximate — only throw sites and calls can
+    // actually take the edge — which is the safe direction for backward
+    // may-analyses like liveness.
+    let mut succs: Vec<Vec<usize>> = code
+        .iter()
+        .enumerate()
+        .map(|(bci, &insn)| successors(insn, bci).collect())
+        .collect();
+    for e in &method.exception_table {
+        let h = e.handler as usize;
+        let end = (e.end as usize).min(code.len());
+        for out in &mut succs[e.start as usize..end] {
+            if !out.contains(&h) {
+                out.push(h);
+            }
+        }
+    }
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); code.len()];
-    for (bci, &insn) in code.iter().enumerate() {
-        for succ in successors(insn, bci) {
+    for (bci, out) in succs.iter().enumerate() {
+        for &succ in out {
             preds[succ].push(bci);
         }
     }
@@ -192,7 +244,7 @@ pub fn solve_backward<A: BackwardAnalysis>(
         } else {
             None
         };
-        for succ in successors(insn, bci) {
+        for &succ in &succs[bci] {
             if let Some(s) = &before[succ] {
                 match &mut after {
                     Some(a) => {
@@ -341,6 +393,101 @@ mod tests {
         // On entry, local 0 is live but local 1 is not yet.
         let entry = live[0].as_ref().unwrap();
         assert!(entry.contains(0) && !entry.contains(1));
+    }
+
+    #[test]
+    fn handler_blocks_reach_only_via_boundary_hook() {
+        let program = parse_program(
+            "class Err { }
+             method m 1 returns {
+                try Ls Le Lh *
+             Ls:
+                load 0 const 0 ifcmp eq Ld
+                new Err athrow
+             Le:
+             Ld: const 0 retv
+             Lh: pop const 1 retv
+             }",
+        )
+        .unwrap();
+        let method = &program.methods[0];
+        let handler = method.exception_table[0].handler as usize;
+        assert!(matches!(method.code[handler], Insn::Pop));
+
+        struct Height {
+            seed_handlers: bool,
+        }
+        impl ForwardAnalysis for Height {
+            type State = usize;
+            fn boundary(&mut self, _p: &Program, _m: &Method) -> usize {
+                0
+            }
+            fn join(a: &mut usize, b: &usize) -> bool {
+                let next = (*a).max(*b);
+                let changed = next != *a;
+                *a = next;
+                changed
+            }
+            fn transfer(&mut self, _p: &Program, _m: &Method, _b: usize, i: Insn, s: &mut usize) {
+                *s = s.saturating_sub(i.pops()) + i.pushes();
+            }
+            fn handler_boundary(&mut self, _p: &Program, _m: &Method) -> Option<usize> {
+                // Handler entry: stack holds exactly the caught exception.
+                self.seed_handlers.then_some(1)
+            }
+        }
+        // Default (no hook): the handler block is unreachable.
+        let states = solve_forward(
+            &program,
+            method,
+            &mut Height {
+                seed_handlers: false,
+            },
+        );
+        assert!(states[handler].is_none());
+        // With the hook the handler is solved, entering at height 1.
+        let states = solve_forward(
+            &program,
+            method,
+            &mut Height {
+                seed_handlers: true,
+            },
+        );
+        assert_eq!(states[handler], Some(1));
+    }
+
+    #[test]
+    fn liveness_sees_handler_only_uses_throughout_try_range() {
+        // Local 1 is written before the try region and read only in the
+        // handler: the exceptional edges must keep it live across the
+        // entire protected range, else a deopt inside the try would drop
+        // a value the handler still needs.
+        let program = parse_program(
+            "class Err { }
+             method m 1 returns {
+                const 7 store 1
+                try Ls Le Lh *
+             Ls:
+                load 0 const 0 ifcmp eq Ld
+                new Err athrow
+             Le:
+             Ld: const 0 retv
+             Lh: pop load 1 retv
+             }",
+        )
+        .unwrap();
+        let method = &program.methods[0];
+        let live = live_locals(&program, method);
+        let entry = method.exception_table[0];
+        for bci in entry.start..entry.end {
+            assert!(
+                live[bci as usize].as_ref().unwrap().contains(1),
+                "local 1 must stay live at covered bci {bci}"
+            );
+        }
+        // After the protected range ends the local is genuinely dead.
+        let at_ret = live[entry.end as usize].as_ref().unwrap();
+        assert!(!at_ret.contains(1));
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct EscapeSummary {
     /// own allocation sites — inlining the method exposes a fresh
     /// allocation to the caller's compilation unit.
     pub returns_fresh: bool,
+    /// Some `athrow` in this method may throw one of its own allocation
+    /// sites — the site is published through the exception edge and PEA
+    /// materializes it at the throw (`thrown-escape`).
+    pub throws_fresh: bool,
 }
 
 impl EscapeSummary {
@@ -126,12 +130,20 @@ pub fn alloc_sites(method: &Method) -> Vec<(u32, AllocKind)> {
 }
 
 /// Bcis of allocations whose fresh reference is consumed by an immediately
-/// following `putstatic` — the syntactic subset of `GlobalEscape` that is
-/// safe to exclude from PEA regardless of inlining context.
+/// following `putstatic` or `athrow` — the syntactic subset of
+/// `GlobalEscape` that is safe to exclude from PEA regardless of inlining
+/// context. An exception edge is a publication point just like a static
+/// store: the thrown object surfaces to an unknown handler, so a site that
+/// feeds `athrow` directly can never stay virtual past its allocation.
 pub fn immediate_global_sites(method: &Method) -> Vec<u32> {
     alloc_sites(method)
         .into_iter()
-        .filter(|&(bci, _)| matches!(method.code.get(bci as usize + 1), Some(Insn::PutStatic(_))))
+        .filter(|&(bci, _)| {
+            matches!(
+                method.code.get(bci as usize + 1),
+                Some(Insn::PutStatic(_) | Insn::Athrow)
+            )
+        })
         .map(|(bci, _)| bci)
         .collect()
 }
@@ -174,6 +186,8 @@ struct EscapeFlow<'a> {
     called: BitSet,
     /// Sources observed as return values.
     returned: BitSet,
+    /// Sources observed as `athrow` operands.
+    thrown: BitSet,
     /// Optional per-callee parameter verdicts (interprocedural mode).
     oracle: Option<&'a dyn CalleeOracle>,
     /// Any global fact grew during the current solver pass.
@@ -276,6 +290,25 @@ impl ForwardAnalysis for EscapeFlow<'_> {
         changed
     }
 
+    fn handler_boundary(&mut self, _program: &Program, method: &Method) -> Option<Frame> {
+        // Catch handlers enter with the operand stack cleared to just the
+        // caught exception. Flow-insensitively we know neither which throw
+        // site reached the handler nor what the locals held at that point,
+        // so every slot gets the full source universe: any site, any
+        // parameter, or unknown (a callee's exception dispatches in this
+        // frame too). Anything the handler publishes is then raised for
+        // *all* sources — coarse, but sound, and the module contract only
+        // promises that `NoEscape` is definitive.
+        let mut all = self.empty();
+        for src in 0..self.n_sources() {
+            all.insert(src);
+        }
+        Some(Frame {
+            locals: vec![all.clone(); method.max_locals as usize],
+            stack: vec![all],
+        })
+    }
+
     fn transfer(
         &mut self,
         program: &Program,
@@ -376,6 +409,18 @@ impl ForwardAnalysis for EscapeFlow<'_> {
                 let value = state.stack.pop().expect("verified stack");
                 self.raise(&value, EscapeClass::GlobalEscape);
             }
+            Insn::Athrow => {
+                // The exception edge is a publication point: once thrown,
+                // the object is visible to handler code here or in any
+                // (transitive) caller, and PEA materializes it at the
+                // corresponding `Unwind` exit. Flow-insensitively we cannot
+                // tell a locally-caught throw from an escaping one, so
+                // raise to GlobalEscape — PEA staying more optimistic on
+                // caught paths is exactly the allowed direction.
+                let value = state.stack.pop().expect("verified stack");
+                self.raise(&value, EscapeClass::GlobalEscape);
+                self.grew |= self.thrown.union_with(&value);
+            }
             Insn::CheckCast(_) => {} // identity on the reference
             Insn::InstanceOf(_) | Insn::ArrayLength | Insn::Neg => {
                 state.stack.pop();
@@ -422,6 +467,7 @@ pub fn analyze_method_with(
         locked: BitSet::new(n_sources),
         called: BitSet::new(n_sources),
         returned: BitSet::new(n_sources),
+        thrown: BitSet::new(n_sources),
         oracle,
         grew: false,
     };
@@ -467,6 +513,7 @@ pub fn analyze_method_with(
     let returns_fresh = method.returns_value
         && flow.returned.iter().next().is_some()
         && flow.returned.iter().all(|src| src < n_sites);
+    let throws_fresh = flow.thrown.iter().any(|src| src < n_sites);
     EscapeSummary {
         method: method_id,
         sites: sites
@@ -483,6 +530,7 @@ pub fn analyze_method_with(
             .collect(),
         param_escape: (0..n_params).map(|p| flow.escape[n_sites + p]).collect(),
         returns_fresh,
+        throws_fresh,
     }
 }
 
@@ -656,6 +704,97 @@ mod tests {
         );
         assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape, "the array");
         assert_eq!(s.sites[1].escape, EscapeClass::GlobalEscape, "the element");
+    }
+
+    #[test]
+    fn thrown_allocation_global_escapes_and_is_fresh() {
+        // The exception edge is a publication point: a thrown site must
+        // never be NoEscape, and the summary records the fresh throw.
+        let s = summary(
+            "class Err { field code int }
+             method m 1 {
+                load 0 const 0 ifcmp eq Ldone
+                new Err athrow
+             Ldone: ret
+             }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape);
+        assert!(s.throws_fresh);
+        // `new Err athrow` is a throw-publishing site: the syntactic
+        // pre-filter must exclude it just like `new ... putstatic`.
+        assert!(s.sites[0].immediate_global);
+    }
+
+    #[test]
+    fn stored_then_thrown_allocation_is_not_immediate() {
+        // Publication through a local is real (GlobalEscape) but not
+        // syntactically immediate — only the flow analysis sees it.
+        let s = summary(
+            "class Err { field code int }
+             method m 1 {
+                new Err store 1
+                load 1 load 0 putfield Err.code
+                load 1 athrow
+             }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape);
+        assert!(s.throws_fresh);
+        assert!(!s.sites[0].immediate_global);
+    }
+
+    #[test]
+    fn rethrown_parameter_is_not_a_fresh_throw() {
+        let s = summary("method m 1 { load 0 athrow }", "m");
+        assert!(s.sites.is_empty());
+        assert!(!s.throws_fresh);
+        assert_eq!(s.param_escape, vec![EscapeClass::GlobalEscape]);
+    }
+
+    #[test]
+    fn publication_inside_catch_handler_is_seen() {
+        // The handler block is reachable only through the exceptional edge;
+        // without handler seeding the putstatic below would never be
+        // analyzed and the Box would keep an (unsound) NoEscape verdict.
+        let s = summary(
+            "class Box { field v int }
+             class Err { }
+             static g ref
+             method m 1 {
+                try Ls Le Lh *
+             Ls:
+                new Box store 1
+                load 0 const 0 ifcmp eq Ldone
+                new Err athrow
+             Le:
+             Ldone: ret
+             Lh:
+                pop
+                load 1 putstatic g
+                ret
+             }",
+            "m",
+        );
+        let boxsite = s.site_at(0).expect("new Box is the bci-0 site");
+        assert_eq!(boxsite.escape, EscapeClass::GlobalEscape);
+    }
+
+    #[test]
+    fn method_without_handlers_is_unaffected_by_seeding() {
+        // Sanity: the conservative handler state only applies to methods
+        // that actually have exception tables.
+        let s = summary(
+            "class Box { field v int }
+             method m 1 returns {
+                new Box store 1
+                load 1 load 0 putfield Box.v
+                load 1 getfield Box.v retv
+             }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::NoEscape);
+        assert!(!s.throws_fresh);
     }
 
     #[test]

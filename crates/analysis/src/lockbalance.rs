@@ -269,6 +269,14 @@ impl ForwardAnalysis for LockFlow {
                 // releases to account for.
                 state.stack.pop();
             }
+            Insn::Athrow => {
+                // A catchable throw. Which monitors are still held depends
+                // on which handler (here or in a caller) catches it, and
+                // well-formed try-finally regions release in the handler —
+                // a path this per-bci lattice cannot follow, so holding
+                // locks at an `athrow` is not reported as a finding.
+                state.stack.pop();
+            }
             other => {
                 let empty = self.empty();
                 for _ in 0..other.pops() {
@@ -437,6 +445,37 @@ mod tests {
             "m",
         );
         assert!(s.balanced(), "{:?}", s.findings);
+    }
+
+    #[test]
+    fn try_finally_lock_region_is_clean() {
+        // The canonical try-finally lowering: lock, protected body, exit on
+        // both the normal path and the catch-all handler (which rethrows).
+        // Neither the athrow nor the handler-side exit may produce
+        // findings, and the depth bound still comes from the enter.
+        let s = locks(
+            &format!(
+                "{BOX} class Err {{ }}
+                 method m 1 {{
+                    new Box store 1
+                    load 1 monitorenter
+                    try Ls Le Lh *
+                 Ls:
+                    load 0 const 0 ifcmp eq Le
+                    new Err athrow
+                 Le:
+                    load 1 monitorexit
+                    ret
+                 Lh:
+                    pop
+                    load 1 monitorexit
+                    ret
+                 }}"
+            ),
+            "m",
+        );
+        assert!(s.balanced(), "{:?}", s.findings);
+        assert_eq!(s.max_depth[0], 1);
     }
 
     #[test]

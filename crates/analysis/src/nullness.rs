@@ -104,6 +104,19 @@ impl ForwardAnalysis for NullFlow {
         }
     }
 
+    fn handler_boundary(&mut self, _program: &Program, method: &Method) -> Option<NullFrame> {
+        // Handler code must be analyzed too (it dereferences the caught
+        // exception and whatever locals the try block left behind). Locals
+        // are assumed assigned-to-anything — the unwound path may have
+        // skipped stores, so claiming UNASSIGNED here would fabricate
+        // read-before-store findings on perfectly normal catch blocks. The
+        // caught exception on the stack is always a real object.
+        Some(NullFrame {
+            locals: vec![NULL | NONNULL; method.max_locals as usize],
+            stack: vec![NONNULL],
+        })
+    }
+
     fn join(a: &mut NullFrame, b: &NullFrame) -> bool {
         let mut changed = false;
         for (x, y) in a.locals.iter_mut().zip(&b.locals) {
@@ -324,6 +337,31 @@ mod tests {
         );
         assert!(s.findings.is_empty());
         assert_eq!(s.maybe_null_derefs, 1);
+    }
+
+    #[test]
+    fn catch_handler_code_is_analyzed_without_false_positives() {
+        // The handler dereferences the caught exception (always non-null)
+        // and a local the try block may or may not have stored: neither is
+        // a finding, but the definitely-null deref after it still is.
+        let s = nullness(
+            "class Err { field code int }
+             method m 1 returns {
+                try Ls Le Lh Err
+             Ls:
+                load 0 const 0 ifcmp eq Ld
+                new Err athrow
+             Le:
+             Ld: const 0 retv
+             Lh:
+                getfield Err.code
+                store 1
+                cnull getfield Err.code retv
+             }",
+            "m",
+        );
+        assert_eq!(s.findings.len(), 1, "{:?}", s.findings);
+        assert_eq!(s.findings[0].kind, NullFindingKind::DefiniteNullDeref);
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //!
 //! * an allocation the static analysis classifies `NoEscape` can never
 //!   materialize for a *direct escape* reason — reaching a residual call
-//!   argument, a return, or a throw requires a corresponding bytecode-level
-//!   flow the pre-analysis would have seen (stores into escaped containers
-//!   are excluded: the *container's* dynamic state decides those);
+//!   argument, a return, a throw, or an `Unwind` exit (`thrown-escape`)
+//!   requires a corresponding bytecode-level flow the pre-analysis would
+//!   have seen (the exception edge is a publication point there too:
+//!   `athrow` raises its operand set in the pre-analysis, so a thrown site
+//!   is never NoEscape; stores into escaped containers are excluded — the
+//!   *container's* dynamic state decides those);
 //! * a `LockElided` event on a site the static analysis proves is never a
 //!   monitor operand (and never reaches a callee or escapes) is a phantom
 //!   lock;
@@ -168,6 +171,7 @@ pub fn check_compilation(
                     MaterializeReason::CallArgument
                         | MaterializeReason::ReturnValue
                         | MaterializeReason::ThrowValue
+                        | MaterializeReason::ThrownEscape
                 ) {
                     entry.escape_reasons.push(*reason);
                     if let Ok(verdict) = lookup(program, verdicts, graph, *site) {
@@ -500,6 +504,73 @@ mod tests {
             reason: MaterializeReason::EscapeToStore,
         }];
         assert!(check_compilation(&program, &v, m, &graph, &store).is_empty());
+    }
+
+    #[test]
+    fn thrown_escape_on_no_escape_site_is_flagged() {
+        // A NoEscape proof means the object can never reach an `Unwind`
+        // exit: a thrown-escape materialization on it is a compiler bug.
+        let (program, v) = verdicts_for(
+            "class Box { field v int }
+             method m 1 returns {
+                new Box store 1
+                load 1 load 0 putfield Box.v
+                load 1 getfield Box.v retv
+             }",
+        );
+        let m = program.static_method_by_name("m").unwrap();
+        let mut graph = Graph::new();
+        let alloc = graph.add(
+            NodeKind::New {
+                class: pea_bytecode::ClassId::from_index(0),
+            },
+            vec![],
+        );
+        graph.set_provenance(alloc, m, 0);
+        let events = vec![TraceEvent::Materialized {
+            site: alloc.index() as u32,
+            anchor: 9,
+            block: 2,
+            reason: MaterializeReason::ThrownEscape,
+        }];
+        let found = check_compilation(&program, &v, m, &graph, &events);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].detail.contains("thrown-escape"), "{found:?}");
+    }
+
+    #[test]
+    fn thrown_escape_on_thrown_site_is_clean() {
+        // The pre-analysis raises `athrow` operands, so a genuinely thrown
+        // site is GlobalEscape and its thrown-escape materialization passes.
+        let (program, v) = verdicts_for(
+            "class Err { field code int }
+             method m 1 {
+                load 0 const 0 ifcmp eq Ldone
+                new Err athrow
+             Ldone: ret
+             }",
+        );
+        let m = program.static_method_by_name("m").unwrap();
+        assert_eq!(
+            v.verdict(m, 3).unwrap().escape,
+            EscapeClass::GlobalEscape,
+            "thrown site must not be NoEscape"
+        );
+        let mut graph = Graph::new();
+        let alloc = graph.add(
+            NodeKind::New {
+                class: pea_bytecode::ClassId::from_index(0),
+            },
+            vec![],
+        );
+        graph.set_provenance(alloc, m, 3);
+        let events = vec![TraceEvent::Materialized {
+            site: alloc.index() as u32,
+            anchor: 4,
+            block: 1,
+            reason: MaterializeReason::ThrownEscape,
+        }];
+        assert!(check_compilation(&program, &v, m, &graph, &events).is_empty());
     }
 
     #[test]

@@ -138,6 +138,16 @@ pub struct MethodSummary {
     pub publishes_immediately: Vec<bool>,
     /// The method returns one of its own allocation sites.
     pub returns_fresh: bool,
+    /// An exception may be raised while this method is on the stack: it
+    /// contains an `athrow` itself or can reach one through a callee.
+    /// Syntactic over-approximation — a locally-caught throw still counts,
+    /// matching the compiler's may-throw inlining gate.
+    pub may_throw: bool,
+    /// Some `athrow` in this method may throw one of the method's own
+    /// allocation sites (see [`crate::escape::EscapeSummary::throws_fresh`]).
+    /// Always implies [`MethodSummary::may_throw`] — pealint checks the
+    /// implication as a summary invariant.
+    pub throws_fresh: bool,
     /// Allocation-site verdicts refined with callee knowledge. Compared
     /// to [`crate::escape::analyze_method`] these can only be *upgraded*
     /// (to `GlobalEscape` where a callee publishes the argument) — the
@@ -215,6 +225,7 @@ impl ProgramSummaries {
             }
         }
         let publishes = compute_immediate_publishes(program);
+        let may_throw = compute_may_throw(program, &graph);
         let oracle = TableOracle {
             graph: &graph,
             table: &table,
@@ -228,6 +239,8 @@ impl ProgramSummaries {
                     param_escape: s.param_escape,
                     publishes_immediately: publishes[mi].clone(),
                     returns_fresh: s.returns_fresh,
+                    may_throw: may_throw[mi],
+                    throws_fresh: s.throws_fresh,
                     sites: s.sites,
                 }
             })
@@ -289,6 +302,24 @@ impl ProgramSummaries {
         out.dedup();
         out
     }
+}
+
+/// Transitive closure of "contains an `athrow`" over the call graph:
+/// callers of a may-throw method may themselves surface an exception.
+/// Propagated caller-ward from the syntactic seeds; cycles converge because
+/// the property only ever flips `false → true`.
+fn compute_may_throw(program: &Program, graph: &CallGraph) -> Vec<bool> {
+    let mut may_throw: Vec<bool> = program.methods.iter().map(|m| m.has_athrow()).collect();
+    let mut queue: VecDeque<usize> = (0..may_throw.len()).filter(|&i| may_throw[i]).collect();
+    while let Some(mi) = queue.pop_front() {
+        for caller in graph.callers(MethodId::from_index(mi)) {
+            if !may_throw[caller.index()] {
+                may_throw[caller.index()] = true;
+                queue.push_back(caller.index());
+            }
+        }
+    }
+    may_throw
 }
 
 /// Least fixpoint of the syntactic "publishes parameter `p` before any
@@ -520,6 +551,47 @@ mod tests {
         );
         assert!(s.summary(method(&program, "mk")).returns_fresh);
         assert!(!s.summary(method(&program, "id")).returns_fresh);
+    }
+
+    #[test]
+    fn may_throw_propagates_caller_ward() {
+        let (program, s) = summaries(
+            "class Err { field code int }
+             method boom 1 {
+                load 0 const 0 ifcmp eq Ldone
+                new Err athrow
+             Ldone: ret
+             }
+             method wraps 1 { load 0 invokestatic boom ret }
+             method outer 1 { load 0 invokestatic wraps ret }
+             method calm 1 { ret }",
+        );
+        let boom = s.summary(method(&program, "boom"));
+        assert!(boom.may_throw);
+        assert!(boom.throws_fresh, "throws its own fresh Err");
+        // Callers inherit may-throw transitively but not throws_fresh
+        // (they throw nothing of their own).
+        let wraps = s.summary(method(&program, "wraps"));
+        let outer = s.summary(method(&program, "outer"));
+        assert!(wraps.may_throw && !wraps.throws_fresh);
+        assert!(outer.may_throw && !outer.throws_fresh);
+        let calm = s.summary(method(&program, "calm"));
+        assert!(!calm.may_throw && !calm.throws_fresh);
+    }
+
+    #[test]
+    fn throws_fresh_implies_may_throw_everywhere() {
+        // The invariant pealint re-checks over CALLGRAPH.json: a fresh
+        // throw requires a direct athrow, which is a may-throw seed.
+        let (_, s) = summaries(
+            "class Err { }
+             method rethrow 1 { load 0 athrow }
+             method fresh 0 { new Err athrow }
+             method caller 0 { invokestatic fresh ret }",
+        );
+        for m in s.all() {
+            assert!(!m.throws_fresh || m.may_throw, "method {:?}", m.method);
+        }
     }
 
     #[test]

@@ -9,16 +9,19 @@
 //! Besides the aggregate report, pealint emits a `CALLGRAPH.json`
 //! artifact: one flat JSON object per method (JSON lines) describing the
 //! interprocedural escape summary — parameter escape classes, whether the
-//! method returns a fresh allocation, its call-graph successors, and how
-//! many allocation sites the `pea-pre` / `pea-pre-ipa` pre-filters would
-//! exclude.
+//! method returns a fresh allocation, whether an exception may surface
+//! while it is on the stack (`may_throw`) and whether it may throw one of
+//! its own allocations (`throws_fresh`), its call-graph successors, and
+//! how many allocation sites the `pea-pre` / `pea-pre-ipa` pre-filters
+//! would exclude.
 //!
 //! The exit code is non-zero **only** when the sanitizer finds an
 //! inconsistency between a compilation's PEA decisions and the static
 //! escape verdicts, or when the interprocedural summaries are internally
 //! inconsistent (a must-publish parameter not classified `GlobalEscape`,
-//! an IPA exclusion set that is not a superset of the immediate one, or
-//! an unstable fixpoint) — those are compiler bugs, and CI fails on
+//! an IPA exclusion set that is not a superset of the immediate one, a
+//! `throws_fresh` method not marked `may_throw`, or an unstable
+//! fixpoint) — those are compiler bugs, and CI fails on
 //! them. Lock or nullness findings in corpus programs are reported but do
 //! not fail the run (the analyses flag patterns the verifier deliberately
 //! accepts).
@@ -108,9 +111,18 @@ fn lint_summaries(name: &str, program: &Program, report: &mut Report, lines: &mu
                  immediate putstatic sites {immediate:?}"
             );
         }
+        if summary.throws_fresh && !summary.may_throw {
+            report.inconsistencies += 1;
+            eprintln!(
+                "{name}/{qualified}: SUMMARY: throws_fresh without may_throw — a fresh \
+                 throw requires a direct athrow, which must seed may_throw"
+            );
+        }
         let other = &again.all()[index];
         if summary.param_escape != other.param_escape
             || summary.returns_fresh != other.returns_fresh
+            || summary.may_throw != other.may_throw
+            || summary.throws_fresh != other.throws_fresh
         {
             report.inconsistencies += 1;
             eprintln!("{name}/{qualified}: SUMMARY: fixpoint is not stable across recomputation");
@@ -128,6 +140,8 @@ fn lint_summaries(name: &str, program: &Program, report: &mut Report, lines: &mu
                 .collect::<Vec<_>>(),
         );
         o.bool("returns_fresh", summary.returns_fresh);
+        o.bool("may_throw", summary.may_throw);
+        o.bool("throws_fresh", summary.throws_fresh);
         o.str_array(
             "callees",
             &summaries

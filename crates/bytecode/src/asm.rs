@@ -612,6 +612,24 @@ fn assemble_body(
             "throw" => {
                 mb.throw();
             }
+            "athrow" => {
+                mb.athrow();
+            }
+            "try" => {
+                // try Lstart Lend Lhandler ClassName|*  — an exception-table
+                // entry covering [Lstart, Lend) with a typed (or catch-all)
+                // handler; entries match in declaration order.
+                let start = get_label(next(&mut i)?)?;
+                let end = get_label(next(&mut i)?)?;
+                let handler = get_label(next(&mut i)?)?;
+                let t = next(&mut i)?;
+                let catch_class = if t.text == "*" {
+                    None
+                } else {
+                    Some(get_class(t)?)
+                };
+                mb.exception_region(start, end, handler, catch_class);
+            }
             other => {
                 return Err(AsmError {
                     line: t.line,
@@ -728,6 +746,44 @@ mod tests {
         let p = parse_program("class A {}\nmethod f 0 {ret}").unwrap();
         assert_eq!(p.classes.len(), 1);
         assert_eq!(p.methods.len(), 1);
+    }
+
+    #[test]
+    fn parses_try_regions_and_athrow() {
+        let p = parse_program(
+            "class Err { field code int }
+             class IoErr extends Err { }
+             method f 1 returns {
+               try Ls Le Lh IoErr
+               try Ls Le Lall *
+             Ls:
+               new IoErr
+               athrow
+             Le:
+             Lh:
+               pop
+               const 1
+               retv
+             Lall:
+               pop
+               const 2
+               retv
+             }",
+        )
+        .unwrap();
+        verify_program(&p).unwrap();
+        let f = p.static_method_by_name("f").unwrap();
+        let m = p.method(f);
+        assert_eq!(m.exception_table.len(), 2);
+        assert_eq!(m.exception_table[0].start, 0);
+        assert_eq!(m.exception_table[0].end, 2);
+        assert_eq!(m.exception_table[0].handler, 2);
+        assert_eq!(
+            m.exception_table[0].catch_class,
+            Some(p.class_by_name("IoErr").unwrap())
+        );
+        assert_eq!(m.exception_table[1].catch_class, None);
+        assert!(m.code.contains(&crate::Insn::Athrow));
     }
 
     #[test]

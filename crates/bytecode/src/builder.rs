@@ -5,8 +5,8 @@
 //! is bound before [`MethodBuilder::build`] succeeds.
 
 use crate::{
-    Class, ClassId, CmpOp, Field, FieldId, Insn, Method, MethodId, Program, ProgramError,
-    StaticDecl, StaticId, ValueKind,
+    Class, ClassId, CmpOp, ExceptionEntry, Field, FieldId, Insn, Method, MethodId, Program,
+    ProgramError, StaticDecl, StaticId, ValueKind,
 };
 use std::collections::HashSet;
 use std::error::Error;
@@ -64,6 +64,8 @@ pub struct MethodBuilder {
     labels: Vec<Option<u32>>,
     /// (code index, label) pairs awaiting patching.
     fixups: Vec<(usize, LabelId)>,
+    /// (start, end, handler, catch class) label tuples awaiting patching.
+    region_fixups: Vec<(LabelId, LabelId, LabelId, Option<ClassId>)>,
     max_local_seen: u16,
 }
 
@@ -96,9 +98,11 @@ impl MethodBuilder {
                 is_synchronized: false,
                 max_locals: param_count,
                 code: Vec::new(),
+                exception_table: Vec::new(),
             },
             labels: Vec::new(),
             fixups: Vec::new(),
+            region_fixups: Vec::new(),
             max_local_seen: param_count,
         }
     }
@@ -300,6 +304,25 @@ impl MethodBuilder {
     pub fn throw(&mut self) -> &mut Self {
         self.emit(Insn::Throw)
     }
+    /// Throw the popped object reference as a catchable exception.
+    pub fn athrow(&mut self) -> &mut Self {
+        self.emit(Insn::Athrow)
+    }
+
+    /// Registers an exception-table entry covering `[start, end)` with the
+    /// given handler, catching `catch_class` (or everything when `None`).
+    /// Labels are resolved in [`MethodBuilder::build`]; entries are matched
+    /// in registration order, innermost regions first by convention.
+    pub fn exception_region(
+        &mut self,
+        start: LabelId,
+        end: LabelId,
+        handler: LabelId,
+        catch_class: Option<ClassId>,
+    ) -> &mut Self {
+        self.region_fixups.push((start, end, handler, catch_class));
+        self
+    }
 
     /// Finalizes the method, patching all branch targets.
     ///
@@ -320,6 +343,16 @@ impl MethodBuilder {
                 Insn::IfRefNe(_) => Insn::IfRefNe(target),
                 other => other,
             };
+        }
+        for (start, end, handler, catch_class) in &self.region_fixups {
+            let resolve =
+                |l: &LabelId| self.labels[l.0 as usize].ok_or(BuildError::UnboundLabel(l.0));
+            self.method.exception_table.push(ExceptionEntry {
+                start: resolve(start)?,
+                end: resolve(end)?,
+                handler: resolve(handler)?,
+                catch_class: *catch_class,
+            });
         }
         match self.method.code.last() {
             Some(last) if !last.falls_through() => {}
@@ -405,6 +438,7 @@ impl ProgramBuilder {
             is_synchronized: false,
             max_locals: param_count,
             code: vec![Insn::Return],
+            exception_table: Vec::new(),
         })
     }
 

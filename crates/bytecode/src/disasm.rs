@@ -62,20 +62,43 @@ fn disassemble_method(program: &Program, _id: MethodId, method: &Method) -> Stri
     }
     let _ = writeln!(out, " {{");
 
-    // Branch targets need labels.
+    // Branch targets and exception-table boundaries need labels.
     let mut targets: Vec<u32> = method
         .code
         .iter()
         .filter_map(|i| i.branch_target())
         .collect();
+    for e in &method.exception_table {
+        targets.extend([e.start, e.end, e.handler]);
+    }
     targets.sort_unstable();
     targets.dedup();
+
+    // `try` directives first, preserving table (= dispatch) order.
+    for e in &method.exception_table {
+        let catch = match e.catch_class {
+            Some(c) => program.class(c).name.as_str(),
+            None => "*",
+        };
+        let _ = writeln!(
+            out,
+            "    try {} {} {} {}",
+            label_name(e.start),
+            label_name(e.end),
+            label_name(e.handler),
+            catch
+        );
+    }
 
     for (bci, insn) in method.code.iter().enumerate() {
         if targets.binary_search(&(bci as u32)).is_ok() {
             let _ = writeln!(out, "{}:", label_name(bci as u32));
         }
         let _ = writeln!(out, "    {}", render_insn(program, *insn));
+    }
+    // An exception range may end at code length (exclusive bound).
+    if targets.binary_search(&(method.code.len() as u32)).is_ok() {
+        let _ = writeln!(out, "{}:", label_name(method.code.len() as u32));
     }
     let _ = writeln!(out, "}}");
     out
@@ -138,6 +161,7 @@ fn render_insn(program: &Program, insn: Insn) -> String {
         Insn::Return => "ret".into(),
         Insn::ReturnValue => "retv".into(),
         Insn::Throw => "throw".into(),
+        Insn::Athrow => "athrow".into(),
     }
 }
 
@@ -172,6 +196,7 @@ mod tests {
             && a.methods.len() == b.methods.len()
             && a.methods.iter().zip(&b.methods).all(|(x, y)| {
                 x.code == y.code
+                    && x.exception_table == y.exception_table
                     && x.name == y.name
                     && x.param_count == y.param_count
                     && x.returns_value == y.returns_value
@@ -192,6 +217,37 @@ mod tests {
         // And again, to be sure the printer is a fixpoint.
         let text2 = disassemble(&p2);
         assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn round_trips_exception_tables() {
+        let src = "
+            class Err { field code int }
+            method f 0 returns {
+                try Ls Le Lh Err
+                try Lall Lend Lh *
+            Ls:
+                new Err
+                athrow
+            Le:
+            Lh:
+                pop
+                const 1
+                retv
+            Lall:
+                pop
+                const 2
+                retv
+            Lend:
+            }";
+        let p1 = parse_program(src).unwrap();
+        crate::verify_program(&p1).unwrap();
+        let text = disassemble(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(structurally_equal(&p1, &p2), "round trip differs:\n{text}");
+        assert_eq!(text, disassemble(&p2));
+        assert!(text.contains("try L0 L2 L2 Err"), "{text}");
+        assert!(text.contains("athrow"), "{text}");
     }
 
     #[test]

@@ -186,10 +186,16 @@ pub enum Insn {
     /// Return the top of stack. `[v] -> !`
     ReturnValue,
     /// Throw: aborts execution of the program with a user error carrying the
-    /// popped integer code (no catch handlers are modelled; `Throw` is a
-    /// control sink and an escape point, as in the paper's IR figures).
+    /// popped integer code (uncatchable; `Throw` is a control sink and an
+    /// escape point, as in the paper's IR figures).
     /// `[code] -> !`
     Throw,
+    /// Throw the popped (non-null) object reference as an exception.
+    /// Dispatch walks the exception tables of the active frames innermost
+    /// first (see [`crate::ExceptionEntry`]); an uncaught exception aborts
+    /// the call with an uncaught-exception error. Throwing null raises the
+    /// null-pointer runtime error instead. `[ref] -> !`
+    Athrow,
 }
 
 impl Insn {
@@ -218,7 +224,8 @@ impl Insn {
             | Insn::MonitorEnter
             | Insn::MonitorExit
             | Insn::ReturnValue
-            | Insn::Throw => 1,
+            | Insn::Throw
+            | Insn::Athrow => 1,
             Insn::Add
             | Insn::Sub
             | Insn::Mul
@@ -290,13 +297,16 @@ impl Insn {
     pub fn falls_through(self) -> bool {
         !matches!(
             self,
-            Insn::Goto(_) | Insn::Return | Insn::ReturnValue | Insn::Throw
+            Insn::Goto(_) | Insn::Return | Insn::ReturnValue | Insn::Throw | Insn::Athrow
         )
     }
 
     /// Whether this instruction ends the method (a control sink).
     pub fn is_terminator(self) -> bool {
-        matches!(self, Insn::Return | Insn::ReturnValue | Insn::Throw)
+        matches!(
+            self,
+            Insn::Return | Insn::ReturnValue | Insn::Throw | Insn::Athrow
+        )
     }
 }
 

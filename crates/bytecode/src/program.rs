@@ -66,6 +66,34 @@ pub struct StaticDecl {
     pub kind: ValueKind,
 }
 
+/// One row of a method's exception table, mirroring the JVM's
+/// `exception_table` entries: while executing a bci in `[start, end)`, a
+/// thrown exception whose class matches `catch_class` transfers control to
+/// `handler` with the operand stack cleared to just the exception
+/// reference. Entries are consulted in table order (first match wins);
+/// `catch_class: None` is a catch-all, which is also how `finally` blocks
+/// are lowered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExceptionEntry {
+    /// First protected bci (inclusive).
+    pub start: u32,
+    /// Past-the-end protected bci (exclusive; may equal `code.len()`).
+    pub end: u32,
+    /// Handler entry bci.
+    pub handler: u32,
+    /// Catch type: the handler matches this class and its subclasses;
+    /// `None` catches everything.
+    pub catch_class: Option<ClassId>,
+}
+
+impl ExceptionEntry {
+    /// Whether the protected range covers `bci`.
+    #[inline]
+    pub fn covers(&self, bci: u32) -> bool {
+        self.start <= bci && bci < self.end
+    }
+}
+
 /// A method: code plus calling metadata.
 ///
 /// Parameters arrive in locals `0..param_count`; for virtual methods local
@@ -91,6 +119,8 @@ pub struct Method {
     pub max_locals: u16,
     /// The instruction stream; branch targets index into this vector.
     pub code: Vec<Insn>,
+    /// Exception handlers, in match order (see [`ExceptionEntry`]).
+    pub exception_table: Vec<ExceptionEntry>,
 }
 
 impl Method {
@@ -100,6 +130,18 @@ impl Method {
             Some(c) => format!("{}.{}", program.class(c).name, self.name),
             None => self.name.clone(),
         }
+    }
+
+    /// Exception-table entries whose protected range covers `bci`, in
+    /// table order.
+    pub fn handlers_at(&self, bci: u32) -> impl Iterator<Item = &ExceptionEntry> {
+        self.exception_table.iter().filter(move |e| e.covers(bci))
+    }
+
+    /// The method contains an `athrow` (the only instruction that raises a
+    /// catchable exception).
+    pub fn has_athrow(&self) -> bool {
+        self.code.iter().any(|i| matches!(i, Insn::Athrow))
     }
 }
 
@@ -308,6 +350,20 @@ impl Program {
             .collect()
     }
 
+    /// Resolves exception dispatch for `method` at `bci`: the first
+    /// exception-table entry covering `bci` whose catch type matches the
+    /// thrown object's dynamic class (subclasses included; `None`
+    /// catch-alls match everything). Returns the handler bci.
+    pub fn find_handler(&self, method: &Method, bci: u32, thrown: ClassId) -> Option<u32> {
+        method
+            .handlers_at(bci)
+            .find(|e| match e.catch_class {
+                None => true,
+                Some(c) => self.is_subclass_of(thrown, c),
+            })
+            .map(|e| e.handler)
+    }
+
     /// Checks the class hierarchy for cycles. Returns the offending class.
     pub fn check_hierarchy(&self) -> Result<(), ProgramError> {
         for (i, class) in self.classes.iter().enumerate() {
@@ -422,6 +478,7 @@ mod tests {
             is_synchronized: false,
             max_locals: 1,
             code: vec![Insn::Return],
+            exception_table: vec![],
         };
         assert_eq!(m.qualified_name(&p), "Base.foo");
     }

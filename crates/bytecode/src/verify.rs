@@ -81,6 +81,65 @@ pub fn verify_method(program: &Program, id: MethodId) -> Result<(), VerifyError>
         }
     }
 
+    // Exception-table validity: ranges well formed, handlers in range and
+    // outside their own protected region, catch classes known, and any two
+    // ranges either disjoint or properly nested (partial overlap would make
+    // dispatch order ambiguous).
+    let len = method.code.len() as u32;
+    for (i, e) in method.exception_table.iter().enumerate() {
+        if e.start >= e.end || e.end > len {
+            return Err(err(
+                id,
+                e.start as usize,
+                format!(
+                    "exception range [{}, {}) malformed for code length {len}",
+                    e.start, e.end
+                ),
+            ));
+        }
+        if e.handler >= len {
+            return Err(err(
+                id,
+                e.handler as usize,
+                format!("exception handler {} out of range", e.handler),
+            ));
+        }
+        if e.covers(e.handler) {
+            return Err(err(
+                id,
+                e.handler as usize,
+                format!(
+                    "exception handler {} lies inside its own protected region [{}, {})",
+                    e.handler, e.start, e.end
+                ),
+            ));
+        }
+        if let Some(c) = e.catch_class {
+            if c.index() >= program.classes.len() {
+                return Err(err(
+                    id,
+                    e.start as usize,
+                    format!("unknown catch class {c}"),
+                ));
+            }
+        }
+        for other in &method.exception_table[..i] {
+            let disjoint = e.end <= other.start || other.end <= e.start;
+            let nested = (other.start <= e.start && e.end <= other.end)
+                || (e.start <= other.start && other.end <= e.end);
+            if !disjoint && !nested {
+                return Err(err(
+                    id,
+                    e.start as usize,
+                    format!(
+                        "exception ranges [{}, {}) and [{}, {}) partially overlap",
+                        other.start, other.end, e.start, e.end
+                    ),
+                ));
+            }
+        }
+    }
+
     // Metadata validity + branch ranges.
     for (bci, &insn) in method.code.iter().enumerate() {
         if let Some(t) = insn.branch_target() {
@@ -136,6 +195,11 @@ pub fn verify_method(program: &Program, id: MethodId) -> Result<(), VerifyError>
     // Stack height dataflow: every reachable bci has a single fixed height.
     let mut height: Vec<Option<usize>> = vec![None; method.code.len()];
     let mut worklist = vec![(0usize, 0usize)];
+    // Handler entry state: the operand stack holds exactly the thrown
+    // exception, whatever the height was at the faulting instruction.
+    for e in &method.exception_table {
+        worklist.push((e.handler as usize, 1));
+    }
     while let Some((bci, h)) = worklist.pop() {
         match height[bci] {
             Some(existing) => {
@@ -223,6 +287,7 @@ mod tests {
             is_synchronized: false,
             max_locals: 0,
             code: vec![Insn::Pop, Insn::Return],
+            exception_table: vec![],
         });
         let e = verify_method(&p, id).unwrap_err();
         assert!(e.reason.contains("underflow"), "{e}");
@@ -247,6 +312,7 @@ mod tests {
                 Insn::Const(2), // join: height 0 vs 1
                 Insn::ReturnValue,
             ],
+            exception_table: vec![],
         });
         let e = verify_method(&p, id).unwrap_err();
         assert!(e.reason.contains("inconsistent"), "{e}");
@@ -263,6 +329,7 @@ mod tests {
             is_synchronized: false,
             max_locals: 0,
             code: vec![Insn::Goto(99)],
+            exception_table: vec![],
         });
         let e = verify_method(&p, id).unwrap_err();
         assert!(e.reason.contains("out of range"), "{e}");
@@ -279,6 +346,7 @@ mod tests {
             is_synchronized: false,
             max_locals: 1,
             code: vec![Insn::Load(3), Insn::Pop, Insn::Return],
+            exception_table: vec![],
         });
         let e = verify_method(&p, id).unwrap_err();
         assert!(e.reason.contains("local"), "{e}");
@@ -295,6 +363,7 @@ mod tests {
             is_synchronized: true,
             max_locals: 0,
             code: vec![Insn::Return],
+            exception_table: vec![],
         });
         assert!(verify_method(&p, id).is_err());
     }
@@ -310,6 +379,7 @@ mod tests {
             is_synchronized: false,
             max_locals: 0,
             code: vec![Insn::Const(1), Insn::Pop],
+            exception_table: vec![],
         });
         let e = verify_method(&p, id).unwrap_err();
         assert!(e.reason.contains("falls off"), "{e}");
@@ -326,6 +396,7 @@ mod tests {
             is_synchronized: false,
             max_locals: 0,
             code: vec![Insn::Const(1), Insn::ReturnValue],
+            exception_table: vec![],
         });
         assert!(verify_method(&p, id).is_err());
     }
@@ -394,6 +465,117 @@ mod tests {
             }";
         let p = crate::asm::parse_program(src).unwrap();
         verify_program(&p).unwrap();
+    }
+
+    fn thrower(table: Vec<crate::ExceptionEntry>) -> (Program, MethodId) {
+        // 0: new C, 1: athrow, 2: const 0, 3: pop (handler region filler),
+        // 4: const 7, 5: retv
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let id = pb.add_method(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 0,
+            returns_value: true,
+            is_static: true,
+            is_synchronized: false,
+            max_locals: 0,
+            code: vec![
+                Insn::New(c),
+                Insn::Athrow,
+                Insn::Const(0),
+                Insn::Pop,
+                Insn::Const(7),
+                Insn::ReturnValue,
+            ],
+            exception_table: table,
+        });
+        (pb.build().unwrap(), id)
+    }
+
+    fn entry(start: u32, end: u32, handler: u32) -> crate::ExceptionEntry {
+        crate::ExceptionEntry {
+            start,
+            end,
+            handler,
+            catch_class: None,
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_exception_table() {
+        // Nested and identical ranges are fine; handler enters with stack
+        // height 1 (the thrown exception), popped before the shared tail.
+        let (p, id) = thrower(vec![entry(0, 2, 3), entry(0, 2, 3)]);
+        verify_method(&p, id).unwrap();
+        let (p, id) = thrower(vec![entry(1, 2, 3), entry(0, 2, 3)]);
+        verify_method(&p, id).unwrap();
+    }
+
+    #[test]
+    fn rejects_partially_overlapping_exception_ranges() {
+        let (p, id) = thrower(vec![entry(0, 2, 4), entry(1, 3, 4)]);
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("partially overlap"), "{e}");
+    }
+
+    #[test]
+    fn rejects_handler_inside_protected_region() {
+        let (p, id) = thrower(vec![entry(0, 3, 2)]);
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("inside its own protected region"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_exception_range() {
+        let (p, id) = thrower(vec![entry(2, 2, 3)]);
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("malformed"), "{e}");
+        let (p, id) = thrower(vec![entry(0, 99, 3)]);
+        assert!(verify_method(&p, id).is_err());
+        let (p, id) = thrower(vec![entry(0, 2, 99)]);
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("handler"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_catch_class() {
+        let (p, id) = thrower(vec![crate::ExceptionEntry {
+            start: 0,
+            end: 2,
+            handler: 3,
+            catch_class: Some(crate::ClassId(42)),
+        }]);
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("unknown catch class"), "{e}");
+    }
+
+    #[test]
+    fn handler_stack_height_participates_in_joins() {
+        // bci 3 is reached normally (height 0, via the goto) and as a
+        // handler (height 1, the thrown exception): inconsistent join.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        let id = pb.add_method(crate::Method {
+            class: None,
+            name: "f".into(),
+            param_count: 0,
+            returns_value: true,
+            is_static: true,
+            is_synchronized: false,
+            max_locals: 0,
+            code: vec![
+                Insn::Goto(3),
+                Insn::New(c),
+                Insn::Athrow,
+                Insn::Const(7),
+                Insn::ReturnValue,
+            ],
+            exception_table: vec![entry(1, 3, 3)],
+        });
+        let p = pb.build().unwrap();
+        let e = verify_method(&p, id).unwrap_err();
+        assert!(e.reason.contains("inconsistent"), "{e}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! callees chain their states to the caller's state at the call site.
 
 use pea_analysis::{EscapeClass, ProgramSummaries};
-use pea_bytecode::{CmpOp, Insn, MethodId, Program};
+use pea_bytecode::{ClassId, CmpOp, ExceptionEntry, Insn, MethodId, Program};
 use pea_ir::{ArithOp, DeoptReason, FrameStateData, Graph, NodeId, NodeKind};
 use pea_runtime::profile::ProfileStore;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -124,6 +124,22 @@ pub struct InlineDecisionRec {
     pub reason: &'static str,
 }
 
+/// One receiver-type speculation planted at a virtual call site: a
+/// monomorphic type guard (one class) or a polymorphic inline cache
+/// (2..=[`MAX_PIC_CLASSES`] classes, hottest first). The pipeline turns
+/// these into `DevirtGuard` trace events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DevirtGuardRec {
+    /// Method whose bytecode contains the call site.
+    pub caller: MethodId,
+    /// Call-site bytecode index within `caller`.
+    pub bci: u32,
+    /// The declared (virtual) call target.
+    pub callee: MethodId,
+    /// Speculated receiver classes, hottest first.
+    pub classes: Vec<ClassId>,
+}
+
 /// Graph-construction options.
 #[derive(Clone, Debug)]
 pub struct BuildOptions {
@@ -140,6 +156,11 @@ pub struct BuildOptions {
     /// Minimum observed dispatches before devirtualizing a monomorphic
     /// virtual call with a type guard.
     pub devirtualize_threshold: u64,
+    /// Speculate on polymorphic receiver profiles: compile virtual call
+    /// sites with 2–[`MAX_PIC_CLASSES`] observed receiver classes as a
+    /// chain of exact-type checks with direct calls (a polymorphic inline
+    /// cache) whose final arm deoptimizes on an unprofiled receiver.
+    pub speculate_dispatch: bool,
     /// Node budget; exceeding it bails out.
     pub max_graph_nodes: usize,
     /// Which policy decides inline candidacy (see [`InlinePolicy`]).
@@ -155,11 +176,16 @@ impl Default for BuildOptions {
             inline_max_depth: 4,
             inline_max_callee_code: 64,
             devirtualize_threshold: 20,
+            speculate_dispatch: true,
             max_graph_nodes: 20_000,
             inline_policy: InlinePolicy::Size,
         }
     }
 }
+
+/// Most receiver classes a polymorphic inline cache will speculate on;
+/// sites with more observed classes stay genuinely virtual.
+pub const MAX_PIC_CLASSES: usize = 4;
 
 /// The classic size cutoff, shared by both policies (the summary policy
 /// falls back to it when summaries say nothing interesting).
@@ -278,7 +304,7 @@ fn check_reducible(cfg: &BcCfg) -> Result<(), Bailout> {
     Ok(())
 }
 
-fn analyze_bytecode(code: &[Insn]) -> BcCfg {
+fn analyze_bytecode(code: &[Insn], exception_table: &[ExceptionEntry]) -> BcCfg {
     let mut leaders: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     leaders.insert(0);
     for (i, insn) in code.iter().enumerate() {
@@ -289,6 +315,10 @@ fn analyze_bytecode(code: &[Insn]) -> BcCfg {
         if insn.is_terminator() && i + 1 < code.len() {
             leaders.insert(i as u32 + 1);
         }
+    }
+    // Exception handlers are entered abruptly: each handler starts a block.
+    for e in exception_table {
+        leaders.insert(e.handler);
     }
     let leader_list: Vec<u32> = leaders
         .iter()
@@ -310,7 +340,19 @@ fn analyze_bytecode(code: &[Insn]) -> BcCfg {
         }
         let insn = code[last as usize];
         let mut succs = Vec::new();
-        if !insn.is_terminator() {
+        if insn == Insn::Athrow {
+            // Exception edges: every covering handler is a potential
+            // successor, in table (dispatch) order. A catch-all always
+            // matches, so later entries are unreachable from here.
+            for e in exception_table.iter().filter(|e| e.covers(last)) {
+                succs.push(e.handler);
+                if e.catch_class.is_none() {
+                    break;
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+        } else if !insn.is_terminator() {
             match insn {
                 Insn::Goto(t) => succs.push(t),
                 _ => {
@@ -371,7 +413,13 @@ struct LoopCtx {
 /// frame states inherit that; we reproduce it so that values (and in
 /// particular allocations) dead across a loop back edge or merge are not
 /// artificially kept alive by frame states.
-fn local_liveness(code: &[Insn], max_locals: u16) -> Vec<Vec<bool>> {
+///
+/// Exception-table entries add edges from every covered bci to the
+/// handler: a local read only by the handler must stay live throughout the
+/// protected range, because a deopt anywhere inside it can be followed by
+/// interpreter-side unwinding into that handler — clearing the slot to
+/// null in the deopt state would hand the handler a corrupted frame.
+fn local_liveness(code: &[Insn], max_locals: u16, handlers: &[ExceptionEntry]) -> Vec<Vec<bool>> {
     let n = code.len();
     let mut live: Vec<Vec<bool>> = vec![vec![false; max_locals as usize]; n];
     let mut changed = true;
@@ -388,6 +436,13 @@ fn local_liveness(code: &[Insn], max_locals: u16) -> Vec<Vec<bool>> {
             if insn.falls_through() && i + 1 < n {
                 for (k, &b) in live[i + 1].iter().enumerate() {
                     out[k] = out[k] || b;
+                }
+            }
+            for e in handlers {
+                if e.covers(i as u32) && (e.handler as usize) < n {
+                    for (k, &b) in live[e.handler as usize].iter().enumerate() {
+                        out[k] = out[k] || b;
+                    }
                 }
             }
             match insn {
@@ -430,11 +485,50 @@ pub struct GraphBuilder<'a> {
     inline_active: HashSet<MethodId>,
     /// Inline decisions in parse order, one per resolved call site.
     decisions: Vec<InlineDecisionRec>,
+    /// Receiver-type speculations in parse order (mono guards and PICs).
+    guards: Vec<DevirtGuardRec>,
     /// Frame state of the innermost enclosing caller while building an
     /// inlined callee (becomes the `outer` of the callee's frame states).
     current_outer: Option<NodeId>,
     /// Per-method local-liveness tables (lazily computed).
     liveness: HashMap<MethodId, Vec<Vec<bool>>>,
+    /// Per-method transitive may-throw facts (indexed by method id):
+    /// whether calling the method can raise a catchable `athrow`
+    /// exception. Such callees are never inlined — compiled frames then
+    /// contain no cross-frame exception edges, and a throwing out-of-line
+    /// callee is handled by deoptimizing at the call site.
+    may_throw: Vec<bool>,
+}
+
+/// Transitive may-throw fixpoint over the closed program: a method may
+/// throw if its own bytecode contains `athrow` or it calls (through any
+/// virtual implementation) a method that may.
+fn compute_may_throw(program: &Program) -> Vec<bool> {
+    let n = program.methods.len();
+    let mut may: Vec<bool> = program.methods.iter().map(|m| m.has_athrow()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if may[i] {
+                continue;
+            }
+            let calls_throwing = program.methods[i].code.iter().any(|insn| match insn {
+                Insn::InvokeStatic(t) => may[t.index()],
+                Insn::InvokeVirtual(t) => (0..program.classes.len()).any(|c| {
+                    program
+                        .resolve_virtual(ClassId::from_index(c), *t)
+                        .is_ok_and(|m| may[m.index()])
+                }),
+                _ => false,
+            });
+            if calls_throwing {
+                may[i] = true;
+                changed = true;
+            }
+        }
+    }
+    may
 }
 
 /// Builds the IR graph of `method`, inlining per `options` and speculating
@@ -450,11 +544,12 @@ pub fn build_graph(
     profiles: Option<&ProfileStore>,
     options: &BuildOptions,
 ) -> Result<Graph, Bailout> {
-    build_graph_with(program, method, profiles, options, None).map(|(graph, _)| graph)
+    build_graph_with(program, method, profiles, options, None).map(|(graph, _, _)| graph)
 }
 
 /// [`build_graph`] with interprocedural summaries for the summary inline
-/// policy, also returning the per-call-site inline decisions.
+/// policy, also returning the per-call-site inline decisions and the
+/// receiver-type speculations planted.
 ///
 /// # Errors
 ///
@@ -465,7 +560,7 @@ pub fn build_graph_with(
     profiles: Option<&ProfileStore>,
     options: &BuildOptions,
     summaries: Option<&ProgramSummaries>,
-) -> Result<(Graph, Vec<InlineDecisionRec>), Bailout> {
+) -> Result<(Graph, Vec<InlineDecisionRec>, Vec<DevirtGuardRec>), Bailout> {
     let mut builder = GraphBuilder {
         program,
         profiles,
@@ -474,8 +569,10 @@ pub fn build_graph_with(
         graph: Graph::new(),
         inline_active: HashSet::from([method]),
         decisions: Vec::new(),
+        guards: Vec::new(),
         current_outer: None,
         liveness: HashMap::new(),
+        may_throw: compute_may_throw(program),
     };
     let m = program.method(method);
     let mut args = Vec::new();
@@ -495,7 +592,7 @@ pub fn build_graph_with(
         builder.graph.set_next(attach, ret);
     }
     builder.demote_empty_loops();
-    Ok((builder.graph, builder.decisions))
+    Ok((builder.graph, builder.decisions, builder.guards))
 }
 
 impl<'a> GraphBuilder<'a> {
@@ -524,7 +621,7 @@ impl<'a> GraphBuilder<'a> {
         // pinned by deoptimization metadata.
         if !self.liveness.contains_key(&method) {
             let m = self.program.method(method);
-            let table = local_liveness(&m.code, m.max_locals);
+            let table = local_liveness(&m.code, m.max_locals, &m.exception_table);
             self.liveness.insert(method, table);
         }
         let live_here = self.liveness[&method].get(bci as usize).cloned();
@@ -565,7 +662,7 @@ impl<'a> GraphBuilder<'a> {
         attach: NodeId,
     ) -> Result<Vec<(NodeId, Option<NodeId>)>, Bailout> {
         let m = self.program.method(method).clone();
-        let cfg = analyze_bytecode(&m.code);
+        let cfg = analyze_bytecode(&m.code, &m.exception_table);
         check_reducible(&cfg)?;
         let mut ctx = MethodCtx {
             method,
@@ -856,6 +953,99 @@ impl<'a> GraphBuilder<'a> {
         Ok(())
     }
 
+    /// Lowers `athrow` control flow: wires exception edges to covering
+    /// handlers — statically when the thrown value's dynamic class is
+    /// known exactly (a direct allocation), otherwise through an
+    /// `InstanceOf` dispatch cascade in table order — and funnels the
+    /// uncaught remainder into an [`NodeKind::Unwind`] sink after
+    /// releasing every monitor the frame holds. The throw is a hard
+    /// escape: `pea-core` materializes the exception (and anything
+    /// reachable from it) at each handler entry and at the sink.
+    fn lower_throw(
+        &mut self,
+        ctx: &mut MethodCtx,
+        exc: NodeId,
+        bci: u32,
+        attach: NodeId,
+        state: FlowState,
+    ) -> Result<(), Bailout> {
+        let mut tail = attach;
+        let static_class = match self.graph.kind(exc) {
+            NodeKind::New { class } => Some(*class),
+            _ => None,
+        };
+        let entries: Vec<ExceptionEntry> = self
+            .program
+            .method(ctx.method)
+            .handlers_at(bci)
+            .cloned()
+            .collect();
+        for e in &entries {
+            match (e.catch_class, static_class) {
+                (None, _) => {
+                    // A catch-all always matches: dispatch ends here.
+                    return self.emit_handler_edge(ctx, e.handler, tail, &state, exc);
+                }
+                (Some(c), Some(k)) => {
+                    if self.program.is_subclass_of(k, c) {
+                        return self.emit_handler_edge(ctx, e.handler, tail, &state, exc);
+                    }
+                    // Statically known not to match: skip the entry.
+                }
+                (Some(c), None) => {
+                    let cond = self.graph.add(
+                        NodeKind::InstanceOf {
+                            class: c,
+                            exact: false,
+                        },
+                        vec![exc],
+                    );
+                    self.append(&mut tail, cond);
+                    let iff = self.graph.add(NodeKind::If, vec![cond]);
+                    self.graph.set_next(tail, iff);
+                    let bt = self.graph.add(NodeKind::Begin, vec![]);
+                    let bf = self.graph.add(NodeKind::Begin, vec![]);
+                    self.graph.set_if_targets(iff, bt, bf);
+                    self.emit_handler_edge(ctx, e.handler, bt, &state, exc)?;
+                    tail = bf;
+                }
+            }
+        }
+        // No (remaining) handler covers the throw: the exception leaves
+        // the frame. Release held monitors innermost-first — exactly what
+        // the interpreter does when unwinding past a frame — then sink.
+        let mut st = state;
+        while let Some(entry) = st.locks.pop() {
+            let mx = self.graph.add(NodeKind::MonitorExit, vec![entry.object]);
+            self.append(&mut tail, mx);
+            let fs = self.make_state_with(ctx.method, bci, &st.locals, &[exc], &st.locks);
+            self.graph.set_state_after(mx, Some(fs));
+            st.deopt_state = fs;
+        }
+        let uw = self.graph.add(NodeKind::Unwind, vec![exc]);
+        self.graph.set_next(tail, uw);
+        Ok(())
+    }
+
+    /// Emits one exception edge into `handler`: the handler block starts
+    /// with the frame's locals and locks intact and an operand stack
+    /// holding exactly the exception object.
+    fn emit_handler_edge(
+        &mut self,
+        ctx: &mut MethodCtx,
+        handler: u32,
+        attach: NodeId,
+        state: &FlowState,
+        exc: NodeId,
+    ) -> Result<(), Bailout> {
+        let mut hstate = state.clone();
+        hstate.stack.clear();
+        hstate.stack.push(exc);
+        let fs = self.make_state(ctx.method, handler, &hstate);
+        hstate.deopt_state = fs;
+        self.emit_edge(ctx, handler, attach, hstate)
+    }
+
     /// Interprets one instruction. Returns `true` when the block's control
     /// flow is complete (branch, return, throw).
     #[allow(clippy::too_many_lines)]
@@ -1124,6 +1314,27 @@ impl<'a> GraphBuilder<'a> {
                 self.graph.set_next(*tail, t);
                 return Ok(true);
             }
+            Insn::Athrow => {
+                let exc = state.stack.pop().expect("stack");
+                // Throwing null raises an (uncatchable) NullPointer
+                // runtime error: guard and let the interpreter re-execute
+                // the athrow and raise it.
+                let test = self.graph.add(NodeKind::IsNull, vec![exc]);
+                self.append(tail, test);
+                let guard = self.graph.add(
+                    NodeKind::Guard {
+                        reason: DeoptReason::NullCheck,
+                        negated: true,
+                    },
+                    vec![test],
+                );
+                self.graph.set_state_after(guard, Some(state.deopt_state));
+                self.append(tail, guard);
+                let at = *tail;
+                let st = state.clone();
+                self.lower_throw(ctx, exc, bci, at, st)?;
+                return Ok(true);
+            }
         }
         Ok(false)
     }
@@ -1209,6 +1420,7 @@ impl<'a> GraphBuilder<'a> {
         let mut resolved = target;
         let mut needs_type_guard = None;
         let mut devirtualized = !virtual_call;
+        let mut pic_classes: Vec<ClassId> = Vec::new();
         if virtual_call {
             let mono = self
                 .profiles
@@ -1226,6 +1438,12 @@ impl<'a> GraphBuilder<'a> {
                         .map_err(|e| Bailout::Unsupported(e.to_string()))?;
                     needs_type_guard = Some(class);
                     devirtualized = true;
+                    self.guards.push(DevirtGuardRec {
+                        caller: ctx.method,
+                        bci,
+                        callee: target,
+                        classes: vec![class],
+                    });
                 }
                 None => {
                     // Class-hierarchy fallback: if only one implementation
@@ -1243,9 +1461,40 @@ impl<'a> GraphBuilder<'a> {
                         // in our closed world (class-hierarchy analysis).
                         resolved = impls.into_iter().next().unwrap();
                         devirtualized = true;
+                    } else if self.options.speculate_dispatch {
+                        // Polymorphic but shallow receiver profile: build
+                        // an inline cache over the observed classes.
+                        if let Some(r) = self.profiles.and_then(|p| p.receiver(ctx.method, bci)) {
+                            if r.total() >= self.options.devirtualize_threshold
+                                && (2..=MAX_PIC_CLASSES).contains(&r.classes().len())
+                            {
+                                // Hottest receiver first; class id breaks
+                                // ties so the cascade is deterministic.
+                                let mut cs = r.classes().to_vec();
+                                cs.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c.index()));
+                                pic_classes = cs.into_iter().map(|(c, _)| c).collect();
+                            }
+                        }
                     }
                 }
             }
+        }
+        if !pic_classes.is_empty() {
+            self.decisions.push(InlineDecisionRec {
+                caller: ctx.method,
+                bci,
+                callee: target,
+                policy: self.options.inline_policy,
+                inlined: false,
+                reason: "polymorphic-inline-cache",
+            });
+            self.guards.push(DevirtGuardRec {
+                caller: ctx.method,
+                bci,
+                callee: target,
+                classes: pic_classes.clone(),
+            });
+            return self.emit_pic(ctx, target, &pic_classes, args, bci, tail, state);
         }
 
         // Policy decision. Hard gates first (shared by every policy),
@@ -1260,6 +1509,13 @@ impl<'a> GraphBuilder<'a> {
             (false, "recursive")
         } else if ctx.depth >= self.options.inline_max_depth {
             (false, "depth-limit")
+        } else if self.may_throw[resolved.index()] {
+            // A callee that can raise a catchable exception stays
+            // out-of-line: compiled frames then never contain cross-frame
+            // exception edges, and a throwing callee is handled by
+            // deoptimizing at the call site and unwinding rematerialized
+            // interpreter frames.
+            (false, "may-throw")
         } else {
             match self.options.inline_policy {
                 InlinePolicy::Size => size_rule(callee_len, self.options.inline_max_callee_code),
@@ -1379,6 +1635,84 @@ impl<'a> GraphBuilder<'a> {
         }
         let fs = self.make_state(ctx.method, bci + 1, state);
         self.graph.set_state_after(invoke, Some(fs));
+        state.deopt_state = fs;
+        Ok(())
+    }
+
+    /// Compiles a polymorphic virtual call as an inline cache: a chain of
+    /// exact receiver-type tests, one direct (still out-of-line) call per
+    /// profiled class, and a deoptimizing final arm for receivers the
+    /// profile never saw (`Deopt[type-check]` — the interpreter
+    /// re-executes the dispatch and extends the profile).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_pic(
+        &mut self,
+        ctx: &mut MethodCtx,
+        target: MethodId,
+        classes: &[ClassId],
+        args: Vec<NodeId>,
+        bci: u32,
+        tail: &mut NodeId,
+        state: &mut FlowState,
+    ) -> Result<(), Bailout> {
+        let returns_value = self.program.method(target).returns_value;
+        let recv = args[0];
+        let mut cur = *tail;
+        let mut ends = Vec::with_capacity(classes.len());
+        let mut vals = Vec::with_capacity(classes.len());
+        for &class in classes {
+            let m = self
+                .program
+                .resolve_virtual(class, target)
+                .map_err(|e| Bailout::Unsupported(e.to_string()))?;
+            let test = self
+                .graph
+                .add(NodeKind::InstanceOf { class, exact: true }, vec![recv]);
+            self.graph.set_next(cur, test);
+            let iff = self.graph.add(NodeKind::If, vec![test]);
+            self.graph.set_next(test, iff);
+            let bt = self.graph.add(NodeKind::Begin, vec![]);
+            let bf = self.graph.add(NodeKind::Begin, vec![]);
+            self.graph.set_if_targets(iff, bt, bf);
+            let inv = self.graph.add(
+                NodeKind::Invoke {
+                    target: m,
+                    virtual_call: false,
+                },
+                args.clone(),
+            );
+            self.graph.set_next(bt, inv);
+            let mut st = state.clone();
+            if returns_value {
+                st.stack.push(inv);
+            }
+            let fs = self.make_state(ctx.method, bci + 1, &st);
+            self.graph.set_state_after(inv, Some(fs));
+            let end = self.graph.add(NodeKind::End, vec![]);
+            self.graph.set_next(inv, end);
+            ends.push(end);
+            vals.push(inv);
+            cur = bf;
+        }
+        // Unprofiled receiver (or null): transfer to the interpreter,
+        // which re-dispatches (raising NullPointer for null receivers)
+        // and extends the profile.
+        let deopt = self.graph.add(
+            NodeKind::Deopt {
+                reason: DeoptReason::TypeCheck,
+            },
+            vec![],
+        );
+        self.graph.set_next(cur, deopt);
+        self.graph.set_state_after(deopt, Some(state.deopt_state));
+        let merge = self.graph.add(NodeKind::Merge { ends }, vec![]);
+        *tail = merge;
+        if returns_value {
+            let phi = self.graph.add(NodeKind::Phi { merge }, vals);
+            state.stack.push(phi);
+        }
+        let fs = self.make_state(ctx.method, bci + 1, state);
+        self.graph.set_state_after(merge, Some(fs));
         state.deopt_state = fs;
         Ok(())
     }
@@ -1525,7 +1859,7 @@ mod tests {
         .unwrap();
         pea_bytecode::verify_program(&program).unwrap();
         let method = program.static_method_by_name("f").unwrap();
-        let (_, decisions) =
+        let (_, decisions, _) =
             build_graph_with(&program, method, None, &BuildOptions::default(), None).unwrap();
         assert_eq!(decisions.len(), 1);
         assert!(!decisions[0].inlined);
@@ -1583,7 +1917,7 @@ mod tests {
             inline_policy: InlinePolicy::Summary,
             ..BuildOptions::default()
         };
-        let (_, decisions) =
+        let (_, decisions, _) =
             build_graph_with(&program, method, None, &options, Some(&summaries)).unwrap();
         assert_eq!(decisions.len(), 2);
         let publish = &decisions[0];
@@ -1593,7 +1927,7 @@ mod tests {
         assert!(fill.inlined);
         assert_eq!(fill.reason, "allocation-flows-in");
         // The size policy inlines both (both bodies are tiny).
-        let (_, size_decisions) = build_graph_with(
+        let (_, size_decisions, _) = build_graph_with(
             &program,
             method,
             None,

@@ -73,6 +73,18 @@ pub enum EvalOutcome {
         /// rematerialization inventory for tracing and invariant checks.
         rematerialized: Vec<String>,
     },
+    /// An exception thrown by an out-of-line callee is propagating
+    /// through this compiled frame: the VM must dispatch it over the
+    /// rematerialized `frames` (innermost frame last, positioned at the
+    /// faulting call's bci) with the interpreter's unwinder.
+    Unwind {
+        /// The in-flight exception object.
+        exception: ObjRef,
+        /// Reconstructed frames, outermost first.
+        frames: Vec<DeoptFrame>,
+        /// Rematerialization inventory, as for [`EvalOutcome::Deopt`].
+        rematerialized: Vec<String>,
+    },
 }
 
 /// Executes `code` with `args`.
@@ -285,7 +297,40 @@ pub fn evaluate(
                     } else {
                         *target
                     };
-                    let result = env.invoke(resolved, call_args)?;
+                    let result = match env.invoke(resolved, call_args) {
+                        Ok(r) => r,
+                        Err(VmError::Thrown(exc)) => {
+                            // The callee threw a catchable exception:
+                            // deoptimize at the call site and let the
+                            // interpreter unwind the rematerialized
+                            // frames (handler dispatch happens there).
+                            let fs = node.state_after.expect("invoke without frame state");
+                            env.charge(cost::DEOPT_PENALTY)?;
+                            // The after-state sits past the call with the
+                            // (never produced) result on the stack: stand
+                            // in a null so frame reconstruction resolves,
+                            // then drop the slot and step the innermost
+                            // frame back onto the invoke itself so the
+                            // unwinder consults the right handler ranges.
+                            let returns = program.method(resolved).returns_value;
+                            if returns {
+                                set(&mut values, n, Value::Null);
+                            }
+                            let (mut frames, rematerialized) =
+                                build_deopt_frames(program, env, graph, &values, fs)?;
+                            let inner = frames.last_mut().expect("invoke state has a frame");
+                            if returns {
+                                inner.stack.pop();
+                            }
+                            inner.bci = inner.bci.saturating_sub(1);
+                            return Ok(EvalOutcome::Unwind {
+                                exception: exc,
+                                frames,
+                                rematerialized,
+                            });
+                        }
+                        Err(e) => return Err(e),
+                    };
                     if let Some(v) = result {
                         set(&mut values, n, v);
                     }
@@ -410,6 +455,12 @@ pub fn evaluate(
                 NodeKind::Throw => {
                     let code_v = val(&values, inputs[0])?.as_int()?;
                     return Err(VmError::UserException(code_v));
+                }
+                NodeKind::Unwind => {
+                    // Frame monitors were already released by the explicit
+                    // MonitorExit nodes the builder emits before the sink.
+                    let exc = val(&values, inputs[0])?.as_ref()?;
+                    return Err(VmError::Thrown(exc));
                 }
                 NodeKind::FrameState(_) | NodeKind::VirtualObjectMapping { .. } => {
                     unreachable!("metadata scheduled for execution")

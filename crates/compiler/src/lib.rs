@@ -31,7 +31,8 @@ pub mod phases;
 pub mod pipeline;
 
 pub use builder::{
-    build_graph, build_graph_with, Bailout, BuildOptions, InlineDecisionRec, InlinePolicy,
+    build_graph, build_graph_with, Bailout, BuildOptions, DevirtGuardRec, InlineDecisionRec,
+    InlinePolicy,
 };
 pub use eval::{evaluate, DeoptFrame, EvalEnv, EvalOutcome};
 pub use phases::{CompilationUnit, PhaseKind, PhaseManager};

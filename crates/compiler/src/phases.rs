@@ -209,7 +209,7 @@ fn run_phase(
         }
         PhaseKind::Build => {
             let t = Instant::now();
-            let (graph, decisions) = build_graph_with(
+            let (graph, decisions, guards) = build_graph_with(
                 unit.program,
                 unit.method,
                 unit.profiles,
@@ -225,6 +225,18 @@ fn run_phase(
                     policy: d.policy.as_str().to_string(),
                     inlined: d.inlined,
                     reason: d.reason.to_string(),
+                });
+            }
+            for g in &guards {
+                tracer.emit_with(|| TraceEvent::DevirtGuard {
+                    method: unit.program.method(g.caller).qualified_name(unit.program),
+                    bci: g.bci,
+                    callee: unit.program.method(g.callee).qualified_name(unit.program),
+                    classes: g
+                        .classes
+                        .iter()
+                        .map(|c| unit.program.classes[c.index()].name.clone())
+                        .collect(),
                 });
             }
             unit.inline_decisions = decisions;

@@ -113,6 +113,7 @@ fn irreducible_control_flow_bails_out() {
             Insn::Load(1),                           // 9: exit
             Insn::ReturnValue,                       // 10
         ],
+        exception_table: vec![],
     };
     pb.add_method(method);
     let program = pb.build().unwrap();
@@ -202,7 +203,7 @@ fn monomorphic_profile_devirtualizes_with_type_guard() {
 }
 
 #[test]
-fn polymorphic_call_stays_virtual() {
+fn polymorphic_call_builds_inline_cache_or_stays_virtual() {
     let src = "
         class A { }
         class B extends A { }
@@ -217,7 +218,48 @@ fn polymorphic_call_stays_virtual() {
     for i in 0..50 {
         profiles.record_receiver(f, 2, if i % 2 == 0 { a } else { b });
     }
+
+    // Default options: the two-class profile becomes a polymorphic inline
+    // cache — one exact type test per observed class, a direct (devirtualized)
+    // call per arm, and a deopt on the fall-through.
     let g = build_graph(&program, f, Some(&profiles), &BuildOptions::default()).unwrap();
+    verify(&g).unwrap();
+    assert_eq!(
+        count(&g, |k| matches!(
+            k,
+            NodeKind::Invoke {
+                virtual_call: true,
+                ..
+            }
+        )),
+        0
+    );
+    assert_eq!(
+        count(&g, |k| matches!(
+            k,
+            NodeKind::Invoke {
+                virtual_call: false,
+                ..
+            }
+        )),
+        2
+    );
+    assert_eq!(
+        count(&g, |k| matches!(
+            k,
+            NodeKind::InstanceOf { exact: true, .. }
+        )),
+        2
+    );
+    assert_eq!(count(&g, |k| matches!(k, NodeKind::Deopt { .. })), 1);
+
+    // Speculation disabled: the call stays a single virtual dispatch.
+    let options = BuildOptions {
+        speculate_dispatch: false,
+        ..BuildOptions::default()
+    };
+    let g = build_graph(&program, f, Some(&profiles), &options).unwrap();
+    verify(&g).unwrap();
     assert_eq!(
         count(&g, |k| matches!(
             k,
@@ -300,4 +342,145 @@ fn dead_code_after_return_is_unreachable_not_fatal() {
     let g = build_graph(&program, f, None, &BuildOptions::default()).unwrap();
     verify(&g).unwrap();
     assert_eq!(count(&g, |k| matches!(k, NodeKind::Return)), 1);
+}
+
+// ---- athrow lowering shapes -------------------------------------------
+//
+// `lower_throw` has three output shapes: a static edge straight into a
+// matching handler (thrown class known exactly), an `InstanceOf` dispatch
+// cascade in table order (thrown class only known at runtime), and a
+// monitor-releasing `Unwind` tail for the uncaught remainder.
+
+#[test]
+fn statically_matched_throw_becomes_handler_edge() {
+    // The thrown object is a direct `new E`, and the covering entry
+    // catches E: the builder must wire the edge statically — no
+    // InstanceOf test, no Unwind sink, one Return per path.
+    let src = "
+        class E { field c int }
+        method f 1 returns {
+            try Ls Le Lh E
+        Ls:
+            new E store 1
+            load 1 load 0 putfield E.c
+            load 1 athrow
+        Le:
+        Lh:
+            checkcast E getfield E.c retv
+        }";
+    let g = build(src, "f", &BuildOptions::default()).unwrap();
+    verify(&g).unwrap();
+    assert_eq!(
+        count(&g, |k| matches!(k, NodeKind::Unwind)),
+        0,
+        "a statically caught throw never reaches the Unwind sink"
+    );
+    assert_eq!(
+        count(&g, |k| matches!(k, NodeKind::InstanceOf { .. })),
+        0,
+        "exact static knowledge needs no dispatch cascade"
+    );
+    assert_eq!(count(&g, |k| matches!(k, NodeKind::Return)), 1);
+}
+
+#[test]
+fn unknown_throw_class_builds_instanceof_cascade() {
+    // The rethrown parameter's class is unknown, and two typed entries
+    // cover the throw: the builder must test them in table order with
+    // InstanceOf and funnel the double miss into Unwind.
+    let src = "
+        class E1 { field a int }
+        class E2 { field b int }
+        method f 1 {
+            try Ls Le L1 E1
+            try Ls Le L2 E2
+        Ls:
+            load 0 athrow
+        Le:
+            ret
+        L1:
+            pop ret
+        L2:
+            pop ret
+        }";
+    let g = build(src, "f", &BuildOptions::default()).unwrap();
+    verify(&g).unwrap();
+    assert_eq!(
+        count(&g, |k| matches!(k, NodeKind::InstanceOf { .. })),
+        2,
+        "one type test per covering typed entry"
+    );
+    assert_eq!(
+        count(&g, |k| matches!(k, NodeKind::Unwind)),
+        1,
+        "the double miss leaves the frame"
+    );
+}
+
+#[test]
+fn uncaught_throw_releases_monitors_before_unwind() {
+    // The frame holds a monitor when the uncovered throw fires: the
+    // builder must emit the MonitorExit before the Unwind sink — exactly
+    // what the interpreter does when unwinding past the frame.
+    let src = "
+        class E { field c int }
+        class Lk { field v int }
+        method f 1 {
+            new Lk store 1
+            load 1 monitorenter
+            new E athrow
+        }";
+    let g = build(src, "f", &BuildOptions::default()).unwrap();
+    verify(&g).unwrap();
+    assert_eq!(count(&g, |k| matches!(k, NodeKind::Unwind)), 1);
+    assert_eq!(
+        count(&g, |k| matches!(k, NodeKind::MonitorExit)),
+        1,
+        "the held monitor is released on the unwind path"
+    );
+    // The exit must sit on the path into the sink, not after it: walk
+    // control flow backwards from Unwind and require a MonitorExit.
+    let unwind = g
+        .live_nodes()
+        .find(|&n| matches!(g.kind(n), NodeKind::Unwind))
+        .unwrap();
+    let mut cur = Some(unwind);
+    let mut saw_exit = false;
+    while let Some(n) = cur {
+        if matches!(g.kind(n), NodeKind::MonitorExit) {
+            saw_exit = true;
+            break;
+        }
+        cur = g.live_nodes().find(|&p| g.next(p) == Some(n));
+    }
+    assert!(saw_exit, "MonitorExit must dominate the Unwind sink");
+}
+
+#[test]
+fn catch_all_entry_short_circuits_the_cascade() {
+    // A catch-all listed after a typed entry: the typed entry gets its
+    // InstanceOf test, the catch-all consumes everything else, and no
+    // Unwind remains.
+    let src = "
+        class E1 { field a int }
+        method f 1 {
+            try Ls Le L1 E1
+            try Ls Le L2 *
+        Ls:
+            load 0 athrow
+        Le:
+            ret
+        L1:
+            pop ret
+        L2:
+            pop ret
+        }";
+    let g = build(src, "f", &BuildOptions::default()).unwrap();
+    verify(&g).unwrap();
+    assert_eq!(count(&g, |k| matches!(k, NodeKind::InstanceOf { .. })), 1);
+    assert_eq!(
+        count(&g, |k| matches!(k, NodeKind::Unwind)),
+        0,
+        "a covering catch-all leaves no uncaught remainder"
+    );
 }

@@ -159,6 +159,7 @@ fn escape_reason(kind: &NodeKind) -> MaterializeReason {
         NodeKind::Invoke { .. } => MaterializeReason::CallArgument,
         NodeKind::Return => MaterializeReason::ReturnValue,
         NodeKind::Throw => MaterializeReason::ThrowValue,
+        NodeKind::Unwind => MaterializeReason::ThrownEscape,
         NodeKind::MonitorEnter | NodeKind::MonitorExit => MaterializeReason::MonitorOperation,
         _ => MaterializeReason::Other,
     }
@@ -639,6 +640,7 @@ pub(crate) fn process_node(
         | NodeKind::PutStatic { .. }
         | NodeKind::Return
         | NodeKind::Throw
+        | NodeKind::Unwind
         | NodeKind::Commit { .. } => {
             escape_all_alias_inputs(ctx, state, node, block);
         }

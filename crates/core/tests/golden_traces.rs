@@ -249,6 +249,71 @@ fn merge_golden_traces() {
     );
 }
 
+/// Exception edge as materialization point: a virtual object reaching a
+/// [`pea_ir::NodeKind::Unwind`] sink (an escaping `athrow`) must
+/// materialize exactly there, with the dedicated `thrown-escape` reason —
+/// while the non-throwing branch of the same method keeps the object
+/// virtual and its loads elided.
+#[test]
+fn thrown_escape_golden_trace() {
+    use pea_ir::{FrameStateData, Graph, NodeKind};
+
+    let (program, p) = key_program();
+    let mut g = Graph::new();
+    // if (cond) { throw key } else { return key.idx } with key.idx = 7
+    // stored up front.
+    let cond = g.add(NodeKind::Param { index: 0 }, vec![]);
+    let a = g.add(NodeKind::New { class: p.key_class }, vec![]);
+    g.set_next(g.start, a);
+    let c7 = g.const_int(7);
+    let store = g.add(NodeKind::StoreField { field: p.f_idx }, vec![a, c7]);
+    g.set_next(a, store);
+    let fs = g.add_frame_state(
+        FrameStateData::new(p.m_get_value, 1, 1, 0, 0, false),
+        vec![cond],
+    );
+    g.set_state_after(store, Some(fs));
+    let iff = g.add(NodeKind::If, vec![cond]);
+    g.set_next(store, iff);
+    let t = g.add(NodeKind::Begin, vec![]);
+    let f = g.add(NodeKind::Begin, vec![]);
+    g.set_if_targets(iff, t, f);
+    let unwind = g.add(NodeKind::Unwind, vec![a]);
+    g.set_next(t, unwind);
+    let load = g.add(NodeKind::LoadField { field: p.f_idx }, vec![a]);
+    g.set_next(f, load);
+    let ret = g.add(NodeKind::Return, vec![load]);
+    g.set_next(load, ret);
+
+    let lines = traced(&mut g, &program, &PeaOptions::default());
+    let site = a.index();
+    let anchor = unwind.index();
+    let mats: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.starts_with("materialized"))
+        .collect();
+    assert_eq!(
+        mats.len(),
+        1,
+        "exactly one materialization, on the throw path: {lines:?}"
+    );
+    assert!(
+        mats[0].starts_with(&format!("materialized n{site} at n{anchor} ")),
+        "must materialize at the Unwind sink: {lines:?}"
+    );
+    assert!(
+        mats[0].ends_with("thrown-escape"),
+        "the reason must be the dedicated thrown-escape: {}",
+        mats[0]
+    );
+    assert!(
+        lines.contains(&format!("virtualized n{site} Key"))
+            && lines.contains(&format!("store-elided n{site} n{}", store.index()))
+            && lines.contains(&format!("load-elided n{site} n{}", load.index())),
+        "the non-throwing branch must stay fully scalar-replaced: {lines:?}"
+    );
+}
+
 /// The trace stream must agree with the [`pea_core::PeaResult`] counters:
 /// every counter is exactly the number of corresponding events (with
 /// materializations counted per commit *group*, so events ≥ counter).

@@ -3,7 +3,7 @@
 use crate::{Frame, InterpEnv};
 use pea_bytecode::{Insn, MethodId, Program};
 use pea_runtime::cost;
-use pea_runtime::{Value, VmError};
+use pea_runtime::{ObjRef, Value, VmError};
 
 /// Interprets one method call to completion.
 ///
@@ -75,9 +75,72 @@ pub fn resume(
             frame.bci += 1;
         }
         first = false;
-        result = run_frame(program, env, &mut frame)?;
+        match run_frame(program, env, &mut frame) {
+            Ok(r) => result = r,
+            // An exception escaped this frame; the remaining outer frames
+            // (still suspended at their invoke instructions) get to catch.
+            Err(VmError::Thrown(exc)) => return unwind(program, env, frames, exc),
+            Err(e) => return Err(e),
+        }
     }
     Ok(result)
+}
+
+/// Dispatches an in-flight exception over a reconstructed frame chain
+/// (outermost-first), innermost frame first, *without* re-executing the
+/// faulting instruction: each frame's `bci` is the athrow/invoke where the
+/// exception arose. The first frame with a matching handler catches it and
+/// execution continues as in [`resume`]; frames unwound past release their
+/// held monitors.
+///
+/// # Errors
+///
+/// [`VmError::Thrown`] if no frame catches, plus any [`VmError`] the resumed
+/// execution raises.
+pub fn unwind(
+    program: &Program,
+    env: &mut dyn InterpEnv,
+    mut frames: Vec<Frame>,
+    exc: ObjRef,
+) -> Result<Option<Value>, VmError> {
+    while let Some(mut frame) = frames.pop() {
+        match enter_handler_or_unwind(program, env, &mut frame, exc) {
+            Ok(handler) => {
+                frame.bci = handler;
+                frames.push(frame);
+                return resume(program, env, frames);
+            }
+            Err(VmError::Thrown(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(VmError::Thrown(exc))
+}
+
+/// Either sets `frame` up to enter the matching exception handler for `exc`
+/// thrown at `frame.bci` (operand stack cleared to just the exception,
+/// handler bci returned), or — when the frame's table has no match —
+/// releases the frame's monitors and returns the exception as
+/// [`VmError::Thrown`] so the caller keeps unwinding.
+fn enter_handler_or_unwind(
+    program: &Program,
+    env: &mut dyn InterpEnv,
+    frame: &mut Frame,
+    exc: ObjRef,
+) -> Result<u32, VmError> {
+    let class = env.heap().class_of(exc)?;
+    let m = program.method(frame.method);
+    match program.find_handler(m, frame.bci, class) {
+        Some(handler) => {
+            frame.stack.clear();
+            frame.stack.push(Value::Ref(exc));
+            Ok(handler)
+        }
+        None => {
+            release_frame_locks(env, frame)?;
+            Err(VmError::Thrown(exc))
+        }
+    }
 }
 
 fn pop(frame: &mut Frame) -> Result<Value, VmError> {
@@ -296,9 +359,14 @@ fn run_frame(
             Insn::InvokeStatic(target) => {
                 let argc = program.method(target).param_count as usize;
                 let args = split_args(frame, argc)?;
-                let result = env.invoke(target, args)?;
-                if let Some(v) = result {
-                    frame.stack.push(v);
+                match env.invoke(target, args) {
+                    Ok(Some(v)) => frame.stack.push(v),
+                    Ok(None) => {}
+                    // A callee threw: this frame catches or keeps unwinding.
+                    Err(VmError::Thrown(exc)) => {
+                        next = enter_handler_or_unwind(program, env, frame, exc)?;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
             Insn::InvokeVirtual(target) => {
@@ -312,9 +380,13 @@ fn run_frame(
                 let resolved = program
                     .resolve_virtual(dynamic, target)
                     .map_err(|e| VmError::NoSuchMethod(e.to_string()))?;
-                let result = env.invoke(resolved, args)?;
-                if let Some(v) = result {
-                    frame.stack.push(v);
+                match env.invoke(resolved, args) {
+                    Ok(Some(v)) => frame.stack.push(v),
+                    Ok(None) => {}
+                    Err(VmError::Thrown(exc)) => {
+                        next = enter_handler_or_unwind(program, env, frame, exc)?;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
             Insn::Return => {
@@ -329,6 +401,13 @@ fn run_frame(
             Insn::Throw => {
                 let code = pop(frame)?.as_int()?;
                 return Err(VmError::UserException(code));
+            }
+            Insn::Athrow => {
+                env.charge(cost::BRANCH_OP)?;
+                // Throwing null raises the plain null-pointer error
+                // (uncatchable, like the other runtime errors).
+                let exc = pop(frame)?.as_ref()?;
+                next = enter_handler_or_unwind(program, env, frame, exc)?;
             }
         }
         // Loop back-edge safepoint: lets the host install finished
@@ -573,6 +652,216 @@ mod tests {
         method g 0 { const 42 throw }
         method f 0 returns { invokestatic g const 1 retv }";
         assert_eq!(run(src, "f", &[]).unwrap_err(), VmError::UserException(42));
+    }
+
+    #[test]
+    fn athrow_caught_by_typed_handler() {
+        let src = "
+        class Err { field code int }
+        method f 1 returns {
+            try Ls Le Lh Err
+        Ls:
+            new Err
+            dup load 0 putfield Err.code
+            athrow
+        Le:
+        Lh:
+            getfield Err.code
+            retv
+        }";
+        assert_eq!(
+            run(src, "f", &[Value::Int(41)]).unwrap(),
+            Some(Value::Int(41))
+        );
+    }
+
+    #[test]
+    fn athrow_dispatch_matches_subclass_and_order() {
+        // Inner typed handler matches a subclass throw before the outer
+        // catch-all; a sibling class falls through to the catch-all.
+        let src = "
+        class Err { }
+        class IoErr extends Err { }
+        class NumErr extends Err { }
+        method f 1 returns {
+            try Ls Le Lio IoErr
+            try Ls Le Lall *
+        Ls:
+            load 0 const 0 ifcmp eq Lnum
+            new IoErr athrow
+        Lnum:
+            new NumErr athrow
+        Le:
+        Lio:
+            pop const 1 retv
+        Lall:
+            pop const 2 retv
+        }";
+        assert_eq!(
+            run(src, "f", &[Value::Int(1)]).unwrap(),
+            Some(Value::Int(1))
+        );
+        assert_eq!(
+            run(src, "f", &[Value::Int(0)]).unwrap(),
+            Some(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn athrow_propagates_to_caller_handler() {
+        let src = "
+        class Err { field code int }
+        method g 1 {
+            new Err dup load 0 putfield Err.code athrow
+        }
+        method f 1 returns {
+            try Ls Le Lh *
+        Ls:
+            load 0 invokestatic g
+            const -1 retv
+        Le:
+        Lh:
+            getfield Err.code
+            const 100 add retv
+        }";
+        assert_eq!(
+            run(src, "f", &[Value::Int(7)]).unwrap(),
+            Some(Value::Int(107))
+        );
+    }
+
+    #[test]
+    fn uncaught_athrow_is_thrown_error() {
+        let src = "
+        class Err { }
+        method f 0 returns { new Err athrow }";
+        assert!(matches!(
+            run(src, "f", &[]).unwrap_err(),
+            VmError::Thrown(_)
+        ));
+    }
+
+    #[test]
+    fn throwing_null_is_null_pointer() {
+        let src = "method f 0 returns { cnull athrow }";
+        assert_eq!(run(src, "f", &[]).unwrap_err(), VmError::NullPointer);
+    }
+
+    #[test]
+    fn unwinding_releases_synchronized_monitors() {
+        let src = "
+        class Err { }
+        class C { }
+        method virtual C.boom 1 synchronized { new Err athrow }
+        method f 0 returns {
+            try Ls Le Lh *
+        Ls:
+            new C invokevirtual C.boom
+            const 0 retv
+        Le:
+        Lh:
+            pop const 1 retv
+        }";
+        let program = parse_program(src).unwrap();
+        verify_program(&program).expect("verify");
+        let mut env = SimpleEnv::new(program);
+        assert_eq!(env.call("f", &[]).unwrap(), Some(Value::Int(1)));
+        assert_eq!(env.heap.total_lock_holds(), 0, "monitor leaked past unwind");
+    }
+
+    #[test]
+    fn try_finally_lock_region_balances_on_throw() {
+        // Explicit monitorenter with a catch-all region acting as finally:
+        // the handler releases the lock and rethrows.
+        let src = "
+        class Err { }
+        class L { }
+        method f 1 returns {
+            new L store 1
+            load 1 monitorenter
+            try Ls Le Lfin *
+        Ls:
+            load 0 const 0 ifcmp eq Lok
+            new Err athrow
+        Lok:
+            goto Lout
+        Le:
+        Lfin:
+            load 1 monitorexit
+            athrow
+        Lout:
+            load 1 monitorexit
+            const 9 retv
+        }";
+        let program = parse_program(src).unwrap();
+        verify_program(&program).expect("verify");
+        let mut env = SimpleEnv::new(program.clone());
+        assert_eq!(
+            env.call("f", &[Value::Int(0)]).unwrap(),
+            Some(Value::Int(9))
+        );
+        assert_eq!(env.heap.total_lock_holds(), 0);
+        let mut env = SimpleEnv::new(program);
+        assert!(matches!(
+            env.call("f", &[Value::Int(1)]).unwrap_err(),
+            VmError::Thrown(_)
+        ));
+        assert_eq!(env.heap.total_lock_holds(), 0, "finally must release");
+    }
+
+    #[test]
+    fn unwind_dispatches_over_frame_chain() {
+        // Reconstructed chain: g (innermost, at its athrow) inside f
+        // (suspended at the invokestatic covered by a catch-all).
+        let src = "
+        class Err { field code int }
+        method g 1 {
+            new Err dup load 0 putfield Err.code athrow
+        }
+        method f 1 returns {
+            try Ls Le Lh *
+        Ls:
+            load 0 invokestatic g
+            const -1 retv
+        Le:
+        Lh:
+            getfield Err.code
+            retv
+        }";
+        let program = parse_program(src).unwrap();
+        verify_program(&program).expect("verify");
+        let f = program.static_method_by_name("f").unwrap();
+        let g = program.static_method_by_name("g").unwrap();
+        let mut env = SimpleEnv::new(program.clone());
+        let exc = env
+            .heap
+            .alloc_instance(&program, program.class_by_name("Err").unwrap());
+        env.heap
+            .put_field(
+                &program,
+                exc,
+                program
+                    .field_by_name(program.class_by_name("Err").unwrap(), "code")
+                    .unwrap(),
+                Value::Int(55),
+            )
+            .unwrap();
+        let outer = Frame {
+            method: f,
+            bci: 1, // the invokestatic inside the protected region
+            locals: vec![Value::Int(55)],
+            stack: vec![],
+            locked: vec![],
+        };
+        let inner = Frame {
+            method: g,
+            bci: 4, // the athrow itself; no table in g, so unwind outward
+            locals: vec![Value::Int(55)],
+            stack: vec![],
+            locked: vec![],
+        };
+        let r = unwind(&program, &mut env, vec![outer, inner], exc).unwrap();
+        assert_eq!(r, Some(Value::Int(55)));
     }
 
     #[test]

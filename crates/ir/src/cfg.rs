@@ -137,7 +137,7 @@ impl Cfg {
                         work.push(merge);
                     }
                 }
-                NodeKind::Return | NodeKind::Throw | NodeKind::Deopt { .. } => {}
+                NodeKind::Return | NodeKind::Throw | NodeKind::Unwind | NodeKind::Deopt { .. } => {}
                 _ => {
                     // Straight-line chain ended because the next node is a
                     // block start (cannot happen with Begin policy above) —
@@ -425,6 +425,30 @@ mod tests {
         let ret = g.add(NodeKind::Return, vec![phi]);
         g.set_next(exit, ret);
         (g, lb)
+    }
+
+    #[test]
+    fn unwind_terminates_a_block() {
+        // start -> if (p0) { unwind p1 } else { return p0 }: the Unwind
+        // sink must close its block exactly like Return/Throw — an
+        // escaping athrow is an ordinary control exit of the method.
+        let mut g = Graph::new();
+        let p0 = g.add(NodeKind::Param { index: 0 }, vec![]);
+        let p1 = g.add(NodeKind::Param { index: 1 }, vec![]);
+        let iff = g.add(NodeKind::If, vec![p0]);
+        g.set_next(g.start, iff);
+        let t = g.add(NodeKind::Begin, vec![]);
+        let f = g.add(NodeKind::Begin, vec![]);
+        g.set_if_targets(iff, t, f);
+        let unwind = g.add(NodeKind::Unwind, vec![p1]);
+        g.set_next(t, unwind);
+        let ret = g.add(NodeKind::Return, vec![p0]);
+        g.set_next(f, ret);
+        let cfg = Cfg::build(&g);
+        assert_eq!(cfg.blocks.len(), 3);
+        let ub = cfg.block_of(unwind);
+        assert_eq!(cfg.block(ub).last(), unwind);
+        assert!(cfg.block(ub).succs.is_empty());
     }
 
     #[test]

@@ -202,6 +202,12 @@ pub enum NodeKind {
     Return,
     /// Control sink: user exception. Input 0 is the error code.
     Throw,
+    /// Control sink: an `athrow`n exception leaves the compiled frame
+    /// without a matching local handler (an escaping throw is a hard
+    /// materialization point, see `pea-core`). Input 0 is the exception
+    /// object. Monitors held by the frame are released by explicit
+    /// `MonitorExit` nodes emitted before the sink.
+    Unwind,
     /// Unconditional transfer to the interpreter (with the attached frame
     /// state).
     Deopt {
@@ -401,6 +407,7 @@ impl NodeKind {
                 | NodeKind::LoopEnd
                 | NodeKind::Return
                 | NodeKind::Throw
+                | NodeKind::Unwind
                 | NodeKind::Deopt { .. }
         )
     }
@@ -433,6 +440,7 @@ impl NodeKind {
             NodeKind::LoopEnd => "LoopEnd".into(),
             NodeKind::Return => "Return".into(),
             NodeKind::Throw => "Throw".into(),
+            NodeKind::Unwind => "Unwind".into(),
             NodeKind::Deopt { reason } => format!("Deopt[{reason}]"),
             NodeKind::New { class } => format!("New {class}"),
             NodeKind::NewArray { kind } => format!("NewArray {kind}"),

@@ -305,6 +305,8 @@ pub struct CompileMetrics {
     /// Finished artifacts dropped at install because the method was
     /// evicted after the request (stale eviction epoch).
     pub stale_dropped: Counter,
+    /// Receiver-type speculations planted (mono guards and inline caches).
+    pub devirt_guards: Counter,
     /// Inline candidates the active policy accepted.
     pub inline_accepted: Counter,
     /// Inline candidates the active policy refused.
@@ -424,6 +426,10 @@ impl VmMetrics {
             (
                 "compile.stale_dropped".into(),
                 self.compile.stale_dropped.get(),
+            ),
+            (
+                "compile.devirt_guards".into(),
+                self.compile.devirt_guards.get(),
             ),
             (
                 "compile.inline_accepted".into(),

@@ -1,6 +1,7 @@
 //! Runtime errors shared by the interpreter, the compiled-code evaluator
 //! and the VM.
 
+use crate::ObjRef;
 use std::error::Error;
 use std::fmt;
 
@@ -43,6 +44,22 @@ pub enum VmError {
     IllegalMonitorState,
     /// `throw` was executed; carries the user error code.
     UserException(i64),
+    /// An `athrow`n exception is propagating and has not yet been caught.
+    /// Internal to the execution tiers: [`VmError::Thrown`] unwinds through
+    /// `invoke` results and is either dispatched to a handler by the caller
+    /// or converted to [`VmError::UncaughtException`] at the VM entry point.
+    /// The payload is the heap reference of the exception object.
+    Thrown(ObjRef),
+    /// An exception escaped the entry-point call without a matching
+    /// handler. Identity is reported structurally — class name plus the
+    /// exception's int fields in declaration order — because raw heap ids
+    /// differ between tiers when scalar replacement elides allocations.
+    UncaughtException {
+        /// Dynamic class name of the thrown object.
+        class: String,
+        /// Values of the object's int fields, in field-declaration order.
+        fields: Vec<i64>,
+    },
     /// Interpreter/evaluator ran past its fuel budget (guards runaway
     /// loops in tests and benchmarks).
     OutOfFuel,
@@ -69,6 +86,10 @@ impl fmt::Display for VmError {
             VmError::NoSuchMethod(n) => write!(f, "no such method `{n}`"),
             VmError::IllegalMonitorState => f.write_str("illegal monitor state"),
             VmError::UserException(code) => write!(f, "user exception ({code})"),
+            VmError::Thrown(obj) => write!(f, "exception in flight (object {obj})"),
+            VmError::UncaughtException { class, fields } => {
+                write!(f, "uncaught exception: {class}{fields:?}")
+            }
             VmError::OutOfFuel => f.write_str("execution fuel exhausted"),
             VmError::Internal(msg) => write!(f, "internal error: {msg}"),
         }

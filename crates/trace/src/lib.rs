@@ -36,6 +36,10 @@ pub enum MaterializeReason {
     ReturnValue,
     /// Thrown as an exception value.
     ThrowValue,
+    /// Reached an `Unwind` exit: the exception object (or state reachable
+    /// from it) leaves the compiled frame without a local handler, so the
+    /// allocation must exist on the heap when the caller sees it.
+    ThrownEscape,
     /// A monitor operation that could not be elided (lock elision disabled
     /// or lock state not tracked).
     MonitorOperation,
@@ -62,6 +66,7 @@ impl MaterializeReason {
             MaterializeReason::CallArgument => "call-argument",
             MaterializeReason::ReturnValue => "return-value",
             MaterializeReason::ThrowValue => "throw-value",
+            MaterializeReason::ThrownEscape => "thrown-escape",
             MaterializeReason::MonitorOperation => "monitor-operation",
             MaterializeReason::MergeOfMixedStates => "merge-of-mixed-states",
             MaterializeReason::MergeFieldConflict => "merge-field-conflict",
@@ -78,6 +83,7 @@ impl MaterializeReason {
             "call-argument" => MaterializeReason::CallArgument,
             "return-value" => MaterializeReason::ReturnValue,
             "throw-value" => MaterializeReason::ThrowValue,
+            "thrown-escape" => MaterializeReason::ThrownEscape,
             "monitor-operation" => MaterializeReason::MonitorOperation,
             "merge-of-mixed-states" => MaterializeReason::MergeOfMixedStates,
             "merge-field-conflict" => MaterializeReason::MergeFieldConflict,
@@ -193,6 +199,21 @@ pub enum TraceEvent {
         inlined: bool,
         reason: String,
     },
+    /// The graph builder speculated on receiver types at a virtual call
+    /// site and planted a deopt guard: `classes` lists the speculated
+    /// receiver classes hottest-first (one entry for a monomorphic guard,
+    /// 2..=4 for a polymorphic inline cache).
+    DevirtGuard {
+        method: String,
+        bci: u32,
+        callee: String,
+        classes: Vec<String>,
+    },
+    /// Compiled code hit a speculation guard at runtime and transferred to
+    /// the interpreter. Narrower than [`Deopt`](Self::Deopt): emitted only
+    /// for guard-triggered transfers, before the generic deopt event, so
+    /// golden traces can pin guard-failure ordering.
+    DeoptTaken { method: String, reason: String },
     /// An interprocedural escape summary was computed for a method:
     /// `params` holds one escape-class tag per parameter (`no-escape`,
     /// `arg-escape`, `global-escape`), `returns_fresh` whether every
@@ -223,6 +244,8 @@ impl TraceEvent {
             TraceEvent::Recompile { .. } => "recompile",
             TraceEvent::MetricsSnapshot { .. } => "metrics-snapshot",
             TraceEvent::InlineDecision { .. } => "inline-decision",
+            TraceEvent::DevirtGuard { .. } => "devirt-guard",
+            TraceEvent::DeoptTaken { .. } => "deopt-taken",
             TraceEvent::SummaryComputed { .. } => "summary-computed",
         }
     }
@@ -320,6 +343,18 @@ impl TraceEvent {
             } => {
                 let verdict = if *inlined { "inline" } else { "no-inline" };
                 format!("  {verdict} {callee} at {method}:{bci} (policy={policy}, {reason})")
+            }
+            TraceEvent::DevirtGuard {
+                method,
+                bci,
+                callee,
+                classes,
+            } => format!(
+                "  devirt-guard {callee} at {method}:{bci} on [{}]",
+                classes.join(", ")
+            ),
+            TraceEvent::DeoptTaken { method, reason } => {
+                format!("deopt-taken {method} ({reason})")
             }
             TraceEvent::SummaryComputed {
                 method,
@@ -435,6 +470,21 @@ impl TraceEvent {
                 o.bool("inlined", *inlined);
                 o.str("reason", reason);
             }
+            TraceEvent::DevirtGuard {
+                method,
+                bci,
+                callee,
+                classes,
+            } => {
+                o.str("method", method);
+                o.num("bci", *bci as i64);
+                o.str("callee", callee);
+                o.str_array("classes", classes);
+            }
+            TraceEvent::DeoptTaken { method, reason } => {
+                o.str("method", method);
+                o.str("reason", reason);
+            }
             TraceEvent::SummaryComputed {
                 method,
                 params,
@@ -531,6 +581,16 @@ impl TraceEvent {
                 callee: obj.get_str("callee")?.to_string(),
                 policy: obj.get_str("policy")?.to_string(),
                 inlined: obj.get_bool("inlined")?,
+                reason: obj.get_str("reason")?.to_string(),
+            },
+            "devirt-guard" => TraceEvent::DevirtGuard {
+                method: obj.get_str("method")?.to_string(),
+                bci: obj.get_num("bci")? as u32,
+                callee: obj.get_str("callee")?.to_string(),
+                classes: obj.get_str_array("classes")?,
+            },
+            "deopt-taken" => TraceEvent::DeoptTaken {
+                method: obj.get_str("method")?.to_string(),
                 reason: obj.get_str("reason")?.to_string(),
             },
             "summary-computed" => TraceEvent::SummaryComputed {
@@ -955,6 +1015,8 @@ impl TraceSink for SiteAggregator {
             TraceEvent::Recompile { .. }
             | TraceEvent::MetricsSnapshot { .. }
             | TraceEvent::InlineDecision { .. }
+            | TraceEvent::DevirtGuard { .. }
+            | TraceEvent::DeoptTaken { .. }
             | TraceEvent::SummaryComputed { .. } => {}
         }
     }
@@ -1053,6 +1115,16 @@ mod tests {
                 policy: "summary".into(),
                 inlined: false,
                 reason: "publishes-argument".into(),
+            },
+            TraceEvent::DevirtGuard {
+                method: "Cache.getValue".into(),
+                bci: 11,
+                callee: "Shape.area".into(),
+                classes: vec!["Circle".into(), "Square".into()],
+            },
+            TraceEvent::DeoptTaken {
+                method: "Cache.getValue".into(),
+                reason: "type-check".into(),
             },
             TraceEvent::SummaryComputed {
                 method: "Cache.hash".into(),

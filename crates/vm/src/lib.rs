@@ -28,16 +28,17 @@ pub mod compile_service;
 pub use compile_service::{default_workers, CompileService, CompileServiceOptions};
 use pea_analysis::ProgramSummaries;
 use pea_bytecode::{MethodId, Program};
+use pea_compiler::DeoptFrame;
 pub use pea_compiler::OptLevel;
 use pea_compiler::{
     compile, compile_traced, evaluate, Bailout, CompiledMethod, CompilerOptions, EvalEnv,
     EvalOutcome,
 };
-use pea_interp::{interpret, resume, Frame, InterpEnv};
+use pea_interp::{interpret, resume, unwind, Frame, InterpEnv};
 pub use pea_metrics::MetricsHub;
 use pea_metrics::{HeapRecorder, MetricsSnapshot, VmMetrics};
 use pea_runtime::profile::ProfileStore;
-use pea_runtime::{Heap, Statics, Stats, Value, VmError};
+use pea_runtime::{Heap, HeapObject, ObjRef, Statics, Stats, Value, VmError};
 pub use pea_trace::SharedSink;
 use pea_trace::TraceEvent;
 use std::collections::{HashMap, HashSet};
@@ -341,7 +342,31 @@ impl Vm {
             .program
             .static_method_by_name(name)
             .ok_or_else(|| VmError::NoSuchMethod(name.to_string()))?;
-        self.call(method, args.to_vec())
+        match self.call(method, args.to_vec()) {
+            // An exception escaped every frame: report it structurally
+            // (class name + int fields) — raw heap ids differ between
+            // tiers when scalar replacement elides allocations.
+            Err(VmError::Thrown(obj)) => Err(self.uncaught(obj)),
+            result => result,
+        }
+    }
+
+    /// Converts an in-flight exception object that escaped the entry call
+    /// into its structural [`VmError::UncaughtException`] identity.
+    fn uncaught(&self, obj: ObjRef) -> VmError {
+        match &self.heap.cell(obj).object {
+            HeapObject::Instance { class, fields } => VmError::UncaughtException {
+                class: self.program.classes[class.index()].name.clone(),
+                fields: fields
+                    .iter()
+                    .filter_map(|v| match v {
+                        Value::Int(i) => Some(*i),
+                        _ => None,
+                    })
+                    .collect(),
+            },
+            HeapObject::Array { .. } => VmError::Internal("thrown array".into()),
+        }
     }
 
     /// Calls a method through the tiering policy.
@@ -735,6 +760,12 @@ impl Vm {
                     m.vm.rematerialized_objects.add(rematerialized.len() as u64);
                 }
                 if let Some(sink) = &self.options.trace {
+                    // DeoptTaken first: the narrow guard-failure marker,
+                    // then the generic deopt record with the inventory.
+                    sink.emit_event(&TraceEvent::DeoptTaken {
+                        method: program.method(method).qualified_name(program),
+                        reason: reason.to_string(),
+                    });
                     sink.emit_event(&TraceEvent::Deopt {
                         method: program.method(method).qualified_name(program),
                         reason: reason.to_string(),
@@ -766,24 +797,33 @@ impl Vm {
                         });
                     }
                 }
-                let interp_frames: Vec<Frame> = frames
-                    .into_iter()
-                    .map(|f| Frame {
-                        method: f.method,
-                        bci: f.bci,
-                        locals: f.locals,
-                        stack: f.stack,
-                        // Only synchronized-method monitors are released
-                        // automatically on frame return; explicit pairs are
-                        // re-executed by the bytecode itself.
-                        locked: f
-                            .locked
-                            .into_iter()
-                            .filter_map(|(obj, sync)| sync.then_some(obj))
-                            .collect(),
-                    })
-                    .collect();
-                resume(program, self, interp_frames)
+                resume(program, self, to_interp_frames(frames))
+            }
+            EvalOutcome::Unwind {
+                exception,
+                frames,
+                rematerialized,
+            } => {
+                // An out-of-line callee threw into this compiled frame.
+                // This is an exception transfer, not a misspeculation:
+                // record the deopt (frames are rebuilt and objects
+                // rematerialized exactly as for a guard failure) but do
+                // not count it toward eviction — the compiled code would
+                // deopt here for every throw, and exception-heavy but
+                // correctly-speculated methods must stay compiled.
+                self.heap.stats.deopts += 1;
+                if let Some(m) = self.options.metrics.on() {
+                    m.vm.deopts.inc();
+                    m.vm.rematerialized_objects.add(rematerialized.len() as u64);
+                }
+                if let Some(sink) = &self.options.trace {
+                    sink.emit_event(&TraceEvent::Deopt {
+                        method: program.method(code.method).qualified_name(program),
+                        reason: "exception-unwind".to_string(),
+                        rematerialized,
+                    });
+                }
+                unwind(program, self, to_interp_frames(frames), exception)
             }
         }
     }
@@ -795,6 +835,28 @@ impl Vm {
             _ => Ok(()),
         }
     }
+}
+
+/// Converts the deopt frame chain of a compiled method (outermost first)
+/// into interpreter frames for `resume`/`unwind`.
+fn to_interp_frames(frames: Vec<DeoptFrame>) -> Vec<Frame> {
+    frames
+        .into_iter()
+        .map(|f| Frame {
+            method: f.method,
+            bci: f.bci,
+            locals: f.locals,
+            stack: f.stack,
+            // Only synchronized-method monitors are released
+            // automatically on frame return; explicit pairs are
+            // re-executed by the bytecode itself.
+            locked: f
+                .locked
+                .into_iter()
+                .filter_map(|(obj, sync)| sync.then_some(obj))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Folds one compilation's buffered decision events (plus its result) into
@@ -832,10 +894,12 @@ pub(crate) fn record_compile_metrics(
                     m.compile.inline_rejected.inc();
                 }
             }
+            TraceEvent::DevirtGuard { .. } => m.compile.devirt_guards.inc(),
             // VM-side events are counted at their emission sites;
             // summaries are program-wide, not per-compilation.
             TraceEvent::SummaryComputed { .. }
             | TraceEvent::Deopt { .. }
+            | TraceEvent::DeoptTaken { .. }
             | TraceEvent::Evict { .. }
             | TraceEvent::Recompile { .. }
             | TraceEvent::MetricsSnapshot { .. } => {}

@@ -16,6 +16,7 @@
 //! up (interpreter → profile → JIT) and then measures per-iteration
 //! statistics deltas.
 
+pub mod gen;
 mod patterns;
 mod suites;
 

@@ -18,6 +18,9 @@
 //! | [`Pattern::ArrayFill`] | buffer/array churn (xalan, tmt) | arrays survive (bytes dominated) |
 //! | [`Pattern::BranchyEscape`] | allocation escaping on many paths (jython) | no allocation win, **code-size growth** |
 //! | [`Pattern::PolyDispatch`] | megamorphic call sites (jython) | blocks inlining, objects escape as arguments |
+//! | [`Pattern::ExceptionParse`] | parser error paths (xalan, batik) | results scalar-replaced; errors **materialize at the throw** |
+//! | [`Pattern::MegamorphicDispatch`] | hot virtual sites over 1–4 receiver classes | guarded devirtualization (mono guard / PIC), receivers scalar-replaced |
+//! | [`Pattern::TryFinallyLock`] | try-finally monitor regions (tomcat, jbb) | locally-caught error object scalar-replaced; lock released on both paths |
 //! | [`Pattern::Ballast`] | the non-allocating bulk of real applications | none (dilutes speedups to realistic magnitudes) |
 
 use std::fmt::Write as _;
@@ -106,6 +109,39 @@ pub enum Pattern {
     PolyDispatch {
         /// Inner repetitions.
         n: i64,
+    },
+    /// `n` parse calls; every `fail_every`-th input is malformed and the
+    /// parser throws a fresh error object the caller catches and recovers
+    /// from. Result objects are fully scalar-replaced; error objects
+    /// virtualize until the `athrow` and materialize exactly there
+    /// (`thrown-escape`).
+    ExceptionParse {
+        /// Inner repetitions.
+        n: i64,
+        /// Throw period (error rate = 1/this).
+        fail_every: i64,
+    },
+    /// `n` virtual calls on fresh receivers drawn from `classes` concrete
+    /// types (1–4). Receivers never escape: with receiver-type speculation
+    /// the call devirtualizes behind a guard (monomorphic) or a
+    /// polymorphic inline cache, the callee inlines, and the receiver is
+    /// scalar-replaced; a guard failure deoptimizes and rematerializes it.
+    MegamorphicDispatch {
+        /// Inner repetitions.
+        n: i64,
+        /// Receiver classes cycling through the site (1..=4).
+        classes: u32,
+    },
+    /// `n` locked increments in a try-finally region: the monitor is
+    /// released on the normal path and in the catch-all handler, and every
+    /// `throw_every`-th step throws an error that the handler absorbs
+    /// locally — the error object never leaves the compiled unit and is
+    /// fully scalar-replaced.
+    TryFinallyLock {
+        /// Inner repetitions.
+        n: i64,
+        /// Throw period.
+        throw_every: i64,
     },
     /// `n` iterations of pure, allocation-free arithmetic — the
     /// non-allocating bulk of a real application, diluting PEA's effect
@@ -506,6 +542,140 @@ Ld{s}:
 "
                 );
             }
+            Pattern::ExceptionParse { n, fail_every } => {
+                let _ = write!(
+                    out,
+                    "
+class Res{s} {{ field v int }}
+class PErr{s} {{ field code int }}
+method parse{s} 1 returns {{
+    load 0 const {fail_every} rem const 0 ifcmp eq Lbad{s}
+    new Res{s} store 1
+    load 1 load 0 putfield Res{s}.v
+    load 1 getfield Res{s}.v retv
+Lbad{s}:
+    new PErr{s} store 1
+    load 1 load 0 putfield PErr{s}.code
+    load 1 athrow
+}}
+method p{s} 1 returns {{
+    try Ls{s} Le{s} Lc{s} PErr{s}
+    const 0 store 1
+    const 0 store 2
+Lh{s}:
+    load 2 const {n} ifcmp ge Ld{s}
+Ls{s}:
+    load 0 load 2 add invokestatic parse{s}
+    load 1 add store 1
+Le{s}:
+    goto Ln{s}
+Lc{s}:
+    checkcast PErr{s} getfield PErr{s}.code load 1 add store 1
+Ln{s}:
+    load 2 const 1 add store 2
+    goto Lh{s}
+Ld{s}:
+    load 1 retv
+}}
+"
+                );
+            }
+            Pattern::MegamorphicDispatch { n, classes } => {
+                let classes = classes.clamp(1, 4);
+                let mut decls = String::new();
+                let mut impls = String::new();
+                // Distinct per-class multipliers keep results class-sensitive.
+                let muls = [2, 3, 5, 7];
+                for j in 1..classes {
+                    let _ = writeln!(decls, "class MB{s}x{j} extends MB{s} {{ }}");
+                    let _ = writeln!(
+                        impls,
+                        "method virtual MB{s}x{j}.go 1 returns {{ \
+                         load 0 getfield MB{s}.a const {} mul retv }}",
+                        muls[j as usize]
+                    );
+                }
+                let mut dispatch = String::new();
+                for j in 1..classes {
+                    let _ = write!(
+                        dispatch,
+                        "
+    load 1 const {j} ifcmp ne Ln{s}x{j}
+    new MB{s}x{j} goto Lset{s}
+Ln{s}x{j}:"
+                    );
+                }
+                let _ = write!(
+                    out,
+                    "
+class MB{s} {{ field a int }}
+{decls}
+method virtual MB{s}.go 1 returns {{ load 0 getfield MB{s}.a const 2 mul retv }}
+{impls}
+method step{s} 1 returns {{
+    load 0 const {classes} rem store 1
+{dispatch}
+    new MB{s}
+Lset{s}:
+    store 2
+    load 2 load 0 putfield MB{s}.a
+    load 2 invokevirtual MB{s}.go retv
+}}
+method p{s} 1 returns {{
+    const 0 store 1
+    const 0 store 2
+Lh{s}:
+    load 2 const {n} ifcmp ge Ld{s}
+    load 0 load 2 add invokestatic step{s}
+    load 1 add store 1
+    load 2 const 1 add store 2
+    goto Lh{s}
+Ld{s}:
+    load 1 retv
+}}
+"
+                );
+            }
+            Pattern::TryFinallyLock { n, throw_every } => {
+                let _ = write!(
+                    out,
+                    "
+class Lk{s} {{ field v int }}
+class LE{s} {{ field c int }}
+method bump{s} 2 returns {{
+    try Ls{s} Le{s} Lf{s} *
+    load 0 monitorenter
+Ls{s}:
+    load 0 load 0 getfield Lk{s}.v load 1 add putfield Lk{s}.v
+    load 1 const {throw_every} rem const 0 ifcmp ne Lok{s}
+    new LE{s} store 2
+    load 2 load 1 putfield LE{s}.c
+    load 2 athrow
+Lok{s}:
+Le{s}:
+    load 0 monitorexit
+    load 0 getfield Lk{s}.v retv
+Lf{s}:
+    pop
+    load 0 monitorexit
+    load 0 getfield Lk{s}.v neg retv
+}}
+method p{s} 1 returns {{
+    new Lk{s} store 1
+    const 0 store 2
+    const 0 store 3
+Lh{s}:
+    load 3 const {n} ifcmp ge Ld{s}
+    load 1 load 3 invokestatic bump{s}
+    load 2 add store 2
+    load 3 const 1 add store 3
+    goto Lh{s}
+Ld{s}:
+    load 2 retv
+}}
+"
+                );
+            }
             Pattern::Ballast { n } => {
                 let _ = write!(
                     out,
@@ -609,6 +779,15 @@ mod tests {
             Pattern::ArrayFill { n: 5, len: 16 },
             Pattern::BranchyEscape { n: 10, branches: 4 },
             Pattern::PolyDispatch { n: 10 },
+            Pattern::ExceptionParse {
+                n: 10,
+                fail_every: 3,
+            },
+            Pattern::MegamorphicDispatch { n: 10, classes: 4 },
+            Pattern::TryFinallyLock {
+                n: 10,
+                throw_every: 3,
+            },
             Pattern::Ballast { n: 10 },
         ] {
             check(p);

@@ -82,6 +82,10 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
                 SyncCounter { n: 40 },
                 EscapeHeavy { n: 120, pool: 64 },
                 ArrayFill { n: 10, len: 24 },
+                TryFinallyLock {
+                    n: 25,
+                    throw_every: 9,
+                },
                 Ballast { n: 5000 },
             ],
         ),
@@ -94,6 +98,7 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
                     branches: 12,
                 },
                 PolyDispatch { n: 40 },
+                MegamorphicDispatch { n: 30, classes: 4 },
                 MixedEscape {
                     n: 30,
                     escape_every: 3,
@@ -121,6 +126,10 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
                     miss_every: 16,
                 },
                 EscapeHeavy { n: 150, pool: 64 },
+                TryFinallyLock {
+                    n: 20,
+                    throw_every: 7,
+                },
                 Ballast { n: 3000 },
             ],
         ),
@@ -144,6 +153,10 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
                 EscapeHeavy { n: 100, pool: 64 },
                 ArrayFill { n: 20, len: 32 },
                 BoxingArith { n: 15 },
+                ExceptionParse {
+                    n: 12,
+                    fail_every: 5,
+                },
                 Ballast { n: 3000 },
             ],
         ),
@@ -165,6 +178,10 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
             vec![
                 ArrayFill { n: 20, len: 40 },
                 EscapeHeavy { n: 30, pool: 64 },
+                ExceptionParse {
+                    n: 10,
+                    fail_every: 4,
+                },
                 Ballast { n: 2000 },
             ],
         ),
@@ -201,6 +218,7 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
             vec![
                 EscapeHeavy { n: 70, pool: 64 },
                 PolyDispatch { n: 40 },
+                MegamorphicDispatch { n: 25, classes: 3 },
                 Ballast { n: 2000 },
             ],
         ),
@@ -292,6 +310,10 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                 IteratorSum { len: 64 },
                 TupleReturn { n: 12 },
                 EscapeHeavy { n: 80, pool: 64 },
+                ExceptionParse {
+                    n: 8,
+                    fail_every: 6,
+                },
                 Ballast { n: 2500 },
             ],
         ),
@@ -367,6 +389,10 @@ pub fn specjbb() -> WorkloadSpec {
             EscapeHeavy { n: 110, pool: 64 },
             ArrayFill { n: 12, len: 40 },
             BoxingArith { n: 25 },
+            TryFinallyLock {
+                n: 30,
+                throw_every: 8,
+            },
             Ballast { n: 8000 },
         ],
     }

@@ -19,6 +19,9 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use std::sync::Mutex;
 
+/// Per-config result vector of a fuzz run (one entry per `iterate` call).
+type ConfigOutcomes = Vec<(String, Vec<Result<Option<Value>, VmError>>)>;
+
 /// A structured mini-AST lowered to verified bytecode, so every generated
 /// program is executable (runtime errors like null dereferences are still
 /// possible and must match across configurations).
@@ -706,6 +709,190 @@ fn elided_locks_never_acquired_at_runtime() {
         0,
         "elided-lock sites must never reach the runtime monitor"
     );
+}
+
+// ---- Exceptions and guarded virtual dispatch --------------------------
+//
+// The seeded generator in `pea::workloads::gen` produces programs built
+// around the two new materialization points: exception edges (athrow,
+// try/catch/finally, nested handlers) and speculated virtual dispatch
+// (1–4 receiver classes per call site, so class-rotation defeats the
+// speculation and forces guard-failure deopts). Every configuration runs
+// with `checked` on: the PEA decision sanitizer panics on any
+// inconsistency, so these tests double as the "0 sanitizer findings
+// under guard-failure deopt" acceptance gate.
+
+fn exception_configs() -> Vec<(&'static str, VmOptions)> {
+    let low = |level: OptLevel| {
+        let mut o = VmOptions::with_opt_level(level);
+        o.compile_threshold = 3;
+        o.checked = true;
+        o
+    };
+    let mut exc_bg = low(OptLevel::Pea);
+    exc_bg.jit_mode = pea::vm::JitMode::Background;
+    exc_bg.compile_workers = Some(1);
+    let mut virt = low(OptLevel::Pea);
+    virt.compiler.build.branch_threshold = 4;
+    virt.compiler.build.devirtualize_threshold = 4;
+    let mut virt_bg = low(OptLevel::Pea);
+    virt_bg.compiler.build.branch_threshold = 4;
+    virt_bg.compiler.build.devirtualize_threshold = 4;
+    virt_bg.jit_mode = pea::vm::JitMode::Background;
+    virt_bg.compile_workers = Some(1);
+    vec![
+        ("interp", VmOptions::interpreter_only()),
+        ("jit-exceptions", low(OptLevel::Pea)),
+        ("jit-exceptions-bg", exc_bg),
+        ("jit-virtual", virt),
+        ("jit-virtual-bg", virt_bg),
+    ]
+}
+
+/// Generator-driven fuzz: interpreter and every JIT configuration agree
+/// call-for-call on generated exception/dispatch programs, and in a
+/// deopt-free steady-state window the JIT never allocates more than the
+/// interpreter (materialize-at-throw still beats allocate-up-front).
+#[test]
+fn generated_exception_programs_agree_across_tiers() {
+    for seed in 0..12u64 {
+        let src = pea::workloads::gen::generate(seed);
+        let program = pea::bytecode::asm::parse_program(&src).expect("generated program parses");
+        pea::bytecode::verify_program(&program).expect("generated program verifies");
+        let mut outcomes: ConfigOutcomes = Vec::new();
+        let mut windows: Vec<(String, u64, u64)> = Vec::new();
+        for (name, options) in exception_configs() {
+            let mut vm = Vm::new(program.clone(), options);
+            let mut results = Vec::new();
+            for i in 0..16i64 {
+                results.push(vm.call_entry("iterate", &[Value::Int(i)]));
+            }
+            // Steady-state allocation window (delta over 6 more calls);
+            // only comparable if the window itself saw no deopt, since
+            // rematerialization legitimately duplicates allocations.
+            let before = vm.stats();
+            for i in 0..6i64 {
+                results.push(vm.call_entry("iterate", &[Value::Int(i)]));
+            }
+            let d = vm.stats().delta(&before);
+            windows.push((name.to_string(), d.alloc_count, d.deopts));
+            outcomes.push((name.to_string(), results));
+        }
+        let (ref_name, ref_results) = &outcomes[0];
+        for (name, results) in &outcomes[1..] {
+            assert_eq!(
+                results, ref_results,
+                "seed {seed}: {name} disagrees with {ref_name}"
+            );
+        }
+        let interp_window = windows[0].1;
+        for (name, allocs, deopts) in &windows[1..] {
+            if *deopts == 0 {
+                assert!(
+                    *allocs <= interp_window,
+                    "seed {seed}: {name} allocated {allocs} in a deopt-free window, \
+                     interpreter allocated {interp_window}"
+                );
+            }
+        }
+    }
+}
+
+/// Thrown-exception identity: an exception escaping `iterate` must carry
+/// the same structural identity (class name + int fields in declaration
+/// order) in every tier — scalar replacement elides the allocation until
+/// the throw, but the materialized object must be indistinguishable.
+#[test]
+fn uncaught_exception_identity_matches_across_tiers() {
+    let src = "
+        class Boom { field code int field aux int }
+        method inner 1 returns {
+            load 0 const 7 rem const 0 ifcmp ne Lok
+            new Boom store 1
+            load 1 load 0 const 100 add putfield Boom.code
+            load 1 const 41 putfield Boom.aux
+            load 1 athrow
+        Lok:
+            load 0 const 3 mul retv
+        }
+        method iterate 1 returns {
+            load 0 invokestatic inner retv
+        }";
+    let program = pea::bytecode::asm::parse_program(src).expect("fixture parses");
+    pea::bytecode::verify_program(&program).expect("fixture verifies");
+    let mut reference: Option<Vec<Result<Option<Value>, VmError>>> = None;
+    for (name, options) in exception_configs() {
+        let mut vm = Vm::new(program.clone(), options);
+        let mut results = Vec::new();
+        for i in 0..15i64 {
+            results.push(vm.call_entry("iterate", &[Value::Int(i)]));
+        }
+        // The i % 7 == 0 calls must fail with the exact structural
+        // identity; everything else succeeds.
+        for (i, r) in results.iter().enumerate() {
+            if i % 7 == 0 {
+                assert_eq!(
+                    r,
+                    &Err(VmError::UncaughtException {
+                        class: "Boom".into(),
+                        fields: vec![i as i64 + 100, 41],
+                    }),
+                    "{name}: wrong identity for iterate({i})"
+                );
+            } else {
+                assert_eq!(
+                    r,
+                    &Ok(Some(Value::Int(i as i64 * 3))),
+                    "{name}: wrong result for iterate({i})"
+                );
+            }
+        }
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(&results, r, "{name} disagrees on exception identity"),
+        }
+    }
+}
+
+/// The syntactic pre-filter stays a subset of the interprocedural
+/// exclusions on every generated program — including sites published
+/// through an exception edge (`new ... athrow`), which both layers must
+/// now treat exactly like `new ... putstatic`.
+#[test]
+fn pre_exclusions_subset_of_ipa_on_generated_programs() {
+    use pea::analysis::{immediate_global_sites, ProgramSummaries};
+    for seed in 0..24u64 {
+        let src = pea::workloads::gen::generate(seed);
+        let program = pea::bytecode::asm::parse_program(&src).expect("parses");
+        pea::bytecode::verify_program(&program).expect("verifies");
+        let summaries = ProgramSummaries::compute(&program);
+        for index in 0..program.methods.len() {
+            let id = pea::bytecode::MethodId::from_index(index);
+            let immediate = immediate_global_sites(program.method(id));
+            let excluded = summaries.excluded_sites(&program, id);
+            assert!(
+                immediate.iter().all(|bci| excluded.contains(bci)),
+                "seed {seed}, method {index}: pre {immediate:?} ⊄ ipa {excluded:?}"
+            );
+        }
+    }
+    // And the throw-publishing shape specifically: `new Err athrow` must
+    // appear in both the syntactic and the interprocedural exclusion set.
+    let src = "
+        class Err { field code int }
+        method m 1 {
+            load 0 const 0 ifcmp eq Ldone
+            new Err athrow
+        Ldone:
+            ret
+        }";
+    let program = pea::bytecode::asm::parse_program(src).unwrap();
+    pea::bytecode::verify_program(&program).unwrap();
+    let id = program.static_method_by_name("m").unwrap();
+    let immediate = immediate_global_sites(program.method(id));
+    let excluded = ProgramSummaries::compute(&program).excluded_sites(&program, id);
+    assert_eq!(immediate.len(), 1, "new-then-athrow is an immediate site");
+    assert!(excluded.contains(&immediate[0]));
 }
 
 /// Observability must be free: attaching a trace sink changes neither the
