@@ -33,10 +33,12 @@ fn measure_with(workload: &Workload, options: &VmOptions) -> (pea_bench::Measure
             .expect("warmup");
     }
     let before = vm.stats();
+    let start = std::time::Instant::now();
     for i in DEFAULT_WARMUP..DEFAULT_WARMUP + DEFAULT_ITERS {
         vm.call_entry("iterate", &[pea_runtime::Value::Int(i as i64)])
             .expect("iterate");
     }
+    let wall = start.elapsed();
     let d = vm.stats().delta(&before);
     let mut work = PeaWork::default();
     for method in vm.compiled_methods() {
@@ -52,6 +54,7 @@ fn measure_with(workload: &Workload, options: &VmOptions) -> (pea_bench::Measure
         allocs_per_iter: d.alloc_count as f64 / DEFAULT_ITERS as f64,
         monitor_ops_per_iter: d.monitor_ops() as f64 / DEFAULT_ITERS as f64,
         cycles_per_iter: d.cycles as f64 / DEFAULT_ITERS as f64,
+        wall_ns_per_iter: wall.as_nanos() as f64 / DEFAULT_ITERS as f64,
         deopts: d.deopts,
         compiles: vm.stats().compiles,
     };
@@ -97,12 +100,21 @@ fn main() {
     ];
     println!("PEA ablations — suite-average deltas vs. no escape analysis");
     println!(
-        "{:<18} {:>24} {:>24} {:>24}",
+        "{:<18} {:>34} {:>34} {:>34}",
         "", "DaCapo", "ScalaDaCapo", "SPECjbb2005"
     );
     println!(
-        "{:<18} {:>13} {:>10} {:>13} {:>10} {:>13} {:>10}",
-        "variant", "allocsΔ", "speedup", "allocsΔ", "speedup", "allocsΔ", "speedup"
+        "{:<18} {:>13} {:>10} {:>9} {:>13} {:>10} {:>9} {:>13} {:>10} {:>9}",
+        "variant",
+        "allocsΔ",
+        "speedup",
+        "ns/op",
+        "allocsΔ",
+        "speedup",
+        "ns/op",
+        "allocsΔ",
+        "speedup",
+        "ns/op"
     );
     for (name, options) in &variants {
         print!("{name:<18}");
@@ -126,7 +138,8 @@ fn main() {
             let n = rows.len() as f64;
             let allocs = rows.iter().map(Row::allocs_delta).sum::<f64>() / n;
             let speed = rows.iter().map(Row::speedup).sum::<f64>() / n;
-            print!(" {allocs:>+12.1}% {speed:>+9.1}%");
+            let wall = rows.iter().map(|r| r.with.wall_ns_per_iter).sum::<f64>() / n;
+            print!(" {allocs:>+12.1}% {speed:>+9.1}% {wall:>9.0}");
         }
         println!();
         println!(

@@ -1,0 +1,140 @@
+//! Wall-clock comparison of the two compiled-code execution tiers: the
+//! graph-walking evaluator (`--exec-mode graph`, the differential oracle)
+//! vs. the linear register-machine tier (`--exec-mode linear`, the
+//! default). Both tiers produce byte-identical results, virtual-cycle
+//! totals and decision traces (see `tests/differential.rs`); this bench
+//! reports the *real time* each needs to do so.
+//!
+//! Every workload is profiled in the interpreter, fully precompiled, and
+//! then timed over a steady-state loop in each mode, so the comparison is
+//! hot compiled code against hot compiled code with identical artifacts.
+//!
+//! Usage: `linear_speed [--smoke] [--out PATH]`
+//!
+//! Writes a JSON report (default `BENCH_linear.json`) and prints a
+//! human-readable table. `--smoke` shrinks warmup and iteration counts
+//! for CI.
+
+use pea_runtime::Value;
+use pea_vm::{ExecMode, OptLevel, Vm, VmOptions};
+use pea_workloads::{suite_workloads, Suite, Workload};
+use std::time::Instant;
+
+struct Row {
+    suite: &'static str,
+    name: String,
+    graph_ns: f64,
+    linear_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.graph_ns / self.linear_ns
+    }
+}
+
+/// Times one workload in one exec mode: interpreter warmup (profiles and
+/// speculation), full precompile, a short re-warm on compiled code, then
+/// the measured loop. Returns wall nanoseconds per iteration.
+fn time_mode(w: &Workload, exec: ExecMode, warmup: u64, iters: u64) -> f64 {
+    let mut options = VmOptions::with_opt_level(OptLevel::Pea);
+    options.exec_mode = exec;
+    let mut vm = Vm::new(w.program.clone(), options);
+    for i in 0..warmup {
+        vm.call_entry("iterate", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("{} warmup: {e}", w.name));
+    }
+    let compiled = vm.precompile_all(1);
+    assert!(
+        vm.stats().compiles + compiled as u64 >= 1,
+        "{}: nothing compiled, the tier comparison would time the interpreter",
+        w.name
+    );
+    for i in warmup..warmup + warmup / 2 {
+        vm.call_entry("iterate", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("{} re-warm: {e}", w.name));
+    }
+    let base = warmup + warmup / 2;
+    let start = Instant::now();
+    for i in base..base + iters {
+        vm.call_entry("iterate", &[Value::Int(i as i64)])
+            .unwrap_or_else(|e| panic!("{} iteration: {e}", w.name));
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn json_report(rows: &[Row], warmup: u64, iters: u64, geomean: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"linear_speed\",\n");
+    out.push_str(&format!("  \"warmup\": {warmup},\n"));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!("  \"geomean_speedup\": {geomean:.3},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"suite\": \"{}\", \"name\": \"{}\", \"graph_ns_per_iter\": {:.1}, \
+             \"linear_ns_per_iter\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.suite,
+            r.name,
+            r.graph_ns,
+            r.linear_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_linear.json".into());
+    let (warmup, iters) = if smoke { (40, 60) } else { (120, 400) };
+
+    let suites = [
+        ("DaCapo", Suite::DaCapo),
+        ("ScalaDaCapo", Suite::ScalaDaCapo),
+        ("SPECjbb2005", Suite::SpecJbb),
+    ];
+    println!("linear_speed: hot compiled code, graph-walking oracle vs. linear tier");
+    println!("  ({warmup} warmup + {iters} measured iterations per workload per mode)");
+    println!(
+        "  {:<13} {:<14} {:>12} {:>12} {:>9}",
+        "suite", "workload", "graph ns/op", "linear ns/op", "speedup"
+    );
+    let mut rows = Vec::new();
+    for (title, suite) in suites {
+        for w in &suite_workloads(suite) {
+            let graph_ns = time_mode(w, ExecMode::Graph, warmup, iters);
+            let linear_ns = time_mode(w, ExecMode::Linear, warmup, iters);
+            let row = Row {
+                suite: title,
+                name: w.name.clone(),
+                graph_ns,
+                linear_ns,
+            };
+            println!(
+                "  {:<13} {:<14} {:>12.0} {:>12.0} {:>8.2}x",
+                row.suite,
+                row.name,
+                row.graph_ns,
+                row.linear_ns,
+                row.speedup()
+            );
+            rows.push(row);
+        }
+    }
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    println!("  geomean speedup: {geomean:.2}x");
+
+    let report = json_report(&rows, warmup, iters, geomean);
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

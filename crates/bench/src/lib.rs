@@ -18,6 +18,7 @@ use pea_runtime::{Stats, Value};
 use pea_trace::{SharedSink, SiteAggregator};
 use pea_vm::{OptLevel, Vm, VmOptions};
 use pea_workloads::Workload;
+use std::time::Instant;
 
 /// Steady-state per-iteration measurements of one workload at one
 /// optimization level.
@@ -31,6 +32,11 @@ pub struct Measurement {
     pub monitor_ops_per_iter: f64,
     /// Virtual cycles per iteration.
     pub cycles_per_iter: f64,
+    /// Host wall-clock nanoseconds per iteration. Unlike the virtual
+    /// cycle columns this is hardware- and load-dependent; it is reported
+    /// for honesty (the simulated speedups cost real time to produce) and
+    /// for comparing execution tiers, not for comparison with the paper.
+    pub wall_ns_per_iter: f64,
     /// Deoptimizations observed during measurement.
     pub deopts: u64,
     /// Methods compiled by the end of the run.
@@ -65,16 +71,19 @@ pub fn measure(workload: &Workload, level: OptLevel, warmup: u64, iters: u64) ->
             .unwrap_or_else(|e| panic!("{} warmup: {e}", workload.name));
     }
     let before: Stats = vm.stats();
+    let start = Instant::now();
     for i in warmup..warmup + iters {
         vm.call_entry("iterate", &[Value::Int(i as i64)])
             .unwrap_or_else(|e| panic!("{} iteration: {e}", workload.name));
     }
+    let wall = start.elapsed();
     let d = vm.stats().delta(&before);
     Measurement {
         bytes_per_iter: d.alloc_bytes as f64 / iters as f64,
         allocs_per_iter: d.alloc_count as f64 / iters as f64,
         monitor_ops_per_iter: d.monitor_ops() as f64 / iters as f64,
         cycles_per_iter: d.cycles as f64 / iters as f64,
+        wall_ns_per_iter: wall.as_nanos() as f64 / iters as f64,
         deopts: d.deopts,
         compiles: vm.stats().compiles,
     }
@@ -150,6 +159,12 @@ impl Row {
             1.0 / self.with.cycles_per_iter,
         )
     }
+
+    /// Relative change in host wall-clock time per iteration (negative =
+    /// faster in real time, independent of the virtual clock).
+    pub fn wall_delta(&self) -> f64 {
+        pct(self.without.wall_ns_per_iter, self.with.wall_ns_per_iter)
+    }
 }
 
 fn pct(without: f64, with: f64) -> f64 {
@@ -180,18 +195,30 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{title:<14} {:>22} {:>24} {:>26}",
-        "KB / Iteration", "Allocs / Iteration", "Iterations / Minute"
+        "{title:<14} {:>22} {:>24} {:>26} {:>21}",
+        "KB / Iteration", "Allocs / Iteration", "Iterations / Minute", "ns/op (wall)"
     );
     let _ = writeln!(
         out,
-        "{:<14} {:>8} {:>8} {:>6} {:>9} {:>8} {:>6} {:>10} {:>10} {:>8}",
-        "", "without", "with", "Δ", "without", "with", "Δ", "without", "with", "speedup"
+        "{:<14} {:>8} {:>8} {:>6} {:>9} {:>8} {:>6} {:>10} {:>10} {:>8} {:>11} {:>9}",
+        "",
+        "without",
+        "with",
+        "Δ",
+        "without",
+        "with",
+        "Δ",
+        "without",
+        "with",
+        "speedup",
+        "without",
+        "with"
     );
     for row in rows.iter().filter(|r| r.significant) {
         let _ = writeln!(
             out,
-            "{:<14} {:>8.1} {:>8.1} {:>+5.1}% {:>9.1} {:>8.1} {:>+5.1}% {:>10.0} {:>10.0} {:>+7.1}%",
+            "{:<14} {:>8.1} {:>8.1} {:>+5.1}% {:>9.1} {:>8.1} {:>+5.1}% {:>10.0} {:>10.0} \
+             {:>+7.1}% {:>11.0} {:>9.0}",
             row.name,
             row.without.bytes_per_iter / 1024.0,
             row.with.bytes_per_iter / 1024.0,
@@ -202,13 +229,16 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
             row.without.iterations_per_minute(),
             row.with.iterations_per_minute(),
             row.speedup(),
+            row.without.wall_ns_per_iter,
+            row.with.wall_ns_per_iter,
         );
     }
     let n = rows.len() as f64;
     let avg = |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).sum::<f64>() / n;
     let _ = writeln!(
         out,
-        "{:<14} {:>8} {:>8} {:>+5.1}% {:>9} {:>8} {:>+5.1}% {:>10} {:>10} {:>+7.1}%",
+        "{:<14} {:>8} {:>8} {:>+5.1}% {:>9} {:>8} {:>+5.1}% {:>10} {:>10} {:>+7.1}% {:>11} \
+         {:>+8.1}%",
         "average*",
         "",
         "",
@@ -219,6 +249,8 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
         "",
         "",
         avg(&Row::speedup),
+        "",
+        avg(&Row::wall_delta),
     );
     let insignificant: Vec<&str> = rows
         .iter()
@@ -351,6 +383,7 @@ mod tests {
                 allocs_per_iter: 100.0,
                 monitor_ops_per_iter: 10.0,
                 cycles_per_iter: 1000.0,
+                wall_ns_per_iter: 5000.0,
                 deopts: 0,
                 compiles: 1,
             },
@@ -359,6 +392,7 @@ mod tests {
                 allocs_per_iter: 50.0,
                 monitor_ops_per_iter: 0.0,
                 cycles_per_iter: 800.0,
+                wall_ns_per_iter: 4000.0,
                 deopts: 0,
                 compiles: 1,
             },

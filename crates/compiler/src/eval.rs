@@ -39,6 +39,14 @@ pub trait EvalEnv {
     /// background installs would starve. The default is a no-op for
     /// hosts without tiering.
     fn safepoint(&mut self) {}
+    /// Whether [`EvalEnv::charge`] enforces a fuel budget. When it does
+    /// not (the default), executors may batch charges locally and flush
+    /// the sum on exit — the cycle total is identical because only the
+    /// fuel check ever observes intermediate values. The VM overrides
+    /// this when `--fuel` is set so out-of-fuel positions stay exact.
+    fn has_fuel_limit(&self) -> bool {
+        false
+    }
 }
 
 /// One interpreter frame reconstructed by deoptimization, outermost first
@@ -101,13 +109,45 @@ pub fn evaluate(
     args: &[Value],
 ) -> Result<EvalOutcome, VmError> {
     env.charge(cost::CALL_OVERHEAD + cost::icache_cost(code.code_size))?;
-    let graph = &code.graph;
     // Dense value table: one slot per node id (compiled graphs are
-    // compact after pruning; O(1) access dominates the evaluator).
-    let mut values: Vec<Option<Value>> = vec![None; graph.len()];
+    // compact after pruning; O(1) access dominates the evaluator). The
+    // backing vector is pooled per thread so the per-call cost is a
+    // clear-and-refill, not an allocation — keeping the graph oracle's
+    // wall-clock comparison against the linear tier about dispatch, not
+    // malloc. The pop/push bracket is reentrancy-safe: recursive calls
+    // through `env.invoke` pop their own buffer.
+    let mut values = VALUES_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    values.clear();
+    values.resize(code.graph.len(), None);
+    let result = evaluate_inner(program, env, code, args, &mut values);
+    VALUES_POOL.with(|p| p.borrow_mut().push(values));
+    result
+}
+
+thread_local! {
+    /// Value-table pool for [`evaluate`] (one entry per in-flight nesting
+    /// depth, reused across calls).
+    static VALUES_POOL: std::cell::RefCell<Vec<Vec<Option<Value>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn evaluate_inner(
+    program: &Program,
+    env: &mut dyn EvalEnv,
+    code: &CompiledMethod,
+    args: &[Value],
+    values: &mut [Option<Value>],
+) -> Result<EvalOutcome, VmError> {
+    let graph = &code.graph;
+    // Commit results are keyed by commit node; the map allocates nothing
+    // until a method actually materializes a group.
     let mut commit_results: HashMap<NodeId, Vec<ObjRef>> = HashMap::new();
     let mut block: BlockId = code.cfg.entry();
     let mut came_from_end: Option<NodeId> = None;
+    // Phi-update scratch, hoisted out of the block loop.
+    let mut updates: Vec<(NodeId, Value)> = Vec::new();
 
     'blocks: loop {
         let first = code.cfg.block(block).first();
@@ -118,16 +158,15 @@ pub fn evaluate(
                 .iter()
                 .position(|&e| e == end)
                 .expect("end not registered on merge");
-            let phis = graph.phis_of(first);
-            let mut updates = Vec::with_capacity(phis.len());
-            for phi in phis {
+            updates.clear();
+            for phi in graph.phis_of(first) {
                 let input = graph.node(phi).inputs()[idx];
                 let v = values[input.index()]
                     .ok_or_else(|| VmError::Internal(format!("phi input {input} not computed")))?;
                 updates.push((phi, v));
             }
-            for (phi, v) in updates {
-                set(&mut values, phi, v);
+            for &(phi, v) in &updates {
+                set(values, phi, v);
             }
         }
         came_from_end = None;
@@ -147,30 +186,30 @@ pub fn evaluate(
                 | NodeKind::Merge { .. }
                 | NodeKind::LoopBegin { .. } => {}
                 NodeKind::Param { index } => {
-                    set(&mut values, n, args[*index as usize]);
+                    set(values, n, args[*index as usize]);
                 }
                 NodeKind::ConstInt { value } => {
-                    set(&mut values, n, Value::Int(*value));
+                    set(values, n, Value::Int(*value));
                 }
                 NodeKind::ConstNull => {
-                    set(&mut values, n, Value::Null);
+                    set(values, n, Value::Null);
                 }
                 NodeKind::Arith { op } | NodeKind::FixedArith { op } => {
                     env.charge(cost::ALU_OP)?;
-                    let a = val(&values, inputs[0])?.as_int()?;
+                    let a = val(values, inputs[0])?.as_int()?;
                     let r = if *op == ArithOp::Neg {
                         a.wrapping_neg()
                     } else {
-                        let b = val(&values, inputs[1])?.as_int()?;
+                        let b = val(values, inputs[1])?.as_int()?;
                         apply_arith(*op, a, b)?
                     };
-                    set(&mut values, n, Value::Int(r));
+                    set(values, n, Value::Int(r));
                 }
                 NodeKind::Compare { op } => {
                     env.charge(cost::ALU_OP)?;
-                    let a = val(&values, inputs[0])?.as_int()?;
-                    let b = val(&values, inputs[1])?.as_int()?;
-                    set(&mut values, n, Value::from_bool(op.apply(a, b)));
+                    let a = val(values, inputs[0])?.as_int()?;
+                    let b = val(values, inputs[1])?.as_int()?;
+                    set(values, n, Value::from_bool(op.apply(a, b)));
                 }
                 NodeKind::Phi { .. } => {
                     unreachable!("phis are not scheduled")
@@ -179,80 +218,80 @@ pub fn evaluate(
                     let bytes = program.object_size(*class);
                     env.charge(cost::alloc_cost(bytes))?;
                     let r = env.heap().alloc_instance(program, *class);
-                    set(&mut values, n, Value::Ref(r));
+                    set(values, n, Value::Ref(r));
                 }
                 NodeKind::NewArray { kind } => {
-                    let len = val(&values, inputs[0])?.as_int()?;
+                    let len = val(values, inputs[0])?.as_int()?;
                     env.charge(cost::alloc_cost(Program::array_size(len.max(0) as u64)))?;
                     let r = env.heap().alloc_array(*kind, len)?;
-                    set(&mut values, n, Value::Ref(r));
+                    set(values, n, Value::Ref(r));
                 }
                 NodeKind::LoadField { field } => {
                     env.charge(cost::MEMORY_OP)?;
-                    let obj = val(&values, inputs[0])?.as_ref()?;
+                    let obj = val(values, inputs[0])?.as_ref()?;
                     let v = env.heap().get_field(program, obj, *field)?;
-                    set(&mut values, n, v);
+                    set(values, n, v);
                 }
                 NodeKind::StoreField { field } => {
                     env.charge(cost::MEMORY_OP)?;
-                    let obj = val(&values, inputs[0])?.as_ref()?;
-                    let v = val(&values, inputs[1])?;
+                    let obj = val(values, inputs[0])?.as_ref()?;
+                    let v = val(values, inputs[1])?;
                     env.heap().put_field(program, obj, *field, v)?;
                 }
                 NodeKind::LoadIndexed => {
                     env.charge(cost::MEMORY_OP)?;
-                    let arr = val(&values, inputs[0])?.as_ref()?;
-                    let idx = val(&values, inputs[1])?.as_int()?;
+                    let arr = val(values, inputs[0])?.as_ref()?;
+                    let idx = val(values, inputs[1])?.as_int()?;
                     let v = env.heap().array_get(arr, idx)?;
-                    set(&mut values, n, v);
+                    set(values, n, v);
                 }
                 NodeKind::StoreIndexed => {
                     env.charge(cost::MEMORY_OP)?;
-                    let arr = val(&values, inputs[0])?.as_ref()?;
-                    let idx = val(&values, inputs[1])?.as_int()?;
-                    let v = val(&values, inputs[2])?;
+                    let arr = val(values, inputs[0])?.as_ref()?;
+                    let idx = val(values, inputs[1])?.as_int()?;
+                    let v = val(values, inputs[2])?;
                     env.heap().array_set(arr, idx, v)?;
                 }
                 NodeKind::ArrayLen => {
                     env.charge(cost::MEMORY_OP)?;
-                    let arr = val(&values, inputs[0])?.as_ref()?;
+                    let arr = val(values, inputs[0])?.as_ref()?;
                     let len = env.heap().array_length(arr)?;
-                    set(&mut values, n, Value::Int(len));
+                    set(values, n, Value::Int(len));
                 }
                 NodeKind::MonitorEnter => {
                     env.charge(cost::MONITOR_OP)?;
-                    let obj = val(&values, inputs[0])?.as_ref()?;
+                    let obj = val(values, inputs[0])?.as_ref()?;
                     env.heap().monitor_enter(obj);
                 }
                 NodeKind::MonitorExit => {
                     env.charge(cost::MONITOR_OP)?;
-                    let obj = val(&values, inputs[0])?.as_ref()?;
+                    let obj = val(values, inputs[0])?.as_ref()?;
                     env.heap().monitor_exit(obj)?;
                 }
                 NodeKind::GetStatic { id } => {
                     env.charge(cost::MEMORY_OP)?;
                     let v = env.statics().get(*id);
-                    set(&mut values, n, v);
+                    set(values, n, v);
                 }
                 NodeKind::PutStatic { id } => {
                     env.charge(cost::MEMORY_OP)?;
-                    let v = val(&values, inputs[0])?;
+                    let v = val(values, inputs[0])?;
                     env.statics().set(*id, v);
                 }
                 NodeKind::RefEq => {
                     env.charge(cost::ALU_OP)?;
-                    let a = val(&values, inputs[0])?.as_ref_or_null()?;
-                    let b = val(&values, inputs[1])?.as_ref_or_null()?;
-                    set(&mut values, n, Value::from_bool(a == b));
+                    let a = val(values, inputs[0])?.as_ref_or_null()?;
+                    let b = val(values, inputs[1])?.as_ref_or_null()?;
+                    set(values, n, Value::from_bool(a == b));
                 }
                 NodeKind::IsNull => {
                     env.charge(cost::ALU_OP)?;
-                    let v = val(&values, inputs[0])?.as_ref_or_null()?;
-                    set(&mut values, n, Value::from_bool(v.is_none()));
+                    let v = val(values, inputs[0])?.as_ref_or_null()?;
+                    set(values, n, Value::from_bool(v.is_none()));
                 }
                 NodeKind::InstanceOf { class, exact } => {
                     env.charge(cost::ALU_OP)?;
-                    let v = val(&values, inputs[0])?.as_ref_or_null()?;
+                    let v = val(values, inputs[0])?.as_ref_or_null()?;
                     let is = match v {
                         Some(r) => {
                             let dynamic = env.heap().class_of(r)?;
@@ -264,11 +303,11 @@ pub fn evaluate(
                         }
                         None => false,
                     };
-                    set(&mut values, n, Value::from_bool(is));
+                    set(values, n, Value::from_bool(is));
                 }
                 NodeKind::CheckCast { class } => {
                     env.charge(cost::ALU_OP)?;
-                    let v = val(&values, inputs[0])?;
+                    let v = val(values, inputs[0])?;
                     if let Some(r) = v.as_ref_or_null()? {
                         let dynamic = env.heap().class_of(r)?;
                         if !program.is_subclass_of(dynamic, *class) {
@@ -278,7 +317,7 @@ pub fn evaluate(
                             });
                         }
                     }
-                    set(&mut values, n, v);
+                    set(values, n, v);
                 }
                 NodeKind::Invoke {
                     target,
@@ -286,7 +325,7 @@ pub fn evaluate(
                 } => {
                     let mut call_args = Vec::with_capacity(inputs.len());
                     for &i in inputs {
-                        call_args.push(val(&values, i)?);
+                        call_args.push(val(values, i)?);
                     }
                     let resolved = if *virtual_call {
                         let recv = call_args[0].as_ref()?;
@@ -314,10 +353,10 @@ pub fn evaluate(
                             // unwinder consults the right handler ranges.
                             let returns = program.method(resolved).returns_value;
                             if returns {
-                                set(&mut values, n, Value::Null);
+                                set(values, n, Value::Null);
                             }
                             let (mut frames, rematerialized) =
-                                build_deopt_frames(program, env, graph, &values, fs)?;
+                                build_deopt_frames(program, env, graph, values, fs)?;
                             let inner = frames.last_mut().expect("invoke state has a frame");
                             if returns {
                                 inner.stack.pop();
@@ -332,7 +371,7 @@ pub fn evaluate(
                         Err(e) => return Err(e),
                     };
                     if let Some(v) = result {
-                        set(&mut values, n, v);
+                        set(values, n, v);
                     }
                 }
                 NodeKind::Commit { objects } => {
@@ -376,7 +415,7 @@ pub fn evaluate(
                                 {
                                     Value::Ref(refs[*index])
                                 }
-                                _ => val(&values, input)?,
+                                _ => val(values, input)?,
                             };
                             match field {
                                 Some(f) => {
@@ -399,16 +438,16 @@ pub fn evaluate(
                     let refs = commit_results.get(&commit).ok_or_else(|| {
                         VmError::Internal("allocated object before commit".into())
                     })?;
-                    set(&mut values, n, Value::Ref(refs[*index]));
+                    set(values, n, Value::Ref(refs[*index]));
                 }
                 NodeKind::Guard { reason, negated } => {
                     env.charge(cost::BRANCH_OP)?;
-                    let cond = val(&values, inputs[0])?.as_bool()?;
+                    let cond = val(values, inputs[0])?.as_bool()?;
                     if cond == *negated {
                         let fs = node.state_after.expect("guard without frame state");
                         env.charge(cost::DEOPT_PENALTY)?;
                         let (frames, rematerialized) =
-                            build_deopt_frames(program, env, graph, &values, fs)?;
+                            build_deopt_frames(program, env, graph, values, fs)?;
                         return Ok(EvalOutcome::Deopt {
                             reason: *reason,
                             frames,
@@ -420,7 +459,7 @@ pub fn evaluate(
                     let fs = node.state_after.expect("deopt without frame state");
                     env.charge(cost::DEOPT_PENALTY)?;
                     let (frames, rematerialized) =
-                        build_deopt_frames(program, env, graph, &values, fs)?;
+                        build_deopt_frames(program, env, graph, values, fs)?;
                     return Ok(EvalOutcome::Deopt {
                         reason: *reason,
                         frames,
@@ -429,7 +468,7 @@ pub fn evaluate(
                 }
                 NodeKind::If => {
                     env.charge(cost::BRANCH_OP)?;
-                    let cond = val(&values, inputs[0])?.as_bool()?;
+                    let cond = val(values, inputs[0])?.as_bool()?;
                     let succ = node.successors()[usize::from(!cond)];
                     block = code.cfg.block_of(succ);
                     continue 'blocks;
@@ -447,19 +486,19 @@ pub fn evaluate(
                 }
                 NodeKind::Return => {
                     let v = match inputs.first() {
-                        Some(&i) => Some(val(&values, i)?),
+                        Some(&i) => Some(val(values, i)?),
                         None => None,
                     };
                     return Ok(EvalOutcome::Return(v));
                 }
                 NodeKind::Throw => {
-                    let code_v = val(&values, inputs[0])?.as_int()?;
+                    let code_v = val(values, inputs[0])?.as_int()?;
                     return Err(VmError::UserException(code_v));
                 }
                 NodeKind::Unwind => {
                     // Frame monitors were already released by the explicit
                     // MonitorExit nodes the builder emits before the sink.
-                    let exc = val(&values, inputs[0])?.as_ref()?;
+                    let exc = val(values, inputs[0])?.as_ref()?;
                     return Err(VmError::Thrown(exc));
                 }
                 NodeKind::FrameState(_) | NodeKind::VirtualObjectMapping { .. } => {

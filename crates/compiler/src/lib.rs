@@ -27,6 +27,7 @@
 pub mod builder;
 pub mod canon;
 pub mod eval;
+pub mod linear;
 pub mod phases;
 pub mod pipeline;
 
@@ -35,6 +36,7 @@ pub use builder::{
     InlinePolicy,
 };
 pub use eval::{evaluate, DeoptFrame, EvalEnv, EvalOutcome};
+pub use linear::{LinearArtifact, LowerError};
 pub use phases::{CompilationUnit, PhaseKind, PhaseManager};
 pub use pipeline::{
     compile, compile_traced, CompiledMethod, CompilerOptions, OptLevel, PhaseTimes,

@@ -1,0 +1,622 @@
+//! Lowering: scheduled graph → [`LinearArtifact`].
+//!
+//! The instruction stream is emitted block by block in the CFG's reverse
+//! post order (entry first), with every scheduled node translated in its
+//! exact schedule position so the per-instruction cycle charges replay in
+//! the same order graph evaluation performs them. Phi updates are lowered
+//! onto the predecessor edges as parallel-move sequences (a merge block's
+//! predecessor order follows its `ends` list, which is phi-input order),
+//! and frame states are compiled into self-contained [`DeoptPoint`]
+//! tables so execution never touches the graph.
+
+use super::{
+    arith_code, class_code, cmp_code, kind_code, op, reason_code, CommitFieldSrc, DeoptPoint,
+    LinearArtifact, LinearCommit, LinearCommitObj, LinearFrame, LinearVObj, SlotSrc, NO_REG,
+};
+use pea_bytecode::{FieldId, Program};
+use pea_ir::cfg::{BlockId, Cfg};
+use pea_ir::schedule::Schedule;
+use pea_ir::{AllocShape, ArithOp, Graph, NodeId, NodeKind};
+use pea_runtime::cost;
+use std::collections::HashMap;
+
+/// Why a graph could not be lowered (the method then stays on the
+/// graph-walking tier; execution is unaffected).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering bailout: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a scheduled graph into a [`LinearArtifact`].
+///
+/// # Errors
+///
+/// [`LowerError`] when the encoding cannot represent the method (register
+/// or code-stream overflow) — practically unreachable for real programs.
+pub fn lower(
+    program: &Program,
+    graph: &Graph,
+    cfg: &Cfg,
+    schedule: &Schedule,
+) -> Result<LinearArtifact, LowerError> {
+    Lowerer {
+        program,
+        graph,
+        cfg,
+        schedule,
+        code: Vec::new(),
+        pool: Vec::new(),
+        pool_map: HashMap::new(),
+        regs: vec![NO_REG; graph.len()],
+        next_reg: 0,
+        temp_reg: NO_REG,
+        block_pc: vec![u32::MAX; cfg.blocks.len()],
+        fixups: Vec::new(),
+        deopts: Vec::new(),
+        deopt_map: HashMap::new(),
+        commits: Vec::new(),
+        commit_map: HashMap::new(),
+        alloc_dsts: HashMap::new(),
+        alloc_primary: HashMap::new(),
+    }
+    .run()
+}
+
+struct Lowerer<'a> {
+    program: &'a Program,
+    graph: &'a Graph,
+    cfg: &'a Cfg,
+    schedule: &'a Schedule,
+    code: Vec<u32>,
+    pool: Vec<i64>,
+    pool_map: HashMap<i64, u32>,
+    regs: Vec<u32>,
+    next_reg: u32,
+    temp_reg: u32,
+    block_pc: Vec<u32>,
+    /// `(code index, target block)` pairs patched after layout.
+    fixups: Vec<(usize, BlockId)>,
+    deopts: Vec<DeoptPoint>,
+    deopt_map: HashMap<NodeId, u32>,
+    commits: Vec<LinearCommit>,
+    commit_map: HashMap<NodeId, u32>,
+    /// `(commit, object index)` → register of the designated
+    /// `AllocatedObject` node (written directly by the commit).
+    alloc_dsts: HashMap<(NodeId, usize), u32>,
+    /// The designated `AllocatedObject` node per `(commit, object index)`;
+    /// other nodes for the same slot become register moves.
+    alloc_primary: HashMap<(NodeId, usize), NodeId>,
+}
+
+impl Lowerer<'_> {
+    fn run(mut self) -> Result<LinearArtifact, LowerError> {
+        // Pre-pass: designate one AllocatedObject node per commit slot so
+        // the commit template can write its register directly.
+        for b in &self.cfg.rpo {
+            for &n in &self.schedule.per_block[b.index()] {
+                if let NodeKind::AllocatedObject { index } = self.graph.kind(n) {
+                    let commit = self.graph.node(n).inputs()[0];
+                    let key = (commit, *index);
+                    if let std::collections::hash_map::Entry::Vacant(e) =
+                        self.alloc_primary.entry(key)
+                    {
+                        e.insert(n);
+                        let reg = self.reg_of(n);
+                        self.alloc_dsts.insert(key, reg);
+                    }
+                }
+            }
+        }
+
+        debug_assert_eq!(
+            self.cfg.rpo[0],
+            self.cfg.entry(),
+            "entry block lays out first"
+        );
+        for bi in 0..self.cfg.rpo.len() {
+            let b = self.cfg.rpo[bi];
+            self.block_pc[b.index()] = self.pc()?;
+            let order = self.schedule.per_block[b.index()].clone();
+            for n in order {
+                self.emit_node(b, n)?;
+            }
+        }
+        for (idx, blk) in std::mem::take(&mut self.fixups) {
+            let pc = self.block_pc[blk.index()];
+            debug_assert_ne!(pc, u32::MAX, "jump into un-laid-out block");
+            self.code[idx] = pc;
+        }
+        Ok(LinearArtifact {
+            code: self.code,
+            pool: self.pool,
+            num_regs: self.next_reg,
+            deopts: self.deopts,
+            commits: self.commits,
+        })
+    }
+
+    fn pc(&self) -> Result<u32, LowerError> {
+        u32::try_from(self.code.len()).map_err(|_| LowerError("code stream exceeds u32".into()))
+    }
+
+    fn reg_of(&mut self, n: NodeId) -> u32 {
+        let slot = &mut self.regs[n.index()];
+        if *slot == NO_REG {
+            *slot = self.next_reg;
+            self.next_reg += 1;
+        }
+        *slot
+    }
+
+    fn temp(&mut self) -> u32 {
+        if self.temp_reg == NO_REG {
+            self.temp_reg = self.next_reg;
+            self.next_reg += 1;
+        }
+        self.temp_reg
+    }
+
+    fn pool_idx(&mut self, v: i64) -> u32 {
+        if let Some(&i) = self.pool_map.get(&v) {
+            return i;
+        }
+        let i = u32::try_from(self.pool.len()).expect("constant pool exceeds u32");
+        self.pool.push(v);
+        self.pool_map.insert(v, i);
+        i
+    }
+
+    fn emit(&mut self, words: &[u32]) {
+        self.code.extend_from_slice(words);
+    }
+
+    /// Emits a jump-target operand, recording a fixup for `target`.
+    fn emit_target(&mut self, target: BlockId) {
+        self.fixups.push((self.code.len(), target));
+        self.code.push(u32::MAX);
+    }
+
+    fn charge_u32(&self, cycles: u64, what: &str) -> Result<u32, LowerError> {
+        u32::try_from(cycles).map_err(|_| LowerError(format!("{what} charge exceeds u32")))
+    }
+
+    fn emit_node(&mut self, block: BlockId, n: NodeId) -> Result<(), LowerError> {
+        let node = self.graph.node(n);
+        let inputs: Vec<NodeId> = node.inputs().to_vec();
+        match self.graph.kind(n).clone() {
+            NodeKind::Start
+            | NodeKind::Begin
+            | NodeKind::LoopExit { .. }
+            | NodeKind::Merge { .. }
+            | NodeKind::LoopBegin { .. } => {}
+            NodeKind::Param { index } => {
+                let dst = self.reg_of(n);
+                self.emit(&[op::LOAD_PARAM, dst, u32::from(index)]);
+            }
+            NodeKind::ConstInt { value } => {
+                let dst = self.reg_of(n);
+                let idx = self.pool_idx(value);
+                self.emit(&[op::CONST_INT, dst, idx]);
+            }
+            NodeKind::ConstNull => {
+                let dst = self.reg_of(n);
+                self.emit(&[op::CONST_NULL, dst]);
+            }
+            NodeKind::Arith { op: aop } | NodeKind::FixedArith { op: aop } => {
+                let a = self.reg_of(inputs[0]);
+                let dst = self.reg_of(n);
+                if aop == ArithOp::Neg {
+                    self.emit(&[op::NEG, dst, a]);
+                } else {
+                    let b = self.reg_of(inputs[1]);
+                    self.emit(&[op::ARITH, arith_code(aop), dst, a, b]);
+                }
+            }
+            NodeKind::Compare { op: cop } => {
+                let a = self.reg_of(inputs[0]);
+                let b = self.reg_of(inputs[1]);
+                let dst = self.reg_of(n);
+                self.emit(&[op::COMPARE, cmp_code(cop), dst, a, b]);
+            }
+            NodeKind::Phi { .. } => unreachable!("phis are not scheduled"),
+            NodeKind::New { class } => {
+                let cost =
+                    self.charge_u32(cost::alloc_cost(self.program.object_size(class)), "alloc")?;
+                let dst = self.reg_of(n);
+                self.emit(&[op::NEW, dst, class_code(class), cost]);
+            }
+            NodeKind::NewArray { kind } => {
+                let len = self.reg_of(inputs[0]);
+                let dst = self.reg_of(n);
+                self.emit(&[op::NEW_ARRAY, dst, len, kind_code(kind)]);
+            }
+            NodeKind::LoadField { field } => {
+                let obj = self.reg_of(inputs[0]);
+                let dst = self.reg_of(n);
+                let (declaring, slot) = self.field_offset(field)?;
+                self.emit(&[op::LOAD_FIELD, dst, obj, declaring, slot, field.0]);
+            }
+            NodeKind::StoreField { field } => {
+                let obj = self.reg_of(inputs[0]);
+                let val = self.reg_of(inputs[1]);
+                let (declaring, slot) = self.field_offset(field)?;
+                self.emit(&[op::STORE_FIELD, obj, val, declaring, slot, field.0]);
+            }
+            NodeKind::LoadIndexed => {
+                let arr = self.reg_of(inputs[0]);
+                let idx = self.reg_of(inputs[1]);
+                let dst = self.reg_of(n);
+                self.emit(&[op::LOAD_INDEXED, dst, arr, idx]);
+            }
+            NodeKind::StoreIndexed => {
+                let arr = self.reg_of(inputs[0]);
+                let idx = self.reg_of(inputs[1]);
+                let val = self.reg_of(inputs[2]);
+                self.emit(&[op::STORE_INDEXED, arr, idx, val]);
+            }
+            NodeKind::ArrayLen => {
+                let arr = self.reg_of(inputs[0]);
+                let dst = self.reg_of(n);
+                self.emit(&[op::ARRAY_LEN, dst, arr]);
+            }
+            NodeKind::MonitorEnter => {
+                let obj = self.reg_of(inputs[0]);
+                self.emit(&[op::MONITOR_ENTER, obj]);
+            }
+            NodeKind::MonitorExit => {
+                let obj = self.reg_of(inputs[0]);
+                self.emit(&[op::MONITOR_EXIT, obj]);
+            }
+            NodeKind::GetStatic { id } => {
+                let dst = self.reg_of(n);
+                self.emit(&[op::GET_STATIC, dst, id.0]);
+            }
+            NodeKind::PutStatic { id } => {
+                let val = self.reg_of(inputs[0]);
+                self.emit(&[op::PUT_STATIC, val, id.0]);
+            }
+            NodeKind::RefEq => {
+                let a = self.reg_of(inputs[0]);
+                let b = self.reg_of(inputs[1]);
+                let dst = self.reg_of(n);
+                self.emit(&[op::REF_EQ, dst, a, b]);
+            }
+            NodeKind::IsNull => {
+                let a = self.reg_of(inputs[0]);
+                let dst = self.reg_of(n);
+                self.emit(&[op::IS_NULL, dst, a]);
+            }
+            NodeKind::InstanceOf { class, exact } => {
+                let a = self.reg_of(inputs[0]);
+                let dst = self.reg_of(n);
+                self.emit(&[op::INSTANCE_OF, dst, a, class_code(class), u32::from(exact)]);
+            }
+            NodeKind::CheckCast { class } => {
+                let a = self.reg_of(inputs[0]);
+                let dst = self.reg_of(n);
+                self.emit(&[op::CHECK_CAST, dst, a, class_code(class)]);
+            }
+            NodeKind::Invoke {
+                target,
+                virtual_call,
+            } => {
+                let fs = node
+                    .state_after
+                    .ok_or_else(|| LowerError("invoke without frame state".into()))?;
+                // Allocate the result register before compiling the deopt
+                // metadata: the after-state references the call's result.
+                let dst = self.reg_of(n);
+                let arg_regs: Vec<u32> = inputs.iter().map(|&i| self.reg_of(i)).collect();
+                let deopt = self.deopt_point(fs)?;
+                let argc = u32::try_from(arg_regs.len())
+                    .map_err(|_| LowerError("too many call arguments".into()))?;
+                self.emit(&[
+                    op::INVOKE,
+                    target.0,
+                    u32::from(virtual_call),
+                    dst,
+                    deopt,
+                    argc,
+                ]);
+                self.code.extend_from_slice(&arg_regs);
+            }
+            NodeKind::Commit { objects } => {
+                let mut template = Vec::with_capacity(objects.len());
+                let mut input_pos = 0usize;
+                for (oi, obj) in objects.iter().enumerate() {
+                    let (alloc_cycles, field_ids): (u64, Vec<Option<FieldId>>) = match obj.shape {
+                        AllocShape::Instance { class } => (
+                            cost::alloc_cost(self.program.object_size(class)),
+                            self.program
+                                .instance_fields(class)
+                                .into_iter()
+                                .map(Some)
+                                .collect(),
+                        ),
+                        AllocShape::Array { length, .. } => (
+                            cost::alloc_cost(Program::array_size(u64::from(length))),
+                            (0..length).map(|_| None).collect(),
+                        ),
+                    };
+                    let mut fields = Vec::with_capacity(field_ids.len());
+                    for _ in 0..field_ids.len() {
+                        let input = inputs[input_pos];
+                        input_pos += 1;
+                        let src = match self.graph.kind(input) {
+                            NodeKind::AllocatedObject { index }
+                                if self.graph.node(input).inputs()[0] == n =>
+                            {
+                                CommitFieldSrc::SameCommit(*index as u32)
+                            }
+                            _ => CommitFieldSrc::Reg(self.reg_of(input)),
+                        };
+                        fields.push(src);
+                    }
+                    let dst = self.alloc_dsts.get(&(n, oi)).copied().unwrap_or(NO_REG);
+                    template.push(LinearCommitObj {
+                        shape: obj.shape,
+                        lock_count: obj.lock_count,
+                        alloc_cycles,
+                        dst,
+                        field_ids,
+                        fields,
+                    });
+                }
+                let idx = u32::try_from(self.commits.len())
+                    .map_err(|_| LowerError("commit table exceeds u32".into()))?;
+                self.commits.push(LinearCommit { objects: template });
+                self.commit_map.insert(n, idx);
+                self.emit(&[op::COMMIT, idx]);
+            }
+            NodeKind::AllocatedObject { index } => {
+                let commit = inputs[0];
+                let key = (commit, index);
+                let primary = self.alloc_primary.get(&key).copied();
+                if primary == Some(n) {
+                    // Register written directly by the commit instruction.
+                } else {
+                    let src = *self
+                        .alloc_dsts
+                        .get(&key)
+                        .ok_or_else(|| LowerError("allocated object before commit".into()))?;
+                    let dst = self.reg_of(n);
+                    self.emit(&[op::MOVE, dst, src]);
+                }
+            }
+            NodeKind::Guard { reason, negated } => {
+                let cond = self.reg_of(inputs[0]);
+                let fs = node
+                    .state_after
+                    .ok_or_else(|| LowerError("guard without frame state".into()))?;
+                let deopt = self.deopt_point(fs)?;
+                self.emit(&[
+                    op::GUARD,
+                    cond,
+                    u32::from(negated),
+                    reason_code(reason),
+                    deopt,
+                ]);
+            }
+            NodeKind::Deopt { reason } => {
+                let fs = node
+                    .state_after
+                    .ok_or_else(|| LowerError("deopt without frame state".into()))?;
+                let deopt = self.deopt_point(fs)?;
+                self.emit(&[op::DEOPT, reason_code(reason), deopt]);
+            }
+            NodeKind::If => {
+                let cond = self.reg_of(inputs[0]);
+                let t = self.cfg.block_of(node.successors()[0]);
+                let f = self.cfg.block_of(node.successors()[1]);
+                self.emit(&[op::IF, cond]);
+                self.emit_target(t);
+                self.emit_target(f);
+            }
+            NodeKind::End | NodeKind::LoopEnd => {
+                let is_loop = matches!(self.graph.kind(n), NodeKind::LoopEnd);
+                self.emit(&[if is_loop {
+                    op::EDGE_LOOP_END
+                } else {
+                    op::EDGE_END
+                }]);
+                let succ = self.cfg.block(block).succs[0];
+                self.emit_phi_moves(succ, n)?;
+                self.emit(&[op::JUMP]);
+                self.emit_target(succ);
+            }
+            NodeKind::Return => {
+                let src = match inputs.first() {
+                    Some(&i) => self.reg_of(i),
+                    None => NO_REG,
+                };
+                self.emit(&[op::RETURN, src]);
+            }
+            NodeKind::Throw => {
+                let src = self.reg_of(inputs[0]);
+                self.emit(&[op::THROW, src]);
+            }
+            NodeKind::Unwind => {
+                let src = self.reg_of(inputs[0]);
+                self.emit(&[op::UNWIND, src]);
+            }
+            NodeKind::FrameState(_) | NodeKind::VirtualObjectMapping { .. } => {
+                unreachable!("metadata scheduled for execution")
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the phi parallel assignment for the edge `end → succ` as a
+    /// sequence of moves (cycles broken through the dedicated temp
+    /// register). Free of cycle charges, like graph evaluation's phi
+    /// update.
+    fn emit_phi_moves(&mut self, succ: BlockId, end: NodeId) -> Result<(), LowerError> {
+        let first = self.cfg.block(succ).first();
+        let ends: Vec<NodeId> = match self.graph.kind(first) {
+            NodeKind::Merge { ends } | NodeKind::LoopBegin { ends } => ends.clone(),
+            _ => return Ok(()),
+        };
+        let idx = ends
+            .iter()
+            .position(|&e| e == end)
+            .ok_or_else(|| LowerError("end not registered on merge".into()))?;
+        let mut moves: Vec<(u32, u32)> = Vec::new();
+        for phi in self.graph.phis_of(first) {
+            let input = self.graph.node(phi).inputs()[idx];
+            let dst = self.reg_of(phi);
+            let src = self.reg_of(input);
+            if dst != src {
+                moves.push((dst, src));
+            }
+        }
+        // Sequentialize the parallel assignment: emit moves whose
+        // destination no pending move still reads; break cycles by
+        // parking the overwritten value in the temp register.
+        while !moves.is_empty() {
+            let ready = moves
+                .iter()
+                .position(|&(d, _)| moves.iter().all(|&(_, s)| s != d));
+            match ready {
+                Some(i) => {
+                    let (d, s) = moves.remove(i);
+                    self.emit(&[op::MOVE, d, s]);
+                }
+                None => {
+                    let (d, s) = moves.remove(0);
+                    let t = self.temp();
+                    self.emit(&[op::MOVE, t, d]);
+                    self.emit(&[op::MOVE, d, s]);
+                    for m in &mut moves {
+                        if m.1 == d {
+                            m.1 = t;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pre-resolves a field access to `(declaring class, slot)`. Object
+    /// layouts are prefix-stable (superclass fields first), so the slot is
+    /// valid for every subclass of the declaring class.
+    fn field_offset(&self, field: FieldId) -> Result<(u32, u32), LowerError> {
+        let declaring = self.program.field(field).class;
+        let slot = self
+            .program
+            .instance_fields(declaring)
+            .iter()
+            .position(|&f| f == field)
+            .ok_or_else(|| LowerError(format!("field {field} missing from its class")))?;
+        Ok((
+            class_code(declaring),
+            u32::try_from(slot).map_err(|_| LowerError("field slot exceeds u32".into()))?,
+        ))
+    }
+
+    /// Compiles the frame-state chain rooted at `fs` into a
+    /// [`DeoptPoint`], memoized per frame-state node.
+    fn deopt_point(&mut self, fs: NodeId) -> Result<u32, LowerError> {
+        if let Some(&i) = self.deopt_map.get(&fs) {
+            return Ok(i);
+        }
+        // Chain innermost → outermost, then reverse (as deoptimization
+        // reconstructs frames outermost first).
+        let mut chain = vec![fs];
+        let mut cur = fs;
+        while let Some(outer_idx) = self.graph.frame_state_data(cur).outer_index() {
+            cur = self.graph.node(cur).inputs()[outer_idx];
+            chain.push(cur);
+        }
+        chain.reverse();
+
+        let mut vobjs: Vec<LinearVObj> = Vec::new();
+        let mut vo_map: HashMap<NodeId, u32> = HashMap::new();
+        let mut frames = Vec::with_capacity(chain.len());
+        for fsn in chain {
+            let data = self.graph.frame_state_data(fsn).clone();
+            let inputs = self.graph.node(fsn).inputs().to_vec();
+            let mut locals = Vec::with_capacity(data.n_locals as usize);
+            for i in data.locals_range() {
+                locals.push(self.slot_src(inputs[i], &mut vobjs, &mut vo_map)?);
+            }
+            let mut stack = Vec::with_capacity(data.n_stack as usize);
+            for i in data.stack_range() {
+                stack.push(self.slot_src(inputs[i], &mut vobjs, &mut vo_map)?);
+            }
+            let mut locks = Vec::with_capacity(data.n_locks as usize);
+            for (k, i) in data.locks_range().enumerate() {
+                let src = self.slot_src(inputs[i], &mut vobjs, &mut vo_map)?;
+                locks.push((src, data.lock_from_sync[k]));
+            }
+            frames.push(LinearFrame {
+                method: data.method,
+                bci: data.bci,
+                locals,
+                stack,
+                locks,
+            });
+        }
+        let idx = u32::try_from(self.deopts.len())
+            .map_err(|_| LowerError("deopt table exceeds u32".into()))?;
+        self.deopts.push(DeoptPoint { frames, vobjs });
+        self.deopt_map.insert(fs, idx);
+        Ok(idx)
+    }
+
+    /// Compiles one frame-state slot source: virtual-object mappings are
+    /// added to the point's table (cycle-safe: the index is reserved
+    /// before field sources are compiled), everything else reads a
+    /// register.
+    fn slot_src(
+        &mut self,
+        id: NodeId,
+        vobjs: &mut Vec<LinearVObj>,
+        vo_map: &mut HashMap<NodeId, u32>,
+    ) -> Result<SlotSrc, LowerError> {
+        let (shape, lock_count) = match self.graph.kind(id) {
+            NodeKind::VirtualObjectMapping { shape, lock_count } => (*shape, *lock_count),
+            _ => return Ok(SlotSrc::Reg(self.reg_of(id))),
+        };
+        if let Some(&i) = vo_map.get(&id) {
+            return Ok(SlotSrc::Virtual(i));
+        }
+        let idx = u32::try_from(vobjs.len())
+            .map_err(|_| LowerError("virtual-object table exceeds u32".into()))?;
+        vo_map.insert(id, idx);
+        let (name, field_ids): (String, Vec<Option<FieldId>>) = match shape {
+            AllocShape::Instance { class } => (
+                self.program.class(class).name.clone(),
+                self.program
+                    .instance_fields(class)
+                    .into_iter()
+                    .map(Some)
+                    .collect(),
+            ),
+            other => {
+                let len = self.graph.node(id).inputs().len();
+                (other.to_string(), (0..len).map(|_| None).collect())
+            }
+        };
+        vobjs.push(LinearVObj {
+            shape,
+            lock_count,
+            name,
+            field_ids,
+            fields: Vec::new(),
+        });
+        let field_inputs = self.graph.node(id).inputs().to_vec();
+        let mut fields = Vec::with_capacity(field_inputs.len());
+        for input in field_inputs {
+            fields.push(self.slot_src(input, vobjs, vo_map)?);
+        }
+        vobjs[idx as usize].fields = fields;
+        Ok(SlotSrc::Virtual(idx))
+    }
+}

@@ -1,0 +1,567 @@
+//! The linear register-machine tier: scheduled sea-of-nodes graphs are
+//! lowered ([`lower`]) into a dense `Vec<u32>` instruction stream — the
+//! [`LinearArtifact`] — and executed by a direct-threaded dispatch loop
+//! ([`exec::execute`]) that never touches [`pea_ir::Graph`] or
+//! [`pea_ir::NodeId`] on the hot path.
+//!
+//! The artifact pre-resolves everything graph evaluation looks up per
+//! call: field offsets become `(declaring class, slot)` pairs checked
+//! with one subclass test, constants live in a pool, call targets are
+//! pre-bound method ids, and deoptimization metadata (frame-state chains
+//! plus virtual-object rematerialization info, paper §5.5) is compiled
+//! into self-contained side tables keyed by deopt-point index so
+//! `--checked` rematerialization and the VM's existing deopt machinery
+//! work unchanged.
+//!
+//! Virtual-cycle accounting is preserved as a parallel channel: every
+//! instruction charges exactly the constants graph evaluation charges, in
+//! the same order, so cycle counts, golden traces and Table-1 numbers are
+//! byte-identical between `--exec-mode linear` and `--exec-mode graph`.
+
+pub mod exec;
+pub mod lower;
+
+pub use exec::execute;
+pub use lower::{lower, LowerError};
+
+use pea_bytecode::{ClassId, FieldId, MethodId};
+use pea_ir::AllocShape;
+
+/// Sentinel register/index meaning "absent" (e.g. a call with no result).
+pub const NO_REG: u32 = u32::MAX;
+
+/// Opcodes of the linear register machine. One `u32` word each, followed
+/// by a fixed (per-opcode) number of operand words; `Invoke` adds a
+/// trailing variable-length argument-register list.
+///
+/// The dispatch loop is a dense jump table over these values (Rust has no
+/// computed goto, but the compiler lowers the exhaustive `match` on a
+/// dense `u32` range to the same direct-threaded table).
+pub mod op {
+    /// `[dst, index]` — load method argument `index`.
+    pub const LOAD_PARAM: u32 = 0;
+    /// `[dst, pool_idx]` — load an `i64` constant from the pool.
+    pub const CONST_INT: u32 = 1;
+    /// `[dst]` — load null.
+    pub const CONST_NULL: u32 = 2;
+    /// `[arith_op, dst, a, b]` — binary arithmetic (wrapping; Div/Rem trap).
+    pub const ARITH: u32 = 3;
+    /// `[dst, a]` — wrapping negation.
+    pub const NEG: u32 = 4;
+    /// `[cmp_op, dst, a, b]` — integer comparison producing 0/1.
+    pub const COMPARE: u32 = 5;
+    /// `[dst, a, b]` — reference identity producing 0/1.
+    pub const REF_EQ: u32 = 6;
+    /// `[dst, a]` — null test producing 0/1.
+    pub const IS_NULL: u32 = 7;
+    /// `[dst, a, class, exact]` — type test producing 0/1.
+    pub const INSTANCE_OF: u32 = 8;
+    /// `[dst, a, class]` — checked cast (passes the value through).
+    pub const CHECK_CAST: u32 = 9;
+    /// `[dst, class, alloc_cycles]` — allocate an instance.
+    pub const NEW: u32 = 10;
+    /// `[dst, len_reg, kind]` — allocate an array.
+    pub const NEW_ARRAY: u32 = 11;
+    /// `[dst, obj, declaring_class, slot, field]` — read an instance
+    /// field at a pre-resolved offset (`field` is the slow-path id).
+    pub const LOAD_FIELD: u32 = 12;
+    /// `[obj, val, declaring_class, slot, field]` — write an instance
+    /// field at a pre-resolved offset.
+    pub const STORE_FIELD: u32 = 13;
+    /// `[dst, arr, idx]` — read an array element.
+    pub const LOAD_INDEXED: u32 = 14;
+    /// `[arr, idx, val]` — write an array element.
+    pub const STORE_INDEXED: u32 = 15;
+    /// `[dst, arr]` — array length.
+    pub const ARRAY_LEN: u32 = 16;
+    /// `[obj]` — monitor enter.
+    pub const MONITOR_ENTER: u32 = 17;
+    /// `[obj]` — monitor exit.
+    pub const MONITOR_EXIT: u32 = 18;
+    /// `[dst, static_id]` — read a static variable.
+    pub const GET_STATIC: u32 = 19;
+    /// `[val, static_id]` — write a static variable.
+    pub const PUT_STATIC: u32 = 20;
+    /// `[target, virtual, dst, deopt_idx, argc, args...]` — out-of-line
+    /// call; `dst` is [`super::NO_REG`] for void targets. A thrown callee
+    /// exception deoptimizes through deopt point `deopt_idx`.
+    pub const INVOKE: u32 = 21;
+    /// `[commit_idx]` — materialize a virtual-object group
+    /// ([`super::LinearCommit`]).
+    pub const COMMIT: u32 = 22;
+    /// `[cond, negated, reason, deopt_idx]` — speculation guard.
+    pub const GUARD: u32 = 23;
+    /// `[reason, deopt_idx]` — unconditional transfer to the interpreter.
+    pub const DEOPT: u32 = 24;
+    /// `[cond, true_pc, false_pc]` — two-way branch.
+    pub const IF: u32 = 25;
+    /// `[]` — forward edge into a merge (charges the branch cost).
+    pub const EDGE_END: u32 = 26;
+    /// `[]` — loop back edge: branch cost plus a safepoint poll.
+    pub const EDGE_LOOP_END: u32 = 27;
+    /// `[dst, src]` — register move (phi parallel-assignment step; free).
+    pub const MOVE: u32 = 28;
+    /// `[pc]` — unconditional jump.
+    pub const JUMP: u32 = 29;
+    /// `[src]` — return (`src` may be [`super::NO_REG`]).
+    pub const RETURN: u32 = 30;
+    /// `[src]` — user exception with error code `src`.
+    pub const THROW: u32 = 31;
+    /// `[src]` — propagate exception object `src` out of the frame.
+    pub const UNWIND: u32 = 32;
+}
+
+/// Where a deopt-metadata or commit-template slot gets its value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotSrc {
+    /// A register of the running frame.
+    Reg(u32),
+    /// Index into the owning [`DeoptPoint::vobjs`] table: a virtual
+    /// object rematerialized on demand (paper §5.5).
+    Virtual(u32),
+}
+
+/// One interpreter frame of a compiled deopt point, outermost first in
+/// [`DeoptPoint::frames`]. Mirrors the graph's `FrameState` chain with
+/// node ids replaced by register/virtual-object sources.
+#[derive(Clone, Debug)]
+pub struct LinearFrame {
+    /// Frame method.
+    pub method: MethodId,
+    /// Bytecode index to resume at.
+    pub bci: u32,
+    /// Local-variable sources.
+    pub locals: Vec<SlotSrc>,
+    /// Operand-stack sources.
+    pub stack: Vec<SlotSrc>,
+    /// Held monitors: `(source, from_synchronized_method)`.
+    pub locks: Vec<(SlotSrc, bool)>,
+}
+
+/// A compiled `VirtualObjectMapping`: everything rematerialization needs
+/// without consulting the graph.
+#[derive(Clone, Debug)]
+pub struct LinearVObj {
+    /// What to allocate.
+    pub shape: AllocShape,
+    /// Monitor depth to restore.
+    pub lock_count: u32,
+    /// Inventory label (class name for instances, shape for arrays) —
+    /// matches graph evaluation's rematerialization inventory exactly.
+    pub name: String,
+    /// Pre-resolved field ids for instances (`None` per element for
+    /// arrays), aligned with `fields`.
+    pub field_ids: Vec<Option<FieldId>>,
+    /// Field (or element) value sources, possibly cyclic through
+    /// [`SlotSrc::Virtual`].
+    pub fields: Vec<SlotSrc>,
+}
+
+/// Self-contained deopt metadata for one deopt point (guard, deopt or
+/// call site), keyed by the `deopt_idx` instruction operand.
+#[derive(Clone, Debug)]
+pub struct DeoptPoint {
+    /// Frames outermost first.
+    pub frames: Vec<LinearFrame>,
+    /// Virtual objects referenced by the frames' slots.
+    pub vobjs: Vec<LinearVObj>,
+}
+
+/// A field (or element) source within a [`LinearCommit`] template.
+#[derive(Clone, Copy, Debug)]
+pub enum CommitFieldSrc {
+    /// A register value.
+    Reg(u32),
+    /// A reference to object `index` of the same commit (cyclic
+    /// structures).
+    SameCommit(u32),
+}
+
+/// One object of a commit template.
+#[derive(Clone, Debug)]
+pub struct LinearCommitObj {
+    /// What to allocate.
+    pub shape: AllocShape,
+    /// Monitor re-entry count.
+    pub lock_count: u32,
+    /// Pre-computed virtual-cycle allocation charge.
+    pub alloc_cycles: u64,
+    /// Register receiving the materialized reference ([`NO_REG`] when the
+    /// object is never read after the commit).
+    pub dst: u32,
+    /// Pre-resolved field ids (instances) aligned with `fields`; `None`
+    /// entries are array elements.
+    pub field_ids: Vec<Option<FieldId>>,
+    /// Field value sources in layout order.
+    pub fields: Vec<CommitFieldSrc>,
+}
+
+/// A compiled `Commit` group materialization (paper §4): allocate every
+/// object first so cyclic references resolve, then fill fields and
+/// re-enter monitors.
+#[derive(Clone, Debug)]
+pub struct LinearCommit {
+    /// Objects in input-layout order.
+    pub objects: Vec<LinearCommitObj>,
+}
+
+/// The lowered form of a compiled method: a dense register-machine
+/// program plus the side tables its instructions index into.
+#[derive(Clone, Debug)]
+pub struct LinearArtifact {
+    /// Instruction stream (see [`op`]).
+    pub code: Vec<u32>,
+    /// `i64` constant pool ([`op::CONST_INT`] operands index it).
+    pub pool: Vec<i64>,
+    /// Number of virtual registers the frame needs.
+    pub num_regs: u32,
+    /// Deopt-metadata table ([`op::GUARD`]/[`op::DEOPT`]/[`op::INVOKE`]
+    /// operands index it).
+    pub deopts: Vec<DeoptPoint>,
+    /// Commit templates ([`op::COMMIT`] operands index it).
+    pub commits: Vec<LinearCommit>,
+}
+
+impl LinearArtifact {
+    /// Human-readable disassembly, one instruction per line — used by the
+    /// golden encoding test and `--dump-linear` style diagnostics.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let c = &self.code;
+        let mut pc = 0usize;
+        let reg = |r: u32| {
+            if r == NO_REG {
+                "_".to_string()
+            } else {
+                format!("r{r}")
+            }
+        };
+        while pc < c.len() {
+            let _ = write!(out, "{pc:4}: ");
+            match c[pc] {
+                op::LOAD_PARAM => {
+                    let _ = writeln!(out, "param {} <- #{}", reg(c[pc + 1]), c[pc + 2]);
+                    pc += 3;
+                }
+                op::CONST_INT => {
+                    let _ = writeln!(
+                        out,
+                        "const {} <- {}",
+                        reg(c[pc + 1]),
+                        self.pool[c[pc + 2] as usize]
+                    );
+                    pc += 3;
+                }
+                op::CONST_NULL => {
+                    let _ = writeln!(out, "null {}", reg(c[pc + 1]));
+                    pc += 2;
+                }
+                op::ARITH => {
+                    let _ = writeln!(
+                        out,
+                        "arith[{}] {} <- {}, {}",
+                        c[pc + 1],
+                        reg(c[pc + 2]),
+                        reg(c[pc + 3]),
+                        reg(c[pc + 4])
+                    );
+                    pc += 5;
+                }
+                op::NEG => {
+                    let _ = writeln!(out, "neg {} <- {}", reg(c[pc + 1]), reg(c[pc + 2]));
+                    pc += 3;
+                }
+                op::COMPARE => {
+                    let _ = writeln!(
+                        out,
+                        "cmp[{}] {} <- {}, {}",
+                        c[pc + 1],
+                        reg(c[pc + 2]),
+                        reg(c[pc + 3]),
+                        reg(c[pc + 4])
+                    );
+                    pc += 5;
+                }
+                op::REF_EQ => {
+                    let _ = writeln!(
+                        out,
+                        "refeq {} <- {}, {}",
+                        reg(c[pc + 1]),
+                        reg(c[pc + 2]),
+                        reg(c[pc + 3])
+                    );
+                    pc += 4;
+                }
+                op::IS_NULL => {
+                    let _ = writeln!(out, "isnull {} <- {}", reg(c[pc + 1]), reg(c[pc + 2]));
+                    pc += 3;
+                }
+                op::INSTANCE_OF => {
+                    let _ = writeln!(
+                        out,
+                        "instanceof{} {} <- {}, C{}",
+                        if c[pc + 4] != 0 { "!" } else { "" },
+                        reg(c[pc + 1]),
+                        reg(c[pc + 2]),
+                        c[pc + 3]
+                    );
+                    pc += 5;
+                }
+                op::CHECK_CAST => {
+                    let _ = writeln!(
+                        out,
+                        "checkcast {} <- {}, C{}",
+                        reg(c[pc + 1]),
+                        reg(c[pc + 2]),
+                        c[pc + 3]
+                    );
+                    pc += 4;
+                }
+                op::NEW => {
+                    let _ = writeln!(
+                        out,
+                        "new {} <- C{} (cost {})",
+                        reg(c[pc + 1]),
+                        c[pc + 2],
+                        c[pc + 3]
+                    );
+                    pc += 4;
+                }
+                op::NEW_ARRAY => {
+                    let _ = writeln!(
+                        out,
+                        "newarray {} <- len {} kind {}",
+                        reg(c[pc + 1]),
+                        reg(c[pc + 2]),
+                        c[pc + 3]
+                    );
+                    pc += 4;
+                }
+                op::LOAD_FIELD => {
+                    let _ = writeln!(
+                        out,
+                        "ldfld {} <- {}.[C{}+{}] (F{})",
+                        reg(c[pc + 1]),
+                        reg(c[pc + 2]),
+                        c[pc + 3],
+                        c[pc + 4],
+                        c[pc + 5]
+                    );
+                    pc += 6;
+                }
+                op::STORE_FIELD => {
+                    let _ = writeln!(
+                        out,
+                        "stfld {}.[C{}+{}] <- {} (F{})",
+                        reg(c[pc + 1]),
+                        c[pc + 3],
+                        c[pc + 4],
+                        reg(c[pc + 2]),
+                        c[pc + 5]
+                    );
+                    pc += 6;
+                }
+                op::LOAD_INDEXED => {
+                    let _ = writeln!(
+                        out,
+                        "ldidx {} <- {}[{}]",
+                        reg(c[pc + 1]),
+                        reg(c[pc + 2]),
+                        reg(c[pc + 3])
+                    );
+                    pc += 4;
+                }
+                op::STORE_INDEXED => {
+                    let _ = writeln!(
+                        out,
+                        "stidx {}[{}] <- {}",
+                        reg(c[pc + 1]),
+                        reg(c[pc + 2]),
+                        reg(c[pc + 3])
+                    );
+                    pc += 4;
+                }
+                op::ARRAY_LEN => {
+                    let _ = writeln!(out, "arraylen {} <- {}", reg(c[pc + 1]), reg(c[pc + 2]));
+                    pc += 3;
+                }
+                op::MONITOR_ENTER => {
+                    let _ = writeln!(out, "monenter {}", reg(c[pc + 1]));
+                    pc += 2;
+                }
+                op::MONITOR_EXIT => {
+                    let _ = writeln!(out, "monexit {}", reg(c[pc + 1]));
+                    pc += 2;
+                }
+                op::GET_STATIC => {
+                    let _ = writeln!(out, "getstatic {} <- S{}", reg(c[pc + 1]), c[pc + 2]);
+                    pc += 3;
+                }
+                op::PUT_STATIC => {
+                    let _ = writeln!(out, "putstatic S{} <- {}", c[pc + 2], reg(c[pc + 1]));
+                    pc += 3;
+                }
+                op::INVOKE => {
+                    let argc = c[pc + 5] as usize;
+                    let args: Vec<String> = (0..argc).map(|i| reg(c[pc + 6 + i])).collect();
+                    let _ = writeln!(
+                        out,
+                        "invoke{} {} <- M{}({}) deopt {}",
+                        if c[pc + 2] != 0 { "virtual" } else { "static" },
+                        reg(c[pc + 3]),
+                        c[pc + 1],
+                        args.join(", "),
+                        c[pc + 4]
+                    );
+                    pc += 6 + argc;
+                }
+                op::COMMIT => {
+                    let t = &self.commits[c[pc + 1] as usize];
+                    let dsts: Vec<String> = t.objects.iter().map(|o| reg(o.dst)).collect();
+                    let _ = writeln!(
+                        out,
+                        "commit #{} x{} -> [{}]",
+                        c[pc + 1],
+                        t.objects.len(),
+                        dsts.join(", ")
+                    );
+                    pc += 2;
+                }
+                op::GUARD => {
+                    let _ = writeln!(
+                        out,
+                        "guard {}{} reason {} deopt {}",
+                        if c[pc + 2] != 0 { "!" } else { "" },
+                        reg(c[pc + 1]),
+                        c[pc + 3],
+                        c[pc + 4]
+                    );
+                    pc += 5;
+                }
+                op::DEOPT => {
+                    let _ = writeln!(out, "deopt reason {} deopt {}", c[pc + 1], c[pc + 2]);
+                    pc += 3;
+                }
+                op::IF => {
+                    let _ = writeln!(
+                        out,
+                        "if {} then {} else {}",
+                        reg(c[pc + 1]),
+                        c[pc + 2],
+                        c[pc + 3]
+                    );
+                    pc += 4;
+                }
+                op::EDGE_END => {
+                    let _ = writeln!(out, "edge");
+                    pc += 1;
+                }
+                op::EDGE_LOOP_END => {
+                    let _ = writeln!(out, "backedge (safepoint)");
+                    pc += 1;
+                }
+                op::MOVE => {
+                    let _ = writeln!(out, "mov {} <- {}", reg(c[pc + 1]), reg(c[pc + 2]));
+                    pc += 3;
+                }
+                op::JUMP => {
+                    let _ = writeln!(out, "jump {}", c[pc + 1]);
+                    pc += 2;
+                }
+                op::RETURN => {
+                    let _ = writeln!(out, "ret {}", reg(c[pc + 1]));
+                    pc += 2;
+                }
+                op::THROW => {
+                    let _ = writeln!(out, "throw {}", reg(c[pc + 1]));
+                    pc += 2;
+                }
+                op::UNWIND => {
+                    let _ = writeln!(out, "unwind {}", reg(c[pc + 1]));
+                    pc += 2;
+                }
+                other => {
+                    let _ = writeln!(out, "?{other}");
+                    pc += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Encodes an [`pea_ir::ArithOp`] as an instruction operand.
+pub(crate) fn arith_code(op: pea_ir::ArithOp) -> u32 {
+    use pea_ir::ArithOp::*;
+    match op {
+        Add => 0,
+        Sub => 1,
+        Mul => 2,
+        Div => 3,
+        Rem => 4,
+        And => 5,
+        Or => 6,
+        Xor => 7,
+        Shl => 8,
+        Shr => 9,
+        Neg => unreachable!("unary negation uses op::NEG"),
+    }
+}
+
+/// Encodes a [`pea_bytecode::CmpOp`] as an instruction operand.
+pub(crate) fn cmp_code(op: pea_bytecode::CmpOp) -> u32 {
+    use pea_bytecode::CmpOp::*;
+    match op {
+        Eq => 0,
+        Ne => 1,
+        Lt => 2,
+        Le => 3,
+        Gt => 4,
+        Ge => 5,
+    }
+}
+
+/// Encodes a [`pea_ir::DeoptReason`] as an instruction operand.
+pub(crate) fn reason_code(r: pea_ir::DeoptReason) -> u32 {
+    use pea_ir::DeoptReason::*;
+    match r {
+        UntakenBranch => 0,
+        TypeCheck => 1,
+        Unreached => 2,
+        NullCheck => 3,
+    }
+}
+
+/// Decodes a [`pea_ir::DeoptReason`] instruction operand.
+pub(crate) fn decode_reason(r: u32) -> pea_ir::DeoptReason {
+    use pea_ir::DeoptReason::*;
+    match r {
+        0 => UntakenBranch,
+        1 => TypeCheck,
+        2 => Unreached,
+        _ => NullCheck,
+    }
+}
+
+/// Encodes a [`pea_bytecode::ValueKind`] as an instruction operand.
+pub(crate) fn kind_code(k: pea_bytecode::ValueKind) -> u32 {
+    match k {
+        pea_bytecode::ValueKind::Int => 0,
+        pea_bytecode::ValueKind::Ref => 1,
+    }
+}
+
+/// Decodes a [`pea_bytecode::ValueKind`] instruction operand.
+pub(crate) fn decode_kind(k: u32) -> pea_bytecode::ValueKind {
+    if k == 0 {
+        pea_bytecode::ValueKind::Int
+    } else {
+        pea_bytecode::ValueKind::Ref
+    }
+}
+
+/// Marker for `ClassId` operands (documentation aid; ids are raw `u32`s).
+pub(crate) fn class_code(c: ClassId) -> u32 {
+    c.0
+}

@@ -57,6 +57,10 @@ pub enum PhaseKind {
     VerifyIr,
     /// CFG construction, dominators, scheduling.
     Schedule,
+    /// Lowering of the scheduled graph to the dense register-machine form
+    /// (`crate::linear`). A lowering bailout leaves the artifact without a
+    /// linear form; the VM falls back to graph-walking evaluation.
+    Lower,
 }
 
 /// Everything one compilation accumulates while its phases run.
@@ -87,11 +91,13 @@ pub struct CompilationUnit<'a> {
 }
 
 /// The back-end products of a compilation: the schedule the evaluator
-/// executes plus its CFG and size.
+/// executes plus its CFG, size and (when lowering succeeded) the linear
+/// register-machine form.
 pub struct Artifact {
     pub cfg: Cfg,
     pub schedule: Schedule,
     pub code_size: u64,
+    pub linear: Option<crate::linear::LinearArtifact>,
 }
 
 impl<'a> CompilationUnit<'a> {
@@ -149,6 +155,7 @@ impl PhaseManager {
         phases.push(PhaseKind::EscapeAnalysis);
         phases.push(PhaseKind::VerifyIr);
         phases.push(PhaseKind::Schedule);
+        phases.push(PhaseKind::Lower);
         PhaseManager { phases }
     }
 
@@ -327,7 +334,20 @@ fn run_phase(
                 cfg,
                 schedule,
                 code_size,
+                linear: None,
             });
+            Ok(())
+        }
+        PhaseKind::Lower => {
+            let t = Instant::now();
+            let graph = unit.graph.as_ref().expect("build phase ran");
+            let artifact = unit.artifact.as_mut().expect("schedule phase ran");
+            // A lowering bailout is not a compile bailout: the scheduled
+            // graph is a complete artifact and the VM simply executes it
+            // on the graph-walking tier.
+            artifact.linear =
+                crate::linear::lower(unit.program, graph, &artifact.cfg, &artifact.schedule).ok();
+            unit.times.lower += t.elapsed();
             Ok(())
         }
     }

@@ -112,6 +112,8 @@ pub struct PhaseTimes {
     pub escape_analysis: Duration,
     /// CFG construction, dominators and scheduling.
     pub schedule: Duration,
+    /// Lowering of the schedule to the linear register-machine form.
+    pub lower: Duration,
 }
 
 impl PhaseTimes {
@@ -121,11 +123,12 @@ impl PhaseTimes {
         self.canonicalize += other.canonicalize;
         self.escape_analysis += other.escape_analysis;
         self.schedule += other.schedule;
+        self.lower += other.lower;
     }
 
     /// Total time across all phases.
     pub fn total(&self) -> Duration {
-        self.build + self.canonicalize + self.escape_analysis + self.schedule
+        self.build + self.canonicalize + self.escape_analysis + self.schedule + self.lower
     }
 }
 
@@ -150,6 +153,10 @@ pub struct CompiledMethod {
     /// Wall-clock per-phase compile times (observational; excluded from
     /// artifact-equality comparisons).
     pub times: PhaseTimes,
+    /// Dense register-machine form of the schedule, when lowering
+    /// succeeded. The default execution tier; `None` falls back to
+    /// graph-walking evaluation.
+    pub linear: Option<crate::linear::LinearArtifact>,
 }
 
 // Compile requests cross thread boundaries in the background compile
@@ -218,6 +225,7 @@ fn compile_impl<'a>(
             canonicalize: times.canonicalize.as_micros() as u64,
             escape_analysis: times.escape_analysis.as_micros() as u64,
             schedule: times.schedule.as_micros() as u64,
+            lower: times.lower.as_micros() as u64,
         },
     });
     Ok(CompiledMethod {
@@ -228,5 +236,6 @@ fn compile_impl<'a>(
         code_size: artifact.code_size,
         pea_result: unit.pea_result,
         times,
+        linear: artifact.linear,
     })
 }

@@ -283,6 +283,13 @@ pub struct TierMetrics {
     /// evaluator); the interpreter's polls are counted separately in
     /// `interp.safepoint_polls`.
     pub safepoint_polls: Counter,
+    /// Installed compiled methods that carried a linear artifact.
+    pub linear_installs: Counter,
+    /// Compiled invocations executed on the linear register-machine tier.
+    pub linear_exec: Counter,
+    /// Compiled invocations that requested the linear tier but fell back
+    /// to graph-walking evaluation (no linear artifact).
+    pub graph_exec_fallback: Counter,
 }
 
 /// Compile-pipeline and compile-service counters.
@@ -327,6 +334,8 @@ pub struct CompileMetrics {
     pub escape_analysis_us: Histogram,
     /// Scheduling time per compilation, µs.
     pub schedule_us: Histogram,
+    /// Linear-lowering time per compilation, µs.
+    pub lower_us: Histogram,
     /// Total compile time per compilation, µs.
     pub total_us: Histogram,
 }
@@ -407,6 +416,12 @@ impl VmMetrics {
             ("vm.evictions".into(), self.vm.evictions.get()),
             ("vm.recompiles".into(), self.vm.recompiles.get()),
             ("vm.safepoint_polls".into(), self.vm.safepoint_polls.get()),
+            ("vm.linear_installs".into(), self.vm.linear_installs.get()),
+            ("vm.linear_exec".into(), self.vm.linear_exec.get()),
+            (
+                "vm.graph_exec_fallback".into(),
+                self.vm.graph_exec_fallback.get(),
+            ),
             ("compile.started".into(), self.compile.started.get()),
             ("compile.succeeded".into(), self.compile.succeeded.get()),
             ("compile.bailouts".into(), self.compile.bailouts.get()),
@@ -485,6 +500,7 @@ impl VmMetrics {
                 "compile.schedule_us".into(),
                 self.compile.schedule_us.snapshot(),
             ),
+            ("compile.lower_us".into(), self.compile.lower_us.snapshot()),
             ("compile.total_us".into(), self.compile.total_us.snapshot()),
         ];
         MetricsSnapshot {

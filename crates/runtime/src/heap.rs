@@ -245,6 +245,55 @@ impl Heap {
         }
     }
 
+    /// Reads an instance field at a pre-resolved `(declaring class, slot)`
+    /// offset — the linear tier's fast path. Object layouts are
+    /// prefix-stable (superclass fields first), so one subclass check
+    /// validates the slot; anything else falls back to [`Self::get_field`]
+    /// for byte-identical error reporting.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Self::get_field`].
+    pub fn get_field_at(
+        &self,
+        program: &Program,
+        r: ObjRef,
+        declaring: ClassId,
+        slot: usize,
+        field: FieldId,
+    ) -> Result<Value, VmError> {
+        if let HeapObject::Instance { class, fields } = &self.cell(r).object {
+            if program.is_subclass_of(*class, declaring) {
+                return Ok(fields[slot]);
+            }
+        }
+        self.get_field(program, r, field)
+    }
+
+    /// Writes an instance field at a pre-resolved offset; see
+    /// [`Self::get_field_at`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Self::put_field`].
+    pub fn put_field_at(
+        &mut self,
+        program: &Program,
+        r: ObjRef,
+        declaring: ClassId,
+        slot: usize,
+        field: FieldId,
+        value: Value,
+    ) -> Result<(), VmError> {
+        if let HeapObject::Instance { class, fields } = &mut self.cells[r.index()].object {
+            if program.is_subclass_of(*class, declaring) {
+                fields[slot] = value;
+                return Ok(());
+            }
+        }
+        self.put_field(program, r, field, value)
+    }
+
     /// Reads an array element.
     ///
     /// # Errors

@@ -115,12 +115,14 @@ pub struct PhaseMicros {
     pub escape_analysis: u64,
     /// Control-flow scheduling of the final graph.
     pub schedule: u64,
+    /// Lowering of the schedule to the linear register-machine form.
+    pub lower: u64,
 }
 
 impl PhaseMicros {
     /// Total compile time across the recorded phases.
     pub fn total(&self) -> u64 {
-        self.build + self.canonicalize + self.escape_analysis + self.schedule
+        self.build + self.canonicalize + self.escape_analysis + self.schedule + self.lower
     }
 }
 
@@ -266,12 +268,13 @@ impl TraceEvent {
                 } else {
                     format!(
                         "compiled {method}: {code_size} nodes scheduled in {}us \
-                         (build {}us, canon {}us, ea {}us, sched {}us)",
+                         (build {}us, canon {}us, ea {}us, sched {}us, lower {}us)",
                         phases.total(),
                         phases.build,
                         phases.canonicalize,
                         phases.escape_analysis,
-                        phases.schedule
+                        phases.schedule,
+                        phases.lower
                     )
                 }
             }
@@ -392,6 +395,7 @@ impl TraceEvent {
                 o.num("canonicalize_us", phases.canonicalize as i64);
                 o.num("escape_analysis_us", phases.escape_analysis as i64);
                 o.num("schedule_us", phases.schedule as i64);
+                o.num("lower_us", phases.lower as i64);
             }
             TraceEvent::Virtualized { site, shape } => {
                 o.num("site", *site as i64);
@@ -517,6 +521,7 @@ impl TraceEvent {
                     canonicalize: obj.get_opt_num("canonicalize_us")?.unwrap_or(0) as u64,
                     escape_analysis: obj.get_opt_num("escape_analysis_us")?.unwrap_or(0) as u64,
                     schedule: obj.get_opt_num("schedule_us")?.unwrap_or(0) as u64,
+                    lower: obj.get_opt_num("lower_us")?.unwrap_or(0) as u64,
                 },
             },
             "virtualized" => TraceEvent::Virtualized {
@@ -1077,6 +1082,7 @@ mod tests {
                     canonicalize: 35,
                     escape_analysis: 88,
                     schedule: 12,
+                    lower: 7,
                 },
             },
             TraceEvent::Deopt {

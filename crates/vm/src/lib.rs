@@ -71,6 +71,35 @@ impl std::str::FromStr for JitMode {
     }
 }
 
+/// Which tier executes compiled methods.
+///
+/// Both tiers run the same compiled artifact with the same cycle cost
+/// model, the same traces and the same deopt behavior; they differ only
+/// in wall-clock speed. The graph walker survives as a differential
+/// oracle for the linear tier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Dense register-machine dispatch over the lowered artifact (the
+    /// default fast tier). Methods whose lowering bailed out fall back
+    /// to graph walking.
+    #[default]
+    Linear,
+    /// Graph-walking evaluation of the scheduled IR.
+    Graph,
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "linear" => Ok(ExecMode::Linear),
+            "graph" => Ok(ExecMode::Graph),
+            other => Err(format!("unknown exec mode `{other}` (linear|graph)")),
+        }
+    }
+}
+
 /// VM configuration.
 #[derive(Clone, Debug)]
 pub struct VmOptions {
@@ -88,6 +117,9 @@ pub struct VmOptions {
     pub jit: bool,
     /// Synchronous or background compilation.
     pub jit_mode: JitMode,
+    /// Which tier executes compiled methods (linear register machine by
+    /// default; graph walking as the differential oracle).
+    pub exec_mode: ExecMode,
     /// Background compile worker threads; `None` picks
     /// [`default_workers`] (hardware threads minus one).
     pub compile_workers: Option<usize>,
@@ -125,6 +157,7 @@ impl VmOptions {
             max_deopts: 8,
             jit: true,
             jit_mode: JitMode::Sync,
+            exec_mode: ExecMode::Linear,
             compile_workers: None,
             compile_queue_capacity: 128,
             trace: None,
@@ -450,6 +483,9 @@ impl Vm {
                             self.heap.stats.compiles += 1;
                             if let Some(m) = self.options.metrics.on() {
                                 m.vm.installs.inc();
+                                if code.linear.is_some() {
+                                    m.vm.linear_installs.inc();
+                                }
                             }
                             let code = Arc::new(code);
                             self.code_cache.insert(method, Arc::clone(&code));
@@ -599,6 +635,9 @@ impl Vm {
                     self.heap.stats.compiles += 1;
                     if let Some(m) = self.options.metrics.on() {
                         m.vm.installs.inc();
+                        if code.linear.is_some() {
+                            m.vm.linear_installs.inc();
+                        }
                         m.compile
                             .queue_latency_us
                             .record(outcome.enqueued_at.elapsed().as_micros() as u64);
@@ -722,6 +761,9 @@ impl Vm {
                     self.heap.stats.compiles += 1;
                     if let Some(m) = self.options.metrics.on() {
                         m.vm.installs.inc();
+                        if code.linear.is_some() {
+                            m.vm.linear_installs.inc();
+                        }
                     }
                     self.code_cache.insert(method, Arc::new(code));
                     installed += 1;
@@ -743,7 +785,22 @@ impl Vm {
         if let Some(m) = self.options.metrics.on() {
             m.vm.invocations_compiled.inc();
         }
-        match evaluate(program, self, code, &args)? {
+        let outcome = if self.options.exec_mode == ExecMode::Linear {
+            if code.linear.is_some() {
+                if let Some(m) = self.options.metrics.on() {
+                    m.vm.linear_exec.inc();
+                }
+                pea_compiler::linear::execute(program, self, code, &args)?
+            } else {
+                if let Some(m) = self.options.metrics.on() {
+                    m.vm.graph_exec_fallback.inc();
+                }
+                evaluate(program, self, code, &args)?
+            }
+        } else {
+            evaluate(program, self, code, &args)?
+        };
+        match outcome {
             EvalOutcome::Return(v) => Ok(v),
             EvalOutcome::Deopt {
                 reason,
@@ -877,6 +934,7 @@ pub(crate) fn record_compile_metrics(
                 m.compile.canonicalize_us.record(phases.canonicalize);
                 m.compile.escape_analysis_us.record(phases.escape_analysis);
                 m.compile.schedule_us.record(phases.schedule);
+                m.compile.lower_us.record(phases.lower);
                 m.compile.total_us.record(phases.total());
             }
             TraceEvent::Virtualized { .. } => m.pea.virtualized.inc(),
@@ -956,6 +1014,9 @@ impl EvalEnv for Vm {
     }
     fn invoke(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
         self.call(method, args)
+    }
+    fn has_fuel_limit(&self) -> bool {
+        self.options.fuel.is_some()
     }
     fn safepoint(&mut self) {
         if let Some(m) = self.options.metrics.on() {

@@ -3,7 +3,7 @@
 //! ```text
 //! pea run <file.asm> <entry> [args...] [--level none|ees|pea|pea-pre|pea-pre-ipa]
 //!         [--inline-policy size|summary]
-//!         [--interp] [--jit-mode sync|background] [--checked]
+//!         [--interp] [--jit-mode sync|background] [--exec-mode linear|graph] [--checked]
 //!         [--trace|--trace-json [PATH]]                # + VM/PEA event log
 //!         [--metrics] [--metrics-json PATH] [--metrics-prom PATH]
 //!         [--profile-in PATH] [--profile-out PATH]     # profile reuse
@@ -129,7 +129,7 @@ fn write_output(path: &str, contents: &str) {
 
 fn cmd_run(args: &[String]) -> ExitCode {
     let [path, entry, rest @ ..] = args else {
-        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--inline-policy size|summary] [--interp] [--warmup N] [--jit-mode sync|background] [--checked] [--trace|--trace-json [PATH]] [--metrics] [--metrics-json PATH] [--metrics-prom PATH] [--profile-in PATH] [--profile-out PATH]");
+        eprintln!("usage: pea run <file.asm> <entry> [int args...] [--level L] [--inline-policy size|summary] [--interp] [--warmup N] [--jit-mode sync|background] [--exec-mode linear|graph] [--checked] [--trace|--trace-json [PATH]] [--metrics] [--metrics-json PATH] [--metrics-prom PATH] [--profile-in PATH] [--profile-out PATH]");
         return ExitCode::from(2);
     };
     let program = load(path);
@@ -166,6 +166,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
         .and_then(|i| rest.get(i + 1))
     {
         options.jit_mode = mode.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(mode) = rest
+        .iter()
+        .position(|a| a == "--exec-mode")
+        .and_then(|i| rest.get(i + 1))
+    {
+        options.exec_mode = mode.parse().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
         });
@@ -319,6 +329,17 @@ fn cmd_dump(args: &[String]) -> ExitCode {
     println!("=== {name} (code size {} nodes) ===", code.code_size);
     println!("escape analysis: {:?}", code.pea_result);
     println!("{}", pea::ir::dump::dump(&code.graph));
+    match &code.linear {
+        Some(art) => {
+            println!(
+                "=== linear ({} words, {} regs) ===",
+                art.code.len(),
+                art.num_regs
+            );
+            print!("{}", art.disassemble());
+        }
+        None => println!("=== linear: lowering bailed out (graph tier only) ==="),
+    }
     ExitCode::SUCCESS
 }
 

@@ -271,6 +271,7 @@ fn summary_inline_virtualizes_at_least_size_on_corpus() {
     for w in pea::workloads::all_workloads() {
         for mode in [JitMode::Sync, JitMode::Background] {
             let mut virtualized = Vec::new();
+            let mut breakdown = Vec::new();
             for policy in [InlinePolicy::Size, InlinePolicy::Summary] {
                 let mut options = VmOptions::with_opt_level(OptLevel::Pea);
                 options.compile_threshold = 5;
@@ -284,20 +285,42 @@ fn summary_inline_virtualizes_at_least_size_on_corpus() {
                 }
                 if mode == JitMode::Background {
                     vm.await_background_compiles();
+                    // Which methods crossed the compile threshold is racy in
+                    // background mode: an early install can freeze an inlined
+                    // callee's invocation count just below the threshold, so
+                    // the two policies can end up counting different method
+                    // sets. Top up to the full method universe so the
+                    // comparison is over the same (deterministic) set; the
+                    // Sync arm keeps the exact threshold-driven set.
+                    vm.precompile_all(1);
                 }
                 let total: usize = vm
                     .compiled_methods()
                     .iter()
                     .map(|&m| vm.compiled(m).unwrap().pea_result.virtualized_allocs)
                     .sum();
+                let per_method: Vec<String> = vm
+                    .compiled_methods()
+                    .iter()
+                    .map(|&m| {
+                        format!(
+                            "{}={}",
+                            w.program.method(m).qualified_name(&w.program),
+                            vm.compiled(m).unwrap().pea_result.virtualized_allocs
+                        )
+                    })
+                    .collect();
                 virtualized.push(total);
+                breakdown.push(per_method);
             }
             assert!(
                 virtualized[1] >= virtualized[0],
-                "{} ({mode:?}): summary policy virtualized {} < size policy's {}",
+                "{} ({mode:?}): summary policy virtualized {} < size policy's {}\n  size:    {:?}\n  summary: {:?}",
                 w.name,
                 virtualized[1],
-                virtualized[0]
+                virtualized[0],
+                breakdown[0],
+                breakdown[1]
             );
         }
     }

@@ -342,11 +342,17 @@ fn configs() -> Vec<(&'static str, VmOptions)> {
     };
     let mut summary_opts = low(OptLevel::Pea);
     summary_opts.compiler.build.inline_policy = pea::compiler::InlinePolicy::Summary;
+    // The default exec mode is the linear register machine; "jit-graph"
+    // pins the graph-walking oracle so the proptest cross-checks the two
+    // tiers on every generated program.
+    let mut graph_opts = low(OptLevel::Pea);
+    graph_opts.exec_mode = pea::vm::ExecMode::Graph;
     vec![
         ("interp", VmOptions::interpreter_only()),
         ("jit-none", low(OptLevel::None)),
         ("jit-ees", low(OptLevel::Ees)),
         ("jit-pea", low(OptLevel::Pea)),
+        ("jit-graph", graph_opts),
         ("jit-pea-pre", low(OptLevel::PeaPre)),
         ("jit-pea-pre-ipa", low(OptLevel::PeaPreIpa)),
         ("jit-pea-summary-inline", summary_opts),
@@ -740,12 +746,26 @@ fn exception_configs() -> Vec<(&'static str, VmOptions)> {
     virt_bg.compiler.build.devirtualize_threshold = 4;
     virt_bg.jit_mode = pea::vm::JitMode::Background;
     virt_bg.compile_workers = Some(1);
+    // Explicit linear-tier configs (sync and background) plus the
+    // graph-walking oracle, so the agreement assertions differential-test
+    // the two execution tiers on the exception/dispatch generator too.
+    let mut linear = low(OptLevel::Pea);
+    linear.exec_mode = pea::vm::ExecMode::Linear;
+    let mut linear_bg = low(OptLevel::Pea);
+    linear_bg.exec_mode = pea::vm::ExecMode::Linear;
+    linear_bg.jit_mode = pea::vm::JitMode::Background;
+    linear_bg.compile_workers = Some(1);
+    let mut graph = low(OptLevel::Pea);
+    graph.exec_mode = pea::vm::ExecMode::Graph;
     vec![
         ("interp", VmOptions::interpreter_only()),
         ("jit-exceptions", low(OptLevel::Pea)),
         ("jit-exceptions-bg", exc_bg),
         ("jit-virtual", virt),
         ("jit-virtual-bg", virt_bg),
+        ("jit-linear", linear),
+        ("jit-linear-bg", linear_bg),
+        ("jit-graph", graph),
     ]
 }
 
@@ -893,6 +913,117 @@ fn pre_exclusions_subset_of_ipa_on_generated_programs() {
     let excluded = ProgramSummaries::compute(&program).excluded_sites(&program, id);
     assert_eq!(immediate.len(), 1, "new-then-athrow is an immediate site");
     assert!(excluded.contains(&immediate[0]));
+}
+
+// ---- Linear tier vs. graph-walking oracle ------------------------------
+//
+// The linear register-machine tier must be observationally *identical* to
+// graph-walking evaluation: same result vectors (including thrown-exception
+// identity), same virtual-cycle counts, and the same decision/deopt trace
+// (wall-clock compile timings excluded — they are the only legitimately
+// nondeterministic payload).
+
+/// Clears the wall-clock phase timings, the only CompileEnd payload that
+/// legitimately differs between two runs of the same compilation.
+fn normalize_trace(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .cloned()
+        .map(|e| match e {
+            TraceEvent::CompileEnd {
+                method, code_size, ..
+            } => TraceEvent::CompileEnd {
+                method,
+                code_size,
+                phases: pea::trace::PhaseMicros::default(),
+            },
+            e => e,
+        })
+        .collect()
+}
+
+/// Runs `iterate(0..iters)` under both exec modes and asserts byte-equal
+/// results; in Sync mode also byte-equal cycle counts and traces (install
+/// timing makes those legitimately racy under a background worker).
+fn assert_linear_graph_agree(label: &str, program: &Program, iters: i64) {
+    type Run = (Vec<Result<Option<Value>, VmError>>, u64, Vec<TraceEvent>);
+    for mode in [pea::vm::JitMode::Sync, pea::vm::JitMode::Background] {
+        let mut runs: Vec<Run> = Vec::new();
+        for exec in [pea::vm::ExecMode::Linear, pea::vm::ExecMode::Graph] {
+            let mut options = VmOptions::with_opt_level(OptLevel::Pea);
+            options.compile_threshold = 3;
+            options.checked = true;
+            options.jit_mode = mode;
+            options.compile_workers = Some(1);
+            options.exec_mode = exec;
+            let (sink, mem) = SharedSink::new(MemorySink::new());
+            options.trace = Some(sink);
+            let mut vm = Vm::new(program.clone(), options);
+            let mut results = Vec::new();
+            for i in 0..iters {
+                results.push(vm.call_entry("iterate", &[Value::Int(i)]));
+            }
+            vm.await_background_compiles();
+            let trace = normalize_trace(&mem.lock().unwrap().events);
+            runs.push((results, vm.stats().cycles, trace));
+        }
+        let (linear_results, linear_cycles, linear_trace) = &runs[0];
+        let (graph_results, graph_cycles, graph_trace) = &runs[1];
+        assert_eq!(
+            linear_results, graph_results,
+            "{label} ({mode:?}): linear and graph tiers disagree on results"
+        );
+        if mode == pea::vm::JitMode::Sync {
+            assert_eq!(
+                linear_cycles, graph_cycles,
+                "{label}: linear and graph tiers disagree on cycle counts"
+            );
+            assert_eq!(
+                linear_trace, graph_trace,
+                "{label}: linear and graph tiers disagree on the decision trace"
+            );
+        }
+    }
+    // Pure compiled-code parity: with the whole program precompiled, the
+    // cycle accounting must agree byte-for-byte even though every single
+    // call runs on the tier under test.
+    let mut cycles = Vec::new();
+    for exec in [pea::vm::ExecMode::Linear, pea::vm::ExecMode::Graph] {
+        let mut options = VmOptions::with_opt_level(OptLevel::Pea);
+        options.checked = true;
+        options.exec_mode = exec;
+        let mut vm = Vm::new(program.clone(), options);
+        vm.precompile_all(1);
+        for i in 0..iters {
+            let _ = vm.call_entry("iterate", &[Value::Int(i)]);
+        }
+        cycles.push(vm.stats().cycles);
+    }
+    assert_eq!(
+        cycles[0], cycles[1],
+        "{label}: precompiled cycle counts differ between linear and graph"
+    );
+}
+
+/// The whole workload corpus agrees between the linear tier and the
+/// graph-walking oracle, in both JIT modes, under `--checked`.
+#[test]
+fn linear_tier_agrees_with_graph_oracle_on_corpus() {
+    for w in pea::workloads::all_workloads() {
+        assert_linear_graph_agree(&w.name, &w.program, 20);
+    }
+}
+
+/// Fuzzed exception/dispatch programs (seeds 0..64) agree between the
+/// linear tier and the graph-walking oracle.
+#[test]
+fn linear_tier_agrees_with_graph_oracle_on_fuzz_seeds() {
+    for seed in 0..64u64 {
+        let src = pea::workloads::gen::generate(seed);
+        let program = pea::bytecode::asm::parse_program(&src).expect("generated program parses");
+        pea::bytecode::verify_program(&program).expect("generated program verifies");
+        assert_linear_graph_agree(&format!("seed {seed}"), &program, 12);
+    }
 }
 
 /// Observability must be free: attaching a trace sink changes neither the

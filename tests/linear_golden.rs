@@ -1,0 +1,160 @@
+//! Golden lowered encoding for the paper's worked example (Listing 1 /
+//! §4, `examples/cache_key.asm`): pins the byte-exact `Vec<u32>` code
+//! stream, the constant pool, and the disassembly of the linear
+//! register-machine artifact for `getValue` under PEA, and checks that
+//! the cycle model and the PEA decision trace are unchanged between the
+//! linear tier and the graph-walking oracle under `--checked`.
+//!
+//! A change in these goldens means the lowering emitted different code
+//! for the same scheduled graph; deliberate encoding changes must update
+//! them alongside an explanation.
+
+use pea::bytecode::asm::parse_program;
+use pea::compiler::{compile, CompilerOptions, OptLevel};
+use pea::runtime::Value;
+use pea::trace::{MemorySink, SharedSink, TraceEvent};
+use pea::vm::{ExecMode, Vm, VmOptions};
+
+const CACHE_EXAMPLE: &str = include_str!("../examples/cache_key.asm");
+
+fn compiled_cache_example() -> pea::compiler::CompiledMethod {
+    let program = parse_program(CACHE_EXAMPLE).unwrap();
+    pea::bytecode::verify_program(&program).unwrap();
+    let method = program.static_method_by_name("getValue").unwrap();
+    let options = CompilerOptions::with_opt_level(OptLevel::Pea);
+    compile(&program, method, None, &options).unwrap()
+}
+
+/// The byte-exact encoding: one `u32` word stream, the deduplicated
+/// constant pool, and the artifact's shape. `Key` is fully virtual on the
+/// hit path — the only allocation is the single commit on the miss path,
+/// and the elided monitor pair appears nowhere.
+#[test]
+fn cache_example_lowered_encoding_golden() {
+    let code = compiled_cache_example();
+    let art = code.linear.as_ref().expect("cache example lowers");
+    #[rustfmt::skip]
+    let golden: Vec<u32> = vec![
+        0, 1, 0, 0, 2, 1, 2, 3, 1, 4, 0, 1, 5, 1, 1, 6, 2, 3, 2, 7, 1, 6,
+        19, 8, 0, 23, 4, 1, 3, 0, 7, 9, 8, 25, 9, 91, 37, 9, 10, 8, 0, 12,
+        11, 10, 0, 0, 0, 5, 1, 12, 1, 11, 25, 12, 88, 56, 9, 13, 8, 0, 12,
+        14, 13, 0, 1, 1, 6, 15, 2, 14, 5, 0, 16, 15, 4, 25, 16, 85, 79, 26,
+        28, 17, 5, 29, 100, 26, 29, 94, 26, 29, 94, 26, 29, 94, 26, 28, 17,
+        4, 29, 100, 5, 0, 18, 17, 4, 25, 18, 114, 109, 19, 19, 1, 30, 19,
+        22, 0, 20, 0, 0, 20, 7, 1, 19, 20, 1, 30, 20,
+    ];
+    assert_eq!(art.code, golden, "lowered code words changed");
+    assert_eq!(art.pool, vec![0, 1, 13], "constant pool changed");
+    assert_eq!(art.num_regs, 21);
+    assert_eq!(
+        art.deopts.len(),
+        1,
+        "one deopt point (the null-check guard)"
+    );
+    assert_eq!(art.commits.len(), 1, "one commit (the miss-path Key)");
+}
+
+/// The disassembly golden: the human-auditable rendering of the same
+/// words, kept in sync with the raw encoding above.
+#[test]
+fn cache_example_disassembly_golden() {
+    let code = compiled_cache_example();
+    let art = code.linear.as_ref().expect("cache example lowers");
+    let golden = "   0: param r1 <- #0
+   3: param r2 <- #1
+   6: null r3
+   8: const r4 <- 0
+  11: const r5 <- 1
+  14: const r6 <- 13
+  17: arith[2] r7 <- r1, r6
+  22: getstatic r8 <- S0
+  25: guard !r4 reason 3 deopt 0
+  30: isnull r9 <- r8
+  33: if r9 then 91 else 37
+  37: checkcast r10 <- r8, C0
+  41: ldfld r11 <- r10.[C0+0] (F0)
+  47: cmp[1] r12 <- r1, r11
+  52: if r12 then 88 else 56
+  56: checkcast r13 <- r8, C0
+  60: ldfld r14 <- r13.[C0+1] (F1)
+  66: refeq r15 <- r2, r14
+  70: cmp[0] r16 <- r15, r4
+  75: if r16 then 85 else 79
+  79: edge
+  80: mov r17 <- r5
+  83: jump 100
+  85: edge
+  86: jump 94
+  88: edge
+  89: jump 94
+  91: edge
+  92: jump 94
+  94: edge
+  95: mov r17 <- r4
+  98: jump 100
+ 100: cmp[0] r18 <- r17, r4
+ 105: if r18 then 114 else 109
+ 109: getstatic r19 <- S1
+ 112: ret r19
+ 114: commit #0 x1 -> [r0]
+ 116: putstatic S0 <- r0
+ 119: putstatic S1 <- r7
+ 122: getstatic r20 <- S1
+ 125: ret r20
+";
+    assert_eq!(art.disassemble(), golden, "disassembly changed");
+}
+
+/// Running the example under `--checked` in both exec modes: identical
+/// result vectors, identical virtual-cycle totals, and an identical PEA
+/// decision trace (the cycle model and the analysis are tier-invariant).
+#[test]
+fn cache_example_cycles_and_trace_invariant_across_tiers() {
+    let program = parse_program(CACHE_EXAMPLE).unwrap();
+    pea::bytecode::verify_program(&program).unwrap();
+    let mut runs = Vec::new();
+    for exec in [ExecMode::Linear, ExecMode::Graph] {
+        let mut options = VmOptions::with_opt_level(OptLevel::Pea);
+        options.compile_threshold = 3;
+        options.checked = true;
+        options.exec_mode = exec;
+        let (sink, mem) = SharedSink::new(MemorySink::new());
+        options.trace = Some(sink);
+        let mut vm = Vm::new(program.clone(), options);
+        let mut results = Vec::new();
+        for i in 0..12i64 {
+            results.push(vm.call_entry("getValue", &[Value::Int(i % 3), Value::Null]));
+        }
+        let pea_trace: Vec<TraceEvent> = mem
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Virtualized { .. }
+                        | TraceEvent::Materialized { .. }
+                        | TraceEvent::LockElided { .. }
+                        | TraceEvent::LoadElided { .. }
+                        | TraceEvent::StoreElided { .. }
+                        | TraceEvent::CheckFolded { .. }
+                        | TraceEvent::PhiCreated { .. }
+                        | TraceEvent::Deopt { .. }
+                        | TraceEvent::DeoptTaken { .. }
+                )
+            })
+            .cloned()
+            .collect();
+        assert!(
+            pea_trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Virtualized { .. })),
+            "the example must virtualize Key"
+        );
+        runs.push((results, vm.stats().cycles, pea_trace));
+    }
+    assert_eq!(runs[0].0, runs[1].0, "results differ between tiers");
+    assert_eq!(runs[0].1, runs[1].1, "cycle counts differ between tiers");
+    assert_eq!(runs[0].2, runs[1].2, "PEA traces differ between tiers");
+}
