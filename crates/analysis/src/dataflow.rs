@@ -86,6 +86,29 @@ pub fn successors(insn: Insn, bci: usize) -> impl Iterator<Item = usize> {
     branch.into_iter().chain(fall)
 }
 
+/// Which outgoing control-flow edge a state is propagated along: the
+/// explicit branch target of a conditional/goto, or the fall-through to
+/// the next instruction. Passed to [`ForwardAnalysis::refine_edge`] so
+/// predicate-aware analyses can specialize (or kill) the state per edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// The explicit `branch_target()` edge (the "taken" side).
+    Taken,
+    /// The implicit fall-through edge to `bci + 1`.
+    FallThrough,
+}
+
+/// Edges leaving the instruction at `bci`, labelled with their kind.
+pub fn edges(insn: Insn, bci: usize) -> impl Iterator<Item = (usize, EdgeKind)> {
+    let branch = insn.branch_target().map(|t| (t as usize, EdgeKind::Taken));
+    let fall = if insn.falls_through() {
+        Some((bci + 1, EdgeKind::FallThrough))
+    } else {
+        None
+    };
+    branch.into_iter().chain(fall)
+}
+
 /// A forward dataflow analysis: states flow from method entry toward
 /// instruction successors.
 pub trait ForwardAnalysis {
@@ -120,6 +143,31 @@ pub trait ForwardAnalysis {
     /// blocks.
     fn handler_boundary(&mut self, _program: &Program, _method: &Method) -> Option<Self::State> {
         None
+    }
+
+    /// Specializes the post-transfer `state` for one outgoing edge before it
+    /// is joined into `target`'s input — the SkipFlow-style predicate hook.
+    /// A conditional's transfer runs once; then this runs on a *clone* of
+    /// the resulting state per edge, so an analysis can assert the branch
+    /// predicate's outcome along each side (e.g. "the compared local is
+    /// nonzero on the taken edge"). Returning `false` declares the edge
+    /// infeasible under the current state and the solver skips it entirely.
+    ///
+    /// The default keeps every edge with the unrefined state, which is
+    /// exactly the classic edge-insensitive solver. Refinements must stay
+    /// sound under joins: only strengthen facts the predicate guarantees.
+    #[allow(clippy::too_many_arguments)]
+    fn refine_edge(
+        &mut self,
+        _program: &Program,
+        _method: &Method,
+        _bci: usize,
+        _insn: Insn,
+        _edge: EdgeKind,
+        _target: usize,
+        _state: &mut Self::State,
+    ) -> bool {
+        true
     }
 }
 
@@ -159,15 +207,19 @@ pub fn solve_forward<A: ForwardAnalysis>(
         let mut state = input[bci].clone().expect("worklist entries have states");
         let insn = code[bci];
         analysis.transfer(program, method, bci, insn, &mut state);
-        for succ in successors(insn, bci) {
+        for (succ, edge) in edges(insn, bci) {
+            let mut out = state.clone();
+            if !analysis.refine_edge(program, method, bci, insn, edge, succ, &mut out) {
+                continue;
+            }
             match &mut input[succ] {
                 Some(existing) => {
-                    if A::join(existing, &state) {
+                    if A::join(existing, &out) {
                         work.push(succ);
                     }
                 }
                 slot @ None => {
-                    *slot = Some(state.clone());
+                    *slot = Some(out);
                     work.push(succ);
                 }
             }
@@ -373,6 +425,47 @@ mod tests {
         let at_ret = states.last().unwrap().as_ref().unwrap();
         assert_eq!(at_ret.iter().count(), 2, "{at_ret:?}");
         assert!(!at_ret.contains(1), "comparison const was overwritten");
+    }
+
+    /// An analysis that kills the taken edge of every branch must leave the
+    /// branch target unreachable while fall-through code still solves.
+    #[test]
+    fn refine_edge_can_prune_infeasible_edges() {
+        let program = parse_program(
+            "method m 1 returns {
+                load 0 const 0 ifcmp ne Lb
+                const 7 retv
+            Lb: const 9 retv
+            }",
+        )
+        .unwrap();
+        let method = &program.methods[0];
+
+        struct NeverTaken;
+        impl ForwardAnalysis for NeverTaken {
+            type State = ();
+            fn boundary(&mut self, _p: &Program, _m: &Method) {}
+            fn join(_a: &mut (), _b: &()) -> bool {
+                false
+            }
+            fn transfer(&mut self, _p: &Program, _m: &Method, _b: usize, _i: Insn, _s: &mut ()) {}
+            fn refine_edge(
+                &mut self,
+                _p: &Program,
+                _m: &Method,
+                _b: usize,
+                _i: Insn,
+                edge: EdgeKind,
+                _t: usize,
+                _s: &mut (),
+            ) -> bool {
+                edge == EdgeKind::FallThrough
+            }
+        }
+        let states = solve_forward(&program, method, &mut NeverTaken);
+        let target = method.code[2].branch_target().unwrap() as usize;
+        assert!(states[target].is_none(), "taken edge was pruned");
+        assert!(states[3].is_some(), "fall-through still solved");
     }
 
     #[test]

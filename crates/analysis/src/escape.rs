@@ -27,6 +27,7 @@
 
 use crate::dataflow::{solve_forward, BitSet, ForwardAnalysis};
 use pea_bytecode::{ClassId, Insn, Method, MethodId, Program, ValueKind};
+use std::collections::BTreeSet;
 
 /// Escape classification of an allocation site, ordered by severity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -106,6 +107,17 @@ pub struct EscapeSummary {
     /// sites — the site is published through the exception edge and PEA
     /// materializes it at the throw (`thrown-escape`).
     pub throws_fresh: bool,
+    /// Per-site escape *events*: every `(bci, class)` pair at which the
+    /// site's references were raised above `NoEscape` during solving
+    /// (publication points, call arguments, returns, throws — including
+    /// events inherited through the contents closure). The branch-aware
+    /// layer (`crate::flow`) qualifies these against the CFG to decide
+    /// whether a site escapes only on exception or cold paths. Indexed
+    /// parallel to [`sites`](Self::sites).
+    pub site_events: Vec<Vec<(u32, EscapeClass)>>,
+    /// Escape events of each parameter, parallel to
+    /// [`param_escape`](Self::param_escape).
+    pub param_events: Vec<Vec<(u32, EscapeClass)>>,
 }
 
 impl EscapeSummary {
@@ -192,6 +204,12 @@ struct EscapeFlow<'a> {
     oracle: Option<&'a dyn CalleeOracle>,
     /// Any global fact grew during the current solver pass.
     grew: bool,
+    /// Bci of the instruction currently being transferred — the program
+    /// point attributed to escape events raised during that transfer.
+    cur_bci: u32,
+    /// Per-source escape events: `(bci, class)` for every raise above
+    /// `NoEscape` (monotone sets, so re-visits stay idempotent).
+    event_bcis: Vec<BTreeSet<(u32, EscapeClass)>>,
 }
 
 impl EscapeFlow<'_> {
@@ -212,6 +230,9 @@ impl EscapeFlow<'_> {
             if self.escape[src] < to {
                 self.escape[src] = to;
                 self.grew = true;
+            }
+            if to > EscapeClass::NoEscape {
+                self.grew |= self.event_bcis[src].insert((self.cur_bci, to));
             }
         }
     }
@@ -317,6 +338,7 @@ impl ForwardAnalysis for EscapeFlow<'_> {
         insn: Insn,
         state: &mut Frame,
     ) {
+        self.cur_bci = bci as u32;
         let empty = self.empty();
         match insn {
             Insn::Load(n) => state.stack.push(state.locals[n as usize].clone()),
@@ -470,6 +492,8 @@ pub fn analyze_method_with(
         thrown: BitSet::new(n_sources),
         oracle,
         grew: false,
+        cur_bci: 0,
+        event_bcis: vec![BTreeSet::new(); n_sources],
     };
     *flow.escape.last_mut().expect("unknown source") = EscapeClass::GlobalEscape;
     if method.is_synchronized {
@@ -490,7 +514,9 @@ pub fn analyze_method_with(
         }
     }
     // Close escape classes over the contents relation: anything stored
-    // into an escaping object escapes at least as far.
+    // into an escaping object escapes at least as far, and inherits the
+    // container's escape events (the value surfaces wherever the
+    // container does, so those bcis qualify its path verdict too).
     loop {
         let mut changed = false;
         for container in 0..n_sources {
@@ -498,10 +524,16 @@ pub fn analyze_method_with(
             if class == EscapeClass::NoEscape {
                 continue;
             }
+            let inherited = flow.event_bcis[container].clone();
             for value in flow.contents[container].clone().iter() {
                 if flow.escape[value] < class {
                     flow.escape[value] = class;
                     changed = true;
+                }
+                if value != container {
+                    let before = flow.event_bcis[value].len();
+                    flow.event_bcis[value].extend(inherited.iter().copied());
+                    changed |= flow.event_bcis[value].len() != before;
                 }
             }
         }
@@ -531,6 +563,12 @@ pub fn analyze_method_with(
         param_escape: (0..n_params).map(|p| flow.escape[n_sites + p]).collect(),
         returns_fresh,
         throws_fresh,
+        site_events: (0..n_sites)
+            .map(|i| flow.event_bcis[i].iter().copied().collect())
+            .collect(),
+        param_events: (0..n_params)
+            .map(|p| flow.event_bcis[n_sites + p].iter().copied().collect())
+            .collect(),
     }
 }
 
@@ -795,6 +833,60 @@ mod tests {
         );
         assert_eq!(s.sites[0].escape, EscapeClass::NoEscape);
         assert!(!s.throws_fresh);
+    }
+
+    #[test]
+    fn escape_events_name_the_publication_point() {
+        // The `athrow` is bci 6: the global-escape event for the site
+        // must be attributed there, not to the allocation.
+        let s = summary(
+            "class Err { field code int }
+             method m 1 {
+                new Err store 1
+                load 1 load 0 putfield Err.code
+                load 1 athrow
+             }",
+            "m",
+        );
+        assert_eq!(s.sites[0].escape, EscapeClass::GlobalEscape);
+        assert!(
+            s.site_events[0].contains(&(6, EscapeClass::GlobalEscape)),
+            "{:?}",
+            s.site_events[0]
+        );
+        assert!(
+            s.site_events[0]
+                .iter()
+                .all(|&(_, c)| c > EscapeClass::NoEscape),
+            "only above-NoEscape raises are events"
+        );
+    }
+
+    #[test]
+    fn events_inherited_through_contents_closure() {
+        // The element is published only because the array is: it must
+        // inherit the array's putstatic event bci.
+        let s = summary(
+            "class Box { field v int }
+             static g ref
+             method m 0 {
+                const 1 newarray ref store 0
+                new Box store 1
+                load 0 const 0 load 1 astore
+                load 0 putstatic g ret
+             }",
+            "m",
+        );
+        let pub_bci = s.site_events[0]
+            .iter()
+            .find(|&&(_, c)| c == EscapeClass::GlobalEscape)
+            .expect("array has a global event")
+            .0;
+        assert!(
+            s.site_events[1].contains(&(pub_bci, EscapeClass::GlobalEscape)),
+            "element inherits the array's publication event: {:?}",
+            s.site_events[1]
+        );
     }
 
     #[test]

@@ -1,0 +1,1364 @@
+//! Branch-aware qualification of the flow-insensitive escape verdicts
+//! (SkipFlow-style predicate edges + primitive constant flow).
+//!
+//! The flow-insensitive tier ([`crate::escape`]) answers *whether* a site
+//! escapes; this module answers *where*: each above-`NoEscape` verdict is
+//! qualified against the method's control flow into a [`PathEscape`] —
+//! escapes only through exception paths, only behind one conditional, or
+//! on ordinary paths too. Three ingredients:
+//!
+//! 1. **Predicate-qualified dataflow** — a forward constant/nullness
+//!    analysis over the [`crate::dataflow`] solver's new per-edge
+//!    [`refine_edge`](crate::dataflow::ForwardAnalysis::refine_edge) hook.
+//!    Compare/instanceof/null-check outcomes specialize the state per
+//!    successor, and edges whose predicate is statically false are pruned
+//!    from the CFG the qualification reasons over.
+//! 2. **Event qualification** — the escape *events* recorded by the
+//!    flow-insensitive pass (`(bci, class)` publication points) are tested
+//!    for reachability, throw-path-ness (the event instruction is an
+//!    `athrow`, can no longer reach a return, or sits in handler-only
+//!    code), and common guarding branches.
+//! 3. **Certain-escape must-analysis** — the dual direction: a site that
+//!    escapes globally on *every* path from its allocation, with nothing
+//!    observable or faulting in between, can be excluded from PEA with
+//!    bit-identical results and allocation counts (the allocation merely
+//!    moves from the materialization point back to the `new`). These are
+//!    the extra sites the `pea-pre-flow` pre-filter level excludes beyond
+//!    `pea-pre-ipa`.
+//!
+//! [`FlowSummary`] also path-qualifies the method's *throw* behaviour
+//! ([`ThrowPath`]): a callee that throws only behind profile-cold guards
+//! can be inlined by the summary inline policy even though the coarse
+//! `may_throw` bit is set — the builder's branch speculation prunes the
+//! throwing path entirely (and bails out if it ever parses an inlined
+//! `athrow`, so the verdict is a performance hint, never a soundness
+//! obligation).
+//!
+//! Everything here **refines, never contradicts**, the flow-insensitive
+//! tier: a [`FlowSite::path`] is `NoEscape` exactly when the insensitive
+//! class is, and every other qualification only narrows *where* that class
+//! arises — the `flow ⊆ flow-insensitive` invariant `pealint` enforces.
+
+use crate::dataflow::{edges, solve_forward, BitSet, EdgeKind, ForwardAnalysis};
+use crate::escape::{EscapeClass, EscapeSummary};
+use pea_bytecode::{Insn, Method, MethodId, Program};
+use std::collections::BTreeSet;
+
+/// Path-qualified escape verdict for one allocation site.
+///
+/// The qualification describes where the site's *class-defining* escape
+/// events sit (for a `GlobalEscape` site, its global publications; weaker
+/// events on other paths are not the verdict's concern).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathEscape {
+    /// The site does not escape at all (iff the flow-insensitive class is
+    /// `NoEscape` — this tier never claims new `NoEscape` proofs).
+    NoEscape,
+    /// Every escape event is on an exception path: the event is an
+    /// `athrow`, sits in code that can no longer reach a return, or is
+    /// reachable only through handler entries.
+    EscapesOnThrowPathOnly,
+    /// Every escape event sits behind one side of the conditional branch
+    /// at this bci: pruning that edge makes all of them unreachable.
+    EscapesOnColdBranch(u32),
+    /// Escape events exist on ordinary paths (or could not be qualified);
+    /// the branch-aware tier adds nothing over the insensitive class.
+    GlobalEscape,
+}
+
+impl PathEscape {
+    /// Kebab-case tag for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PathEscape::NoEscape => "no-escape",
+            PathEscape::EscapesOnThrowPathOnly => "throw-path-only",
+            PathEscape::EscapesOnColdBranch(_) => "cold-branch",
+            PathEscape::GlobalEscape => "global-escape",
+        }
+    }
+}
+
+/// Branch-aware verdict for one allocation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSite {
+    /// Bytecode index of the allocation.
+    pub bci: u32,
+    /// The flow-insensitive class being qualified.
+    pub insensitive: EscapeClass,
+    /// Where that class arises.
+    pub path: PathEscape,
+    /// The site escapes globally on **every** path from its allocation
+    /// with nothing observable or faulting in between: excluding it from
+    /// PEA preserves results and allocation counts exactly (the
+    /// `pea-pre-flow` exclusion set beyond `pea-pre-ipa`'s).
+    pub certain_global: bool,
+}
+
+/// A conditional branch guarding every path to some `athrow`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThrowGuard {
+    /// Bci of the guarding conditional in the analyzed method.
+    pub bci: u32,
+    /// Whether the throwing path is behind the *taken* edge (else the
+    /// fall-through edge).
+    pub throw_on_taken: bool,
+}
+
+/// Path-qualified `may_throw`: where this method's own `athrow`s sit
+/// relative to its control flow. Computed on the **unpruned** CFG (normal
+/// plus exceptional edges) so it mirrors what the graph builder would
+/// parse — predicate-dead paths are left in, keeping the verdict a safe
+/// input to the inliner's cold-throw clearance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThrowPath {
+    /// The interprocedural `may_throw` bit is off: no throw anywhere.
+    Never,
+    /// `may_throw` is set but this method has no (reachable) `athrow` of
+    /// its own — only callees throw, and a residual call that throws is
+    /// already handled by exception-unwind deoptimization at any inline
+    /// depth.
+    CalleesOnly,
+    /// Every reachable `athrow` sits behind one of these conditional
+    /// guards: pruning the guard's throw-side edge makes it unreachable.
+    /// If a profile proves each guard's throw side never taken, branch
+    /// speculation removes every throwing path from an inlined body.
+    Guarded(Vec<ThrowGuard>),
+    /// No return is reachable: the method throws on every execution.
+    Always,
+    /// Reachable `athrow`s exist that no single conditional guards.
+    Sometimes,
+}
+
+impl ThrowPath {
+    /// Kebab-case tag for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ThrowPath::Never => "never",
+            ThrowPath::CalleesOnly => "callees-only",
+            ThrowPath::Guarded(_) => "guarded",
+            ThrowPath::Always => "always",
+            ThrowPath::Sometimes => "sometimes",
+        }
+    }
+}
+
+/// Result of [`analyze_method_flow`]: the branch-aware layer over one
+/// method's [`EscapeSummary`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowSummary {
+    pub method: MethodId,
+    /// One entry per allocation site, parallel to the insensitive
+    /// summary's `sites`.
+    pub sites: Vec<FlowSite>,
+    /// Path-qualified throw behaviour.
+    pub throw_path: ThrowPath,
+    /// Per-parameter: the parameter's `GlobalEscape` verdict arises only
+    /// on exception paths (publishes-param-on-throw-path-only). `false`
+    /// for parameters that do not globally escape at all.
+    pub publishes_on_throw_only: Vec<bool>,
+}
+
+impl FlowSummary {
+    /// The flow verdict for the site allocated at `bci`, if any.
+    pub fn site_at(&self, bci: u32) -> Option<&FlowSite> {
+        self.sites.iter().find(|s| s.bci == bci)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Predicate-qualified constant/nullness flow.
+
+/// Abstract primitive value: small constants and reference nullness, the
+/// two predicate families the bytecode can branch on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PredVal {
+    Top,
+    Const(i64),
+    Null,
+    NonNull,
+}
+
+impl PredVal {
+    fn join(self, other: PredVal) -> PredVal {
+        if self == other {
+            self
+        } else {
+            PredVal::Top
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct PredFrame {
+    locals: Vec<PredVal>,
+    stack: Vec<PredVal>,
+}
+
+struct PredicateFlow {
+    /// Bcis that are a branch target or handler entry: syntactic operand
+    /// patterns may only refine across single-predecessor fall-through
+    /// chains, so refinement is disabled at these join points.
+    jump_targets: BitSet,
+    /// Operand values of the conditional currently being transferred,
+    /// captured before the pop so `refine_edge` can test feasibility.
+    branch_ops: (PredVal, PredVal),
+}
+
+impl PredicateFlow {
+    fn new(method: &Method) -> PredicateFlow {
+        let mut jump_targets = BitSet::new(method.code.len() + 1);
+        for insn in &method.code {
+            if let Some(t) = insn.branch_target() {
+                jump_targets.insert(t as usize);
+            }
+        }
+        for e in &method.exception_table {
+            jump_targets.insert(e.handler as usize);
+        }
+        PredicateFlow {
+            jump_targets,
+            branch_ops: (PredVal::Top, PredVal::Top),
+        }
+    }
+
+    /// The instruction at `bci` has `bci - 1` as its only predecessor (a
+    /// straight fall-through chain), so facts about the instructions just
+    /// before it hold on every path reaching it.
+    fn straightline(&self, method: &Method, bci: usize) -> bool {
+        bci > 0 && method.code[bci - 1].falls_through() && !self.jump_targets.contains(bci)
+    }
+
+    fn fold(insn: Insn, a: PredVal, b: PredVal) -> PredVal {
+        let (PredVal::Const(x), PredVal::Const(y)) = (a, b) else {
+            return PredVal::Top;
+        };
+        match insn {
+            Insn::Add => PredVal::Const(x.wrapping_add(y)),
+            Insn::Sub => PredVal::Const(x.wrapping_sub(y)),
+            Insn::Mul => PredVal::Const(x.wrapping_mul(y)),
+            Insn::And => PredVal::Const(x & y),
+            Insn::Or => PredVal::Const(x | y),
+            Insn::Xor => PredVal::Const(x ^ y),
+            // Shifts/division fold less often than they complicate; Top.
+            _ => PredVal::Top,
+        }
+    }
+}
+
+impl ForwardAnalysis for PredicateFlow {
+    type State = PredFrame;
+
+    fn boundary(&mut self, _program: &Program, method: &Method) -> PredFrame {
+        PredFrame {
+            locals: vec![PredVal::Top; method.max_locals as usize],
+            stack: Vec::new(),
+        }
+    }
+
+    fn join(a: &mut PredFrame, b: &PredFrame) -> bool {
+        let mut changed = false;
+        for (x, y) in a.locals.iter_mut().zip(&b.locals) {
+            let next = x.join(*y);
+            changed |= next != *x;
+            *x = next;
+        }
+        for (x, y) in a.stack.iter_mut().zip(&b.stack) {
+            let next = x.join(*y);
+            changed |= next != *x;
+            *x = next;
+        }
+        changed
+    }
+
+    fn handler_boundary(&mut self, _program: &Program, method: &Method) -> Option<PredFrame> {
+        // Handler entry: unknown locals, stack holding the (non-null)
+        // caught exception. Seeding keeps handler-only code solved so the
+        // dead-edge computation covers it.
+        Some(PredFrame {
+            locals: vec![PredVal::Top; method.max_locals as usize],
+            stack: vec![PredVal::NonNull],
+        })
+    }
+
+    fn transfer(
+        &mut self,
+        program: &Program,
+        _method: &Method,
+        _bci: usize,
+        insn: Insn,
+        state: &mut PredFrame,
+    ) {
+        match insn {
+            Insn::Const(c) => state.stack.push(PredVal::Const(c)),
+            Insn::ConstNull => state.stack.push(PredVal::Null),
+            Insn::Load(n) => state.stack.push(state.locals[n as usize]),
+            Insn::Store(n) => {
+                let v = state.stack.pop().expect("verified stack");
+                state.locals[n as usize] = v;
+            }
+            Insn::Add | Insn::Sub | Insn::Mul | Insn::And | Insn::Or | Insn::Xor => {
+                let b = state.stack.pop().expect("verified stack");
+                let a = state.stack.pop().expect("verified stack");
+                state.stack.push(Self::fold(insn, a, b));
+            }
+            Insn::Neg => {
+                let a = state.stack.pop().expect("verified stack");
+                state.stack.push(match a {
+                    PredVal::Const(x) => PredVal::Const(x.wrapping_neg()),
+                    _ => PredVal::Top,
+                });
+            }
+            Insn::New(_) => state.stack.push(PredVal::NonNull),
+            Insn::NewArray(_) => {
+                state.stack.pop();
+                state.stack.push(PredVal::NonNull);
+            }
+            Insn::CheckCast(_) => {} // identity on the reference
+            Insn::InstanceOf(_) => {
+                let r = state.stack.pop().expect("verified stack");
+                // `instanceof null` is 0; anything else is unknown.
+                state.stack.push(match r {
+                    PredVal::Null => PredVal::Const(0),
+                    _ => PredVal::Top,
+                });
+            }
+            Insn::Dup => {
+                let top = *state.stack.last().expect("verified stack");
+                state.stack.push(top);
+            }
+            Insn::Swap => {
+                let n = state.stack.len();
+                state.stack.swap(n - 1, n - 2);
+            }
+            Insn::IfCmp(..) | Insn::IfRefEq(_) | Insn::IfRefNe(_) => {
+                let b = state.stack.pop().expect("verified stack");
+                let a = state.stack.pop().expect("verified stack");
+                self.branch_ops = (a, b);
+            }
+            Insn::IfNull(_) | Insn::IfNonNull(_) => {
+                let r = state.stack.pop().expect("verified stack");
+                self.branch_ops = (r, PredVal::Top);
+            }
+            Insn::InvokeStatic(target) | Insn::InvokeVirtual(target) => {
+                let callee = program.method(target);
+                for _ in 0..callee.param_count {
+                    state.stack.pop();
+                }
+                if callee.returns_value {
+                    state.stack.push(PredVal::Top);
+                }
+            }
+            other => {
+                for _ in 0..other.pops() {
+                    state.stack.pop();
+                }
+                for _ in 0..other.pushes() {
+                    state.stack.push(PredVal::Top);
+                }
+            }
+        }
+    }
+
+    fn refine_edge(
+        &mut self,
+        _program: &Program,
+        method: &Method,
+        bci: usize,
+        insn: Insn,
+        edge: EdgeKind,
+        _target: usize,
+        state: &mut PredFrame,
+    ) -> bool {
+        let (a, b) = self.branch_ops;
+        let taken = edge == EdgeKind::Taken;
+        let feasible = match insn {
+            Insn::IfCmp(op, _) => match (a, b) {
+                (PredVal::Const(x), PredVal::Const(y)) => op.apply(x, y) == taken,
+                _ => true,
+            },
+            Insn::IfNull(_) => match a {
+                PredVal::Null => taken,
+                PredVal::NonNull => !taken,
+                _ => true,
+            },
+            Insn::IfNonNull(_) => match a {
+                PredVal::NonNull => taken,
+                PredVal::Null => !taken,
+                _ => true,
+            },
+            Insn::IfRefEq(_) => match (a, b) {
+                (PredVal::Null, PredVal::Null) => taken,
+                (PredVal::Null, PredVal::NonNull) | (PredVal::NonNull, PredVal::Null) => !taken,
+                _ => true,
+            },
+            Insn::IfRefNe(_) => match (a, b) {
+                (PredVal::Null, PredVal::Null) => !taken,
+                (PredVal::Null, PredVal::NonNull) | (PredVal::NonNull, PredVal::Null) => taken,
+                _ => true,
+            },
+            _ => return true,
+        };
+        if !feasible {
+            return false;
+        }
+        // Syntactic operand refinement along the surviving edge, valid
+        // only when the operand-producing instructions fall straight into
+        // the branch (no join in between).
+        match insn {
+            Insn::IfNull(_) | Insn::IfNonNull(_) if self.straightline(method, bci) => {
+                if let Insn::Load(n) = method.code[bci - 1] {
+                    let null_side = matches!(insn, Insn::IfNull(_)) == taken;
+                    state.locals[n as usize] = if null_side {
+                        PredVal::Null
+                    } else {
+                        PredVal::NonNull
+                    };
+                }
+            }
+            Insn::IfCmp(op, _)
+                if matches!(op, pea_bytecode::CmpOp::Eq | pea_bytecode::CmpOp::Ne)
+                    && bci >= 2
+                    && self.straightline(method, bci)
+                    && self.straightline(method, bci - 1) =>
+            {
+                if let (Insn::Load(n), Insn::Const(k)) =
+                    (method.code[bci - 2], method.code[bci - 1])
+                {
+                    let eq_side = matches!(op, pea_bytecode::CmpOp::Eq) == taken;
+                    if eq_side {
+                        state.locals[n as usize] = PredVal::Const(k);
+                    }
+                }
+            }
+            _ => {}
+        }
+        true
+    }
+}
+
+/// Conditional edges proven infeasible by the predicate analysis. Derived
+/// *after* the fixpoint from the final entry states (collecting during
+/// solving would over-report: states only rise toward `Top` as the solver
+/// iterates). Unreachable instructions contribute all their edges.
+fn dead_edges(
+    program: &Program,
+    method: &Method,
+    flow: &mut PredicateFlow,
+    states: &[Option<PredFrame>],
+) -> BTreeSet<(usize, EdgeKind)> {
+    let mut dead = BTreeSet::new();
+    for (bci, &insn) in method.code.iter().enumerate() {
+        let Some(entry) = &states[bci] else {
+            for (_, kind) in edges(insn, bci) {
+                dead.insert((bci, kind));
+            }
+            continue;
+        };
+        if insn.branch_target().is_none() || !insn.falls_through() {
+            continue; // only conditionals can have infeasible edges
+        }
+        let mut state = entry.clone();
+        flow.transfer(program, method, bci, insn, &mut state);
+        for (target, kind) in edges(insn, bci) {
+            let mut out = state.clone();
+            if !flow.refine_edge(program, method, bci, insn, kind, target, &mut out) {
+                dead.insert((bci, kind));
+            }
+        }
+    }
+    dead
+}
+
+// ---------------------------------------------------------------------------
+// CFG views and reachability.
+
+/// Instruction-level CFG views the qualification reasons over.
+struct FlowCfg {
+    /// Normal + exceptional edges, unpruned — mirrors what the graph
+    /// builder parses; used for [`ThrowPath`] and doom analysis.
+    all: Vec<Vec<usize>>,
+    /// Normal + exceptional edges minus predicate-dead edges; used to
+    /// test event reachability and find guarding branches.
+    pruned: Vec<Vec<usize>>,
+    /// Pruned normal edges only (no exceptional edges); an event outside
+    /// this but inside `pruned` is reachable only through handlers.
+    pruned_normal: Vec<Vec<usize>>,
+    /// Conditionals with two distinct live targets in `pruned`.
+    pruned_branches: Vec<(usize, usize, usize)>,
+    /// Conditionals with two distinct targets in `all`.
+    all_branches: Vec<(usize, usize, usize)>,
+}
+
+impl FlowCfg {
+    fn build(method: &Method, dead: &BTreeSet<(usize, EdgeKind)>) -> FlowCfg {
+        let code = &method.code;
+        let n = code.len();
+        let mut all: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pruned: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pruned_normal: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (bci, &insn) in code.iter().enumerate() {
+            for (t, kind) in edges(insn, bci) {
+                push_edge(&mut all[bci], t);
+                if !dead.contains(&(bci, kind)) {
+                    push_edge(&mut pruned[bci], t);
+                    push_edge(&mut pruned_normal[bci], t);
+                }
+            }
+        }
+        for e in &method.exception_table {
+            let h = e.handler as usize;
+            let end = (e.end as usize).min(n);
+            for bci in e.start as usize..end {
+                push_edge(&mut all[bci], h);
+                push_edge(&mut pruned[bci], h);
+            }
+        }
+        let mut pruned_branches = Vec::new();
+        let mut all_branches = Vec::new();
+        for (bci, &insn) in code.iter().enumerate() {
+            let (Some(t), true) = (insn.branch_target(), insn.falls_through()) else {
+                continue;
+            };
+            let (taken, fall) = (t as usize, bci + 1);
+            if taken == fall {
+                continue;
+            }
+            all_branches.push((bci, taken, fall));
+            if !dead.contains(&(bci, EdgeKind::Taken))
+                && !dead.contains(&(bci, EdgeKind::FallThrough))
+            {
+                pruned_branches.push((bci, taken, fall));
+            }
+        }
+        FlowCfg {
+            all,
+            pruned,
+            pruned_normal,
+            pruned_branches,
+            all_branches,
+        }
+    }
+}
+
+fn push_edge(out: &mut Vec<usize>, t: usize) {
+    if !out.contains(&t) {
+        out.push(t);
+    }
+}
+
+/// Forward reachability from `start`, optionally with one edge removed.
+fn reach_from(succs: &[Vec<usize>], start: usize, skip: Option<(usize, usize)>) -> BitSet {
+    let mut seen = BitSet::new(succs.len());
+    if start >= succs.len() {
+        return seen;
+    }
+    seen.insert(start);
+    let mut work = vec![start];
+    while let Some(bci) = work.pop() {
+        for &s in &succs[bci] {
+            if skip == Some((bci, s)) || seen.contains(s) {
+                continue;
+            }
+            seen.insert(s);
+            work.push(s);
+        }
+    }
+    seen
+}
+
+/// Bcis from which some `return`/`retv` is reachable (over `succs`); an
+/// instruction outside this set is *doomed* — every continuation throws.
+fn returns_reachable(method: &Method, succs: &[Vec<usize>]) -> BitSet {
+    let n = method.code.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (bci, out) in succs.iter().enumerate() {
+        for &s in out {
+            preds[s].push(bci);
+        }
+    }
+    let mut seen = BitSet::new(n);
+    let mut work = Vec::new();
+    for (bci, insn) in method.code.iter().enumerate() {
+        if matches!(insn, Insn::Return | Insn::ReturnValue) {
+            seen.insert(bci);
+            work.push(bci);
+        }
+    }
+    while let Some(bci) = work.pop() {
+        for &p in &preds[bci] {
+            if !seen.contains(p) {
+                seen.insert(p);
+                work.push(p);
+            }
+        }
+    }
+    seen
+}
+
+// ---------------------------------------------------------------------------
+// Event qualification.
+
+#[allow(clippy::too_many_arguments)]
+fn qualify(
+    method: &Method,
+    cfg: &FlowCfg,
+    class: EscapeClass,
+    events: &[(u32, EscapeClass)],
+    pruned_reach: &BitSet,
+    pruned_normal_reach: &BitSet,
+    ret_reach: &BitSet,
+) -> PathEscape {
+    if class == EscapeClass::NoEscape {
+        return PathEscape::NoEscape;
+    }
+    // Only the class-defining events qualify, and only where the pruned
+    // CFG can still reach them.
+    let qualifying: Vec<usize> = events
+        .iter()
+        .filter(|&&(_, c)| c == class)
+        .map(|&(b, _)| b as usize)
+        .filter(|&b| pruned_reach.contains(b))
+        .collect();
+    if qualifying.is_empty() {
+        // The class arose only on predicate-dead paths (or purely through
+        // closure): stay conservative rather than claim a vacuous
+        // qualification.
+        return PathEscape::GlobalEscape;
+    }
+    let throwish = |b: usize| {
+        matches!(method.code[b], Insn::Athrow)
+            || !ret_reach.contains(b)
+            || !pruned_normal_reach.contains(b)
+    };
+    if qualifying.iter().all(|&b| throwish(b)) {
+        return PathEscape::EscapesOnThrowPathOnly;
+    }
+    // A single conditional whose one edge dominates every event: removing
+    // that edge must make all of them unreachable. Deepest such branch
+    // (max bci) wins — it is the tightest guard.
+    let mut best: Option<usize> = None;
+    for &(b, taken, fall) in &cfg.pruned_branches {
+        if !pruned_reach.contains(b) {
+            continue;
+        }
+        for tgt in [taken, fall] {
+            let r = reach_from(&cfg.pruned, 0, Some((b, tgt)));
+            if qualifying.iter().all(|&e| !r.contains(e)) {
+                best = Some(best.map_or(b, |prev: usize| prev.max(b)));
+            }
+        }
+    }
+    match best {
+        Some(b) => PathEscape::EscapesOnColdBranch(b as u32),
+        None => PathEscape::GlobalEscape,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Path-qualified throw behaviour.
+
+fn compute_throw_path(method: &Method, cfg: &FlowCfg, may_throw: bool) -> ThrowPath {
+    if !may_throw {
+        return ThrowPath::Never;
+    }
+    let entry_reach = reach_from(&cfg.all, 0, None);
+    let athrows: Vec<usize> = method
+        .code
+        .iter()
+        .enumerate()
+        .filter(|&(bci, insn)| matches!(insn, Insn::Athrow) && entry_reach.contains(bci))
+        .map(|(bci, _)| bci)
+        .collect();
+    if athrows.is_empty() {
+        return ThrowPath::CalleesOnly;
+    }
+    let any_return = method.code.iter().enumerate().any(|(bci, insn)| {
+        matches!(insn, Insn::Return | Insn::ReturnValue) && entry_reach.contains(bci)
+    });
+    if !any_return {
+        return ThrowPath::Always;
+    }
+    let mut guards: Vec<ThrowGuard> = Vec::new();
+    for &a in &athrows {
+        let mut found: Option<ThrowGuard> = None;
+        for &(b, taken, fall) in &cfg.all_branches {
+            if !entry_reach.contains(b) {
+                continue;
+            }
+            let guard = if !reach_from(&cfg.all, 0, Some((b, taken))).contains(a) {
+                Some(ThrowGuard {
+                    bci: b as u32,
+                    throw_on_taken: true,
+                })
+            } else if !reach_from(&cfg.all, 0, Some((b, fall))).contains(a) {
+                Some(ThrowGuard {
+                    bci: b as u32,
+                    throw_on_taken: false,
+                })
+            } else {
+                None
+            };
+            if let Some(g) = guard {
+                // Keep the tightest (deepest) guard for this athrow.
+                found = Some(match found {
+                    Some(prev) if prev.bci >= g.bci => prev,
+                    _ => g,
+                });
+            }
+        }
+        match found {
+            Some(g) => {
+                if !guards.contains(&g) {
+                    guards.push(g);
+                }
+            }
+            None => return ThrowPath::Sometimes,
+        }
+    }
+    guards.sort_by_key(|g| g.bci);
+    ThrowPath::Guarded(guards)
+}
+
+// ---------------------------------------------------------------------------
+// Certain-escape must-analysis.
+
+/// How a slot relates to the analyzed site's (latest) allocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Track {
+    /// The slot may hold the object on some path.
+    may: bool,
+    /// The slot holds the object on every path.
+    must: bool,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+struct CFrame {
+    locals: Vec<Track>,
+    stack: Vec<Track>,
+    /// The object has been allocated and not yet published on some path
+    /// reaching here.
+    live: bool,
+}
+
+/// Must-analysis for one `GlobalEscape` site: does the object escape
+/// globally on **every** path from its allocation, with no observable or
+/// faulting instruction while it is live? If so, PEA's deferral of the
+/// allocation to the materialization point is indistinguishable from
+/// allocating eagerly — the site can be pre-filtered with identical
+/// results and allocation counts.
+///
+/// The checks are deliberately strict: any faulting instruction (it would
+/// abort before PEA ever materializes), any other allocation (handle
+/// numbering must not shift), any branch *on* the object, and any call
+/// that does not certainly publish it all disqualify the site.
+struct CertainFlow<'a> {
+    site_bci: usize,
+    /// Per-method, per-parameter publishes-on-every-path bits (the
+    /// interprocedural `publishes_immediately`), when available.
+    publishes: Option<&'a [Vec<bool>]>,
+    failed: bool,
+    saw_site: bool,
+}
+
+impl CertainFlow<'_> {
+    fn publish(state: &mut CFrame) {
+        for t in &mut state.locals {
+            *t = Track::default();
+        }
+        for t in &mut state.stack {
+            *t = Track::default();
+        }
+        state.live = false;
+    }
+}
+
+impl ForwardAnalysis for CertainFlow<'_> {
+    type State = CFrame;
+
+    fn boundary(&mut self, _program: &Program, method: &Method) -> CFrame {
+        CFrame {
+            locals: vec![Track::default(); method.max_locals as usize],
+            stack: Vec::new(),
+            live: false,
+        }
+    }
+
+    fn join(a: &mut CFrame, b: &CFrame) -> bool {
+        let mut changed = false;
+        for (x, y) in a.locals.iter_mut().zip(&b.locals) {
+            let next = Track {
+                may: x.may || y.may,
+                must: x.must && y.must,
+            };
+            changed |= next != *x;
+            *x = next;
+        }
+        for (x, y) in a.stack.iter_mut().zip(&b.stack) {
+            let next = Track {
+                may: x.may || y.may,
+                must: x.must && y.must,
+            };
+            changed |= next != *x;
+            *x = next;
+        }
+        if b.live && !a.live {
+            a.live = true;
+            changed = true;
+        }
+        changed
+    }
+
+    fn transfer(
+        &mut self,
+        program: &Program,
+        _method: &Method,
+        bci: usize,
+        insn: Insn,
+        state: &mut CFrame,
+    ) {
+        let live = state.live;
+        match insn {
+            Insn::New(_) | Insn::NewArray(_) => {
+                if matches!(insn, Insn::NewArray(_)) {
+                    state.stack.pop();
+                }
+                // Another allocation while ours is live would reorder
+                // handle assignment (and `newarray` can fault); a
+                // re-allocation of our own site while a prior instance is
+                // live breaks the one-object tracking.
+                if live {
+                    self.failed = true;
+                }
+                if bci == self.site_bci {
+                    self.saw_site = true;
+                    state.stack.push(Track {
+                        may: true,
+                        must: true,
+                    });
+                    state.live = true;
+                } else {
+                    state.stack.push(Track::default());
+                }
+            }
+            Insn::Load(n) => state.stack.push(state.locals[n as usize]),
+            Insn::Store(n) => {
+                let v = state.stack.pop().expect("verified stack");
+                state.locals[n as usize] = v;
+            }
+            Insn::Dup => {
+                let top = *state.stack.last().expect("verified stack");
+                state.stack.push(top);
+            }
+            Insn::Swap => {
+                let n = state.stack.len();
+                state.stack.swap(n - 1, n - 2);
+            }
+            Insn::Pop => {
+                state.stack.pop();
+            }
+            Insn::Const(_) | Insn::ConstNull | Insn::GetStatic(_) => {
+                state.stack.push(Track::default());
+            }
+            Insn::Goto(_) => {}
+            Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::And
+            | Insn::Or
+            | Insn::Xor
+            | Insn::Shl
+            | Insn::Shr => {
+                state.stack.pop();
+                state.stack.pop();
+                state.stack.push(Track::default());
+            }
+            Insn::Neg => {
+                state.stack.pop();
+                state.stack.push(Track::default());
+            }
+            Insn::Div | Insn::Rem => {
+                // Can fault (divide by zero) before the publication.
+                state.stack.pop();
+                state.stack.pop();
+                state.stack.push(Track::default());
+                if live {
+                    self.failed = true;
+                }
+            }
+            Insn::IfCmp(..) | Insn::IfRefEq(_) | Insn::IfRefNe(_) => {
+                let b = state.stack.pop().expect("verified stack");
+                let a = state.stack.pop().expect("verified stack");
+                // Branching on the object itself makes publication
+                // path-dependent in ways this must-analysis cannot track.
+                if a.may || b.may {
+                    self.failed = true;
+                }
+            }
+            Insn::IfNull(_) | Insn::IfNonNull(_) => {
+                let r = state.stack.pop().expect("verified stack");
+                if r.may {
+                    self.failed = true;
+                }
+            }
+            Insn::PutStatic(_) => {
+                let v = state.stack.pop().expect("verified stack");
+                if v.must {
+                    Self::publish(state);
+                } else if v.may {
+                    self.failed = true;
+                }
+                // Publishing an unrelated value cannot fault and does not
+                // interact with the deferred allocation: allowed.
+            }
+            Insn::Athrow => {
+                let v = state.stack.pop().expect("verified stack");
+                if v.must {
+                    // Thrown-escape: PEA materializes exactly here.
+                    Self::publish(state);
+                } else if v.may || live {
+                    self.failed = true;
+                }
+            }
+            Insn::Throw => {
+                state.stack.pop();
+                if live {
+                    self.failed = true;
+                }
+            }
+            Insn::Return => {
+                if live {
+                    self.failed = true;
+                }
+            }
+            Insn::ReturnValue => {
+                let v = state.stack.pop().expect("verified stack");
+                if v.may || live {
+                    self.failed = true;
+                }
+            }
+            Insn::InvokeStatic(target) => {
+                let callee = program.method(target);
+                let pc = callee.param_count as usize;
+                let mut args = vec![Track::default(); pc];
+                for idx in (0..pc).rev() {
+                    args[idx] = state.stack.pop().expect("verified stack");
+                }
+                let mut published = false;
+                for (idx, arg) in args.iter().enumerate() {
+                    let publishes_here = arg.must
+                        && self
+                            .publishes
+                            .is_some_and(|p| p[target.index()].get(idx).copied().unwrap_or(false));
+                    if publishes_here {
+                        published = true;
+                    } else if arg.may {
+                        self.failed = true;
+                    }
+                }
+                if published {
+                    Self::publish(state);
+                } else if live {
+                    // The callee may fault, observe globals, or allocate
+                    // before our deferred allocation materializes.
+                    self.failed = true;
+                }
+                if callee.returns_value {
+                    state.stack.push(Track::default());
+                }
+            }
+            Insn::InvokeVirtual(target) => {
+                let callee = program.method(target);
+                for _ in 0..callee.param_count {
+                    let a = state.stack.pop().expect("verified stack");
+                    if a.may {
+                        self.failed = true;
+                    }
+                }
+                if live {
+                    self.failed = true;
+                }
+                if callee.returns_value {
+                    state.stack.push(Track::default());
+                }
+            }
+            // Faulting or heap-observing instructions: disallowed while
+            // the object is live (a fault would abort before PEA's
+            // materialization point; the allocation counts would differ).
+            Insn::GetField(_) | Insn::ArrayLength | Insn::CheckCast(_) | Insn::InstanceOf(_) => {
+                state.stack.pop();
+                state.stack.push(Track::default());
+                if live {
+                    self.failed = true;
+                }
+            }
+            Insn::ArrayLoad => {
+                state.stack.pop();
+                state.stack.pop();
+                state.stack.push(Track::default());
+                if live {
+                    self.failed = true;
+                }
+            }
+            Insn::PutField(_) => {
+                state.stack.pop();
+                state.stack.pop();
+                if live {
+                    self.failed = true;
+                }
+            }
+            Insn::ArrayStore => {
+                state.stack.pop();
+                state.stack.pop();
+                state.stack.pop();
+                if live {
+                    self.failed = true;
+                }
+            }
+            Insn::MonitorEnter | Insn::MonitorExit => {
+                state.stack.pop();
+                if live {
+                    self.failed = true;
+                }
+            }
+        }
+    }
+}
+
+/// Whether the `GlobalEscape` site at `site_bci` escapes on every path
+/// from its allocation with nothing observable in between (see
+/// [`CertainFlow`]). Methods with exception tables are skipped wholesale:
+/// exceptional edges would let control leave the live region invisibly.
+fn certainly_escapes(
+    program: &Program,
+    method: &Method,
+    site_bci: u32,
+    publishes: Option<&[Vec<bool>]>,
+) -> bool {
+    if !method.exception_table.is_empty() {
+        return false;
+    }
+    let mut flow = CertainFlow {
+        site_bci: site_bci as usize,
+        publishes,
+        failed: false,
+        saw_site: false,
+    };
+    solve_forward(program, method, &mut flow);
+    flow.saw_site && !flow.failed
+}
+
+// ---------------------------------------------------------------------------
+// Entry point.
+
+/// Runs the branch-aware layer over one method, qualifying the given
+/// flow-insensitive summary. `may_throw` is the interprocedural bit
+/// (local `athrow` or any transitive callee throws); `publishes` supplies
+/// per-method `publishes_immediately` rows for the certain-escape call
+/// case (pass `None` to treat every call conservatively).
+pub fn analyze_method_flow(
+    program: &Program,
+    method_id: MethodId,
+    insensitive: &EscapeSummary,
+    may_throw: bool,
+    publishes: Option<&[Vec<bool>]>,
+) -> FlowSummary {
+    let method = program.method(method_id);
+    if method.code.is_empty() {
+        return FlowSummary {
+            method: method_id,
+            sites: Vec::new(),
+            throw_path: if may_throw {
+                ThrowPath::CalleesOnly
+            } else {
+                ThrowPath::Never
+            },
+            publishes_on_throw_only: vec![false; method.param_count as usize],
+        };
+    }
+    let mut pred = PredicateFlow::new(method);
+    let states = solve_forward(program, method, &mut pred);
+    let dead = dead_edges(program, method, &mut pred, &states);
+    let cfg = FlowCfg::build(method, &dead);
+    let pruned_reach = reach_from(&cfg.pruned, 0, None);
+    let pruned_normal_reach = reach_from(&cfg.pruned_normal, 0, None);
+    let ret_reach = returns_reachable(method, &cfg.all);
+    let sites = insensitive
+        .sites
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            let path = qualify(
+                method,
+                &cfg,
+                site.escape,
+                &insensitive.site_events[i],
+                &pruned_reach,
+                &pruned_normal_reach,
+                &ret_reach,
+            );
+            let certain_global = site.escape == EscapeClass::GlobalEscape
+                && certainly_escapes(program, method, site.bci, publishes);
+            FlowSite {
+                bci: site.bci,
+                insensitive: site.escape,
+                path,
+                certain_global,
+            }
+        })
+        .collect();
+    let throw_path = compute_throw_path(method, &cfg, may_throw);
+    let publishes_on_throw_only = insensitive
+        .param_escape
+        .iter()
+        .enumerate()
+        .map(|(p, &class)| {
+            class == EscapeClass::GlobalEscape
+                && qualify(
+                    method,
+                    &cfg,
+                    class,
+                    &insensitive.param_events[p],
+                    &pruned_reach,
+                    &pruned_normal_reach,
+                    &ret_reach,
+                ) == PathEscape::EscapesOnThrowPathOnly
+        })
+        .collect();
+    FlowSummary {
+        method: method_id,
+        sites,
+        throw_path,
+        publishes_on_throw_only,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::escape::analyze_method;
+    use pea_bytecode::asm::parse_program;
+
+    fn flow(src: &str, name: &str, may_throw: bool) -> FlowSummary {
+        let program = parse_program(src).unwrap();
+        pea_bytecode::verify_program(&program).unwrap();
+        let id = program.static_method_by_name(name).unwrap();
+        let insensitive = analyze_method(&program, id);
+        analyze_method_flow(&program, id, &insensitive, may_throw, None)
+    }
+
+    #[test]
+    fn no_escape_site_stays_no_escape() {
+        let s = flow(
+            "class Box { field v int }
+             method m 1 returns {
+                new Box store 1
+                load 1 load 0 putfield Box.v
+                load 1 getfield Box.v retv
+             }",
+            "m",
+            false,
+        );
+        assert_eq!(s.sites[0].path, PathEscape::NoEscape);
+        assert!(!s.sites[0].certain_global);
+        assert_eq!(s.throw_path, ThrowPath::Never);
+    }
+
+    #[test]
+    fn throw_only_publication_is_qualified() {
+        // The Err is built and thrown on one arm; the other arm returns.
+        let s = flow(
+            "class Err { field code int }
+             method m 1 returns {
+                load 0 const 0 ifcmp eq Lok
+                new Err store 1
+                load 1 load 0 putfield Err.code
+                load 1 athrow
+             Lok: const 0 retv
+             }",
+            "m",
+            true,
+        );
+        assert_eq!(s.sites[0].insensitive, EscapeClass::GlobalEscape);
+        assert_eq!(s.sites[0].path, PathEscape::EscapesOnThrowPathOnly);
+        // The athrow sits behind the ifcmp guard at bci 2 (fall side).
+        match &s.throw_path {
+            ThrowPath::Guarded(gs) => {
+                assert_eq!(gs.len(), 1);
+                assert_eq!(gs[0].bci, 2);
+                assert!(!gs[0].throw_on_taken, "throw is on the fall-through side");
+            }
+            other => panic!("expected Guarded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_publication_is_cold_branch_and_certain() {
+        // Publication via a local behind a branch: flow-insensitively
+        // GlobalEscape (not syntactically immediate), but every path from
+        // the allocation publishes with nothing observable in between —
+        // the pea-pre-flow exclusion pattern.
+        let s = flow(
+            "class Box { field v int }
+             static g ref
+             method m 1 {
+                load 0 const 7 ifcmp ne Lskip
+                new Box store 1
+                load 1 putstatic g
+             Lskip: ret
+             }",
+            "m",
+            false,
+        );
+        assert_eq!(s.sites[0].insensitive, EscapeClass::GlobalEscape);
+        assert_eq!(s.sites[0].path, PathEscape::EscapesOnColdBranch(2));
+        assert!(
+            s.sites[0].certain_global,
+            "all paths from the alloc publish"
+        );
+    }
+
+    #[test]
+    fn hot_path_publication_stays_global() {
+        let s = flow(
+            "class Box { field v int }
+             static g ref
+             method m 0 { new Box store 0 load 0 putstatic g ret }",
+            "m",
+            false,
+        );
+        assert_eq!(s.sites[0].path, PathEscape::GlobalEscape);
+        assert!(s.sites[0].certain_global);
+    }
+
+    #[test]
+    fn observable_op_while_live_is_not_certain() {
+        // A getfield (can fault) between allocation and publication: the
+        // deferred allocation is distinguishable, so not certain.
+        let s = flow(
+            "class Box { field v int }
+             static g ref
+             method m 1 {
+                new Box store 1
+                load 0 checkcast Box getfield Box.v pop
+                load 1 putstatic g ret
+             }",
+            "m",
+            false,
+        );
+        assert_eq!(s.sites[0].insensitive, EscapeClass::GlobalEscape);
+        assert!(!s.sites[0].certain_global);
+    }
+
+    #[test]
+    fn escaping_path_without_publication_is_not_certain() {
+        // One arm returns without publishing: must-publish fails.
+        let s = flow(
+            "class Box { field v int }
+             static g ref
+             method m 1 {
+                new Box store 1
+                load 0 const 0 ifcmp eq Lout
+                load 1 putstatic g
+             Lout: ret
+             }",
+            "m",
+            false,
+        );
+        assert_eq!(s.sites[0].insensitive, EscapeClass::GlobalEscape);
+        assert!(!s.sites[0].certain_global);
+    }
+
+    #[test]
+    fn predicate_dead_edge_prunes_publication() {
+        // `const 1 const 0 ifcmp eq` never takes the branch: the
+        // publication behind it is predicate-dead, and the (conservative)
+        // verdict falls back to GlobalEscape rather than inventing a
+        // NoEscape the insensitive tier did not prove.
+        let s = flow(
+            "class Box { field v int }
+             static g ref
+             method m 0 {
+                new Box store 0
+                const 1 const 0 ifcmp eq Lpub
+                ret
+             Lpub: load 0 putstatic g ret
+             }",
+            "m",
+            false,
+        );
+        assert_eq!(s.sites[0].insensitive, EscapeClass::GlobalEscape);
+        assert_eq!(s.sites[0].path, PathEscape::GlobalEscape);
+        assert!(!s.sites[0].certain_global, "publication path is dead");
+    }
+
+    #[test]
+    fn constant_local_flow_kills_guarded_edge() {
+        // Local 1 is the constant 3 on the fall side of the eq-compare;
+        // the second compare `load 1 const 3 ifcmp ne` can then never be
+        // taken, so the publication behind it is unreachable.
+        let s = flow(
+            "class Box { field v int }
+             static g ref
+             method m 1 {
+                new Box store 2
+                load 0 const 3 ifcmp ne Lout
+                load 0 store 1
+                load 1 const 3 ifcmp ne Lpub
+             Lout: ret
+             Lpub: load 2 putstatic g ret
+             }",
+            "m",
+            false,
+        );
+        // Local 0 is Const(3) along the first compare's fall side, so the
+        // copy into local 1 is too, and the second compare's taken (ne)
+        // edge is infeasible: the publication is predicate-dead and the
+        // verdict falls back to the conservative GlobalEscape instead of
+        // the EscapesOnColdBranch a non-predicate analysis would report.
+        assert_eq!(s.sites[0].insensitive, EscapeClass::GlobalEscape);
+        assert_eq!(s.sites[0].path, PathEscape::GlobalEscape);
+    }
+
+    #[test]
+    fn throws_on_every_path_is_always() {
+        let s = flow(
+            "class Err { }
+             method m 0 { new Err athrow }",
+            "m",
+            true,
+        );
+        assert_eq!(s.throw_path, ThrowPath::Always);
+        assert_eq!(s.sites[0].path, PathEscape::EscapesOnThrowPathOnly);
+    }
+
+    #[test]
+    fn callee_only_throws_are_transparent() {
+        let s = flow(
+            "class Err { }
+             method thrower 0 { new Err athrow }
+             method m 0 { invokestatic thrower ret }",
+            "m",
+            true, // may_throw via the callee
+        );
+        assert_eq!(s.throw_path, ThrowPath::CalleesOnly);
+    }
+
+    #[test]
+    fn publishes_param_on_throw_path_only() {
+        // The parameter is published only inside the doomed (throwing)
+        // arm.
+        let s = flow(
+            "class Err { }
+             static g ref
+             method m 2 {
+                load 0 const 0 ifcmp eq Lok
+                load 1 putstatic g
+                new Err athrow
+             Lok: ret
+             }",
+            "m",
+            true,
+        );
+        assert_eq!(s.publishes_on_throw_only, vec![false, true]);
+    }
+}

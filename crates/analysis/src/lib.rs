@@ -24,6 +24,7 @@
 //! |---|---|
 //! | [`dataflow`] | worklist solvers, join-semilattice trait, bit sets |
 //! | [`escape`] | NoEscape/ArgEscape/GlobalEscape classification per site |
+//! | [`flow`] | branch-aware (predicate-edge) path qualification of the escape verdicts |
 //! | [`lockbalance`] | monitorenter/monitorexit pairing depth per site |
 //! | [`nullness`] | definite assignment + null-ness findings |
 //! | [`sanitize`] | PEA decision sanitizer over trace events + frame states |
@@ -31,16 +32,18 @@
 
 pub mod dataflow;
 pub mod escape;
+pub mod flow;
 pub mod lockbalance;
 pub mod nullness;
 pub mod sanitize;
 pub mod summary;
 
-pub use dataflow::{BackwardAnalysis, BitSet, ForwardAnalysis};
+pub use dataflow::{BackwardAnalysis, BitSet, EdgeKind, ForwardAnalysis};
 pub use escape::{
     analyze_method, immediate_global_sites, AllocKind, AllocSite, CalleeOracle, EscapeClass,
     EscapeSummary,
 };
+pub use flow::{analyze_method_flow, FlowSite, FlowSummary, PathEscape, ThrowGuard, ThrowPath};
 pub use lockbalance::{analyze_locks, LockFinding, LockFindingKind, LockSummary};
 pub use nullness::{analyze_nullness, NullFinding, NullFindingKind, NullnessSummary};
 pub use sanitize::{check_compilation, Inconsistency, SiteVerdict, StaticVerdicts};

@@ -11,7 +11,7 @@
 //! * a count of *maybe*-null dereferences (sites PEA must keep a null
 //!   check for).
 
-use crate::dataflow::{solve_forward, ForwardAnalysis};
+use crate::dataflow::{solve_forward, EdgeKind, ForwardAnalysis};
 use pea_bytecode::{Insn, Method, MethodId, Program};
 use std::collections::BTreeSet;
 
@@ -238,6 +238,45 @@ impl ForwardAnalysis for NullFlow {
             }
         }
     }
+
+    fn refine_edge(
+        &mut self,
+        _program: &Program,
+        method: &Method,
+        bci: usize,
+        insn: Insn,
+        edge: EdgeKind,
+        _target: usize,
+        state: &mut NullFrame,
+    ) -> bool {
+        // `load n; ifnull L` pins local `n`'s null-ness per outgoing edge:
+        // the taken side sees the local definitely null, the fall-through
+        // definitely non-null, and a side the incoming facts already rule
+        // out is skipped as infeasible. Only the immediately-preceding
+        // load is recognized — nothing can re-store the local between it
+        // and the branch, so the local still holds the tested value.
+        if !matches!(insn, Insn::IfNull(_)) || bci == 0 {
+            return true;
+        }
+        let Some(&Insn::Load(n)) = method.code.get(bci - 1) else {
+            return true;
+        };
+        let v = state.locals[n as usize];
+        if v & UNASSIGNED != 0 {
+            // An unassigned local reads as a well-defined default; keep
+            // the bit so later reads still report read-before-store.
+            return true;
+        }
+        let refined = match edge {
+            EdgeKind::Taken => v & !NONNULL,
+            EdgeKind::FallThrough => v & !NULL,
+        };
+        if refined == 0 {
+            return false;
+        }
+        state.locals[n as usize] = refined;
+        true
+    }
 }
 
 /// Runs the definite-assignment/null-ness analysis over one (verified)
@@ -337,6 +376,58 @@ mod tests {
         );
         assert!(s.findings.is_empty());
         assert_eq!(s.maybe_null_derefs, 1);
+    }
+
+    #[test]
+    fn ifnull_fall_through_proves_non_null() {
+        // The guarded deref needs no residual null check: the fall-through
+        // edge of `load 0 ifnull` pins local 0 non-null.
+        let s = nullness(
+            "class Box { field v int }
+             method m 1 returns {
+                load 0 ifnull Lnull
+                load 0 checkcast Box getfield Box.v retv
+             Lnull:
+                const 0 retv
+             }",
+            "m",
+        );
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+        assert_eq!(s.maybe_null_derefs, 0);
+    }
+
+    #[test]
+    fn ifnull_taken_side_makes_deref_definitely_null() {
+        let s = nullness(
+            "class Box { field v int }
+             method m 1 returns {
+                load 0 ifnull Lnull
+                const 0 retv
+             Lnull:
+                load 0 checkcast Box getfield Box.v retv
+             }",
+            "m",
+        );
+        assert_eq!(s.findings.len(), 1);
+        assert_eq!(s.findings[0].kind, NullFindingKind::DefiniteNullDeref);
+    }
+
+    #[test]
+    fn ifnull_on_fresh_object_skips_the_infeasible_edge() {
+        // Local 1 is definitely non-null, so the taken edge is infeasible
+        // and the definitely-null deref behind it is never reachable.
+        let s = nullness(
+            "class Box { field v int }
+             method m 1 returns {
+                new Box store 1
+                load 1 ifnull Ldead
+                const 0 retv
+             Ldead:
+                cnull getfield Box.v retv
+             }",
+            "m",
+        );
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
     }
 
     #[test]

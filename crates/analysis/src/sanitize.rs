@@ -30,6 +30,7 @@
 //! escalated to a panic under the VM's `--checked` flag.
 
 use crate::escape::{analyze_method, AllocKind, EscapeClass};
+use crate::flow::{analyze_method_flow, PathEscape};
 use crate::lockbalance::analyze_locks;
 use pea_bytecode::{MethodId, Program};
 use pea_ir::{AllocShape, Graph, NodeId, NodeKind};
@@ -50,6 +51,14 @@ pub struct SiteVerdict {
     /// The fresh reference is consumed by an immediately following
     /// `putstatic` (see [`crate::escape::immediate_global_sites`]).
     pub immediate_global: bool,
+    /// Branch-aware qualification of `escape`: *where* the escape happens
+    /// (throw path only, a single cold guard, everywhere), from the
+    /// predicate-edge flow tier (see [`crate::flow`]).
+    pub path: PathEscape,
+    /// The site escapes globally on every path from its allocation with
+    /// nothing observable in between (the `pea-pre-flow` exclusion
+    /// certificate).
+    pub certain_global: bool,
 }
 
 /// All static verdicts for a program, computed once and shared by every
@@ -67,8 +76,19 @@ impl StaticVerdicts {
             let method = MethodId::from_index(index);
             let escape = analyze_method(program, method);
             let locks = analyze_locks(program, method);
+            // Intraprocedural flow tier: callee throws are invisible here,
+            // so `may_throw` is the local `athrow` bit only. The verdicts
+            // stay sound — the flow tier treats residual calls as opaque.
+            let flow = analyze_method_flow(
+                program,
+                method,
+                &escape,
+                program.method(method).has_athrow(),
+                None,
+            );
             for (i, site) in escape.sites.iter().enumerate() {
                 let bounded = !site.passed_to_call && site.escape == EscapeClass::NoEscape;
+                let fs = flow.site_at(site.bci);
                 sites.insert(
                     (method, site.bci),
                     SiteVerdict {
@@ -77,6 +97,8 @@ impl StaticVerdicts {
                         may_be_locked: site.may_be_locked(),
                         lock_depth_bound: bounded.then(|| locks.max_depth[i]),
                         immediate_global: site.immediate_global,
+                        path: fs.map_or(PathEscape::GlobalEscape, |f| f.path),
+                        certain_global: fs.is_some_and(|f| f.certain_global),
                     },
                 );
             }
@@ -214,6 +236,30 @@ pub fn check_compilation(
                  without a materialization to absorb the difference",
                 ev.elided_enters, ev.elided_exits
             ));
+        }
+    }
+
+    // ---- flow/insensitive coherence checks ----
+    // The flow tier refines the insensitive verdicts; it must never be
+    // *more* pessimistic where the insensitive analysis proved NoEscape,
+    // and a certain-escape certificate is only meaningful on a
+    // GlobalEscape site (flow ⊆ flow-insensitive, by construction).
+    for (_, method, bci) in graph.provenance_entries() {
+        if let Some(v) = verdicts.verdict(method, bci) {
+            if v.escape == EscapeClass::NoEscape && v.path != PathEscape::NoEscape {
+                flag(format!(
+                    "site {}:{bci}: insensitive NoEscape but flow path verdict `{}`",
+                    program.method(method).qualified_name(program),
+                    v.path.as_str()
+                ));
+            }
+            if v.certain_global && v.escape != EscapeClass::GlobalEscape {
+                flag(format!(
+                    "site {}:{bci}: certain-escape certificate on a {} site",
+                    program.method(method).qualified_name(program),
+                    v.escape.as_str()
+                ));
+            }
         }
     }
 
@@ -380,6 +426,33 @@ mod tests {
         assert_eq!(verdict.escape, EscapeClass::GlobalEscape);
         assert!(verdict.may_be_locked, "receiver of an invokevirtual");
         assert_eq!(verdict.lock_depth_bound, None);
+    }
+
+    #[test]
+    fn verdicts_carry_path_qualification() {
+        let (program, v) = verdicts_for(
+            "class Err { field code int }
+             class Box { field v int }
+             method m 1 {
+                load 0 const 0 ifcmp eq Ldone
+                new Err athrow
+             Ldone: ret
+             }
+             method n 1 returns {
+                new Box store 1
+                load 1 load 0 putfield Box.v
+                load 1 getfield Box.v retv
+             }",
+        );
+        let m = program.static_method_by_name("m").unwrap();
+        let thrown = v.verdict(m, 3).unwrap();
+        assert_eq!(thrown.escape, EscapeClass::GlobalEscape);
+        assert_eq!(thrown.path, PathEscape::EscapesOnThrowPathOnly);
+        let n = program.static_method_by_name("n").unwrap();
+        let local = v.verdict(n, 0).unwrap();
+        assert_eq!(local.escape, EscapeClass::NoEscape);
+        assert_eq!(local.path, PathEscape::NoEscape);
+        assert!(!local.certain_global);
     }
 
     #[test]

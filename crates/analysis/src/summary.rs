@@ -30,6 +30,7 @@
 use crate::escape::{
     alloc_sites, analyze_method_with, immediate_global_sites, AllocSite, CalleeOracle, EscapeClass,
 };
+use crate::flow::{analyze_method_flow, FlowSummary};
 use pea_bytecode::{ClassId, Insn, MethodId, Program};
 use std::collections::VecDeque;
 
@@ -155,6 +156,13 @@ pub struct MethodSummary {
     /// because a refined `GlobalEscape` site may still legitimately stay
     /// virtual under flow-sensitive PEA until the residual call.
     pub sites: Vec<AllocSite>,
+    /// The branch-aware layer: path-qualified site verdicts, the
+    /// certain-escape exclusion bits, the path-qualified throw behaviour
+    /// ([`crate::flow::ThrowPath`]) the inliner's cold-throw clearance
+    /// consults, and per-parameter publishes-on-throw-path-only bits.
+    /// Computed from the *intraprocedural* escape events (callee effects
+    /// are call-site events, correctly attributed to the call bci).
+    pub flow: FlowSummary,
 }
 
 /// Per-method summaries for a whole program, at fixpoint over the call
@@ -234,6 +242,7 @@ impl ProgramSummaries {
             .map(|mi| {
                 let id = MethodId::from_index(mi);
                 let s = analyze_method_with(program, id, Some(&oracle));
+                let flow = analyze_method_flow(program, id, &s, may_throw[mi], Some(&publishes));
                 MethodSummary {
                     method: id,
                     param_escape: s.param_escape,
@@ -242,6 +251,7 @@ impl ProgramSummaries {
                     may_throw: may_throw[mi],
                     throws_fresh: s.throws_fresh,
                     sites: s.sites,
+                    flow,
                 }
             })
             .collect();
@@ -296,6 +306,29 @@ impl ProgramSummaries {
                 if last >= 1 && callee.publishes_immediately[last - 1] {
                     out.push(bci);
                 }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The branch-aware widening of [`excluded_sites`](Self::excluded_sites)
+    /// for the `pea-pre-flow` level: additionally excludes every
+    /// *certain-escape* site — one that escapes globally on **all** paths
+    /// from its allocation with nothing observable or faulting in between
+    /// (see [`crate::flow::FlowSite::certain_global`]). For such a site
+    /// PEA's only possible move is to defer the allocation to the
+    /// materialization point, which no execution can distinguish, so
+    /// pre-filtering it preserves results and allocation counts exactly.
+    /// Sites that publish only on exception or cold paths are deliberately
+    /// *kept*: those are exactly where flow-sensitive PEA wins. Always a
+    /// superset of `excluded_sites`.
+    pub fn excluded_sites_flow(&self, program: &Program, method: MethodId) -> Vec<u32> {
+        let mut out = self.excluded_sites(program, method);
+        for site in &self.methods[method.index()].flow.sites {
+            if site.certain_global {
+                out.push(site.bci);
             }
         }
         out.sort_unstable();
@@ -469,6 +502,52 @@ mod tests {
         }
         // The site passed to `keep` stays ArgEscape even refined.
         assert_eq!(sm.sites[3].escape, EscapeClass::ArgEscape);
+    }
+
+    #[test]
+    fn excluded_sites_flow_adds_certain_guarded_publication() {
+        // Publication via a local behind a branch: invisible to the
+        // syntactic `excluded_sites` pre-filter (not an immediate
+        // `putstatic` nor a publishing call), but the flow tier proves the
+        // site escapes on every path from its allocation with nothing
+        // observable in between, so `pea-pre-flow` may exclude it.
+        let (program, s) = summaries(
+            "class Box { field v int }
+             static g ref
+             method m 1 {
+                load 0 const 7 ifcmp ne Lskip
+                new Box store 1
+                load 1 putstatic g
+             Lskip: ret
+             }",
+        );
+        let mid = method(&program, "m");
+        assert!(s.excluded_sites(&program, mid).is_empty());
+        assert_eq!(s.excluded_sites_flow(&program, mid), vec![3]);
+        let fs = &s.summary(mid).flow;
+        assert!(fs.site_at(3).unwrap().certain_global);
+    }
+
+    #[test]
+    fn excluded_sites_flow_is_superset_of_ipa() {
+        let (program, s) = summaries(
+            "class Box { field v int }
+             static g ref
+             static h ref
+             method publish 1 { load 0 putstatic g ret }
+             method m 0 {
+                new Box putstatic h
+                new Box invokestatic publish
+                new Box store 0
+                ret
+             }",
+        );
+        let mid = method(&program, "m");
+        let ipa = s.excluded_sites(&program, mid);
+        let flow = s.excluded_sites_flow(&program, mid);
+        for bci in &ipa {
+            assert!(flow.contains(bci));
+        }
     }
 
     #[test]

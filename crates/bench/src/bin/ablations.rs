@@ -17,13 +17,16 @@ use pea_vm::{OptLevel, Vm, VmOptions};
 use pea_workloads::{suite_workloads, Suite, Workload};
 
 /// How much work the escape-analysis phase did, summed over the compiled
-/// methods: sites it processed to a virtual state, and sites the static
+/// methods: sites it processed to a virtual state, sites the static
 /// pre-filter excluded before the analysis ever saw them (nonzero only
-/// for the `pea-prefilter` variant).
+/// for the `pea-prefilter` family of variants), and may-throw callees
+/// the builder inlined on a cold-throw speculation (nonzero only under
+/// `inline=summary`).
 #[derive(Clone, Copy, Default)]
 struct PeaWork {
     virtualized: usize,
     prefiltered: usize,
+    cold_throw_inlined: usize,
 }
 
 fn measure_with(workload: &Workload, options: &VmOptions) -> (pea_bench::Measurement, PeaWork) {
@@ -42,12 +45,14 @@ fn measure_with(workload: &Workload, options: &VmOptions) -> (pea_bench::Measure
     let d = vm.stats().delta(&before);
     let mut work = PeaWork::default();
     for method in vm.compiled_methods() {
-        let r = vm
-            .compiled(method)
-            .expect("listed method is cached")
-            .pea_result;
-        work.virtualized += r.virtualized_allocs;
-        work.prefiltered += r.prefiltered_allocs;
+        let compiled = vm.compiled(method).expect("listed method is cached");
+        work.virtualized += compiled.pea_result.virtualized_allocs;
+        work.prefiltered += compiled.pea_result.prefiltered_allocs;
+        work.cold_throw_inlined += compiled
+            .inline_decisions
+            .iter()
+            .filter(|d| d.inlined && d.reason == "cold-throw-speculated")
+            .count();
     }
     let measurement = pea_bench::Measurement {
         bytes_per_iter: d.alloc_bytes as f64 / DEFAULT_ITERS as f64,
@@ -86,6 +91,14 @@ fn main() {
         // sites pre-filtered, same artifact.
         variant("pea-pre-ipa", |o| {
             o.compiler.opt_level = OptLevel::PeaPreIpa
+        }),
+        // Branch-aware widening: the predicate-qualified flow tier also
+        // excludes sites that certainly escape on every path from the
+        // allocation (guarded publications included), beyond what the
+        // path-insensitive IPA summaries can prove. Strictly more sites
+        // pre-filtered, same artifact.
+        variant("pea-pre-flow", |o| {
+            o.compiler.opt_level = OptLevel::PeaPreFlow
         }),
         // Inlining-policy comparison (both under full PEA): the
         // size-budget baseline vs. the summary-driven policy that inlines
@@ -127,6 +140,7 @@ fn main() {
                     let (with, w_work) = measure_with(w, options);
                     work.virtualized += w_work.virtualized;
                     work.prefiltered += w_work.prefiltered;
+                    work.cold_throw_inlined += w_work.cold_throw_inlined;
                     Row {
                         name: w.name.clone(),
                         significant: w.significant,
@@ -143,8 +157,9 @@ fn main() {
         }
         println!();
         println!(
-            "    pea work: {} sites virtualized, {} pre-filtered away",
-            work.virtualized, work.prefiltered
+            "    pea work: {} sites virtualized, {} pre-filtered away, \
+             {} cold-throw callees inlined",
+            work.virtualized, work.prefiltered, work.cold_throw_inlined
         );
         if per_site {
             // Fold materialization reasons over every workload of every

@@ -11,9 +11,12 @@
 //! interprocedural escape summary — parameter escape classes, whether the
 //! method returns a fresh allocation, whether an exception may surface
 //! while it is on the stack (`may_throw`) and whether it may throw one of
-//! its own allocations (`throws_fresh`), its call-graph successors, and
-//! how many allocation sites the `pea-pre` / `pea-pre-ipa` pre-filters
-//! would exclude.
+//! its own allocations (`throws_fresh`), its call-graph successors, how
+//! many allocation sites the `pea-pre` / `pea-pre-ipa` / `pea-pre-flow`
+//! pre-filters would exclude, the method's path-qualified throw
+//! classification (`throw_path`), and each allocation site's
+//! path-qualified escape verdict (`site_paths`, with a ` certain` tag on
+//! sites carrying a certain-escape certificate).
 //!
 //! The exit code is non-zero **only** when the sanitizer finds an
 //! inconsistency between a compilation's PEA decisions and the static
@@ -21,6 +24,12 @@
 //! inconsistent (a must-publish parameter not classified `GlobalEscape`,
 //! an IPA exclusion set that is not a superset of the immediate one, a
 //! `throws_fresh` method not marked `may_throw`, or an unstable
+//! fixpoint), or when the flow tier violates its refinement contract (a
+//! path verdict of `no-escape` disagreeing with the insensitive lattice,
+//! a certain-escape certificate on a non-`GlobalEscape` site, a flow
+//! exclusion set that is not a superset of the IPA one, a `never` throw
+//! path on a `may_throw` method, a throw-path-only publish of a
+//! non-`GlobalEscape` parameter, or an unstable path-qualified
 //! fixpoint) — those are compiler bugs, and CI fails on
 //! them. Lock or nullness findings in corpus programs are reported but do
 //! not fail the run (the analyses flag patterns the verifier deliberately
@@ -28,7 +37,7 @@
 
 use pea_analysis::{
     analyze_locks, analyze_method, analyze_nullness, check_compilation, immediate_global_sites,
-    EscapeClass, ProgramSummaries, StaticVerdicts,
+    EscapeClass, PathEscape, ProgramSummaries, StaticVerdicts, ThrowPath,
 };
 use pea_bytecode::asm::parse_program;
 use pea_bytecode::{MethodId, Program};
@@ -72,6 +81,10 @@ struct Report {
     summary_methods: i64,
     ipa_excluded_sites: i64,
     immediate_excluded_sites: i64,
+    flow_excluded_sites: i64,
+    certain_global_sites: i64,
+    throw_only_sites: i64,
+    cold_branch_sites: i64,
     inconsistencies: i64,
 }
 
@@ -118,6 +131,63 @@ fn lint_summaries(name: &str, program: &Program, report: &mut Report, lines: &mu
                  throw requires a direct athrow, which must seed may_throw"
             );
         }
+        let excluded_flow = summaries.excluded_sites_flow(program, method);
+        report.flow_excluded_sites += excluded_flow.len() as i64;
+        if !excluded.iter().all(|bci| excluded_flow.contains(bci)) {
+            report.inconsistencies += 1;
+            eprintln!(
+                "{name}/{qualified}: FLOW: flow exclusions {excluded_flow:?} are not a \
+                 superset of the IPA exclusions {excluded:?}"
+            );
+        }
+        for site in &summary.flow.sites {
+            match site.path {
+                PathEscape::NoEscape => {}
+                PathEscape::EscapesOnThrowPathOnly => report.throw_only_sites += 1,
+                PathEscape::EscapesOnColdBranch(_) => report.cold_branch_sites += 1,
+                PathEscape::GlobalEscape => {}
+            }
+            if site.certain_global {
+                report.certain_global_sites += 1;
+            }
+            if (site.path == PathEscape::NoEscape) != (site.insensitive == EscapeClass::NoEscape) {
+                report.inconsistencies += 1;
+                eprintln!(
+                    "{name}/{qualified}: FLOW: site {} is path-{} but insensitively {} — \
+                     the flow tier must refine, never contradict, the insensitive lattice",
+                    site.bci,
+                    site.path.as_str(),
+                    site.insensitive.as_str()
+                );
+            }
+            if site.certain_global && site.insensitive != EscapeClass::GlobalEscape {
+                report.inconsistencies += 1;
+                eprintln!(
+                    "{name}/{qualified}: FLOW: site {} carries a certain-escape \
+                     certificate but is insensitively {}",
+                    site.bci,
+                    site.insensitive.as_str()
+                );
+            }
+        }
+        if summary.flow.throw_path == ThrowPath::Never && summary.may_throw {
+            report.inconsistencies += 1;
+            eprintln!(
+                "{name}/{qualified}: FLOW: throw path classified `never` on a method \
+                 whose interprocedural summary says may_throw"
+            );
+        }
+        for (i, &throw_only) in summary.flow.publishes_on_throw_only.iter().enumerate() {
+            if throw_only && summary.param_escape[i] != EscapeClass::GlobalEscape {
+                report.inconsistencies += 1;
+                eprintln!(
+                    "{name}/{qualified}: FLOW: parameter {i} publishes on the throw path \
+                     but is classified {}",
+                    summary.param_escape[i].as_str()
+                );
+            }
+        }
+
         let other = &again.all()[index];
         if summary.param_escape != other.param_escape
             || summary.returns_fresh != other.returns_fresh
@@ -126,6 +196,13 @@ fn lint_summaries(name: &str, program: &Program, report: &mut Report, lines: &mu
         {
             report.inconsistencies += 1;
             eprintln!("{name}/{qualified}: SUMMARY: fixpoint is not stable across recomputation");
+        }
+        if summary.flow != other.flow {
+            report.inconsistencies += 1;
+            eprintln!(
+                "{name}/{qualified}: FLOW: path-qualified summary is not stable across \
+                 recomputation"
+            );
         }
 
         let mut o = ObjectWriter::new();
@@ -154,6 +231,31 @@ fn lint_summaries(name: &str, program: &Program, report: &mut Report, lines: &mu
         o.num("alloc_sites", summary.sites.len() as i64);
         o.num("excluded_immediate", immediate.len() as i64);
         o.num("excluded_ipa", excluded.len() as i64);
+        o.num("excluded_flow", excluded_flow.len() as i64);
+        o.str("throw_path", summary.flow.throw_path.as_str());
+        o.str_array(
+            "site_paths",
+            &summary
+                .flow
+                .sites
+                .iter()
+                .map(|s| {
+                    let cert = if s.certain_global { " certain" } else { "" };
+                    format!("{}:{}{cert}", s.bci, s.path.as_str())
+                })
+                .collect::<Vec<_>>(),
+        );
+        o.str_array(
+            "publishes_on_throw_only",
+            &summary
+                .flow
+                .publishes_on_throw_only
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(i, _)| i.to_string())
+                .collect::<Vec<_>>(),
+        );
         lines.push(o.finish());
     }
 }
@@ -264,6 +366,10 @@ fn main() -> ExitCode {
     o.num("summary_methods", report.summary_methods);
     o.num("excluded_immediate", report.immediate_excluded_sites);
     o.num("excluded_ipa", report.ipa_excluded_sites);
+    o.num("excluded_flow", report.flow_excluded_sites);
+    o.num("certain_global_sites", report.certain_global_sites);
+    o.num("throw_only_sites", report.throw_only_sites);
+    o.num("cold_branch_sites", report.cold_branch_sites);
     o.num("inconsistencies", report.inconsistencies);
     let line = o.finish();
     if let Err(e) = std::fs::write(out, format!("{line}\n")) {

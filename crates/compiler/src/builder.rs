@@ -9,7 +9,7 @@
 //! and at every merge, exactly as §2 of the paper describes, and inlined
 //! callees chain their states to the caller's state at the call site.
 
-use pea_analysis::{EscapeClass, ProgramSummaries};
+use pea_analysis::{EscapeClass, ProgramSummaries, ThrowPath};
 use pea_bytecode::{ClassId, CmpOp, ExceptionEntry, Insn, MethodId, Program};
 use pea_ir::{ArithOp, DeoptReason, FrameStateData, Graph, NodeId, NodeKind};
 use pea_runtime::profile::ProfileStore;
@@ -102,6 +102,19 @@ impl FromStr for InlinePolicy {
             other => Err(format!("unknown inline policy `{other}` (size|summary)")),
         }
     }
+}
+
+/// How a `may_throw` callee cleared the inline gate (see
+/// [`GraphBuilder::cold_throw_clearance`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThrowClearance {
+    /// Every `athrow` in the callee body sits behind a branch whose throw
+    /// side the profile proves was never taken: branch speculation guards
+    /// those sides away, so the inlined body contains no throw at all.
+    Cold,
+    /// The callee has no `athrow` of its own — only its residual calls can
+    /// throw, and those deoptimize/unwind identically at any inline depth.
+    Transparent,
 }
 
 /// One recorded inline decision: every resolved call site parsed during
@@ -1315,6 +1328,18 @@ impl<'a> GraphBuilder<'a> {
                 return Ok(true);
             }
             Insn::Athrow => {
+                if ctx.depth > 0 {
+                    // Safety net: an inlined `athrow` must never be parsed.
+                    // Cold-throw clearance only admits callees whose throw
+                    // blocks are guarded away by branch speculation (the
+                    // blocks are then unreachable and never built), so
+                    // reaching this point means the clearance reasoning and
+                    // the parser disagree — bail out rather than wire a
+                    // frame-local `Unwind` that would skip caller handlers.
+                    return Err(Bailout::Unsupported(
+                        "athrow reachable in inlined callee".to_string(),
+                    ));
+                }
                 let exc = state.stack.pop().expect("stack");
                 // Throwing null raises an (uncatchable) NullPointer
                 // runtime error: guard and let the interpreter re-execute
@@ -1400,6 +1425,54 @@ impl<'a> GraphBuilder<'a> {
             return (true, "returns-fresh-allocation");
         }
         size_rule(callee_len, self.options.inline_max_callee_code)
+    }
+
+    /// Decides whether a `may_throw` callee is still safe to inline under
+    /// the summary policy, from its path-qualified throw summary:
+    ///
+    /// * [`ThrowPath::CalleesOnly`] — the callee has no `athrow` of its
+    ///   own; exceptions can only surface from its *residual* calls, which
+    ///   deoptimize and unwind through rematerialized interpreter frames
+    ///   at any inline depth. Transparent: inline freely.
+    /// * [`ThrowPath::Guarded`] — every `athrow` sits behind one
+    ///   conditional guard. If the branch profile proves each throw side
+    ///   was never taken (and is warm enough to speculate on), branch
+    ///   speculation will guard those sides away during parsing and the
+    ///   `athrow` blocks are never built. Cold: inline speculatively.
+    /// * [`ThrowPath::Never`] cannot co-occur with `may_throw` unless the
+    ///   throw comes from callees (then the summary says `CalleesOnly`);
+    ///   treat it as transparent for robustness.
+    /// * [`ThrowPath::Always`]/[`ThrowPath::Sometimes`] — unguarded own
+    ///   throws: keep the callee out-of-line, as before.
+    fn cold_throw_clearance(&self, callee: MethodId) -> Result<ThrowClearance, &'static str> {
+        if self.options.inline_policy != InlinePolicy::Summary {
+            return Err("may-throw");
+        }
+        let Some(summaries) = self.summaries else {
+            return Err("may-throw");
+        };
+        match &summaries.summary(callee).flow.throw_path {
+            ThrowPath::Never | ThrowPath::CalleesOnly => Ok(ThrowClearance::Transparent),
+            ThrowPath::Guarded(guards) => {
+                if !self.options.speculate_branches {
+                    return Err("may-throw");
+                }
+                for g in guards {
+                    let Some((taken, not_taken)) = self.branch_profile(callee, g.bci) else {
+                        return Err("no-throw-profile");
+                    };
+                    if taken + not_taken < self.options.branch_threshold {
+                        return Err("no-throw-profile");
+                    }
+                    let throw_side = if g.throw_on_taken { taken } else { not_taken };
+                    if throw_side != 0 {
+                        return Err("throw-path-hot");
+                    }
+                }
+                Ok(ThrowClearance::Cold)
+            }
+            ThrowPath::Always | ThrowPath::Sometimes => Err("may-throw"),
+        }
     }
 
     /// Emits (or inlines) a call.
@@ -1510,12 +1583,26 @@ impl<'a> GraphBuilder<'a> {
         } else if ctx.depth >= self.options.inline_max_depth {
             (false, "depth-limit")
         } else if self.may_throw[resolved.index()] {
-            // A callee that can raise a catchable exception stays
+            // A callee that can raise a catchable exception normally stays
             // out-of-line: compiled frames then never contain cross-frame
             // exception edges, and a throwing callee is handled by
             // deoptimizing at the call site and unwinding rematerialized
-            // interpreter frames.
-            (false, "may-throw")
+            // interpreter frames. The summary policy lifts this blanket
+            // rule through the path-qualified throw summary (see
+            // [`GraphBuilder::cold_throw_clearance`]): callee-only throw paths
+            // are transparent to inlining, and provably cold own-throw
+            // guards are speculated away during parsing.
+            match self.cold_throw_clearance(resolved) {
+                Err(why) => (false, why),
+                Ok(clearance) => {
+                    let (ok, why) = self.summary_decision(resolved, &args, callee_len);
+                    if ok && clearance == ThrowClearance::Cold {
+                        (true, "cold-throw-speculated")
+                    } else {
+                        (ok, why)
+                    }
+                }
+            }
         } else {
             match self.options.inline_policy {
                 InlinePolicy::Size => size_rule(callee_len, self.options.inline_max_callee_code),

@@ -149,7 +149,10 @@ impl PhaseManager {
         }
         phases.push(PhaseKind::Build);
         phases.push(PhaseKind::Canonicalize);
-        if matches!(options.opt_level, OptLevel::PeaPre | OptLevel::PeaPreIpa) {
+        if matches!(
+            options.opt_level,
+            OptLevel::PeaPre | OptLevel::PeaPreIpa | OptLevel::PeaPreFlow
+        ) {
             phases.push(PhaseKind::Prefilter);
         }
         phases.push(PhaseKind::EscapeAnalysis);
@@ -290,7 +293,10 @@ fn run_phase(
                 let r = match unit.options.opt_level {
                     OptLevel::None => PeaResult::default(),
                     OptLevel::Ees => run_ees(graph, unit.program, &unit.effective_pea),
-                    OptLevel::Pea | OptLevel::PeaPre | OptLevel::PeaPreIpa => match tracer.sink() {
+                    OptLevel::Pea
+                    | OptLevel::PeaPre
+                    | OptLevel::PeaPreIpa
+                    | OptLevel::PeaPreFlow => match tracer.sink() {
                         Some(sink) => {
                             run_pea_traced(graph, unit.program, &unit.effective_pea, sink)
                         }
@@ -362,9 +368,16 @@ fn run_phase(
 /// widen the set with sites whose fresh reference is immediately passed to
 /// a callee that publishes its parameter on every path
 /// ([`ProgramSummaries::excluded_sites`]) — a superset of the immediate
-/// sites by construction. Both verdicts stay correct no matter where the
-/// bytecode was inlined, so the filter can never change what PEA produces,
-/// only skip work. `excluded` receives the number of sites filtered out.
+/// sites by construction. At [`OptLevel::PeaPreFlow`] the branch-aware
+/// flow tier further adds *certain-escape* sites
+/// ([`ProgramSummaries::excluded_sites_flow`]): allocations proven to
+/// escape globally on every path with nothing observable in between, even
+/// through locals or non-immediate publication. All verdicts stay correct
+/// no matter where the bytecode was inlined, so the filter can never
+/// change the results or allocation counts PEA produces, only skip work
+/// (at the flow level the allocation simply stays at its original `new`
+/// instead of sinking to an indistinguishable materialization point).
+/// `excluded` receives the number of sites filtered out.
 fn prefilter_allowed(
     program: &Program,
     graph: &Graph,
@@ -386,6 +399,7 @@ fn prefilter_allowed(
                 .entry(m)
                 .or_insert_with(|| match (opt_level, summaries) {
                     (OptLevel::PeaPreIpa, Some(s)) => s.excluded_sites(program, m),
+                    (OptLevel::PeaPreFlow, Some(s)) => s.excluded_sites_flow(program, m),
                     _ => pea_analysis::escape::immediate_global_sites(program.method(m)),
                 })
                 .contains(&bci)
@@ -411,6 +425,7 @@ impl CompilerOptions {
     /// Whether this configuration consumes interprocedural summaries (and
     /// the [`PhaseKind::Summaries`] phase must run).
     pub fn needs_summaries(&self) -> bool {
-        self.opt_level == OptLevel::PeaPreIpa || self.build.inline_policy == InlinePolicy::Summary
+        matches!(self.opt_level, OptLevel::PeaPreIpa | OptLevel::PeaPreFlow)
+            || self.build.inline_policy == InlinePolicy::Summary
     }
 }

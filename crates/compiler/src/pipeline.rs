@@ -41,6 +41,16 @@ pub enum OptLevel {
     /// publishes its parameter on every path — a strict superset of the
     /// immediate `putstatic` pattern, still artifact-preserving.
     PeaPreIpa,
+    /// [`PeaPreIpa`](Self::PeaPreIpa) widened with the branch-aware flow
+    /// tier (`pea-analysis::flow`): predicate-qualified dataflow
+    /// additionally excludes *certain-escape* sites — allocations that
+    /// escape globally on every path from the allocation with nothing
+    /// observable in between, even when the publication happens through a
+    /// local variable or behind feasible-everywhere control flow. Still
+    /// results- and allocation-count-preserving: PEA's only possible move
+    /// on such a site is deferring the allocation to a materialization
+    /// point no execution can distinguish.
+    PeaPreFlow,
 }
 
 impl std::fmt::Display for OptLevel {
@@ -51,6 +61,7 @@ impl std::fmt::Display for OptLevel {
             OptLevel::Pea => "pea",
             OptLevel::PeaPre => "pea-pre",
             OptLevel::PeaPreIpa => "pea-pre-ipa",
+            OptLevel::PeaPreFlow => "pea-pre-flow",
         })
     }
 }
@@ -157,6 +168,10 @@ pub struct CompiledMethod {
     /// succeeded. The default execution tier; `None` falls back to
     /// graph-walking evaluation.
     pub linear: Option<crate::linear::LinearArtifact>,
+    /// Every inline decision the builder took (one record per considered
+    /// call site), for reporting — e.g. counting cold-throw speculative
+    /// inlines in the ablations benchmark.
+    pub inline_decisions: Vec<crate::builder::InlineDecisionRec>,
 }
 
 // Compile requests cross thread boundaries in the background compile
@@ -237,5 +252,6 @@ fn compile_impl<'a>(
         pea_result: unit.pea_result,
         times,
         linear: artifact.linear,
+        inline_decisions: unit.inline_decisions,
     })
 }

@@ -192,7 +192,10 @@ pub enum TraceEvent {
     /// The graph builder decided whether to inline a call site. `policy`
     /// names the active inline policy (`size` or `summary`), `reason` the
     /// kebab-case rule that settled the decision (e.g. `within-size-budget`,
-    /// `publishes-argument`, `recursive`).
+    /// `publishes-argument`, `recursive`; may-throw callees under the
+    /// summary policy settle via the path-qualified throw summary —
+    /// `cold-throw-speculated` when a guarded throw path is provably cold,
+    /// `no-throw-profile`/`throw-path-hot`/`may-throw` when it is not).
     InlineDecision {
         method: String,
         bci: u32,

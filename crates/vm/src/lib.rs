@@ -507,7 +507,8 @@ impl Vm {
     }
 
     /// The compiler options for one compilation: when the configuration
-    /// consumes interprocedural summaries (`pea-pre-ipa` or the summary
+    /// consumes interprocedural summaries (`pea-pre-ipa`, `pea-pre-flow`
+    /// or the summary
     /// inline policy), the shared [`SummaryCache`] is resolved (computing
     /// on miss) and injected so the pipeline never recomputes per method.
     fn effective_compiler_options(&self, program: &Program) -> CompilerOptions {

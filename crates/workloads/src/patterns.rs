@@ -21,6 +21,8 @@
 //! | [`Pattern::ExceptionParse`] | parser error paths (xalan, batik) | results scalar-replaced; errors **materialize at the throw** |
 //! | [`Pattern::MegamorphicDispatch`] | hot virtual sites over 1–4 receiver classes | guarded devirtualization (mono guard / PIC), receivers scalar-replaced |
 //! | [`Pattern::TryFinallyLock`] | try-finally monitor regions (tomcat, jbb) | locally-caught error object scalar-replaced; lock released on both paths |
+//! | [`Pattern::ColdThrowPublish`] | range/state-check helpers throwing on a never-taken guard | `summary` inline policy + throw summary inline the may-throw helper; the error allocation is guarded away |
+//! | [`Pattern::GuardedPublish`] | periodic publication through a local behind a two-sided branch | no allocation win; only `pea-pre-flow` pre-filters the certain-escape site |
 //! | [`Pattern::Ballast`] | the non-allocating bulk of real applications | none (dilutes speedups to realistic magnitudes) |
 
 use std::fmt::Write as _;
@@ -142,6 +144,29 @@ pub enum Pattern {
         n: i64,
         /// Throw period.
         throw_every: i64,
+    },
+    /// `n` additions through a checking helper whose only `athrow` sits
+    /// behind a guard that never fires for in-range inputs (the
+    /// range/state-check shape). The helper is `may_throw`, so the size
+    /// policy never inlines it; the summary policy reads its
+    /// path-qualified throw summary (`ThrowPath::Guarded`), sees from the
+    /// branch profile that the throw side was never taken, and inlines it
+    /// with the throw block speculated away — the fresh error object
+    /// disappears from compiled code entirely.
+    ColdThrowPublish {
+        /// Inner repetitions (must stay below 65535 so the guard is
+        /// genuinely never taken).
+        n: i64,
+    },
+    /// One object published to a static through a *local* every 8th
+    /// iteration, behind a genuinely two-sided branch. Flow-insensitively
+    /// `GlobalEscape` but invisible to the `pea-pre`/`pea-pre-ipa`
+    /// pre-filters (no immediate `putstatic`, no publishing call): only
+    /// the branch-aware certain-escape proof of `pea-pre-flow` excludes
+    /// the site up front, with identical results and allocation counts.
+    GuardedPublish {
+        /// Inner repetitions.
+        n: i64,
     },
     /// `n` iterations of pure, allocation-free arithmetic — the
     /// non-allocating bulk of a real application, diluting PEA's effect
@@ -676,6 +701,76 @@ Ld{s}:
 "
                 );
             }
+            Pattern::ColdThrowPublish { n } => {
+                // `check` adds its input into the accumulator after a
+                // range guard: `(k & 0xffff) == 0xffff` never holds for
+                // loop counters below 65535, so the throw block (fresh
+                // error object, field write, `athrow`) is dead in steady
+                // state. The throw summary is `Guarded` with a single
+                // never-taken guard — exactly what the summary inline
+                // policy needs to clear the may-throw gate.
+                let _ = write!(
+                    out,
+                    "
+class CErr{s} {{ field code int }}
+method check{s} 2 returns {{
+    load 0 const 65535 and const 65535 ifcmp eq Lbad{s}
+    load 1 load 0 add retv
+Lbad{s}:
+    new CErr{s} store 2
+    load 2 load 0 putfield CErr{s}.code
+    load 2 athrow
+}}
+method p{s} 1 returns {{
+    const 0 store 1
+    const 0 store 2
+Lh{s}:
+    load 2 const {n} ifcmp ge Ld{s}
+    load 2 load 1 invokestatic check{s} store 1
+    load 2 const 1 add store 2
+    goto Lh{s}
+Ld{s}:
+    load 1 retv
+}}
+"
+                );
+            }
+            Pattern::GuardedPublish { n } => {
+                // Every 8th iteration replaces the published object: the
+                // fresh allocation reaches the static through a local, so
+                // neither the immediate-`putstatic` filter nor the
+                // publishing-call summaries see it, yet every path from
+                // the `new` publishes with nothing observable in between
+                // (the field write lands *after* publication) — the
+                // certain-escape shape `pea-pre-flow` excludes. The
+                // `& 7` branch is genuinely two-sided, so profile
+                // speculation never removes it.
+                let _ = write!(
+                    out,
+                    "
+class GPub{s} {{ field v int }}
+static gpub{s} ref
+method p{s} 1 returns {{
+    const 0 store 1
+    const 0 store 2
+    new GPub{s} putstatic gpub{s}
+Lh{s}:
+    load 2 const {n} ifcmp ge Ld{s}
+    load 2 const 7 and const 7 ifcmp ne Lsk{s}
+    new GPub{s} store 3
+    load 3 putstatic gpub{s}
+    load 3 load 2 putfield GPub{s}.v
+Lsk{s}:
+    getstatic gpub{s} checkcast GPub{s} getfield GPub{s}.v
+    load 1 add load 2 add store 1
+    load 2 const 1 add store 2
+    goto Lh{s}
+Ld{s}:
+    load 1 retv
+}}
+"
+                );
+            }
             Pattern::Ballast { n } => {
                 let _ = write!(
                     out,
@@ -788,6 +883,8 @@ mod tests {
                 n: 10,
                 throw_every: 3,
             },
+            Pattern::ColdThrowPublish { n: 10 },
+            Pattern::GuardedPublish { n: 10 },
             Pattern::Ballast { n: 10 },
         ] {
             check(p);

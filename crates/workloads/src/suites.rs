@@ -86,6 +86,7 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
                     n: 25,
                     throw_every: 9,
                 },
+                ColdThrowPublish { n: 30 },
                 Ballast { n: 5000 },
             ],
         ),
@@ -168,6 +169,7 @@ pub fn dacapo() -> Vec<WorkloadSpec> {
             vec![
                 EscapeHeavy { n: 60, pool: 64 },
                 PublishViaHelper { n: 20 },
+                GuardedPublish { n: 24 },
                 ArrayFill { n: 8, len: 16 },
                 Ballast { n: 2000 },
             ],
@@ -314,6 +316,7 @@ pub fn scaladacapo() -> Vec<WorkloadSpec> {
                     n: 8,
                     fail_every: 6,
                 },
+                ColdThrowPublish { n: 20 },
                 Ballast { n: 2500 },
             ],
         ),
@@ -393,6 +396,7 @@ pub fn specjbb() -> WorkloadSpec {
                 n: 30,
                 throw_every: 8,
             },
+            GuardedPublish { n: 32 },
             Ballast { n: 8000 },
         ],
     }

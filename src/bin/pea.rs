@@ -1,7 +1,7 @@
 //! `pea` — command-line driver for the PEA virtual machine and compiler.
 //!
 //! ```text
-//! pea run <file.asm> <entry> [args...] [--level none|ees|pea|pea-pre|pea-pre-ipa]
+//! pea run <file.asm> <entry> [args...] [--level none|ees|pea|pea-pre|pea-pre-ipa|pea-pre-flow]
 //!         [--inline-policy size|summary]
 //!         [--interp] [--jit-mode sync|background] [--exec-mode linear|graph] [--checked]
 //!         [--trace|--trace-json [PATH]]                # + VM/PEA event log
@@ -50,8 +50,9 @@ fn parse_level(args: &[String]) -> OptLevel {
         Some("pea") | None => OptLevel::Pea,
         Some("pea-pre") => OptLevel::PeaPre,
         Some("pea-pre-ipa") => OptLevel::PeaPreIpa,
+        Some("pea-pre-flow") => OptLevel::PeaPreFlow,
         Some(other) => {
-            eprintln!("unknown level `{other}` (none|ees|pea|pea-pre|pea-pre-ipa)");
+            eprintln!("unknown level `{other}` (none|ees|pea|pea-pre|pea-pre-ipa|pea-pre-flow)");
             std::process::exit(2);
         }
     }

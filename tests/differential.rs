@@ -355,6 +355,7 @@ fn configs() -> Vec<(&'static str, VmOptions)> {
         ("jit-graph", graph_opts),
         ("jit-pea-pre", low(OptLevel::PeaPre)),
         ("jit-pea-pre-ipa", low(OptLevel::PeaPreIpa)),
+        ("jit-pea-pre-flow", low(OptLevel::PeaPreFlow)),
         ("jit-pea-summary-inline", summary_opts),
         ("jit-pea-speculative", spec_opts),
     ]
@@ -410,7 +411,7 @@ proptest! {
         );
         // The static pre-filter only withholds provably-escaping sites
         // from PEA, so it keeps the same guarantee.
-        for filtered in ["jit-pea-pre", "jit-pea-pre-ipa"] {
+        for filtered in ["jit-pea-pre", "jit-pea-pre-ipa", "jit-pea-pre-flow"] {
             let pre = alloc_counts
                 .iter()
                 .find(|(n, _)| *n == filtered)
