@@ -47,6 +47,13 @@ pub trait EvalEnv {
     fn has_fuel_limit(&self) -> bool {
         false
     }
+    /// The host's cycle-attribution profiler; compiled tiers count heap
+    /// allocations (including commit-group and deopt rematerializations)
+    /// through it. Defaults to the disabled recorder: one branch per
+    /// allocation site, nothing recorded.
+    fn profiler(&self) -> &pea_metrics::profile::ProfileRecorder {
+        pea_metrics::profile::ProfileRecorder::disabled_ref()
+    }
 }
 
 /// One interpreter frame reconstructed by deoptimization, outermost first
@@ -217,12 +224,14 @@ fn evaluate_inner(
                 NodeKind::New { class } => {
                     let bytes = program.object_size(*class);
                     env.charge(cost::alloc_cost(bytes))?;
+                    env.profiler().record_alloc();
                     let r = env.heap().alloc_instance(program, *class);
                     set(values, n, Value::Ref(r));
                 }
                 NodeKind::NewArray { kind } => {
                     let len = val(values, inputs[0])?.as_int()?;
                     env.charge(cost::alloc_cost(Program::array_size(len.max(0) as u64)))?;
+                    env.profiler().record_alloc();
                     let r = env.heap().alloc_array(*kind, len)?;
                     set(values, n, Value::Ref(r));
                 }
@@ -392,6 +401,7 @@ fn evaluate_inner(
                                 env.heap().alloc_array(kind, i64::from(length))?
                             }
                         };
+                        env.profiler().record_alloc();
                         refs.push(r);
                     }
                     let mut input_pos = 0usize;
@@ -619,6 +629,7 @@ fn resolve_slot(
             }
         };
         env.heap().stats.rematerialized += 1;
+        env.profiler().record_alloc();
         inventory.push(match shape {
             pea_ir::AllocShape::Instance { class } => program.class(*class).name.clone(),
             other => other.to_string(),

@@ -201,6 +201,7 @@ fn run(
             }
             op::NEW => {
                 charge!(u64::from(c[pc + 3]));
+                env.profiler().record_alloc();
                 let r = env.heap().alloc_instance(program, ClassId(c[pc + 2]));
                 regs[c[pc + 1] as usize] = Value::Ref(r);
                 pc += 4;
@@ -208,6 +209,7 @@ fn run(
             op::NEW_ARRAY => {
                 let len = regs[c[pc + 2] as usize].as_int()?;
                 charge!(cost::alloc_cost(Program::array_size(len.max(0) as u64)));
+                env.profiler().record_alloc();
                 let r = env.heap().alloc_array(decode_kind(c[pc + 3]), len)?;
                 regs[c[pc + 1] as usize] = Value::Ref(r);
                 pc += 4;
@@ -351,6 +353,7 @@ fn run(
                             env.heap().alloc_array(kind, i64::from(length))?
                         }
                     };
+                    env.profiler().record_alloc();
                     refs.push(r);
                 }
                 for (oi, o) in t.objects.iter().enumerate() {
@@ -537,6 +540,7 @@ fn resolve_slot(
         AllocShape::Array { kind, length } => env.heap().alloc_array(kind, i64::from(length))?,
     };
     env.heap().stats.rematerialized += 1;
+    env.profiler().record_alloc();
     inventory.push(vo.name.clone());
     cache[vi] = Some(r);
     for (fi, (&fsrc, field)) in vo.fields.iter().zip(&vo.field_ids).enumerate() {

@@ -1,6 +1,7 @@
 //! The execution environment the interpreter runs against.
 
 use pea_bytecode::{MethodId, Program};
+use pea_metrics::profile::ProfileRecorder;
 use pea_metrics::MetricsHub;
 use pea_runtime::profile::ProfileStore;
 use pea_runtime::{Heap, Statics, Value, VmError};
@@ -45,6 +46,14 @@ pub trait InterpEnv {
     /// records nothing at the cost of one branch per site.
     fn metrics(&self) -> &MetricsHub {
         MetricsHub::disabled_ref()
+    }
+    /// The host's cycle-attribution profiler; the interpreter resolves a
+    /// per-frame handle from it at method entry and feeds per-bci and
+    /// per-opcode hot-spot buckets plus allocation counts. Defaults to the
+    /// disabled recorder, which records nothing at the cost of one branch
+    /// per site.
+    fn profiler(&self) -> &ProfileRecorder {
+        ProfileRecorder::disabled_ref()
     }
 }
 

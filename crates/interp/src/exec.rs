@@ -2,8 +2,139 @@
 
 use crate::{Frame, InterpEnv};
 use pea_bytecode::{Insn, MethodId, Program};
+use pea_metrics::profile::Tier;
 use pea_runtime::cost;
 use pea_runtime::{ObjRef, Value, VmError};
+
+/// Display names for the profiler's per-opcode buckets, indexed by
+/// [`opcode_slot`].
+pub const OPCODE_NAMES: &[&str] = &[
+    "const",
+    "cnull",
+    "load",
+    "store",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "rem",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "shr",
+    "neg",
+    "pop",
+    "dup",
+    "swap",
+    "goto",
+    "ifcmp",
+    "ifnull",
+    "ifnonnull",
+    "ifrefeq",
+    "ifrefne",
+    "new",
+    "getfield",
+    "putfield",
+    "getstatic",
+    "putstatic",
+    "newarray",
+    "aload",
+    "astore",
+    "arraylen",
+    "instanceof",
+    "checkcast",
+    "monitorenter",
+    "monitorexit",
+    "invokestatic",
+    "invokevirtual",
+    "ret",
+    "retv",
+    "throw",
+    "athrow",
+];
+
+/// The profiler bucket slot for an instruction (dense, one per opcode
+/// kind; see [`OPCODE_NAMES`]).
+pub fn opcode_slot(insn: &Insn) -> usize {
+    match insn {
+        Insn::Const(_) => 0,
+        Insn::ConstNull => 1,
+        Insn::Load(_) => 2,
+        Insn::Store(_) => 3,
+        Insn::Add => 4,
+        Insn::Sub => 5,
+        Insn::Mul => 6,
+        Insn::Div => 7,
+        Insn::Rem => 8,
+        Insn::And => 9,
+        Insn::Or => 10,
+        Insn::Xor => 11,
+        Insn::Shl => 12,
+        Insn::Shr => 13,
+        Insn::Neg => 14,
+        Insn::Pop => 15,
+        Insn::Dup => 16,
+        Insn::Swap => 17,
+        Insn::Goto(_) => 18,
+        Insn::IfCmp(..) => 19,
+        Insn::IfNull(_) => 20,
+        Insn::IfNonNull(_) => 21,
+        Insn::IfRefEq(_) => 22,
+        Insn::IfRefNe(_) => 23,
+        Insn::New(_) => 24,
+        Insn::GetField(_) => 25,
+        Insn::PutField(_) => 26,
+        Insn::GetStatic(_) => 27,
+        Insn::PutStatic(_) => 28,
+        Insn::NewArray(_) => 29,
+        Insn::ArrayLoad => 30,
+        Insn::ArrayStore => 31,
+        Insn::ArrayLength => 32,
+        Insn::InstanceOf(_) => 33,
+        Insn::CheckCast(_) => 34,
+        Insn::MonitorEnter => 35,
+        Insn::MonitorExit => 36,
+        Insn::InvokeStatic(_) => 37,
+        Insn::InvokeVirtual(_) => 38,
+        Insn::Return => 39,
+        Insn::ReturnValue => 40,
+        Insn::Throw => 41,
+        Insn::Athrow => 42,
+    }
+}
+
+/// The statically known cycle cost an instruction charges beyond
+/// [`cost::INTERP_DISPATCH`]. Size-dependent charges (`new`, `newarray`)
+/// and callee time (invokes charge inside the callee) report 0 here and
+/// are attributed at their execution site instead.
+fn static_op_cost(insn: &Insn) -> u64 {
+    match insn {
+        Insn::Goto(_)
+        | Insn::IfCmp(..)
+        | Insn::IfNull(_)
+        | Insn::IfNonNull(_)
+        | Insn::IfRefEq(_)
+        | Insn::IfRefNe(_)
+        | Insn::Athrow => cost::BRANCH_OP,
+        Insn::GetField(_)
+        | Insn::PutField(_)
+        | Insn::GetStatic(_)
+        | Insn::PutStatic(_)
+        | Insn::ArrayLoad
+        | Insn::ArrayStore
+        | Insn::ArrayLength => cost::MEMORY_OP,
+        Insn::MonitorEnter | Insn::MonitorExit => cost::MONITOR_OP,
+        Insn::New(_)
+        | Insn::NewArray(_)
+        | Insn::InvokeStatic(_)
+        | Insn::InvokeVirtual(_)
+        | Insn::Return
+        | Insn::ReturnValue
+        | Insn::Throw => 0,
+        _ => cost::ALU_OP,
+    }
+}
 
 /// Interprets one method call to completion.
 ///
@@ -23,6 +154,8 @@ pub fn interpret(
     if let Some(m) = env.metrics().on() {
         m.interp.invocations.inc();
     }
+    env.profiler()
+        .record_invocation(method.index(), Tier::Interp);
     if env.profiling_enabled() {
         env.profiles().record_invocation(method);
     }
@@ -150,10 +283,27 @@ fn pop(frame: &mut Frame) -> Result<Value, VmError> {
         .ok_or_else(|| VmError::Internal("operand stack underflow".into()))
 }
 
+/// Executes `frame` until it returns, holding the cycle-attribution
+/// context at `(frame.method, interp)` for the duration: every cycle this
+/// frame charges — including frames entered by deopt resume and exception
+/// unwinding, which never pass through the host's call path — lands in the
+/// right profiler cell. Nested invokes push their own context and restore
+/// this one on return.
+fn run_frame(
+    program: &Program,
+    env: &mut dyn InterpEnv,
+    frame: &mut Frame,
+) -> Result<Option<Value>, VmError> {
+    let prev_ctx = env.profiler().enter(frame.method.index(), Tier::Interp);
+    let result = run_frame_inner(program, env, frame);
+    env.profiler().restore(prev_ctx);
+    result
+}
+
 /// Executes `frame` until it returns. The frame's `bci` selects the next
 /// instruction throughout, so a frame reconstructed mid-method continues
 /// seamlessly.
-fn run_frame(
+fn run_frame_inner(
     program: &Program,
     env: &mut dyn InterpEnv,
     frame: &mut Frame,
@@ -163,11 +313,21 @@ fn run_frame(
     // One hub clone per frame (an `Option<Arc>` bump, no allocation) so the
     // per-instruction path below is a single branch when metrics are off.
     let metrics = env.metrics().clone();
+    // Likewise one per-frame profiler handle (two `Arc` bumps when enabled,
+    // `None` when off) feeding per-bci and per-opcode hot-spot buckets.
+    let profiler = env.profiler().frame(method.index());
     loop {
         let insn = code[frame.bci as usize];
         env.charge(cost::INTERP_DISPATCH)?;
         if let Some(m) = metrics.on() {
             m.interp.steps.inc();
+        }
+        if let Some(p) = &profiler {
+            p.record_op(
+                frame.bci,
+                opcode_slot(&insn),
+                cost::INTERP_DISPATCH + static_op_cost(&insn),
+            );
         }
         let mut next = frame.bci + 1;
         match insn {
@@ -268,6 +428,10 @@ fn run_frame(
             Insn::New(class) => {
                 let bytes = program.object_size(class);
                 env.charge(cost::alloc_cost(bytes))?;
+                if let Some(p) = &profiler {
+                    p.record_op(frame.bci, opcode_slot(&insn), cost::alloc_cost(bytes));
+                }
+                env.profiler().record_alloc();
                 let r = env.heap().alloc_instance(program, class);
                 frame.stack.push(Value::Ref(r));
             }
@@ -297,6 +461,10 @@ fn run_frame(
                 let len = pop(frame)?.as_int()?;
                 let bytes = Program::array_size(len.max(0) as u64);
                 env.charge(cost::alloc_cost(bytes))?;
+                if let Some(p) = &profiler {
+                    p.record_op(frame.bci, opcode_slot(&insn), cost::alloc_cost(bytes));
+                }
+                env.profiler().record_alloc();
                 let r = env.heap().alloc_array(kind, len)?;
                 frame.stack.push(Value::Ref(r));
             }

@@ -21,5 +21,5 @@ mod exec;
 mod frame;
 
 pub use env::{InterpEnv, SimpleEnv};
-pub use exec::{interpret, resume, unwind};
+pub use exec::{interpret, opcode_slot, resume, unwind, OPCODE_NAMES};
 pub use frame::Frame;

@@ -43,7 +43,7 @@ pub fn render_text(snapshot: &MetricsSnapshot) -> String {
     out
 }
 
-fn escape_json_into(buf: &mut String, s: &str) {
+pub(crate) fn escape_json_into(buf: &mut String, s: &str) {
     buf.push('"');
     for c in s.chars() {
         match c {
@@ -141,24 +141,107 @@ fn prometheus_name(name: &str) -> String {
     out
 }
 
+/// Escapes a Prometheus label value: backslash, double quote, and newline
+/// must be backslash-escaped inside the quoted value.
+fn escape_label_value(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a counter name into its Prometheus metric family and optional
+/// label set. Per-class heap rows (`heap.class.<Name>.allocs` /
+/// `.bytes`) become one labeled family
+/// (`pea_heap_class_allocs{class="<Name>"}`) instead of a mangled metric
+/// name per class, with the class name escaped as a label value.
+fn family_and_labels(name: &str) -> (String, Option<String>) {
+    if let Some(rest) = name.strip_prefix("heap.class.") {
+        if let Some(class) = rest.strip_suffix(".allocs") {
+            return (
+                "pea_heap_class_allocs".to_string(),
+                Some(format!("class=\"{}\"", escape_label_value(class))),
+            );
+        }
+        if let Some(class) = rest.strip_suffix(".bytes") {
+            return (
+                "pea_heap_class_bytes".to_string(),
+                Some(format!("class=\"{}\"", escape_label_value(class))),
+            );
+        }
+    }
+    (prometheus_name(name), None)
+}
+
+/// One-line help text for a metric family.
+fn help_text(family: &str) -> &'static str {
+    match family {
+        "pea_interp_steps" => "Bytecode instructions interpreted.",
+        "pea_interp_invocations" => "Method invocations dispatched to the interpreter.",
+        "pea_vm_cycles" => "Virtual cycles charged by the cost model.",
+        "pea_heap_class_allocs" => "Heap allocations per class.",
+        "pea_heap_class_bytes" => "Heap bytes allocated per class.",
+        "pea_compile_queue_depth" => "Compile-service queue depth.",
+        _ => "pea VM metric (virtual units; see DESIGN.md cost model).",
+    }
+}
+
+/// Writes the `# HELP` / `# TYPE` header for `family` unless it was the
+/// previously announced family (labeled series share one header).
+fn write_header(out: &mut String, announced: &mut Option<String>, family: &str, kind: &str) {
+    if announced.as_deref() != Some(family) {
+        let _ = writeln!(out, "# HELP {family} {}", help_text(family));
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        *announced = Some(family.to_string());
+    }
+}
+
 /// Renders the snapshot as a Prometheus-style text exposition (the format
-/// a future `/metrics` server endpoint would serve): counters, gauges,
-/// and cumulative histogram buckets with `_sum`/`_count` series.
+/// a future `/metrics` server endpoint would serve): `# HELP`/`# TYPE`
+/// headers per family, per-class heap rows as labeled series with escaped
+/// label values, and cumulative histogram buckets with `_sum`/`_count`
+/// series.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    let mut announced = None;
+    // Group counter samples by family first: labeled per-class rows
+    // (`…allocs`/`…bytes`) interleave in the snapshot's name order, but
+    // the exposition format wants each family's samples contiguous under
+    // one header.
+    let mut order: Vec<String> = Vec::new();
+    let mut families: std::collections::BTreeMap<String, Vec<String>> =
+        std::collections::BTreeMap::new();
     for (name, value) in &snapshot.counters {
-        let n = prometheus_name(name);
-        let _ = writeln!(out, "# TYPE {n} counter");
-        let _ = writeln!(out, "{n} {value}");
+        let (family, labels) = family_and_labels(name);
+        let line = match labels {
+            Some(l) => format!("{family}{{{l}}} {value}"),
+            None => format!("{family} {value}"),
+        };
+        if !families.contains_key(&family) {
+            order.push(family.clone());
+        }
+        families.entry(family).or_default().push(line);
+    }
+    for family in order {
+        write_header(&mut out, &mut announced, &family, "counter");
+        for line in &families[&family] {
+            let _ = writeln!(out, "{line}");
+        }
     }
     for (name, value) in &snapshot.gauges {
         let n = prometheus_name(name);
-        let _ = writeln!(out, "# TYPE {n} gauge");
+        write_header(&mut out, &mut announced, &n, "gauge");
         let _ = writeln!(out, "{n} {value}");
     }
     for (name, h) in &snapshot.histograms {
         let n = prometheus_name(name);
-        let _ = writeln!(out, "# TYPE {n} histogram");
+        write_header(&mut out, &mut announced, &n, "histogram");
         let mut cumulative = 0u64;
         for (i, &c) in h.buckets.iter().enumerate() {
             if c == 0 {
@@ -257,7 +340,67 @@ mod tests {
         assert!(p.contains("pea_compile_total_us_bucket{le=\"+Inf\"} 2"));
         assert!(p.contains("pea_compile_total_us_sum 3100"));
         assert!(p.contains("pea_compile_total_us_count 2"));
-        assert!(p.contains("pea_heap_class_Key_allocs 1"));
+        assert!(p.contains("pea_heap_class_allocs{class=\"Key\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_scrape_format_is_well_formed() {
+        let m = VmMetrics::default();
+        m.interp.steps.add(1);
+        m.heap.classes.resolve("Key").allocs.inc();
+        m.heap.classes.resolve("Pair$Inner").allocs.add(2);
+        m.heap.classes.resolve("we\"ird\\name").allocs.inc();
+        m.compile.total_us.record(9);
+        let p = render_prometheus(&m.snapshot());
+
+        // Every metric family is announced with # HELP then # TYPE, exactly
+        // once, before its first sample line.
+        let mut seen = std::collections::HashSet::new();
+        let mut pending_help: Option<String> = None;
+        let mut announced = std::collections::HashSet::new();
+        for line in p.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let family = rest.split_whitespace().next().unwrap().to_string();
+                assert!(seen.insert(family.clone()), "duplicate HELP for {family}");
+                pending_help = Some(family);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let family = parts.next().unwrap();
+                assert!(
+                    matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+                    "bad TYPE line: {line}"
+                );
+                assert_eq!(
+                    pending_help.take().as_deref(),
+                    Some(family),
+                    "TYPE without HELP"
+                );
+                announced.insert(family.to_string());
+            } else if !line.is_empty() {
+                let name = line
+                    .split(['{', ' '])
+                    .next()
+                    .unwrap()
+                    .trim_end_matches("_bucket")
+                    .trim_end_matches("_sum")
+                    .trim_end_matches("_count");
+                assert!(
+                    announced.contains(name),
+                    "sample {line:?} before its family header"
+                );
+            }
+        }
+
+        // Per-class rows are one labeled family with escaped label values.
+        assert!(p.contains("pea_heap_class_allocs{class=\"Key\"} 1"));
+        assert!(p.contains("pea_heap_class_allocs{class=\"Pair$Inner\"} 2"));
+        assert!(p.contains("pea_heap_class_allocs{class=\"we\\\"ird\\\\name\"} 1"));
+        assert_eq!(
+            p.matches("# TYPE pea_heap_class_allocs counter").count(),
+            1,
+            "labeled series share one header"
+        );
+        assert!(p.contains("# HELP pea_heap_class_allocs Heap allocations per class."));
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 pub mod export;
+pub mod profile;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -746,6 +747,91 @@ mod tests {
         // p100 is clamped to the observed max.
         assert_eq!(s.quantile(1.0), 1000);
         assert_eq!(HistogramSnapshot::default().quantile(0.9), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_at_powers_of_two() {
+        // Exhaustive boundary sweep: for every power of two the values
+        // 2^k - 1, 2^k, 2^k + 1 land in the documented buckets, and every
+        // value is <= its bucket's inclusive upper bound while being above
+        // the previous bucket's.
+        for k in 0..64u32 {
+            let p = 1u64 << k;
+            assert_eq!(
+                bucket_index(p),
+                ((k + 1) as usize).min(HISTOGRAM_BUCKETS - 1)
+            );
+            for v in [p.saturating_sub(1), p, p.saturating_add(1)] {
+                let i = bucket_index(v);
+                assert!(
+                    v <= bucket_upper_bound(i),
+                    "v={v} above bound of bucket {i}"
+                );
+                if i > 0 && i < HISTOGRAM_BUCKETS - 1 {
+                    assert!(
+                        v > bucket_upper_bound(i - 1),
+                        "v={v} also fits bucket {}",
+                        i - 1
+                    );
+                }
+            }
+        }
+        // The extremes.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // Upper bounds are strictly increasing across the whole table.
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1));
+        }
+        // Values past the 2^30 clamp point all share the last bucket.
+        assert_eq!(bucket_index(1 << 31), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1 << 63), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_snapshot_and_delta_under_concurrent_increments() {
+        let h = Histogram::default();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (h, stop) = (&h, &stop);
+                s.spawn(move || {
+                    let mut v = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(v % 4096);
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                });
+            }
+            // Snapshots taken mid-flight must stay internally consistent:
+            // monotone counts/sums, and deltas that never underflow.
+            let mut prev = h.snapshot();
+            for _ in 0..50 {
+                let now = h.snapshot();
+                assert!(now.count() >= prev.count());
+                assert!(now.sum >= prev.sum);
+                assert!(now.max >= prev.max);
+                let d = now.delta(&prev);
+                assert_eq!(d.count(), now.count() - prev.count());
+                assert!(d.sum <= now.sum);
+                assert_eq!(d.max, now.max);
+                for (i, &b) in d.buckets.iter().enumerate() {
+                    assert!(b <= now.buckets[i]);
+                }
+                prev = now;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // After the writers join, per-bucket counts sum to the total count
+        // and the delta against an empty snapshot reproduces the snapshot.
+        let fin = h.snapshot();
+        assert_eq!(fin.buckets.iter().sum::<u64>(), fin.count());
+        let d = fin.delta(&HistogramSnapshot::default());
+        assert_eq!(d.count(), fin.count());
+        assert_eq!(d.sum, fin.sum);
     }
 
     #[test]

@@ -164,6 +164,23 @@ impl Object {
         }
     }
 
+    /// The string at `key`, or `None` when the field is absent or null —
+    /// for fields added after traces in the wild were recorded.
+    pub fn opt_str(&self, key: &str) -> Option<&str> {
+        match self.fields.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number at `key`, or `None` when the field is absent or null.
+    pub fn opt_num(&self, key: &str) -> Option<i64> {
+        match self.fields.get(key) {
+            Some(Value::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
     pub fn get_str_array(&self, key: &str) -> Result<Vec<String>, JsonError> {
         match self.get(key)? {
             Value::StrArray(v) => Ok(v.clone()),

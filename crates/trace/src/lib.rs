@@ -23,7 +23,11 @@ use std::fmt;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
+pub mod flight;
 pub mod json;
+pub mod timeline;
+
+pub use flight::{FlightEntry, FlightRecorder};
 
 /// Why a virtual allocation had to be materialized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -175,9 +179,16 @@ pub enum TraceEvent {
     LoopRound { loop_begin: u32, round: u32 },
     /// The VM deoptimized compiled code; `rematerialized` lists the shapes
     /// of virtual objects reallocated while reconstructing interpreter
-    /// frames (§5.5).
+    /// frames (§5.5). `site` and `bci` name the innermost interpreter frame
+    /// being resumed — the actual deopt site, which under inlining may be a
+    /// different method than the compiled root `method`.
     Deopt {
         method: String,
+        /// Method of the innermost resumed frame (equals `method` unless
+        /// the deopt happened inside an inlined callee).
+        site: String,
+        /// Bytecode index of the innermost resumed frame.
+        bci: u32,
         reason: String,
         rematerialized: Vec<String>,
     },
@@ -217,8 +228,16 @@ pub enum TraceEvent {
     /// Compiled code hit a speculation guard at runtime and transferred to
     /// the interpreter. Narrower than [`Deopt`](Self::Deopt): emitted only
     /// for guard-triggered transfers, before the generic deopt event, so
-    /// golden traces can pin guard-failure ordering.
-    DeoptTaken { method: String, reason: String },
+    /// golden traces can pin guard-failure ordering. Carries the same
+    /// `(site, bci)` deopt-site coordinates as [`Deopt`](Self::Deopt).
+    DeoptTaken {
+        method: String,
+        /// Method of the innermost resumed frame.
+        site: String,
+        /// Bytecode index of the innermost resumed frame.
+        bci: u32,
+        reason: String,
+    },
     /// An interprocedural escape summary was computed for a method:
     /// `params` holds one escape-class tag per parameter (`no-escape`,
     /// `arg-escape`, `global-escape`), `returns_fresh` whether every
@@ -316,14 +335,16 @@ impl TraceEvent {
             }
             TraceEvent::Deopt {
                 method,
+                site,
+                bci,
                 reason,
                 rematerialized,
             } => {
                 if rematerialized.is_empty() {
-                    format!("deopt {method} ({reason})")
+                    format!("deopt {method} at {site}:{bci} ({reason})")
                 } else {
                     format!(
-                        "deopt {method} ({reason}): rematerialized [{}]",
+                        "deopt {method} at {site}:{bci} ({reason}): rematerialized [{}]",
                         rematerialized.join(", ")
                     )
                 }
@@ -359,8 +380,13 @@ impl TraceEvent {
                 "  devirt-guard {callee} at {method}:{bci} on [{}]",
                 classes.join(", ")
             ),
-            TraceEvent::DeoptTaken { method, reason } => {
-                format!("deopt-taken {method} ({reason})")
+            TraceEvent::DeoptTaken {
+                method,
+                site,
+                bci,
+                reason,
+            } => {
+                format!("deopt-taken {method} at {site}:{bci} ({reason})")
             }
             TraceEvent::SummaryComputed {
                 method,
@@ -446,10 +472,14 @@ impl TraceEvent {
             }
             TraceEvent::Deopt {
                 method,
+                site,
+                bci,
                 reason,
                 rematerialized,
             } => {
                 o.str("method", method);
+                o.str("site", site);
+                o.num("bci", *bci as i64);
                 o.str("reason", reason);
                 o.str_array("rematerialized", rematerialized);
             }
@@ -488,8 +518,15 @@ impl TraceEvent {
                 o.str("callee", callee);
                 o.str_array("classes", classes);
             }
-            TraceEvent::DeoptTaken { method, reason } => {
+            TraceEvent::DeoptTaken {
+                method,
+                site,
+                bci,
+                reason,
+            } => {
                 o.str("method", method);
+                o.str("site", site);
+                o.num("bci", *bci as i64);
                 o.str("reason", reason);
             }
             TraceEvent::SummaryComputed {
@@ -567,11 +604,20 @@ impl TraceEvent {
                 loop_begin: obj.get_num("loop_begin")? as u32,
                 round: obj.get_num("round")? as u32,
             },
-            "deopt" => TraceEvent::Deopt {
-                method: obj.get_str("method")?.to_string(),
-                reason: obj.get_str("reason")?.to_string(),
-                rematerialized: obj.get_str_array("rematerialized")?,
-            },
+            "deopt" => {
+                let method = obj.get_str("method")?.to_string();
+                // `site`/`bci` are optional so traces recorded before the
+                // deopt-site payload existed still parse (site defaults to
+                // the compiled method, bci to 0).
+                let site = obj.opt_str("site").unwrap_or(&method).to_string();
+                TraceEvent::Deopt {
+                    site,
+                    bci: obj.opt_num("bci").unwrap_or(0) as u32,
+                    reason: obj.get_str("reason")?.to_string(),
+                    rematerialized: obj.get_str_array("rematerialized")?,
+                    method,
+                }
+            }
             "evict" => TraceEvent::Evict {
                 method: obj.get_str("method")?.to_string(),
                 deopts: obj.get_num("deopts")? as u64,
@@ -597,10 +643,16 @@ impl TraceEvent {
                 callee: obj.get_str("callee")?.to_string(),
                 classes: obj.get_str_array("classes")?,
             },
-            "deopt-taken" => TraceEvent::DeoptTaken {
-                method: obj.get_str("method")?.to_string(),
-                reason: obj.get_str("reason")?.to_string(),
-            },
+            "deopt-taken" => {
+                let method = obj.get_str("method")?.to_string();
+                let site = obj.opt_str("site").unwrap_or(&method).to_string();
+                TraceEvent::DeoptTaken {
+                    site,
+                    bci: obj.opt_num("bci").unwrap_or(0) as u32,
+                    reason: obj.get_str("reason")?.to_string(),
+                    method,
+                }
+            }
             "summary-computed" => TraceEvent::SummaryComputed {
                 method: obj.get_str("method")?.to_string(),
                 params: obj.get_str_array("params")?,
@@ -1090,11 +1142,15 @@ mod tests {
             },
             TraceEvent::Deopt {
                 method: "Cache.getValue".into(),
+                site: "Cache.getValue".into(),
+                bci: 6,
                 reason: "untaken-branch".into(),
                 rematerialized: vec!["Key".into(), "int[8]".into()],
             },
             TraceEvent::Deopt {
                 method: "Cache.getValue".into(),
+                site: "Cache.hash".into(),
+                bci: 2,
                 reason: "type-check".into(),
                 rematerialized: vec![],
             },
@@ -1133,6 +1189,8 @@ mod tests {
             },
             TraceEvent::DeoptTaken {
                 method: "Cache.getValue".into(),
+                site: "Cache.getValue".into(),
+                bci: 11,
                 reason: "type-check".into(),
             },
             TraceEvent::SummaryComputed {
@@ -1175,6 +1233,33 @@ mod tests {
             .map(|l| TraceEvent::from_json_line(l).unwrap())
             .collect();
         assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn deopt_lines_without_site_payload_still_parse() {
+        // Traces recorded before the deopt-site fields existed.
+        let old = "{\"event\":\"deopt\",\"method\":\"Cache.getValue\",\
+                   \"reason\":\"type-check\",\"rematerialized\":[]}";
+        assert_eq!(
+            TraceEvent::from_json_line(old).unwrap(),
+            TraceEvent::Deopt {
+                method: "Cache.getValue".into(),
+                site: "Cache.getValue".into(),
+                bci: 0,
+                reason: "type-check".into(),
+                rematerialized: vec![],
+            }
+        );
+        let old = "{\"event\":\"deopt-taken\",\"method\":\"M.f\",\"reason\":\"null-check\"}";
+        assert_eq!(
+            TraceEvent::from_json_line(old).unwrap(),
+            TraceEvent::DeoptTaken {
+                method: "M.f".into(),
+                site: "M.f".into(),
+                bci: 0,
+                reason: "null-check".into(),
+            }
+        );
     }
 
     #[test]

@@ -35,13 +35,15 @@ use pea_compiler::{
     EvalOutcome,
 };
 use pea_interp::{interpret, resume, unwind, Frame, InterpEnv};
+pub use pea_metrics::profile::{ProfileRecorder, ProfilerHub, Tier};
 pub use pea_metrics::MetricsHub;
 use pea_metrics::{HeapRecorder, MetricsSnapshot, VmMetrics};
 use pea_runtime::profile::ProfileStore;
 use pea_runtime::{Heap, HeapObject, ObjRef, Statics, Stats, Value, VmError};
 pub use pea_trace::SharedSink;
-use pea_trace::TraceEvent;
+use pea_trace::{FlightEntry, FlightRecorder, TraceEvent, TraceSink};
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -145,6 +147,19 @@ pub struct VmOptions {
     /// into the trace sink every this-many installing safepoints (0
     /// disables; requires both `metrics` and `trace` to be attached).
     pub metrics_snapshot_every: u64,
+    /// Cycle-attribution profiler handle. The default disabled hub records
+    /// nothing at the cost of at most one branch per charge site; when
+    /// enabled, every charged cycle and every heap allocation is
+    /// attributed to the `(method, tier)` executing it, with per-bci and
+    /// per-opcode hot-spot buckets for interpreted code.
+    pub profiler: ProfilerHub,
+    /// Flight-recorder dump path. When set, the VM tees every trace event
+    /// into a bounded in-memory ring (alongside `trace`, which may stay
+    /// `None`) and writes the ring to this path as `FLIGHT.json` when a
+    /// run ends in a [`VmError`], a `--checked` sanitizer finding, or a
+    /// panic — the last compiles/installs/deopts/evictions with sequence
+    /// numbers and timestamps, for post-mortem analysis.
+    pub flight: Option<PathBuf>,
 }
 
 impl VmOptions {
@@ -164,6 +179,8 @@ impl VmOptions {
             checked: false,
             metrics: MetricsHub::disabled(),
             metrics_snapshot_every: 64,
+            profiler: ProfilerHub::disabled(),
+            flight: None,
         }
     }
 
@@ -253,6 +270,13 @@ pub struct Vm {
     verdicts: Option<Arc<pea_analysis::StaticVerdicts>>,
     /// Interprocedural summary cache shared with the compile service.
     summary_cache: SummaryCache,
+    /// Cycle-attribution recorder (disabled by default: one branch per
+    /// charge site, zero allocations). Methods are pre-resolved by index
+    /// at construction, mirroring [`HeapRecorder`].
+    profile: ProfileRecorder,
+    /// Flight-recorder ring, present when [`VmOptions::flight`] is set.
+    /// Every trace event is teed into it via the sink chain.
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
     options: VmOptions,
     /// Re-entrancy depth (interpreter/compiled frames currently active).
     depth: usize,
@@ -266,7 +290,7 @@ pub struct Vm {
 
 impl Vm {
     /// Creates a VM for `program`.
-    pub fn new(program: Program, options: VmOptions) -> Vm {
+    pub fn new(program: Program, mut options: VmOptions) -> Vm {
         let statics = Statics::new(&program.statics);
         let mut heap = Heap::new();
         if options.metrics.is_enabled() {
@@ -275,6 +299,25 @@ impl Vm {
                 program.classes.iter().map(|c| c.name.as_str()),
             ));
         }
+        let names: Vec<(String, usize)> = (0..program.methods.len())
+            .map(|i| {
+                let m = program.method(MethodId::from_index(i));
+                (m.qualified_name(&program), m.code.len())
+            })
+            .collect();
+        let profile = ProfileRecorder::new(
+            &options.profiler,
+            names.iter().map(|(n, l)| (n.as_str(), *l)),
+        );
+        let flight = options.flight.as_ref().map(|_| {
+            let ring = Arc::new(Mutex::new(FlightRecorder::new()));
+            let tee = FlightTee {
+                user: options.trace.take(),
+                flight: Arc::clone(&ring),
+            };
+            options.trace = Some(SharedSink::new(tee).0);
+            ring
+        });
         Vm {
             program: Arc::new(program),
             heap,
@@ -288,6 +331,8 @@ impl Vm {
             service: None,
             verdicts: None,
             summary_cache: SummaryCache::new(),
+            profile,
+            flight,
             options,
             depth: 0,
             snapshot_polls: 0,
@@ -299,9 +344,53 @@ impl Vm {
     /// Attaches (or replaces) the VM event-log sink after construction.
     ///
     /// In background mode, attach the sink before the first method turns
-    /// hot: the compile service captures the sink when it starts.
+    /// hot: the compile service captures the sink when it starts. When the
+    /// flight recorder is active, the new sink is teed through it so the
+    /// ring keeps seeing every event.
     pub fn set_trace(&mut self, sink: SharedSink) {
-        self.options.trace = Some(sink);
+        self.options.trace = Some(match &self.flight {
+            Some(ring) => {
+                let tee = FlightTee {
+                    user: Some(sink),
+                    flight: Arc::clone(ring),
+                };
+                SharedSink::new(tee).0
+            }
+            None => sink,
+        });
+    }
+
+    /// The cycle-attribution profiler hub (disabled unless enabled via
+    /// [`VmOptions::profiler`]); snapshot it for reports.
+    pub fn profiler_hub(&self) -> &ProfilerHub {
+        self.profile.hub()
+    }
+
+    /// The flight-recorder ring contents in sequence order, when the
+    /// recorder is active.
+    pub fn flight_entries(&self) -> Option<Vec<FlightEntry>> {
+        self.flight.as_ref().map(|ring| match ring.lock() {
+            Ok(f) => f.entries(),
+            Err(poisoned) => poisoned.into_inner().entries(),
+        })
+    }
+
+    /// The flight ring serialized as `pea-flight/1` JSON, when active.
+    pub fn flight_json(&self) -> Option<String> {
+        self.flight.as_ref().map(|ring| match ring.lock() {
+            Ok(f) => f.dump_json(),
+            Err(poisoned) => poisoned.into_inner().dump_json(),
+        })
+    }
+
+    /// Writes the flight ring to the configured dump path. Called on
+    /// [`VmError`], sanitizer findings and panics; best-effort (a failed
+    /// write must not mask the original failure).
+    fn dump_flight(&self) {
+        let (Some(json), Some(path)) = (self.flight_json(), &self.options.flight) else {
+            return;
+        };
+        let _ = std::fs::write(path, json);
     }
 
     /// The executed program.
@@ -375,13 +464,17 @@ impl Vm {
             .program
             .static_method_by_name(name)
             .ok_or_else(|| VmError::NoSuchMethod(name.to_string()))?;
-        match self.call(method, args.to_vec()) {
+        let result = match self.call(method, args.to_vec()) {
             // An exception escaped every frame: report it structurally
             // (class name + int fields) — raw heap ids differ between
             // tiers when scalar replacement elides allocations.
             Err(VmError::Thrown(obj)) => Err(self.uncaught(obj)),
             result => result,
+        };
+        if result.is_err() {
+            self.dump_flight();
         }
+        result
     }
 
     /// Converts an in-flight exception object that escaped the entry call
@@ -409,7 +502,19 @@ impl Vm {
     /// Whatever the method raises.
     pub fn call(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
         self.depth += 1;
+        // Outermost call: establish a base attribution context so cycles
+        // charged before a tier takes over (call overhead, unwinding) are
+        // never dropped — profiler totals must reconcile exactly with
+        // `stats.cycles`.
+        let base = if self.depth == 1 {
+            Some(self.profile.enter(method.index(), Tier::Interp))
+        } else {
+            None
+        };
         let result = self.call_inner(method, args);
+        if let Some(prev) = base {
+            self.profile.restore(prev);
+        }
         self.depth -= 1;
         result
     }
@@ -481,6 +586,7 @@ impl Vm {
                     match compiled {
                         Ok(code) => {
                             self.heap.stats.compiles += 1;
+                            self.profile.record_install();
                             if let Some(m) = self.options.metrics.on() {
                                 m.vm.installs.inc();
                                 if code.linear.is_some() {
@@ -549,6 +655,7 @@ impl Vm {
         let verdicts = self.static_verdicts();
         let findings = pea_analysis::check_compilation(program, &verdicts, method, graph, events);
         if !findings.is_empty() {
+            self.dump_flight();
             let name = program.method(method).qualified_name(program);
             let lines: Vec<String> = findings.iter().map(|f| format!("  - {f}")).collect();
             panic!(
@@ -615,6 +722,7 @@ impl Vm {
             // Workers never panic (that would wedge `wait_idle`); sanitizer
             // findings surface here, at the installing safepoint.
             if !outcome.findings.is_empty() {
+                self.dump_flight();
                 let name = self
                     .program
                     .method(outcome.method)
@@ -634,6 +742,7 @@ impl Vm {
             match outcome.result {
                 Ok(code) => {
                     self.heap.stats.compiles += 1;
+                    self.profile.record_install();
                     if let Some(m) = self.options.metrics.on() {
                         m.vm.installs.inc();
                         if code.linear.is_some() {
@@ -760,6 +869,7 @@ impl Vm {
             match result {
                 Ok(code) => {
                     self.heap.stats.compiles += 1;
+                    self.profile.record_install();
                     if let Some(m) = self.options.metrics.on() {
                         m.vm.installs.inc();
                         if code.linear.is_some() {
@@ -783,6 +893,13 @@ impl Vm {
         code: &CompiledMethod,
         args: Vec<Value>,
     ) -> Result<Option<Value>, VmError> {
+        let tier = if self.options.exec_mode == ExecMode::Linear && code.linear.is_some() {
+            Tier::Linear
+        } else {
+            Tier::Graph
+        };
+        self.profile.record_invocation(code.method.index(), tier);
+        let prev_ctx = self.profile.enter(code.method.index(), tier);
         if let Some(m) = self.options.metrics.on() {
             m.vm.invocations_compiled.inc();
         }
@@ -791,24 +908,37 @@ impl Vm {
                 if let Some(m) = self.options.metrics.on() {
                     m.vm.linear_exec.inc();
                 }
-                pea_compiler::linear::execute(program, self, code, &args)?
+                pea_compiler::linear::execute(program, self, code, &args)
             } else {
                 if let Some(m) = self.options.metrics.on() {
                     m.vm.graph_exec_fallback.inc();
                 }
-                evaluate(program, self, code, &args)?
+                evaluate(program, self, code, &args)
             }
         } else {
-            evaluate(program, self, code, &args)?
+            evaluate(program, self, code, &args)
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => {
+                self.profile.restore(prev_ctx);
+                return Err(e);
+            }
         };
         match outcome {
-            EvalOutcome::Return(v) => Ok(v),
+            EvalOutcome::Return(v) => {
+                self.profile.restore(prev_ctx);
+                Ok(v)
+            }
             EvalOutcome::Deopt {
                 reason,
                 frames,
                 rematerialized,
             } => {
                 self.heap.stats.deopts += 1;
+                // Attributed to the compiled (method, tier) that failed
+                // its speculation — the context is still entered here.
+                self.profile.record_deopt();
                 let method = code.method;
                 let count = self.deopt_counts.entry(method).or_insert(0);
                 *count += 1;
@@ -818,14 +948,22 @@ impl Vm {
                     m.vm.rematerialized_objects.add(rematerialized.len() as u64);
                 }
                 if let Some(sink) = &self.options.trace {
+                    // The innermost deopt frame names the site actually
+                    // executing when the guard failed (it differs from the
+                    // compiled root under inlining).
+                    let (site, bci) = deopt_site(program, &frames, method);
                     // DeoptTaken first: the narrow guard-failure marker,
                     // then the generic deopt record with the inventory.
                     sink.emit_event(&TraceEvent::DeoptTaken {
                         method: program.method(method).qualified_name(program),
+                        site: site.clone(),
+                        bci,
                         reason: reason.to_string(),
                     });
                     sink.emit_event(&TraceEvent::Deopt {
                         method: program.method(method).qualified_name(program),
+                        site,
+                        bci,
                         reason: reason.to_string(),
                         rematerialized,
                     });
@@ -855,6 +993,7 @@ impl Vm {
                         });
                     }
                 }
+                self.profile.restore(prev_ctx);
                 resume(program, self, to_interp_frames(frames))
             }
             EvalOutcome::Unwind {
@@ -870,29 +1009,78 @@ impl Vm {
                 // deopt here for every throw, and exception-heavy but
                 // correctly-speculated methods must stay compiled.
                 self.heap.stats.deopts += 1;
+                self.profile.record_deopt();
                 if let Some(m) = self.options.metrics.on() {
                     m.vm.deopts.inc();
                     m.vm.rematerialized_objects.add(rematerialized.len() as u64);
                 }
                 if let Some(sink) = &self.options.trace {
+                    let (site, bci) = deopt_site(program, &frames, code.method);
                     sink.emit_event(&TraceEvent::Deopt {
                         method: program.method(code.method).qualified_name(program),
+                        site,
+                        bci,
                         reason: "exception-unwind".to_string(),
                         rematerialized,
                     });
                 }
+                self.profile.restore(prev_ctx);
                 unwind(program, self, to_interp_frames(frames), exception)
             }
         }
     }
 
     fn charge_cycles(&mut self, cycles: u64) -> Result<(), VmError> {
+        self.profile.charge(cycles);
         self.heap.stats.cycles += cycles;
         match self.options.fuel {
             Some(limit) if self.heap.stats.cycles > limit => Err(VmError::OutOfFuel),
             _ => Ok(()),
         }
     }
+}
+
+impl Drop for Vm {
+    fn drop(&mut self) {
+        // A panic anywhere above the VM (sanitizer, compiler invariant,
+        // test assertion) unwinds through this drop: persist the flight
+        // ring so the post-mortem has the last events leading up to it.
+        if std::thread::panicking() {
+            self.dump_flight();
+        }
+    }
+}
+
+/// Tees every trace event into the flight ring alongside the user's sink
+/// (which may be absent: the flight recorder works without an event log
+/// attached).
+struct FlightTee {
+    user: Option<SharedSink>,
+    flight: Arc<Mutex<FlightRecorder>>,
+}
+
+impl TraceSink for FlightTee {
+    fn emit(&mut self, event: &TraceEvent) {
+        if let Some(user) = &self.user {
+            user.emit_event(event);
+        }
+        if let Ok(mut ring) = self.flight.lock() {
+            ring.emit(event);
+        }
+    }
+}
+
+/// The `(site, bci)` identity of a deoptimization: the qualified name and
+/// bytecode index of the **innermost** rebuilt frame — the code actually
+/// executing when the guard failed or the exception crossed the compiled
+/// boundary. Under inlining this differs from the compiled root method;
+/// both tiers rebuild the same frame chain, so the identity is
+/// tier-independent. Falls back to `(root, 0)` for an empty chain.
+fn deopt_site(program: &Program, frames: &[DeoptFrame], root: MethodId) -> (String, u32) {
+    frames.last().map_or_else(
+        || (program.method(root).qualified_name(program), 0),
+        |f| (program.method(f.method).qualified_name(program), f.bci),
+    )
 }
 
 /// Converts the deopt frame chain of a compiled method (outermost first)
@@ -1001,6 +1189,9 @@ impl InterpEnv for Vm {
     fn metrics(&self) -> &MetricsHub {
         &self.options.metrics
     }
+    fn profiler(&self) -> &ProfileRecorder {
+        &self.profile
+    }
 }
 
 impl EvalEnv for Vm {
@@ -1029,6 +1220,9 @@ impl EvalEnv for Vm {
         if self.options.jit_mode == JitMode::Background {
             self.drain_background();
         }
+    }
+    fn profiler(&self) -> &ProfileRecorder {
+        &self.profile
     }
 }
 

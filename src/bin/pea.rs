@@ -6,7 +6,11 @@
 //!         [--interp] [--jit-mode sync|background] [--exec-mode linear|graph] [--checked]
 //!         [--trace|--trace-json [PATH]]                # + VM/PEA event log
 //!         [--metrics] [--metrics-json PATH] [--metrics-prom PATH]
+//!         [--flight PATH]                              # flight-recorder dump on failure
 //!         [--profile-in PATH] [--profile-out PATH]     # profile reuse
+//! pea profile <file.asm> <entry> [args...] [--level L] [--jit-mode M] [--exec-mode M]
+//!             [--warmup N] [--top N] [--out DIR]       # cycle-attribution profiler
+//! pea profile --smoke [--out DIR]                      # profile the benchmark corpus
 //! pea trace <file.asm> [method] [--level ...] [--json] # decision trace only
 //! pea dump <file.asm> <method> [--level ...]           # IR before/after
 //! pea dot <file.asm> <method> [--level ...]            # GraphViz output
@@ -30,12 +34,14 @@ use pea::compiler::{compile, compile_traced, CompilerOptions, InlinePolicy, OptL
 use pea::metrics::export::{
     create_file_with_dirs, render_json, render_prometheus, render_text, write_with_dirs,
 };
+use pea::metrics::profile::{ProfilerHub, Reconciliation};
 use pea::metrics::MetricsHub;
 use pea::runtime::profile::ProfileStore;
 use pea::runtime::Value;
-use pea::trace::{JsonLinesSink, PrettySink, SharedSink, TraceSink};
+use pea::trace::timeline::{render_chrome_trace, validate_json};
+use pea::trace::{FlightEntry, JsonLinesSink, PrettySink, SharedSink, TraceSink};
 use pea::vm::{JitMode, Vm, VmOptions};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn parse_level(args: &[String]) -> OptLevel {
@@ -183,6 +189,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     options.trace = trace_sink(rest);
     options.checked = rest.iter().any(|a| a == "--checked");
+    options.flight = flag_value(rest, "--flight").map(PathBuf::from);
     let metrics_text = rest.iter().any(|a| a == "--metrics");
     let metrics_json = flag_value(rest, "--metrics-json");
     let metrics_prom = flag_value(rest, "--metrics-prom");
@@ -255,6 +262,191 @@ fn cmd_run(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One program to be profiled: name, bytecode, entry method and the
+/// per-iteration argument convention.
+struct ProfileTarget {
+    name: String,
+    program: pea::bytecode::Program,
+    entry: String,
+    /// Fixed call arguments; when empty, the iteration index is passed
+    /// (the corpus `iterate(i)` convention).
+    args: Vec<Value>,
+}
+
+/// `pea profile` — run one program (or, with `--smoke`, the whole
+/// benchmark corpus) under the cycle-attribution profiler and emit:
+///
+/// * a top-N `(method, tier)` table and per-opcode breakdown on stdout,
+/// * `PROFILE.json` (`pea-profile/1`, including the reconciliation section),
+/// * `STACKS.txt` collapsed-stack lines for flamegraph generators,
+/// * `TIMELINE.json` Chrome trace-event JSON (Perfetto-loadable).
+///
+/// Exits nonzero if the profiler totals do not reconcile exactly with the
+/// VM's independently maintained counters (cycles, deopts, installs).
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = PathBuf::from(flag_value(args, "--out").unwrap_or("."));
+    let top: usize = flag_value(args, "--top")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let warmup: u64 = flag_value(args, "--warmup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let targets: Vec<ProfileTarget> = if smoke {
+        pea::workloads::all_workloads()
+            .into_iter()
+            .map(|w| ProfileTarget {
+                name: w.name,
+                program: w.program,
+                entry: "iterate".to_string(),
+                args: Vec::new(),
+            })
+            .collect()
+    } else {
+        let [path, entry, rest @ ..] = args else {
+            eprintln!(
+                "usage: pea profile <file.asm> <entry> [int args...] [--level L] \
+                 [--jit-mode sync|background] [--exec-mode linear|graph] [--warmup N] \
+                 [--top N] [--out DIR]  |  pea profile --smoke [--out DIR]"
+            );
+            return ExitCode::from(2);
+        };
+        let call_args: Vec<Value> = rest
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .map(|a| {
+                if a == "null" {
+                    Value::Null
+                } else {
+                    Value::Int(a.parse().unwrap_or_else(|_| {
+                        eprintln!("bad argument `{a}` (int or `null`)");
+                        std::process::exit(2);
+                    }))
+                }
+            })
+            .collect();
+        vec![ProfileTarget {
+            name: entry.clone(),
+            program: load(path),
+            entry: entry.clone(),
+            args: call_args,
+        }]
+    };
+    // One shared hub: same-named methods merge across VMs, totals span the
+    // whole corpus. The VM-side counters the profiler must reconcile with
+    // (`stats.cycles`, `stats.deopts`, `stats.compiles`) are per-VM and
+    // summed here.
+    let hub = ProfilerHub::enabled();
+    let mut recon = Reconciliation::default();
+    // Flight entries of every VM concatenated onto one timeline, each
+    // program offset past the previous one so the lanes read sequentially.
+    let mut timeline: Vec<FlightEntry> = Vec::new();
+    let (mut seq_base, mut t_base) = (0u64, 0u64);
+    for target in &targets {
+        let mut options = VmOptions::with_opt_level(parse_level(args));
+        if let Some(mode) = flag_value(args, "--jit-mode") {
+            options.jit_mode = mode.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        }
+        if let Some(mode) = flag_value(args, "--exec-mode") {
+            options.exec_mode = mode.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        }
+        options.profiler = hub.clone();
+        // The ring is what feeds the timeline; the dump path only
+        // materializes on failure.
+        options.flight = Some(out_dir.join("FLIGHT.json"));
+        let background = options.jit_mode == JitMode::Background;
+        let mut vm = Vm::new(target.program.clone(), options);
+        for i in 0..warmup {
+            let args = if target.args.is_empty() {
+                vec![Value::Int(i as i64)]
+            } else {
+                target.args.clone()
+            };
+            if let Err(e) = vm.call_entry(&target.entry, &args) {
+                eprintln!("{}: {e}", target.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        if background {
+            vm.await_background_compiles();
+        }
+        let stats = vm.stats();
+        recon.stats_cycles += stats.cycles;
+        recon.vm_deopts += stats.deopts;
+        recon.vm_installs += stats.compiles;
+        let mut last = (seq_base, t_base);
+        for e in vm.flight_entries().unwrap_or_default() {
+            let shifted = FlightEntry {
+                seq: seq_base + e.seq,
+                t_us: t_base + e.t_us,
+                event: e.event,
+            };
+            last = (last.0.max(shifted.seq + 1), last.1.max(shifted.t_us + 1));
+            timeline.push(shifted);
+        }
+        (seq_base, t_base) = last;
+    }
+    let snapshot = hub.snapshot().expect("hub is enabled");
+    recon.profiler_cycles = snapshot.total_cycles();
+    recon.profiler_deopts = snapshot.deopts;
+    recon.profiler_installs = snapshot.installs;
+    print!("{}", snapshot.render_top(top));
+    let opcodes = snapshot.render_opcodes(pea::interp::OPCODE_NAMES);
+    if !opcodes.is_empty() {
+        println!("\ninterpreter cycles by opcode:");
+        print!("{opcodes}");
+    }
+    let profile_json = snapshot.to_json(pea::interp::OPCODE_NAMES, Some(&recon));
+    write_output(
+        out_dir.join("PROFILE.json").to_str().unwrap(),
+        &profile_json,
+    );
+    write_output(
+        out_dir.join("STACKS.txt").to_str().unwrap(),
+        &snapshot.collapsed_stacks(),
+    );
+    let timeline_json = render_chrome_trace(&timeline);
+    if let Err(e) = validate_json(&timeline_json) {
+        eprintln!("TIMELINE.json failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    write_output(
+        out_dir.join("TIMELINE.json").to_str().unwrap(),
+        &timeline_json,
+    );
+    println!(
+        "\nwrote {}, {}, {} ({} timeline events)",
+        out_dir.join("PROFILE.json").display(),
+        out_dir.join("STACKS.txt").display(),
+        out_dir.join("TIMELINE.json").display(),
+        timeline.len(),
+    );
+    if !recon.ok() {
+        eprintln!(
+            "profiler/metrics reconciliation FAILED: \
+             cycles {}/{}, deopts {}/{}, installs {}/{}",
+            recon.profiler_cycles,
+            recon.stats_cycles,
+            recon.profiler_deopts,
+            recon.vm_deopts,
+            recon.profiler_installs,
+            recon.vm_installs,
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "reconciliation OK: cycles={} deopts={} installs={}",
+        recon.profiler_cycles, recon.profiler_deopts, recon.profiler_installs
+    );
+    ExitCode::SUCCESS
 }
 
 /// `pea trace <file.asm> [method] [--level L] [--json]` — compile the named
@@ -367,6 +559,7 @@ fn main() -> ExitCode {
     match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "run" => cmd_run(rest),
+            "profile" => cmd_profile(rest),
             "trace" => cmd_trace(rest, false),
             // `pea --trace <file> [method]` shorthand for the subcommand.
             "--trace" => cmd_trace(rest, false),
@@ -376,12 +569,12 @@ fn main() -> ExitCode {
             "disasm" => cmd_disasm(rest),
             other => {
                 eprintln!("unknown command `{other}`");
-                eprintln!("commands: run, trace, dump, dot, disasm");
+                eprintln!("commands: run, profile, trace, dump, dot, disasm");
                 ExitCode::from(2)
             }
         },
         None => {
-            eprintln!("usage: pea <run|trace|dump|dot|disasm> ...");
+            eprintln!("usage: pea <run|profile|trace|dump|dot|disasm> ...");
             ExitCode::from(2)
         }
     }

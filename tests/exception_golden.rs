@@ -279,17 +279,31 @@ fn devirt_guard_failure_orders_deopt_taken_before_deopt() {
             "mode {mode:?}: the failed guard must surface as DeoptTaken"
         );
         for i in &taken {
-            let TraceEvent::DeoptTaken { method, reason } = &log.events[*i] else {
+            let TraceEvent::DeoptTaken {
+                method,
+                site,
+                bci,
+                reason,
+            } = &log.events[*i]
+            else {
                 unreachable!()
             };
+            assert!(
+                !site.is_empty(),
+                "mode {mode:?}: DeoptTaken must name its deopt site"
+            );
             match log.events.get(i + 1) {
                 Some(TraceEvent::Deopt {
                     method: m,
+                    site: s,
+                    bci: b,
                     reason: r,
                     ..
                 }) => {
                     assert_eq!(m, method, "mode {mode:?}: Deopt must follow its DeoptTaken");
                     assert_eq!(r, reason, "mode {mode:?}: reasons must match");
+                    assert_eq!(s, site, "mode {mode:?}: sites must match");
+                    assert_eq!(b, bci, "mode {mode:?}: bcis must match");
                 }
                 other => panic!(
                     "mode {mode:?}: DeoptTaken must be immediately followed \
