@@ -1,0 +1,177 @@
+//! Multi-threaded mutator throughput: N app threads on one VM, each
+//! running the same warmed workload on its own mutator, measured in
+//! thousands of iterations per second of wall clock.
+//!
+//! Usage: `throughput [--smoke] [--out PATH]`
+//!
+//! For every workload the harness warms the main mutator until the hot
+//! methods are compiled, then runs the thread ladder (1, 2, 4, 8, 16; the
+//! `--smoke` CI configuration stops at 2) with [`Vm::run_threads_warm`]:
+//! every thread forks the main mutator's tiering state and drives the
+//! same iteration sequence. Each thread's per-iteration results must be
+//! byte-identical to the single-thread rung — the determinism contract —
+//! and no compiled-call lookup may ever block on the published-code
+//! store's lock (`read_blocked` must stay zero). The harness exits
+//! nonzero on either violation; it does **not** assert scaling ratios,
+//! because CI containers typically pin the process to one or two cores —
+//! scaling is judged from the uploaded `BENCH_THROUGHPUT.json` artifact.
+
+use pea_metrics::export::write_with_dirs;
+use pea_runtime::Value;
+use pea_vm::{CacheStats, OptLevel, Vm, VmOptions};
+use pea_workloads::{all_workloads, Workload};
+use std::path::Path;
+use std::time::Instant;
+
+const WARMUP_ITERS: i64 = 120;
+const LADDER: &[usize] = &[1, 2, 4, 8, 16];
+const SMOKE_LADDER: &[usize] = &[1, 2];
+
+struct Rung {
+    workload: String,
+    threads: usize,
+    iters_per_thread: i64,
+    wall_ms: f64,
+    kiters_per_s: f64,
+    cache: CacheStats,
+    divergences: usize,
+}
+
+/// One thread's work: `iters` warmed iterations, returning the results
+/// the determinism check compares.
+fn drive(m: &mut pea_vm::Mutator, name: &str, iters: i64) -> Vec<Option<Value>> {
+    (0..iters)
+        .map(|i| {
+            m.call_entry("iterate", &[Value::Int(i)])
+                .unwrap_or_else(|e| panic!("{name} iteration {i}: {e}"))
+        })
+        .collect()
+}
+
+fn ladder(workload: &Workload, rungs: &[usize], iters: i64) -> Vec<Rung> {
+    // Warm the main mutator so every forked thread starts compiled.
+    let mut vm = Vm::new(
+        workload.program.clone(),
+        VmOptions::with_opt_level(OptLevel::Pea),
+    );
+    for i in 0..WARMUP_ITERS {
+        vm.call_entry("iterate", &[Value::Int(i)])
+            .unwrap_or_else(|e| panic!("{} warmup {i}: {e}", workload.name));
+    }
+
+    // The single-thread rung is the oracle every wider rung must match.
+    let mut oracle: Option<Vec<Option<Value>>> = None;
+    let mut out = Vec::new();
+    for &threads in rungs {
+        let before = vm.code_cache_stats();
+        let start = Instant::now();
+        let results = vm.run_threads_warm(threads, |_, m| drive(m, &workload.name, iters));
+        let wall = start.elapsed();
+        let cache = vm.code_cache_stats();
+        let oracle = oracle.get_or_insert_with(|| results[0].clone());
+        let divergences = results.iter().filter(|r| *r != oracle).count();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        out.push(Rung {
+            workload: workload.name.clone(),
+            threads,
+            iters_per_thread: iters,
+            wall_ms,
+            kiters_per_s: threads as f64 * iters as f64 / wall.as_secs_f64() / 1e3,
+            cache: CacheStats {
+                read_fast: cache.read_fast - before.read_fast,
+                read_refresh: cache.read_refresh - before.read_refresh,
+                read_stale: cache.read_stale - before.read_stale,
+                read_blocked: cache.read_blocked - before.read_blocked,
+                installs: cache.installs - before.installs,
+                evictions: cache.evictions - before.evictions,
+                reclaimed: cache.reclaimed - before.reclaimed,
+                ..cache
+            },
+            divergences,
+        });
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_THROUGHPUT.json", String::as_str);
+    let (names, rungs, iters): (&[&str], &[usize], i64) = if smoke {
+        (&["fop", "SPECjbb2005"], SMOKE_LADDER, 150)
+    } else {
+        (&["fop", "factorie", "luindex", "SPECjbb2005"], LADDER, 400)
+    };
+    let workloads = all_workloads();
+    let selected: Vec<&Workload> = workloads
+        .iter()
+        .filter(|w| names.contains(&w.name.as_str()))
+        .collect();
+
+    let mut runs = Vec::new();
+    for w in &selected {
+        for rung in ladder(w, rungs, iters) {
+            println!(
+                "{:16} threads={:<2} {:8.1} kiters/s  wall={:7.1}ms  reads(fast/refresh/stale/blocked)={}/{}/{}/{}  divergences={}",
+                rung.workload,
+                rung.threads,
+                rung.kiters_per_s,
+                rung.wall_ms,
+                rung.cache.read_fast,
+                rung.cache.read_refresh,
+                rung.cache.read_stale,
+                rung.cache.read_blocked,
+                rung.divergences
+            );
+            runs.push(rung);
+        }
+    }
+
+    let mut doc = format!(
+        "{{\"schema\":\"pea-throughput/1\",\"smoke\":{smoke},\"iters_per_thread\":{iters},\"runs\":["
+    );
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(
+            "{{\"workload\":\"{}\",\"threads\":{},\"iters_per_thread\":{},\"wall_ms\":{:.3},\"kiters_per_s\":{:.3},\
+             \"cache\":{{\"read_fast\":{},\"read_refresh\":{},\"read_stale\":{},\"read_blocked\":{},\
+             \"installs\":{},\"evictions\":{},\"reclaimed\":{}}},\"divergences\":{}}}",
+            r.workload,
+            r.threads,
+            r.iters_per_thread,
+            r.wall_ms,
+            r.kiters_per_s,
+            r.cache.read_fast,
+            r.cache.read_refresh,
+            r.cache.read_stale,
+            r.cache.read_blocked,
+            r.cache.installs,
+            r.cache.evictions,
+            r.cache.reclaimed,
+            r.divergences
+        ));
+    }
+    doc.push_str("]}\n");
+    if let Err(e) = write_with_dirs(Path::new(out), &doc) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out} ({} rungs)", runs.len());
+
+    let diverged: usize = runs.iter().map(|r| r.divergences).sum();
+    let blocked: u64 = runs.iter().map(|r| r.cache.read_blocked).sum();
+    if diverged > 0 {
+        eprintln!("{diverged} thread run(s) diverged from the single-thread oracle");
+        std::process::exit(1);
+    }
+    if blocked > 0 {
+        eprintln!("{blocked} compiled-call lookup(s) blocked on the store lock");
+        std::process::exit(1);
+    }
+}

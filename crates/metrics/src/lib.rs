@@ -372,6 +372,10 @@ pub struct HeapMetrics {
     pub allocs: Counter,
     /// Total allocated bytes.
     pub bytes: Counter,
+    /// TLAB chunks granted by the shared chunk allocator.
+    pub tlab_chunks: Counter,
+    /// TLAB capacity cells granted by the shared chunk allocator.
+    pub tlab_cells: Counter,
     /// Per-class breakdown (the synthetic name `array` covers arrays).
     pub classes: ClassRegistry,
 }
@@ -477,6 +481,8 @@ impl VmMetrics {
             ),
             ("heap.allocs".into(), self.heap.allocs.get()),
             ("heap.bytes".into(), self.heap.bytes.get()),
+            ("heap.tlab_chunks".into(), self.heap.tlab_chunks.get()),
+            ("heap.tlab_cells".into(), self.heap.tlab_cells.get()),
         ];
         for (name, allocs, bytes) in self.heap.classes.rows() {
             counters.push((format!("heap.class.{name}.allocs"), allocs));
@@ -643,11 +649,37 @@ impl MetricsHub {
 /// table) when the VM attaches metrics, so the per-allocation path is two
 /// atomic adds on the totals plus two on the class cell — no lock, no name
 /// lookup. The default recorder is disabled and records nothing.
+///
+/// [`HeapRecorder::buffered`] builds the *sharded* variant used by
+/// multi-threaded mutator execution: each mutator's recorder accumulates
+/// per-class counts in plain (non-atomic) thread-local fields and folds
+/// them into the shared registry on [`flush`](HeapRecorder::flush) — the
+/// per-allocation path is then free of shared-cache-line traffic entirely,
+/// and the registry stays exact at every quiescent point (outermost call
+/// exit, metrics snapshot, mutator teardown).
 #[derive(Clone, Debug, Default)]
 pub struct HeapRecorder {
     hub: MetricsHub,
     classes: Vec<Arc<ClassCell>>,
     arrays: Option<Arc<ClassCell>>,
+    /// Thread-local shard, present in buffered mode.
+    buffer: Option<Box<AllocBuffer>>,
+}
+
+/// One mutator's unflushed allocation counts (buffered mode).
+#[derive(Clone, Debug, Default)]
+struct AllocBuffer {
+    allocs: u64,
+    bytes: u64,
+    /// Parallel to `HeapRecorder::classes`; `class_allocs.len()` is the
+    /// class count, the last two implicit rows being covered by
+    /// `array_allocs`/`array_bytes`.
+    class_allocs: Vec<u64>,
+    class_bytes: Vec<u64>,
+    array_allocs: u64,
+    array_bytes: u64,
+    tlab_chunks: u64,
+    tlab_cells: u64,
 }
 
 impl HeapRecorder {
@@ -665,7 +697,22 @@ impl HeapRecorder {
                 .map(|name| m.heap.classes.resolve(name))
                 .collect(),
             arrays: Some(m.heap.classes.resolve("array")),
+            buffer: None,
         }
+    }
+
+    /// Builds the sharded variant: counts accumulate locally and reach the
+    /// registry on [`flush`](Self::flush). See the type docs.
+    pub fn buffered<'a>(hub: &MetricsHub, class_names: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut r = HeapRecorder::new(hub, class_names);
+        if r.is_enabled() {
+            r.buffer = Some(Box::new(AllocBuffer {
+                class_allocs: vec![0; r.classes.len()],
+                class_bytes: vec![0; r.classes.len()],
+                ..AllocBuffer::default()
+            }));
+        }
+        r
     }
 
     /// Whether this recorder is attached to an enabled hub.
@@ -676,7 +723,16 @@ impl HeapRecorder {
 
     /// Records an instance allocation of the class at `class_index`.
     #[inline]
-    pub fn record_instance(&self, class_index: usize, bytes: u64) {
+    pub fn record_instance(&mut self, class_index: usize, bytes: u64) {
+        if let Some(b) = &mut self.buffer {
+            b.allocs += 1;
+            b.bytes += bytes;
+            if let Some(slot) = b.class_allocs.get_mut(class_index) {
+                *slot += 1;
+                b.class_bytes[class_index] += bytes;
+            }
+            return;
+        }
         if let Some(m) = self.hub.on() {
             m.heap.allocs.inc();
             m.heap.bytes.add(bytes);
@@ -689,7 +745,14 @@ impl HeapRecorder {
 
     /// Records an array allocation.
     #[inline]
-    pub fn record_array(&self, bytes: u64) {
+    pub fn record_array(&mut self, bytes: u64) {
+        if let Some(b) = &mut self.buffer {
+            b.allocs += 1;
+            b.bytes += bytes;
+            b.array_allocs += 1;
+            b.array_bytes += bytes;
+            return;
+        }
         if let Some(m) = self.hub.on() {
             m.heap.allocs.inc();
             m.heap.bytes.add(bytes);
@@ -698,6 +761,58 @@ impl HeapRecorder {
                 cell.bytes.add(bytes);
             }
         }
+    }
+
+    /// Records one TLAB grant of `chunks` chunks totalling `cells`
+    /// capacity cells (grants grow geometrically, so one grant may span
+    /// several chunks).
+    #[inline]
+    pub fn record_tlab_grant(&mut self, chunks: u64, cells: u64) {
+        if let Some(b) = &mut self.buffer {
+            b.tlab_chunks += chunks;
+            b.tlab_cells += cells;
+            return;
+        }
+        if let Some(m) = self.hub.on() {
+            m.heap.tlab_chunks.add(chunks);
+            m.heap.tlab_cells.add(cells);
+        }
+    }
+
+    /// Folds the thread-local shard into the shared registry and clears
+    /// it. A no-op for the direct (unbuffered) and disabled recorders, and
+    /// when nothing accumulated since the last flush.
+    pub fn flush(&mut self) {
+        let Some(b) = &mut self.buffer else {
+            return;
+        };
+        if b.allocs == 0 && b.tlab_chunks == 0 {
+            return;
+        }
+        let Some(m) = self.hub.on() else {
+            return;
+        };
+        m.heap.allocs.add(b.allocs);
+        m.heap.bytes.add(b.bytes);
+        m.heap.tlab_chunks.add(b.tlab_chunks);
+        m.heap.tlab_cells.add(b.tlab_cells);
+        for (i, cell) in self.classes.iter().enumerate() {
+            if b.class_allocs[i] != 0 {
+                cell.allocs.add(b.class_allocs[i]);
+                cell.bytes.add(b.class_bytes[i]);
+            }
+        }
+        if b.array_allocs != 0 {
+            if let Some(cell) = &self.arrays {
+                cell.allocs.add(b.array_allocs);
+                cell.bytes.add(b.array_bytes);
+            }
+        }
+        **b = AllocBuffer {
+            class_allocs: vec![0; self.classes.len()],
+            class_bytes: vec![0; self.classes.len()],
+            ..AllocBuffer::default()
+        };
     }
 }
 
@@ -905,7 +1020,7 @@ mod tests {
     #[test]
     fn heap_recorder_feeds_totals_and_class_cells() {
         let hub = MetricsHub::enabled();
-        let rec = HeapRecorder::new(&hub, ["Key", "Value"]);
+        let mut rec = HeapRecorder::new(&hub, ["Key", "Value"]);
         assert!(rec.is_enabled());
         rec.record_instance(0, 32);
         rec.record_instance(1, 16);
@@ -921,10 +1036,30 @@ mod tests {
         assert_eq!(snap.counter("heap.class.array.allocs"), 1);
         assert_eq!(snap.counter("heap.class.array.bytes"), 96);
 
-        let off = HeapRecorder::default();
+        let mut off = HeapRecorder::default();
         assert!(!off.is_enabled());
         off.record_instance(0, 8);
         off.record_array(8);
+    }
+
+    #[test]
+    fn buffered_recorder_defers_until_flush() {
+        let hub = MetricsHub::enabled();
+        let mut rec = HeapRecorder::buffered(&hub, ["Key"]);
+        rec.record_instance(0, 32);
+        rec.record_array(96);
+        rec.record_tlab_grant(1, 256);
+        assert_eq!(hub.snapshot().unwrap().counter("heap.allocs"), 0);
+        rec.flush();
+        let snap = hub.snapshot().unwrap();
+        assert_eq!(snap.counter("heap.allocs"), 2);
+        assert_eq!(snap.counter("heap.bytes"), 128);
+        assert_eq!(snap.counter("heap.class.Key.allocs"), 1);
+        assert_eq!(snap.counter("heap.class.array.bytes"), 96);
+        assert_eq!(snap.counter("heap.tlab_chunks"), 1);
+        assert_eq!(snap.counter("heap.tlab_cells"), 256);
+        rec.flush(); // empty flush is a no-op
+        assert_eq!(hub.snapshot().unwrap().counter("heap.allocs"), 2);
     }
 
     #[test]

@@ -26,6 +26,15 @@
 //! When disabled, every recording entry point is a single branch (an
 //! empty-table or `Option` check) with zero allocations, pinned by a
 //! counting-allocator test in `pea-vm`.
+//!
+//! With several mutator threads on one VM, every mutator carries its
+//! **own** [`ProfileRecorder`] — the attribution context (current
+//! method, current tier) is recorder state, so concurrent threads can
+//! never cross-charge each other's cycles. Same-named cells resolved
+//! from one hub share their atomics, so a [`ProfilerHub`] snapshot is
+//! the exact sum over threads; per-thread exactness is asserted in
+//! `crates/vm/tests/threads.rs` (two mutators running distinct methods
+//! match their solo totals cell for cell).
 
 use crate::Counter;
 use std::collections::BTreeMap;

@@ -1,9 +1,11 @@
 //! The managed heap: objects, arrays, monitors and statics.
 
+use crate::tlab::{ChunkAllocator, TLAB_CELLS};
 use crate::{Stats, Value, VmError};
 use pea_bytecode::{ClassId, FieldId, Program, StaticDecl, ValueKind};
 use pea_metrics::HeapRecorder;
 use std::fmt;
+use std::sync::Arc;
 
 /// A non-null reference into the [`Heap`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -105,6 +107,9 @@ pub struct Heap {
     /// Execution statistics, updated by allocation and monitor operations.
     pub stats: Stats,
     recorder: HeapRecorder,
+    /// Shared TLAB capacity source; when set, cell storage grows in
+    /// chunk-granted increments instead of `Vec`'s doubling.
+    tlab: Option<Arc<ChunkAllocator>>,
 }
 
 impl Heap {
@@ -117,6 +122,20 @@ impl Heap {
     /// the per-class counters of the recorder's hub.
     pub fn set_metrics(&mut self, recorder: HeapRecorder) {
         self.recorder = recorder;
+    }
+
+    /// Attaches the VM-wide chunk allocator this heap draws TLAB capacity
+    /// from. Bump allocation stays thread-local; only capacity grants touch
+    /// the (lock-free) shared allocator.
+    pub fn set_chunk_source(&mut self, source: Arc<ChunkAllocator>) {
+        self.tlab = Some(source);
+    }
+
+    /// Folds any buffered per-thread allocation counts into the shared
+    /// metrics registry. Called at quiescent points (outermost call exit,
+    /// metrics snapshot, mutator teardown); a no-op for direct recorders.
+    pub fn flush_metrics(&mut self) {
+        self.recorder.flush();
     }
 
     /// Number of live cells (allocations since creation; nothing is freed).
@@ -161,6 +180,18 @@ impl Heap {
     }
 
     fn push(&mut self, object: HeapObject) -> ObjRef {
+        if let Some(tlab) = &self.tlab {
+            if self.cells.len() == self.cells.capacity() {
+                // Geometric: request enough chunks to double the arena
+                // (minimum one), so repeated growth copies O(n) cells
+                // total while the allocator's accounting stays
+                // chunk-granular.
+                let chunks = self.cells.capacity().max(1).div_ceil(TLAB_CELLS);
+                let cells = tlab.grant_many(chunks);
+                self.cells.reserve_exact(cells);
+                self.recorder.record_tlab_grant(chunks as u64, cells as u64);
+            }
+        }
         self.cells.push(HeapCell {
             object,
             lock_count: 0,
@@ -501,6 +532,30 @@ mod tests {
         assert_eq!(snap.counter("heap.bytes"), heap.stats.alloc_bytes);
         assert_eq!(snap.counter("heap.class.Key.allocs"), 1);
         assert_eq!(snap.counter("heap.class.array.allocs"), 1);
+    }
+
+    #[test]
+    fn tlab_capacity_granted_in_chunks_and_counted() {
+        let (p, key, ..) = program();
+        let hub = pea_metrics::MetricsHub::enabled();
+        let names: Vec<&str> = p.classes.iter().map(|c| c.name.as_str()).collect();
+        let source = Arc::new(ChunkAllocator::new());
+        let mut heap = Heap::new();
+        heap.set_metrics(HeapRecorder::buffered(&hub, names));
+        heap.set_chunk_source(Arc::clone(&source));
+        for _ in 0..TLAB_CELLS + 1 {
+            heap.alloc_instance(&p, key);
+        }
+        assert_eq!(source.chunks_granted(), 2);
+        assert_eq!(source.cells_granted(), 2 * TLAB_CELLS as u64);
+        // Buffered counts are invisible until the quiescent-point flush.
+        assert_eq!(hub.snapshot().unwrap().counter("heap.allocs"), 0);
+        heap.flush_metrics();
+        let snap = hub.snapshot().unwrap();
+        assert_eq!(snap.counter("heap.allocs"), TLAB_CELLS as u64 + 1);
+        assert_eq!(snap.counter("heap.class.Key.allocs"), TLAB_CELLS as u64 + 1);
+        assert_eq!(snap.counter("heap.tlab_chunks"), 2);
+        assert_eq!(snap.counter("heap.tlab_cells"), 2 * TLAB_CELLS as u64);
     }
 
     #[test]

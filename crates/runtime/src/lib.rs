@@ -14,9 +14,11 @@ mod error;
 mod heap;
 pub mod profile;
 mod stats;
+mod tlab;
 mod value;
 
 pub use error::VmError;
 pub use heap::{Heap, HeapObject, ObjRef, Statics};
 pub use stats::Stats;
+pub use tlab::{ChunkAllocator, TLAB_CELLS};
 pub use value::Value;

@@ -274,6 +274,23 @@ impl TraceEvent {
         }
     }
 
+    /// The event with wall-clock-dependent payload zeroed: compile phase
+    /// timings vary run to run, so determinism tests compare normalized
+    /// streams while everything semantic (methods, sites, counts) must
+    /// still match exactly.
+    pub fn normalized(&self) -> TraceEvent {
+        match self {
+            TraceEvent::CompileEnd {
+                method, code_size, ..
+            } => TraceEvent::CompileEnd {
+                method: method.clone(),
+                code_size: *code_size,
+                phases: PhaseMicros::default(),
+            },
+            other => other.clone(),
+        }
+    }
+
     /// Renders the event as one human-readable line (no trailing newline).
     pub fn pretty(&self) -> String {
         match self {

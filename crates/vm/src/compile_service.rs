@@ -4,27 +4,36 @@
 //! This mirrors the HotSpot execution model the paper's system lives in
 //! (§2): compilation happens on **background compiler threads** while the
 //! interpreter keeps serving execution, and finished code is installed at
-//! safepoints. In this reproduction the VM requests a compilation when a
-//! method crosses the hotness threshold, hands the service an immutable
+//! safepoints. In this reproduction a mutator requests a compilation when
+//! a method crosses the hotness threshold, hands the service an immutable
 //! [`ProfileStore`] snapshot (so the artifact is a deterministic function
 //! of the request, independent of concurrent profile updates), keeps
 //! interpreting, and drains finished [`CompiledMethod`]s into its code
 //! cache at the next safepoint (method entry or an interpreter loop
 //! back-edge).
 //!
+//! One service serves **every mutator thread** of a VM. Each mutator
+//! registers a [`Mailbox`]; requests carry the requester's mailbox and
+//! finished outcomes are deposited there, so a mutator only ever installs
+//! what it asked for — its tiering schedule stays a function of its own
+//! execution, exactly as with a private service. Per-mailbox trace merge
+//! sequencing keeps each mutator's event stream pop-deterministic.
+//!
 //! Queue policy:
 //!
 //! * **priority** — requests are ordered by hotness (invocation count at
 //!   request time); ties go to the earlier request;
-//! * **dedup** — a method that is queued, compiling, or finished but not
-//!   yet drained is never enqueued twice;
+//! * **dedup** — a `(mailbox, method)` pair that is queued, compiling, or
+//!   finished but not yet drained is never enqueued twice (two mutators
+//!   may have the same method in flight — each compiles from its own
+//!   profile snapshot);
 //! * **bounded with backpressure** — when `queue_capacity` requests are
 //!   pending, a new request evicts the coldest queued one if the newcomer
 //!   is strictly hotter (the evicted method stays interpreted, keeps
 //!   getting hotter, and is retried at a later threshold check);
 //!   otherwise the newcomer itself is rejected.
 
-use crate::SummaryCache;
+use crate::{SummaryCache, SummaryView};
 use pea_bytecode::{MethodId, Program};
 use pea_compiler::{compile, compile_traced, Bailout, CompiledMethod, CompilerOptions};
 use pea_metrics::MetricsHub;
@@ -32,7 +41,7 @@ use pea_runtime::profile::ProfileStore;
 use pea_trace::{MemorySink, SequencedMerge, SharedSink};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -82,15 +91,50 @@ pub fn default_workers() -> usize {
         .max(1)
 }
 
+/// A mutator's registration with the service: where its finished
+/// compilations are deposited, and the per-mutator trace fan-in.
+///
+/// Obtained from [`CompileService::register_mailbox`]; cheap to clone via
+/// `Arc`. The `ready` counter lets the draining safepoint skip both locks
+/// when nothing has finished — the common case on a hot loop back-edge.
+pub struct Mailbox {
+    id: u64,
+    /// Sequence-ordered fan-in to this mutator's trace sink (`Some` iff a
+    /// sink was attached at registration): each worker buffers a
+    /// compilation's events privately and flushes the block here, keyed by
+    /// per-mailbox pop order, so the mutator sees deterministically
+    /// ordered, never-interleaved compilation streams.
+    merge: Option<SequencedMerge>,
+    /// Next flush sequence for `merge`; assigned when a worker *pops* a
+    /// request of this mailbox (under the queue lock), so the per-mailbox
+    /// sequence is dense and pop-deterministic.
+    flush_seq: AtomicU64,
+    /// Finished-outcome count (lock-free emptiness check for safepoints).
+    ready: AtomicUsize,
+    outcomes: Mutex<Vec<CompileOutcome>>,
+}
+
+impl Mailbox {
+    /// Whether any finished compilation awaits
+    /// [`CompileService::take`].
+    pub fn has_ready(&self) -> bool {
+        self.ready.load(AtomicOrdering::Acquire) != 0
+    }
+}
+
 /// One finished compilation, ready to install at a safepoint.
 #[derive(Debug)]
 pub struct CompileOutcome {
     /// The compiled method.
     pub method: MethodId,
-    /// Eviction epoch of the method at request time; the VM discards
-    /// outcomes from before the latest eviction (their speculation is the
-    /// one that kept deoptimizing).
+    /// Eviction epoch of the method at request time; the requester
+    /// discards outcomes from before its latest eviction (their
+    /// speculation is the one that kept deoptimizing).
     pub epoch: u64,
+    /// Fingerprint of the profile snapshot the request carried; echoed
+    /// back so the installer can publish the artifact to the shared code
+    /// cache under its input identity.
+    pub fingerprint: u64,
     /// The artifact, or the bailout that keeps the method interpreted.
     pub result: Result<CompiledMethod, Bailout>,
     /// Sanitizer inconsistencies (only populated in checked mode; always
@@ -108,7 +152,9 @@ struct Request {
     /// Monotonic sequence number; earlier requests win hotness ties.
     seq: u64,
     epoch: u64,
+    fingerprint: u64,
     method: MethodId,
+    mailbox: Arc<Mailbox>,
     profiles: ProfileStore,
     enqueued_at: Instant,
 }
@@ -137,15 +183,10 @@ impl Ord for Request {
 
 struct Queue {
     heap: BinaryHeap<Request>,
-    /// Methods queued, compiling, or awaiting drain (the dedup set).
-    inflight: HashSet<MethodId>,
+    /// `(mailbox, method)` pairs queued, compiling, or awaiting drain
+    /// (the dedup set).
+    inflight: HashSet<(u64, MethodId)>,
     seq: u64,
-    /// Next trace-flush sequence number, assigned when a worker *pops* a
-    /// request (not when it is enqueued — evicted requests never compile,
-    /// so enqueue-time numbering would leave permanent gaps in the
-    /// [`SequencedMerge`] order). Every popped request flushes exactly
-    /// once, so the merge sequence is dense.
-    flush_seq: u64,
     /// Workers currently compiling.
     active: usize,
     shutdown: bool,
@@ -171,7 +212,7 @@ impl Queue {
             .map(|(i, _)| i)
             .expect("non-empty: min exists");
         let victim = pending.swap_remove(victim_at);
-        self.inflight.remove(&victim.method);
+        self.inflight.remove(&(victim.mailbox.id, victim.method));
         self.heap = pending.into();
         true
     }
@@ -180,12 +221,6 @@ impl Queue {
 struct Shared {
     program: Arc<Program>,
     options: CompilerOptions,
-    /// Sequence-ordered fan-in to the user's trace sink (`Some` iff a sink
-    /// is attached): each worker buffers a compilation's events privately
-    /// and flushes the block here, keyed by pop-order, so downstream
-    /// consumers see deterministically ordered, never-interleaved
-    /// compilation streams.
-    merge: Option<SequencedMerge>,
     metrics: MetricsHub,
     /// Static escape verdicts for the sanitizer; `Some` iff checked mode
     /// is on (computed once at service start, shared by all workers).
@@ -193,6 +228,8 @@ struct Shared {
     /// Summary cache shared with the VM (see
     /// [`CompileServiceOptions::summary_cache`]).
     summary_cache: Option<SummaryCache>,
+    /// Next mailbox id.
+    mailbox_seq: AtomicU64,
     queue: Mutex<Queue>,
     /// Signals workers that work (or shutdown) is available.
     work: Condvar,
@@ -204,21 +241,16 @@ struct Shared {
 /// finish their current compile and exit).
 pub struct CompileService {
     shared: Arc<Shared>,
-    results: Receiver<CompileOutcome>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     capacity: usize,
 }
 
 impl CompileService {
     /// Starts `options.workers` worker threads compiling against
-    /// `program` at `compiler` options. When `trace` is set, each
-    /// compilation's decision events are buffered locally and flushed to
-    /// the sink as one contiguous block on completion (so events from
-    /// parallel compilations never interleave within a method).
+    /// `program` at `compiler` options.
     pub fn start(
         program: Arc<Program>,
         compiler: CompilerOptions,
-        trace: Option<SharedSink>,
         options: &CompileServiceOptions,
     ) -> CompileService {
         let verdicts = options
@@ -227,56 +259,70 @@ impl CompileService {
         let shared = Arc::new(Shared {
             program,
             options: compiler,
-            merge: trace.map(SequencedMerge::new),
             metrics: options.metrics.clone(),
             verdicts,
             summary_cache: options.summary_cache.clone(),
+            mailbox_seq: AtomicU64::new(0),
             queue: Mutex::new(Queue {
                 heap: BinaryHeap::new(),
                 inflight: HashSet::new(),
                 seq: 0,
-                flush_seq: 0,
                 active: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
         });
-        let (tx, rx) = channel();
         let worker_count = options.workers.unwrap_or_else(default_workers).max(1);
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let tx = tx.clone();
                 std::thread::Builder::new()
                     .name(format!("pea-compile-{i}"))
-                    .spawn(move || worker_loop(&shared, &tx))
+                    .spawn(move || worker_loop(&shared))
                     .expect("spawn compile worker")
             })
             .collect();
         CompileService {
             shared,
-            results: rx,
-            workers,
+            workers: Mutex::new(workers),
             capacity: options.queue_capacity.max(1),
         }
     }
 
-    /// Enqueues a compilation of `method` from the given profile
-    /// snapshot. Returns `false` (and does nothing) if the method is
+    /// Registers a mutator with the service. When `trace` is set, each of
+    /// the mutator's compilations flushes its buffered decision events to
+    /// the sink as one contiguous block, in per-mailbox pop order.
+    pub fn register_mailbox(&self, trace: Option<SharedSink>) -> Arc<Mailbox> {
+        Arc::new(Mailbox {
+            id: self
+                .shared
+                .mailbox_seq
+                .fetch_add(1, AtomicOrdering::Relaxed),
+            merge: trace.map(SequencedMerge::new),
+            flush_seq: AtomicU64::new(0),
+            ready: AtomicUsize::new(0),
+            outcomes: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Enqueues a compilation of `method` for `mailbox` from the given
+    /// profile snapshot. Returns `false` (and does nothing) if the pair is
     /// already in flight, or if the queue is full and every pending
     /// request is at least as hot (a full queue evicts its coldest
     /// request to admit a strictly hotter newcomer).
     pub fn request(
         &self,
+        mailbox: &Arc<Mailbox>,
         method: MethodId,
         hotness: u64,
         epoch: u64,
+        fingerprint: u64,
         profiles: ProfileStore,
     ) -> bool {
         let metrics = &self.shared.metrics;
         let mut q = self.lock_queue();
-        if q.inflight.contains(&method) {
+        if q.inflight.contains(&(mailbox.id, method)) {
             if let Some(m) = metrics.on() {
                 m.compile.dedup_rejected.inc();
             }
@@ -294,14 +340,16 @@ impl CompileService {
                 return false;
             }
         }
-        q.inflight.insert(method);
+        q.inflight.insert((mailbox.id, method));
         let seq = q.seq;
         q.seq += 1;
         q.heap.push(Request {
             hotness,
             seq,
             epoch,
+            fingerprint,
             method,
+            mailbox: Arc::clone(mailbox),
             profiles,
             enqueued_at: Instant::now(),
         });
@@ -314,26 +362,31 @@ impl CompileService {
         true
     }
 
-    /// Collects every finished compilation without blocking. Drained
-    /// methods leave the dedup set and may be requested again (the VM
-    /// does so after evictions).
-    pub fn drain(&self) -> Vec<CompileOutcome> {
-        let mut out = Vec::new();
-        while let Ok(outcome) = self.results.try_recv() {
-            self.lock_queue().inflight.remove(&outcome.method);
-            out.push(outcome);
+    /// Collects `mailbox`'s finished compilations without blocking.
+    /// Drained `(mailbox, method)` pairs leave the dedup set and may be
+    /// requested again (the VM does so after evictions). The empty case
+    /// is one atomic load.
+    pub fn take(&self, mailbox: &Mailbox) -> Vec<CompileOutcome> {
+        if !mailbox.has_ready() {
+            return Vec::new();
+        }
+        let out = std::mem::take(&mut *mailbox.outcomes.lock().expect("mailbox poisoned"));
+        mailbox.ready.fetch_sub(out.len(), AtomicOrdering::Release);
+        let mut q = self.lock_queue();
+        for o in &out {
+            q.inflight.remove(&(mailbox.id, o.method));
         }
         out
     }
 
     /// Number of requests in flight (queued, compiling, or awaiting
-    /// drain).
+    /// drain), across every mailbox.
     pub fn inflight(&self) -> usize {
         self.lock_queue().inflight.len()
     }
 
     /// Blocks until the queue is empty and no worker is mid-compile.
-    /// Finished outcomes may still be waiting in [`drain`](Self::drain).
+    /// Finished outcomes may still be waiting in [`take`](Self::take).
     pub fn wait_idle(&self) {
         let mut q = self.lock_queue();
         while !(q.heap.is_empty() && q.active == 0) {
@@ -354,13 +407,22 @@ impl Drop for CompileService {
     fn drop(&mut self) {
         self.lock_queue().shutdown = true;
         self.shared.work.notify_all();
-        for worker in self.workers.drain(..) {
+        let mut workers = self.workers.lock().expect("worker handles poisoned");
+        for worker in workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
+fn worker_loop(shared: &Shared) {
+    // Per-worker replica of the summary cache: once populated, resolving
+    // summaries for a compilation is one atomic load, not a lock — the
+    // same read protocol the mutators use. Invalidations (generation
+    // bumps) are observed on the next resolve.
+    let mut summaries = shared
+        .summary_cache
+        .as_ref()
+        .map(|_| SummaryView::default());
     loop {
         let (request, flush_seq) = {
             let mut q = shared.queue.lock().expect("compile queue poisoned");
@@ -371,10 +433,10 @@ fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
                 if let Some(r) = q.heap.pop() {
                     q.active += 1;
                     // Flush order is fixed here, under the queue lock, so
-                    // the merged trace stream is pop-deterministic however
-                    // the workers themselves get scheduled.
-                    let flush_seq = q.flush_seq;
-                    q.flush_seq += 1;
+                    // each mailbox's merged trace stream is
+                    // pop-deterministic however the workers themselves
+                    // get scheduled.
+                    let flush_seq = r.mailbox.flush_seq.fetch_add(1, AtomicOrdering::Relaxed);
                     if let Some(m) = shared.metrics.on() {
                         m.compile.queue_depth.set(q.heap.len() as i64);
                     }
@@ -383,15 +445,21 @@ fn worker_loop(shared: &Shared, tx: &Sender<CompileOutcome>) {
                 q = shared.work.wait(q).expect("compile queue poisoned");
             }
         };
-        let (result, findings) = run_one(shared, &request, flush_seq);
-        // The VM may already be gone (send fails); nothing to do then.
-        let _ = tx.send(CompileOutcome {
-            method: request.method,
-            epoch: request.epoch,
-            result,
-            findings,
-            enqueued_at: request.enqueued_at,
-        });
+        let (result, findings) = run_one(shared, &request, flush_seq, &mut summaries);
+        let mailbox = Arc::clone(&request.mailbox);
+        mailbox
+            .outcomes
+            .lock()
+            .expect("mailbox poisoned")
+            .push(CompileOutcome {
+                method: request.method,
+                epoch: request.epoch,
+                fingerprint: request.fingerprint,
+                result,
+                findings,
+                enqueued_at: request.enqueued_at,
+            });
+        mailbox.ready.fetch_add(1, AtomicOrdering::Release);
         let mut q = shared.queue.lock().expect("compile queue poisoned");
         q.active -= 1;
         if q.heap.is_empty() && q.active == 0 {
@@ -404,21 +472,27 @@ fn run_one(
     shared: &Shared,
     request: &Request,
     flush_seq: u64,
+    summaries: &mut Option<SummaryView>,
 ) -> (Result<CompiledMethod, Bailout>, Vec<String>) {
     // Resolve interprocedural summaries through the shared cache when the
     // configuration consumes them, so workers and the VM's synchronous
     // path compile against the same set (and the cache's hit/miss
-    // counters cover both JIT modes).
+    // counters cover both JIT modes). Resolution goes through the
+    // worker's view: lock-free once populated.
     let mut options_owned;
-    let options = match &shared.summary_cache {
-        Some(cache) if shared.options.needs_summaries() && shared.options.summaries.is_none() => {
+    let options = match (&shared.summary_cache, summaries) {
+        (Some(cache), Some(view))
+            if shared.options.needs_summaries() && shared.options.summaries.is_none() =>
+        {
             options_owned = shared.options.clone();
-            options_owned.summaries = Some(cache.resolve(&shared.program, &shared.metrics));
+            options_owned.summaries =
+                Some(cache.resolve_view(view, &shared.program, &shared.metrics));
             &options_owned
         }
         _ => &shared.options,
     };
-    if shared.merge.is_none() && shared.verdicts.is_none() && !shared.metrics.is_enabled() {
+    let merge = &request.mailbox.merge;
+    if merge.is_none() && shared.verdicts.is_none() && !shared.metrics.is_enabled() {
         let result = compile(
             &shared.program,
             request.method,
@@ -452,9 +526,9 @@ fn run_one(
         .collect();
     }
     if let Some(m) = shared.metrics.on() {
-        crate::record_compile_metrics(m, &buffer.events, &result);
+        crate::record_compile_metrics(m, &buffer.events, result.as_ref());
     }
-    if let Some(merge) = &shared.merge {
+    if let Some(merge) = merge {
         merge.flush(flush_seq, buffer.events);
     }
     (result, findings)
@@ -469,22 +543,36 @@ mod tests {
             heap: BinaryHeap::new(),
             inflight: HashSet::new(),
             seq: 0,
-            flush_seq: 0,
             active: 0,
             shutdown: false,
         }
     }
 
-    fn push(q: &mut Queue, method: u32, hotness: u64) {
+    fn mailbox() -> Arc<Mailbox> {
+        Arc::new(Mailbox {
+            id: 0,
+            merge: None,
+            flush_seq: AtomicU64::new(0),
+            ready: AtomicUsize::new(0),
+            outcomes: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn push(q: &mut Queue, mailbox: &Arc<Mailbox>, method: u32, hotness: u64) {
         let method = MethodId::from_index(method as usize);
-        assert!(q.inflight.insert(method), "test enqueued {method:?} twice");
+        assert!(
+            q.inflight.insert((mailbox.id, method)),
+            "test enqueued {method:?} twice"
+        );
         let seq = q.seq;
         q.seq += 1;
         q.heap.push(Request {
             hotness,
             seq,
             epoch: 0,
+            fingerprint: 0,
             method,
+            mailbox: Arc::clone(mailbox),
             profiles: ProfileStore::new(),
             enqueued_at: Instant::now(),
         });
@@ -503,14 +591,15 @@ mod tests {
     #[test]
     fn evicts_the_coldest_for_a_strictly_hotter_newcomer() {
         let mut q = queue();
-        push(&mut q, 0, 50);
-        push(&mut q, 1, 80);
-        push(&mut q, 2, 120);
+        let mb = mailbox();
+        push(&mut q, &mb, 0, 50);
+        push(&mut q, &mb, 1, 80);
+        push(&mut q, &mb, 2, 120);
         assert!(q.evict_coldest_below(60));
         assert_eq!(queued_methods(&q), vec![(1, 80), (2, 120)]);
         // The victim left the dedup set: it may be re-requested later.
-        assert!(!q.inflight.contains(&MethodId::from_index(0)));
-        assert!(q.inflight.contains(&MethodId::from_index(1)));
+        assert!(!q.inflight.contains(&(mb.id, MethodId::from_index(0))));
+        assert!(q.inflight.contains(&(mb.id, MethodId::from_index(1))));
     }
 
     #[test]
@@ -518,18 +607,20 @@ mod tests {
         // Strictly-hotter only: otherwise two equally hot methods would
         // displace each other forever without either compiling.
         let mut q = queue();
-        push(&mut q, 0, 50);
-        push(&mut q, 1, 80);
+        let mb = mailbox();
+        push(&mut q, &mb, 0, 50);
+        push(&mut q, &mb, 1, 80);
         assert!(!q.evict_coldest_below(50));
         assert_eq!(queued_methods(&q), vec![(0, 50), (1, 80)]);
-        assert!(q.inflight.contains(&MethodId::from_index(0)));
+        assert!(q.inflight.contains(&(mb.id, MethodId::from_index(0))));
     }
 
     #[test]
     fn among_equally_cold_requests_the_newest_is_evicted() {
         let mut q = queue();
-        push(&mut q, 0, 50); // older request at the coldest hotness
-        push(&mut q, 1, 50); // newer request at the coldest hotness
+        let mb = mailbox();
+        push(&mut q, &mb, 0, 50); // older request at the coldest hotness
+        push(&mut q, &mb, 1, 50); // newer request at the coldest hotness
         assert!(q.evict_coldest_below(99));
         // FIFO among ties: the earlier request keeps its slot.
         assert_eq!(queued_methods(&q), vec![(0, 50)]);
@@ -538,7 +629,8 @@ mod tests {
     #[test]
     fn capacity_one_queue_still_upgrades() {
         let mut q = queue();
-        push(&mut q, 0, 10);
+        let mb = mailbox();
+        push(&mut q, &mb, 0, 10);
         assert!(!q.evict_coldest_below(10), "not strictly hotter");
         assert!(q.evict_coldest_below(11));
         assert!(q.heap.is_empty());
@@ -546,27 +638,36 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_requests_are_rejected_regardless_of_hotness() {
+    fn duplicate_requests_are_rejected_per_mailbox() {
         let program =
             pea_bytecode::asm::parse_program("method f 1 returns { load 0 const 1 add retv }")
                 .unwrap();
         let service = CompileService::start(
             Arc::new(program),
             CompilerOptions::default(),
-            None,
             &CompileServiceOptions {
                 workers: Some(1),
-                queue_capacity: 1,
+                queue_capacity: 4,
                 checked: false,
                 metrics: MetricsHub::disabled(),
                 summary_cache: None,
             },
         );
+        let a = service.register_mailbox(None);
+        let b = service.register_mailbox(None);
         let m = MethodId::from_index(0);
-        assert!(service.request(m, 5, 0, ProfileStore::new()));
+        assert!(service.request(&a, m, 5, 0, 0, ProfileStore::new()));
         // In flight (queued or compiling): dedup rejects, even hotter.
-        assert!(!service.request(m, 100, 0, ProfileStore::new()));
+        assert!(!service.request(&a, m, 100, 0, 0, ProfileStore::new()));
+        // A different mutator's request for the same method is distinct.
+        assert!(service.request(&b, m, 5, 0, 0, ProfileStore::new()));
         service.wait_idle();
-        assert_eq!(service.drain().len(), 1);
+        assert_eq!(service.take(&a).len(), 1);
+        assert_eq!(service.take(&b).len(), 1);
+        assert!(!a.has_ready() && !b.has_ready());
+        // Drained: the pair may be requested again.
+        assert!(service.request(&a, m, 5, 0, 0, ProfileStore::new()));
+        service.wait_idle();
+        assert_eq!(service.take(&a).len(), 1);
     }
 }

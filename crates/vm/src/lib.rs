@@ -10,6 +10,28 @@
 //! §5.5) and resumes interpretation. Methods that deoptimize repeatedly
 //! are evicted, re-profiled and recompiled.
 //!
+//! # Threading model
+//!
+//! One VM hosts **N mutator threads**. The state split is:
+//!
+//! * [`VmShared`] — everything program-wide and thread-safe: the program,
+//!   the safepoint-published shared [`CodeCache`], the
+//!   [`SafepointRegistry`] rendezvous, the background [`CompileService`]
+//!   (started lazily, shared by every mutator), the static-verdict and
+//!   interprocedural-summary caches, and the TLAB chunk allocator.
+//! * [`Mutator`] — everything per-thread and lock-free on the hot path:
+//!   the heap (a private bump arena fed TLAB chunks by the shared
+//!   allocator), statics, profiles, the **pinned** code cache (a plain
+//!   `HashMap` — compiled-call dispatch performs no lock acquisition and
+//!   no shared access), the cycle-attribution recorder, and the trace tee.
+//!
+//! [`Vm`] owns the shared state plus a main mutator and dereferences to
+//! it, so single-threaded use is unchanged. [`Vm::spawn_mutator`] /
+//! [`Vm::run_threads`] run additional mutators; each behaves exactly like
+//! a solo VM over its own workload (same results, same virtual cycles,
+//! same PEA decision traces), which the cross-thread determinism tests
+//! assert byte-for-byte.
+//!
 //! ```
 //! use pea_vm::{Vm, VmOptions, OptLevel};
 //! use pea_bytecode::asm::parse_program;
@@ -24,8 +46,11 @@
 //! ```
 
 pub mod compile_service;
+pub mod publish;
 
-pub use compile_service::{default_workers, CompileService, CompileServiceOptions};
+pub use compile_service::{
+    default_workers, CompileOutcome, CompileService, CompileServiceOptions, Mailbox,
+};
 use pea_analysis::ProgramSummaries;
 use pea_bytecode::{MethodId, Program};
 use pea_compiler::DeoptFrame;
@@ -39,13 +64,18 @@ pub use pea_metrics::profile::{ProfileRecorder, ProfilerHub, Tier};
 pub use pea_metrics::MetricsHub;
 use pea_metrics::{HeapRecorder, MetricsSnapshot, VmMetrics};
 use pea_runtime::profile::ProfileStore;
-use pea_runtime::{Heap, HeapObject, ObjRef, Statics, Stats, Value, VmError};
+use pea_runtime::{ChunkAllocator, Heap, HeapObject, ObjRef, Statics, Stats, Value, VmError};
 pub use pea_trace::SharedSink;
 use pea_trace::{FlightEntry, FlightRecorder, TraceEvent, TraceSink};
+pub use publish::{
+    CacheStats, CacheView, CachedCompile, CodeCache, MutatorSlot, SafepointRegistry, MAX_VARIANTS,
+};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How JIT compilation is scheduled.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -130,7 +160,10 @@ pub struct VmOptions {
     pub compile_queue_capacity: usize,
     /// Optional event log: compiles (with every PEA decision), deopts
     /// (with rematerialization inventories), evictions and recompiles all
-    /// flow into this sink. `None` (the default) is zero-cost.
+    /// flow into this sink. `None` (the default) is zero-cost. The sink is
+    /// **per mutator**: spawned mutators start without one and attach
+    /// their own via [`Mutator::set_trace`], so event streams never
+    /// interleave across threads.
     pub trace: Option<SharedSink>,
     /// Cross-check every compilation's PEA decisions against the static
     /// escape pre-analysis (see `pea-analysis`): virtualized/lock-elided
@@ -141,7 +174,9 @@ pub struct VmOptions {
     pub checked: bool,
     /// Metrics handle shared by every layer (interpreter, tiering,
     /// compile service, PEA, heap). The default disabled hub records
-    /// nothing at the cost of one branch per site.
+    /// nothing at the cost of one branch per site. With several mutators
+    /// the hub aggregates: totals are the sum over threads (spawned
+    /// mutators buffer heap counters thread-locally and fold on flush).
     pub metrics: MetricsHub,
     /// In background mode, emit a [`TraceEvent::MetricsSnapshot`] delta
     /// into the trace sink every this-many installing safepoints (0
@@ -151,7 +186,10 @@ pub struct VmOptions {
     /// nothing at the cost of at most one branch per charge site; when
     /// enabled, every charged cycle and every heap allocation is
     /// attributed to the `(method, tier)` executing it, with per-bci and
-    /// per-opcode hot-spot buckets for interpreted code.
+    /// per-opcode hot-spot buckets for interpreted code. Each mutator
+    /// carries its own recorder context, so concurrent threads never
+    /// cross-charge; same-named cells merge in the hub, making totals the
+    /// sum over threads.
     pub profiler: ProfilerHub,
     /// Flight-recorder dump path. When set, the VM tees every trace event
     /// into a bounded in-memory ring (alongside `trace`, which may stay
@@ -200,18 +238,40 @@ impl Default for VmOptions {
 }
 
 /// Shared cache of interprocedural escape summaries, consulted by the
-/// synchronous compile path and every background compile worker of one VM.
+/// synchronous compile path of every mutator and every background compile
+/// worker of one VM.
 ///
 /// Summaries are a function of the program bytecode alone, so one
 /// computation serves every compilation; the cache still follows the code
 /// cache's invalidation discipline (cleared on method eviction, so a
 /// recompile after re-profiling starts from a fresh slot) to keep the
 /// summary lifetime observable and never longer than the compiled code it
-/// informed. Hits and misses are counted in
-/// `compile.summary_cache_hits` / `compile.summary_cache_misses`.
+/// informed.
+///
+/// Readers hold a [`SummaryView`] and resolve through
+/// [`resolve_view`](Self::resolve_view): once populated, a resolve is one
+/// `Acquire` generation load plus an `Arc` clone of the reader's replica —
+/// no lock. The generation advances only on
+/// [`invalidate`](Self::invalidate), which readers observe coherently (a
+/// stale replica is never returned after its invalidation). Hits and
+/// misses are counted in `compile.summary_cache_hits` /
+/// `compile.summary_cache_misses`.
 #[derive(Clone, Debug, Default)]
 pub struct SummaryCache {
+    /// Bumped on invalidation, under the slot lock; readers compare
+    /// against their view with one `Acquire` load.
+    generation: Arc<AtomicU64>,
     slot: Arc<Mutex<Option<Arc<ProgramSummaries>>>>,
+}
+
+/// A reader's replica of the [`SummaryCache`]: the generation it reflects
+/// plus the summaries resolved at that generation. Lets repeated resolves
+/// skip the cache lock entirely until an invalidation moves the
+/// generation.
+#[derive(Debug, Default)]
+pub struct SummaryView {
+    generation: u64,
+    cached: Option<Arc<ProgramSummaries>>,
 }
 
 impl SummaryCache {
@@ -219,27 +279,74 @@ impl SummaryCache {
         SummaryCache::default()
     }
 
-    /// The cached summaries, computing and caching them on miss.
-    pub fn resolve(&self, program: &Program, metrics: &MetricsHub) -> Arc<ProgramSummaries> {
+    /// A fresh, unpopulated view at the current generation.
+    pub fn view(&self) -> SummaryView {
+        SummaryView {
+            generation: self.generation.load(Ordering::Acquire),
+            cached: None,
+        }
+    }
+
+    /// Resolves through `view`: when the view is populated and the
+    /// generation has not moved, the replica answers without touching the
+    /// lock (counted as a hit — the shared slot is populated whenever a
+    /// replica of the current generation exists). Otherwise falls back to
+    /// the locked path and repopulates the view.
+    pub fn resolve_view(
+        &self,
+        view: &mut SummaryView,
+        program: &Program,
+        metrics: &MetricsHub,
+    ) -> Arc<ProgramSummaries> {
+        if self.generation.load(Ordering::Acquire) == view.generation {
+            if let Some(s) = &view.cached {
+                if let Some(m) = metrics.on() {
+                    m.compile.summary_cache_hits.inc();
+                }
+                return Arc::clone(s);
+            }
+        }
+        let (generation, s) = self.resolve_slow(program, metrics);
+        view.generation = generation;
+        view.cached = Some(Arc::clone(&s));
+        s
+    }
+
+    /// The cached summaries, computing and caching them on miss. Locked
+    /// path; the generation is read under the slot lock (it only moves
+    /// there), so the returned pair is coherent for view repopulation.
+    fn resolve_slow(
+        &self,
+        program: &Program,
+        metrics: &MetricsHub,
+    ) -> (u64, Arc<ProgramSummaries>) {
         let mut slot = self.slot.lock().expect("summary cache poisoned");
         if let Some(s) = &*slot {
             if let Some(m) = metrics.on() {
                 m.compile.summary_cache_hits.inc();
             }
-            return Arc::clone(s);
+            return (self.generation.load(Ordering::Acquire), Arc::clone(s));
         }
         if let Some(m) = metrics.on() {
             m.compile.summary_cache_misses.inc();
         }
         let s = Arc::new(ProgramSummaries::compute(program));
         *slot = Some(Arc::clone(&s));
-        s
+        (self.generation.load(Ordering::Acquire), s)
     }
 
-    /// Drops the cached summaries; the next [`resolve`](Self::resolve)
-    /// recomputes.
+    /// The cached summaries, computing and caching them on miss (the
+    /// viewless compatibility path; always takes the lock).
+    pub fn resolve(&self, program: &Program, metrics: &MetricsHub) -> Arc<ProgramSummaries> {
+        self.resolve_slow(program, metrics).1
+    }
+
+    /// Drops the cached summaries and advances the generation; every
+    /// reader's next resolve goes through the locked path and recomputes.
     pub fn invalidate(&self) {
-        *self.slot.lock().expect("summary cache poisoned") = None;
+        let mut slot = self.slot.lock().expect("summary cache poisoned");
+        *slot = None;
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Whether the cache currently holds summaries.
@@ -248,31 +355,146 @@ impl SummaryCache {
     }
 }
 
-/// The virtual machine.
-pub struct Vm {
+/// The state one VM shares across all of its mutator threads. Everything
+/// here is thread-safe; per-thread state lives on [`Mutator`].
+pub struct VmShared {
     program: Arc<Program>,
+    /// Template options for spawned mutators: the user's options with the
+    /// per-mutator sinks (`trace`, `flight`) stripped.
+    options: VmOptions,
+    /// The safepoint-published shared code store (see [`publish`]).
+    code_cache: CodeCache,
+    /// The mutator rendezvous: eviction storage is reclaimed only after
+    /// every registered, running mutator polls past the retire generation.
+    safepoints: SafepointRegistry,
+    /// Background compilation pool, started lazily on the first request
+    /// from any mutator.
+    service: OnceLock<CompileService>,
+    /// Static escape verdicts for the sanitizer, computed lazily on the
+    /// first checked compilation.
+    verdicts: OnceLock<Arc<pea_analysis::StaticVerdicts>>,
+    /// Interprocedural summary cache shared with the compile service.
+    summary_cache: SummaryCache,
+    /// TLAB chunk allocator: every mutator heap draws bump-arena capacity
+    /// from here in [`pea_runtime::TLAB_CELLS`]-sized chunks.
+    chunks: Arc<ChunkAllocator>,
+    /// `(qualified name, code length)` per method, precomputed once for
+    /// constructing per-mutator profiler recorders.
+    profile_names: Vec<(String, usize)>,
+}
+
+impl VmShared {
+    /// The executed program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The shared published-code store.
+    pub fn code_cache(&self) -> &CodeCache {
+        &self.code_cache
+    }
+
+    /// The safepoint rendezvous registry.
+    pub fn safepoints(&self) -> &SafepointRegistry {
+        &self.safepoints
+    }
+
+    /// The TLAB chunk allocator.
+    pub fn chunk_allocator(&self) -> &Arc<ChunkAllocator> {
+        &self.chunks
+    }
+
+    /// Constructs a mutator against this shared state. The main mutator
+    /// records heap metrics directly (preserving single-threaded snapshot
+    /// behavior); spawned mutators buffer thread-locally and fold on
+    /// flush, so concurrent threads do not contend on the shared atomics.
+    fn new_mutator(self: &Arc<VmShared>, mut options: VmOptions, main: bool) -> Mutator {
+        let statics = Statics::new(&self.program.statics);
+        let mut heap = Heap::new();
+        heap.set_chunk_source(Arc::clone(&self.chunks));
+        if options.metrics.is_enabled() {
+            let classes = self.program.classes.iter().map(|c| c.name.as_str());
+            heap.set_metrics(if main {
+                HeapRecorder::new(&options.metrics, classes)
+            } else {
+                HeapRecorder::buffered(&options.metrics, classes)
+            });
+        }
+        let profile = ProfileRecorder::new(
+            &options.profiler,
+            self.profile_names.iter().map(|(n, l)| (n.as_str(), *l)),
+        );
+        let flight = options.flight.as_ref().map(|_| {
+            let ring = Arc::new(Mutex::new(FlightRecorder::new()));
+            let tee = FlightTee {
+                user: options.trace.take(),
+                flight: Arc::clone(&ring),
+            };
+            options.trace = Some(SharedSink::new(tee).0);
+            ring
+        });
+        let view = self.code_cache.view();
+        let slot = self.safepoints.register(view.generation());
+        let summaries = self.summary_cache.view();
+        Mutator {
+            shared: Arc::clone(self),
+            heap,
+            statics,
+            profiles: ProfileStore::new(),
+            pinned: HashMap::new(),
+            bailed_out: HashSet::new(),
+            deopt_counts: HashMap::new(),
+            evicted: HashSet::new(),
+            evict_epochs: HashMap::new(),
+            mailbox: None,
+            slot,
+            view,
+            summaries,
+            profile,
+            flight,
+            options,
+            depth: 0,
+            snapshot_polls: 0,
+            snapshot_seq: 0,
+            last_snapshot: MetricsSnapshot::default(),
+        }
+    }
+}
+
+/// One mutator thread's execution state: interpreter state, heap,
+/// profiles, pinned code cache, profiler context and trace tee. Obtained
+/// from [`Vm::spawn_mutator`] (or implicitly as the [`Vm`]'s main
+/// mutator); safe to move to another thread.
+pub struct Mutator {
+    shared: Arc<VmShared>,
     heap: Heap,
     statics: Statics,
     profiles: ProfileStore,
-    code_cache: HashMap<MethodId, Arc<CompiledMethod>>,
+    /// The dispatch hot path: compiled methods this mutator installed.
+    /// Thread-private — a compiled call performs no lock acquisition and
+    /// no shared-memory access beyond its own map.
+    pinned: HashMap<MethodId, Arc<CompiledMethod>>,
     bailed_out: HashSet<MethodId>,
     deopt_counts: HashMap<MethodId, u64>,
     /// Methods evicted at least once (a later compile is a recompile).
     evicted: HashSet<MethodId>,
     /// Per-method eviction epoch; background outcomes compiled before the
-    /// latest eviction are discarded (their speculation is the one that
-    /// kept deoptimizing).
+    /// mutator's latest eviction are discarded (their speculation is the
+    /// one that kept deoptimizing).
     evict_epochs: HashMap<MethodId, u64>,
-    /// Background compilation pool, started lazily on the first request.
-    service: Option<CompileService>,
-    /// Static escape verdicts for the sanitizer, computed lazily on the
-    /// first checked compilation.
-    verdicts: Option<Arc<pea_analysis::StaticVerdicts>>,
-    /// Interprocedural summary cache shared with the compile service.
-    summary_cache: SummaryCache,
+    /// This mutator's registration with the shared compile service,
+    /// created lazily with the first background request.
+    mailbox: Option<Arc<Mailbox>>,
+    /// This mutator's slot in the safepoint rendezvous.
+    slot: Arc<MutatorSlot>,
+    /// Replica of the shared code store, refreshed non-blockingly at
+    /// safepoints.
+    view: CacheView,
+    /// Replica of the summary cache.
+    summaries: SummaryView,
     /// Cycle-attribution recorder (disabled by default: one branch per
-    /// charge site, zero allocations). Methods are pre-resolved by index
-    /// at construction, mirroring [`HeapRecorder`].
+    /// charge site, zero allocations). Per-mutator context — concurrent
+    /// threads never cross-charge; cells merge in the shared hub.
     profile: ProfileRecorder,
     /// Flight-recorder ring, present when [`VmOptions::flight`] is set.
     /// Every trace event is teed into it via the sink chain.
@@ -288,65 +510,156 @@ pub struct Vm {
     last_snapshot: MetricsSnapshot,
 }
 
+/// The virtual machine: the shared state plus its main mutator.
+/// Dereferences to [`Mutator`], so single-threaded call sites are
+/// unchanged.
+pub struct Vm {
+    shared: Arc<VmShared>,
+    main: Mutator,
+}
+
+impl std::ops::Deref for Vm {
+    type Target = Mutator;
+
+    fn deref(&self) -> &Mutator {
+        &self.main
+    }
+}
+
+impl std::ops::DerefMut for Vm {
+    fn deref_mut(&mut self) -> &mut Mutator {
+        &mut self.main
+    }
+}
+
 impl Vm {
     /// Creates a VM for `program`.
-    pub fn new(program: Program, mut options: VmOptions) -> Vm {
-        let statics = Statics::new(&program.statics);
-        let mut heap = Heap::new();
-        if options.metrics.is_enabled() {
-            heap.set_metrics(HeapRecorder::new(
-                &options.metrics,
-                program.classes.iter().map(|c| c.name.as_str()),
-            ));
-        }
-        let names: Vec<(String, usize)> = (0..program.methods.len())
+    pub fn new(program: Program, options: VmOptions) -> Vm {
+        let program = Arc::new(program);
+        let profile_names: Vec<(String, usize)> = (0..program.methods.len())
             .map(|i| {
                 let m = program.method(MethodId::from_index(i));
                 (m.qualified_name(&program), m.code.len())
             })
             .collect();
-        let profile = ProfileRecorder::new(
-            &options.profiler,
-            names.iter().map(|(n, l)| (n.as_str(), *l)),
-        );
-        let flight = options.flight.as_ref().map(|_| {
-            let ring = Arc::new(Mutex::new(FlightRecorder::new()));
-            let tee = FlightTee {
-                user: options.trace.take(),
-                flight: Arc::clone(&ring),
-            };
-            options.trace = Some(SharedSink::new(tee).0);
-            ring
-        });
-        Vm {
-            program: Arc::new(program),
-            heap,
-            statics,
-            profiles: ProfileStore::new(),
-            code_cache: HashMap::new(),
-            bailed_out: HashSet::new(),
-            deopt_counts: HashMap::new(),
-            evicted: HashSet::new(),
-            evict_epochs: HashMap::new(),
-            service: None,
-            verdicts: None,
+        let template = VmOptions {
+            trace: None,
+            flight: None,
+            ..options.clone()
+        };
+        let shared = Arc::new(VmShared {
+            program,
+            options: template,
+            code_cache: CodeCache::new(),
+            safepoints: SafepointRegistry::new(),
+            service: OnceLock::new(),
+            verdicts: OnceLock::new(),
             summary_cache: SummaryCache::new(),
-            profile,
-            flight,
-            options,
-            depth: 0,
-            snapshot_polls: 0,
-            snapshot_seq: 0,
-            last_snapshot: MetricsSnapshot::default(),
-        }
+            chunks: Arc::new(ChunkAllocator::new()),
+            profile_names,
+        });
+        let main = shared.new_mutator(options, true);
+        Vm { shared, main }
     }
 
-    /// Attaches (or replaces) the VM event-log sink after construction.
+    /// The shared half of the VM (read access for tests and harnesses).
+    pub fn shared(&self) -> &Arc<VmShared> {
+        &self.shared
+    }
+
+    /// Spawns a fresh mutator on this VM: its own heap, statics, profiles
+    /// and pinned code, sharing the program, the published-code store, the
+    /// compile service and the metrics/profiler hubs. Move it to another
+    /// thread and call into it exactly like a solo VM.
+    pub fn spawn_mutator(&self) -> Mutator {
+        self.shared.new_mutator(self.shared.options.clone(), false)
+    }
+
+    /// Spawns a mutator pre-warmed from the main mutator's **tiering
+    /// state**: profiles, pinned compiled code, bailout and eviction
+    /// records are cloned, so the new thread starts at the main mutator's
+    /// tier without re-profiling. Application state (heap, statics) starts
+    /// fresh — warm spawning shares code, not data.
+    pub fn spawn_warm_mutator(&self) -> Mutator {
+        self.main.fork()
+    }
+
+    /// Runs `f(thread_index, &mut mutator)` on `n` freshly spawned
+    /// mutators, one OS thread each, and returns the results in thread
+    /// order. Panics propagate.
+    pub fn run_threads<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut Mutator) -> T + Sync,
+    {
+        let mutators = (0..n).map(|_| self.spawn_mutator()).collect();
+        run_mutators(mutators, f)
+    }
+
+    /// [`run_threads`](Self::run_threads) over pre-warmed mutators (see
+    /// [`spawn_warm_mutator`](Self::spawn_warm_mutator)).
+    pub fn run_threads_warm<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut Mutator) -> T + Sync,
+    {
+        let mutators = (0..n).map(|_| self.spawn_warm_mutator()).collect();
+        run_mutators(mutators, f)
+    }
+}
+
+/// Runs each mutator on its own scoped thread and collects results in
+/// thread order; a panicking thread re-raises on the caller.
+fn run_mutators<T, F>(mutators: Vec<Mutator>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Mutator) -> T + Sync,
+{
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = mutators
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut m)| scope.spawn(move || f(i, &mut m)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+impl Mutator {
+    /// The shared half of the VM this mutator belongs to.
+    pub fn vm_shared(&self) -> &Arc<VmShared> {
+        &self.shared
+    }
+
+    /// Counter snapshot of the shared published-code store.
+    pub fn code_cache_stats(&self) -> CacheStats {
+        self.shared.code_cache.stats()
+    }
+
+    /// Spawns a mutator pre-warmed from this one's tiering state (see
+    /// [`Vm::spawn_warm_mutator`]).
+    pub fn fork(&self) -> Mutator {
+        let mut m = self.shared.new_mutator(self.shared.options.clone(), false);
+        m.profiles = self.profiles.clone();
+        m.pinned = self.pinned.clone();
+        m.bailed_out = self.bailed_out.clone();
+        m.deopt_counts = self.deopt_counts.clone();
+        m.evicted = self.evicted.clone();
+        m.evict_epochs = self.evict_epochs.clone();
+        m
+    }
+
+    /// Attaches (or replaces) this mutator's event-log sink after
+    /// construction.
     ///
     /// In background mode, attach the sink before the first method turns
-    /// hot: the compile service captures the sink when it starts. When the
-    /// flight recorder is active, the new sink is teed through it so the
-    /// ring keeps seeing every event.
+    /// hot: the compile service captures the sink when the mutator's
+    /// mailbox registers. When the flight recorder is active, the new sink
+    /// is teed through it so the ring keeps seeing every event.
     pub fn set_trace(&mut self, sink: SharedSink) {
         self.options.trace = Some(match &self.flight {
             Some(ring) => {
@@ -395,7 +708,7 @@ impl Vm {
 
     /// The executed program.
     pub fn program(&self) -> &Program {
-        &self.program
+        &self.shared.program
     }
 
     /// Cumulative execution statistics.
@@ -430,19 +743,19 @@ impl Vm {
         &self.statics
     }
 
-    /// Number of methods currently JIT-compiled.
+    /// Number of methods currently JIT-compiled (pinned by this mutator).
     pub fn compiled_method_count(&self) -> usize {
-        self.code_cache.len()
+        self.pinned.len()
     }
 
-    /// The compiled form of `method`, if it is in the code cache.
+    /// The compiled form of `method`, if this mutator has it pinned.
     pub fn compiled(&self, method: MethodId) -> Option<&CompiledMethod> {
-        self.code_cache.get(&method).map(Arc::as_ref)
+        self.pinned.get(&method).map(Arc::as_ref)
     }
 
-    /// Methods currently in the code cache (for artifact comparisons).
+    /// Methods currently pinned (for artifact comparisons).
     pub fn compiled_methods(&self) -> Vec<MethodId> {
-        let mut methods: Vec<MethodId> = self.code_cache.keys().copied().collect();
+        let mut methods: Vec<MethodId> = self.pinned.keys().copied().collect();
         methods.sort_unstable_by_key(|m| m.index());
         methods
     }
@@ -450,7 +763,7 @@ impl Vm {
     /// Resets static variables to defaults (heap contents and statistics
     /// are preserved; benchmarks use deltas).
     pub fn reset_statics(&mut self) {
-        self.statics.reset(&self.program.statics);
+        self.statics.reset(&self.shared.program.statics);
     }
 
     /// Calls a static method by name.
@@ -461,6 +774,7 @@ impl Vm {
     /// program raises.
     pub fn call_entry(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, VmError> {
         let method = self
+            .shared
             .program
             .static_method_by_name(name)
             .ok_or_else(|| VmError::NoSuchMethod(name.to_string()))?;
@@ -482,7 +796,7 @@ impl Vm {
     fn uncaught(&self, obj: ObjRef) -> VmError {
         match &self.heap.cell(obj).object {
             HeapObject::Instance { class, fields } => VmError::UncaughtException {
-                class: self.program.classes[class.index()].name.clone(),
+                class: self.shared.program.classes[class.index()].name.clone(),
                 fields: fields
                     .iter()
                     .filter_map(|v| match v {
@@ -505,8 +819,12 @@ impl Vm {
         // Outermost call: establish a base attribution context so cycles
         // charged before a tier takes over (call overhead, unwinding) are
         // never dropped — profiler totals must reconcile exactly with
-        // `stats.cycles`.
+        // `stats.cycles` — and join the safepoint rendezvous (parked
+        // mutators are excluded from it so idle threads cannot stall
+        // storage reclamation).
         let base = if self.depth == 1 {
+            self.slot.unpark();
+            self.poll_publication();
             Some(self.profile.enter(method.index(), Tier::Interp))
         } else {
             None
@@ -514,22 +832,40 @@ impl Vm {
         let result = self.call_inner(method, args);
         if let Some(prev) = base {
             self.profile.restore(prev);
+            self.heap.flush_metrics();
+            self.poll_publication();
+            self.slot.park();
         }
         self.depth -= 1;
         result
+    }
+
+    /// Safepoint poll against the shared code store: opportunistically
+    /// refreshes this mutator's replica (non-blocking — under writer
+    /// contention the stale replica is kept), advances its rendezvous
+    /// slot, and reclaims retired storage whose rendezvous completed. The
+    /// no-movement case is two relaxed/acquire loads.
+    fn poll_publication(&mut self) {
+        let cache = &self.shared.code_cache;
+        if cache.generation() != self.view.generation() && cache.refresh(&mut self.view) {
+            self.slot.poll(self.view.generation());
+        }
+        cache.maybe_reclaim(&self.shared.safepoints);
     }
 
     fn call_inner(&mut self, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
         if self.depth > 400 {
             return Err(VmError::Internal("call stack overflow".into()));
         }
-        let program = Arc::clone(&self.program);
+        let program = Arc::clone(&self.shared.program);
         // Method-entry safepoint: install anything the background
         // compilers finished since the last poll.
         if self.options.jit_mode == JitMode::Background {
             self.drain_background();
         }
-        if let Some(code) = self.code_cache.get(&method).cloned() {
+        if let Some(code) = self.pinned.get(&method).cloned() {
+            // The dispatch hot path: thread-private map, no locks, no
+            // shared loads.
             return self.run_compiled(&program, &code, args);
         }
         if self.options.jit
@@ -548,11 +884,25 @@ impl Vm {
                             });
                         }
                     }
+                    // Promotion is the only point a mutator consults the
+                    // shared store: an artifact published by another
+                    // mutator from an identical profile snapshot (equal
+                    // fingerprints) is reused, with its buffered decision
+                    // events replayed into this mutator's trace, metrics
+                    // and sanitizer so behavior is byte-identical to
+                    // having compiled it here.
+                    let fingerprint = self.profile_fingerprint();
+                    let traced = self.needs_compile_events();
+                    let hit =
+                        self.shared
+                            .code_cache
+                            .lookup(&mut self.view, method, fingerprint, traced);
+                    if let Some(hit) = hit {
+                        self.slot.poll(self.view.generation());
+                        return self.install_published(&program, method, &hit, args);
+                    }
                     let copts = self.effective_compiler_options(&program);
-                    let compiled = if self.options.checked
-                        || self.options.trace.is_some()
-                        || self.options.metrics.is_enabled()
-                    {
+                    let (compiled, events) = if traced {
                         // Buffer the decision events so the sanitizer and
                         // the metrics fold can inspect them; forward to the
                         // user's sink after.
@@ -570,7 +920,7 @@ impl Vm {
                             }
                         }
                         if let Some(m) = self.options.metrics.on() {
-                            record_compile_metrics(m, &buffer.events, &result);
+                            record_compile_metrics(m, &buffer.events, result.as_ref());
                         }
                         if let Some(sink) = &self.options.trace {
                             sink.with_sink(|s| {
@@ -579,9 +929,12 @@ impl Vm {
                                 }
                             });
                         }
-                        result
+                        (result, buffer.events)
                     } else {
-                        compile(&program, method, Some(&self.profiles), &copts)
+                        (
+                            compile(&program, method, Some(&self.profiles), &copts),
+                            Vec::new(),
+                        )
                     };
                     match compiled {
                         Ok(code) => {
@@ -594,11 +947,34 @@ impl Vm {
                                 }
                             }
                             let code = Arc::new(code);
-                            self.code_cache.insert(method, Arc::clone(&code));
+                            self.pinned.insert(method, Arc::clone(&code));
+                            self.shared.code_cache.publish(
+                                method,
+                                CachedCompile {
+                                    result: Ok(Arc::clone(&code)),
+                                    fingerprint,
+                                    traced,
+                                    events,
+                                    findings: Vec::new(),
+                                },
+                            );
                             return self.run_compiled(&program, &code, args);
                         }
-                        Err(_) => {
+                        Err(bailout) => {
                             self.bailed_out.insert(method);
+                            // Publish the bailout too: another mutator at
+                            // the same fingerprint replays it instead of
+                            // re-running a doomed compilation.
+                            self.shared.code_cache.publish(
+                                method,
+                                CachedCompile {
+                                    result: Err(bailout),
+                                    fingerprint,
+                                    traced,
+                                    events,
+                                    findings: Vec::new(),
+                                },
+                            );
                         }
                     }
                 }
@@ -612,15 +988,98 @@ impl Vm {
         interpret(&program, self, method, args)
     }
 
+    /// Installs a store hit: replays the publisher's buffered decision
+    /// events into this mutator's sanitizer, metrics fold and trace sink —
+    /// exactly what compiling locally would have produced — then pins and
+    /// runs the artifact (or records the bailout and interprets).
+    fn install_published(
+        &mut self,
+        program: &Program,
+        method: MethodId,
+        hit: &CachedCompile,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, VmError> {
+        // Publishers panic on their own findings before publishing, so
+        // this is defensive; replaying keeps the invariant that a checked
+        // consumer behaves identically to a checked compiler.
+        if self.options.checked && !hit.findings.is_empty() {
+            self.dump_flight();
+            let name = program.method(method).qualified_name(program);
+            let lines: Vec<String> = hit.findings.iter().map(|f| format!("  - {f}")).collect();
+            panic!(
+                "PEA decision sanitizer: {} inconsistenc{} compiling {name}:\n{}",
+                hit.findings.len(),
+                if hit.findings.len() == 1 { "y" } else { "ies" },
+                lines.join("\n"),
+            );
+        }
+        if self.options.checked {
+            if let Ok(code) = &hit.result {
+                self.sanitize(program, method, &code.graph, &hit.events);
+            }
+        }
+        if let Some(m) = self.options.metrics.on() {
+            record_compile_metrics(m, &hit.events, hit.result.as_ref().map(|c| c.as_ref()));
+        }
+        if let Some(sink) = &self.options.trace {
+            sink.with_sink(|s| {
+                for event in &hit.events {
+                    s.emit(event);
+                }
+            });
+        }
+        match &hit.result {
+            Ok(code) => {
+                self.heap.stats.compiles += 1;
+                self.profile.record_install();
+                if let Some(m) = self.options.metrics.on() {
+                    m.vm.installs.inc();
+                    if code.linear.is_some() {
+                        m.vm.linear_installs.inc();
+                    }
+                }
+                let code = Arc::clone(code);
+                self.pinned.insert(method, Arc::clone(&code));
+                self.run_compiled(program, &code, args)
+            }
+            Err(_) => {
+                self.bailed_out.insert(method);
+                interpret(program, self, method, args)
+            }
+        }
+    }
+
+    /// Hash of the current profile snapshot for `method`'s compilation
+    /// inputs — the publication identity in the shared store. Computed
+    /// over the store's deterministic JSON export, so equal profiling
+    /// histories hash equal across threads.
+    fn profile_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.profiles.export_json().hash(&mut h);
+        h.finish()
+    }
+
+    /// Whether this mutator must see a compilation's buffered decision
+    /// events (to replay into the sanitizer, the metrics fold, or the
+    /// trace sink). Consumers needing events skip untraced store entries
+    /// and compile themselves.
+    fn needs_compile_events(&self) -> bool {
+        self.options.checked || self.options.trace.is_some() || self.options.metrics.is_enabled()
+    }
+
     /// The compiler options for one compilation: when the configuration
     /// consumes interprocedural summaries (`pea-pre-ipa`, `pea-pre-flow`
-    /// or the summary
-    /// inline policy), the shared [`SummaryCache`] is resolved (computing
-    /// on miss) and injected so the pipeline never recomputes per method.
-    fn effective_compiler_options(&self, program: &Program) -> CompilerOptions {
+    /// or the summary inline policy), the shared [`SummaryCache`] is
+    /// resolved through this mutator's view (lock-free once populated)
+    /// and injected so the pipeline never recomputes per method.
+    fn effective_compiler_options(&mut self, program: &Program) -> CompilerOptions {
         let mut copts = self.options.compiler.clone();
         if copts.needs_summaries() && copts.summaries.is_none() {
-            copts.summaries = Some(self.summary_cache.resolve(program, &self.options.metrics));
+            copts.summaries = Some(self.shared.summary_cache.resolve_view(
+                &mut self.summaries,
+                program,
+                &self.options.metrics,
+            ));
         }
         copts
     }
@@ -628,25 +1087,25 @@ impl Vm {
     /// The VM's interprocedural summary cache (shared with the background
     /// compile service; read access for tests and harnesses).
     pub fn summary_cache(&self) -> &SummaryCache {
-        &self.summary_cache
+        &self.shared.summary_cache
     }
 
     /// The static escape verdicts, computed over the whole program on
-    /// first use and reused for every checked compilation.
-    fn static_verdicts(&mut self) -> Arc<pea_analysis::StaticVerdicts> {
-        if let Some(v) = &self.verdicts {
-            return Arc::clone(v);
-        }
-        let v = Arc::new(pea_analysis::StaticVerdicts::analyze(&self.program));
-        self.verdicts = Some(Arc::clone(&v));
-        v
+    /// first use and reused for every checked compilation of every
+    /// mutator.
+    fn static_verdicts(&self) -> Arc<pea_analysis::StaticVerdicts> {
+        Arc::clone(
+            self.shared.verdicts.get_or_init(|| {
+                Arc::new(pea_analysis::StaticVerdicts::analyze(&self.shared.program))
+            }),
+        )
     }
 
     /// Cross-checks one finished compilation against the static verdicts
     /// and panics on any inconsistency (checked mode is a debugging/CI
     /// tool: an inconsistency is a compiler bug, not a user error).
     fn sanitize(
-        &mut self,
+        &self,
         program: &Program,
         method: MethodId,
         graph: &pea_ir::Graph,
@@ -667,48 +1126,67 @@ impl Vm {
         }
     }
 
-    /// Enqueues a background compilation of `method` (deduplicated by the
-    /// service). The profile snapshot makes the artifact a deterministic
-    /// function of the request: later interpreter profiling cannot leak
-    /// into an in-flight compilation.
+    /// Enqueues a background compilation of `method` (deduplicated per
+    /// mailbox by the service). The profile snapshot makes the artifact a
+    /// deterministic function of the request: later interpreter profiling
+    /// cannot leak into an in-flight compilation. The service is shared by
+    /// every mutator and started by whichever requests first.
     fn request_background(&mut self, method: MethodId) {
-        if self.service.is_none() {
-            self.service = Some(CompileService::start(
-                Arc::clone(&self.program),
-                self.options.compiler.clone(),
-                self.options.trace.clone(),
+        let shared = Arc::clone(&self.shared);
+        let service = shared.service.get_or_init(|| {
+            CompileService::start(
+                Arc::clone(&shared.program),
+                shared.options.compiler.clone(),
                 &CompileServiceOptions {
-                    workers: self.options.compile_workers,
-                    queue_capacity: self.options.compile_queue_capacity,
-                    checked: self.options.checked,
-                    metrics: self.options.metrics.clone(),
-                    summary_cache: Some(self.summary_cache.clone()),
+                    workers: shared.options.compile_workers,
+                    queue_capacity: shared.options.compile_queue_capacity,
+                    checked: shared.options.checked,
+                    metrics: shared.options.metrics.clone(),
+                    summary_cache: Some(shared.summary_cache.clone()),
                 },
-            ));
+            )
+        });
+        if self.mailbox.is_none() {
+            self.mailbox = Some(service.register_mailbox(self.options.trace.clone()));
         }
+        let mailbox = Arc::clone(self.mailbox.as_ref().expect("mailbox just registered"));
         let hotness = self.profiles.invocation_count(method);
         let epoch = self.evict_epochs.get(&method).copied().unwrap_or(0);
+        let fingerprint = self.profile_fingerprint();
         let snapshot = self.profiles.clone();
-        let service = self.service.as_ref().expect("service just started");
-        if service.request(method, hotness, epoch, snapshot) && self.evicted.contains(&method) {
+        if service.request(&mailbox, method, hotness, epoch, fingerprint, snapshot)
+            && self.evicted.contains(&method)
+        {
             if let Some(m) = self.options.metrics.on() {
                 m.vm.recompiles.inc();
             }
             if let Some(sink) = &self.options.trace {
                 sink.emit_event(&TraceEvent::Recompile {
-                    method: self.program.method(method).qualified_name(&self.program),
+                    method: self
+                        .shared
+                        .program
+                        .method(method)
+                        .qualified_name(&self.shared.program),
                 });
             }
         }
     }
 
     /// Installs finished background compilations (a safepoint action:
-    /// called at method entry and interpreter loop back-edges).
+    /// called at method entry and interpreter loop back-edges). Only this
+    /// mutator's mailbox is drained — its tiering schedule stays a
+    /// function of its own execution. Installed artifacts are also
+    /// published (untraced) to the shared store so evictions retire them
+    /// through the rendezvous.
     fn drain_background(&mut self) {
-        let Some(service) = &self.service else {
+        let shared = Arc::clone(&self.shared);
+        let Some(service) = shared.service.get() else {
             return;
         };
-        for outcome in service.drain() {
+        let Some(mailbox) = self.mailbox.clone() else {
+            return;
+        };
+        for outcome in service.take(&mailbox) {
             let current_epoch = self.evict_epochs.get(&outcome.method).copied().unwrap_or(0);
             if outcome.epoch != current_epoch {
                 // Compiled before the method's latest eviction: the
@@ -723,10 +1201,10 @@ impl Vm {
             // findings surface here, at the installing safepoint.
             if !outcome.findings.is_empty() {
                 self.dump_flight();
-                let name = self
+                let name = shared
                     .program
                     .method(outcome.method)
-                    .qualified_name(&self.program);
+                    .qualified_name(&shared.program);
                 panic!(
                     "PEA decision sanitizer: {} inconsistenc{} in background compile of {name}:\n{}",
                     outcome.findings.len(),
@@ -752,7 +1230,18 @@ impl Vm {
                             .queue_latency_us
                             .record(outcome.enqueued_at.elapsed().as_micros() as u64);
                     }
-                    self.code_cache.insert(outcome.method, Arc::new(code));
+                    let code = Arc::new(code);
+                    self.pinned.insert(outcome.method, Arc::clone(&code));
+                    shared.code_cache.publish(
+                        outcome.method,
+                        CachedCompile {
+                            result: Ok(code),
+                            fingerprint: outcome.fingerprint,
+                            traced: false,
+                            events: Vec::new(),
+                            findings: Vec::new(),
+                        },
+                    );
                 }
                 Err(_) => {
                     self.bailed_out.insert(outcome.method);
@@ -798,17 +1287,18 @@ impl Vm {
     }
 
     /// Blocks until every requested background compilation has finished,
-    /// then installs the artifacts. Returns the number of methods now in
-    /// the code cache. No-op in sync mode.
+    /// then installs this mutator's artifacts. Returns the number of
+    /// methods now pinned. No-op in sync mode.
     pub fn await_background_compiles(&mut self) -> usize {
-        if let Some(service) = &self.service {
+        let shared = Arc::clone(&self.shared);
+        if let Some(service) = shared.service.get() {
             service.wait_idle();
             self.drain_background();
             // Close the metrics stream with a final delta so the event log
             // accounts for everything up to the settle point.
             self.emit_metrics_snapshot();
         }
-        self.code_cache.len()
+        self.pinned.len()
     }
 
     /// Compiles every method of the program on `parallelism` threads from
@@ -822,14 +1312,14 @@ impl Vm {
     /// methods one threshold crossing at a time.
     pub fn precompile_all(&mut self, parallelism: usize) -> usize {
         let parallelism = parallelism.max(1);
-        let program = Arc::clone(&self.program);
+        let program = Arc::clone(&self.shared.program);
         let options = self.effective_compiler_options(&program);
         let options = &options;
         let profiles = &self.profiles;
         let metrics = &self.options.metrics;
         let methods: Vec<MethodId> = (0..program.methods.len())
             .map(MethodId::from_index)
-            .filter(|m| !self.code_cache.contains_key(m))
+            .filter(|m| !self.pinned.contains_key(m))
             .collect();
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<(MethodId, Result<CompiledMethod, Bailout>)>> =
@@ -848,7 +1338,7 @@ impl Vm {
                         let mut buffer = pea_trace::MemorySink::new();
                         let r =
                             compile_traced(&program, method, Some(profiles), options, &mut buffer);
-                        record_compile_metrics(m, &buffer.events, &r);
+                        record_compile_metrics(m, &buffer.events, r.as_ref());
                         r
                     } else {
                         compile(&program, method, Some(profiles), options)
@@ -876,7 +1366,7 @@ impl Vm {
                             m.vm.linear_installs.inc();
                         }
                     }
-                    self.code_cache.insert(method, Arc::new(code));
+                    self.pinned.insert(method, Arc::new(code));
                     installed += 1;
                 }
                 Err(_) => {
@@ -970,8 +1460,10 @@ impl Vm {
                 }
                 if deopts >= self.options.max_deopts {
                     // Evict and re-profile: the speculation no longer
-                    // matches reality.
-                    self.code_cache.remove(&method);
+                    // matches reality. Local state is dropped immediately;
+                    // the shared store retires its published variants,
+                    // reclaimed after every mutator's rendezvous poll.
+                    self.pinned.remove(&method);
                     self.bailed_out.remove(&method);
                     self.profiles.clear_method(method);
                     self.deopt_counts.remove(&method);
@@ -982,7 +1474,8 @@ impl Vm {
                     *self.evict_epochs.entry(method).or_insert(0) += 1;
                     // Same discipline for the summary cache: the next
                     // compilation (sync or background) re-resolves.
-                    self.summary_cache.invalidate();
+                    self.shared.summary_cache.invalidate();
+                    self.shared.code_cache.evict(method);
                     if let Some(m) = self.options.metrics.on() {
                         m.vm.evictions.inc();
                     }
@@ -1040,11 +1533,15 @@ impl Vm {
     }
 }
 
-impl Drop for Vm {
+impl Drop for Mutator {
     fn drop(&mut self) {
-        // A panic anywhere above the VM (sanitizer, compiler invariant,
-        // test assertion) unwinds through this drop: persist the flight
-        // ring so the post-mortem has the last events leading up to it.
+        // Fold any buffered heap counters, leave the rendezvous (a dead
+        // mutator must not stall reclamation), and — when a panic anywhere
+        // above the VM (sanitizer, compiler invariant, test assertion)
+        // unwinds through this drop — persist the flight ring so the
+        // post-mortem has the last events leading up to it.
+        self.heap.flush_metrics();
+        self.slot.retire();
         if std::thread::panicking() {
             self.dump_flight();
         }
@@ -1113,7 +1610,7 @@ fn to_interp_frames(frames: Vec<DeoptFrame>) -> Vec<Frame> {
 pub(crate) fn record_compile_metrics(
     m: &VmMetrics,
     events: &[TraceEvent],
-    result: &Result<CompiledMethod, Bailout>,
+    result: Result<&CompiledMethod, &Bailout>,
 ) {
     for event in events {
         match event {
@@ -1163,7 +1660,7 @@ pub(crate) fn record_compile_metrics(
     }
 }
 
-impl InterpEnv for Vm {
+impl InterpEnv for Mutator {
     fn heap(&mut self) -> &mut Heap {
         &mut self.heap
     }
@@ -1181,10 +1678,13 @@ impl InterpEnv for Vm {
     }
     fn safepoint(&mut self) {
         // Loop back-edge: install finished background compilations so a
-        // long-running interpreted loop still picks up compiled callees.
+        // long-running interpreted loop still picks up compiled callees,
+        // and poll the publication rendezvous so evictions by other
+        // mutators can reclaim storage.
         if self.options.jit_mode == JitMode::Background {
             self.drain_background();
         }
+        self.poll_publication();
     }
     fn metrics(&self) -> &MetricsHub {
         &self.options.metrics
@@ -1194,7 +1694,7 @@ impl InterpEnv for Vm {
     }
 }
 
-impl EvalEnv for Vm {
+impl EvalEnv for Mutator {
     fn heap(&mut self) -> &mut Heap {
         &mut self.heap
     }
@@ -1216,10 +1716,13 @@ impl EvalEnv for Vm {
         }
         // Compiled-loop back-edge: install anything the background
         // compilers finished, so compiled-only phases (hot caller with
-        // inlined or compiled callees) cannot starve installs.
+        // inlined or compiled callees) cannot starve installs — and poll
+        // the rendezvous, so a spinning compiled loop still releases
+        // eviction epochs for reclamation.
         if self.options.jit_mode == JitMode::Background {
             self.drain_background();
         }
+        self.poll_publication();
     }
     fn profiler(&self) -> &ProfileRecorder {
         &self.profile
@@ -1296,7 +1799,7 @@ mod tests {
         assert_eq!(delta.rematerialized, 1);
         // The interpreter finished the rare path: the box escaped into g.
         let g = v.program().static_by_name("g").unwrap();
-        assert!(matches!(v.statics.get(g), Value::Ref(_)));
+        assert!(matches!(v.statics_ref().get(g), Value::Ref(_)));
     }
 
     #[test]
@@ -1372,5 +1875,45 @@ mod tests {
             let r = v.call_entry("f", &[Value::Int(i % 2)]).unwrap();
             assert_eq!(r, Some(Value::Int(if i % 2 == 0 { 1 } else { 2 })));
         }
+    }
+
+    #[test]
+    fn spawned_mutators_tier_independently_and_agree_with_solo() {
+        let src = "method f 1 returns { load 0 const 1 add retv }";
+        let v = vm(src, VmOptions::with_opt_level(OptLevel::Pea));
+        let results = v.run_threads(2, |t, m| {
+            let mut out = Vec::new();
+            for i in 0..100 {
+                out.push(m.call_entry("f", &[Value::Int(i + t as i64)]).unwrap());
+            }
+            (out, m.compiled_method_count(), m.stats().compiles)
+        });
+        for (t, (out, pinned, compiles)) in results.iter().enumerate() {
+            assert_eq!(out.len(), 100);
+            assert_eq!(out[0], Some(Value::Int(1 + t as i64)));
+            assert_eq!(*pinned, 1, "each thread tiers on its own");
+            assert_eq!(*compiles, 1);
+        }
+        // The shared store saw the publications; readers never blocked.
+        let s = v.code_cache_stats();
+        assert!(s.installs >= 1);
+        assert_eq!(s.read_blocked, 0);
+    }
+
+    #[test]
+    fn warm_fork_starts_compiled() {
+        let src = "method f 1 returns { load 0 const 1 add retv }";
+        let mut v = vm(src, VmOptions::with_opt_level(OptLevel::Pea));
+        for i in 0..100 {
+            v.call_entry("f", &[Value::Int(i)]).unwrap();
+        }
+        assert_eq!(v.compiled_method_count(), 1);
+        let mut warm = v.spawn_warm_mutator();
+        assert_eq!(warm.compiled_method_count(), 1, "pinned code carried over");
+        assert_eq!(
+            warm.call_entry("f", &[Value::Int(41)]).unwrap(),
+            Some(Value::Int(42))
+        );
+        assert_eq!(warm.stats().compiles, 0, "no recompilation needed");
     }
 }

@@ -305,6 +305,84 @@ fn compiled_only_loop_drains_background_installs_at_backedge_safepoints() {
     );
 }
 
+/// N-thread rendezvous starvation: several mutators spend their time in
+/// compiled-only loops while each also has a background compilation in
+/// flight. Every thread's pending install must land at one of *its own*
+/// back-edge safepoints — no thread may starve another's rendezvous, and
+/// no lookup may ever block on the shared store's lock.
+#[test]
+fn n_threads_in_compiled_loops_never_starve_background_installs() {
+    let src = "method helper 1 returns { load 0 const 3 mul retv }
+         method cold 1 returns { load 0 const 7 add retv }
+         method hotloop 1 returns {
+            const 0 store 1
+            const 0 store 2
+         Lhead:
+            load 2 load 0 ifcmp ge Ldone
+            load 2 invokestatic helper load 1 add store 1
+            load 2 const 1 add store 2
+            goto Lhead
+         Ldone:
+            load 1 retv
+         }";
+    let program = pea_bytecode::asm::parse_program(src).unwrap();
+    let options = VmOptions {
+        jit_mode: JitMode::Background,
+        compile_workers: Some(2),
+        compile_threshold: 10,
+        metrics: pea_vm::MetricsHub::enabled(),
+        ..VmOptions::with_opt_level(OptLevel::Pea)
+    };
+    let vm = Vm::new(program, options);
+    let polls = vm.run_threads(4, |t, m| {
+        let cold = m.program().static_method_by_name("cold").unwrap();
+        let hotloop = m.program().static_method_by_name("hotloop").unwrap();
+        // Each mutator warms the loop against its own profile timeline.
+        for _ in 0..20 {
+            m.call_entry("hotloop", &[Value::Int(4)]).unwrap();
+        }
+        m.await_background_compiles();
+        assert!(
+            m.compiled(hotloop).is_some(),
+            "thread {t}: hotloop must be compiled before the compiled-only phase"
+        );
+        let polls_before = m
+            .metrics()
+            .on()
+            .map(|metrics| metrics.vm.safepoint_polls.get())
+            .unwrap();
+        // Cross the threshold on `cold`, then live inside compiled-only
+        // loops until the worker's artifact installs at a back-edge poll.
+        for i in 0..11 {
+            m.call_entry("cold", &[Value::Int(i)]).unwrap();
+        }
+        let mut attempts = 0;
+        while m.compiled(cold).is_none() {
+            attempts += 1;
+            assert!(
+                attempts <= 20,
+                "thread {t}: install starved through {attempts} compiled-only loops"
+            );
+            m.call_entry("hotloop", &[Value::Int(300_000)]).unwrap();
+        }
+        polls_before
+    });
+    let polls_after = vm
+        .metrics()
+        .on()
+        .map(|m| m.vm.safepoint_polls.get())
+        .unwrap();
+    assert!(
+        polls.iter().all(|&before| polls_after > before),
+        "compiled loops issued no back-edge safepoint polls"
+    );
+    let cache = vm.code_cache_stats();
+    assert_eq!(
+        cache.read_blocked, 0,
+        "a lookup blocked on the store lock under contention"
+    );
+}
+
 /// Small random workloads assembled from the corpus generator's patterns.
 fn pattern() -> impl Strategy<Value = Pattern> {
     prop_oneof![

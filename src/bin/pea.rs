@@ -8,6 +8,9 @@
 //!         [--metrics] [--metrics-json PATH] [--metrics-prom PATH]
 //!         [--flight PATH]                              # flight-recorder dump on failure
 //!         [--profile-in PATH] [--profile-out PATH]     # profile reuse
+//! pea serve <file.asm> <entry> [args...] [--threads N] [--iters K] [--warmup N]
+//!           [--level L] [--jit-mode M] [--exec-mode M] [--checked]
+//!                                                      # N mutator threads on one VM
 //! pea profile <file.asm> <entry> [args...] [--level L] [--jit-mode M] [--exec-mode M]
 //!             [--warmup N] [--top N] [--out DIR]       # cycle-attribution profiler
 //! pea profile --smoke [--out DIR]                      # profile the benchmark corpus
@@ -554,11 +557,134 @@ fn cmd_disasm(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pea serve`: N mutator threads on one VM, each calling the entry in a
+/// loop — the CLI face of the multi-threaded throughput harness. The main
+/// mutator warms first so every thread forks pre-compiled tiering state;
+/// every thread's per-call results must agree (they run the same
+/// deterministic call sequence) and no compiled-call lookup may block on
+/// the published-code store.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let [path, entry, rest @ ..] = args else {
+        eprintln!(
+            "usage: pea serve <file.asm> <entry> [int args...] [--threads N] [--iters K] \
+             [--warmup N] [--level L] [--jit-mode sync|background] [--exec-mode linear|graph] \
+             [--checked]"
+        );
+        return ExitCode::from(2);
+    };
+    let program = load(path);
+    let call_args: Vec<Value> = rest
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(|a| {
+            if a == "null" {
+                Value::Null
+            } else {
+                Value::Int(a.parse().unwrap_or_else(|_| {
+                    eprintln!("bad argument `{a}` (int or `null`)");
+                    std::process::exit(2);
+                }))
+            }
+        })
+        .collect();
+    let parse_count = |flag: &str, default: usize| -> usize {
+        flag_value(rest, flag).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {flag} value `{s}`");
+                std::process::exit(2);
+            })
+        })
+    };
+    let threads = parse_count("--threads", 4);
+    if threads == 0 {
+        eprintln!("--threads must be at least 1");
+        return ExitCode::from(2);
+    }
+    let iters = parse_count("--iters", 1000);
+    let warmup = parse_count("--warmup", 100);
+    let mut options = VmOptions::with_opt_level(parse_level(rest));
+    if let Some(mode) = flag_value(rest, "--jit-mode") {
+        options.jit_mode = mode.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(mode) = flag_value(rest, "--exec-mode") {
+        options.exec_mode = mode.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    options.checked = rest.iter().any(|a| a == "--checked");
+    let background = options.jit_mode == JitMode::Background;
+    let mut vm = Vm::new(program, options);
+    for _ in 0..warmup {
+        if let Err(e) = vm.call_entry(entry, &call_args) {
+            eprintln!("warmup: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if background {
+        vm.await_background_compiles();
+    }
+
+    let start = std::time::Instant::now();
+    let runs = vm.run_threads_warm(threads, |t, m| {
+        let mut last = None;
+        for i in 0..iters {
+            match m.call_entry(entry, &call_args) {
+                Ok(v) => last = v,
+                Err(e) => {
+                    eprintln!("thread {t} iteration {i}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if background {
+            m.await_background_compiles();
+        }
+        (last, m.stats())
+    });
+    let wall = start.elapsed();
+
+    let (oracle, _) = &runs[0];
+    let diverged = runs.iter().filter(|(v, _)| v != oracle).count();
+    let total_cycles: u64 = runs.iter().map(|(_, s)| s.cycles).sum();
+    let cache = vm.code_cache_stats();
+    println!(
+        "served {iters} iterations × {threads} threads in {:.1}ms ({:.1} kiters/s)",
+        wall.as_secs_f64() * 1e3,
+        threads as f64 * iters as f64 / wall.as_secs_f64() / 1e3
+    );
+    println!(
+        "cycles={total_cycles} store reads(fast/refresh/stale/blocked)={}/{}/{}/{} installs={} evictions={}",
+        cache.read_fast,
+        cache.read_refresh,
+        cache.read_stale,
+        cache.read_blocked,
+        cache.installs,
+        cache.evictions
+    );
+    if diverged > 0 {
+        eprintln!("{diverged} thread(s) diverged from thread 0");
+        return ExitCode::FAILURE;
+    }
+    if cache.read_blocked > 0 {
+        eprintln!(
+            "{} compiled-call lookup(s) blocked on the store lock",
+            cache.read_blocked
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "run" => cmd_run(rest),
+            "serve" => cmd_serve(rest),
             "profile" => cmd_profile(rest),
             "trace" => cmd_trace(rest, false),
             // `pea --trace <file> [method]` shorthand for the subcommand.
@@ -569,12 +695,12 @@ fn main() -> ExitCode {
             "disasm" => cmd_disasm(rest),
             other => {
                 eprintln!("unknown command `{other}`");
-                eprintln!("commands: run, profile, trace, dump, dot, disasm");
+                eprintln!("commands: run, serve, profile, trace, dump, dot, disasm");
                 ExitCode::from(2)
             }
         },
         None => {
-            eprintln!("usage: pea <run|profile|trace|dump|dot|disasm> ...");
+            eprintln!("usage: pea <run|serve|profile|trace|dump|dot|disasm> ...");
             ExitCode::from(2)
         }
     }
